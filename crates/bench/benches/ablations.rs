@@ -1,0 +1,93 @@
+//! Criterion ablation benchmarks: wall-time cost of the search strategies
+//! and of the surrogate model at different sizes. (The *simulated-impact*
+//! ablations — what each transformation buys in kernel time — are printed
+//! by `cargo run -p bench --bin ablations`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use barracuda::prelude::*;
+use surf::{random_search, surf_search, ExtraTrees, ForestParams, SurfParams};
+
+fn search_fixture() -> (WorkloadTuner, Vec<u128>, gpusim::GpuArch) {
+    let w = kernels::eqn1(10);
+    let tuner = WorkloadTuner::build(&w);
+    let pool = tuner.pool(2_000, 7);
+    (tuner, pool, gpusim::k20())
+}
+
+fn bench_search_strategies(c: &mut Criterion) {
+    let (tuner, pool, arch) = search_fixture();
+    let mut group = c.benchmark_group("search_strategy_walltime");
+    group.bench_function("surf_100_evals", |b| {
+        b.iter(|| {
+            surf_search(
+                black_box(&pool),
+                |id| tuner.features(id),
+                |id| tuner.gpu_seconds(id, &arch),
+                SurfParams {
+                    max_evals: 100,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("random_100_evals", |b| {
+        b.iter(|| random_search(black_box(&pool), |id| tuner.gpu_seconds(id, &arch), 100, 7))
+    });
+    group.finish();
+}
+
+fn bench_forest_sizes(c: &mut Criterion) {
+    let (tuner, pool, arch) = search_fixture();
+    let xs: Vec<Vec<f64>> = pool.iter().take(200).map(|&id| tuner.features(id)).collect();
+    let ys: Vec<f64> = pool
+        .iter()
+        .take(200)
+        .map(|&id| tuner.gpu_seconds(id, &arch))
+        .collect();
+    let mut group = c.benchmark_group("forest_size");
+    for n_trees in [10usize, 30, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, &n| {
+            b.iter(|| {
+                ExtraTrees::fit(
+                    black_box(&xs),
+                    black_box(&ys),
+                    ForestParams {
+                        n_trees: n,
+                        min_samples_leaf: 2,
+                        k_features: Some(48),
+                        seed: 1,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_strategies(c: &mut Criterion) {
+    let w = kernels::tce_ex(10);
+    let tuner = WorkloadTuner::build(&w);
+    let mut group = c.benchmark_group("pool_sampling");
+    for cap in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| tuner.pool(cap, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    bench_search_strategies,
+    bench_forest_sizes,
+    bench_pool_strategies
+
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks: one per paper table/figure, exercising the full
+//! pipeline that regenerates it (at reduced search budgets, so `cargo
+//! bench` stays quick — the `bin/*` binaries run the paper-scale versions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn params() -> barracuda::pipeline::TuneParams {
+    bench::smoke_params()
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let archs = gpusim::arch::all_architectures();
+    let w = barracuda::kernels::eqn1(10);
+    c.bench_function("table2/eqn1_all_archs", |b| {
+        b.iter(|| bench::table2::run_benchmark(black_box(&w), &archs, params()))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let cfg = barracuda::nekbone::NekboneConfig {
+        order: 8,
+        elements: 32,
+        cg_iters: 1,
+        tol: 1e-6,
+    };
+    c.bench_function("table3/nekbone_k20", |b| {
+        b.iter(|| bench::table3::run_arch(&gpusim::k20(), cfg, params()))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4/nwchem_s1_family_trip8", |b| {
+        b.iter(|| bench::table4::nwchem_row("s1", 8, params()))
+    });
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let w = barracuda::kernels::nwchem_d1(1, 8);
+    let arch = gpusim::k20();
+    c.bench_function("figure3/d1_1_k20", |b| {
+        b.iter(|| bench::figure3::run_kernel(black_box(&w), &arch, params()))
+    });
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    c.bench_function("figure2/artifacts", |b| {
+        b.iter(|| bench::figure2::run(params()))
+    });
+}
+
+fn bench_versions(c: &mut Criterion) {
+    c.bench_function("versions/eqn1_sweep24", |b| {
+        b.iter(|| bench::versions::run(24))
+    });
+}
+
+fn bench_nekbone_cg(c: &mut Criterion) {
+    // A real CG iteration through the real executors.
+    let cfg = barracuda::nekbone::NekboneConfig {
+        order: 6,
+        elements: 8,
+        cg_iters: 3,
+        tol: 0.0,
+    };
+    let op = barracuda::nekbone::NekboneOperator::new(cfg, 5);
+    c.bench_function("nekbone/cg_3_iterations_real", |b| {
+        b.iter(|| barracuda::nekbone::run_cg(black_box(&op), 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_figure3,
+    bench_figure2,
+    bench_versions,
+    bench_nekbone_cg,
+
+}
+criterion_main!(benches);

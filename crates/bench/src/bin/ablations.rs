@@ -1,0 +1,6 @@
+//! Prints the simulated-impact ablation table (strength reduction, scalar
+//! replacement, permutation, unroll, search strategy).
+fn main() {
+    let rows = bench::ablations::run(bench::experiment_params());
+    println!("{}", bench::ablations::render(&rows));
+}

@@ -1,0 +1,23 @@
+//! Emits the SURF convergence trajectory (best-so-far after each
+//! evaluation) as CSV for the benchmark workloads — the raw data behind a
+//! "search progress" plot.
+use barracuda::prelude::*;
+
+fn main() {
+    let params = bench::experiment_params();
+    let arch = gpusim::k20();
+    println!("workload,eval,best_us");
+    for w in [
+        kernels::eqn1(kernels::EQN1_N),
+        kernels::lg3t(kernels::NEK_ORDER, kernels::NEK_ELEMENTS),
+        kernels::nwchem_d1(1, kernels::NWCHEM_TRIP),
+    ] {
+        let tuner = WorkloadTuner::build(&w);
+        let tuned = tuner.autotune(&arch, params);
+        let mut best = f64::INFINITY;
+        for (i, t) in tuned.search.evaluated_times.iter().enumerate() {
+            best = best.min(*t);
+            println!("{},{},{:.3}", w.name, i + 1, best * 1e6);
+        }
+    }
+}

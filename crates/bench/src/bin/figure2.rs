@@ -1,0 +1,5 @@
+//! Regenerates the Figure 2 pipeline artifacts for Eqn. (1).
+fn main() {
+    let a = bench::figure2::run(bench::experiment_params());
+    println!("{}", bench::figure2::render(&a));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3: the 27 NWChem kernels on C2050 and K20.
+fn main() {
+    let points = bench::figure3::run(barracuda::kernels::NWCHEM_TRIP, bench::experiment_params());
+    println!("{}", bench::figure3::render(&points));
+    for family in ["s1", "d1", "d2"] {
+        let (lo, hi) = bench::figure3::family_range(&points, family);
+        println!("{family}: {lo:.0}-{hi:.0} GFlops (paper: s1 7-20, d1 20-125, d2 9-53)");
+    }
+}

@@ -1,0 +1,5 @@
+//! Prints the pruning study (space reduction vs tuned quality).
+fn main() {
+    let rows = bench::pruning::run(bench::experiment_params());
+    println!("{}", bench::pruning::render(&rows));
+}

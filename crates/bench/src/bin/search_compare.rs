@@ -1,0 +1,5 @@
+//! Prints the search-strategy comparison at equal budgets.
+fn main() {
+    let rows = bench::search_compare::run(bench::experiment_params());
+    println!("{}", bench::search_compare::render(&rows));
+}

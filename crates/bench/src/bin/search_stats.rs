@@ -1,0 +1,5 @@
+//! Regenerates the §V claims about the Lg3t search space.
+fn main() {
+    let r = bench::search_stats::run(bench::experiment_params());
+    println!("{}", bench::search_stats::render(&r));
+}

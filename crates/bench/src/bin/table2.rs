@@ -1,0 +1,5 @@
+//! Regenerates Table II of the paper.
+fn main() {
+    let rows = bench::table2::run(bench::experiment_params());
+    println!("{}", bench::table2::render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table III of the paper.
+fn main() {
+    let rows = bench::table3::run(bench::experiment_params());
+    println!("{}", bench::table3::render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table IV of the paper.
+fn main() {
+    let rows = bench::table4::run(bench::experiment_params());
+    println!("{}", bench::table4::render(&rows));
+}

@@ -1,0 +1,56 @@
+//! Figure 2: the pipeline's artifacts for Eqn. (1) — DSL input, TCR
+//! listing, Orio/CHiLL annotation, and the optimized CUDA output.
+
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use tcr::codegen::orio_annotations;
+
+/// Everything Figure 2 shows, as strings.
+#[derive(Clone, Debug)]
+pub struct Figure2Artifacts {
+    pub dsl: String,
+    pub tcr_listing: String,
+    pub annotation: String,
+    pub cuda: String,
+}
+
+pub fn run(params: TuneParams) -> Figure2Artifacts {
+    let w = barracuda::kernels::eqn1(barracuda::kernels::EQN1_N);
+    let tuner = WorkloadTuner::build(&w);
+    let arch = gpusim::gtx980();
+    let tuned = tuner.autotune(&arch, params);
+    let (variant, _) = &tuned.choices[0];
+    let st = &tuner.statements[0];
+    Figure2Artifacts {
+        dsl: w.statements[0].to_string(),
+        tcr_listing: tuned.programs[0].listing(),
+        annotation: orio_annotations(&st.variants[*variant].space),
+        cuda: tuned.cuda_source(),
+    }
+}
+
+pub fn render(a: &Figure2Artifacts) -> String {
+    format!(
+        "== Figure 2(a): OCTOPI input ==\n{}\n\n\
+         == Figure 2(b): TCR input ==\n{}\n\
+         == Figure 2(c): Orio/CHiLL search-space annotation ==\n{}\n\
+         == Figure 2(d): optimized CUDA output ==\n{}",
+        a.dsl, a.tcr_listing, a.annotation, a.cuda
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_params;
+
+    #[test]
+    fn artifacts_have_paper_shape() {
+        let a = run(smoke_params());
+        assert!(a.dsl.contains("Sum([l m n]"));
+        assert!(a.tcr_listing.contains("operations:"));
+        assert!(a.annotation.contains("PERMUTE"));
+        assert!(a.cuda.contains("__global__ void ex"));
+        let r = render(&a);
+        assert!(r.contains("Figure 2(d)"));
+    }
+}

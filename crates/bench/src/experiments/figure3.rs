@@ -1,0 +1,113 @@
+//! Figure 3: speedup of Barracuda and optimized OpenACC over *naive*
+//! OpenACC for the 27 NWChem kernels (d1_1..9, d2_1..9, s1_1..9) on
+//! Tesla C2050 and Tesla K20.
+
+use barracuda::kernels::nwchem_family;
+use barracuda::openacc::{openacc_naive, openacc_optimized};
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use barracuda::report::{fmt_f, Table};
+use gpusim::GpuArch;
+
+/// One kernel's speedups on one architecture.
+#[derive(Clone, Debug)]
+pub struct Figure3Point {
+    pub kernel: String,
+    pub arch: String,
+    pub barracuda_speedup: f64,
+    pub acc_opt_speedup: f64,
+    /// Absolute Barracuda GFlops (device-side), for the §VI-A ranges.
+    pub barracuda_gflops: f64,
+}
+
+pub fn run_kernel(
+    w: &barracuda::workload::Workload,
+    arch: &GpuArch,
+    params: TuneParams,
+) -> Figure3Point {
+    let tuned = WorkloadTuner::build(w).autotune(arch, params);
+    let naive = openacc_naive(w).gpu_seconds(arch);
+    let opt = openacc_optimized(w, &tuned).gpu_seconds(arch);
+    Figure3Point {
+        kernel: w.name.clone(),
+        arch: arch.name.to_string(),
+        barracuda_speedup: naive / tuned.gpu_seconds,
+        acc_opt_speedup: naive / opt,
+        barracuda_gflops: tuned.gflops_device(),
+    }
+}
+
+/// All 27 kernels × 2 architectures.
+pub fn run(trip: usize, params: TuneParams) -> Vec<Figure3Point> {
+    let archs = [gpusim::c2050(), gpusim::k20()];
+    let mut out = Vec::new();
+    for family in ["d1", "d2", "s1"] {
+        for w in nwchem_family(family, trip) {
+            for arch in &archs {
+                out.push(run_kernel(&w, arch, params));
+            }
+        }
+    }
+    out
+}
+
+pub fn render(points: &[Figure3Point]) -> Table {
+    let mut t = Table::new(
+        "Figure 3: speedup over naive OpenACC (NWChem kernels)",
+        &[
+            "kernel",
+            "arch",
+            "Barracuda x",
+            "ACC-opt x",
+            "Barracuda GF",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.kernel.clone(),
+            p.arch.clone(),
+            format!("{:.1}x", p.barracuda_speedup),
+            format!("{:.1}x", p.acc_opt_speedup),
+            fmt_f(p.barracuda_gflops),
+        ]);
+    }
+    t
+}
+
+/// GFlops range of a family (the paper quotes 7–20 for S1, 20–125 for D1,
+/// 9–53 for D2).
+pub fn family_range(points: &[Figure3Point], family: &str) -> (f64, f64) {
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|p| p.kernel.starts_with(family))
+        .map(|p| p.barracuda_gflops)
+        .collect();
+    let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = vals.iter().cloned().fold(0.0, f64::max);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_params;
+
+    #[test]
+    fn smoke_one_kernel_both_archs() {
+        let w = barracuda::kernels::nwchem_d1(1, 8);
+        for arch in [gpusim::c2050(), gpusim::k20()] {
+            let p = run_kernel(&w, &arch, smoke_params());
+            assert!(
+                p.barracuda_speedup > 1.0,
+                "Barracuda must beat naive OpenACC: {}",
+                p.barracuda_speedup
+            );
+            assert!(p.acc_opt_speedup > 1.0);
+            assert!(
+                p.barracuda_speedup >= p.acc_opt_speedup * 0.999,
+                "tuned {} should be at least ACC-opt {}",
+                p.barracuda_speedup,
+                p.acc_opt_speedup
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! One module per paper table/figure.
+
+pub mod ablations;
+pub mod pruning;
+pub mod search_compare;
+pub mod figure2;
+pub mod figure3;
+pub mod search_stats;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod versions;
+
+use barracuda::pipeline::TuneParams;
+
+/// Tuning parameters used by every experiment: the paper-scale settings.
+pub fn experiment_params() -> TuneParams {
+    TuneParams::paper()
+}
+
+/// Reduced parameters for smoke tests of the experiment drivers.
+pub fn smoke_params() -> TuneParams {
+    let mut p = TuneParams::quick();
+    p.surf.max_evals = 30;
+    p.pool_cap = 500;
+    p
+}

@@ -1,0 +1,104 @@
+//! Pruning study (the paper's §VIII future work): how much can the search
+//! space shrink before result quality degrades?
+//!
+//! For each benchmark: full space vs conservative vs aggressive rules, with
+//! the tuned time found by SURF at the same budget on each space.
+
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use barracuda::report::{fmt_f, Table};
+use barracuda::workload::Workload;
+use tcr::PruneRules;
+
+#[derive(Clone, Debug)]
+pub struct PruningRow {
+    pub workload: String,
+    pub full_space: u128,
+    pub conservative_space: u128,
+    pub aggressive_space: u128,
+    pub full_us: f64,
+    pub conservative_us: f64,
+    pub aggressive_us: f64,
+}
+
+pub fn run_workload(w: &Workload, arch: &gpusim::GpuArch, params: TuneParams) -> PruningRow {
+    let full = WorkloadTuner::build(w);
+    let cons = WorkloadTuner::build_pruned(w, &PruneRules::conservative());
+    let aggr = WorkloadTuner::build_pruned(w, &PruneRules::aggressive());
+    let t_full = full.autotune(arch, params);
+    let t_cons = cons.autotune(arch, params);
+    let t_aggr = aggr.autotune(arch, params);
+    PruningRow {
+        workload: w.name.clone(),
+        full_space: full.total_space(),
+        conservative_space: cons.total_space(),
+        aggressive_space: aggr.total_space(),
+        full_us: t_full.gpu_seconds * 1e6,
+        conservative_us: t_cons.gpu_seconds * 1e6,
+        aggressive_us: t_aggr.gpu_seconds * 1e6,
+    }
+}
+
+pub fn run(params: TuneParams) -> Vec<PruningRow> {
+    let arch = gpusim::k20();
+    vec![
+        run_workload(&barracuda::kernels::eqn1(10), &arch, params),
+        run_workload(
+            &barracuda::kernels::lg3t(
+                barracuda::kernels::NEK_ORDER,
+                barracuda::kernels::NEK_ELEMENTS,
+            ),
+            &arch,
+            params,
+        ),
+        run_workload(&barracuda::kernels::nwchem_d1(1, 16), &arch, params),
+    ]
+}
+
+pub fn render(rows: &[PruningRow]) -> Table {
+    let mut t = Table::new(
+        "Pruning (paper SVIII future work): space size vs tuned time (K20)",
+        &[
+            "workload",
+            "full space",
+            "conserv.",
+            "aggressive",
+            "full (us)",
+            "conserv. (us)",
+            "aggr. (us)",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.full_space.to_string(),
+            r.conservative_space.to_string(),
+            r.aggressive_space.to_string(),
+            fmt_f(r.full_us),
+            fmt_f(r.conservative_us),
+            fmt_f(r.aggressive_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_params;
+
+    #[test]
+    fn pruning_preserves_quality_within_factor() {
+        let w = barracuda::kernels::nwchem_d1(1, 8);
+        let r = run_workload(&w, &gpusim::k20(), smoke_params());
+        assert!(r.aggressive_space < r.full_space);
+        assert!(r.conservative_space <= r.full_space);
+        // Aggressively pruned search must stay within 2x of the full-space
+        // result (usually it is *better*: denser good region).
+        assert!(
+            r.aggressive_us <= r.full_us * 2.0,
+            "aggressive {} vs full {}",
+            r.aggressive_us,
+            r.full_us
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Search-strategy comparison at equal evaluation budgets: SURF (the
+//! paper's contribution) vs uniform random sampling, greedy hill climbing
+//! and simulated annealing over the same configuration space.
+
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use barracuda::report::{fmt_f, Table};
+use barracuda::workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf::{hill_climb, random_search, simulated_annealing};
+
+#[derive(Clone, Debug)]
+pub struct SearchCompareRow {
+    pub workload: String,
+    pub budget: usize,
+    pub surf_us: f64,
+    pub random_us: f64,
+    pub hill_us: f64,
+    pub anneal_us: f64,
+}
+
+pub fn run_workload(w: &Workload, arch: &gpusim::GpuArch, params: TuneParams) -> SearchCompareRow {
+    let tuner = WorkloadTuner::build(w);
+    let tuned = tuner.autotune(arch, params);
+    let budget = tuned.search.n_evals;
+    let pool = tuner.pool(params.pool_cap, params.seed);
+
+    let eval = |id: u128| tuner.gpu_seconds(id, arch);
+    let rnd = random_search(&pool, eval, budget, params.seed);
+    // Local searches start from a deterministic pool element.
+    let start = pool[pool.len() / 2];
+    let mut nrng = StdRng::seed_from_u64(params.seed);
+    let hc = hill_climb(
+        start,
+        |id, _| tuner.neighbor(id, &mut nrng),
+        eval,
+        budget,
+        params.seed,
+    );
+    let mut nrng2 = StdRng::seed_from_u64(params.seed ^ 0xA5);
+    let sa = simulated_annealing(
+        start,
+        |id, _| tuner.neighbor(id, &mut nrng2),
+        eval,
+        budget,
+        0.3,
+        params.seed,
+    );
+
+    SearchCompareRow {
+        workload: w.name.clone(),
+        budget,
+        surf_us: tuned.gpu_seconds * 1e6,
+        random_us: rnd.best_y * 1e6,
+        hill_us: hc.best_y * 1e6,
+        anneal_us: sa.best_y * 1e6,
+    }
+}
+
+pub fn run(params: TuneParams) -> Vec<SearchCompareRow> {
+    let arch = gpusim::k20();
+    vec![
+        run_workload(&barracuda::kernels::eqn1(10), &arch, params),
+        run_workload(
+            &barracuda::kernels::lg3t(
+                barracuda::kernels::NEK_ORDER,
+                barracuda::kernels::NEK_ELEMENTS,
+            ),
+            &arch,
+            params,
+        ),
+        run_workload(&barracuda::kernels::nwchem_d2(1, 16), &arch, params),
+    ]
+}
+
+pub fn render(rows: &[SearchCompareRow]) -> Table {
+    let mut t = Table::new(
+        "Search strategies at equal budget (best found, us; K20)",
+        &["workload", "budget", "SURF", "random", "hill-climb", "annealing"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.budget.to_string(),
+            fmt_f(r.surf_us),
+            fmt_f(r.random_us),
+            fmt_f(r.hill_us),
+            fmt_f(r.anneal_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_params;
+
+    #[test]
+    fn all_strategies_produce_finite_results() {
+        let w = barracuda::kernels::nwchem_d2(1, 8);
+        let r = run_workload(&w, &gpusim::k20(), smoke_params());
+        for v in [r.surf_us, r.random_us, r.hill_us, r.anneal_us] {
+            assert!(v.is_finite() && v > 0.0);
+        }
+        // SURF should be competitive: within 1.5x of the best strategy.
+        let best = r.random_us.min(r.hill_us).min(r.anneal_us);
+        assert!(r.surf_us <= best * 1.5, "SURF {} vs best {best}", r.surf_us);
+    }
+}

@@ -1,0 +1,129 @@
+//! Table II: individual tensor-contraction results.
+//!
+//! For each of Eqn.(1), Lg3, Lg3t and TCE ex: speedup of the GTX 980 result
+//! over sequential Haswell, plus (GFlops, SURF search time) on GTX 980,
+//! K20 and C2050. GFlops include PCIe transfers, as the paper's do.
+
+use barracuda::cpu::workload_cpu_time;
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use barracuda::report::{fmt_f, fmt_secs, Table};
+use barracuda::workload::Workload;
+use cpusim::model::CpuModel;
+use gpusim::GpuArch;
+
+/// One benchmark's results across the three architectures.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    pub name: String,
+    /// GTX 980 speedup over sequential Haswell (paper's first column).
+    pub speedup: f64,
+    /// (gflops, search_seconds, n_evals) per architecture.
+    pub per_arch: Vec<(String, f64, f64, usize)>,
+}
+
+/// Runs one benchmark on every architecture.
+///
+/// GFlops follow the paper's measurement protocol: times are averaged over
+/// `reps` repetitions with device-resident data, so PCIe transfers amortize
+/// across the repetitions. The speedup baseline is *naive* sequential C
+/// (the untuned loop nests the framework starts from).
+pub fn run_benchmark(workload: &Workload, archs: &[GpuArch], params: TuneParams) -> Table2Row {
+    let tuner = WorkloadTuner::build(workload);
+    let cpu = workload_cpu_time(workload, &CpuModel::haswell_naive(), 1);
+    let mut per_arch = Vec::new();
+    let mut speedup = 0.0;
+    for arch in archs {
+        let tuned = tuner.autotune(arch, params);
+        let search = tuned.search.search_seconds(arch, params.reps);
+        if arch.name == "GTX 980" {
+            speedup = cpu.time_s / tuned.amortized_seconds(params.reps);
+        }
+        per_arch.push((
+            arch.name.to_string(),
+            tuned.gflops_amortized(params.reps),
+            search,
+            tuned.search.n_evals,
+        ));
+    }
+    Table2Row {
+        name: workload.name.clone(),
+        speedup,
+        per_arch,
+    }
+}
+
+/// Runs the full table.
+pub fn run(params: TuneParams) -> Vec<Table2Row> {
+    let archs = gpusim::arch::all_architectures();
+    barracuda::kernels::table2_benchmarks()
+        .iter()
+        .map(|w| run_benchmark(w, &archs, params))
+        .collect()
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(rows: &[Table2Row]) -> Table {
+    let mut t = Table::new(
+        "Table II: individual tensor contractions (GFlops include transfers)",
+        &[
+            "bench",
+            "speedup(980 vs 1-core)",
+            "980 GF",
+            "980 search",
+            "K20 GF",
+            "K20 search",
+            "C2050 GF",
+            "C2050 search",
+        ],
+    );
+    for r in rows {
+        let g = |arch: &str| {
+            r.per_arch
+                .iter()
+                .find(|(n, _, _, _)| n.contains(arch))
+                .expect("arch present")
+        };
+        let (_, gf9, s9, _) = g("980");
+        let (_, gfk, sk, _) = g("K20");
+        let (_, gfc, sc, _) = g("C2050");
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}x", r.speedup),
+            fmt_f(*gf9),
+            fmt_secs(*s9),
+            fmt_f(*gfk),
+            fmt_secs(*sk),
+            fmt_f(*gfc),
+            fmt_secs(*sc),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_params;
+    use tensor::index::uniform_dims;
+
+    #[test]
+    fn smoke_single_benchmark() {
+        let w = Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], 12),
+        )
+        .unwrap();
+        let archs = gpusim::arch::all_architectures();
+        let row = run_benchmark(&w, &archs, smoke_params());
+        assert_eq!(row.per_arch.len(), 3);
+        assert!(row.speedup > 0.0);
+        for (_, gf, search, evals) in &row.per_arch {
+            assert!(*gf > 0.0);
+            assert!(*search > 0.0);
+            assert!(*evals > 0);
+        }
+        let t = render(&[row]);
+        assert!(t.to_string().contains("mm"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Table IV: Nekbone and NWChem excerpts — sequential / OpenMP-4 Haswell
+//! vs Barracuda (GTX 980).
+//!
+//! For the NWChem families the paper reports one aggregate number per
+//! family; we report the family mean across the nine kernels. NWChem
+//! numbers are device-side (the kernels run inside CCSD(T) where `t3`
+//! stays resident); Nekbone includes transfers, as in Table III.
+
+use barracuda::cpu::workload_cpu_time;
+use barracuda::kernels::{nwchem_family, NWCHEM_TRIP};
+use barracuda::nekbone::{model_cpu_gflops, model_gpu_perf, NekboneConfig};
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use barracuda::report::{fmt_f, Table};
+use cpusim::model::CpuModel;
+
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    pub name: String,
+    pub cpu_1core: f64,
+    pub openmp_4core: f64,
+    pub barracuda: f64,
+}
+
+/// Mean GFlops of an NWChem family under each strategy.
+pub fn nwchem_row(family: &str, trip: usize, params: TuneParams) -> Table4Row {
+    let arch = gpusim::gtx980();
+    let model = CpuModel::haswell();
+    let mut cpu1 = 0.0;
+    let mut cpu4 = 0.0;
+    let mut bar = 0.0;
+    let workloads = nwchem_family(family, trip);
+    for w in &workloads {
+        let t1 = workload_cpu_time(w, &model, 1);
+        let t4 = workload_cpu_time(w, &model, 4);
+        cpu1 += t1.flops as f64 / t1.time_s / 1e9;
+        cpu4 += t4.flops as f64 / t4.time_s / 1e9;
+        let tuned = WorkloadTuner::build(w).autotune(&arch, params);
+        bar += tuned.gflops_device();
+    }
+    let n = workloads.len() as f64;
+    Table4Row {
+        name: format!("NWCHEM {family}"),
+        cpu_1core: cpu1 / n,
+        openmp_4core: cpu4 / n,
+        barracuda: bar / n,
+    }
+}
+
+pub fn nekbone_row(params: TuneParams) -> Table4Row {
+    let cfg = NekboneConfig::default();
+    let perf = model_gpu_perf(cfg, &gpusim::gtx980(), params);
+    Table4Row {
+        name: "Nekbone".to_string(),
+        cpu_1core: model_cpu_gflops(cfg, 1),
+        openmp_4core: model_cpu_gflops(cfg, 4),
+        barracuda: perf.barracuda_gflops,
+    }
+}
+
+pub fn run(params: TuneParams) -> Vec<Table4Row> {
+    let mut rows = vec![nekbone_row(params)];
+    for family in ["s1", "d1", "d2"] {
+        rows.push(nwchem_row(family, NWCHEM_TRIP, params));
+    }
+    rows
+}
+
+pub fn render(rows: &[Table4Row]) -> Table {
+    let mut t = Table::new(
+        "Table IV: OpenMP vs Barracuda (GFlops; Barracuda on GTX 980)",
+        &["bench", "1 core", "OpenMP 4 cores", "Barracuda"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            fmt_f(r.cpu_1core),
+            fmt_f(r.openmp_4core),
+            fmt_f(r.barracuda),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_params;
+
+    #[test]
+    fn smoke_nwchem_s1_family() {
+        // Small trip count to keep the smoke test fast.
+        let row = nwchem_row("s1", 8, smoke_params());
+        assert!(row.cpu_1core > 0.0);
+        // Memory-bound S1 barely scales with threads (paper: 2.47 -> 2.61).
+        assert!(row.openmp_4core < row.cpu_1core * 2.5);
+        // The GPU must beat 4-core OpenMP (the paper's headline for Table IV).
+        assert!(
+            row.barracuda > row.openmp_4core,
+            "GPU {} must beat OpenMP {}",
+            row.barracuda,
+            row.openmp_4core
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each submodule computes one experiment's data as plain structs and knows
+//! how to render it as a text table; the `src/bin/*` binaries are thin
+//! wrappers. `bin/report` runs everything and emits the text that
+//! EXPERIMENTS.md records.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,366 @@
+//! `barracuda` — command-line front end to the autotuning pipeline.
+//!
+//! ```text
+//! barracuda tune <file.dsl | builtin:NAME> [options]
+//! barracuda info <file.dsl | builtin:NAME> [options]
+//! barracuda benchmarks
+//!
+//! options:
+//!   --arch gtx980|k20|c2050|all   target architecture (default gtx980)
+//!   --dim IDX=EXT                 extent for one index (repeatable)
+//!   --dims N                      extent for every undeclared index
+//!   --evals N                     SURF evaluation budget (default 1200)
+//!   --quick                       small search budget (tests/demos)
+//!   --emit cuda|tcr|annotation    artifact to print after tuning
+//!   --validate                    execute the tuned kernels against the
+//!                                 reference evaluator before reporting
+//!   --fused                       also evaluate the fused alternative
+//!   --explain                     per-kernel timing breakdown + which
+//!                                 parameters the surrogate found important
+//! ```
+//!
+//! Built-in workloads (for `builtin:NAME`): eqn1, lg3, lg3t, tce,
+//! s1_1..s1_9, d1_1..d1_9, d2_1..d2_9.
+
+use barracuda::prelude::*;
+use barracuda::report::fmt_f;
+use std::process::ExitCode;
+use tensor::IndexMap;
+
+struct Options {
+    arch: String,
+    dims: IndexMap,
+    default_dim: Option<usize>,
+    evals: usize,
+    quick: bool,
+    emit: Option<String>,
+    validate: bool,
+    fused: bool,
+    explain: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            arch: "gtx980".to_string(),
+            dims: IndexMap::new(),
+            default_dim: None,
+            evals: 1200,
+            quick: false,
+            emit: None,
+            validate: false,
+            fused: false,
+            explain: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: barracuda <tune|info|benchmarks> [<file.dsl>|builtin:NAME] \
+         [--arch A] [--dim i=10]... [--dims N] [--evals N] [--quick] \
+         [--emit cuda|cufile|tcr|annotation] [--validate] [--fused]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--arch" => o.arch = it.next().ok_or("--arch needs a value")?.clone(),
+            "--dim" => {
+                let spec = it.next().ok_or("--dim needs IDX=EXT")?;
+                let (name, ext) = spec.split_once('=').ok_or("--dim needs IDX=EXT")?;
+                let ext: usize = ext.parse().map_err(|_| "bad extent")?;
+                o.dims.insert(name.into(), ext);
+            }
+            "--dims" => {
+                o.default_dim =
+                    Some(it.next().ok_or("--dims needs N")?.parse().map_err(|_| "bad N")?)
+            }
+            "--evals" => {
+                o.evals = it
+                    .next()
+                    .ok_or("--evals needs N")?
+                    .parse()
+                    .map_err(|_| "bad N")?
+            }
+            "--quick" => o.quick = true,
+            "--emit" => o.emit = Some(it.next().ok_or("--emit needs a kind")?.clone()),
+            "--validate" => o.validate = true,
+            "--fused" => o.fused = true,
+            "--explain" => o.explain = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn builtin(name: &str) -> Option<Workload> {
+    use barracuda::kernels as k;
+    let w = match name {
+        "eqn1" => k::eqn1(k::EQN1_N),
+        "lg3" => k::lg3(k::NEK_ORDER, k::NEK_ELEMENTS),
+        "lg3t" => k::lg3t(k::NEK_ORDER, k::NEK_ELEMENTS),
+        "tce" => k::tce_ex(k::TCE_N),
+        other => {
+            let (family, var) = other.split_once('_')?;
+            let v: usize = var.parse().ok()?;
+            if !(1..=9).contains(&v) {
+                return None;
+            }
+            match family {
+                "s1" => k::nwchem_s1(v, k::NWCHEM_TRIP),
+                "d1" => k::nwchem_d1(v, k::NWCHEM_TRIP),
+                "d2" => k::nwchem_d2(v, k::NWCHEM_TRIP),
+                _ => return None,
+            }
+        }
+    };
+    Some(w)
+}
+
+fn load_workload(spec: &str, o: &Options) -> Result<Workload, String> {
+    if let Some(name) = spec.strip_prefix("builtin:") {
+        return builtin(name).ok_or_else(|| format!("unknown builtin workload {name}"));
+    }
+    let src =
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    // Collect indices so --dims can fill the gaps.
+    let prog = octopi::parse_program(&src).map_err(|e| e.to_string())?;
+    let mut dims = o.dims.clone();
+    if let Some(n) = o.default_dim {
+        for st in &prog.statements {
+            for ix in st.all_indices() {
+                dims.entry(ix).or_insert(n);
+            }
+        }
+    }
+    Workload::parse("cli", &src, &dims)
+}
+
+fn archs_for(name: &str) -> Result<Vec<gpusim::GpuArch>, String> {
+    match name {
+        "gtx980" => Ok(vec![gpusim::gtx980()]),
+        "k20" => Ok(vec![gpusim::k20()]),
+        "c2050" => Ok(vec![gpusim::c2050()]),
+        "all" => Ok(gpusim::arch::all_architectures()),
+        other => Err(format!("unknown architecture {other} (gtx980|k20|c2050|all)")),
+    }
+}
+
+fn params_for(o: &Options) -> TuneParams {
+    let mut p = if o.quick {
+        TuneParams::quick()
+    } else {
+        TuneParams::paper()
+    };
+    p.surf.max_evals = o.evals;
+    p
+}
+
+fn cmd_info(w: &Workload) {
+    println!("workload with {} statement(s):", w.statements.len());
+    for st in &w.statements {
+        println!("  {st}");
+    }
+    println!("external inputs : {:?}", w.external_inputs());
+    println!("external outputs: {:?}", w.external_outputs());
+    println!("naive flops     : {}", w.naive_flops());
+    let tuner = WorkloadTuner::build(w);
+    for (i, st) in tuner.statements.iter().enumerate() {
+        println!(
+            "statement {i}: {} OCTOPI version(s), {} configurations",
+            st.variants.len(),
+            st.total()
+        );
+        let best = &st.variants[0];
+        println!(
+            "  best version: {} flops in {} kernel(s), temps {} elements",
+            best.factorization.flops,
+            best.program.ops.len(),
+            best.factorization.temp_elems
+        );
+    }
+    println!("joint space: {} configurations", tuner.total_space());
+    // Cross-statement common subexpressions (TCE-style CSE).
+    if w.statements.len() > 1 {
+        let chosen: Vec<(&octopi::Contraction, &octopi::Factorization)> = tuner
+            .statements
+            .iter()
+            .zip(&w.statements)
+            .map(|(st, c)| (c, &st.variants[0].factorization))
+            .collect();
+        let cse = octopi::analyze_cse(&chosen, &w.dims);
+        if cse.matches.is_empty() {
+            println!("cross-statement CSE: none");
+        } else {
+            println!(
+                "cross-statement CSE: {} reuse(s), {:.1}% of flops",
+                cse.matches.len(),
+                cse.savings() * 100.0
+            );
+        }
+    }
+}
+
+fn cmd_tune(w: &Workload, o: &Options) -> Result<(), String> {
+    let tuner = WorkloadTuner::build(w);
+    let params = params_for(o);
+    for arch in archs_for(&o.arch)? {
+        let tuned = tuner.autotune(&arch, params);
+        println!(
+            "{:12} {:>10} us device  {:>8} GF device  {:>8} GF w/transfers  ({} evals, space {})",
+            arch.name,
+            fmt_f(tuned.gpu_seconds * 1e6),
+            fmt_f(tuned.gflops_device()),
+            fmt_f(tuned.gflops()),
+            tuned.search.n_evals,
+            tuned.search.space_size,
+        );
+        if o.validate {
+            let inputs = w.random_inputs(1);
+            let expect = w.evaluate_reference(&inputs);
+            let got = tuned.execute(w, &inputs);
+            for ((n1, t1), (_, t2)) in expect.iter().zip(&got) {
+                if !t1.approx_eq(t2, 1e-10) {
+                    return Err(format!("validation FAILED for output {n1}"));
+                }
+            }
+            println!("  validation: OK (matches the reference evaluator)");
+        }
+        if o.fused {
+            for alt in barracuda::fusionopt::fuse_alternatives(&tuned, &arch)
+                .into_iter()
+                .flatten()
+            {
+                println!(
+                    "  statement {} fused: {:.2} us vs {:.2} us unfused ({:.2}x)",
+                    alt.statement,
+                    alt.fused_seconds * 1e6,
+                    alt.unfused_seconds * 1e6,
+                    alt.speedup()
+                );
+            }
+        }
+        if o.explain {
+            for (program, ks) in tuned.programs.iter().zip(&tuned.kernels) {
+                for k in ks {
+                    let t = gpusim::time_kernel(k, &arch);
+                    println!(
+                        "  {}: {:.2} us, grid {:?} block {:?}, unroll {}, staged {:?}",
+                        k.name,
+                        t.time_s * 1e6,
+                        k.grid(),
+                        k.block(),
+                        k.unroll,
+                        k.staged
+                    );
+                    println!(
+                        "    bottleneck {} | occupancy {:.0}% | worst txn/warp {:.1} | regs/thread {}",
+                        t.bottleneck(),
+                        t.occupancy.fraction * 100.0,
+                        t.traffic.worst_txn_per_warp,
+                        t.occupancy.regs_per_thread
+                    );
+                }
+                let _ = program;
+            }
+            // Which knobs mattered: fit a forest over a sample of the space
+            // and report the top importance mass.
+            let pool = tuner.pool(512, params.seed);
+            let xs: Vec<Vec<f64>> = pool.iter().map(|&id| tuner.features(id)).collect();
+            let ys: Vec<f64> = pool.iter().map(|&id| tuner.gpu_seconds(id, &arch)).collect();
+            let model = surf::ExtraTrees::fit(&xs, &ys, params.surf.forest);
+            let names = tuner.binarized_feature_names();
+            let mut ranked: Vec<(f64, &String)> = model
+                .feature_importance()
+                .iter()
+                .copied()
+                .zip(&names)
+                .collect();
+            ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            println!("  most important parameters (surrogate attribution):");
+            for (imp, name) in ranked.iter().take(6) {
+                if *imp > 0.0 {
+                    println!("    {:>6.1}%  {}", imp * 100.0, name);
+                }
+            }
+        }
+        match o.emit.as_deref() {
+            Some("cuda") => println!("{}", tuned.cuda_source()),
+            Some("cufile") => {
+                for (p, ks) in tuned.programs.iter().zip(&tuned.kernels) {
+                    println!("{}", tcr::codegen::cuda_file(p, ks));
+                }
+            }
+            Some("tcr") => {
+                for p in &tuned.programs {
+                    println!("{}", p.listing());
+                }
+            }
+            Some("annotation") => {
+                for ((v, _), st) in tuned.choices.iter().zip(&tuner.statements) {
+                    println!("{}", tcr::codegen::orio_annotations(&st.variants[*v].space));
+                }
+            }
+            Some(other) => return Err(format!("unknown --emit kind {other}")),
+            None => {}
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "benchmarks" => {
+            println!("builtin workloads:");
+            for n in ["eqn1", "lg3", "lg3t", "tce"] {
+                println!("  builtin:{n}");
+            }
+            for fam in ["s1", "d1", "d2"] {
+                println!("  builtin:{fam}_1 .. builtin:{fam}_9");
+            }
+            ExitCode::SUCCESS
+        }
+        "tune" | "info" => {
+            let Some(spec) = args.get(1) else {
+                return usage();
+            };
+            let opts = match parse_options(&args[2..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let w = match load_workload(spec, &opts) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let result = if cmd == "info" {
+                cmd_info(&w);
+                Ok(())
+            } else {
+                cmd_tune(&w, &opts)
+            };
+            match result {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

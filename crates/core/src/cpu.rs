@@ -1,0 +1,151 @@
+//! Sequential and OpenMP CPU baselines for whole workloads.
+//!
+//! Wraps the `cpusim` crate: the *timing* comes from the deterministic
+//! Haswell model (so tables reproduce bit-identically), while the *values*
+//! can be computed with the real executors for validation.
+
+use crate::workload::Workload;
+use cpusim::model::{time_cpu, CpuModel, CpuTiming};
+use octopi::enumerate_factorizations;
+use tcr::TcrProgram;
+use tensor::Tensor;
+
+/// Best-flop (strength-reduced) per-statement programs: what a reasonable
+/// hand-written sequential implementation computes.
+pub fn cpu_programs(workload: &Workload) -> Vec<TcrProgram> {
+    workload
+        .statements
+        .iter()
+        .enumerate()
+        .map(|(i, st)| {
+            let fs = enumerate_factorizations(st, &workload.dims);
+            TcrProgram::from_factorization(
+                format!("{}_{}", workload.name, i),
+                st,
+                &fs[0],
+                &workload.dims,
+            )
+        })
+        .collect()
+}
+
+/// Modeled CPU timing of a whole workload on `threads` cores.
+pub fn workload_cpu_time(workload: &Workload, model: &CpuModel, threads: usize) -> CpuTiming {
+    let mut time_s = 0.0;
+    let mut compute_s = 0.0;
+    let mut memory_s = 0.0;
+    let mut flops = 0u64;
+    for p in cpu_programs(workload) {
+        let t = time_cpu(&p, model, threads);
+        time_s += t.time_s;
+        compute_s += t.compute_s;
+        memory_s += t.memory_s;
+        flops += t.flops;
+    }
+    CpuTiming {
+        time_s,
+        compute_s,
+        memory_s,
+        flops,
+    }
+}
+
+/// Modeled sustained GFlop/s on the CPU.
+pub fn cpu_gflops(workload: &Workload, model: &CpuModel, threads: usize) -> f64 {
+    let t = workload_cpu_time(workload, model, threads);
+    t.flops as f64 / t.time_s / 1e9
+}
+
+/// Really executes the workload on the CPU (sequential or threaded),
+/// chaining statements through a name environment. Used for validation and
+/// Criterion benchmarks of the real executors.
+pub fn execute_workload_cpu(
+    workload: &Workload,
+    inputs: &[(String, Tensor)],
+    threads: usize,
+) -> Vec<(String, Tensor)> {
+    let programs = cpu_programs(workload);
+    let mut env: std::collections::BTreeMap<String, Tensor> = inputs.iter().cloned().collect();
+    for (program, st) in programs.iter().zip(&workload.statements) {
+        let operands: Vec<&Tensor> = program
+            .input_ids()
+            .iter()
+            .map(|&id| {
+                let name = &program.arrays[id].name;
+                env.get(name)
+                    .unwrap_or_else(|| panic!("missing input tensor {name}"))
+            })
+            .collect();
+        let fresh = if threads <= 1 {
+            cpusim::execute_sequential(program, &operands)
+        } else {
+            cpusim::execute_parallel(program, &operands, threads)
+        };
+        match env.entry(st.output.name.clone()) {
+            std::collections::btree_map::Entry::Occupied(mut o) if st.accumulate => {
+                for (a, b) in o.get_mut().data_mut().iter_mut().zip(fresh.data()) {
+                    *a += b;
+                }
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                *o.get_mut() = fresh;
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(fresh);
+            }
+        }
+    }
+    workload
+        .external_outputs()
+        .into_iter()
+        .map(|name| {
+            let t = env.remove(&name).expect("output computed");
+            (name, t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::index::uniform_dims;
+
+    fn eqn1_workload(n: usize) -> Workload {
+        Workload::parse(
+            "ex",
+            "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
+            &uniform_dims(&["i", "j", "k", "l", "m", "n"], n),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn real_cpu_execution_matches_oracle() {
+        let w = eqn1_workload(4);
+        let inputs = w.random_inputs(7);
+        let expect = w.evaluate_reference(&inputs);
+        for threads in [1, 4] {
+            let got = execute_workload_cpu(&w, &inputs, threads);
+            assert!(
+                expect[0].1.approx_eq(&got[0].1, 1e-10),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn openmp_faster_than_sequential_when_compute_bound() {
+        let w = eqn1_workload(16);
+        let m = CpuModel::haswell();
+        let t1 = workload_cpu_time(&w, &m, 1);
+        let t4 = workload_cpu_time(&w, &m, 4);
+        assert!(t4.time_s < t1.time_s);
+    }
+
+    #[test]
+    fn gflops_reasonable_magnitude() {
+        let w = eqn1_workload(16);
+        let gf = cpu_gflops(&w, &CpuModel::haswell(), 1);
+        assert!((0.1..30.0).contains(&gf), "1-core {gf} GF");
+    }
+}

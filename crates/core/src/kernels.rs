@@ -1,0 +1,336 @@
+//! The benchmark computations of Table I.
+//!
+//! | Name      | Description |
+//! |-----------|-------------|
+//! | Eqn.(1)   | spectral-element example of Figure 2, `V = A B C U` |
+//! | Lg3       | `local_grad3` from Nekbone (gradient in r/s/t) |
+//! | Lg3t      | `local_grad3t` (transposed gradient, accumulating) |
+//! | TCE ex    | 4-tensor example from the TCE paper [Baumgartner 2005] |
+//! | S1 / D1 / D2 | NWChem CCSD(T) kernel families, 9 permutation variants each |
+//!
+//! The NWChem kernels are reconstructed from the structure of Hammond's
+//! loop-driven `nwchem-tce-triples-kernels`: a rank-6 `triplesx` output over
+//! holes `h3 h2 h1` and particles `p6 p5 p4` (trip count 16 each), with S1
+//! an outer product of `t1` (rank 2) and `v2` (rank 4), D1 contracting over
+//! an extra hole `h7`, and D2 over an extra particle `p7`. The nine variants
+//! of each family permute which hole/particle the small operand carries —
+//! exactly the axis that stresses coalescing and decomposition choices.
+
+use crate::workload::Workload;
+use tensor::index::uniform_dims;
+use tensor::IndexMap;
+
+/// Default extent for Eqn.(1) (the paper's `N = J = M = I = L = K = 10`).
+pub const EQN1_N: usize = 10;
+/// Nekbone polynomial order: "a problem size of 12 x 12 x 12 was used".
+pub const NEK_ORDER: usize = 12;
+/// Mesh elements processed per kernel launch in Lg3/Lg3t/Nekbone.
+pub const NEK_ELEMENTS: usize = 512;
+/// NWChem CCSD(T) tile size: "trip counts of 16 iterations in each dimension".
+pub const NWCHEM_TRIP: usize = 16;
+/// Extent used for the TCE example.
+pub const TCE_N: usize = 10;
+
+/// Eqn. (1): `V[i j k] = Sum([l m n], A[l k] B[m j] C[n i] U[l m n])`.
+pub fn eqn1(n: usize) -> Workload {
+    Workload::parse(
+        "ex",
+        "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
+        &uniform_dims(&["i", "j", "k", "l", "m", "n"], n),
+    )
+    .expect("eqn1 parses")
+}
+
+fn nek_dims(order: usize, elements: usize) -> IndexMap {
+    let mut dims = uniform_dims(&["i", "j", "k", "l"], order);
+    dims.insert("e".into(), elements);
+    dims
+}
+
+/// `local_grad3`: differentiate `u` in the three reference directions for
+/// every element. `D` is the 1-D spectral differentiation matrix.
+pub fn lg3(order: usize, elements: usize) -> Workload {
+    Workload::parse(
+        "lg3",
+        "\
+ur[e i j k] = Sum([l], D[i l] * u[e l j k])
+us[e i j k] = Sum([l], D[j l] * u[e i l k])
+ut[e i j k] = Sum([l], D[k l] * u[e i j l])",
+        &nek_dims(order, elements),
+    )
+    .expect("lg3 parses")
+}
+
+/// `local_grad3t`: the transposed gradient, accumulating the three
+/// directional contributions into `w` (note `D` read transposed: `D[l i]`).
+pub fn lg3t(order: usize, elements: usize) -> Workload {
+    Workload::parse(
+        "lg3t",
+        "\
+w[e i j k] = Sum([l], D[l i] * ur[e l j k])
+w[e i j k] += Sum([l], D[l j] * us[e i l k])
+w[e i j k] += Sum([l], D[l k] * ut[e i j l])",
+        &nek_dims(order, elements),
+    )
+    .expect("lg3t parses")
+}
+
+/// The TCE paper's running example:
+/// `S[a b i j] = Sum([c d e f k l], A[a c i k] B[b e f l] C[d f j k] D[c d e l])`.
+pub fn tce_ex(n: usize) -> Workload {
+    Workload::parse(
+        "tce",
+        "S[a b i j] = Sum([c d e f k l], \
+         A[a c i k] * B[b e f l] * C[d f j k] * D[c d e l])",
+        &uniform_dims(&["a", "b", "c", "d", "e", "f", "i", "j", "k", "l"], n),
+    )
+    .expect("tce_ex parses")
+}
+
+const HOLES: [&str; 3] = ["h1", "h2", "h3"];
+const PARTICLES: [&str; 3] = ["p4", "p5", "p6"];
+
+fn nwchem_dims(trip: usize) -> IndexMap {
+    uniform_dims(
+        &["h1", "h2", "h3", "h7", "p4", "p5", "p6", "p7"],
+        trip,
+    )
+}
+
+/// Variant index (1..=9) → which particle/hole the small operand carries.
+fn pick(variant: usize) -> (&'static str, &'static str, [&'static str; 2], [&'static str; 2]) {
+    assert!((1..=9).contains(&variant), "variant must be 1..=9");
+    let p = PARTICLES[(variant - 1) / 3]; // p4, p5 or p6
+    let h = HOLES[(variant - 1) % 3]; // h1, h2 or h3
+    // The v2 operand carries the complementary holes and particles.
+    let hs: Vec<&str> = HOLES.iter().rev().filter(|x| **x != h).copied().collect();
+    let ps: Vec<&str> = PARTICLES
+        .iter()
+        .rev()
+        .filter(|x| **x != p)
+        .copied()
+        .collect();
+    (p, h, [hs[0], hs[1]], [ps[0], ps[1]])
+}
+
+/// Sign of a CCSD(T) permutation variant: odd hole permutations subtract
+/// (the real `sd_t_*` kernels carry such signs; we assign `-=` to the
+/// variants that move `h2`, matching the alternating pattern).
+fn sign_op(variant: usize) -> &'static str {
+    if (variant - 1) % 3 == 1 {
+        "-="
+    } else {
+        "+="
+    }
+}
+
+/// `sd_t_s1_<variant>`: `t3[h3 h2 h1 p6 p5 p4] ±= t1[p h] * v2[h h p p]`
+/// — an outer product (no summation index), memory-bound.
+pub fn nwchem_s1(variant: usize, trip: usize) -> Workload {
+    let (p, h, hs, ps) = pick(variant);
+    let src = format!(
+        "t3[h3 h2 h1 p6 p5 p4] {} t1[{p} {h}] * v2[{} {} {} {}]",
+        sign_op(variant),
+        hs[0], hs[1], ps[0], ps[1]
+    );
+    Workload::parse(format!("s1_{variant}"), &src, &nwchem_dims(trip)).expect("s1 parses")
+}
+
+/// `sd_t_d1_<variant>`: contraction over the extra hole `h7`.
+pub fn nwchem_d1(variant: usize, trip: usize) -> Workload {
+    let (p, h, hs, ps) = pick(variant);
+    // t2 carries (h7, p4|p5|p6-complement pair, h); v2 the rest plus h7.
+    let t2_ps: Vec<&str> = PARTICLES.iter().filter(|x| **x != p).copied().collect();
+    let src = format!(
+        "t3[h3 h2 h1 p6 p5 p4] {} Sum([h7], t2[h7 {} {} {h}] * v2[{} {} {p} h7])",
+        sign_op(variant),
+        t2_ps[0], t2_ps[1], hs[0], hs[1]
+    );
+    let _ = ps;
+    Workload::parse(format!("d1_{variant}"), &src, &nwchem_dims(trip)).expect("d1 parses")
+}
+
+/// `sd_t_d2_<variant>`: contraction over the extra particle `p7`.
+pub fn nwchem_d2(variant: usize, trip: usize) -> Workload {
+    let (p, h, hs, _ps) = pick(variant);
+    let t2_ps: Vec<&str> = PARTICLES.iter().filter(|x| **x != p).copied().collect();
+    let src = format!(
+        "t3[h3 h2 h1 p6 p5 p4] {} Sum([p7], t2[p7 {} {} {h}] * v2[p7 {} {} {p}])",
+        sign_op(variant),
+        t2_ps[0], t2_ps[1], hs[0], hs[1]
+    );
+    Workload::parse(format!("d2_{variant}"), &src, &nwchem_dims(trip)).expect("d2 parses")
+}
+
+/// All nine kernels of a family, in order.
+pub fn nwchem_family(
+    family: &str,
+    trip: usize,
+) -> Vec<Workload> {
+    (1..=9)
+        .map(|v| match family {
+            "s1" => nwchem_s1(v, trip),
+            "d1" => nwchem_d1(v, trip),
+            "d2" => nwchem_d2(v, trip),
+            other => panic!("unknown NWChem family {other}"),
+        })
+        .collect()
+}
+
+/// The individual tensor-contraction benchmarks of Table II, at the paper's
+/// sizes.
+pub fn table2_benchmarks() -> Vec<Workload> {
+    vec![
+        eqn1(EQN1_N),
+        lg3(NEK_ORDER, NEK_ELEMENTS),
+        lg3t(NEK_ORDER, NEK_ELEMENTS),
+        tce_ex(TCE_N),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eqn1_matches_paper_structure() {
+        let w = eqn1(10);
+        assert_eq!(w.statements.len(), 1);
+        assert_eq!(w.statements[0].terms.len(), 4);
+        assert_eq!(w.naive_flops(), 4 * 10u64.pow(6));
+    }
+
+    #[test]
+    fn lg3_has_three_directional_statements() {
+        let w = lg3(12, 8);
+        assert_eq!(w.statements.len(), 3);
+        assert_eq!(w.external_inputs(), vec!["D", "u"]);
+        assert_eq!(w.external_outputs(), vec!["ur", "us", "ut"]);
+        // 3 statements x 2 flops x E x p^4.
+        let flops: u64 = 3 * 2 * 8 * 12u64.pow(4);
+        assert_eq!(w.naive_flops(), flops);
+    }
+
+    #[test]
+    fn lg3t_accumulates_into_w() {
+        let w = lg3t(12, 8);
+        assert_eq!(w.external_outputs(), vec!["w"]);
+        assert!(!w.external_inputs().contains(&"w".to_string()));
+        assert!(w.statements[1].accumulate);
+        assert!(w.statements[2].accumulate);
+        assert!(!w.statements[0].accumulate);
+    }
+
+    #[test]
+    fn lg3_lg3t_adjoint_property() {
+        // <lg3(u), (vr,vs,vt)> == <u, lg3t(vr,vs,vt)> — the defining
+        // property of the transposed operator; validates the D[l i] trick.
+        let order = 4;
+        let elements = 2;
+        let g3 = lg3(order, elements);
+        let g3t = lg3t(order, elements);
+        let d = tensor::Tensor::random(tensor::Shape::new([order, order]), 1);
+        let u = tensor::Tensor::random(
+            tensor::Shape::new([elements, order, order, order]),
+            2,
+        );
+        let vr = tensor::Tensor::random(u.shape().clone(), 3);
+        let vs = tensor::Tensor::random(u.shape().clone(), 4);
+        let vt = tensor::Tensor::random(u.shape().clone(), 5);
+
+        let grads = g3.evaluate_reference(&[
+            ("D".to_string(), d.clone()),
+            ("u".to_string(), u.clone()),
+        ]);
+        let lhs: f64 = grads
+            .iter()
+            .zip([&vr, &vs, &vt])
+            .flat_map(|((_, g), v)| g.data().iter().zip(v.data()))
+            .map(|(a, b)| a * b)
+            .sum();
+
+        let wt = g3t.evaluate_reference(&[
+            ("D".to_string(), d),
+            ("ur".to_string(), vr),
+            ("us".to_string(), vs),
+            ("ut".to_string(), vt),
+        ]);
+        let rhs: f64 = wt[0].1.data().iter().zip(u.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn tce_ex_strength_reduction_is_large() {
+        let w = tce_ex(10);
+        let tuner = crate::variant::StatementTuner::build("tce", &w.statements[0], &w.dims);
+        assert_eq!(tuner.variants.len(), 15);
+        let best = tuner.variants[0].factorization.flops;
+        // Naive is O(N^10); the best factorization must be orders better.
+        assert!(w.naive_flops() / best > 1000, "gain {}", w.naive_flops() / best);
+    }
+
+    #[test]
+    fn nwchem_s1_is_outer_product() {
+        for v in 1..=9 {
+            let w = nwchem_s1(v, 16);
+            assert!(w.statements[0].sum_indices.is_empty());
+            assert!(w.statements[0].accumulate);
+            assert_eq!(w.statements[0].output.indices.len(), 6);
+        }
+    }
+
+    #[test]
+    fn nwchem_variants_carry_alternating_signs() {
+        for family in ["s1", "d1", "d2"] {
+            let ws = nwchem_family(family, 4);
+            let signs: Vec<f64> = ws.iter().map(|w| w.statements[0].coefficient).collect();
+            assert_eq!(signs[0], 1.0);
+            assert_eq!(signs[1], -1.0, "{family}_2 subtracts");
+            assert_eq!(signs[2], 1.0);
+            assert_eq!(signs.iter().filter(|&&s| s == -1.0).count(), 3);
+        }
+    }
+
+    #[test]
+    fn nwchem_d1_d2_contract_once() {
+        for v in 1..=9 {
+            let d1 = nwchem_d1(v, 16);
+            assert_eq!(d1.statements[0].sum_indices.len(), 1);
+            assert_eq!(d1.statements[0].sum_indices[0].name(), "h7");
+            let d2 = nwchem_d2(v, 16);
+            assert_eq!(d2.statements[0].sum_indices[0].name(), "p7");
+            // flops: 2 per point over 16^7.
+            assert_eq!(d2.naive_flops(), 2 * 16u64.pow(7));
+        }
+    }
+
+    #[test]
+    fn nine_variants_are_distinct() {
+        for family in ["s1", "d1", "d2"] {
+            let ws = nwchem_family(family, 4);
+            assert_eq!(ws.len(), 9);
+            for a in 0..9 {
+                for b in (a + 1)..9 {
+                    assert_ne!(
+                        ws[a].statements[0], ws[b].statements[0],
+                        "{family} variants {} and {} coincide",
+                        a + 1,
+                        b + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_nwchem_kernels_validate_small() {
+        for family in ["s1", "d1", "d2"] {
+            for w in nwchem_family(family, 3) {
+                let inputs = w.random_inputs(1);
+                let out = w.evaluate_reference(&inputs);
+                assert_eq!(out.len(), 1);
+                assert_eq!(out[0].0, "t3");
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Barracuda — an autotuning pipeline for small tensor contractions on
+//! (simulated) GPUs.
+//!
+//! This is the reproduction of *Nelson et al., "Generating Efficient Tensor
+//! Contractions for GPUs", ICPP 2015*. The pipeline mirrors Figure 1 of the
+//! paper:
+//!
+//! ```text
+//!  DSL input ──OCTOPI──▶ versions ──TCR──▶ search space ──CUDA-CHiLL──▶ variants
+//!                                                 │                        │
+//!                                                 └────────── SURF ◀───────┘
+//! ```
+//!
+//! - [`workload::Workload`] holds parsed summation statements plus extents;
+//! - [`variant::StatementTuner`] enumerates OCTOPI factorizations of one
+//!   statement, lowers each to a TCR program and builds its GPU search
+//!   space;
+//! - [`pipeline::WorkloadTuner`] joins the statements into one configuration
+//!   space and runs SURF against the GPU simulator, producing a
+//!   [`pipeline::TunedWorkload`] with kernels, timings, CUDA source and
+//!   search statistics;
+//! - [`openacc`] builds the paper's OpenACC-naive / OpenACC-optimized
+//!   comparison mappings, [`cpu`] the sequential / OpenMP baselines;
+//! - [`kernels`] defines every benchmark of Table I (Eqn. (1), Lg3, Lg3t,
+//!   TCE ex, the NWChem S1/D1/D2 kernel families) and [`nekbone`] the
+//!   conjugate-gradient proxy application.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use barracuda::prelude::*;
+//!
+//! let workload = Workload::parse(
+//!     "mm",
+//!     "C[i k] = Sum([j], A[i j] * B[j k])",
+//!     &tensor::index::uniform_dims(&["i", "j", "k"], 16),
+//! )
+//! .unwrap();
+//! let tuner = WorkloadTuner::build(&workload);
+//! let arch = gpusim::gtx980();
+//! let tuned = tuner.autotune(&arch, TuneParams::quick());
+//! assert!(tuned.gflops() > 0.0);
+//! println!("{}", tuned.cuda_source());
+//! ```
+
+pub mod cpu;
+pub mod fusionopt;
+pub mod kernels;
+pub mod nekbone;
+pub mod openacc;
+pub mod pipeline;
+pub mod report;
+pub mod variant;
+pub mod workload;
+
+pub use pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
+pub use variant::{StatementTuner, Variant};
+pub use fusionopt::{fuse_alternatives, FusedAlternative};
+pub use workload::Workload;
+
+/// Convenient glob-import for examples and applications.
+pub mod prelude {
+    pub use crate::kernels;
+    pub use crate::openacc::{openacc_naive, openacc_optimized};
+    pub use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
+    pub use crate::variant::{StatementTuner, Variant};
+    pub use crate::workload::Workload;
+}

@@ -1,0 +1,259 @@
+//! OpenACC comparison mappings (paper §VI-B).
+//!
+//! The paper evaluates two directive-based strategies by replacing its CUDA
+//! constructs with OpenACC:
+//!
+//! - **Naive**: "simply includes parallelization directives but no guidance
+//!   on parallelization decomposition". We model the PGI default on a plain
+//!   loop nest: gang over the outermost parallel loop, vector over the next
+//!   one, everything else sequential inside the kernel — and *no* scalar
+//!   replacement ("the `private` designation in OpenACC does not produce
+//!   the desired result"). Because the outer loops of a row-major tensor
+//!   have the largest strides, the vectorized loop is uncoalesced — which
+//!   is exactly why naive OpenACC "is even slower than sequential
+//!   execution".
+//! - **Optimized**: "adds directives on thread and block decomposition that
+//!   were derived by Barracuda and performs scalar replacement on the
+//!   output" — but no interior loop permutation and no unrolling (those
+//!   require a transformation framework, not directives).
+
+use crate::pipeline::TunedWorkload;
+use crate::workload::Workload;
+use octopi::enumerate_factorizations;
+use tcr::mapping::{map_kernel, MappedKernel};
+use tcr::space::{LoopSel, OpConfig};
+use tcr::TcrProgram;
+
+/// Per-statement programs (best-flop version, as a human would write the
+/// OpenACC loops after TCE-style strength reduction) and their kernels.
+pub struct AccMapping {
+    pub programs: Vec<TcrProgram>,
+    pub kernels: Vec<Vec<MappedKernel>>,
+}
+
+impl AccMapping {
+    /// Device time + the workload's transfer time on `arch`.
+    pub fn total_seconds(&self, workload: &Workload, arch: &gpusim::GpuArch) -> f64 {
+        self.gpu_seconds(arch)
+            + workload.transfer_bytes() as f64 / (arch.pcie_bw_gbs * 1e9)
+            + 2.0 * arch.pcie_latency_us * 1e-6
+    }
+
+    pub fn gpu_seconds(&self, arch: &gpusim::GpuArch) -> f64 {
+        self.programs
+            .iter()
+            .zip(&self.kernels)
+            .map(|(p, ks)| gpusim::time_program(p, ks, arch, false).gpu_s)
+            .sum()
+    }
+
+    pub fn flops(&self) -> u64 {
+        self.programs.iter().map(|p| p.flops()).sum()
+    }
+}
+
+/// Best-flop (strength-reduced) program of every statement.
+fn base_programs(workload: &Workload) -> Vec<TcrProgram> {
+    workload
+        .statements
+        .iter()
+        .enumerate()
+        .map(|(i, st)| {
+            let fs = enumerate_factorizations(st, &workload.dims);
+            TcrProgram::from_factorization(
+                format!("{}_{}", workload.name, i),
+                st,
+                &fs[0],
+                &workload.dims,
+            )
+        })
+        .collect()
+}
+
+/// The naive OpenACC mapping of one statement.
+fn naive_config(program: &TcrProgram, op_index: usize) -> OpConfig {
+    let op = &program.ops[op_index];
+    let out = &program.arrays[op.output].indices;
+    // Gang = outermost output loop, vector = second output loop (PGI picks
+    // the outer loops of the nest); with rank-1 outputs everything lands in
+    // one block.
+    let (bx, tx) = if out.len() >= 2 {
+        (LoopSel::Var(out[0].clone()), out[1].clone())
+    } else {
+        (LoopSel::One, out[0].clone())
+    };
+    let interior: Vec<tensor::IndexVar> = program
+        .loop_vars(op)
+        .into_iter()
+        .filter(|v| *v != tx && Some(v) != bx.var())
+        .collect();
+    OpConfig {
+        tx,
+        ty: LoopSel::One,
+        bx,
+        by: LoopSel::One,
+        interior,
+        unroll: 1,
+        staged: Vec::new(),
+    }
+}
+
+/// Builds the naive-OpenACC analog for a workload.
+pub fn openacc_naive(workload: &Workload) -> AccMapping {
+    let programs = base_programs(workload);
+    let kernels = programs
+        .iter()
+        .zip(&workload.statements)
+        .map(|(p, st)| {
+            (0..p.ops.len())
+                .map(|i| {
+                    let cfg = naive_config(p, i);
+                    let mut k = map_kernel(p, i, &cfg, st.accumulate);
+                    k.scalar_replacement = false;
+                    k.name = format!("{}_acc_naive", k.name);
+                    k
+                })
+                .collect()
+        })
+        .collect();
+    AccMapping { programs, kernels }
+}
+
+/// Builds the optimized-OpenACC analog: Barracuda's tuned thread/block
+/// decomposition + scalar replacement, default interior order, no unroll.
+pub fn openacc_optimized(workload: &Workload, tuned: &TunedWorkload) -> AccMapping {
+    let programs = base_programs(workload);
+    let kernels: Vec<Vec<MappedKernel>> = tuned
+        .programs
+        .iter()
+        .zip(&tuned.choices)
+        .zip(&workload.statements)
+        .map(|((program, (_, _config)), st)| {
+            // Reuse the tuned kernels' decomposition but reset interior
+            // order to default and unroll to 1.
+            tuned
+                .kernels
+                .iter()
+                .flatten()
+                .filter(|k| k.name.starts_with(&program.name))
+                .map(|k| {
+                    let op_index = k.op_index;
+                    let op = &program.ops[op_index];
+                    let default_interior: Vec<tensor::IndexVar> = program
+                        .loop_vars(op)
+                        .into_iter()
+                        .filter(|v| {
+                            *v != k.tx.0
+                                && k.ty.as_ref().map(|(t, _)| t) != Some(v)
+                                && k.bx.as_ref().map(|(b, _)| b) != Some(v)
+                                && k.by.as_ref().map(|(b, _)| b) != Some(v)
+                        })
+                        .collect();
+                    let cfg = OpConfig {
+                        tx: k.tx.0.clone(),
+                        ty: k
+                            .ty
+                            .as_ref()
+                            .map(|(v, _)| LoopSel::Var(v.clone()))
+                            .unwrap_or(LoopSel::One),
+                        bx: k
+                            .bx
+                            .as_ref()
+                            .map(|(v, _)| LoopSel::Var(v.clone()))
+                            .unwrap_or(LoopSel::One),
+                        by: k
+                            .by
+                            .as_ref()
+                            .map(|(v, _)| LoopSel::Var(v.clone()))
+                            .unwrap_or(LoopSel::One),
+                        interior: default_interior,
+                        unroll: 1,
+                        staged: Vec::new(),
+                    };
+                    let mut nk = map_kernel(program, op_index, &cfg, st.accumulate);
+                    nk.name = format!("{}_acc_opt", nk.name);
+                    nk
+                })
+                .collect()
+        })
+        .collect();
+    AccMapping { programs, kernels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{TuneParams, WorkloadTuner};
+    use tensor::index::uniform_dims;
+
+    fn matmul_workload(n: usize) -> Workload {
+        Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], n),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn naive_mapping_is_uncoalesced_and_unregistered() {
+        let w = matmul_workload(64);
+        let acc = openacc_naive(&w);
+        let k = &acc.kernels[0][0];
+        assert!(!k.scalar_replacement);
+        assert!(!k.output_fully_registered());
+        // tx = second output loop 'k' for C[i,k]; bx = 'i'.
+        assert_eq!(k.tx.0.name(), "k");
+        assert_eq!(k.bx.as_ref().unwrap().0.name(), "i");
+    }
+
+    #[test]
+    fn naive_is_slower_than_tuned() {
+        let w = matmul_workload(64);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::k20();
+        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let naive = openacc_naive(&w);
+        assert!(
+            naive.gpu_seconds(&arch) > tuned.gpu_seconds,
+            "naive {} must be slower than tuned {}",
+            naive.gpu_seconds(&arch),
+            tuned.gpu_seconds
+        );
+    }
+
+    #[test]
+    fn optimized_between_naive_and_tuned() {
+        let w = matmul_workload(64);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::c2050();
+        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let naive = openacc_naive(&w).gpu_seconds(&arch);
+        let opt = openacc_optimized(&w, &tuned).gpu_seconds(&arch);
+        assert!(opt <= naive, "optimized {opt} must not exceed naive {naive}");
+        assert!(
+            tuned.gpu_seconds <= opt * 1.001,
+            "tuned {} must not exceed optimized {opt}",
+            tuned.gpu_seconds
+        );
+    }
+
+    #[test]
+    fn kernels_execute_correctly_despite_bad_mappings() {
+        // Even the worst mapping must compute the right answer.
+        let w = matmul_workload(8);
+        let acc = openacc_naive(&w);
+        let inputs = w.random_inputs(2);
+        let expect = w.evaluate_reference(&inputs);
+        let operands: Vec<&tensor::Tensor> = acc.programs[0]
+            .input_ids()
+            .iter()
+            .map(|&id| {
+                let name = &acc.programs[0].arrays[id].name;
+                &inputs.iter().find(|(n, _)| n == name).unwrap().1
+            })
+            .collect();
+        let got = gpusim::execute_program(&acc.programs[0], &acc.kernels[0], &operands);
+        assert!(expect[0].1.approx_eq(&got, 1e-10));
+    }
+}

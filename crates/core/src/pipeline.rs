@@ -1,0 +1,776 @@
+//! End-to-end autotuning: OCTOPI versions × TCR configurations × SURF.
+//!
+//! A [`WorkloadTuner`] joins the per-statement spaces of a workload into a
+//! single flat configuration space (the cross product that reaches 512,000
+//! variants for Lg3t in the paper), runs SURF against the GPU simulator and
+//! returns a [`TunedWorkload`]: chosen version + configuration per
+//! statement, mapped kernels, CUDA source, timing breakdown, and search
+//! statistics including the modeled wall-clock search time the paper
+//! reports in Table II.
+
+use crate::variant::StatementTuner;
+use crate::workload::Workload;
+use gpusim::GpuArch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use surf::{surf_search, ForestParams, SurfParams};
+use tcr::mapping::{map_program, MappedKernel};
+use tcr::space::Configuration;
+use tcr::TcrProgram;
+use tensor::Tensor;
+
+/// Autotuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneParams {
+    pub surf: SurfParams,
+    /// Maximum pool presented to SURF; larger spaces are sampled.
+    pub pool_cap: usize,
+    /// Repetitions per empirical measurement (the paper averages 100) —
+    /// only affects the modeled search time, not the deterministic result.
+    pub reps: usize,
+    /// Relative run-to-run measurement noise injected into the times SURF
+    /// observes (seeded, deterministic). Real autotuners see a few percent;
+    /// it is what makes near-flat landscapes (Eqn.(1)) hard to search —
+    /// the mechanism behind the paper's longest search time (§VI-A).
+    pub eval_noise: f64,
+    /// Absolute timing jitter in microseconds (launch/measurement jitter).
+    /// Relative to a 30 µs Eqn.(1) run this dwarfs the differences between
+    /// its versions; relative to a millisecond Lg3 run it is invisible.
+    pub noise_floor_us: f64,
+    pub seed: u64,
+}
+
+impl TuneParams {
+    /// Paper-scale settings: batch 10, generous eval budget with the
+    /// model-confidence stop (flat landscapes run long, §VI-A).
+    pub fn paper() -> Self {
+        TuneParams {
+            surf: SurfParams {
+                init_evals: 50,
+                batch_size: 10,
+                max_evals: 1200,
+                // Stop after 8 batches without a >1% record: noisy flat
+                // landscapes keep producing small records and run long.
+                patience: Some(8),
+                min_improvement: 0.01,
+                unpromising_stop: None,
+                seed: 0xBA22,
+                forest: ForestParams {
+                    n_trees: 30,
+                    min_samples_leaf: 2,
+                    k_features: Some(48),
+                    seed: 0xF0357,
+                },
+            },
+            pool_cap: 20_000,
+            reps: 100,
+            eval_noise: 0.02,
+            noise_floor_us: 6.0,
+            seed: 0xBA22,
+        }
+    }
+
+    /// Small settings for tests and doc examples.
+    pub fn quick() -> Self {
+        TuneParams {
+            surf: SurfParams {
+                init_evals: 0,
+                batch_size: 8,
+                max_evals: 40,
+                patience: None,
+                min_improvement: 0.01,
+                unpromising_stop: None,
+                seed: 0xBA22,
+                forest: ForestParams {
+                    n_trees: 10,
+                    min_samples_leaf: 2,
+                    k_features: Some(24),
+                    seed: 0xF0357,
+                },
+            },
+            pool_cap: 2_000,
+            reps: 100,
+            eval_noise: 0.0,
+            noise_floor_us: 0.0,
+            seed: 0xBA22,
+        }
+    }
+}
+
+/// SplitMix64 hash mapped to [-1, 1): deterministic per-configuration noise.
+fn noise_unit(mut z: u64) -> f64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    2.0 * ((z >> 11) as f64 / (1u64 << 53) as f64) - 1.0
+}
+
+/// Search bookkeeping of one autotuning run.
+#[derive(Clone, Debug)]
+pub struct SearchStats {
+    pub n_evals: usize,
+    pub batches: usize,
+    /// Simulated execution time of every evaluated variant.
+    pub evaluated_times: Vec<f64>,
+    /// Size of the full configuration space (before pool sampling).
+    pub space_size: u128,
+    pub pool_size: usize,
+}
+
+impl SearchStats {
+    /// Modeled wall-clock search time the way the paper accounts it: per
+    /// evaluated variant, one `nvcc` compile plus `reps` timed runs plus
+    /// fixed measurement overhead.
+    pub fn search_seconds(&self, arch: &GpuArch, reps: usize) -> f64 {
+        self.evaluated_times
+            .iter()
+            .map(|t| arch.compile_seconds + reps as f64 * t + 0.1)
+            .sum()
+    }
+
+    /// Modeled time to exhaustively enumerate the whole space at the same
+    /// per-variant cost (the paper's "23 days" comparison for Lg3t).
+    pub fn exhaustive_seconds(&self, arch: &GpuArch, reps: usize) -> f64 {
+        let avg = if self.evaluated_times.is_empty() {
+            0.0
+        } else {
+            self.evaluated_times.iter().sum::<f64>() / self.evaluated_times.len() as f64
+        };
+        self.space_size as f64 * (arch.compile_seconds + reps as f64 * avg + 0.1)
+    }
+}
+
+/// Result of autotuning one workload on one architecture.
+#[derive(Clone, Debug)]
+pub struct TunedWorkload {
+    pub name: String,
+    pub arch_name: String,
+    /// Flat id of the chosen configuration.
+    pub id: u128,
+    /// Per statement: chosen version index + configuration.
+    pub choices: Vec<(usize, Configuration)>,
+    /// Per statement: the chosen version's TCR program.
+    pub programs: Vec<TcrProgram>,
+    /// Per statement: mapped kernels.
+    pub kernels: Vec<Vec<MappedKernel>>,
+    pub gpu_seconds: f64,
+    pub transfer_seconds: f64,
+    pub flops: u64,
+    pub search: SearchStats,
+}
+
+impl TunedWorkload {
+    pub fn total_seconds(&self) -> f64 {
+        self.gpu_seconds + self.transfer_seconds
+    }
+
+    /// Sustained GFlop/s including PCIe transfers.
+    pub fn gflops(&self) -> f64 {
+        self.flops as f64 / self.total_seconds() / 1e9
+    }
+
+    /// Device-side GFlop/s (kernels + launches only).
+    pub fn gflops_device(&self) -> f64 {
+        self.flops as f64 / self.gpu_seconds / 1e9
+    }
+
+    /// Time per run when the measurement loop repeats the kernels `reps`
+    /// times over device-resident data (the paper averages 100 repetitions,
+    /// so host transfers amortize across them).
+    pub fn amortized_seconds(&self, reps: usize) -> f64 {
+        self.gpu_seconds + self.transfer_seconds / reps.max(1) as f64
+    }
+
+    /// GFlop/s under `reps`-amortized transfers (the Table II metric).
+    pub fn gflops_amortized(&self, reps: usize) -> f64 {
+        self.flops as f64 / self.amortized_seconds(reps) / 1e9
+    }
+
+    /// Full CUDA source: every kernel plus the host launcher.
+    pub fn cuda_source(&self) -> String {
+        let mut s = String::new();
+        for ks in &self.kernels {
+            for k in ks {
+                s.push_str(&tcr::codegen::cuda_kernel(k));
+                s.push('\n');
+            }
+        }
+        for ks in &self.kernels {
+            s.push_str(&tcr::codegen::cuda_launcher(ks));
+        }
+        s
+    }
+
+    /// Executes the tuned kernels functionally (simulated GPU) over named
+    /// inputs; returns the workload's external outputs.
+    pub fn execute(
+        &self,
+        workload: &Workload,
+        inputs: &[(String, Tensor)],
+    ) -> Vec<(String, Tensor)> {
+        let mut env: BTreeMap<String, Tensor> = inputs.iter().cloned().collect();
+        for (sidx, st) in workload.statements.iter().enumerate() {
+            let program = &self.programs[sidx];
+            let input_ids = program.input_ids();
+            let operands: Vec<&Tensor> = input_ids
+                .iter()
+                .map(|&id| {
+                    let name = &program.arrays[id].name;
+                    env.get(name)
+                        .unwrap_or_else(|| panic!("missing input tensor {name}"))
+                })
+                .collect();
+            let fresh = gpusim::execute_program(program, &self.kernels[sidx], &operands);
+            match env.entry(st.output.name.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut o) if st.accumulate => {
+                    for (a, b) in o.get_mut().data_mut().iter_mut().zip(fresh.data()) {
+                        *a += b;
+                    }
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    *o.get_mut() = fresh;
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(fresh);
+                }
+            }
+        }
+        workload
+            .external_outputs()
+            .into_iter()
+            .map(|name| {
+                let t = env.remove(&name).expect("output computed");
+                (name, t)
+            })
+            .collect()
+    }
+}
+
+/// Joint tuner over every statement of a workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadTuner {
+    pub workload: Workload,
+    pub statements: Vec<StatementTuner>,
+}
+
+impl WorkloadTuner {
+    pub fn build(workload: &Workload) -> Self {
+        let statements = workload
+            .statements
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                StatementTuner::build(&format!("{}_{}", workload.name, i), st, &workload.dims)
+            })
+            .collect();
+        WorkloadTuner {
+            workload: workload.clone(),
+            statements,
+        }
+    }
+
+    /// Builds the tuner with every statement's space pruned by `rules`
+    /// (§VIII future work; see `tcr::prune`).
+    pub fn build_pruned(workload: &Workload, rules: &tcr::PruneRules) -> Self {
+        let mut tuner = Self::build(workload);
+        for st in &mut tuner.statements {
+            st.prune(rules);
+        }
+        tuner
+    }
+
+    /// A random neighbor of `id` for local-search baselines: re-draws one
+    /// statement's configuration (keeping its OCTOPI version with
+    /// probability ~0.7).
+    pub fn neighbor(&self, id: u128, rng: &mut StdRng) -> u128 {
+        let locals = self.decode(id);
+        let k = rng.gen_range(0..self.statements.len());
+        let st = &self.statements[k];
+        let (v, _) = st.decode(locals[k]);
+        let new_v = if st.variants.len() > 1 && rng.gen_range(0..10) < 3 {
+            rng.gen_range(0..st.variants.len())
+        } else {
+            v
+        };
+        let space_len = st.variants[new_v].space.len();
+        let new_local = st.encode(
+            new_v,
+            &st.variants[new_v].space.config(rng.gen_range(0..space_len)),
+        );
+        // Re-encode the joint id.
+        let mut out = 0u128;
+        for (i, s) in self.statements.iter().enumerate() {
+            let l = if i == k { new_local } else { locals[i] };
+            out = out * s.total() + l;
+        }
+        out
+    }
+
+    /// Total joint configurations (product of per-statement spaces).
+    pub fn total_space(&self) -> u128 {
+        self.statements
+            .iter()
+            .map(|s| s.total())
+            .fold(1u128, |a, b| a.saturating_mul(b))
+    }
+
+    /// Decodes a joint id into per-statement local ids.
+    pub fn decode(&self, mut id: u128) -> Vec<u128> {
+        let mut locals = vec![0u128; self.statements.len()];
+        for (k, s) in self.statements.iter().enumerate().rev() {
+            let radix = s.total();
+            locals[k] = id % radix;
+            id /= radix;
+        }
+        locals
+    }
+
+    /// Names of every binarized feature column of [`WorkloadTuner::features`].
+    pub fn binarized_feature_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (k, st) in self.statements.iter().enumerate() {
+            out.extend(
+                st.binarized_feature_names()
+                    .into_iter()
+                    .map(|n| format!("s{k}.{n}")),
+            );
+        }
+        out
+    }
+
+    /// Binarized features of a joint id: concatenation across statements.
+    pub fn features(&self, id: u128) -> Vec<f64> {
+        let locals = self.decode(id);
+        let mut out = Vec::new();
+        for (s, &local) in self.statements.iter().zip(&locals) {
+            out.extend(s.features(local));
+        }
+        out
+    }
+
+    /// Maps every statement under the joint id.
+    pub fn kernels(&self, id: u128) -> Vec<Vec<MappedKernel>> {
+        let locals = self.decode(id);
+        self.statements
+            .iter()
+            .zip(&locals)
+            .zip(&self.workload.statements)
+            .map(|((s, &local), st)| {
+                let (v, config) = s.decode(local);
+                let variant = &s.variants[v];
+                map_program(&variant.program, &variant.space, &config, st.accumulate)
+            })
+            .collect()
+    }
+
+    /// Device-side time of a joint configuration (no transfers — they are
+    /// identical across configurations).
+    pub fn gpu_seconds(&self, id: u128, arch: &GpuArch) -> f64 {
+        let locals = self.decode(id);
+        let mut total = 0.0;
+        for (s, &local) in self.statements.iter().zip(&locals) {
+            let (v, config) = s.decode(local);
+            let variant = &s.variants[v];
+            let st = &self.workload.statements[s_index(self, s)];
+            let kernels = map_program(&variant.program, &variant.space, &config, st.accumulate);
+            total += gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s;
+        }
+        total
+    }
+
+    /// PCIe transfer time of the workload on `arch`.
+    pub fn transfer_seconds(&self, arch: &GpuArch) -> f64 {
+        self.workload.transfer_bytes() as f64 / (arch.pcie_bw_gbs * 1e9)
+            + 2.0 * arch.pcie_latency_us * 1e-6
+    }
+
+    /// Flops of the versions selected by `id`.
+    pub fn flops(&self, id: u128) -> u64 {
+        let locals = self.decode(id);
+        self.statements
+            .iter()
+            .zip(&locals)
+            .map(|(s, &local)| {
+                let (v, _) = s.decode(local);
+                s.variants[v].program.flops()
+            })
+            .sum()
+    }
+
+    /// Configuration pool: the full space when it fits under `cap`, else a
+    /// deterministic *stratified* sample of `cap` distinct ids — the OCTOPI
+    /// version of every statement is drawn uniformly, then a configuration
+    /// within it. Plain uniform id sampling would weight versions by their
+    /// space size and all but hide the small-space (often minimal-flop)
+    /// versions OCTOPI works hardest to expose.
+    pub fn pool(&self, cap: usize, seed: u64) -> Vec<u128> {
+        let total = self.total_space();
+        if total <= cap as u128 {
+            return (0..total).collect();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = std::collections::BTreeSet::new();
+        let mut guard = 0usize;
+        while set.len() < cap && guard < cap * 20 {
+            guard += 1;
+            // Per statement: uniform version, then uniform config inside it.
+            let mut id = 0u128;
+            for st in &self.statements {
+                let v = rng.gen_range(0..st.variants.len());
+                let local = st.encode(
+                    v,
+                    &st.variants[v]
+                        .space
+                        .config(rng.gen_range(0..st.variants[v].space.len())),
+                );
+                id = id * st.total() + local;
+            }
+            set.insert(id);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Runs SURF and returns the tuned workload.
+    pub fn autotune(&self, arch: &GpuArch, params: TuneParams) -> TunedWorkload {
+        let pool = self.pool(params.pool_cap, params.seed);
+        // Cache features: SURF re-queries them on every model refit.
+        let mut feature_cache: BTreeMap<u128, Vec<f64>> = BTreeMap::new();
+        let mut time_cache: BTreeMap<u128, f64> = BTreeMap::new();
+        let result = surf_search(
+            &pool,
+            |id| {
+                feature_cache
+                    .entry(id)
+                    .or_insert_with(|| self.features(id))
+                    .clone()
+            },
+            |id| {
+                let t = *time_cache
+                    .entry(id)
+                    .or_insert_with(|| self.gpu_seconds(id, arch));
+                // What the search *observes* is a noisy measurement: a
+                // relative component plus absolute launch/measurement
+                // jitter that dominates for microsecond-scale kernels.
+                let rel = params.eval_noise + params.noise_floor_us * 1e-6 / t;
+                t * (1.0 + rel * noise_unit(id as u64 ^ params.seed))
+            },
+            params.surf,
+        );
+
+        // The search observed noisy measurements; the final pick re-measures
+        // carefully: choose the best *noiseless* time among everything the
+        // search evaluated (the paper's final numbers are 100-rep averages).
+        let id = result
+            .evaluated
+            .iter()
+            .map(|(id, _)| *id)
+            .min_by(|a, b| time_cache[a].partial_cmp(&time_cache[b]).unwrap())
+            .unwrap_or(result.best_id);
+        let locals = self.decode(id);
+        let mut choices = Vec::new();
+        let mut programs = Vec::new();
+        for (s, &local) in self.statements.iter().zip(&locals) {
+            let (v, config) = s.decode(local);
+            programs.push(s.variants[v].program.clone());
+            choices.push((v, config));
+        }
+        let kernels = self.kernels(id);
+        // Report the noiseless model time of the chosen configuration.
+        let gpu_seconds = self.gpu_seconds(id, arch);
+        let transfer_seconds = self.transfer_seconds(arch);
+        let flops = self.flops(id);
+        TunedWorkload {
+            name: self.workload.name.clone(),
+            arch_name: arch.name.to_string(),
+            id,
+            choices,
+            programs,
+            kernels,
+            gpu_seconds,
+            transfer_seconds,
+            flops,
+            search: SearchStats {
+                n_evals: result.n_evals(),
+                batches: result.batches,
+                evaluated_times: result.evaluated.iter().map(|(_, t)| *t).collect(),
+                space_size: self.total_space(),
+                pool_size: pool.len(),
+            },
+        }
+    }
+}
+
+impl WorkloadTuner {
+    /// Decomposed tuning: each statement is searched *independently* (the
+    /// joint objective is a sum over statements, so the joint optimum
+    /// factors — an observation the paper's joint 512,000-variant framing
+    /// leaves on the table). Costs the sum of the per-statement budgets
+    /// instead of one budget over the product space.
+    pub fn autotune_decomposed(&self, arch: &GpuArch, params: TuneParams) -> TunedWorkload {
+        let mut locals: Vec<u128> = Vec::with_capacity(self.statements.len());
+        let mut n_evals = 0;
+        let mut batches = 0;
+        let mut evaluated_times = Vec::new();
+        for (k, st) in self.statements.iter().enumerate() {
+            // Pool over this statement's own space.
+            let total = st.total();
+            let cap = params.pool_cap as u128;
+            let pool: Vec<u128> = if total <= cap {
+                (0..total).collect()
+            } else {
+                let mut rng = StdRng::seed_from_u64(params.seed ^ k as u64);
+                let mut set = std::collections::BTreeSet::new();
+                while (set.len() as u128) < cap {
+                    let v = rng.gen_range(0..st.variants.len());
+                    let local = st.encode(
+                        v,
+                        &st.variants[v]
+                            .space
+                            .config(rng.gen_range(0..st.variants[v].space.len())),
+                    );
+                    set.insert(local);
+                }
+                set.into_iter().collect()
+            };
+            let accumulate = self.workload.statements[k].accumulate;
+            let mut cache: BTreeMap<u128, f64> = BTreeMap::new();
+            let mut time_of = |local: u128| -> f64 {
+                *cache.entry(local).or_insert_with(|| {
+                    let (v, config) = st.decode(local);
+                    let variant = &st.variants[v];
+                    let kernels =
+                        map_program(&variant.program, &variant.space, &config, accumulate);
+                    gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s
+                })
+            };
+            let result = surf_search(
+                &pool,
+                |local| st.features(local),
+                |local| {
+                    let t = time_of(local);
+                    let rel = params.eval_noise + params.noise_floor_us * 1e-6 / t;
+                    t * (1.0 + rel * noise_unit(local as u64 ^ params.seed ^ k as u64))
+                },
+                params.surf,
+            );
+            let best = result
+                .evaluated
+                .iter()
+                .map(|(id, _)| *id)
+                .min_by(|a, b| time_of(*a).partial_cmp(&time_of(*b)).unwrap())
+                .unwrap_or(result.best_id);
+            n_evals += result.n_evals();
+            batches += result.batches;
+            evaluated_times.extend(result.evaluated.iter().map(|(id, _)| time_of(*id)));
+            locals.push(best);
+        }
+        // Re-encode as a joint id and assemble the result.
+        let mut id = 0u128;
+        for (st, &local) in self.statements.iter().zip(&locals) {
+            id = id * st.total() + local;
+        }
+        let mut choices = Vec::new();
+        let mut programs = Vec::new();
+        for (st, &local) in self.statements.iter().zip(&locals) {
+            let (v, config) = st.decode(local);
+            programs.push(st.variants[v].program.clone());
+            choices.push((v, config));
+        }
+        let kernels = self.kernels(id);
+        TunedWorkload {
+            name: self.workload.name.clone(),
+            arch_name: arch.name.to_string(),
+            id,
+            choices,
+            programs,
+            kernels,
+            gpu_seconds: self.gpu_seconds(id, arch),
+            transfer_seconds: self.transfer_seconds(arch),
+            flops: self.flops(id),
+            search: SearchStats {
+                n_evals,
+                batches,
+                evaluated_times,
+                space_size: self.total_space(),
+                pool_size: 0,
+            },
+        }
+    }
+}
+
+/// Index of a statement tuner within its parent (tuners are built in
+/// statement order, so identity search is safe).
+fn s_index(tuner: &WorkloadTuner, s: &StatementTuner) -> usize {
+    tuner
+        .statements
+        .iter()
+        .position(|x| std::ptr::eq(x, s))
+        .expect("statement belongs to tuner")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::index::uniform_dims;
+
+    fn matmul_workload(n: usize) -> Workload {
+        Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], n),
+        )
+        .unwrap()
+    }
+
+    fn eqn1_workload(n: usize) -> Workload {
+        Workload::parse(
+            "ex",
+            "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
+            &uniform_dims(&["i", "j", "k", "l", "m", "n"], n),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tuned_matmul_is_correct() {
+        let w = matmul_workload(8);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::gtx980();
+        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let inputs = w.random_inputs(3);
+        let expect = w.evaluate_reference(&inputs);
+        let got = tuned.execute(&w, &inputs);
+        assert_eq!(expect.len(), got.len());
+        for ((n1, t1), (n2, t2)) in expect.iter().zip(&got) {
+            assert_eq!(n1, n2);
+            assert!(t1.approx_eq(t2, 1e-10));
+        }
+    }
+
+    #[test]
+    fn tuned_eqn1_is_correct_and_strength_reduced() {
+        // N must be large enough for strength reduction to pay (at N=5 the
+        // O(N^4) reorganizations cost about as much as the naive O(N^6)).
+        let w = eqn1_workload(6);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::k20();
+        let mut params = TuneParams::quick();
+        params.surf.batch_size = 10;
+        params.surf.max_evals = 150;
+        let tuned = tuner.autotune(&arch, params);
+        // Correctness across the whole chain of temporaries.
+        let inputs = w.random_inputs(11);
+        let expect = w.evaluate_reference(&inputs);
+        let got = tuned.execute(&w, &inputs);
+        assert!(expect[0].1.approx_eq(&got[0].1, 1e-10));
+        // The tuner must not pick the naive O(N^6) version.
+        assert!(
+            tuned.flops < w.naive_flops(),
+            "strength reduction must win: {} vs naive {}",
+            tuned.flops,
+            w.naive_flops()
+        );
+    }
+
+    #[test]
+    fn autotuning_beats_the_median_configuration() {
+        let w = matmul_workload(32);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::c2050();
+        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        // Compare against the average of a random sample.
+        let pool = tuner.pool(64, 9);
+        let avg: f64 = pool
+            .iter()
+            .map(|&id| tuner.gpu_seconds(id, &arch))
+            .sum::<f64>()
+            / pool.len() as f64;
+        assert!(
+            tuned.gpu_seconds <= avg,
+            "tuned {} should beat average {avg}",
+            tuned.gpu_seconds
+        );
+    }
+
+    #[test]
+    fn deterministic_tuning() {
+        let w = matmul_workload(16);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::gtx980();
+        let a = tuner.autotune(&arch, TuneParams::quick());
+        let b = tuner.autotune(&arch, TuneParams::quick());
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.gpu_seconds, b.gpu_seconds);
+    }
+
+    #[test]
+    fn cuda_source_contains_all_kernels() {
+        let w = eqn1_workload(6);
+        let tuner = WorkloadTuner::build(&w);
+        let tuned = tuner.autotune(&gpusim::gtx980(), TuneParams::quick());
+        let src = tuned.cuda_source();
+        let n_kernels: usize = tuned.kernels.iter().map(|k| k.len()).sum();
+        assert_eq!(src.matches("__global__").count(), n_kernels);
+        assert_eq!(src.matches("<<<").count(), n_kernels);
+    }
+
+    #[test]
+    fn search_stats_account_time() {
+        let w = matmul_workload(16);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::gtx980();
+        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let s = tuned.search.search_seconds(&arch, 100);
+        assert!(s > tuned.search.n_evals as f64 * arch.compile_seconds);
+        // When the space is fully enumerated the two estimates coincide up
+        // to averaging; otherwise exhaustive is (much) larger.
+        assert!(tuned.search.exhaustive_seconds(&arch, 100) >= s * 0.999);
+    }
+
+    #[test]
+    fn decomposed_tuning_matches_joint_quality() {
+        // The objective is separable, so per-statement search must find a
+        // configuration at least as good as joint search at a similar
+        // total budget (usually better: no cross-statement credit
+        // assignment for the model to learn).
+        let w = Workload::parse(
+            "pair",
+            "T[i l] = Sum([j], A[i j] * B[j l])\nC[i k] = Sum([l], T[i l] * D[l k])",
+            &uniform_dims(&["i", "j", "k", "l"], 12),
+        )
+        .unwrap();
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::k20();
+        let mut params = TuneParams::quick();
+        params.surf.max_evals = 60;
+        let joint = tuner.autotune(&arch, params);
+        params.surf.max_evals = 30; // per statement -> same total budget
+        let decomposed = tuner.autotune_decomposed(&arch, params);
+        assert!(
+            decomposed.gpu_seconds <= joint.gpu_seconds * 1.05,
+            "decomposed {} vs joint {}",
+            decomposed.gpu_seconds,
+            joint.gpu_seconds
+        );
+        // The result must execute correctly too.
+        let inputs = w.random_inputs(3);
+        let expect = w.evaluate_reference(&inputs);
+        let got = decomposed.execute(&w, &inputs);
+        assert!(expect[0].1.approx_eq(&got[0].1, 1e-10));
+    }
+
+    #[test]
+    fn pool_sampling_is_deterministic_and_distinct() {
+        let w = eqn1_workload(10);
+        let tuner = WorkloadTuner::build(&w);
+        let a = tuner.pool(500, 1);
+        let b = tuner.pool(500, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        let mut c = a.clone();
+        c.dedup();
+        assert_eq!(c.len(), 500);
+    }
+}

@@ -1,0 +1,293 @@
+//! Per-statement tuning state: OCTOPI versions × TCR configurations.
+//!
+//! A [`StatementTuner`] owns every factorization (OCTOPI "version") of one
+//! summation statement, each lowered to a TCR program with its GPU search
+//! space. Configurations of the statement are addressed by a flat `u128`
+//! id that selects a version and a configuration within it; [`features`]
+//! binarizes an id for the SURF surrogate (version one-hot, loop-choice
+//! one-hots over the statement's index vocabulary, numeric unroll).
+
+use octopi::{enumerate_factorizations, Contraction, Factorization};
+use surf::FeatureSpace;
+use tcr::space::{Configuration, LoopSel, OpConfig, ProgramSpace};
+use tcr::TcrProgram;
+use tensor::{IndexMap, IndexVar};
+
+/// One OCTOPI version of a statement, lowered and with its search space.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    pub factorization: Factorization,
+    pub program: TcrProgram,
+    pub space: ProgramSpace,
+}
+
+/// Tuning state for one statement.
+#[derive(Clone, Debug)]
+pub struct StatementTuner {
+    pub contraction: Contraction,
+    pub dims: IndexMap,
+    pub variants: Vec<Variant>,
+    /// Prefix sums of per-variant space sizes (offsets[v] = first id of v).
+    offsets: Vec<u128>,
+    /// Sorted index vocabulary of the statement (for feature encoding).
+    vocab: Vec<IndexVar>,
+    /// Max statement count across variants (feature slots).
+    max_ops: usize,
+}
+
+impl StatementTuner {
+    /// Enumerates factorizations of `contraction`, lowers each to TCR and
+    /// builds its search space.
+    pub fn build(name: &str, contraction: &Contraction, dims: &IndexMap) -> Self {
+        let factorizations = enumerate_factorizations(contraction, dims);
+        let variants: Vec<Variant> = factorizations
+            .into_iter()
+            .map(|f| {
+                let program = TcrProgram::from_factorization(name, contraction, &f, dims);
+                let space = ProgramSpace::build(&program);
+                Variant {
+                    factorization: f,
+                    program,
+                    space,
+                }
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(variants.len() + 1);
+        let mut acc = 0u128;
+        for v in &variants {
+            offsets.push(acc);
+            acc += v.space.len();
+        }
+        offsets.push(acc);
+        let vocab: Vec<IndexVar> = contraction.all_indices().into_iter().collect();
+        let max_ops = variants
+            .iter()
+            .map(|v| v.program.ops.len())
+            .max()
+            .unwrap_or(0);
+        StatementTuner {
+            contraction: contraction.clone(),
+            dims: dims.clone(),
+            variants,
+            offsets,
+            vocab,
+            max_ops,
+        }
+    }
+
+    /// Total configurations across all versions.
+    pub fn total(&self) -> u128 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Decodes a flat id into (version index, configuration).
+    pub fn decode(&self, id: u128) -> (usize, Configuration) {
+        assert!(id < self.total(), "statement config id out of range");
+        // offsets is sorted; find the variant whose range contains id.
+        let v = match self.offsets.binary_search(&id) {
+            Ok(exact) => exact.min(self.variants.len() - 1),
+            Err(ins) => ins - 1,
+        };
+        let local = id - self.offsets[v];
+        (v, self.variants[v].space.config(local))
+    }
+
+    /// Inverse of [`StatementTuner::decode`].
+    pub fn encode(&self, variant: usize, config: &Configuration) -> u128 {
+        self.offsets[variant] + self.variants[variant].space.config_id(config)
+    }
+
+    fn vocab_slot(&self, sel: Option<&IndexVar>) -> f64 {
+        match sel {
+            None => 0.0,
+            Some(v) => {
+                1.0 + self
+                    .vocab
+                    .iter()
+                    .position(|x| x == v)
+                    .expect("loop var in vocabulary") as f64
+            }
+        }
+    }
+
+    /// Raw (pre-binarization) feature vector of one per-op configuration:
+    /// `[tx, ty, bx, by, innermost, second-innermost]` as vocabulary slots
+    /// plus the unroll factor.
+    fn op_raw(&self, cfg: &OpConfig) -> Vec<f64> {
+        let sel = |s: &LoopSel| self.vocab_slot(s.var());
+        let inner = cfg.interior.last();
+        let second = cfg.interior.len().checked_sub(2).map(|k| &cfg.interior[k]);
+        vec![
+            self.vocab_slot(Some(&cfg.tx)),
+            sel(&cfg.ty),
+            sel(&cfg.bx),
+            sel(&cfg.by),
+            self.vocab_slot(inner),
+            self.vocab_slot(second),
+            cfg.unroll as f64,
+            cfg.staged.len() as f64,
+        ]
+    }
+
+    /// Feature layout for this statement (shared by every id).
+    pub fn feature_space(&self) -> FeatureSpace {
+        let card = self.vocab.len() + 1;
+        let mut fs = FeatureSpace::default().categorical("version", self.variants.len());
+        for op in 0..self.max_ops {
+            for name in ["tx", "ty", "bx", "by", "inner", "second"] {
+                fs = fs.categorical(format!("op{op}_{name}"), card);
+            }
+            fs = fs.integer(format!("op{op}_unroll"), 0.0, 10.0);
+            fs = fs.integer(format!("op{op}_staged"), 0.0, 2.0);
+        }
+        fs
+    }
+
+    /// Prunes every variant's space in place and rebuilds the offsets.
+    pub fn prune(&mut self, rules: &tcr::PruneRules) {
+        for v in &mut self.variants {
+            v.space = tcr::prune_space(&v.program, &v.space, rules);
+        }
+        let mut offsets = Vec::with_capacity(self.variants.len() + 1);
+        let mut acc = 0u128;
+        for v in &self.variants {
+            offsets.push(acc);
+            acc += v.space.len();
+        }
+        offsets.push(acc);
+        self.offsets = offsets;
+    }
+
+    /// Human-readable name of every *binarized* feature column, aligned
+    /// with [`StatementTuner::features`] (one-hot categories expand to
+    /// `name=K` columns).
+    pub fn binarized_feature_names(&self) -> Vec<String> {
+        let fs = self.feature_space();
+        let mut out = Vec::with_capacity(fs.width());
+        for f in &fs.features {
+            match f {
+                surf::Feature::Categorical { name, cardinality } => {
+                    for k in 0..*cardinality {
+                        // Category slot 0 is "absent"; others map to the
+                        // statement's index vocabulary (for loop params) or
+                        // the version number.
+                        let label = if name == "version" {
+                            format!("{name}={k}")
+                        } else if k == 0 {
+                            format!("{name}=none")
+                        } else {
+                            format!("{name}={}", self.vocab[k - 1])
+                        };
+                        out.push(label);
+                    }
+                }
+                surf::Feature::Integer { name, .. } => out.push(name.clone()),
+            }
+        }
+        out
+    }
+
+    /// Binarized feature vector of a flat id.
+    pub fn features(&self, id: u128) -> Vec<f64> {
+        let (v, config) = self.decode(id);
+        let variant = &self.variants[v];
+        let mut raw = vec![v as f64];
+        for op in 0..self.max_ops {
+            if op < variant.program.ops.len() {
+                raw.extend(self.op_raw(variant.space.op_config(&config, op)));
+            } else {
+                raw.extend([0.0; 8]);
+            }
+        }
+        self.feature_space().binarize(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopi::ast::TensorRef;
+    use tensor::index::uniform_dims;
+
+    fn eqn1() -> Contraction {
+        Contraction {
+            output: TensorRef::new("V", &["i", "j", "k"]),
+            sum_indices: vec!["l".into(), "m".into(), "n".into()],
+            terms: vec![
+                TensorRef::new("A", &["l", "k"]),
+                TensorRef::new("B", &["m", "j"]),
+                TensorRef::new("C", &["n", "i"]),
+                TensorRef::new("U", &["l", "m", "n"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        }
+    }
+
+    #[test]
+    fn fifteen_variants_with_offsets() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        let t = StatementTuner::build("ex", &eqn1(), &dims);
+        assert_eq!(t.variants.len(), 15);
+        assert_eq!(
+            t.total(),
+            t.variants.iter().map(|v| v.space.len()).sum::<u128>()
+        );
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 6);
+        let t = StatementTuner::build("ex", &eqn1(), &dims);
+        let total = t.total();
+        for frac in [0u128, 1, 7, 100] {
+            let id = total * frac % total;
+            let (v, c) = t.decode(id);
+            assert_eq!(t.encode(v, &c), id);
+        }
+        // Boundary ids decode into the right variant.
+        let (v0, _) = t.decode(0);
+        assert_eq!(v0, 0);
+        let (vl, _) = t.decode(total - 1);
+        assert_eq!(vl, t.variants.len() - 1);
+    }
+
+    #[test]
+    fn features_fixed_width_across_ids() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 6);
+        let t = StatementTuner::build("ex", &eqn1(), &dims);
+        let w = t.feature_space().width();
+        let total = t.total();
+        for frac in [0u128, 3, 11] {
+            let id = total * frac % total;
+            assert_eq!(t.features(id).len(), w);
+        }
+    }
+
+    #[test]
+    fn distinct_ids_distinct_features() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 6);
+        let t = StatementTuner::build("ex", &eqn1(), &dims);
+        let a = t.features(0);
+        let b = t.features(1);
+        assert_ne!(a, b, "adjacent configs differ at least in unroll");
+    }
+
+    #[test]
+    fn single_variant_statement() {
+        let dims = uniform_dims(&["i", "j", "k"], 8);
+        let c = Contraction {
+            output: TensorRef::new("C", &["i", "k"]),
+            sum_indices: vec!["j".into()],
+            terms: vec![
+                TensorRef::new("A", &["i", "j"]),
+                TensorRef::new("B", &["j", "k"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        };
+        let t = StatementTuner::build("mm", &c, &dims);
+        assert_eq!(t.variants.len(), 1);
+        assert!(t.total() > 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! A workload: parsed OCTOPI statements plus concrete extents, with
+//! host↔device data-movement analysis.
+
+use octopi::{parse_program, Contraction, ParseError};
+use tensor::{IndexMap, Tensor};
+
+/// One benchmark computation: a sequence of summation statements evaluated
+/// under a single extent map (e.g. the three statements of `local_grad3`).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub name: String,
+    pub dims: IndexMap,
+    pub statements: Vec<Contraction>,
+}
+
+impl Workload {
+    /// Parses DSL source. `dims` provides (or overrides) extents for any
+    /// index not declared in a `dims { ... }` block of the source.
+    pub fn parse(
+        name: impl Into<String>,
+        src: &str,
+        dims: &IndexMap,
+    ) -> Result<Workload, String> {
+        let prog = parse_program(src).map_err(|e: ParseError| e.to_string())?;
+        let mut merged = prog.dims.clone();
+        for (k, v) in dims {
+            merged.insert(k.clone(), *v);
+        }
+        let w = Workload {
+            name: name.into(),
+            dims: merged,
+            statements: prog.statements,
+        };
+        w.validate()?;
+        Ok(w)
+    }
+
+    /// Builds a workload from pre-constructed statements.
+    pub fn from_statements(
+        name: impl Into<String>,
+        statements: Vec<Contraction>,
+        dims: IndexMap,
+    ) -> Result<Workload, String> {
+        let w = Workload {
+            name: name.into(),
+            dims,
+            statements,
+        };
+        w.validate()?;
+        Ok(w)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.statements.is_empty() {
+            return Err(format!("workload {} has no statements", self.name));
+        }
+        for st in &self.statements {
+            st.validate(&self.dims)?;
+        }
+        Ok(())
+    }
+
+    /// Names of tensors that must be uploaded: referenced as a term (or as
+    /// an accumulated output) before any statement produces them.
+    pub fn external_inputs(&self) -> Vec<String> {
+        let mut produced: Vec<&str> = Vec::new();
+        let mut inputs: Vec<String> = Vec::new();
+        for st in &self.statements {
+            for t in &st.terms {
+                if !produced.contains(&t.name.as_str()) && !inputs.contains(&t.name) {
+                    inputs.push(t.name.clone());
+                }
+            }
+            if st.accumulate
+                && !produced.contains(&st.output.name.as_str())
+                && !inputs.contains(&st.output.name)
+            {
+                // `+=` into a tensor nothing here produced: its initial
+                // contents come from the host.
+                inputs.push(st.output.name.clone());
+            }
+            if !produced.contains(&st.output.name.as_str()) {
+                produced.push(&st.output.name);
+            }
+        }
+        inputs
+    }
+
+    /// Names of tensors that must be downloaded: produced by a statement and
+    /// not consumed as an input term by any *later* statement (deduped).
+    pub fn external_outputs(&self) -> Vec<String> {
+        let mut outputs: Vec<String> = Vec::new();
+        for (i, st) in self.statements.iter().enumerate() {
+            let consumed_later = self.statements[i + 1..]
+                .iter()
+                .any(|s| s.terms.iter().any(|t| t.name == st.output.name));
+            if !consumed_later && !outputs.contains(&st.output.name) {
+                outputs.push(st.output.name.clone());
+            }
+        }
+        outputs
+    }
+
+    /// Elements of a named tensor, resolved from any statement mentioning it.
+    pub fn tensor_len(&self, name: &str) -> Option<usize> {
+        for st in &self.statements {
+            if let Some(hit) = std::iter::once(&st.output)
+                .chain(st.terms.iter())
+                .find(|r| r.name == name)
+            {
+                return Some(hit.indices.iter().map(|ix| self.dims[ix]).product());
+            }
+        }
+        None
+    }
+
+    /// Bytes crossing PCIe for one evaluation of the workload (f64 data,
+    /// inputs down + outputs up; temporaries stay device-resident).
+    pub fn transfer_bytes(&self) -> u64 {
+        let mut bytes = 0u64;
+        for name in self
+            .external_inputs()
+            .iter()
+            .chain(self.external_outputs().iter())
+        {
+            bytes += 8 * self.tensor_len(name).unwrap_or(0) as u64;
+        }
+        bytes
+    }
+
+    /// Deterministic random input tensors for every external input, keyed by
+    /// name, suitable for executor validation.
+    pub fn random_inputs(&self, seed: u64) -> Vec<(String, Tensor)> {
+        self.external_inputs()
+            .iter()
+            .enumerate()
+            .map(|(k, name)| {
+                // Find a reference to recover the shape (declaration order).
+                let r = self
+                    .statements
+                    .iter()
+                    .flat_map(|st| std::iter::once(&st.output).chain(st.terms.iter()))
+                    .find(|r| &r.name == name)
+                    .expect("external input referenced somewhere");
+                let shape = tensor::Shape::new(
+                    r.indices
+                        .iter()
+                        .map(|ix| self.dims[ix])
+                        .collect::<Vec<_>>(),
+                );
+                (name.clone(), Tensor::random(shape, seed + k as u64))
+            })
+            .collect()
+    }
+
+    /// Reference (oracle) evaluation of the whole workload. Returns the
+    /// final values of every external output, by name.
+    pub fn evaluate_reference(&self, inputs: &[(String, Tensor)]) -> Vec<(String, Tensor)> {
+        let mut env: std::collections::BTreeMap<String, Tensor> =
+            inputs.iter().cloned().collect();
+        for st in &self.statements {
+            let spec = st.to_einsum(&self.dims);
+            let operands: Vec<&Tensor> = st
+                .terms
+                .iter()
+                .map(|t| env.get(&t.name).unwrap_or_else(|| panic!("missing {}", t.name)))
+                .collect();
+            let mut fresh = spec.evaluate(&operands);
+            if st.coefficient != 1.0 {
+                for v in fresh.data_mut() {
+                    *v *= st.coefficient;
+                }
+            }
+            let entry = env.entry(st.output.name.clone());
+            match entry {
+                std::collections::btree_map::Entry::Occupied(mut o) if st.accumulate => {
+                    let cur = o.get_mut();
+                    for (a, b) in cur.data_mut().iter_mut().zip(fresh.data()) {
+                        *a += b;
+                    }
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    *o.get_mut() = fresh;
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(fresh);
+                }
+            }
+        }
+        self.external_outputs()
+            .into_iter()
+            .map(|name| {
+                let t = env.remove(&name).expect("output computed");
+                (name, t)
+            })
+            .collect()
+    }
+
+    /// Total floating-point operations of the *naive* (unfactorized)
+    /// evaluation — the strength-reduction baseline.
+    pub fn naive_flops(&self) -> u64 {
+        self.statements
+            .iter()
+            .map(|st| octopi::cost::naive_flops(st, &self.dims))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::index::uniform_dims;
+
+    #[test]
+    fn single_statement_io() {
+        let w = Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], 8),
+        )
+        .unwrap();
+        assert_eq!(w.external_inputs(), vec!["A", "B"]);
+        assert_eq!(w.external_outputs(), vec!["C"]);
+        assert_eq!(w.transfer_bytes(), 8 * 3 * 64);
+    }
+
+    #[test]
+    fn chained_statements_keep_temps_on_device() {
+        let src = "T[i l] = Sum([j], A[i j] * B[j l])\nC[i k] = Sum([l], T[i l] * D[l k])";
+        let w = Workload::parse("chain", src, &uniform_dims(&["i", "j", "k", "l"], 4)).unwrap();
+        assert_eq!(w.external_inputs(), vec!["A", "B", "D"]);
+        assert_eq!(w.external_outputs(), vec!["C"]);
+    }
+
+    #[test]
+    fn accumulated_external_output_is_also_input() {
+        let src = "t3[h1 p4] += Sum([h7], t2[h7 p4] * v2[h1 h7])";
+        let w = Workload::parse("acc", src, &uniform_dims(&["h1", "p4", "h7"], 4)).unwrap();
+        assert!(w.external_inputs().contains(&"t3".to_string()));
+        assert_eq!(w.external_outputs(), vec!["t3"]);
+    }
+
+    #[test]
+    fn multi_output_workload() {
+        let src = "\
+ur[e i j k] = Sum([l], D[i l] * u[e l j k])
+us[e i j k] = Sum([l], D[j l] * u[e i l k])
+ut[e i j k] = Sum([l], D[k l] * u[e i j l])";
+        let mut dims = uniform_dims(&["i", "j", "k", "l"], 4);
+        dims.insert("e".into(), 3);
+        let w = Workload::parse("lg3", src, &dims).unwrap();
+        assert_eq!(w.external_inputs(), vec!["D", "u"]);
+        assert_eq!(w.external_outputs(), vec!["ur", "us", "ut"]);
+    }
+
+    #[test]
+    fn reference_evaluation_accumulates() {
+        let src = "y[i] += Sum([j], A[i j] * x[j])\ny[i] += Sum([j], A[i j] * x[j])";
+        let dims = uniform_dims(&["i", "j"], 4);
+        let w = Workload::parse("twice", src, &dims).unwrap();
+        let inputs = w.random_inputs(5);
+        let out = w.evaluate_reference(&inputs);
+        assert_eq!(out.len(), 1);
+        // Must equal 2 * (A x) + initial y.
+        let once = w.statements[0]
+            .to_einsum(&dims)
+            .evaluate(&[&inputs[0].1, &inputs[1].1]);
+        let y0 = inputs
+            .iter()
+            .find(|(n, _)| n == "y")
+            .map(|(_, t)| t.clone())
+            .expect("y is an external input (accumulated)");
+        for ((a, b), c) in out[0].1.data().iter().zip(once.data()).zip(y0.data()) {
+            assert!((a - (2.0 * b + c)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        assert!(Workload::parse("bad", "C[i] =", &IndexMap::new()).is_err());
+    }
+
+    #[test]
+    fn missing_extent_caught() {
+        assert!(Workload::parse("bad", "C[i] = A[i]", &IndexMap::new()).is_err());
+    }
+
+    #[test]
+    fn naive_flops_matches_cost_module() {
+        let w = Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], 10),
+        )
+        .unwrap();
+        assert_eq!(w.naive_flops(), 2 * 1000);
+    }
+}

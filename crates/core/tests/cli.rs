@@ -1,0 +1,100 @@
+//! Integration tests for the `barracuda` command-line tool.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_barracuda"))
+}
+
+#[test]
+fn benchmarks_lists_builtins() {
+    let out = bin().arg("benchmarks").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("builtin:eqn1"));
+    assert!(text.contains("builtin:d1_1 .. builtin:d1_9"));
+}
+
+#[test]
+fn info_on_a_dsl_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("barracuda_cli_test.dsl");
+    std::fs::write(&path, "W[a c] = Sum([b], X[a b] * Y[b c])").unwrap();
+    let out = bin()
+        .args(["info", path.to_str().unwrap(), "--dims", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 OCTOPI version(s)"));
+    assert!(text.contains("external inputs : [\"X\", \"Y\"]"));
+}
+
+#[test]
+fn tune_builtin_quick_with_validation() {
+    let out = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "30",
+            "--validate",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GTX 980"));
+    assert!(text.contains("validation: OK"));
+}
+
+#[test]
+fn tune_emits_cuda() {
+    let out = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "20",
+            "--emit",
+            "cuda",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("__global__ void"));
+}
+
+#[test]
+fn unknown_arch_fails_cleanly() {
+    let out = bin()
+        .args(["tune", "builtin:eqn1", "--arch", "h100"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown architecture"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = bin()
+        .args(["tune", "/nonexistent/path.dsl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,0 +1,25 @@
+//! CPU baselines: real executors and an analytic Haswell timing model.
+//!
+//! The paper compares its GPU code against sequential and 4-thread OpenMP
+//! execution on an Intel Haswell. This crate provides both halves of that
+//! comparison for the reproduction:
+//!
+//! - [`exec`]: a real single-threaded loop-nest executor for TCR programs
+//!   (independent of the einsum oracle, so the two cross-check each other),
+//! - [`parallel`]: a real multi-threaded executor that parallelizes the
+//!   outermost output loop of every statement across a thread pool
+//!   (crossbeam scoped threads) — the analog of `#pragma omp parallel for`
+//!   on the outermost loop, which is what the paper's OpenMP versions do,
+//! - [`model`]: a deterministic Haswell-class timing model (1 core and
+//!   N cores) used when generating the paper's tables, so that CPU-vs-GPU
+//!   comparisons do not depend on the machine running this reproduction.
+
+pub mod exec;
+pub mod model;
+pub mod parallel;
+pub mod tiled;
+
+pub use exec::execute_sequential;
+pub use model::{CpuModel, CpuTiming};
+pub use parallel::execute_parallel;
+pub use tiled::execute_tiled;

@@ -1,0 +1,174 @@
+//! Architecture descriptors for the three GPUs of the paper's evaluation.
+//!
+//! Numbers are public data-sheet figures with effective (not peak) memory
+//! bandwidths — ECC overhead on the Tesla parts and typical achievable
+//! fractions are folded in. The simulator's conclusions depend on the
+//! *relations* between these quantities (wide-but-slow Fermi DP vs.
+//! thin-but-fast Maxwell DP, launch overheads shrinking by generation), not
+//! on their absolute accuracy.
+
+/// A simulated GPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuArch {
+    pub name: &'static str,
+    /// Marketing generation, e.g. "Fermi".
+    pub generation: &'static str,
+    pub sm_count: u32,
+    pub clock_ghz: f64,
+    /// Double-precision flops per cycle per SM (an FMA counts as 2).
+    pub dp_flops_per_cycle_per_sm: f64,
+    /// Lane-instructions (warp-instruction × 32) issuable per cycle per SM.
+    pub issue_lanes_per_cycle_per_sm: f64,
+    /// Effective DRAM bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: u64,
+    /// Effective L2 bandwidth in GB/s.
+    pub l2_bw_gbs: f64,
+    /// Shared memory per SM, bytes.
+    pub smem_per_sm: u32,
+    pub max_threads_per_sm: u32,
+    pub max_blocks_per_sm: u32,
+    pub max_warps_per_sm: u32,
+    pub regs_per_sm: u32,
+    pub warp_size: u32,
+    /// Global-memory transaction size in bytes.
+    pub transaction_bytes: u32,
+    /// Fixed host-side cost of launching one kernel, microseconds.
+    pub kernel_launch_us: f64,
+    /// Effective host↔device bandwidth, GB/s.
+    pub pcie_bw_gbs: f64,
+    /// Per-transfer latency, microseconds.
+    pub pcie_latency_us: f64,
+    /// Dependent double-precision FMA latency in cycles.
+    pub dp_latency_cycles: f64,
+    /// L2 hit latency in cycles (used for the serial-chain floor).
+    pub l2_latency_cycles: f64,
+    /// Modeled `nvcc` compile time per variant in seconds — used only to
+    /// account autotuning search time the way the paper reports it.
+    pub compile_seconds: f64,
+}
+
+impl GpuArch {
+    /// Peak double-precision GFlop/s.
+    pub fn peak_dp_gflops(&self) -> f64 {
+        self.sm_count as f64 * self.clock_ghz * self.dp_flops_per_cycle_per_sm
+    }
+}
+
+/// Tesla C2050 (Fermi, GF100): wide DP (1/2 of SP), modest clocks, ECC DRAM.
+pub fn c2050() -> GpuArch {
+    GpuArch {
+        name: "Tesla C2050",
+        generation: "Fermi",
+        sm_count: 14,
+        clock_ghz: 1.15,
+        dp_flops_per_cycle_per_sm: 32.0, // 16 DP FMA lanes
+        issue_lanes_per_cycle_per_sm: 48.0,
+        mem_bw_gbs: 105.0, // 144 peak, ECC on
+        l2_bytes: 768 << 10,
+        l2_bw_gbs: 230.0,
+        smem_per_sm: 48 << 10,
+        max_threads_per_sm: 1536,
+        max_blocks_per_sm: 8,
+        max_warps_per_sm: 48,
+        regs_per_sm: 32 << 10,
+        warp_size: 32,
+        transaction_bytes: 128,
+        kernel_launch_us: 9.0,
+        pcie_bw_gbs: 5.5, // PCIe 2.0 x16 effective
+        pcie_latency_us: 16.0,
+        dp_latency_cycles: 18.0,
+        l2_latency_cycles: 240.0,
+        compile_seconds: 5.2,
+    }
+}
+
+/// Tesla K20 (Kepler, GK110): many thin cores, high DP peak, ECC DRAM.
+pub fn k20() -> GpuArch {
+    GpuArch {
+        name: "Tesla K20",
+        generation: "Kepler",
+        sm_count: 13,
+        clock_ghz: 0.706,
+        dp_flops_per_cycle_per_sm: 128.0, // 64 DP FMA lanes
+        issue_lanes_per_cycle_per_sm: 160.0,
+        mem_bw_gbs: 150.0, // 208 peak, ECC on
+        l2_bytes: 1280 << 10,
+        l2_bw_gbs: 350.0,
+        smem_per_sm: 48 << 10,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 16,
+        max_warps_per_sm: 64,
+        regs_per_sm: 64 << 10,
+        warp_size: 32,
+        transaction_bytes: 128,
+        kernel_launch_us: 7.0,
+        pcie_bw_gbs: 5.5,
+        pcie_latency_us: 14.0,
+        dp_latency_cycles: 24.0,
+        l2_latency_cycles: 220.0,
+        compile_seconds: 7.6,
+    }
+}
+
+/// GTX 980 (Maxwell, GM204): consumer part, DP = 1/32 of SP, fast launches.
+pub fn gtx980() -> GpuArch {
+    GpuArch {
+        name: "GTX 980",
+        generation: "Maxwell",
+        sm_count: 16,
+        clock_ghz: 1.126,
+        dp_flops_per_cycle_per_sm: 8.0, // 4 DP FMA lanes
+        issue_lanes_per_cycle_per_sm: 128.0,
+        mem_bw_gbs: 180.0, // 224 peak, no ECC
+        l2_bytes: 2 << 20,
+        l2_bw_gbs: 450.0,
+        smem_per_sm: 96 << 10,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 32,
+        max_warps_per_sm: 64,
+        regs_per_sm: 64 << 10,
+        warp_size: 32,
+        transaction_bytes: 128,
+        kernel_launch_us: 4.0,
+        pcie_bw_gbs: 11.0, // PCIe 3.0 x16 effective
+        pcie_latency_us: 10.0,
+        dp_latency_cycles: 16.0,
+        l2_latency_cycles: 200.0,
+        compile_seconds: 3.2,
+    }
+}
+
+/// All three architectures, newest first (the paper's column order).
+pub fn all_architectures() -> Vec<GpuArch> {
+    vec![gtx980(), k20(), c2050()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_dp_matches_datasheets() {
+        // C2050: 515 GF, K20: ~1174 GF, GTX 980: ~144 GF.
+        assert!((c2050().peak_dp_gflops() - 515.2).abs() < 1.0);
+        assert!((k20().peak_dp_gflops() - 1174.8).abs() < 2.0);
+        assert!((gtx980().peak_dp_gflops() - 144.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn generations_ordered_by_launch_cost() {
+        // Newer generations have cheaper kernel launches.
+        assert!(gtx980().kernel_launch_us < k20().kernel_launch_us);
+        assert!(k20().kernel_launch_us < c2050().kernel_launch_us);
+    }
+
+    #[test]
+    fn all_architectures_distinct() {
+        let archs = all_architectures();
+        assert_eq!(archs.len(), 3);
+        assert_ne!(archs[0].name, archs[1].name);
+        assert_ne!(archs[1].name, archs[2].name);
+    }
+}

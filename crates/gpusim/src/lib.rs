@@ -1,0 +1,34 @@
+//! Deterministic GPU simulator for mapped tensor-contraction kernels.
+//!
+//! The paper evaluates on three physical NVIDIA GPUs. This crate substitutes
+//! a *mechanistic performance model* plus a *functional executor*:
+//!
+//! - [`exec`] interprets a [`tcr::MappedKernel`] block-by-block and
+//!   thread-by-thread, producing bit-exact results that are validated
+//!   against the reference einsum evaluator — this is how we know every
+//!   transformation in the search space is semantics-preserving.
+//! - [`coalesce`] counts 128-byte global-memory transactions per warp for
+//!   every array reference, which is exactly the quantity the paper's
+//!   ThreadX/contiguous-tensor rules are designed to optimize.
+//! - [`occupancy`] applies the standard CUDA occupancy calculation
+//!   (threads/blocks/registers per SM).
+//! - [`timing`] combines both with per-architecture rooflines (DP pipe,
+//!   instruction issue, L2 and DRAM bandwidth, latency floors, kernel-launch
+//!   and PCIe overheads) into a deterministic execution-time estimate.
+//!
+//! Because every component responds mechanistically to the same knobs the
+//! autotuner searches over (decomposition, loop order, unroll, coalescing),
+//! the *relative ordering* of code variants — which the paper's conclusions
+//! rest on — is preserved even though absolute times are synthetic.
+
+pub mod arch;
+pub mod coalesce;
+pub mod exec;
+pub mod fused;
+pub mod occupancy;
+pub mod timing;
+
+pub use arch::{c2050, gtx980, k20, GpuArch};
+pub use exec::{execute_kernel, execute_program};
+pub use fused::{execute_fused_program, time_fused, FusedTiming};
+pub use timing::{time_kernel, time_program, KernelTiming, ProgramTiming};

@@ -1,0 +1,238 @@
+//! Abstract syntax for OCTOPI summation statements.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use tensor::{EinsumSpec, IndexMap, IndexVar};
+
+/// A named tensor with symbolic indices, e.g. `A[l k]`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TensorRef {
+    pub name: String,
+    pub indices: Vec<IndexVar>,
+}
+
+impl TensorRef {
+    pub fn new(name: impl Into<String>, indices: &[&str]) -> Self {
+        TensorRef {
+            name: name.into(),
+            indices: indices.iter().map(|s| IndexVar::new(*s)).collect(),
+        }
+    }
+
+    /// The set of indices of this reference (order-insensitive view).
+    pub fn index_set(&self) -> BTreeSet<IndexVar> {
+        self.indices.iter().cloned().collect()
+    }
+}
+
+impl fmt::Debug for TensorRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for TensorRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let idx: Vec<&str> = self.indices.iter().map(|i| i.name()).collect();
+        write!(f, "{}[{}]", self.name, idx.join(" "))
+    }
+}
+
+/// One summation statement: `output [+]= Sum([sum_indices], t0 * t1 * ...)`.
+///
+/// The statement is valid when every summation index occurs in some term, no
+/// summation index occurs in the output, and every index has an extent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Contraction {
+    pub output: TensorRef,
+    pub sum_indices: Vec<IndexVar>,
+    pub terms: Vec<TensorRef>,
+    /// True when the statement accumulates (`+=`/`-=`) into an existing
+    /// output.
+    pub accumulate: bool,
+    /// Scalar multiplier of the right-hand side (`-=` sets -1; an explicit
+    /// `2.5 *` prefix sets 2.5). The CCSD(T) kernels carry such signs.
+    pub coefficient: f64,
+}
+
+impl Contraction {
+    /// Checks internal consistency against an extent map; returns a
+    /// description of the first problem found.
+    pub fn validate(&self, dims: &IndexMap) -> Result<(), String> {
+        if self.terms.is_empty() {
+            return Err(format!("{}: statement has no terms", self.output.name));
+        }
+        for ix in self
+            .output
+            .indices
+            .iter()
+            .chain(self.sum_indices.iter())
+            .chain(self.terms.iter().flat_map(|t| t.indices.iter()))
+        {
+            if !dims.contains_key(ix) {
+                return Err(format!("index {ix} has no extent"));
+            }
+        }
+        for s in &self.sum_indices {
+            if self.output.indices.contains(s) {
+                return Err(format!("summation index {s} appears in the output"));
+            }
+            if !self.terms.iter().any(|t| t.indices.contains(s)) {
+                return Err(format!("summation index {s} appears in no term"));
+            }
+        }
+        for t in &self.terms {
+            for ix in &t.indices {
+                if !self.output.indices.contains(ix) && !self.sum_indices.contains(ix) {
+                    return Err(format!(
+                        "index {ix} of term {} is neither an output nor a summation index",
+                        t.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All distinct index variables of the statement, lexicographic.
+    pub fn all_indices(&self) -> BTreeSet<IndexVar> {
+        let mut s: BTreeSet<IndexVar> = self.output.indices.iter().cloned().collect();
+        for t in &self.terms {
+            s.extend(t.indices.iter().cloned());
+        }
+        s
+    }
+
+    /// Converts this statement into a reference-evaluator spec.
+    pub fn to_einsum(&self, dims: &IndexMap) -> EinsumSpec {
+        let mut sub: IndexMap = IndexMap::new();
+        for ix in self.all_indices() {
+            sub.insert(ix.clone(), dims[&ix]);
+        }
+        EinsumSpec {
+            inputs: self.terms.iter().map(|t| t.indices.clone()).collect(),
+            output: self.output.indices.clone(),
+            dims: sub,
+        }
+    }
+}
+
+impl fmt::Display for Contraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = if self.accumulate && self.coefficient == -1.0 {
+            "-="
+        } else if self.accumulate {
+            "+="
+        } else {
+            "="
+        };
+        let mut terms: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        if self.coefficient != 1.0 && !(self.accumulate && self.coefficient == -1.0) {
+            terms.insert(0, format!("{}", self.coefficient));
+        }
+        if self.sum_indices.is_empty() {
+            write!(f, "{} {} {}", self.output, op, terms.join(" * "))
+        } else {
+            let sums: Vec<&str> = self.sum_indices.iter().map(|i| i.name()).collect();
+            write!(
+                f,
+                "{} {} Sum([{}], {})",
+                self.output,
+                op,
+                sums.join(" "),
+                terms.join(" * ")
+            )
+        }
+    }
+}
+
+/// A parsed OCTOPI input: statements plus (optional) declared extents.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    pub statements: Vec<Contraction>,
+    /// Extents declared in the source with `dims { i = 10 ... }`; callers may
+    /// extend or override these before lowering.
+    pub dims: IndexMap,
+}
+
+impl Program {
+    /// Validates every statement against `dims`.
+    pub fn validate(&self, dims: &IndexMap) -> Result<(), String> {
+        for st in &self.statements {
+            st.validate(dims)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::index::uniform_dims;
+
+    fn eqn1() -> Contraction {
+        Contraction {
+            output: TensorRef::new("V", &["i", "j", "k"]),
+            sum_indices: vec!["l".into(), "m".into(), "n".into()],
+            terms: vec![
+                TensorRef::new("A", &["l", "k"]),
+                TensorRef::new("B", &["m", "j"]),
+                TensorRef::new("C", &["n", "i"]),
+                TensorRef::new("U", &["l", "m", "n"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        }
+    }
+
+    #[test]
+    fn validate_ok() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        assert!(eqn1().validate(&dims).is_ok());
+    }
+
+    #[test]
+    fn validate_missing_extent() {
+        let dims = uniform_dims(&["i", "j", "k"], 10);
+        let err = eqn1().validate(&dims).unwrap_err();
+        assert!(err.contains("no extent"));
+    }
+
+    #[test]
+    fn validate_sum_index_in_output() {
+        let mut c = eqn1();
+        c.sum_indices.push("i".into());
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        assert!(c.validate(&dims).unwrap_err().contains("appears in the output"));
+    }
+
+    #[test]
+    fn validate_unbound_term_index() {
+        let mut c = eqn1();
+        c.terms.push(TensorRef::new("X", &["q"]));
+        let mut dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        dims.insert("q".into(), 10);
+        assert!(c
+            .validate(&dims)
+            .unwrap_err()
+            .contains("neither an output nor a summation index"));
+    }
+
+    #[test]
+    fn to_einsum_round_trip() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 3);
+        let spec = eqn1().to_einsum(&dims);
+        assert_eq!(spec.inputs.len(), 4);
+        assert_eq!(spec.output.len(), 3);
+        assert_eq!(spec.summation_indices().len(), 3);
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let s = eqn1().to_string();
+        assert_eq!(
+            s,
+            "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])"
+        );
+    }
+}

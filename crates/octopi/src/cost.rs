@@ -1,0 +1,106 @@
+//! Operation-count and memory-footprint analysis of contraction versions.
+
+use crate::ast::Contraction;
+use crate::factorize::{Factorization, Operand};
+use tensor::IndexMap;
+
+/// Cost summary of a single factorization under a given extent map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostSummary {
+    /// Floating-point operations executed by the factorized program.
+    pub flops: u64,
+    /// Elements of intermediate temporary storage.
+    pub temp_elems: u64,
+    /// Number of generated statements (kernels).
+    pub num_steps: usize,
+    /// Elements read from the original inputs (each input term counted once
+    /// per consuming step).
+    pub input_reads: u64,
+}
+
+/// Computes the naive (single loop nest) operation count of a statement:
+/// the full joint iteration space with one multiply per extra term and one
+/// add, matching §III's `O(p^6)` example.
+pub fn naive_flops(c: &Contraction, dims: &IndexMap) -> u64 {
+    let joint: u64 = c.all_indices().iter().map(|ix| dims[ix] as u64).product();
+    joint * c.terms.len() as u64
+}
+
+/// Summarizes the cost of a factorization.
+pub fn summarize(c: &Contraction, dims: &IndexMap, f: &Factorization) -> CostSummary {
+    let input_reads = f
+        .steps
+        .iter()
+        .flat_map(|s| s.operands.iter())
+        .filter_map(|op| match op {
+            Operand::Input(k) => Some(
+                c.terms[*k]
+                    .indices
+                    .iter()
+                    .map(|ix| dims[ix] as u64)
+                    .product::<u64>(),
+            ),
+            Operand::Temp(_) => None,
+        })
+        .sum();
+    CostSummary {
+        flops: f.flops,
+        temp_elems: f.temp_elems,
+        num_steps: f.steps.len(),
+        input_reads,
+    }
+}
+
+/// Strength-reduction gain: naive flops divided by the factorization's
+/// flops. Values > 1 mean the algebraic transformation reduced computation.
+pub fn strength_reduction_gain(c: &Contraction, dims: &IndexMap, f: &Factorization) -> f64 {
+    naive_flops(c, dims) as f64 / f.flops as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TensorRef;
+    use crate::factorize::enumerate_factorizations;
+    use tensor::index::uniform_dims;
+
+    fn eqn1() -> Contraction {
+        Contraction {
+            output: TensorRef::new("V", &["i", "j", "k"]),
+            sum_indices: vec!["l".into(), "m".into(), "n".into()],
+            terms: vec![
+                TensorRef::new("A", &["l", "k"]),
+                TensorRef::new("B", &["m", "j"]),
+                TensorRef::new("C", &["n", "i"]),
+                TensorRef::new("U", &["l", "m", "n"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        }
+    }
+
+    #[test]
+    fn naive_flops_is_n6() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        assert_eq!(naive_flops(&eqn1(), &dims), 4 * 10u64.pow(6));
+    }
+
+    #[test]
+    fn best_version_gains_two_orders() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        let fs = enumerate_factorizations(&eqn1(), &dims);
+        let gain = strength_reduction_gain(&eqn1(), &dims, &fs[0]);
+        // O(N^6) -> O(N^4): gain ~ N^2 * 4/6
+        assert!(gain > 50.0, "gain = {gain}");
+    }
+
+    #[test]
+    fn summary_counts_steps_and_temps() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        let fs = enumerate_factorizations(&eqn1(), &dims);
+        let s = summarize(&eqn1(), &dims, &fs[0]);
+        assert_eq!(s.num_steps, 3);
+        assert_eq!(s.temp_elems, 2 * 10u64.pow(3));
+        assert!(s.input_reads >= 100 * 3 + 1000);
+    }
+}

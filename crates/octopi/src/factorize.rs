@@ -1,0 +1,574 @@
+//! Strength reduction: Algorithm 1 of the paper.
+//!
+//! Enumerates every algebraic factorization of an n-ary contraction into a
+//! sequence of unary reductions and binary contractions over temporaries,
+//! exploiting commutativity and associativity. Indices that occur in only a
+//! single live term are summed as early as possible; every pair choice is
+//! explored by depth-first search; structurally identical trees (up to
+//! operand commutativity and interleaving of independent combines) are
+//! de-duplicated, so the paper's Eqn. (1) yields exactly 15 versions.
+
+use crate::ast::Contraction;
+use std::collections::{BTreeMap, BTreeSet};
+use tensor::{EinsumSpec, IndexMap, IndexVar, Tensor};
+
+/// Reference to a step operand: an original input term or a prior step's
+/// temporary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// `Input(k)` is the k-th term of the original statement.
+    Input(usize),
+    /// `Temp(j)` is the tensor produced by `steps[j]`.
+    Temp(usize),
+}
+
+/// One statement of a factorized program:
+/// `name[indices] += operand0 (* operand1), summing sum_over`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    pub name: String,
+    /// Layout (index order) of the produced tensor.
+    pub indices: Vec<IndexVar>,
+    /// One operand for a unary reduction, two for a binary contraction.
+    pub operands: Vec<Operand>,
+    /// Indices summed away by this step.
+    pub sum_over: Vec<IndexVar>,
+}
+
+/// A complete factorization of one [`Contraction`] into binary steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Factorization {
+    pub steps: Vec<Step>,
+    /// Total floating-point operations under `dims` (2 per point for binary
+    /// steps, 1 per point for unary reductions).
+    pub flops: u64,
+    /// Total elements of intermediate temporaries (excludes the output).
+    pub temp_elems: u64,
+    /// Canonical structural key used for de-duplication.
+    pub key: String,
+}
+
+/// A live term during enumeration.
+#[derive(Clone, Debug)]
+struct Term {
+    op: Operand,
+    indices: BTreeSet<IndexVar>,
+    /// Layout order of the term (for inputs: declared order; for temps: the
+    /// order chosen when the step was created).
+    order: Vec<IndexVar>,
+    /// Canonical structural key of the subtree that produced this term.
+    key: String,
+}
+
+struct Enumerator<'a> {
+    contraction: &'a Contraction,
+    dims: &'a IndexMap,
+    output_set: BTreeSet<IndexVar>,
+    results: BTreeMap<String, Factorization>,
+    /// Safety valve against combinatorial blowup on very wide products.
+    max_results: usize,
+}
+
+impl<'a> Enumerator<'a> {
+    fn extent_product<'b>(&self, indices: impl IntoIterator<Item = &'b IndexVar>) -> u64 {
+        indices.into_iter().map(|ix| self.dims[ix] as u64).product()
+    }
+
+    /// Indices of `term` that may be summed now: summation indices that occur
+    /// in no *other* live term.
+    fn reducible(&self, terms: &[Term], which: usize) -> Vec<IndexVar> {
+        terms[which]
+            .indices
+            .iter()
+            .filter(|ix| {
+                !self.output_set.contains(*ix)
+                    && terms
+                        .iter()
+                        .enumerate()
+                        .all(|(j, t)| j == which || !t.indices.contains(*ix))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Applies all available unary reductions (Algorithm 1 lines 5–9),
+    /// mutating `terms`/`steps` in place. Deterministic: scans terms in
+    /// order, repeats to fixpoint.
+    fn apply_unary_reductions(&self, terms: &mut [Term], steps: &mut Vec<Step>) {
+        loop {
+            let mut changed = false;
+            for which in 0..terms.len() {
+                // A single remaining term keeps its reducible indices for the
+                // final step so the factorization always ends with the
+                // statement that writes the declared output.
+                if terms.len() == 1 {
+                    return;
+                }
+                let red = self.reducible(terms, which);
+                if red.is_empty() {
+                    continue;
+                }
+                let term = &terms[which];
+                let kept: Vec<IndexVar> = term
+                    .order
+                    .iter()
+                    .filter(|ix| !red.contains(ix))
+                    .cloned()
+                    .collect();
+                let step_id = steps.len();
+                let key = format!("R({};{:?})", term.key, red);
+                steps.push(Step {
+                    name: format!("t{}", step_id + 1),
+                    indices: kept.clone(),
+                    operands: vec![term.op],
+                    sum_over: red,
+                });
+                terms[which] = Term {
+                    op: Operand::Temp(step_id),
+                    indices: kept.iter().cloned().collect(),
+                    order: kept,
+                    key,
+                };
+                changed = true;
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Layout for a fresh temporary: operand-order indices of the left
+    /// operand followed by new indices of the right, minus summed indices.
+    fn temp_layout(a: &Term, b: &Term, summed: &[IndexVar]) -> Vec<IndexVar> {
+        let mut order: Vec<IndexVar> = Vec::new();
+        for ix in a.order.iter().chain(b.order.iter()) {
+            if !summed.contains(ix) && !order.contains(ix) {
+                order.push(ix.clone());
+            }
+        }
+        order
+    }
+
+    fn recurse(&mut self, terms: Vec<Term>, steps: Vec<Step>) {
+        if self.results.len() >= self.max_results {
+            return;
+        }
+        if terms.len() == 1 {
+            self.finish(terms.into_iter().next().unwrap(), steps);
+            return;
+        }
+        // Depth-first over every unordered pair (Algorithm 1 lines 10–14).
+        for a in 0..terms.len() {
+            for b in (a + 1)..terms.len() {
+                let mut terms2 = terms.clone();
+                let mut steps2 = steps.clone();
+                let tb = terms2.remove(b);
+                let ta = terms2.remove(a);
+
+                let union: BTreeSet<IndexVar> =
+                    ta.indices.union(&tb.indices).cloned().collect();
+                // Sum away indices now exclusive to the merged term.
+                let summed: Vec<IndexVar> = union
+                    .iter()
+                    .filter(|ix| {
+                        !self.output_set.contains(*ix)
+                            && terms2.iter().all(|t| !t.indices.contains(*ix))
+                    })
+                    .cloned()
+                    .collect();
+                let is_final = terms2.is_empty();
+                let layout = if is_final {
+                    self.contraction.output.indices.clone()
+                } else {
+                    Self::temp_layout(&ta, &tb, &summed)
+                };
+                let kept: BTreeSet<IndexVar> = layout.iter().cloned().collect();
+                // Commutative canonical key.
+                let (ka, kb) = if ta.key <= tb.key {
+                    (&ta.key, &tb.key)
+                } else {
+                    (&tb.key, &ta.key)
+                };
+                let key = format!("C({ka},{kb})");
+                let step_id = steps2.len();
+                steps2.push(Step {
+                    name: if is_final {
+                        self.contraction.output.name.clone()
+                    } else {
+                        format!("t{}", step_id + 1)
+                    },
+                    indices: layout.clone(),
+                    operands: vec![ta.op, tb.op],
+                    sum_over: summed,
+                });
+                terms2.push(Term {
+                    op: Operand::Temp(step_id),
+                    indices: kept,
+                    order: layout,
+                    key,
+                });
+                self.apply_unary_reductions(&mut terms2, &mut steps2);
+                self.recurse(terms2, steps2);
+            }
+        }
+    }
+
+    fn finish(&mut self, last: Term, mut steps: Vec<Step>) {
+        debug_assert_eq!(
+            last.indices,
+            self.output_set,
+            "final term does not match output indices"
+        );
+        // Ensure the final step is named after, and laid out as, the output.
+        if let Operand::Temp(j) = last.op {
+            steps[j].name = self.contraction.output.name.clone();
+            steps[j].indices = self.contraction.output.indices.clone();
+        }
+        let key = last.key.clone();
+        if self.results.contains_key(&key) {
+            return;
+        }
+        let flops = steps
+            .iter()
+            .map(|s| {
+                let mut joint: BTreeSet<&IndexVar> = s.indices.iter().collect();
+                joint.extend(s.sum_over.iter());
+                let space = self.extent_product(joint);
+                let ops_per_point = if s.operands.len() == 2 { 2 } else { 1 };
+                space * ops_per_point
+            })
+            .sum();
+        let temp_elems = steps
+            .iter()
+            .take(steps.len().saturating_sub(1))
+            .map(|s| self.extent_product(s.indices.iter()))
+            .sum();
+        self.results.insert(
+            key.clone(),
+            Factorization {
+                steps,
+                flops,
+                temp_elems,
+                key,
+            },
+        );
+    }
+}
+
+/// Enumerates all distinct factorizations of `contraction` under `dims`,
+/// sorted by ascending operation count (ties broken by canonical key, so the
+/// order is fully deterministic).
+pub fn enumerate_factorizations(
+    contraction: &Contraction,
+    dims: &IndexMap,
+) -> Vec<Factorization> {
+    contraction
+        .validate(dims)
+        .unwrap_or_else(|e| panic!("invalid contraction: {e}"));
+    assert!(
+        contraction.terms.len() <= 7,
+        "refusing to enumerate factorizations of {} terms (exponential)",
+        contraction.terms.len()
+    );
+
+    let mut en = Enumerator {
+        contraction,
+        dims,
+        output_set: contraction.output.indices.iter().cloned().collect(),
+        results: BTreeMap::new(),
+        max_results: 100_000,
+    };
+
+    let mut terms: Vec<Term> = contraction
+        .terms
+        .iter()
+        .enumerate()
+        .map(|(k, t)| Term {
+            op: Operand::Input(k),
+            indices: t.index_set(),
+            order: t.indices.clone(),
+            key: format!("L{k}"),
+        })
+        .collect();
+    let mut steps = Vec::new();
+
+    if terms.len() == 1 {
+        // Single-term statement: one unary reduction (or copy).
+        let t = terms.remove(0);
+        let summed: Vec<IndexVar> = t
+            .indices
+            .iter()
+            .filter(|ix| !en.output_set.contains(*ix))
+            .cloned()
+            .collect();
+        steps.push(Step {
+            name: contraction.output.name.clone(),
+            indices: contraction.output.indices.clone(),
+            operands: vec![t.op],
+            sum_over: summed,
+        });
+        let all = contraction.all_indices();
+        let f = Factorization {
+            flops: en.extent_product(all.iter()),
+            temp_elems: 0,
+            key: format!("R({})", t.key),
+            steps,
+        };
+        return vec![f];
+    }
+
+    en.apply_unary_reductions(&mut terms, &mut steps);
+    en.recurse(terms, steps);
+
+    let mut out: Vec<Factorization> = en.results.into_values().collect();
+    out.sort_by(|a, b| a.flops.cmp(&b.flops).then_with(|| a.key.cmp(&b.key)));
+    out
+}
+
+impl Factorization {
+    /// Executes the factorized program step by step with the reference
+    /// einsum evaluator. Used to validate that every factorization computes
+    /// exactly the original statement.
+    pub fn evaluate(
+        &self,
+        contraction: &Contraction,
+        dims: &IndexMap,
+        inputs: &[&Tensor],
+    ) -> Tensor {
+        assert_eq!(inputs.len(), contraction.terms.len());
+        let mut temps: Vec<Tensor> = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let operand_labels: Vec<Vec<IndexVar>> = step
+                .operands
+                .iter()
+                .map(|op| match op {
+                    Operand::Input(k) => contraction.terms[*k].indices.clone(),
+                    Operand::Temp(j) => self.steps[*j].indices.clone(),
+                })
+                .collect();
+            let spec = EinsumSpec {
+                inputs: operand_labels,
+                output: step.indices.clone(),
+                dims: {
+                    let mut sub = IndexMap::new();
+                    for ix in step
+                        .indices
+                        .iter()
+                        .chain(step.sum_over.iter())
+                    {
+                        sub.insert(ix.clone(), dims[ix]);
+                    }
+                    // Operand indices may include summed ones already covered.
+                    for op in &step.operands {
+                        let labels = match op {
+                            Operand::Input(k) => &contraction.terms[*k].indices,
+                            Operand::Temp(j) => &self.steps[*j].indices,
+                        };
+                        for ix in labels {
+                            sub.insert(ix.clone(), dims[ix]);
+                        }
+                    }
+                    sub
+                },
+            };
+            let operand_tensors: Vec<&Tensor> = step
+                .operands
+                .iter()
+                .map(|op| match op {
+                    Operand::Input(k) => inputs[*k],
+                    Operand::Temp(j) => &temps[*j],
+                })
+                .collect();
+            temps.push(spec.evaluate(&operand_tensors));
+        }
+        let mut out = temps.pop().expect("factorization has no steps");
+        if contraction.coefficient != 1.0 {
+            for v in out.data_mut() {
+                *v *= contraction.coefficient;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TensorRef;
+    use tensor::index::uniform_dims;
+    use tensor::Shape;
+
+    fn eqn1() -> Contraction {
+        Contraction {
+            output: TensorRef::new("V", &["i", "j", "k"]),
+            sum_indices: vec!["l".into(), "m".into(), "n".into()],
+            terms: vec![
+                TensorRef::new("A", &["l", "k"]),
+                TensorRef::new("B", &["m", "j"]),
+                TensorRef::new("C", &["n", "i"]),
+                TensorRef::new("U", &["l", "m", "n"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        }
+    }
+
+    #[test]
+    fn eqn1_yields_fifteen_versions() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        let fs = enumerate_factorizations(&eqn1(), &dims);
+        assert_eq!(fs.len(), 15, "paper: OCTOPI generates fifteen versions");
+    }
+
+    #[test]
+    fn eqn1_six_minimal_flop_versions() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        let fs = enumerate_factorizations(&eqn1(), &dims);
+        let min = fs[0].flops;
+        let n_min = fs.iter().filter(|f| f.flops == min).count();
+        assert_eq!(n_min, 6, "paper: six versions share the minimal flop count");
+        // Strength reduction lowers O(N^6) to O(N^4): three N^4 binary steps.
+        assert_eq!(min, 3 * 2 * 10u64.pow(4));
+    }
+
+    #[test]
+    fn eqn1_naive_tree_costs_n6() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        let fs = enumerate_factorizations(&eqn1(), &dims);
+        let max = fs.last().unwrap().flops;
+        assert!(max >= 2 * 10u64.pow(6), "worst tree should be O(N^6): {max}");
+    }
+
+    #[test]
+    fn all_eqn1_factorizations_compute_the_same_tensor() {
+        let n = 4;
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], n);
+        let c = eqn1();
+        let reference = c.to_einsum(&dims);
+        let a = Tensor::random(Shape::new([n, n]), 1);
+        let b = Tensor::random(Shape::new([n, n]), 2);
+        let cc = Tensor::random(Shape::new([n, n]), 3);
+        let u = Tensor::random(Shape::new([n, n, n]), 4);
+        let expect = reference.evaluate(&[&a, &b, &cc, &u]);
+        for f in enumerate_factorizations(&c, &dims) {
+            let got = f.evaluate(&c, &dims, &[&a, &b, &cc, &u]);
+            assert!(
+                expect.approx_eq(&got, 1e-10),
+                "factorization {} diverges",
+                f.key
+            );
+        }
+    }
+
+    #[test]
+    fn two_term_contraction_single_step() {
+        let c = Contraction {
+            output: TensorRef::new("C", &["i", "k"]),
+            sum_indices: vec!["j".into()],
+            terms: vec![
+                TensorRef::new("A", &["i", "j"]),
+                TensorRef::new("B", &["j", "k"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        };
+        let dims = uniform_dims(&["i", "j", "k"], 8);
+        let fs = enumerate_factorizations(&c, &dims);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].steps.len(), 1);
+        assert_eq!(fs[0].steps[0].sum_over, vec![IndexVar::new("j")]);
+        assert_eq!(fs[0].flops, 2 * 8u64.pow(3));
+        assert_eq!(fs[0].temp_elems, 0);
+    }
+
+    #[test]
+    fn outer_product_has_no_summation() {
+        let c = Contraction {
+            output: TensorRef::new("T", &["i", "j"]),
+            sum_indices: vec![],
+            terms: vec![TensorRef::new("x", &["i"]), TensorRef::new("y", &["j"])],
+            accumulate: false,
+            coefficient: 1.0,
+        };
+        let dims = uniform_dims(&["i", "j"], 16);
+        let fs = enumerate_factorizations(&c, &dims);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].steps[0].sum_over.is_empty());
+    }
+
+    #[test]
+    fn single_term_reduction() {
+        let c = Contraction {
+            output: TensorRef::new("y", &["i"]),
+            sum_indices: vec!["j".into()],
+            terms: vec![TensorRef::new("A", &["i", "j"])],
+            accumulate: false,
+            coefficient: 1.0,
+        };
+        let dims = uniform_dims(&["i", "j"], 5);
+        let fs = enumerate_factorizations(&c, &dims);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].steps.len(), 1);
+        assert_eq!(fs[0].steps[0].operands, vec![Operand::Input(0)]);
+        let a = Tensor::random(Shape::new([5, 5]), 9);
+        let got = fs[0].evaluate(&c, &dims, &[&a]);
+        let expect = c.to_einsum(&dims).evaluate(&[&a]);
+        assert!(expect.approx_eq(&got, 1e-12));
+    }
+
+    #[test]
+    fn early_unary_reduction_fires() {
+        // k occurs only in A and is summed: the enumerator should reduce A
+        // over k before any binary combine.
+        let c = Contraction {
+            output: TensorRef::new("y", &["i"]),
+            sum_indices: vec!["j".into(), "k".into()],
+            terms: vec![
+                TensorRef::new("A", &["i", "j", "k"]),
+                TensorRef::new("b", &["j"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        };
+        let dims = uniform_dims(&["i", "j", "k"], 6);
+        let fs = enumerate_factorizations(&c, &dims);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].steps.len(), 2);
+        assert_eq!(fs[0].steps[0].operands.len(), 1, "unary reduction first");
+        assert_eq!(fs[0].steps[0].sum_over, vec![IndexVar::new("k")]);
+        // Validate numerically.
+        let a = Tensor::random(Shape::new([6, 6, 6]), 21);
+        let b = Tensor::random(Shape::new([6]), 22);
+        let got = fs[0].evaluate(&c, &dims, &[&a, &b]);
+        let expect = c.to_einsum(&dims).evaluate(&[&a, &b]);
+        assert!(expect.approx_eq(&got, 1e-12));
+    }
+
+    #[test]
+    fn three_term_count_matches_double_factorial() {
+        // (2*3-3)!! = 3 distinct trees for three terms.
+        let c = Contraction {
+            output: TensorRef::new("W", &["i", "j", "k"]),
+            sum_indices: vec!["l".into(), "m".into()],
+            terms: vec![
+                TensorRef::new("A", &["i", "l"]),
+                TensorRef::new("B", &["j", "m"]),
+                TensorRef::new("U", &["l", "m", "k"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        };
+        let dims = uniform_dims(&["i", "j", "k", "l", "m"], 4);
+        let fs = enumerate_factorizations(&c, &dims);
+        assert_eq!(fs.len(), 3);
+    }
+
+    #[test]
+    fn factorizations_sorted_by_flops() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        let fs = enumerate_factorizations(&eqn1(), &dims);
+        for w in fs.windows(2) {
+            assert!(w[0].flops <= w[1].flops);
+        }
+    }
+}

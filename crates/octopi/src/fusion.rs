@@ -1,0 +1,165 @@
+//! Loop-fusion analysis across the statements of a factorization (§III).
+//!
+//! After strength reduction, a version is a chain of small loop nests with
+//! temporaries flowing between them. When a producer's output loops and its
+//! consumer's loops share leading indices, the nests can be fused, which
+//! "has better memory usage and enables more optimizations" (paper §III).
+//! This module computes, for each producer→consumer edge, how many loops are
+//! fusable after reordering, and scores whole factorizations so the pipeline
+//! can prefer fusion-friendly versions.
+
+use crate::factorize::{Factorization, Operand};
+use std::collections::BTreeSet;
+use tensor::{IndexMap, IndexVar};
+
+/// One fusable producer→consumer edge in a factorization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusionEdge {
+    /// Index of the producing step.
+    pub producer: usize,
+    /// Index of the consuming step.
+    pub consumer: usize,
+    /// Indices that can become shared (fused) loops: present in both the
+    /// producer's output and the consumer's output. Loop reordering is free
+    /// at the tensor level, so any common subset qualifies.
+    pub fusable: Vec<IndexVar>,
+    /// Elements of the producer temporary that remain live per fused-loop
+    /// iteration (smaller is better: the temp collapses by the fused
+    /// extents).
+    pub residual_temp_elems: u64,
+}
+
+/// Fusion analysis result for a whole factorization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusionPlan {
+    pub edges: Vec<FusionEdge>,
+    /// Total temp elements with no fusion.
+    pub unfused_temp_elems: u64,
+    /// Total residual temp elements if every edge is fused maximally.
+    pub fused_temp_elems: u64,
+}
+
+impl FusionPlan {
+    /// Ratio of temporary storage eliminated by fusion (0 = none, →1 = all).
+    pub fn savings(&self) -> f64 {
+        if self.unfused_temp_elems == 0 {
+            return 0.0;
+        }
+        1.0 - self.fused_temp_elems as f64 / self.unfused_temp_elems as f64
+    }
+}
+
+/// Analyzes fusion opportunities between each temporary's producer and its
+/// (unique, in a tree-shaped factorization) consumer.
+pub fn analyze_fusion(f: &Factorization, dims: &IndexMap) -> FusionPlan {
+    let mut edges = Vec::new();
+    let mut unfused = 0u64;
+    let mut fused = 0u64;
+
+    for (j, step) in f.steps.iter().enumerate() {
+        // Find the consumer of temp j (skip the final output step).
+        let Some((cidx, consumer)) = f
+            .steps
+            .iter()
+            .enumerate()
+            .skip(j + 1)
+            .find(|(_, s)| s.operands.contains(&Operand::Temp(j)))
+        else {
+            continue;
+        };
+
+        let producer_out: BTreeSet<&IndexVar> = step.indices.iter().collect();
+        let consumer_out: BTreeSet<&IndexVar> = consumer.indices.iter().collect();
+        let fusable: Vec<IndexVar> = producer_out
+            .intersection(&consumer_out)
+            .map(|ix| (*ix).clone())
+            .collect();
+
+        let temp_elems: u64 = step.indices.iter().map(|ix| dims[ix] as u64).product();
+        let fused_extents: u64 = fusable.iter().map(|ix| dims[ix] as u64).product();
+        let residual = temp_elems / fused_extents.max(1);
+
+        unfused += temp_elems;
+        fused += residual;
+        edges.push(FusionEdge {
+            producer: j,
+            consumer: cidx,
+            fusable,
+            residual_temp_elems: residual,
+        });
+    }
+
+    FusionPlan {
+        edges,
+        unfused_temp_elems: unfused,
+        fused_temp_elems: fused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Contraction, TensorRef};
+    use crate::factorize::enumerate_factorizations;
+    use tensor::index::uniform_dims;
+
+    fn eqn1() -> Contraction {
+        Contraction {
+            output: TensorRef::new("V", &["i", "j", "k"]),
+            sum_indices: vec!["l".into(), "m".into(), "n".into()],
+            terms: vec![
+                TensorRef::new("A", &["l", "k"]),
+                TensorRef::new("B", &["m", "j"]),
+                TensorRef::new("C", &["n", "i"]),
+                TensorRef::new("U", &["l", "m", "n"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        }
+    }
+
+    #[test]
+    fn eqn1_best_version_has_two_fusable_edges() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        let fs = enumerate_factorizations(&eqn1(), &dims);
+        let plan = analyze_fusion(&fs[0], &dims);
+        // Three steps: t1 -> t2 -> V, so two producer/consumer edges.
+        assert_eq!(plan.edges.len(), 2);
+        for e in &plan.edges {
+            assert!(
+                !e.fusable.is_empty(),
+                "paper example fuses loops on each edge"
+            );
+        }
+        assert!(plan.savings() > 0.0);
+    }
+
+    #[test]
+    fn fusion_savings_bounded() {
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
+        for f in enumerate_factorizations(&eqn1(), &dims) {
+            let plan = analyze_fusion(&f, &dims);
+            let s = plan.savings();
+            assert!((0.0..=1.0).contains(&s), "savings {s} out of range");
+        }
+    }
+
+    #[test]
+    fn single_step_has_no_edges() {
+        let c = Contraction {
+            output: TensorRef::new("C", &["i", "k"]),
+            sum_indices: vec!["j".into()],
+            terms: vec![
+                TensorRef::new("A", &["i", "j"]),
+                TensorRef::new("B", &["j", "k"]),
+            ],
+            accumulate: false,
+            coefficient: 1.0,
+        };
+        let dims = uniform_dims(&["i", "j", "k"], 4);
+        let fs = enumerate_factorizations(&c, &dims);
+        let plan = analyze_fusion(&fs[0], &dims);
+        assert!(plan.edges.is_empty());
+        assert_eq!(plan.savings(), 0.0);
+    }
+}

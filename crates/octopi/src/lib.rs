@@ -1,0 +1,36 @@
+//! OCTOPI — Optimizing Compiler with Tensor OPeration Intelligence.
+//!
+//! The frontend of the Barracuda pipeline (paper §III). It accepts summation
+//! statements in a notation close to the paper's input language:
+//!
+//! ```text
+//! V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+//! ```
+//!
+//! and applies *tensor-level* algebraic transformations:
+//!
+//! - **Strength reduction** (Algorithm 1 of the paper): enumerate all
+//!   factorizations of an n-ary contraction into binary contractions with
+//!   temporaries, exploiting commutativity/associativity and early summation
+//!   of indices local to a single term. For the paper's Eqn. (1) this yields
+//!   exactly 15 distinct versions, 6 of which share the minimal operation
+//!   count ([`factorize::enumerate_factorizations`]).
+//! - **Fusion analysis** ([`fusion`]): which adjacent produced statements can
+//!   share loops, reducing temporary traffic.
+//! - **Cost analysis** ([`cost`]): floating-point operation counts and
+//!   temporary-memory footprints per version.
+//!
+//! Each surviving version is handed to the TCR crate as a sequence of binary
+//! contraction statements.
+
+pub mod ast;
+pub mod cost;
+pub mod cse;
+pub mod factorize;
+pub mod fusion;
+pub mod parser;
+
+pub use ast::{Contraction, Program, TensorRef};
+pub use cse::{analyze_cse, CseReport};
+pub use factorize::{enumerate_factorizations, Factorization, Operand, Step};
+pub use parser::{parse_program, ParseError};

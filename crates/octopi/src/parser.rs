@@ -1,0 +1,493 @@
+//! Parser for the OCTOPI input language.
+//!
+//! Grammar (whitespace-insensitive; `#` starts a line comment):
+//!
+//! ```text
+//! program   := (dims_block | statement)*
+//! dims_block:= 'dims' '{' (IDENT '=' INT ','?)* '}'
+//! statement := tensorref ('=' | '+=' | '-=') rhs
+//! rhs       := 'Sum' '(' '[' indices ']' ',' product ')' | product
+//! product   := (NUMBER '*')? tensorref ('*' tensorref)*
+//! tensorref := IDENT '[' indices ']'
+//! indices   := IDENT ( (',' | ' ') IDENT )*
+//! ```
+
+use crate::ast::{Contraction, Program, TensorRef};
+use std::fmt;
+use tensor::{IndexMap, IndexVar};
+
+/// Parse failure with a byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(usize),
+    Float(f64),
+    MinusEq,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Star,
+    Eq,
+    PlusEq,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.src.len() {
+                return Ok(out);
+            }
+            let start = self.pos;
+            let c = self.src[self.pos];
+            let tok = match c {
+                b'[' => {
+                    self.pos += 1;
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.pos += 1;
+                    Tok::RBracket
+                }
+                b'(' => {
+                    self.pos += 1;
+                    Tok::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    Tok::RParen
+                }
+                b'{' => {
+                    self.pos += 1;
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.pos += 1;
+                    Tok::RBrace
+                }
+                b',' => {
+                    self.pos += 1;
+                    Tok::Comma
+                }
+                b'*' => {
+                    self.pos += 1;
+                    Tok::Star
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Tok::Eq
+                }
+                b'+' => {
+                    if self.src.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::PlusEq
+                    } else {
+                        return Err(self.err("expected '+='"));
+                    }
+                }
+                b'-' => {
+                    if self.src.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::MinusEq
+                    } else {
+                        return Err(self.err("expected '-='"));
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let mut v = 0usize;
+                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                        v = v * 10 + (self.src[self.pos] - b'0') as usize;
+                        self.pos += 1;
+                    }
+                    if self.src.get(self.pos) == Some(&b'.') {
+                        self.pos += 1;
+                        let mut frac = 0.0f64;
+                        let mut scale = 0.1f64;
+                        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                            frac += (self.src[self.pos] - b'0') as f64 * scale;
+                            scale *= 0.1;
+                            self.pos += 1;
+                        }
+                        Tok::Float(v as f64 + frac)
+                    } else {
+                        Tok::Int(v)
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    Tok::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character {:?}", other as char)));
+                }
+            };
+            out.push((start, tok));
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(ref t) if t == want => Ok(()),
+            got => Err(ParseError {
+                offset: self.offset(),
+                message: format!("expected {want:?}, got {got:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => Err(ParseError {
+                offset: self.offset(),
+                message: format!("expected identifier, got {got:?}"),
+            }),
+        }
+    }
+
+    /// `IDENT (','? IDENT)*` until a closing bracket.
+    fn index_list(&mut self) -> Result<Vec<IndexVar>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(_)) => {
+                    out.push(IndexVar::new(self.ident()?));
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                    }
+                }
+                Some(Tok::RBracket) => break,
+                _ => return Err(self.err("expected index name or ']'")),
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("empty index list"));
+        }
+        Ok(out)
+    }
+
+    fn tensorref(&mut self) -> Result<TensorRef, ParseError> {
+        let name = self.ident()?;
+        self.expect(&Tok::LBracket)?;
+        let indices = self.index_list()?;
+        self.expect(&Tok::RBracket)?;
+        Ok(TensorRef { name, indices })
+    }
+
+    /// `(NUMBER '*')? tensorref ('*' tensorref)*` → (coefficient, terms).
+    fn product(&mut self) -> Result<(f64, Vec<TensorRef>), ParseError> {
+        let coeff = match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v as f64;
+                self.bump();
+                self.expect(&Tok::Star)?;
+                v
+            }
+            Some(Tok::Float(v)) => {
+                let v = *v;
+                self.bump();
+                self.expect(&Tok::Star)?;
+                v
+            }
+            _ => 1.0,
+        };
+        let mut terms = vec![self.tensorref()?];
+        while self.peek() == Some(&Tok::Star) {
+            self.bump();
+            terms.push(self.tensorref()?);
+        }
+        Ok((coeff, terms))
+    }
+
+    fn dims_block(&mut self, dims: &mut IndexMap) -> Result<(), ParseError> {
+        self.expect(&Tok::LBrace)?;
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(Tok::Ident(_)) => {
+                    let name = self.ident()?;
+                    self.expect(&Tok::Eq)?;
+                    match self.bump() {
+                        Some(Tok::Int(v)) => {
+                            if v == 0 {
+                                return Err(self.err(format!("extent of {name} must be > 0")));
+                            }
+                            dims.insert(IndexVar::new(name), v);
+                        }
+                        got => {
+                            return Err(ParseError {
+                                offset: self.offset(),
+                                message: format!("expected integer extent, got {got:?}"),
+                            })
+                        }
+                    }
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                    }
+                }
+                _ => return Err(self.err("expected index extent or '}'")),
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Contraction, ParseError> {
+        let output = self.tensorref()?;
+        let (accumulate, sign) = match self.bump() {
+            Some(Tok::Eq) => (false, 1.0),
+            Some(Tok::PlusEq) => (true, 1.0),
+            Some(Tok::MinusEq) => (true, -1.0),
+            got => {
+                return Err(ParseError {
+                    offset: self.offset(),
+                    message: format!("expected '=', '+=' or '-=', got {got:?}"),
+                })
+            }
+        };
+        let (sum_indices, coeff, terms) =
+            if matches!(self.peek(), Some(Tok::Ident(s)) if s == "Sum") {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                self.expect(&Tok::LBracket)?;
+                let sums = self.index_list()?;
+                self.expect(&Tok::RBracket)?;
+                self.expect(&Tok::Comma)?;
+                let (coeff, terms) = self.product()?;
+                self.expect(&Tok::RParen)?;
+                (sums, coeff, terms)
+            } else {
+                let (coeff, terms) = self.product()?;
+                (Vec::new(), coeff, terms)
+            };
+        Ok(Contraction {
+            output,
+            sum_indices,
+            terms,
+            accumulate,
+            coefficient: sign * coeff,
+        })
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while self.peek().is_some() {
+            if matches!(self.peek(), Some(Tok::Ident(s)) if s == "dims") {
+                self.bump();
+                self.dims_block(&mut prog.dims)?;
+            } else {
+                prog.statements.push(self.statement()?);
+            }
+        }
+        if prog.statements.is_empty() {
+            return Err(self.err("program has no statements"));
+        }
+        Ok(prog)
+    }
+}
+
+/// Parses a full OCTOPI program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    Parser { toks, pos: 0 }.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EQN1: &str = "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])";
+
+    #[test]
+    fn parse_eqn1() {
+        let p = parse_program(EQN1).unwrap();
+        assert_eq!(p.statements.len(), 1);
+        let st = &p.statements[0];
+        assert_eq!(st.output.name, "V");
+        assert_eq!(st.terms.len(), 4);
+        assert_eq!(st.sum_indices.len(), 3);
+        assert!(!st.accumulate);
+    }
+
+    #[test]
+    fn parse_commas_and_accumulate() {
+        let p = parse_program("W[i, l] += B[i, k] * U[k, l]").unwrap();
+        let st = &p.statements[0];
+        assert!(st.accumulate);
+        assert!(st.sum_indices.is_empty());
+        assert_eq!(st.terms[1].indices[1], IndexVar::new("l"));
+    }
+
+    #[test]
+    fn parse_dims_block_and_comments() {
+        let src = "# spectral element\n dims { i = 10, j = 10 k = 10 }\n V[i j] = A[i k] * B[k j]";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.dims.len(), 3);
+        assert_eq!(p.dims[&IndexVar::new("k")], 10);
+        assert_eq!(p.statements.len(), 1);
+    }
+
+    #[test]
+    fn parse_multi_statement() {
+        let src = "T1[i l m] = Sum([n], C[n i] * U[l m n])\nT2[j i l] = Sum([m], B[m j] * T1[i l m])";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.statements.len(), 2);
+        assert_eq!(p.statements[1].terms[1].name, "T1");
+    }
+
+    #[test]
+    fn parse_nwchem_style_names() {
+        let src = "t3[h3 h2 h1 p6 p5 p4] += Sum([h7], t2[h7 p4 p5 h1] * v2[h3 h2 p6 h7])";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.statements[0].output.indices.len(), 6);
+        assert_eq!(p.statements[0].sum_indices[0], IndexVar::new("h7"));
+    }
+
+    #[test]
+    fn parse_minus_eq_and_coefficients() {
+        let p = parse_program("t3[h1] -= Sum([h7], t2[h7] * v2[h1 h7])").unwrap();
+        let st = &p.statements[0];
+        assert!(st.accumulate);
+        assert_eq!(st.coefficient, -1.0);
+
+        let p = parse_program("y[i] = 2.5 * A[i j]  x[j]".replace("  ", " * ").as_str()).unwrap();
+        assert_eq!(p.statements[0].coefficient, 2.5);
+
+        let p = parse_program("y[i] += Sum([j], 3 * A[i j] * x[j])").unwrap();
+        assert_eq!(p.statements[0].coefficient, 3.0);
+        assert_eq!(p.statements[0].terms.len(), 2);
+    }
+
+    #[test]
+    fn coefficient_display_roundtrip() {
+        for src in [
+            "t3[h1] -= Sum([h7], t2[h7] * v2[h1 h7])",
+            "y[i] += Sum([j], 3 * A[i j] * x[j])",
+        ] {
+            let p = parse_program(src).unwrap();
+            let printed = p.statements[0].to_string();
+            let p2 = parse_program(&printed).unwrap();
+            assert_eq!(p.statements, p2.statements, "{printed}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_program("V[i j] = A[i j] +").unwrap_err();
+        assert!(err.message.contains("+="), "{err}");
+    }
+
+    #[test]
+    fn error_empty_index_list() {
+        assert!(parse_program("V[] = A[i]").is_err());
+    }
+
+    #[test]
+    fn error_zero_extent() {
+        assert!(parse_program("dims { i = 0 }\nV[i] = A[i]").is_err());
+    }
+
+    #[test]
+    fn error_no_statements() {
+        assert!(parse_program("dims { i = 4 }").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_reparse() {
+        let p = parse_program(EQN1).unwrap();
+        let printed = p.statements[0].to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p.statements, p2.statements);
+    }
+}

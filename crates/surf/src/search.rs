@@ -1,0 +1,343 @@
+//! SURF model-based search — Algorithm 2 of the paper.
+//!
+//! Configurations are opaque `u128` ids drawn from a pool. The caller
+//! provides the feature encoding and the (expensive, possibly parallel)
+//! evaluation. Lower evaluation values are better (execution time).
+
+use crate::forest::{ExtraTrees, ForestParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Model-confidence stopping rule: stop once the surrogate predicts that
+/// fewer than `epsilon` of the remaining configurations lie within
+/// `delta` (relative) of the incumbent. On a *flat* landscape every
+/// configuration stays "promising", so the search runs to `max_evals` —
+/// reproducing the paper's observation that "the tiny Eqn.(1) computation
+/// spends the longest because the performances of its versions are so
+/// similar" (§VI-A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnpromisingStop {
+    /// Relative band around the incumbent that counts as promising.
+    pub delta: f64,
+    /// Stop when the promising fraction of the pool falls below this.
+    pub epsilon: f64,
+    /// Never stop before this many evaluations.
+    pub min_evals: usize,
+}
+
+impl Default for UnpromisingStop {
+    fn default() -> Self {
+        UnpromisingStop {
+            delta: 0.05,
+            epsilon: 0.02,
+            min_evals: 60,
+        }
+    }
+}
+
+/// Parameters of the search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurfParams {
+    /// Random configurations evaluated before the first model fit (0 ⇒ one
+    /// batch). A diverse initial design keeps the surrogate from locking
+    /// onto the first basin it sees.
+    pub init_evals: usize,
+    /// Concurrent evaluations per iteration (`bs` in Algorithm 2).
+    pub batch_size: usize,
+    /// Evaluation budget (`nmax`).
+    pub max_evals: usize,
+    /// Stop early after this many consecutive batches without improving the
+    /// incumbent by at least `min_improvement` (relative). `None` disables
+    /// early stopping — the paper's flat Eqn.(1) landscape is what makes
+    /// its search run long.
+    pub patience: Option<usize>,
+    /// Relative improvement threshold for the patience counter.
+    pub min_improvement: f64,
+    /// Optional model-confidence stop (see [`UnpromisingStop`]).
+    pub unpromising_stop: Option<UnpromisingStop>,
+    pub seed: u64,
+    pub forest: ForestParams,
+}
+
+impl Default for SurfParams {
+    fn default() -> Self {
+        SurfParams {
+            init_evals: 0,
+            batch_size: 10,
+            max_evals: 100,
+            patience: None,
+            min_improvement: 0.01,
+            unpromising_stop: None,
+            seed: 0x5EED,
+            forest: ForestParams::default(),
+        }
+    }
+}
+
+/// Result of a search run.
+#[derive(Clone, Debug)]
+pub struct SurfResult {
+    pub best_id: u128,
+    pub best_y: f64,
+    /// Every evaluated `(id, y)` pair in evaluation order.
+    pub evaluated: Vec<(u128, f64)>,
+    /// Batches executed (model refits).
+    pub batches: usize,
+}
+
+impl SurfResult {
+    pub fn n_evals(&self) -> usize {
+        self.evaluated.len()
+    }
+}
+
+/// Runs SURF over `pool`.
+///
+/// * `features(id)` returns the *binarized* feature vector of a config.
+/// * `evaluate(id)` returns its measured performance (lower = better).
+pub fn surf_search(
+    pool: &[u128],
+    mut features: impl FnMut(u128) -> Vec<f64>,
+    mut evaluate: impl FnMut(u128) -> f64,
+    params: SurfParams,
+) -> SurfResult {
+    assert!(!pool.is_empty(), "empty configuration pool");
+    assert!(params.batch_size >= 1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Remaining (unevaluated) pool, shuffled once for unbiased init.
+    let mut remaining: Vec<u128> = pool.to_vec();
+    for i in (1..remaining.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        remaining.swap(i, j);
+    }
+
+    let mut xs: Vec<Vec<f64>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    let mut evaluated: Vec<(u128, f64)> = Vec::new();
+    let mut best: Option<(u128, f64)> = None;
+    let mut stale_batches = 0usize;
+    let mut batches = 0usize;
+
+    let run_batch = |ids: Vec<u128>,
+                         xs: &mut Vec<Vec<f64>>,
+                         ys: &mut Vec<f64>,
+                         evaluated: &mut Vec<(u128, f64)>,
+                         best: &mut Option<(u128, f64)>,
+                         features: &mut dyn FnMut(u128) -> Vec<f64>,
+                         evaluate: &mut dyn FnMut(u128) -> f64|
+     -> bool {
+        let mut improved = false;
+        for id in ids {
+            let y = evaluate(id);
+            xs.push(features(id));
+            ys.push(y);
+            evaluated.push((id, y));
+            let better = match best {
+                Some((_, by)) => y < *by * (1.0 - 1e-12),
+                None => true,
+            };
+            if better {
+                if let Some((_, by)) = best {
+                    if *by - y > params.min_improvement * *by {
+                        improved = true;
+                    }
+                } else {
+                    improved = true;
+                }
+                *best = Some((id, y));
+            }
+        }
+        improved
+    };
+
+    // Initialization: random configurations (Algorithm 2, lines 1–4).
+    let n_init = params
+        .init_evals
+        .max(params.batch_size)
+        .min(params.max_evals)
+        .min(remaining.len());
+    let init: Vec<u128> = remaining.drain(..n_init).collect();
+    run_batch(
+        init,
+        &mut xs,
+        &mut ys,
+        &mut evaluated,
+        &mut best,
+        &mut features,
+        &mut evaluate,
+    );
+    batches += 1;
+
+    // Iterative phase (lines 5–12).
+    while evaluated.len() < params.max_evals && !remaining.is_empty() {
+        let model = ExtraTrees::fit(&xs, &ys, params.forest);
+        // Predict all remaining configs, take the best-predicted batch.
+        let mut scored: Vec<(usize, f64)> = remaining
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (k, model.predict(&features(id))))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+
+        // Model-confidence stop: how much of the pool still looks
+        // competitive with the incumbent?
+        if let (Some(stop), Some((_, by))) = (params.unpromising_stop, best) {
+            if evaluated.len() >= stop.min_evals {
+                let promising = scored
+                    .iter()
+                    .filter(|(_, pred)| *pred <= by * (1.0 + stop.delta))
+                    .count();
+                let frac = promising as f64 / scored.len() as f64;
+                if frac < stop.epsilon {
+                    break;
+                }
+            }
+        }
+
+        let take = params
+            .batch_size
+            .min(params.max_evals - evaluated.len())
+            .min(remaining.len());
+        let mut chosen_idx: Vec<usize> = scored[..take].iter().map(|(k, _)| *k).collect();
+        chosen_idx.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
+        let mut ids = Vec::with_capacity(take);
+        for k in chosen_idx {
+            ids.push(remaining.swap_remove(k));
+        }
+
+        let improved = run_batch(
+            ids,
+            &mut xs,
+            &mut ys,
+            &mut evaluated,
+            &mut best,
+            &mut features,
+            &mut evaluate,
+        );
+        batches += 1;
+        if improved {
+            stale_batches = 0;
+        } else {
+            stale_batches += 1;
+            if let Some(p) = params.patience {
+                if stale_batches >= p {
+                    break;
+                }
+            }
+        }
+    }
+
+    let (best_id, best_y) = best.expect("at least one configuration evaluated");
+    SurfResult {
+        best_id,
+        best_y,
+        evaluated,
+        batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A structured landscape: low values clustered around a "good region"
+    /// the model can learn.
+    fn landscape(id: u128) -> f64 {
+        let x = (id % 100) as f64;
+        let y = (id / 100 % 100) as f64;
+        ((x - 70.0).powi(2) + (y - 30.0).powi(2)) / 100.0 + 1.0
+    }
+
+    fn feats(id: u128) -> Vec<f64> {
+        vec![(id % 100) as f64 / 100.0, (id / 100 % 100) as f64 / 100.0]
+    }
+
+    #[test]
+    fn finds_near_optimum_with_few_evals() {
+        let pool: Vec<u128> = (0..10_000).collect();
+        let res = surf_search(&pool, feats, landscape, SurfParams::default());
+        assert_eq!(res.n_evals(), 100);
+        // Global optimum is 1.0 at (70,30); random-100 expectation is far
+        // worse. SURF should land close.
+        assert!(res.best_y < 3.0, "best = {}", res.best_y);
+    }
+
+    #[test]
+    fn beats_random_search_on_structured_landscape() {
+        let pool: Vec<u128> = (0..10_000).collect();
+        let surf = surf_search(&pool, feats, landscape, SurfParams::default());
+        let random = crate::baselines::random_search(&pool, landscape, 100, 0x5EED);
+        assert!(
+            surf.best_y <= random.best_y,
+            "surf {} vs random {}",
+            surf.best_y,
+            random.best_y
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pool: Vec<u128> = (0..5_000).collect();
+        let a = surf_search(&pool, feats, landscape, SurfParams::default());
+        let b = surf_search(&pool, feats, landscape, SurfParams::default());
+        assert_eq!(a.best_id, b.best_id);
+        assert_eq!(a.evaluated, b.evaluated);
+    }
+
+    #[test]
+    fn never_reevaluates_a_configuration() {
+        let pool: Vec<u128> = (0..500).collect();
+        let count = RefCell::new(std::collections::HashMap::<u128, usize>::new());
+        let eval = |id: u128| {
+            *count.borrow_mut().entry(id).or_insert(0) += 1;
+            landscape(id)
+        };
+        let res = surf_search(&pool, feats, eval, SurfParams::default());
+        assert!(count.borrow().values().all(|&c| c == 1));
+        assert_eq!(res.n_evals(), 100);
+    }
+
+    #[test]
+    fn exhausts_small_pools() {
+        let pool: Vec<u128> = (0..37).collect();
+        let res = surf_search(&pool, feats, landscape, SurfParams::default());
+        assert_eq!(res.n_evals(), 37);
+        // With the whole pool evaluated the optimum is exact.
+        let expect = pool
+            .iter()
+            .map(|&id| landscape(id))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(res.best_y, expect);
+    }
+
+    #[test]
+    fn patience_stops_flat_landscapes_late_and_peaked_early() {
+        let pool: Vec<u128> = (0..50_000).collect();
+        let flat = |_: u128| 1.0;
+        let params = SurfParams {
+            max_evals: 1500,
+            patience: Some(10),
+            ..Default::default()
+        };
+        let res_flat = surf_search(&pool, feats, flat, params);
+        // Flat: the first evaluation is never improved upon; patience 10
+        // means 10 more batches after the first.
+        assert!(res_flat.n_evals() <= 110 + params.batch_size);
+        let res_peaked = surf_search(&pool, feats, landscape, params);
+        assert!(res_peaked.n_evals() <= 1500);
+    }
+
+    #[test]
+    fn respects_max_evals_budget() {
+        let pool: Vec<u128> = (0..10_000).collect();
+        let params = SurfParams {
+            max_evals: 23,
+            batch_size: 10,
+            ..Default::default()
+        };
+        let res = surf_search(&pool, feats, landscape, params);
+        assert_eq!(res.n_evals(), 23);
+    }
+}

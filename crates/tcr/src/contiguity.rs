@@ -1,0 +1,125 @@
+//! Contiguous-tensor and coalescing analysis (§IV).
+//!
+//! "We use *contiguous tensors* to describe array references whose index
+//! expressions refer to loops in the same order as they appear in the code;
+//! that is, the array is accessed in memory order (assuming row-major
+//! layout)." Contiguous tensors drive the choice of ThreadX candidates
+//! (coalesced global loads) and the block/thread decomposition rules.
+
+use crate::program::{TcrOp, TcrProgram};
+use tensor::IndexVar;
+
+/// True when array `array_id`'s declared index tuple appears as a subsequence
+/// of `loop_order` in the same relative order — the reference walks memory
+/// monotonically, with the innermost loop touching its fastest dimension.
+pub fn is_contiguous(program: &TcrProgram, array_id: usize, loop_order: &[IndexVar]) -> bool {
+    let decl = &program.arrays[array_id].indices;
+    let mut positions = Vec::with_capacity(decl.len());
+    for ix in decl {
+        match loop_order.iter().position(|v| v == ix) {
+            Some(p) => positions.push(p),
+            // An index not in this statement's loops cannot occur for
+            // well-formed programs; treat as non-contiguous defensively.
+            None => return false,
+        }
+    }
+    positions.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Array ids of `op` (inputs and output) that are contiguous under the order.
+pub fn contiguous_arrays(
+    program: &TcrProgram,
+    op: &TcrOp,
+    loop_order: &[IndexVar],
+) -> Vec<usize> {
+    let mut ids: Vec<usize> = op.inputs.clone();
+    ids.push(op.output);
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter()
+        .filter(|&id| is_contiguous(program, id, loop_order))
+        .collect()
+}
+
+/// True when loop variable `v` strides unit distance through array
+/// `array_id` — adjacent values of `v` touch adjacent memory. This is the
+/// paper's ThreadX criterion: "adjacent elements on an input tensor are
+/// accessed by adjacent threads so as to achieve global memory coalescing."
+pub fn is_unit_stride(program: &TcrProgram, array_id: usize, v: &IndexVar) -> bool {
+    program.arrays[array_id].stride_of(v, &program.dims) == Some(1)
+}
+
+/// Loop variables of `op` that have unit stride in at least one referenced
+/// array, in loop-nest order.
+pub fn coalescing_vars(program: &TcrProgram, op: &TcrOp) -> Vec<IndexVar> {
+    let mut ids: Vec<usize> = op.inputs.clone();
+    ids.push(op.output);
+    program
+        .loop_vars(op)
+        .into_iter()
+        .filter(|v| ids.iter().any(|&id| is_unit_stride(program, id, v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::tests_support::{eqn1_program, matmul_program};
+
+    #[test]
+    fn matmul_contiguity() {
+        let p = matmul_program(8);
+        let op = &p.ops[0];
+        // loops i,k,j: A[i,j] positions (0,2) ascending => contiguous;
+        // B[j,k] positions (2,1) => not contiguous; C[i,k] (0,1) => contiguous.
+        let order: Vec<IndexVar> = vec!["i".into(), "k".into(), "j".into()];
+        let a = p.arrays.iter().position(|a| a.name == "A").unwrap();
+        let b = p.arrays.iter().position(|a| a.name == "B").unwrap();
+        let c = p.arrays.iter().position(|a| a.name == "C").unwrap();
+        assert!(is_contiguous(&p, a, &order));
+        assert!(!is_contiguous(&p, b, &order));
+        assert!(is_contiguous(&p, c, &order));
+        let cont = contiguous_arrays(&p, op, &order);
+        assert!(cont.contains(&a) && cont.contains(&c) && !cont.contains(&b));
+    }
+
+    #[test]
+    fn unit_stride_detection() {
+        let p = matmul_program(8);
+        let a = p.arrays.iter().position(|a| a.name == "A").unwrap();
+        assert!(is_unit_stride(&p, a, &"j".into()));
+        assert!(!is_unit_stride(&p, a, &"i".into()));
+        assert!(!is_unit_stride(&p, a, &"k".into()));
+    }
+
+    #[test]
+    fn matmul_coalescing_vars() {
+        let p = matmul_program(8);
+        let vars = coalescing_vars(&p, &p.ops[0]);
+        // k has unit stride in B and C; j has unit stride in A.
+        assert!(vars.contains(&"k".into()));
+        assert!(vars.contains(&"j".into()));
+        assert!(!vars.contains(&"i".into()));
+    }
+
+    #[test]
+    fn eqn1_every_op_has_coalescing_candidates() {
+        let p = eqn1_program(10);
+        for op in &p.ops {
+            assert!(
+                !coalescing_vars(&p, op).is_empty(),
+                "op writing {} has no unit-stride loop",
+                p.arrays[op.output].name
+            );
+        }
+    }
+
+    #[test]
+    fn contiguity_requires_all_indices_in_order() {
+        let p = matmul_program(8);
+        let a = p.arrays.iter().position(|a| a.name == "A").unwrap();
+        // Order missing 'j' entirely: not contiguous.
+        let order: Vec<IndexVar> = vec!["i".into(), "k".into()];
+        assert!(!is_contiguous(&p, a, &order));
+    }
+}

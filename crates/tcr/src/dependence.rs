@@ -1,0 +1,146 @@
+//! Data dependence analysis for tensor contraction statements.
+//!
+//! The paper (§IV) uses a dependence analysis *specialized to the domain*:
+//! "Dependences can be carried only by loops with indices present in the
+//! right-hand side but not in the left-hand side of a tensor operation.
+//! Loops corresponding to all remaining indices may be executed in parallel."
+//!
+//! [`carried_by`] implements that rule. [`verify_against_pairwise`] checks
+//! it against the classic general pairwise test (two iterations conflict iff
+//! they touch the same element and at least one access is a write), run
+//! exhaustively on a small grid — the domain-specific shortcut must agree
+//! with the general analysis on every statement we generate.
+
+use crate::program::{TcrOp, TcrProgram};
+use tensor::{IndexVar, Shape};
+
+/// Loops that carry a dependence for this statement (the summation loops).
+pub fn carried_by(program: &TcrProgram, op: &TcrOp) -> Vec<IndexVar> {
+    // RHS indices not on the LHS are exactly the summation indices of a
+    // well-formed statement; recompute from the arrays to keep the analysis
+    // independent of how the op was constructed.
+    let lhs = &program.arrays[op.output].indices;
+    let mut carried: Vec<IndexVar> = Vec::new();
+    for id in &op.inputs {
+        for ix in &program.arrays[*id].indices {
+            if !lhs.contains(ix) && !carried.contains(ix) {
+                carried.push(ix.clone());
+            }
+        }
+    }
+    carried
+}
+
+/// Loops that may run fully in parallel (the output loops).
+pub fn parallel_loops(program: &TcrProgram, op: &TcrOp) -> Vec<IndexVar> {
+    program.arrays[op.output].indices.clone()
+}
+
+/// Exhaustive general dependence test on a shrunken iteration space.
+///
+/// Every pair of distinct iteration points is examined: a conflict exists
+/// when both points write the same output element (the only write in a
+/// contraction statement is the `+=`). The function returns the set of loop
+/// variables `v` such that some conflicting pair differs in `v` — i.e. the
+/// loops observed to carry a dependence — and asserts nothing by itself.
+pub fn pairwise_carried(program: &TcrProgram, op: &TcrOp, probe_extent: usize) -> Vec<IndexVar> {
+    let vars = program.loop_vars(op);
+    let extents: Vec<usize> = vars
+        .iter()
+        .map(|ix| program.dims[ix].min(probe_extent))
+        .collect();
+    let space = Shape::new(extents);
+    let out_decl = &program.arrays[op.output].indices;
+    let out_pos: Vec<usize> = out_decl
+        .iter()
+        .map(|ix| vars.iter().position(|v| v == ix).unwrap())
+        .collect();
+
+    let points: Vec<Vec<usize>> = space.iter().collect();
+    let mut carried: Vec<IndexVar> = Vec::new();
+    for (a, pa) in points.iter().enumerate() {
+        for pb in points.iter().skip(a + 1) {
+            let same_out = out_pos.iter().all(|&p| pa[p] == pb[p]);
+            if !same_out {
+                continue;
+            }
+            for (k, v) in vars.iter().enumerate() {
+                if pa[k] != pb[k] && !carried.contains(v) {
+                    carried.push(v.clone());
+                }
+            }
+        }
+    }
+    carried.sort();
+    carried
+}
+
+/// Checks the domain-specific rule against the exhaustive pairwise test.
+/// Returns `Ok(())` when they identify the same carried-loop set.
+pub fn verify_against_pairwise(
+    program: &TcrProgram,
+    op: &TcrOp,
+    probe_extent: usize,
+) -> Result<(), String> {
+    let mut fast = carried_by(program, op);
+    fast.sort();
+    let slow = pairwise_carried(program, op, probe_extent);
+    if fast == slow {
+        Ok(())
+    } else {
+        Err(format!(
+            "simplified analysis found {fast:?}, pairwise found {slow:?}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::tests_support::{eqn1_program, matmul_program};
+
+    #[test]
+    fn matmul_carried_by_j_only() {
+        let p = matmul_program(4);
+        let carried = carried_by(&p, &p.ops[0]);
+        assert_eq!(carried, vec![IndexVar::new("j")]);
+        assert_eq!(
+            parallel_loops(&p, &p.ops[0]),
+            vec![IndexVar::new("i"), IndexVar::new("k")]
+        );
+    }
+
+    #[test]
+    fn simplified_matches_pairwise_on_matmul() {
+        let p = matmul_program(4);
+        verify_against_pairwise(&p, &p.ops[0], 3).unwrap();
+    }
+
+    #[test]
+    fn simplified_matches_pairwise_on_eqn1_all_ops() {
+        let p = eqn1_program(4);
+        for op in &p.ops {
+            verify_against_pairwise(&p, op, 3).unwrap();
+        }
+    }
+
+    #[test]
+    fn outer_product_has_no_carried_loops() {
+        use octopi::ast::{Contraction, TensorRef};
+        use octopi::enumerate_factorizations;
+        use tensor::index::uniform_dims;
+        let dims = uniform_dims(&["i", "j"], 4);
+        let c = Contraction {
+            output: TensorRef::new("T", &["i", "j"]),
+            sum_indices: vec![],
+            terms: vec![TensorRef::new("x", &["i"]), TensorRef::new("y", &["j"])],
+            accumulate: false,
+            coefficient: 1.0,
+        };
+        let fs = enumerate_factorizations(&c, &dims);
+        let p =
+            crate::program::TcrProgram::from_factorization("outer", &c, &fs[0], &dims);
+        assert!(carried_by(&p, &p.ops[0]).is_empty());
+        verify_against_pairwise(&p, &p.ops[0], 4).unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! TCR — Tensor Contraction Representation (paper §IV).
+//!
+//! The middle layer of the Barracuda pipeline. A [`TcrProgram`] is a
+//! sequence of binary-contraction statements over declared arrays (the
+//! direct analog of Figure 2(b) in the paper). From it, this crate:
+//!
+//! - builds per-statement loop nests ([`loopnest`]),
+//! - runs the simplified tensor dependence analysis (summation indices carry
+//!   dependences; all output indices are parallel — [`dependence`]),
+//! - classifies *contiguous tensors* under a loop order ([`contiguity`]),
+//! - generates the GPU autotuning **search space** with the paper's decision
+//!   algorithm: ThreadX/ThreadY/BlockX/BlockY PERMUTE parameters, interior
+//!   loop orders, and unroll factors ([`space`]),
+//! - applies a chosen configuration, producing a [`mapping::MappedKernel`]
+//!   — the CUDA-CHiLL analog: grid/block decomposition, sequential interior
+//!   loops, unrolling and scalar replacement ([`mapping`]),
+//! - emits CUDA C source and Orio-style annotations ([`codegen`]).
+
+pub mod codegen;
+pub mod contiguity;
+pub mod dependence;
+pub mod fusion;
+pub mod loopnest;
+pub mod mapping;
+pub mod program;
+pub mod prune;
+pub mod space;
+
+pub use fusion::{build_fused, FusedKernel};
+pub use mapping::{map_kernel, MappedKernel};
+pub use program::{ArrayDecl, ArrayKind, TcrOp, TcrProgram};
+pub use prune::{prune_space, PruneRules};
+pub use space::{Configuration, LoopSel, OpConfig, OpSpace, ProgramSpace};

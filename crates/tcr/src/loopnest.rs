@@ -1,0 +1,163 @@
+//! Loop-nest view of a TCR statement.
+//!
+//! TCR "creates a for loop for each different loop index listed in the
+//! operation and uses the tensor equation to generate the statement" (§IV).
+//! A [`LoopNest`] is the ordered (outer→inner) list of loops for one
+//! statement; reordering it is always legal for the parallel loops and legal
+//! for summation loops as long as they stay sequential within a thread.
+
+use crate::program::{TcrOp, TcrProgram};
+use tensor::IndexVar;
+
+/// One loop of a nest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    pub var: IndexVar,
+    pub extent: usize,
+    /// True when iterations are independent (index appears in the output).
+    pub parallel: bool,
+}
+
+/// An ordered loop nest for one statement, outermost first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopNest {
+    pub loops: Vec<Loop>,
+}
+
+impl LoopNest {
+    /// Builds the default nest for a statement: output indices in the output
+    /// array's declaration order (parallel), then summation indices
+    /// (sequential).
+    pub fn for_op(program: &TcrProgram, op: &TcrOp) -> Self {
+        let out_indices = &program.arrays[op.output].indices;
+        let mut loops: Vec<Loop> = out_indices
+            .iter()
+            .map(|ix| Loop {
+                var: ix.clone(),
+                extent: program.dims[ix],
+                parallel: true,
+            })
+            .collect();
+        loops.extend(op.sum_indices.iter().map(|ix| Loop {
+            var: ix.clone(),
+            extent: program.dims[ix],
+            parallel: false,
+        }));
+        LoopNest { loops }
+    }
+
+    /// Variables in nest order.
+    pub fn vars(&self) -> Vec<IndexVar> {
+        self.loops.iter().map(|l| l.var.clone()).collect()
+    }
+
+    /// The parallel loops, in nest order.
+    pub fn parallel_vars(&self) -> Vec<IndexVar> {
+        self.loops
+            .iter()
+            .filter(|l| l.parallel)
+            .map(|l| l.var.clone())
+            .collect()
+    }
+
+    /// The sequential (summation) loops, in nest order.
+    pub fn sequential_vars(&self) -> Vec<IndexVar> {
+        self.loops
+            .iter()
+            .filter(|l| !l.parallel)
+            .map(|l| l.var.clone())
+            .collect()
+    }
+
+    /// Total iteration count of the nest.
+    pub fn trip_count(&self) -> u64 {
+        self.loops.iter().map(|l| l.extent as u64).product()
+    }
+
+    /// Reorders the nest to the given variable order. Panics when `order` is
+    /// not a permutation of the nest variables.
+    pub fn permuted(&self, order: &[IndexVar]) -> Self {
+        assert_eq!(order.len(), self.loops.len(), "order length mismatch");
+        let loops = order
+            .iter()
+            .map(|v| {
+                self.loops
+                    .iter()
+                    .find(|l| &l.var == v)
+                    .unwrap_or_else(|| panic!("variable {v} not in nest"))
+                    .clone()
+            })
+            .collect();
+        LoopNest { loops }
+    }
+
+    /// C-like rendering of the nest (used in reports and tests).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (d, l) in self.loops.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{}for ({v} = 0; {v} < {e}; {v}++){p}",
+                "  ".repeat(d),
+                v = l.var,
+                e = l.extent,
+                p = if l.parallel { "  // parallel" } else { "" }
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::tests_support::eqn1_program;
+
+    #[test]
+    fn default_nest_orders_output_then_sums() {
+        let p = eqn1_program(10);
+        let nest = LoopNest::for_op(&p, &p.ops[0]);
+        let n_par = nest.parallel_vars().len();
+        let n_seq = nest.sequential_vars().len();
+        assert_eq!(n_par + n_seq, nest.loops.len());
+        // Parallel loops come first in the default order.
+        assert!(nest.loops[..n_par].iter().all(|l| l.parallel));
+        assert!(nest.loops[n_par..].iter().all(|l| !l.parallel));
+    }
+
+    #[test]
+    fn trip_count_is_product() {
+        let p = eqn1_program(10);
+        let nest = LoopNest::for_op(&p, &p.ops[0]);
+        assert_eq!(nest.trip_count(), 10u64.pow(nest.loops.len() as u32));
+    }
+
+    #[test]
+    fn permuted_reorders() {
+        let p = eqn1_program(10);
+        let nest = LoopNest::for_op(&p, &p.ops[0]);
+        let mut order = nest.vars();
+        order.reverse();
+        let r = nest.permuted(&order);
+        assert_eq!(r.loops[0].var, *order.first().unwrap());
+        assert_eq!(r.trip_count(), nest.trip_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in nest")]
+    fn permuted_rejects_foreign_vars() {
+        let p = eqn1_program(10);
+        let nest = LoopNest::for_op(&p, &p.ops[0]);
+        let mut order = nest.vars();
+        order[0] = IndexVar::new("zz");
+        let _ = nest.permuted(&order);
+    }
+
+    #[test]
+    fn render_contains_parallel_marker() {
+        let p = eqn1_program(4);
+        let nest = LoopNest::for_op(&p, &p.ops[0]);
+        assert!(nest.render().contains("// parallel"));
+    }
+}

@@ -1,0 +1,436 @@
+//! Mapping engine: applies an [`OpConfig`] to a statement, producing a
+//! [`MappedKernel`] — the analog of CUDA-CHiLL's `cuda(...)`,
+//! `registers(...)`, `unroll(...)` transformation recipe (Figure 2(c)).
+//!
+//! A mapped kernel fixes which loops become the thread/block dimensions,
+//! the order of the kernel-interior loops, the unroll factor of the
+//! innermost loop, and linearized access expressions for every array
+//! reference. It is *executable* (see the `gpusim` crate) and *printable*
+//! as CUDA C (see [`crate::codegen`]).
+
+use crate::program::{ArrayKind, TcrProgram};
+use crate::space::{LoopSel, OpConfig};
+use tensor::IndexVar;
+
+/// A linearized array reference: `base + Σ var·stride` over the kernel's
+/// loop variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayAccess {
+    /// Array id within the program.
+    pub array: usize,
+    pub name: String,
+    /// (loop variable, element stride) pairs; variables absent from the
+    /// array's declaration do not appear.
+    pub terms: Vec<(IndexVar, usize)>,
+    /// Total elements of the array.
+    pub len: usize,
+    pub kind: ArrayKind,
+}
+
+impl ArrayAccess {
+    /// Stride of a loop variable in this access (0 when the reference is
+    /// invariant to it).
+    pub fn stride_of(&self, v: &IndexVar) -> usize {
+        self.terms
+            .iter()
+            .find(|(t, _)| t == v)
+            .map(|(_, s)| *s)
+            .unwrap_or(0)
+    }
+
+    /// True when the reference does not depend on any of `vars`.
+    pub fn invariant_to_all(&self, vars: &[IndexVar]) -> bool {
+        vars.iter().all(|v| self.stride_of(v) == 0)
+    }
+}
+
+/// A kernel-interior loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InteriorLoop {
+    pub var: IndexVar,
+    pub extent: usize,
+    /// True when the loop is parallel (an unmapped output index).
+    pub parallel: bool,
+}
+
+/// A statement mapped onto the GPU: the output of the CUDA-CHiLL analog.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MappedKernel {
+    /// Kernel symbol, `<program>_GPU_<op>` like the paper's `ex_GPU_2`.
+    pub name: String,
+    pub op_index: usize,
+    /// (variable, extent) of the ThreadX dimension.
+    pub tx: (IndexVar, usize),
+    pub ty: Option<(IndexVar, usize)>,
+    pub bx: Option<(IndexVar, usize)>,
+    pub by: Option<(IndexVar, usize)>,
+    /// Interior loops, outermost first.
+    pub interior: Vec<InteriorLoop>,
+    /// Unroll factor of the innermost interior loop (1 = none).
+    pub unroll: usize,
+    pub output: ArrayAccess,
+    pub inputs: Vec<ArrayAccess>,
+    /// True when the statement accumulates into pre-existing output values
+    /// (the kernel must read-modify-write global memory).
+    pub accumulate: bool,
+    /// True when the output is copied to a register for the duration of the
+    /// interior loops (the paper always applies this; the naive OpenACC
+    /// baseline does not).
+    pub scalar_replacement: bool,
+    /// Input positions whose whole array is staged in shared memory per
+    /// block (cooperative load + `__syncthreads()`).
+    pub staged: Vec<usize>,
+    /// Scalar multiplier applied to each accumulated product (from the
+    /// statement's coefficient; -1 for `-=`).
+    pub coefficient: f64,
+}
+
+impl MappedKernel {
+    /// Thread-block dimensions `(x, y)`.
+    pub fn block(&self) -> (usize, usize) {
+        (self.tx.1, self.ty.as_ref().map(|t| t.1).unwrap_or(1))
+    }
+
+    /// Grid dimensions `(x, y)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (
+            self.bx.as_ref().map(|b| b.1).unwrap_or(1),
+            self.by.as_ref().map(|b| b.1).unwrap_or(1),
+        )
+    }
+
+    pub fn threads_per_block(&self) -> usize {
+        let (x, y) = self.block();
+        x * y
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        let (x, y) = self.grid();
+        x * y
+    }
+
+    /// Iterations of the interior loop nest executed by each thread.
+    pub fn interior_trip_count(&self) -> u64 {
+        self.interior.iter().map(|l| l.extent as u64).product()
+    }
+
+    /// Total floating-point operations of the kernel (2 per innermost point
+    /// for a 2-input statement, 1 for a unary reduction).
+    pub fn flops(&self) -> u64 {
+        let per_point = self.inputs.len() as u64;
+        per_point.max(1)
+            * self.num_blocks() as u64
+            * self.threads_per_block() as u64
+            * self.interior_trip_count()
+    }
+
+    /// True when scalar replacement fully registers the output: the output
+    /// address is invariant across all interior loops, so each thread reads
+    /// it at most once and writes it exactly once (Figure 2(d)'s `nv2`).
+    /// Always false when scalar replacement is disabled.
+    pub fn output_fully_registered(&self) -> bool {
+        if !self.scalar_replacement {
+            return false;
+        }
+        let vars: Vec<IndexVar> = self.interior.iter().map(|l| l.var.clone()).collect();
+        self.output.invariant_to_all(&vars)
+    }
+
+    /// Per-thread global-memory *store* instructions to the output: one per
+    /// distinct address touched when scalar replacement holds the value in
+    /// a register, one per interior iteration when it does not.
+    pub fn output_stores_per_thread(&self) -> u64 {
+        if self.scalar_replacement {
+            // The scalar can only be held across the innermost run of loops
+            // that do not vary the output address; everything at or above
+            // the deepest output-varying loop forces a store per iteration.
+            match self
+                .interior
+                .iter()
+                .rposition(|l| self.output.stride_of(&l.var) != 0)
+            {
+                None => 1,
+                Some(d) => self.interior[..=d]
+                    .iter()
+                    .map(|l| l.extent as u64)
+                    .product(),
+            }
+        } else {
+            self.interior_trip_count()
+        }
+    }
+
+    /// Per-thread global-memory *load* instructions for input `k`,
+    /// assuming the compiler hoists loop-invariant loads out of the
+    /// innermost loops they do not depend on.
+    pub fn input_loads_per_thread(&self, k: usize) -> u64 {
+        let acc = &self.inputs[k];
+        // The load must re-execute for every interior loop at or outside
+        // the outermost loop the address depends on. (A loop the address is
+        // invariant to can only be hoisted if no *enclosing* varying loop
+        // re-enters it; conservatively, multiply extents of all loops from
+        // the outermost varying one inward.)
+        let mut varying_seen = false;
+        let mut loads = 1u64;
+        for l in &self.interior {
+            if acc.stride_of(&l.var) != 0 {
+                varying_seen = true;
+            }
+            if varying_seen {
+                loads *= l.extent as u64;
+            }
+        }
+        // Loads that vary only with unrolled iterations still execute once
+        // per iteration; `loads` already counts them.
+        loads
+    }
+
+    /// Shared memory consumed per block by the staged inputs, bytes.
+    pub fn smem_bytes_per_block(&self) -> usize {
+        self.staged.iter().map(|&k| self.inputs[k].len * 8).sum()
+    }
+
+    /// True when input `k` is staged in shared memory.
+    pub fn is_staged(&self, k: usize) -> bool {
+        self.staged.contains(&k)
+    }
+
+    /// All loop variables of the kernel in deterministic order: mapped
+    /// (tx, ty, bx, by) then interior.
+    pub fn all_vars(&self) -> Vec<IndexVar> {
+        let mut v = vec![self.tx.0.clone()];
+        if let Some((ref t, _)) = self.ty {
+            v.push(t.clone());
+        }
+        if let Some((ref b, _)) = self.bx {
+            v.push(b.clone());
+        }
+        if let Some((ref b, _)) = self.by {
+            v.push(b.clone());
+        }
+        v.extend(self.interior.iter().map(|l| l.var.clone()));
+        v
+    }
+}
+
+fn access_for(program: &TcrProgram, array_id: usize) -> ArrayAccess {
+    let decl = &program.arrays[array_id];
+    let shape = decl.shape(&program.dims);
+    let strides = shape.strides();
+    ArrayAccess {
+        array: array_id,
+        name: decl.name.clone(),
+        terms: decl
+            .indices
+            .iter()
+            .cloned()
+            .zip(strides.iter().copied())
+            .collect(),
+        len: shape.len(),
+        kind: decl.kind,
+    }
+}
+
+/// Applies `cfg` to statement `op_index` of `program`.
+///
+/// Panics when the configuration is inconsistent with the statement (loops
+/// not covered exactly once, a mapped loop that is not parallel, or an
+/// unroll factor exceeding the innermost extent) — configurations produced
+/// by [`crate::space::ProgramSpace::build`] always satisfy these.
+pub fn map_kernel(
+    program: &TcrProgram,
+    op_index: usize,
+    cfg: &OpConfig,
+    accumulate: bool,
+) -> MappedKernel {
+    let op = &program.ops[op_index];
+    let loop_vars = program.loop_vars(op);
+    let out_indices = &program.arrays[op.output].indices;
+    let ext = |v: &IndexVar| program.dims[v];
+
+    // Coverage and parallelism checks.
+    let mapped = cfg.mapped_vars();
+    for v in &mapped {
+        assert!(
+            out_indices.contains(v),
+            "mapped loop {v} is not parallel in statement {op_index}"
+        );
+    }
+    let mut covered: Vec<&IndexVar> = mapped.clone();
+    covered.extend(cfg.interior.iter());
+    let mut covered_names: Vec<&str> = covered.iter().map(|v| v.name()).collect();
+    covered_names.sort_unstable();
+    covered_names.dedup();
+    let mut want: Vec<&str> = loop_vars.iter().map(|v| v.name()).collect();
+    want.sort_unstable();
+    assert_eq!(
+        covered_names, want,
+        "configuration does not cover the loops of statement {op_index} exactly once"
+    );
+
+    let interior: Vec<InteriorLoop> = cfg
+        .interior
+        .iter()
+        .map(|v| InteriorLoop {
+            var: v.clone(),
+            extent: ext(v),
+            parallel: out_indices.contains(v),
+        })
+        .collect();
+    if let Some(inner) = interior.last() {
+        assert!(
+            cfg.unroll >= 1 && cfg.unroll <= inner.extent,
+            "unroll factor {} out of range for extent {}",
+            cfg.unroll,
+            inner.extent
+        );
+    } else {
+        assert_eq!(cfg.unroll, 1, "unroll without interior loop");
+    }
+
+    let sel = |s: &LoopSel| s.var().map(|v| (v.clone(), ext(v)));
+
+    MappedKernel {
+        name: format!("{}_GPU_{}", program.name, op_index),
+        op_index,
+        tx: (cfg.tx.clone(), ext(&cfg.tx)),
+        ty: sel(&cfg.ty),
+        bx: sel(&cfg.bx),
+        by: sel(&cfg.by),
+        interior,
+        unroll: cfg.unroll,
+        output: access_for(program, op.output),
+        inputs: op.inputs.iter().map(|&id| access_for(program, id)).collect(),
+        accumulate,
+        scalar_replacement: true,
+        staged: cfg.staged.clone(),
+        coefficient: op.coefficient,
+    }
+}
+
+/// Maps every statement of a program under one [`crate::space::Configuration`].
+pub fn map_program(
+    program: &TcrProgram,
+    space: &crate::space::ProgramSpace,
+    config: &crate::space::Configuration,
+    accumulate_output: bool,
+) -> Vec<MappedKernel> {
+    program
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            // Only the statement writing the program output may accumulate
+            // into pre-existing data; temporaries always start from zero.
+            let acc = accumulate_output
+                && program.arrays[op.output].kind == ArrayKind::Output;
+            map_kernel(program, i, space.op_config(config, i), acc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::tests_support::{eqn1_program, matmul_program};
+    use crate::space::ProgramSpace;
+
+    #[test]
+    fn matmul_mapping_dimensions() {
+        let p = matmul_program(8);
+        let space = ProgramSpace::build(&p);
+        let cfg = &space.per_op[0].configs[0];
+        let k = map_kernel(&p, 0, cfg, false);
+        assert_eq!(k.tx.1, 8);
+        let (bx, by) = k.grid();
+        let (tx, ty) = k.block();
+        assert!(tx * ty <= 1024);
+        assert!(bx >= 1 && by >= 1);
+        // j (summation) must be interior.
+        assert!(k.interior.iter().any(|l| l.var == IndexVar::new("j")));
+    }
+
+    #[test]
+    fn flops_invariant_across_all_configs() {
+        let p = eqn1_program(6);
+        let space = ProgramSpace::build(&p);
+        for (i, s) in space.per_op.iter().enumerate() {
+            let expect = map_kernel(&p, i, &s.configs[0], false).flops();
+            for cfg in &s.configs {
+                assert_eq!(map_kernel(&p, i, cfg, false).flops(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn program_flops_match_mapped_total() {
+        let p = eqn1_program(6);
+        let space = ProgramSpace::build(&p);
+        let cfgid = space.config(0);
+        let kernels = map_program(&p, &space, &cfgid, false);
+        let total: u64 = kernels.iter().map(|k| k.flops()).sum();
+        assert_eq!(total, p.flops());
+    }
+
+    #[test]
+    fn scalar_replacement_detection() {
+        let p = matmul_program(8);
+        let space = ProgramSpace::build(&p);
+        // Find a config whose interior is exactly the summation loop j: the
+        // output C[i,k] is invariant to it, so fully registered.
+        let s = &space.per_op[0];
+        let cfg = s
+            .configs
+            .iter()
+            .find(|c| c.interior.len() == 1)
+            .expect("some config maps both parallel loops");
+        let k = map_kernel(&p, 0, cfg, false);
+        assert!(k.output_fully_registered());
+        assert_eq!(k.output_stores_per_thread(), 1);
+    }
+
+    #[test]
+    fn input_loads_count_inner_reuse() {
+        let p = matmul_program(8);
+        let space = ProgramSpace::build(&p);
+        let s = &space.per_op[0];
+        let cfg = s
+            .configs
+            .iter()
+            .find(|c| c.interior.len() == 1)
+            .unwrap();
+        let k = map_kernel(&p, 0, cfg, false);
+        // Both A[i,j] and B[j,k] vary with the interior loop j: 8 loads each.
+        assert_eq!(k.input_loads_per_thread(0), 8);
+        assert_eq!(k.input_loads_per_thread(1), 8);
+    }
+
+    #[test]
+    fn accumulate_flag_only_on_output_statement() {
+        let p = eqn1_program(4);
+        let space = ProgramSpace::build(&p);
+        let kernels = map_program(&p, &space, &space.config(0), true);
+        for k in &kernels[..kernels.len() - 1] {
+            assert!(!k.accumulate, "temporary kernels never accumulate");
+        }
+        assert!(kernels.last().unwrap().accumulate);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn bad_interior_rejected() {
+        let p = matmul_program(8);
+        let space = ProgramSpace::build(&p);
+        let mut cfg = space.per_op[0].configs[0].clone();
+        cfg.interior.clear();
+        let _ = map_kernel(&p, 0, &cfg, false);
+    }
+
+    #[test]
+    fn kernel_names_match_paper_style() {
+        let p = eqn1_program(4);
+        let space = ProgramSpace::build(&p);
+        let kernels = map_program(&p, &space, &space.config(0), false);
+        assert_eq!(kernels[2].name, "ex_GPU_2");
+    }
+}

@@ -1,0 +1,359 @@
+//! Reference Einstein-summation evaluator (the correctness oracle).
+//!
+//! [`EinsumSpec`] describes a single summation statement such as
+//! `V[i,j,k] += A[l,k] * B[m,j] * C[n,i] * U[l,m,n]` and evaluates it by
+//! brute-force iteration over the *joint* index space (output indices plus
+//! summation indices). Every transformed kernel in the pipeline is checked
+//! against this evaluator, so it is written for obviousness, not speed.
+
+use crate::index::{IndexMap, IndexVar};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// One Einstein-summation statement with an arbitrary number of operands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EinsumSpec {
+    /// Index labels of each input operand, e.g. `[["l","k"], ["m","j"]]`.
+    pub inputs: Vec<Vec<IndexVar>>,
+    /// Index labels of the output tensor.
+    pub output: Vec<IndexVar>,
+    /// Extent of every index appearing anywhere in the statement.
+    pub dims: IndexMap,
+}
+
+impl EinsumSpec {
+    /// Builds a spec from `&str` labels. Panics if an index has no extent in
+    /// `dims` or the output mentions an index absent from all inputs.
+    pub fn new(inputs: &[&[&str]], output: &[&str], dims: IndexMap) -> Self {
+        let inputs: Vec<Vec<IndexVar>> = inputs
+            .iter()
+            .map(|labels| labels.iter().map(|l| IndexVar::new(*l)).collect())
+            .collect();
+        let output: Vec<IndexVar> = output.iter().map(|l| IndexVar::new(*l)).collect();
+        let spec = EinsumSpec {
+            inputs,
+            output,
+            dims,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Parses numpy-style einsum notation with single-letter indices, e.g.
+    /// `"ij,jk->ik"`. Every index takes its extent from `dims`.
+    pub fn parse(notation: &str, dims: IndexMap) -> Result<Self, String> {
+        let (lhs, rhs) = notation
+            .split_once("->")
+            .ok_or_else(|| format!("missing '->' in {notation:?}"))?;
+        let parse_side = |side: &str| -> Result<Vec<IndexVar>, String> {
+            side.trim()
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .map(|c| {
+                    if c.is_ascii_alphabetic() {
+                        Ok(IndexVar::new(c.to_string()))
+                    } else {
+                        Err(format!("bad index character {c:?}"))
+                    }
+                })
+                .collect()
+        };
+        let inputs: Vec<Vec<IndexVar>> = lhs
+            .split(',')
+            .map(parse_side)
+            .collect::<Result<_, _>>()?;
+        let output = parse_side(rhs)?;
+        if inputs.is_empty() || inputs.iter().any(|i| i.is_empty()) {
+            return Err("empty operand".to_string());
+        }
+        for labels in inputs.iter().chain(std::iter::once(&output)) {
+            for l in labels {
+                if !dims.contains_key(l) {
+                    return Err(format!("index {l} has no extent in dims"));
+                }
+            }
+        }
+        for l in &output {
+            if !inputs.iter().any(|op| op.contains(l)) {
+                return Err(format!("output index {l} appears in no input"));
+            }
+        }
+        Ok(EinsumSpec {
+            inputs,
+            output,
+            dims,
+        })
+    }
+
+    fn validate(&self) {
+        for labels in self.inputs.iter().chain(std::iter::once(&self.output)) {
+            for l in labels {
+                assert!(
+                    self.dims.contains_key(l),
+                    "index {l} has no extent in dims"
+                );
+            }
+        }
+        for l in &self.output {
+            assert!(
+                self.inputs.iter().any(|op| op.contains(l)),
+                "output index {l} does not appear in any input"
+            );
+        }
+    }
+
+    /// Indices that are summed over: present in some input, absent from the
+    /// output. Returned in deterministic (lexicographic) order.
+    pub fn summation_indices(&self) -> Vec<IndexVar> {
+        let mut sums: Vec<IndexVar> = self
+            .dims
+            .keys()
+            .filter(|ix| {
+                !self.output.contains(ix) && self.inputs.iter().any(|op| op.contains(ix))
+            })
+            .cloned()
+            .collect();
+        sums.sort();
+        sums
+    }
+
+    /// Shape of input operand `k` under `dims`.
+    pub fn input_shape(&self, k: usize) -> Shape {
+        Shape::new(
+            self.inputs[k]
+                .iter()
+                .map(|ix| self.dims[ix])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Shape of the output tensor under `dims`.
+    pub fn output_shape(&self) -> Shape {
+        Shape::new(
+            self.output
+                .iter()
+                .map(|ix| self.dims[ix])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Size of the joint iteration space (output ∪ summation indices).
+    pub fn joint_space(&self) -> usize {
+        let mut all: Vec<&IndexVar> = self.output.iter().collect();
+        for s in self.summation_indices() {
+            // summation indices are disjoint from output indices
+            all.push(self.dims.get_key_value(&s).unwrap().0);
+        }
+        all.iter().map(|ix| self.dims[*ix]).product()
+    }
+
+    /// Floating-point operations of the naive evaluation: per joint point,
+    /// `k-1` multiplies and one add for `k` operands.
+    pub fn flop_count(&self) -> u64 {
+        let per_point = self.inputs.len() as u64; // (k-1) muls + 1 add
+        per_point * self.joint_space() as u64
+    }
+
+    /// Evaluates the statement, accumulating into a fresh zero tensor.
+    pub fn evaluate(&self, operands: &[&Tensor]) -> Tensor {
+        assert_eq!(
+            operands.len(),
+            self.inputs.len(),
+            "operand count mismatch"
+        );
+        for (k, op) in operands.iter().enumerate() {
+            assert_eq!(
+                *op.shape(),
+                self.input_shape(k),
+                "operand {k} shape mismatch"
+            );
+        }
+
+        // The joint loop order is: output indices first, then summation
+        // indices; extents looked up once.
+        let sums = self.summation_indices();
+        let loop_vars: Vec<IndexVar> = self.output.iter().cloned().chain(sums).collect();
+        let extents: Vec<usize> = loop_vars.iter().map(|ix| self.dims[ix]).collect();
+        let joint = Shape::new(extents);
+
+        // Precompute, for every operand (and the output), the position of
+        // each of its labels inside `loop_vars`.
+        let positions = |labels: &[IndexVar]| -> Vec<usize> {
+            labels
+                .iter()
+                .map(|l| loop_vars.iter().position(|v| v == l).unwrap())
+                .collect()
+        };
+        let in_pos: Vec<Vec<usize>> = self.inputs.iter().map(|l| positions(l)).collect();
+        let out_pos: Vec<usize> = positions(&self.output);
+
+        let mut out = Tensor::zeros(self.output_shape());
+        let out_shape = out.shape().clone();
+        let mut scratch = Vec::new();
+        for point in joint.iter() {
+            let mut prod = 1.0;
+            for (k, op) in operands.iter().enumerate() {
+                scratch.clear();
+                scratch.extend(in_pos[k].iter().map(|&p| point[p]));
+                prod *= op.get(&scratch);
+            }
+            scratch.clear();
+            scratch.extend(out_pos.iter().map(|&p| point[p]));
+            let off = out_shape.linearize(&scratch);
+            out.data_mut()[off] += prod;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::uniform_dims;
+
+    fn dims2(n: usize) -> IndexMap {
+        uniform_dims(&["i", "j", "k"], n)
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        // C[i,k] = A[i,j] * B[j,k]
+        let n = 4;
+        let spec = EinsumSpec::new(&[&["i", "j"], &["j", "k"]], &["i", "k"], dims2(n));
+        let a = Tensor::random(Shape::new([n, n]), 1);
+        let b = Tensor::random(Shape::new([n, n]), 2);
+        let c = spec.evaluate(&[&a, &b]);
+        for i in 0..n {
+            for k in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += a.get(&[i, j]) * b.get(&[j, k]);
+                }
+                assert!((c.get(&[i, k]) - acc).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_product_is_scalar() {
+        let dims = uniform_dims(&["i"], 5);
+        let spec = EinsumSpec::new(&[&["i"], &["i"]], &[], dims);
+        let u = Tensor::from_vec(Shape::new([5]), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let v = Tensor::from_vec(Shape::new([5]), vec![1.0; 5]);
+        let y = spec.evaluate(&[&u, &v]);
+        assert_eq!(y.shape().rank(), 0);
+        assert!((y.data()[0] - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_product_no_summation() {
+        let dims = uniform_dims(&["i", "j"], 3);
+        let spec = EinsumSpec::new(&[&["i"], &["j"]], &["i", "j"], dims);
+        assert!(spec.summation_indices().is_empty());
+        let u = Tensor::from_vec(Shape::new([3]), vec![1.0, 2.0, 3.0]);
+        let v = Tensor::from_vec(Shape::new([3]), vec![10.0, 20.0, 30.0]);
+        let o = spec.evaluate(&[&u, &v]);
+        assert_eq!(o.get(&[2, 1]), 60.0);
+    }
+
+    #[test]
+    fn four_operand_contraction_associativity() {
+        // V[i,j,k] = A[l,k] B[m,j] C[n,i] U[l,m,n] evaluated naively must
+        // equal the two-step factored evaluation.
+        let n = 3;
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], n);
+        let naive = EinsumSpec::new(
+            &[
+                &["l", "k"],
+                &["m", "j"],
+                &["n", "i"],
+                &["l", "m", "n"],
+            ],
+            &["i", "j", "k"],
+            dims.clone(),
+        );
+        let a = Tensor::random(Shape::new([n, n]), 10);
+        let b = Tensor::random(Shape::new([n, n]), 11);
+        let c = Tensor::random(Shape::new([n, n]), 12);
+        let u = Tensor::random(Shape::new([n, n, n]), 13);
+        let v_naive = naive.evaluate(&[&a, &b, &c, &u]);
+
+        // t1[i,l,m] = C[n,i] U[l,m,n]
+        let t1s = EinsumSpec::new(&[&["n", "i"], &["l", "m", "n"]], &["i", "l", "m"], dims.clone());
+        let t1 = t1s.evaluate(&[&c, &u]);
+        // t2[j,i,l] = B[m,j] t1[i,l,m]
+        let t2s = EinsumSpec::new(&[&["m", "j"], &["i", "l", "m"]], &["j", "i", "l"], dims.clone());
+        let t2 = t2s.evaluate(&[&b, &t1]);
+        // V[i,j,k] = A[l,k] t2[j,i,l]
+        let vs = EinsumSpec::new(&[&["l", "k"], &["j", "i", "l"]], &["i", "j", "k"], dims);
+        let v_fact = vs.evaluate(&[&a, &t2]);
+
+        assert!(v_naive.approx_eq(&v_fact, 1e-10));
+    }
+
+    #[test]
+    fn flop_count_naive_vs_factored() {
+        let n = 10;
+        let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], n);
+        let naive = EinsumSpec::new(
+            &[&["l", "k"], &["m", "j"], &["n", "i"], &["l", "m", "n"]],
+            &["i", "j", "k"],
+            dims,
+        );
+        // joint space is N^6, 4 ops per point
+        assert_eq!(naive.flop_count(), 4 * 10u64.pow(6));
+    }
+
+    #[test]
+    fn parse_notation_matmul() {
+        let spec = EinsumSpec::parse("ij,jk->ik", uniform_dims(&["i", "j", "k"], 4)).unwrap();
+        assert_eq!(spec.inputs.len(), 2);
+        assert_eq!(spec.output.len(), 2);
+        assert_eq!(spec.summation_indices(), vec![IndexVar::new("j")]);
+        // Same result as the explicitly-built spec.
+        let explicit =
+            EinsumSpec::new(&[&["i", "j"], &["j", "k"]], &["i", "k"], uniform_dims(&["i", "j", "k"], 4));
+        let a = Tensor::random(Shape::new([4, 4]), 1);
+        let b = Tensor::random(Shape::new([4, 4]), 2);
+        assert!(spec.evaluate(&[&a, &b]).approx_eq(&explicit.evaluate(&[&a, &b]), 1e-15));
+    }
+
+    #[test]
+    fn parse_notation_scalar_output() {
+        let spec = EinsumSpec::parse("i,i->", uniform_dims(&["i"], 3)).unwrap();
+        assert_eq!(spec.output.len(), 0);
+    }
+
+    #[test]
+    fn parse_notation_errors() {
+        let d = uniform_dims(&["i", "j"], 3);
+        assert!(EinsumSpec::parse("ij,jk", d.clone()).is_err()); // no ->
+        assert!(EinsumSpec::parse("i1->i", d.clone()).is_err()); // bad char
+        assert!(EinsumSpec::parse("ik->i", d.clone()).is_err()); // k no extent
+        assert!(EinsumSpec::parse("i->j", d.clone()).is_err()); // dangling out
+        assert!(EinsumSpec::parse(",->", d).is_err()); // empty operand
+    }
+
+    #[test]
+    #[should_panic(expected = "no extent")]
+    fn missing_dim_panics() {
+        let spec = EinsumSpec::new(&[&["i"]], &["i"], IndexMap::new());
+        let _ = spec;
+    }
+
+    #[test]
+    #[should_panic(expected = "does not appear")]
+    fn dangling_output_index_panics() {
+        let dims = uniform_dims(&["i", "j"], 2);
+        let _ = EinsumSpec::new(&[&["i"]], &["j"], dims);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_operand_shape_panics() {
+        let dims = uniform_dims(&["i", "j"], 3);
+        let spec = EinsumSpec::new(&[&["i", "j"]], &["i", "j"], dims);
+        let bad = Tensor::zeros(Shape::new([2, 2]));
+        let _ = spec.evaluate(&[&bad]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Symbolic index variables (`i`, `j`, `h3`, `p6`, ...) and index→extent maps.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named loop/tensor index variable.
+///
+/// Index names are short strings; the spectral-element kernels use single
+/// letters (`i`, `l`, `m`), while the NWChem CCSD(T) kernels use hole/particle
+/// names (`h1`, `p6`). Ordering is lexicographic, which gives deterministic
+/// iteration everywhere a set of indices is enumerated.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexVar(pub String);
+
+impl IndexVar {
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "index name may not be empty");
+        IndexVar(name)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for IndexVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for IndexVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for IndexVar {
+    fn from(s: &str) -> Self {
+        IndexVar::new(s)
+    }
+}
+
+impl From<String> for IndexVar {
+    fn from(s: String) -> Self {
+        IndexVar::new(s)
+    }
+}
+
+/// Map from index variable to its extent (the loop trip count).
+///
+/// A `BTreeMap` keeps ordering deterministic across runs, which matters for
+/// reproducible search spaces and tables.
+pub type IndexMap = BTreeMap<IndexVar, usize>;
+
+/// Builds an [`IndexMap`] where every listed index has the same extent.
+pub fn uniform_dims(names: &[&str], extent: usize) -> IndexMap {
+    names
+        .iter()
+        .map(|n| (IndexVar::new(*n), extent))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = IndexVar::new("h1");
+        let b = IndexVar::new("p6");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn uniform_dims_builds_map() {
+        let m = uniform_dims(&["i", "j"], 10);
+        assert_eq!(m[&IndexVar::new("i")], 10);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_name_rejected() {
+        let _ = IndexVar::new("");
+    }
+}

@@ -1,0 +1,25 @@
+//! Dense tensor substrate for the Barracuda reproduction.
+//!
+//! This crate provides the storage layer and the *correctness oracle* used by
+//! every other crate in the workspace:
+//!
+//! - [`Shape`]: multi-dimensional extents with row-major strides,
+//! - [`Tensor`]: a dense, row-major `f64` tensor,
+//! - [`EinsumSpec`]: a reference Einstein-summation evaluator that computes a
+//!   multi-operand contraction by brute-force iteration over the full index
+//!   space. Everything the optimizing pipeline produces is validated against
+//!   this evaluator.
+//!
+//! The tensors here are deliberately simple. The paper targets *small*
+//! tensors (extents of O(1)–O(10s)), so clarity and auditability of the
+//! oracle matter more than raw speed.
+
+pub mod einsum;
+pub mod index;
+pub mod shape;
+pub mod tensor;
+
+pub use einsum::EinsumSpec;
+pub use index::{IndexMap, IndexVar};
+pub use shape::Shape;
+pub use tensor::Tensor;

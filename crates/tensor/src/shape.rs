@@ -1,0 +1,201 @@
+//! Multi-dimensional shapes with row-major strides.
+
+use std::fmt;
+
+/// Extents of a dense, row-major tensor.
+///
+/// The last dimension is the fastest-varying one (C layout), matching the
+/// paper's assumption ("assuming row-major layout", §IV).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    extents: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents. A rank-0 shape (scalar) is
+    /// allowed and has one element.
+    pub fn new(extents: impl Into<Vec<usize>>) -> Self {
+        let extents = extents.into();
+        assert!(
+            extents.iter().all(|&e| e > 0),
+            "zero-extent dimensions are not supported: {extents:?}"
+        );
+        Shape { extents }
+    }
+
+    /// Number of dimensions (the tensor's rank).
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Extent of dimension `dim`.
+    pub fn extent(&self, dim: usize) -> usize {
+        self.extents[dim]
+    }
+
+    /// All extents, outermost first.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    /// True only for the degenerate rank-0 case (which still holds 1 value),
+    /// so this always returns false; kept for clippy's `len`/`is_empty` pair.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Row-major strides: `strides[k]` is the linear distance between
+    /// consecutive values of index `k`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.extents.len()];
+        for k in (0..self.extents.len().saturating_sub(1)).rev() {
+            strides[k] = strides[k + 1] * self.extents[k + 1];
+        }
+        strides
+    }
+
+    /// Linearizes a multi-index into a flat offset.
+    ///
+    /// Panics in debug builds when an index is out of range.
+    pub fn linearize(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        for (k, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.extents[k], "index {i} out of range {k}");
+            off = off * self.extents[k] + i;
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::linearize`].
+    pub fn delinearize(&self, mut off: usize) -> Vec<usize> {
+        let mut idx = vec![0; self.rank()];
+        for k in (0..self.rank()).rev() {
+            idx[k] = off % self.extents[k];
+            off /= self.extents[k];
+        }
+        idx
+    }
+
+    /// Iterates over every multi-index in row-major order.
+    pub fn iter(&self) -> ShapeIter<'_> {
+        ShapeIter {
+            shape: self,
+            next: Some(vec![0; self.rank()]),
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.extents)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.extents.iter().map(|e| e.to_string()).collect();
+        write!(f, "({})", parts.join("x"))
+    }
+}
+
+/// Row-major iterator over all multi-indices of a [`Shape`].
+pub struct ShapeIter<'a> {
+    shape: &'a Shape,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for ShapeIter<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.take()?;
+        let mut succ = current.clone();
+        let mut k = self.shape.rank();
+        loop {
+            if k == 0 {
+                // Wrapped past the outermost dimension: iteration is done.
+                self.next = None;
+                break;
+            }
+            k -= 1;
+            succ[k] += 1;
+            if succ[k] < self.shape.extent(k) {
+                self.next = Some(succ);
+                break;
+            }
+            succ[k] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn linearize_roundtrip() {
+        let s = Shape::new([3, 5, 2]);
+        for off in 0..s.len() {
+            let idx = s.delinearize(off);
+            assert_eq!(s.linearize(&idx), off);
+        }
+    }
+
+    #[test]
+    fn linearize_matches_strides() {
+        let s = Shape::new([4, 7]);
+        let st = s.strides();
+        assert_eq!(s.linearize(&[2, 3]), 2 * st[0] + 3 * st[1]);
+    }
+
+    #[test]
+    fn iter_visits_all_in_order() {
+        let s = Shape::new([2, 2]);
+        let all: Vec<Vec<usize>> = s.iter().collect();
+        assert_eq!(
+            all,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn iter_count_matches_len() {
+        let s = Shape::new([3, 4, 2]);
+        assert_eq!(s.iter().count(), s.len());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(Vec::<usize>::new());
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().count(), 1);
+        assert_eq!(s.linearize(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-extent")]
+    fn zero_extent_rejected() {
+        let _ = Shape::new([2, 0, 3]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new([10, 10]).to_string(), "(10x10)");
+    }
+}

@@ -1,0 +1,160 @@
+//! Dense row-major `f64` tensor.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense tensor of `f64` values in row-major layout.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Tensor whose value at each multi-index is computed by `f`.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for idx in shape.iter() {
+            data.push(f(&idx));
+        }
+        Tensor { shape, data }
+    }
+
+    /// Wraps an existing buffer. Panics if the length does not match.
+    pub fn from_vec(shape: Shape, data: Vec<f64>) -> Self {
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "buffer length does not match shape"
+        );
+        Tensor { shape, data }
+    }
+
+    /// Deterministic pseudo-random tensor in `[-1, 1)`, seeded per-element so
+    /// the same `(shape, seed)` always yields the same contents without
+    /// pulling an RNG dependency into the substrate crate.
+    pub fn random(shape: Shape, seed: u64) -> Self {
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            data.push(splitmix_unit(seed.wrapping_add(i as u64)));
+        }
+        Tensor { shape, data }
+    }
+
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at a multi-index.
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.data[self.shape.linearize(idx)]
+    }
+
+    /// Sets the value at a multi-index.
+    pub fn set(&mut self, idx: &[usize], v: f64) {
+        let off = self.shape.linearize(idx);
+        self.data[off] = v;
+    }
+
+    /// Largest absolute element-wise difference to another tensor of the
+    /// same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Approximate equality with a tolerance scaled to the magnitude of the
+    /// data (contractions of length-k sums accumulate k rounding errors).
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        let scale = self
+            .data
+            .iter()
+            .map(|v| v.abs())
+            .fold(1.0, f64::max);
+        self.max_abs_diff(other) <= tol * scale
+    }
+}
+
+/// SplitMix64 finalizer mapped to `[-1, 1)`.
+fn splitmix_unit(mut z: u64) -> f64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    // Take 53 bits of entropy into [0,1), then shift to [-1,1).
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    2.0 * unit - 1.0
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}(len={})", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut t = Tensor::zeros(Shape::new([2, 3]));
+        assert_eq!(t.get(&[1, 2]), 0.0);
+        t.set(&[1, 2], 4.5);
+        assert_eq!(t.get(&[1, 2]), 4.5);
+        assert_eq!(t.data()[5], 4.5);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let t = Tensor::from_fn(Shape::new([2, 2]), |idx| (idx[0] * 2 + idx[1]) as f64);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Tensor::random(Shape::new([4, 4]), 7);
+        let b = Tensor::random(Shape::new([4, 4]), 7);
+        let c = Tensor::random(Shape::new([4, 4]), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn max_abs_diff_and_approx_eq() {
+        let a = Tensor::from_vec(Shape::new([2]), vec![1.0, 2.0]);
+        let b = Tensor::from_vec(Shape::new([2]), vec![1.0, 2.0 + 1e-13]);
+        assert!(a.max_abs_diff(&b) > 0.0);
+        assert!(a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&b, 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_checked() {
+        let _ = Tensor::from_vec(Shape::new([2, 2]), vec![0.0; 3]);
+    }
+}

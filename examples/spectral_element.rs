@@ -1,0 +1,66 @@
+//! Spectral-element scenario: the Nekbone proxy application.
+//!
+//! ```text
+//! cargo run --release --example spectral_element
+//! ```
+//!
+//! Runs a real conjugate-gradient solve whose operator is built from the
+//! `local_grad3` / `local_grad3t` tensor contractions (executed through the
+//! same TCR programs the autotuner optimizes), then models the GPU
+//! performance of the contraction core under the paper's three strategies
+//! (naive OpenACC, optimized OpenACC, Barracuda) on the Tesla K20.
+
+use barracuda::nekbone::{model_cpu_gflops, model_gpu_perf, run_cg, NekboneConfig, NekboneOperator};
+use barracuda::pipeline::TuneParams;
+
+fn main() {
+    // A real CG solve at a laptop-friendly size.
+    let cfg = NekboneConfig {
+        order: 8,
+        elements: 32,
+        cg_iters: 200,
+        tol: 1e-8,
+    };
+    let op = NekboneOperator::new(cfg, 5);
+    println!(
+        "solving the spectral-element Poisson system: {} elements of {}^3 ({} unknowns)",
+        cfg.elements,
+        cfg.order,
+        op.n()
+    );
+    let stats = run_cg(&op, 4);
+    println!(
+        "CG {} in {} iterations; final relative residual {:.2e}",
+        if stats.converged { "converged" } else { "stopped" },
+        stats.iterations,
+        stats.residuals.last().unwrap()
+    );
+    println!(
+        "contraction flops: {:.1} M ({}% of total work)\n",
+        stats.contraction_flops as f64 / 1e6,
+        (100 * stats.contraction_flops / (stats.contraction_flops + stats.vector_flops))
+    );
+
+    // Modeled GPU performance of the contraction core at the paper's size.
+    let paper_cfg = NekboneConfig::default();
+    println!(
+        "modeling the contraction core at the paper's size ({} elements of {}^3)...",
+        paper_cfg.elements, paper_cfg.order
+    );
+    let arch = gpusim::k20();
+    let perf = model_gpu_perf(paper_cfg, &arch, TuneParams::paper());
+    println!("on the simulated {}:", arch.name);
+    println!("  OpenACC naive     : {:>7.2} GFlops", perf.acc_naive_gflops);
+    println!("  OpenACC optimized : {:>7.2} GFlops", perf.acc_opt_gflops);
+    println!("  Barracuda         : {:>7.2} GFlops", perf.barracuda_gflops);
+    println!(
+        "  (CPU baselines    : {:>7.2} GF 1 core, {:.2} GF OpenMP-4)",
+        model_cpu_gflops(paper_cfg, 1),
+        model_cpu_gflops(paper_cfg, 4)
+    );
+    println!(
+        "\nchosen decomposition for lg3 statement 0: {:?} threads, {:?} blocks",
+        perf.tuned_lg3.kernels[0][0].block(),
+        perf.tuned_lg3.kernels[0][0].grid()
+    );
+}

@@ -1,0 +1,5 @@
+//! Workspace root package: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). The library surface is in
+//! the [`barracuda`] crate; this crate just re-exports it for convenience.
+
+pub use barracuda::*;

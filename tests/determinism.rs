@@ -1,0 +1,73 @@
+//! Reproducibility: every experiment driver must produce bit-identical
+//! results across runs (the tables in EXPERIMENTS.md are regenerable).
+
+use barracuda::prelude::*;
+
+fn quick() -> TuneParams {
+    let mut p = TuneParams::quick();
+    p.surf.max_evals = 30;
+    p
+}
+
+#[test]
+fn autotuning_is_bit_deterministic() {
+    let w = kernels::lg3t(8, 16);
+    let arch = gpusim::k20();
+    let a = WorkloadTuner::build(&w).autotune(&arch, quick());
+    let b = WorkloadTuner::build(&w).autotune(&arch, quick());
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.gpu_seconds.to_bits(), b.gpu_seconds.to_bits());
+    assert_eq!(a.search.evaluated_times, b.search.evaluated_times);
+}
+
+#[test]
+fn noisy_paper_params_are_still_deterministic() {
+    // Noise is seeded, so even the noisy search must reproduce exactly.
+    let w = kernels::eqn1(8);
+    let arch = gpusim::gtx980();
+    let mut p = TuneParams::paper();
+    p.surf.max_evals = 60;
+    let a = WorkloadTuner::build(&w).autotune(&arch, p);
+    let b = WorkloadTuner::build(&w).autotune(&arch, p);
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.search.n_evals, b.search.n_evals);
+}
+
+#[test]
+fn simulator_times_are_pure_functions() {
+    let w = kernels::nwchem_d2(3, 8);
+    let tuner = WorkloadTuner::build(&w);
+    for arch in gpusim::arch::all_architectures() {
+        let pool = tuner.pool(32, 5);
+        for &id in &pool {
+            let t1 = tuner.gpu_seconds(id, &arch);
+            let t2 = tuner.gpu_seconds(id, &arch);
+            assert_eq!(t1.to_bits(), t2.to_bits());
+        }
+    }
+}
+
+#[test]
+fn cpu_model_is_deterministic() {
+    use barracuda::cpu::workload_cpu_time;
+    use cpusim::model::CpuModel;
+    let w = kernels::lg3(8, 16);
+    for threads in [1, 4] {
+        let a = workload_cpu_time(&w, &CpuModel::haswell(), threads);
+        let b = workload_cpu_time(&w, &CpuModel::haswell(), threads);
+        assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+    }
+}
+
+#[test]
+fn random_inputs_and_reference_reproduce() {
+    let w = kernels::tce_ex(3);
+    let i1 = w.random_inputs(9);
+    let i2 = w.random_inputs(9);
+    assert_eq!(i1, i2);
+    let o1 = w.evaluate_reference(&i1);
+    let o2 = w.evaluate_reference(&i2);
+    for ((_, a), (_, b)) in o1.iter().zip(&o2) {
+        assert_eq!(a.data(), b.data());
+    }
+}
