@@ -40,7 +40,11 @@ fn bench_search_strategies(c: &mut Criterion) {
 
 fn bench_forest_sizes(c: &mut Criterion) {
     let (tuner, pool, arch) = search_fixture();
-    let xs: Vec<Vec<f64>> = pool.iter().take(200).map(|&id| tuner.features(id)).collect();
+    let xs: Vec<Vec<f64>> = pool
+        .iter()
+        .take(200)
+        .map(|&id| tuner.features(id))
+        .collect();
     let ys: Vec<f64> = pool
         .iter()
         .take(200)

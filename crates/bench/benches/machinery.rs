@@ -24,10 +24,8 @@ fn bench_octopi_enumeration(c: &mut Criterion) {
     let w = eqn1_workload();
     c.bench_function("octopi/enumerate_eqn1_15_versions", |b| {
         b.iter(|| {
-            let fs = octopi::enumerate_factorizations(
-                black_box(&w.statements[0]),
-                black_box(&w.dims),
-            );
+            let fs =
+                octopi::enumerate_factorizations(black_box(&w.statements[0]), black_box(&w.dims));
             assert_eq!(fs.len(), 15);
             fs
         })
@@ -35,10 +33,7 @@ fn bench_octopi_enumeration(c: &mut Criterion) {
     let tce = kernels::tce_ex(10);
     c.bench_function("octopi/enumerate_tce_ex", |b| {
         b.iter(|| {
-            octopi::enumerate_factorizations(
-                black_box(&tce.statements[0]),
-                black_box(&tce.dims),
-            )
+            octopi::enumerate_factorizations(black_box(&tce.statements[0]), black_box(&tce.dims))
         })
     });
 }
@@ -72,7 +67,10 @@ fn bench_forest(c: &mut Criterion) {
     let arch = gpusim::gtx980();
     let pool = tuner.pool(256, 3);
     let xs: Vec<Vec<f64>> = pool.iter().map(|&id| tuner.features(id)).collect();
-    let ys: Vec<f64> = pool.iter().map(|&id| tuner.gpu_seconds(id, &arch)).collect();
+    let ys: Vec<f64> = pool
+        .iter()
+        .map(|&id| tuner.gpu_seconds(id, &arch))
+        .collect();
     let params = ForestParams {
         n_trees: 30,
         min_samples_leaf: 2,

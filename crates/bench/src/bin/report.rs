@@ -26,6 +26,12 @@ fn main() {
     println!("{}\n", bench::pruning::render(&rows));
     let rows = bench::search_compare::run(params);
     println!("{}\n", bench::search_compare::render(&rows));
+    let rows = bench::search_bench::run(params);
+    println!("{}\n", bench::search_bench::render(&rows));
+    match bench::search_bench::write_json(&rows, "BENCH_search.json") {
+        Ok(()) => println!("wrote BENCH_search.json\n"),
+        Err(e) => eprintln!("could not write BENCH_search.json: {e}\n"),
+    }
     let a = bench::figure2::run(params);
     println!("{}", bench::figure2::render(&a));
 }

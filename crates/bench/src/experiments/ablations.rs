@@ -119,10 +119,8 @@ pub fn run_workload(workload: &Workload, arch: &GpuArch, params: TuneParams) -> 
         let mut best = f64::INFINITY;
         for k in 0..64u128 {
             let cfg = variant.space.config(n * k / 64);
-            let kernels =
-                tcr::mapping::map_program(&variant.program, &variant.space, &cfg, false);
-            best = best
-                .min(gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s);
+            let kernels = tcr::mapping::map_program(&variant.program, &variant.space, &cfg, false);
+            best = best.min(gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s);
         }
         best
     };
@@ -175,7 +173,10 @@ pub fn run(params: TuneParams) -> Vec<AblationResult> {
     vec![
         run_workload(&barracuda::kernels::eqn1(10), &arch, params),
         run_workload(
-            &barracuda::kernels::lg3(barracuda::kernels::NEK_ORDER, barracuda::kernels::NEK_ELEMENTS),
+            &barracuda::kernels::lg3(
+                barracuda::kernels::NEK_ORDER,
+                barracuda::kernels::NEK_ELEMENTS,
+            ),
             &arch,
             params,
         ),
@@ -238,7 +239,11 @@ mod tests {
 
     #[test]
     fn strength_reduction_matters_for_eqn1() {
-        let r = run_workload(&barracuda::kernels::eqn1(10), &gpusim::k20(), smoke_params());
+        let r = run_workload(
+            &barracuda::kernels::eqn1(10),
+            &gpusim::k20(),
+            smoke_params(),
+        );
         assert!(
             r.no_strength_reduction > 1.2,
             "worst tree should be clearly slower: {}",

@@ -53,13 +53,7 @@ pub fn run(trip: usize, params: TuneParams) -> Vec<Figure3Point> {
 pub fn render(points: &[Figure3Point]) -> Table {
     let mut t = Table::new(
         "Figure 3: speedup over naive OpenACC (NWChem kernels)",
-        &[
-            "kernel",
-            "arch",
-            "Barracuda x",
-            "ACC-opt x",
-            "Barracuda GF",
-        ],
+        &["kernel", "arch", "Barracuda x", "ACC-opt x", "Barracuda GF"],
     );
     for p in points {
         t.row(vec![

@@ -1,10 +1,11 @@
 //! One module per paper table/figure.
 
 pub mod ablations;
-pub mod pruning;
-pub mod search_compare;
 pub mod figure2;
 pub mod figure3;
+pub mod pruning;
+pub mod search_bench;
+pub mod search_compare;
 pub mod search_stats;
 pub mod table2;
 pub mod table3;

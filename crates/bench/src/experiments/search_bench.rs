@@ -1,0 +1,163 @@
+//! Parallel-search benchmark: serial vs rayon-parallel SURF evaluation on
+//! the Table II workloads, with memo-cache statistics.
+//!
+//! This measures the evaluation engine itself, not the simulated kernels:
+//! wall-clock per search, evaluations per second, threads used, cache hit
+//! rate, and a bit-identity check between the serial and parallel runs.
+//! [`write_json`] emits the rows as `BENCH_search.json` for machine
+//! consumption (the `report` binary calls it).
+
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use barracuda::report::{fmt_f, Table};
+
+/// One workload's serial-vs-parallel search measurements.
+#[derive(Clone, Debug)]
+pub struct SearchBenchRow {
+    pub workload: String,
+    pub space_size: u128,
+    pub n_evals: usize,
+    pub serial_wall_s: f64,
+    pub parallel_wall_s: f64,
+    /// Serial wall-clock over parallel wall-clock (>1 means parallel wins).
+    pub speedup: f64,
+    /// Threads the parallel run used (`RAYON_NUM_THREADS` or all cores).
+    pub threads: usize,
+    pub evals_per_sec: f64,
+    pub cache_hits: usize,
+    pub cache_misses: usize,
+    pub cache_hit_rate: f64,
+    /// Parallel run reproduced the serial run bit for bit.
+    pub identical: bool,
+}
+
+pub fn run(params: TuneParams) -> Vec<SearchBenchRow> {
+    let arch = gpusim::k20();
+    barracuda::kernels::table2_benchmarks()
+        .iter()
+        .map(|w| {
+            let tuner = WorkloadTuner::build(w);
+            let mut serial_params = params;
+            serial_params.threads = 1;
+            let serial = tuner.autotune(&arch, serial_params);
+            let mut parallel_params = params;
+            parallel_params.threads = 0;
+            let parallel = tuner.autotune(&arch, parallel_params);
+            let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
+            let identical = serial.id == parallel.id
+                && bits(&serial.search.evaluated_times) == bits(&parallel.search.evaluated_times);
+            SearchBenchRow {
+                workload: w.name.clone(),
+                space_size: tuner.total_space(),
+                n_evals: parallel.search.n_evals,
+                serial_wall_s: serial.search.wall_s,
+                parallel_wall_s: parallel.search.wall_s,
+                speedup: serial.search.wall_s / parallel.search.wall_s.max(1e-12),
+                threads: parallel.search.threads,
+                evals_per_sec: parallel.search.n_evals as f64 / parallel.search.wall_s.max(1e-12),
+                cache_hits: parallel.search.cache_hits,
+                cache_misses: parallel.search.cache_misses,
+                cache_hit_rate: parallel.search.cache_hit_rate(),
+                identical,
+            }
+        })
+        .collect()
+}
+
+pub fn render(rows: &[SearchBenchRow]) -> Table {
+    let mut t = Table::new(
+        "Search engine: serial vs parallel wall-clock (identical results required)",
+        &[
+            "workload",
+            "evals",
+            "serial s",
+            "parallel s",
+            "speedup",
+            "threads",
+            "evals/s",
+            "hit rate",
+            "identical",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.n_evals.to_string(),
+            fmt_f(r.serial_wall_s),
+            fmt_f(r.parallel_wall_s),
+            fmt_f(r.speedup),
+            r.threads.to_string(),
+            fmt_f(r.evals_per_sec),
+            fmt_f(r.cache_hit_rate),
+            r.identical.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the rows as a JSON document (hand-rolled: the workspace carries
+/// no serialization dependency).
+pub fn to_json(rows: &[SearchBenchRow]) -> String {
+    let mut s = String::from("{\n  \"search_bench\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"space_size\": {}, \"n_evals\": {}, \
+             \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \"speedup\": {:.3}, \
+             \"threads\": {}, \"evals_per_sec\": {:.1}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"identical\": {}}}{}\n",
+            r.workload,
+            r.space_size,
+            r.n_evals,
+            r.serial_wall_s,
+            r.parallel_wall_s,
+            r.speedup,
+            r.threads,
+            r.evals_per_sec,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_hit_rate,
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes [`to_json`] to `path`.
+pub fn write_json(rows: &[SearchBenchRow], path: &str) -> std::io::Result<()> {
+    std::fs::write(path, to_json(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_params;
+
+    #[test]
+    fn smoke_parallel_matches_serial_everywhere() {
+        let rows = run(smoke_params());
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.identical,
+                "{} diverged between serial/parallel",
+                r.workload
+            );
+            assert!(r.n_evals > 0);
+            assert!(r.threads >= 1);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = run(smoke_params());
+        let j = to_json(&rows);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"workload\"").count(), rows.len());
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

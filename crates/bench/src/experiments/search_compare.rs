@@ -76,7 +76,14 @@ pub fn run(params: TuneParams) -> Vec<SearchCompareRow> {
 pub fn render(rows: &[SearchCompareRow]) -> Table {
     let mut t = Table::new(
         "Search strategies at equal budget (best found, us; K20)",
-        &["workload", "budget", "SURF", "random", "hill-climb", "annealing"],
+        &[
+            "workload",
+            "budget",
+            "SURF",
+            "random",
+            "hill-climb",
+            "annealing",
+        ],
     );
     for r in rows {
         t.row(vec![

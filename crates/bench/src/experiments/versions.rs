@@ -54,7 +54,10 @@ pub fn render(r: &VersionsResult) -> Table {
         &["metric", "value"],
     );
     t.row(vec!["versions".into(), r.n_versions.to_string()]);
-    t.row(vec!["equal-flop versions".into(), r.n_minimal_flop.to_string()]);
+    t.row(vec![
+        "equal-flop versions".into(),
+        r.n_minimal_flop.to_string(),
+    ]);
     t.row(vec![
         "spread among equal-flop".into(),
         format!("{}%", fmt_f(r.spread * 100.0)),

@@ -77,8 +77,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.dims.insert(name.into(), ext);
             }
             "--dims" => {
-                o.default_dim =
-                    Some(it.next().ok_or("--dims needs N")?.parse().map_err(|_| "bad N")?)
+                o.default_dim = Some(
+                    it.next()
+                        .ok_or("--dims needs N")?
+                        .parse()
+                        .map_err(|_| "bad N")?,
+                )
             }
             "--evals" => {
                 o.evals = it
@@ -126,8 +130,7 @@ fn load_workload(spec: &str, o: &Options) -> Result<Workload, String> {
     if let Some(name) = spec.strip_prefix("builtin:") {
         return builtin(name).ok_or_else(|| format!("unknown builtin workload {name}"));
     }
-    let src =
-        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    let src = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
     // Collect indices so --dims can fill the gaps.
     let prog = octopi::parse_program(&src).map_err(|e| e.to_string())?;
     let mut dims = o.dims.clone();
@@ -147,7 +150,9 @@ fn archs_for(name: &str) -> Result<Vec<gpusim::GpuArch>, String> {
         "k20" => Ok(vec![gpusim::k20()]),
         "c2050" => Ok(vec![gpusim::c2050()]),
         "all" => Ok(gpusim::arch::all_architectures()),
-        other => Err(format!("unknown architecture {other} (gtx980|k20|c2050|all)")),
+        other => Err(format!(
+            "unknown architecture {other} (gtx980|k20|c2050|all)"
+        )),
     }
 }
 
@@ -272,7 +277,10 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), String> {
             // and report the top importance mass.
             let pool = tuner.pool(512, params.seed);
             let xs: Vec<Vec<f64>> = pool.iter().map(|&id| tuner.features(id)).collect();
-            let ys: Vec<f64> = pool.iter().map(|&id| tuner.gpu_seconds(id, &arch)).collect();
+            let ys: Vec<f64> = pool
+                .iter()
+                .map(|&id| tuner.gpu_seconds(id, &arch))
+                .collect();
             let model = surf::ExtraTrees::fit(&xs, &ys, params.surf.forest);
             let names = tuner.binarized_feature_names();
             let mut ranked: Vec<(f64, &String)> = model

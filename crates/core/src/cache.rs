@@ -1,0 +1,201 @@
+//! Shared memoization for autotuning evaluations.
+//!
+//! The autotuning loop asks the same questions many times: SURF re-queries
+//! every configuration's features on each model refit, the final noiseless
+//! pick re-reads the simulated time of everything the search evaluated, and
+//! decomposed tuning shares sub-searches across statements. [`EvalCache`]
+//! memoizes both simulated times and feature vectors behind sharded
+//! `RwLock` maps so concurrent evaluator threads stay off each other's
+//! locks, and counts hits/misses for the search statistics.
+//!
+//! Keys carry a caller-chosen `salt` alongside the configuration id, so one
+//! cache can serve several distinct keyspaces at once (e.g. per-statement
+//! local ids in decomposed tuning, or per-architecture times).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+const SHARDS: usize = 16;
+
+/// FNV-1a over the (salt, id) key, used for shard selection.
+fn shard_of(salt: u64, id: u128) -> usize {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in salt.to_le_bytes().into_iter().chain(id.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+/// Sharded concurrent memo map from `(salt, id)` to `V`.
+struct ShardedMap<V> {
+    shards: Vec<RwLock<HashMap<(u64, u128), V>>>,
+}
+
+impl<V: Clone> ShardedMap<V> {
+    fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn get(&self, salt: u64, id: u128) -> Option<V> {
+        self.shards[shard_of(salt, id)]
+            .read()
+            .unwrap()
+            .get(&(salt, id))
+            .cloned()
+    }
+
+    fn insert(&self, salt: u64, id: u128, v: V) {
+        self.shards[shard_of(salt, id)]
+            .write()
+            .unwrap()
+            .insert((salt, id), v);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+}
+
+/// Memo cache for simulated times and feature vectors, shared across SURF
+/// batches, the final selection pass, and per-statement sub-searches.
+pub struct EvalCache {
+    times: ShardedMap<f64>,
+    features: ShardedMap<Vec<f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    pub fn new() -> Self {
+        EvalCache {
+            times: ShardedMap::new(),
+            features: ShardedMap::new(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Memoized simulated time of `(salt, id)`. The compute runs outside
+    /// any lock, so a slow simulation never blocks unrelated lookups.
+    pub fn time(&self, salt: u64, id: u128, compute: impl FnOnce() -> f64) -> f64 {
+        if let Some(t) = self.times.get(salt, id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return t;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t = compute();
+        self.times.insert(salt, id, t);
+        t
+    }
+
+    /// Memoized feature vector of `(salt, id)`.
+    pub fn features(&self, salt: u64, id: u128, compute: impl FnOnce() -> Vec<f64>) -> Vec<f64> {
+        if let Some(x) = self.features.get(salt, id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return x;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let x = compute();
+        self.features.insert(salt, id, x.clone());
+        x
+    }
+
+    /// `(hits, misses)` so far, over times and features combined.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Distinct entries currently memoized (times + features).
+    pub fn len(&self) -> usize {
+        self.times.len() + self.features.len()
+    }
+
+    /// Distinct simulated times memoized — one per simulator call made
+    /// through this cache.
+    pub fn times_len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Distinct feature vectors memoized.
+    pub fn features_len(&self) -> usize {
+        self.features.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = EvalCache::new();
+        let computed = AtomicUsize::new(0);
+        let f = || {
+            computed.fetch_add(1, Ordering::Relaxed);
+            1.5
+        };
+        assert_eq!(cache.time(0, 42, f), 1.5);
+        assert_eq!(cache.time(0, 42, f), 1.5);
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn salts_are_distinct_keyspaces() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.time(1, 7, || 1.0), 1.0);
+        assert_eq!(cache.time(2, 7, || 2.0), 2.0);
+        assert_eq!(cache.stats(), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn features_memoized_independently_of_times() {
+        let cache = EvalCache::new();
+        let x = cache.features(0, 5, || vec![1.0, 0.0]);
+        assert_eq!(cache.features(0, 5, || unreachable!()), x);
+        cache.time(0, 5, || 3.0);
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn concurrent_readers_share_entries() {
+        let cache = EvalCache::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for id in 0..100u128 {
+                        cache.time(0, id, || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            id as f64
+                        });
+                    }
+                });
+            }
+        });
+        // Every entry exists exactly once; racy duplicate computes are
+        // possible but the map stays consistent.
+        for id in 0..100u128 {
+            assert_eq!(cache.time(0, id, || unreachable!()), id as f64);
+        }
+    }
+}

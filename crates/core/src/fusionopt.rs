@@ -34,10 +34,7 @@ impl FusedAlternative {
 /// Attempts to fuse each statement of a tuned workload. Statements whose
 /// chains cannot fuse (single kernel, no shared output index, slices too
 /// large) yield `None`.
-pub fn fuse_alternatives(
-    tuned: &TunedWorkload,
-    arch: &GpuArch,
-) -> Vec<Option<FusedAlternative>> {
+pub fn fuse_alternatives(tuned: &TunedWorkload, arch: &GpuArch) -> Vec<Option<FusedAlternative>> {
     tuned
         .programs
         .iter()

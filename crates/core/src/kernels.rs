@@ -91,18 +91,22 @@ const HOLES: [&str; 3] = ["h1", "h2", "h3"];
 const PARTICLES: [&str; 3] = ["p4", "p5", "p6"];
 
 fn nwchem_dims(trip: usize) -> IndexMap {
-    uniform_dims(
-        &["h1", "h2", "h3", "h7", "p4", "p5", "p6", "p7"],
-        trip,
-    )
+    uniform_dims(&["h1", "h2", "h3", "h7", "p4", "p5", "p6", "p7"], trip)
 }
 
 /// Variant index (1..=9) → which particle/hole the small operand carries.
-fn pick(variant: usize) -> (&'static str, &'static str, [&'static str; 2], [&'static str; 2]) {
+fn pick(
+    variant: usize,
+) -> (
+    &'static str,
+    &'static str,
+    [&'static str; 2],
+    [&'static str; 2],
+) {
     assert!((1..=9).contains(&variant), "variant must be 1..=9");
     let p = PARTICLES[(variant - 1) / 3]; // p4, p5 or p6
     let h = HOLES[(variant - 1) % 3]; // h1, h2 or h3
-    // The v2 operand carries the complementary holes and particles.
+                                      // The v2 operand carries the complementary holes and particles.
     let hs: Vec<&str> = HOLES.iter().rev().filter(|x| **x != h).copied().collect();
     let ps: Vec<&str> = PARTICLES
         .iter()
@@ -131,7 +135,10 @@ pub fn nwchem_s1(variant: usize, trip: usize) -> Workload {
     let src = format!(
         "t3[h3 h2 h1 p6 p5 p4] {} t1[{p} {h}] * v2[{} {} {} {}]",
         sign_op(variant),
-        hs[0], hs[1], ps[0], ps[1]
+        hs[0],
+        hs[1],
+        ps[0],
+        ps[1]
     );
     Workload::parse(format!("s1_{variant}"), &src, &nwchem_dims(trip)).expect("s1 parses")
 }
@@ -144,7 +151,10 @@ pub fn nwchem_d1(variant: usize, trip: usize) -> Workload {
     let src = format!(
         "t3[h3 h2 h1 p6 p5 p4] {} Sum([h7], t2[h7 {} {} {h}] * v2[{} {} {p} h7])",
         sign_op(variant),
-        t2_ps[0], t2_ps[1], hs[0], hs[1]
+        t2_ps[0],
+        t2_ps[1],
+        hs[0],
+        hs[1]
     );
     let _ = ps;
     Workload::parse(format!("d1_{variant}"), &src, &nwchem_dims(trip)).expect("d1 parses")
@@ -157,16 +167,16 @@ pub fn nwchem_d2(variant: usize, trip: usize) -> Workload {
     let src = format!(
         "t3[h3 h2 h1 p6 p5 p4] {} Sum([p7], t2[p7 {} {} {h}] * v2[p7 {} {} {p}])",
         sign_op(variant),
-        t2_ps[0], t2_ps[1], hs[0], hs[1]
+        t2_ps[0],
+        t2_ps[1],
+        hs[0],
+        hs[1]
     );
     Workload::parse(format!("d2_{variant}"), &src, &nwchem_dims(trip)).expect("d2 parses")
 }
 
 /// All nine kernels of a family, in order.
-pub fn nwchem_family(
-    family: &str,
-    trip: usize,
-) -> Vec<Workload> {
+pub fn nwchem_family(family: &str, trip: usize) -> Vec<Workload> {
     (1..=9)
         .map(|v| match family {
             "s1" => nwchem_s1(v, trip),
@@ -230,18 +240,13 @@ mod tests {
         let g3 = lg3(order, elements);
         let g3t = lg3t(order, elements);
         let d = tensor::Tensor::random(tensor::Shape::new([order, order]), 1);
-        let u = tensor::Tensor::random(
-            tensor::Shape::new([elements, order, order, order]),
-            2,
-        );
+        let u = tensor::Tensor::random(tensor::Shape::new([elements, order, order, order]), 2);
         let vr = tensor::Tensor::random(u.shape().clone(), 3);
         let vs = tensor::Tensor::random(u.shape().clone(), 4);
         let vt = tensor::Tensor::random(u.shape().clone(), 5);
 
-        let grads = g3.evaluate_reference(&[
-            ("D".to_string(), d.clone()),
-            ("u".to_string(), u.clone()),
-        ]);
+        let grads =
+            g3.evaluate_reference(&[("D".to_string(), d.clone()), ("u".to_string(), u.clone())]);
         let lhs: f64 = grads
             .iter()
             .zip([&vr, &vs, &vt])
@@ -255,8 +260,17 @@ mod tests {
             ("us".to_string(), vs),
             ("ut".to_string(), vt),
         ]);
-        let rhs: f64 = wt[0].1.data().iter().zip(u.data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        let rhs: f64 = wt[0]
+            .1
+            .data()
+            .iter()
+            .zip(u.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -266,7 +280,11 @@ mod tests {
         assert_eq!(tuner.variants.len(), 15);
         let best = tuner.variants[0].factorization.flops;
         // Naive is O(N^10); the best factorization must be orders better.
-        assert!(w.naive_flops() / best > 1000, "gain {}", w.naive_flops() / best);
+        assert!(
+            w.naive_flops() / best > 1000,
+            "gain {}",
+            w.naive_flops() / best
+        );
     }
 
     #[test]
@@ -312,7 +330,8 @@ mod tests {
             for a in 0..9 {
                 for b in (a + 1)..9 {
                     assert_ne!(
-                        ws[a].statements[0], ws[b].statements[0],
+                        ws[a].statements[0],
+                        ws[b].statements[0],
                         "{family} variants {} and {} coincide",
                         a + 1,
                         b + 1

@@ -43,6 +43,7 @@
 //! println!("{}", tuned.cuda_source());
 //! ```
 
+pub mod cache;
 pub mod cpu;
 pub mod fusionopt;
 pub mod kernels;
@@ -53,9 +54,10 @@ pub mod report;
 pub mod variant;
 pub mod workload;
 
-pub use pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
-pub use variant::{StatementTuner, Variant};
+pub use cache::EvalCache;
 pub use fusionopt::{fuse_alternatives, FusedAlternative};
+pub use pipeline::{SearchStats, TuneParams, TunedWorkload, TunerEvaluator, WorkloadTuner};
+pub use variant::{StatementTuner, Variant};
 pub use workload::Workload;
 
 /// Convenient glob-import for examples and applications.

@@ -205,9 +205,8 @@ pub fn model_gpu_perf(cfg: NekboneConfig, arch: &GpuArch, params: TuneParams) ->
     let flops = (t3.flops + t3t.flops) as f64;
 
     let bar_t = t3.gpu_seconds + t3t.gpu_seconds + transfer;
-    let naive_t = openacc_naive(&w3).gpu_seconds(arch)
-        + openacc_naive(&w3t).gpu_seconds(arch)
-        + transfer;
+    let naive_t =
+        openacc_naive(&w3).gpu_seconds(arch) + openacc_naive(&w3t).gpu_seconds(arch) + transfer;
     let opt_t = openacc_optimized(&w3, &t3).gpu_seconds(arch)
         + openacc_optimized(&w3t, &t3t).gpu_seconds(arch)
         + transfer;

@@ -230,7 +230,10 @@ mod tests {
         let tuned = tuner.autotune(&arch, TuneParams::quick());
         let naive = openacc_naive(&w).gpu_seconds(&arch);
         let opt = openacc_optimized(&w, &tuned).gpu_seconds(&arch);
-        assert!(opt <= naive, "optimized {opt} must not exceed naive {naive}");
+        assert!(
+            opt <= naive,
+            "optimized {opt} must not exceed naive {naive}"
+        );
         assert!(
             tuned.gpu_seconds <= opt * 1.001,
             "tuned {} must not exceed optimized {opt}",

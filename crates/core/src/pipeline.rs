@@ -8,14 +8,15 @@
 //! statistics including the modeled wall-clock search time the paper
 //! reports in Table II.
 
+use crate::cache::EvalCache;
 use crate::variant::StatementTuner;
 use crate::workload::Workload;
 use gpusim::GpuArch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
-use surf::{surf_search, ForestParams, SurfParams};
-use tcr::mapping::{map_program, MappedKernel};
+use surf::{surf_search, surf_search_parallel, ForestParams, ParallelEvaluator, SurfParams};
+use tcr::mapping::{map_program, map_programs, MapJob, MappedKernel};
 use tcr::space::Configuration;
 use tcr::TcrProgram;
 use tensor::Tensor;
@@ -39,6 +40,12 @@ pub struct TuneParams {
     /// its versions; relative to a millisecond Lg3 run it is invisible.
     pub noise_floor_us: f64,
     pub seed: u64,
+    /// Evaluation parallelism: `1` evaluates serially on the calling
+    /// thread; any other value fans batches out over the rayon pool (sized
+    /// by `RAYON_NUM_THREADS`, default: all cores — `0` means "auto").
+    /// Results are bit-identical at every setting: noise is keyed by
+    /// configuration id, not by evaluation order.
+    pub threads: usize,
 }
 
 impl TuneParams {
@@ -68,6 +75,7 @@ impl TuneParams {
             eval_noise: 0.02,
             noise_floor_us: 6.0,
             seed: 0xBA22,
+            threads: 0,
         }
     }
 
@@ -94,6 +102,7 @@ impl TuneParams {
             eval_noise: 0.0,
             noise_floor_us: 0.0,
             seed: 0xBA22,
+            threads: 0,
         }
     }
 }
@@ -117,6 +126,14 @@ pub struct SearchStats {
     /// Size of the full configuration space (before pool sampling).
     pub space_size: u128,
     pub pool_size: usize,
+    /// Memo-cache hits during this run (times + features combined).
+    pub cache_hits: usize,
+    /// Memo-cache misses during this run (= distinct computations).
+    pub cache_misses: usize,
+    /// Wall-clock seconds spent inside the SURF search.
+    pub wall_s: f64,
+    /// Threads the evaluation backend used (1 = serial).
+    pub threads: usize,
 }
 
 impl SearchStats {
@@ -139,6 +156,143 @@ impl SearchStats {
             self.evaluated_times.iter().sum::<f64>() / self.evaluated_times.len() as f64
         };
         self.space_size as f64 * (arch.compile_seconds + reps as f64 * avg + 0.1)
+    }
+
+    /// Fraction of cache lookups served without recomputation.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// FNV-1a of a string, used to salt the shared [`EvalCache`] keyspace per
+/// architecture (and per statement in decomposed tuning).
+fn salt_of(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Thread-safe joint-configuration evaluator: memoized simulated times and
+/// features from a shared [`EvalCache`], plus the deterministic measurement
+/// noise SURF observes. Implements [`surf::ParallelEvaluator`], so one
+/// instance serves both the serial and the parallel search backends —
+/// noise is keyed by configuration id, never by evaluation order, which is
+/// what keeps parallel runs bit-identical to serial ones.
+pub struct TunerEvaluator<'a> {
+    tuner: &'a WorkloadTuner,
+    arch: &'a GpuArch,
+    cache: &'a EvalCache,
+    salt: u64,
+    eval_noise: f64,
+    noise_floor_us: f64,
+    noise_seed: u64,
+}
+
+impl<'a> TunerEvaluator<'a> {
+    pub fn new(
+        tuner: &'a WorkloadTuner,
+        arch: &'a GpuArch,
+        cache: &'a EvalCache,
+        params: &TuneParams,
+    ) -> Self {
+        TunerEvaluator {
+            tuner,
+            arch,
+            cache,
+            salt: salt_of(arch.name),
+            eval_noise: params.eval_noise,
+            noise_floor_us: params.noise_floor_us,
+            noise_seed: params.seed,
+        }
+    }
+
+    /// Noiseless memoized simulated time of a joint configuration.
+    pub fn time(&self, id: u128) -> f64 {
+        self.cache
+            .time(self.salt, id, || self.tuner.gpu_seconds(id, self.arch))
+    }
+}
+
+impl ParallelEvaluator for TunerEvaluator<'_> {
+    fn features(&self, id: u128) -> Vec<f64> {
+        // Features are arch-independent; salt 0 shares them across archs.
+        self.cache.features(0, id, || self.tuner.features(id))
+    }
+
+    fn evaluate(&self, id: u128) -> f64 {
+        let t = self.time(id);
+        // What the search *observes* is a noisy measurement: a relative
+        // component plus absolute launch/measurement jitter that dominates
+        // for microsecond-scale kernels.
+        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
+        t * (1.0 + rel * noise_unit(id as u64 ^ self.noise_seed))
+    }
+}
+
+/// Statement-local analog of [`TunerEvaluator`] for decomposed tuning: ids
+/// are local to one statement's space, salted so several statements share
+/// one cache without key collisions.
+struct StatementEvaluator<'a> {
+    st: &'a StatementTuner,
+    accumulate: bool,
+    arch: &'a GpuArch,
+    cache: &'a EvalCache,
+    salt: u64,
+    eval_noise: f64,
+    noise_floor_us: f64,
+    noise_seed: u64,
+}
+
+impl StatementEvaluator<'_> {
+    fn time(&self, local: u128) -> f64 {
+        self.cache.time(self.salt, local, || {
+            let (v, config) = self.st.decode(local);
+            let variant = &self.st.variants[v];
+            let kernels = map_program(&variant.program, &variant.space, &config, self.accumulate);
+            gpusim::time_program(&variant.program, &kernels, self.arch, false).gpu_s
+        })
+    }
+}
+
+impl ParallelEvaluator for StatementEvaluator<'_> {
+    fn features(&self, local: u128) -> Vec<f64> {
+        self.cache
+            .features(self.salt, local, || self.st.features(local))
+    }
+
+    fn evaluate(&self, local: u128) -> f64 {
+        let t = self.time(local);
+        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
+        t * (1.0 + rel * noise_unit(local as u64 ^ self.noise_seed))
+    }
+}
+
+/// Dispatches to the serial or parallel SURF backend per
+/// [`TuneParams::threads`]; both run the same driver over the same
+/// evaluator, so the choice never changes the result.
+fn search_with<E: ParallelEvaluator>(
+    pool: &[u128],
+    evaluator: &E,
+    surf_params: SurfParams,
+    threads: usize,
+) -> surf::SurfResult {
+    if threads == 1 {
+        surf_search(
+            pool,
+            |id| evaluator.features(id),
+            |id| evaluator.evaluate(id),
+            surf_params,
+        )
+    } else {
+        surf_search_parallel(pool, evaluator, surf_params)
     }
 }
 
@@ -257,14 +411,17 @@ pub struct WorkloadTuner {
 
 impl WorkloadTuner {
     pub fn build(workload: &Workload) -> Self {
-        let statements = workload
-            .statements
-            .iter()
-            .enumerate()
-            .map(|(i, st)| {
-                StatementTuner::build(&format!("{}_{}", workload.name, i), st, &workload.dims)
-            })
-            .collect();
+        // Statements are independent; enumerate + lower + space-build each
+        // on the rayon pool (order-preserving, so offsets and ids match the
+        // serial construction exactly).
+        let idx: Vec<usize> = (0..workload.statements.len()).collect();
+        let statements = rayon::par_map_slice(&idx, |&i| {
+            StatementTuner::build(
+                &format!("{}_{}", workload.name, i),
+                &workload.statements[i],
+                &workload.dims,
+            )
+        });
         WorkloadTuner {
             workload: workload.clone(),
             statements,
@@ -350,19 +507,27 @@ impl WorkloadTuner {
         out
     }
 
-    /// Maps every statement under the joint id.
+    /// Maps every statement under the joint id (statements map in parallel
+    /// on the rayon pool).
     pub fn kernels(&self, id: u128) -> Vec<Vec<MappedKernel>> {
         let locals = self.decode(id);
-        self.statements
+        let jobs: Vec<MapJob<'_>> = self
+            .statements
             .iter()
             .zip(&locals)
             .zip(&self.workload.statements)
             .map(|((s, &local), st)| {
                 let (v, config) = s.decode(local);
                 let variant = &s.variants[v];
-                map_program(&variant.program, &variant.space, &config, st.accumulate)
+                MapJob {
+                    program: &variant.program,
+                    space: &variant.space,
+                    config,
+                    accumulate_output: st.accumulate,
+                }
             })
-            .collect()
+            .collect();
+        map_programs(&jobs)
     }
 
     /// Device-side time of a joint configuration (no transfers — they are
@@ -432,41 +597,37 @@ impl WorkloadTuner {
         set.into_iter().collect()
     }
 
-    /// Runs SURF and returns the tuned workload.
+    /// Runs SURF and returns the tuned workload. Uses a fresh memo cache;
+    /// [`WorkloadTuner::autotune_with_cache`] shares one across runs.
     pub fn autotune(&self, arch: &GpuArch, params: TuneParams) -> TunedWorkload {
+        self.autotune_with_cache(arch, params, &EvalCache::new())
+    }
+
+    /// Runs SURF against a caller-provided [`EvalCache`], so repeated runs
+    /// (per-architecture sweeps, benchmark repetitions, decomposed +
+    /// joint comparisons) never re-simulate a configuration they have
+    /// already seen.
+    pub fn autotune_with_cache(
+        &self,
+        arch: &GpuArch,
+        params: TuneParams,
+        cache: &EvalCache,
+    ) -> TunedWorkload {
         let pool = self.pool(params.pool_cap, params.seed);
-        // Cache features: SURF re-queries them on every model refit.
-        let mut feature_cache: BTreeMap<u128, Vec<f64>> = BTreeMap::new();
-        let mut time_cache: BTreeMap<u128, f64> = BTreeMap::new();
-        let result = surf_search(
-            &pool,
-            |id| {
-                feature_cache
-                    .entry(id)
-                    .or_insert_with(|| self.features(id))
-                    .clone()
-            },
-            |id| {
-                let t = *time_cache
-                    .entry(id)
-                    .or_insert_with(|| self.gpu_seconds(id, arch));
-                // What the search *observes* is a noisy measurement: a
-                // relative component plus absolute launch/measurement
-                // jitter that dominates for microsecond-scale kernels.
-                let rel = params.eval_noise + params.noise_floor_us * 1e-6 / t;
-                t * (1.0 + rel * noise_unit(id as u64 ^ params.seed))
-            },
-            params.surf,
-        );
+        let evaluator = TunerEvaluator::new(self, arch, cache, &params);
+        let (hits0, misses0) = cache.stats();
+        let result = search_with(&pool, &evaluator, params.surf, params.threads);
+        let (hits1, misses1) = cache.stats();
 
         // The search observed noisy measurements; the final pick re-measures
         // carefully: choose the best *noiseless* time among everything the
         // search evaluated (the paper's final numbers are 100-rep averages).
+        // Every candidate is a cache hit: the search already simulated it.
         let id = result
             .evaluated
             .iter()
             .map(|(id, _)| *id)
-            .min_by(|a, b| time_cache[a].partial_cmp(&time_cache[b]).unwrap())
+            .min_by(|a, b| evaluator.time(*a).partial_cmp(&evaluator.time(*b)).unwrap())
             .unwrap_or(result.best_id);
         let locals = self.decode(id);
         let mut choices = Vec::new();
@@ -497,6 +658,10 @@ impl WorkloadTuner {
                 evaluated_times: result.evaluated.iter().map(|(_, t)| *t).collect(),
                 space_size: self.total_space(),
                 pool_size: pool.len(),
+                cache_hits: hits1 - hits0,
+                cache_misses: misses1 - misses0,
+                wall_s: result.wall_s,
+                threads: result.threads,
             },
         }
     }
@@ -509,10 +674,25 @@ impl WorkloadTuner {
     /// leaves on the table). Costs the sum of the per-statement budgets
     /// instead of one budget over the product space.
     pub fn autotune_decomposed(&self, arch: &GpuArch, params: TuneParams) -> TunedWorkload {
+        self.autotune_decomposed_with_cache(arch, params, &EvalCache::new())
+    }
+
+    /// [`WorkloadTuner::autotune_decomposed`] against a shared memo cache:
+    /// statements salt the cache's keyspace individually, so repeated or
+    /// interleaved runs reuse each other's simulations.
+    pub fn autotune_decomposed_with_cache(
+        &self,
+        arch: &GpuArch,
+        params: TuneParams,
+        cache: &EvalCache,
+    ) -> TunedWorkload {
         let mut locals: Vec<u128> = Vec::with_capacity(self.statements.len());
         let mut n_evals = 0;
         let mut batches = 0;
         let mut evaluated_times = Vec::new();
+        let mut wall_s = 0.0;
+        let mut threads = 1;
+        let (hits0, misses0) = cache.stats();
         for (k, st) in self.statements.iter().enumerate() {
             // Pool over this statement's own space.
             let total = st.total();
@@ -534,38 +714,31 @@ impl WorkloadTuner {
                 }
                 set.into_iter().collect()
             };
-            let accumulate = self.workload.statements[k].accumulate;
-            let mut cache: BTreeMap<u128, f64> = BTreeMap::new();
-            let mut time_of = |local: u128| -> f64 {
-                *cache.entry(local).or_insert_with(|| {
-                    let (v, config) = st.decode(local);
-                    let variant = &st.variants[v];
-                    let kernels =
-                        map_program(&variant.program, &variant.space, &config, accumulate);
-                    gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s
-                })
+            let evaluator = StatementEvaluator {
+                st,
+                accumulate: self.workload.statements[k].accumulate,
+                arch,
+                cache,
+                salt: salt_of(arch.name) ^ (k as u64 + 1),
+                eval_noise: params.eval_noise,
+                noise_floor_us: params.noise_floor_us,
+                noise_seed: params.seed ^ k as u64,
             };
-            let result = surf_search(
-                &pool,
-                |local| st.features(local),
-                |local| {
-                    let t = time_of(local);
-                    let rel = params.eval_noise + params.noise_floor_us * 1e-6 / t;
-                    t * (1.0 + rel * noise_unit(local as u64 ^ params.seed ^ k as u64))
-                },
-                params.surf,
-            );
+            let result = search_with(&pool, &evaluator, params.surf, params.threads);
             let best = result
                 .evaluated
                 .iter()
                 .map(|(id, _)| *id)
-                .min_by(|a, b| time_of(*a).partial_cmp(&time_of(*b)).unwrap())
+                .min_by(|a, b| evaluator.time(*a).partial_cmp(&evaluator.time(*b)).unwrap())
                 .unwrap_or(result.best_id);
             n_evals += result.n_evals();
             batches += result.batches;
-            evaluated_times.extend(result.evaluated.iter().map(|(id, _)| time_of(*id)));
+            wall_s += result.wall_s;
+            threads = threads.max(result.threads);
+            evaluated_times.extend(result.evaluated.iter().map(|(id, _)| evaluator.time(*id)));
             locals.push(best);
         }
+        let (hits1, misses1) = cache.stats();
         // Re-encode as a joint id and assemble the result.
         let mut id = 0u128;
         for (st, &local) in self.statements.iter().zip(&locals) {
@@ -595,6 +768,10 @@ impl WorkloadTuner {
                 evaluated_times,
                 space_size: self.total_space(),
                 pool_size: 0,
+                cache_hits: hits1 - hits0,
+                cache_misses: misses1 - misses0,
+                wall_s,
+                threads,
             },
         }
     }
@@ -759,6 +936,59 @@ mod tests {
         let expect = w.evaluate_reference(&inputs);
         let got = decomposed.execute(&w, &inputs);
         assert!(expect[0].1.approx_eq(&got[0].1, 1e-10));
+    }
+
+    #[test]
+    fn parallel_tuning_is_bit_identical_to_serial() {
+        let w = eqn1_workload(6);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::k20();
+        let mut serial_params = TuneParams::quick();
+        serial_params.threads = 1;
+        let mut parallel_params = TuneParams::quick();
+        parallel_params.threads = 0;
+        let serial = tuner.autotune(&arch, serial_params);
+        let parallel = tuner.autotune(&arch, parallel_params);
+        assert_eq!(serial.id, parallel.id);
+        assert_eq!(serial.gpu_seconds.to_bits(), parallel.gpu_seconds.to_bits());
+        assert_eq!(serial.search.n_evals, parallel.search.n_evals);
+        let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&serial.search.evaluated_times),
+            bits(&parallel.search.evaluated_times)
+        );
+    }
+
+    #[test]
+    fn one_search_never_duplicates_a_simulation() {
+        // Every time-cache miss is one simulator call; SURF never
+        // re-evaluates a configuration and the final noiseless pick only
+        // re-reads evaluated ids, so misses = distinct evaluated ids and
+        // the final pass is pure hits.
+        let w = matmul_workload(16);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::gtx980();
+        let cache = EvalCache::new();
+        let tuned = tuner.autotune_with_cache(&arch, TuneParams::quick(), &cache);
+        let total_lookups = tuned.search.cache_hits + tuned.search.cache_misses;
+        assert!(total_lookups > 0);
+        // Distinct simulations recorded in the shared cache must equal the
+        // evaluation count — zero duplicate simulator calls.
+        assert_eq!(cache.times_len(), tuned.search.n_evals);
+    }
+
+    #[test]
+    fn shared_cache_skips_resimulation_on_reruns() {
+        let w = matmul_workload(16);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::gtx980();
+        let cache = EvalCache::new();
+        let first = tuner.autotune_with_cache(&arch, TuneParams::quick(), &cache);
+        let second = tuner.autotune_with_cache(&arch, TuneParams::quick(), &cache);
+        assert_eq!(first.id, second.id);
+        // The second run re-simulates nothing: every time lookup hits.
+        assert_eq!(second.search.cache_misses, 0);
+        assert!(second.search.cache_hit_rate() == 1.0);
     }
 
     #[test]

@@ -40,18 +40,18 @@ impl StatementTuner {
     /// builds its search space.
     pub fn build(name: &str, contraction: &Contraction, dims: &IndexMap) -> Self {
         let factorizations = enumerate_factorizations(contraction, dims);
-        let variants: Vec<Variant> = factorizations
-            .into_iter()
-            .map(|f| {
-                let program = TcrProgram::from_factorization(name, contraction, &f, dims);
-                let space = ProgramSpace::build(&program);
-                Variant {
-                    factorization: f,
-                    program,
-                    space,
-                }
-            })
-            .collect();
+        // Lowering + space construction per version is independent work;
+        // fan it out over the rayon pool (order-preserving, so version
+        // indices and id offsets match the serial construction).
+        let variants: Vec<Variant> = rayon::par_map_slice(&factorizations, |f| {
+            let program = TcrProgram::from_factorization(name, contraction, f, dims);
+            let space = ProgramSpace::build(&program);
+            Variant {
+                factorization: f.clone(),
+                program,
+                space,
+            }
+        });
         let mut offsets = Vec::with_capacity(variants.len() + 1);
         let mut acc = 0u128;
         for v in &variants {

@@ -16,11 +16,7 @@ pub struct Workload {
 impl Workload {
     /// Parses DSL source. `dims` provides (or overrides) extents for any
     /// index not declared in a `dims { ... }` block of the source.
-    pub fn parse(
-        name: impl Into<String>,
-        src: &str,
-        dims: &IndexMap,
-    ) -> Result<Workload, String> {
+    pub fn parse(name: impl Into<String>, src: &str, dims: &IndexMap) -> Result<Workload, String> {
         let prog = parse_program(src).map_err(|e: ParseError| e.to_string())?;
         let mut merged = prog.dims.clone();
         for (k, v) in dims {
@@ -143,10 +139,7 @@ impl Workload {
                     .find(|r| &r.name == name)
                     .expect("external input referenced somewhere");
                 let shape = tensor::Shape::new(
-                    r.indices
-                        .iter()
-                        .map(|ix| self.dims[ix])
-                        .collect::<Vec<_>>(),
+                    r.indices.iter().map(|ix| self.dims[ix]).collect::<Vec<_>>(),
                 );
                 (name.clone(), Tensor::random(shape, seed + k as u64))
             })
@@ -156,14 +149,16 @@ impl Workload {
     /// Reference (oracle) evaluation of the whole workload. Returns the
     /// final values of every external output, by name.
     pub fn evaluate_reference(&self, inputs: &[(String, Tensor)]) -> Vec<(String, Tensor)> {
-        let mut env: std::collections::BTreeMap<String, Tensor> =
-            inputs.iter().cloned().collect();
+        let mut env: std::collections::BTreeMap<String, Tensor> = inputs.iter().cloned().collect();
         for st in &self.statements {
             let spec = st.to_einsum(&self.dims);
             let operands: Vec<&Tensor> = st
                 .terms
                 .iter()
-                .map(|t| env.get(&t.name).unwrap_or_else(|| panic!("missing {}", t.name)))
+                .map(|t| {
+                    env.get(&t.name)
+                        .unwrap_or_else(|| panic!("missing {}", t.name))
+                })
                 .collect();
             let mut fresh = spec.evaluate(&operands);
             if st.coefficient != 1.0 {

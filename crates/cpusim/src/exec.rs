@@ -8,7 +8,11 @@ use tcr::program::{TcrOp, TcrProgram};
 use tensor::Tensor;
 
 /// Stride of each loop variable for one array access (0 = invariant).
-fn strides_for(program: &TcrProgram, array_id: usize, loop_vars: &[tensor::IndexVar]) -> Vec<usize> {
+fn strides_for(
+    program: &TcrProgram,
+    array_id: usize,
+    loop_vars: &[tensor::IndexVar],
+) -> Vec<usize> {
     loop_vars
         .iter()
         .map(|v| {

@@ -238,11 +238,9 @@ mod tests {
         let fs = enumerate_factorizations(&c, &dims);
         let deep = TcrProgram::from_factorization("deep", &c, &fs[0], &dims);
         let m = CpuModel::haswell();
-        let gf_shallow = time_cpu(&shallow, &m, 1).flops as f64
-            / time_cpu(&shallow, &m, 1).compute_s
-            / 1e9;
-        let gf_deep =
-            time_cpu(&deep, &m, 1).flops as f64 / time_cpu(&deep, &m, 1).compute_s / 1e9;
+        let gf_shallow =
+            time_cpu(&shallow, &m, 1).flops as f64 / time_cpu(&shallow, &m, 1).compute_s / 1e9;
+        let gf_deep = time_cpu(&deep, &m, 1).flops as f64 / time_cpu(&deep, &m, 1).compute_s / 1e9;
         assert!(gf_deep < gf_shallow);
     }
 }

@@ -47,11 +47,8 @@ pub fn execute_op_parallel(
     let chunk_elems = out_shape.strides()[0];
 
     // Remaining loops (everything except the outermost output index).
-    let inner_vars: Vec<tensor::IndexVar> = loop_vars
-        .iter()
-        .filter(|v| *v != first)
-        .cloned()
-        .collect();
+    let inner_vars: Vec<tensor::IndexVar> =
+        loop_vars.iter().filter(|v| *v != first).cloned().collect();
     let extents: Vec<usize> = inner_vars.iter().map(|v| program.dims[v]).collect();
     let out_strides = strides_for(program, op.output, &inner_vars);
     let in_strides: Vec<Vec<usize>> = op

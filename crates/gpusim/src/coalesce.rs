@@ -122,10 +122,10 @@ pub fn kernel_traffic(kernel: &MappedKernel, arch: &GpuArch) -> TrafficSummary {
     let mut seen_arrays: Vec<usize> = Vec::new();
 
     let account = |summary: &mut TrafficSummary,
-                       seen: &mut Vec<usize>,
-                       acc: &ArrayAccess,
-                       txns: f64,
-                       txn_per_warp: f64| {
+                   seen: &mut Vec<usize>,
+                   acc: &ArrayAccess,
+                   txns: f64,
+                   txn_per_warp: f64| {
         summary.l2_transactions += txns;
         summary.l2_bytes += txns * arch.transaction_bytes as f64;
         summary.worst_txn_per_warp = summary.worst_txn_per_warp.max(txn_per_warp);

@@ -37,18 +37,31 @@ pub fn execute_kernel(kernel: &MappedKernel, buffers: &mut [Vec<f64>]) {
 
         // Strides of each access w.r.t. the mapped dims and interior loops.
         let n_int = kernel.interior.len();
-        let stride_vec = |acc: &tcr::mapping::ArrayAccess| -> (usize, usize, usize, usize, Vec<usize>) {
-            let tx = acc.stride_of(&kernel.tx.0);
-            let ty = kernel.ty.as_ref().map(|(v, _)| acc.stride_of(v)).unwrap_or(0);
-            let bx = kernel.bx.as_ref().map(|(v, _)| acc.stride_of(v)).unwrap_or(0);
-            let by = kernel.by.as_ref().map(|(v, _)| acc.stride_of(v)).unwrap_or(0);
-            let ints = kernel
-                .interior
-                .iter()
-                .map(|l| acc.stride_of(&l.var))
-                .collect();
-            (tx, ty, bx, by, ints)
-        };
+        let stride_vec =
+            |acc: &tcr::mapping::ArrayAccess| -> (usize, usize, usize, usize, Vec<usize>) {
+                let tx = acc.stride_of(&kernel.tx.0);
+                let ty = kernel
+                    .ty
+                    .as_ref()
+                    .map(|(v, _)| acc.stride_of(v))
+                    .unwrap_or(0);
+                let bx = kernel
+                    .bx
+                    .as_ref()
+                    .map(|(v, _)| acc.stride_of(v))
+                    .unwrap_or(0);
+                let by = kernel
+                    .by
+                    .as_ref()
+                    .map(|(v, _)| acc.stride_of(v))
+                    .unwrap_or(0);
+                let ints = kernel
+                    .interior
+                    .iter()
+                    .map(|l| acc.stride_of(&l.var))
+                    .collect();
+                (tx, ty, bx, by, ints)
+            };
         let out_s = stride_vec(&kernel.output);
         let in_s: Vec<_> = kernel.inputs.iter().map(stride_vec).collect();
 
@@ -247,11 +260,8 @@ mod tests {
         let b = Tensor::random(Shape::new([n, n]), 8);
 
         // Run the kernel twice over the same buffers: result must be 2x.
-        let mut buffers: Vec<Vec<f64>> = p
-            .arrays
-            .iter()
-            .map(|d| vec![0.0; d.len(&p.dims)])
-            .collect();
+        let mut buffers: Vec<Vec<f64>> =
+            p.arrays.iter().map(|d| vec![0.0; d.len(&p.dims)]).collect();
         let ids = p.input_ids();
         buffers[ids[0]].copy_from_slice(a.data());
         buffers[ids[1]].copy_from_slice(b.data());

@@ -41,12 +41,7 @@ impl Env {
 
 /// Iterates a rectangular space, calling `f` with the odometer values.
 fn for_each_point(dims: &[(IndexVar, usize)], env: &mut Env, f: &mut impl FnMut(&mut Env)) {
-    fn rec(
-        dims: &[(IndexVar, usize)],
-        d: usize,
-        env: &mut Env,
-        f: &mut impl FnMut(&mut Env),
-    ) {
+    fn rec(dims: &[(IndexVar, usize)], d: usize, env: &mut Env, f: &mut impl FnMut(&mut Env)) {
         if d == dims.len() {
             f(env);
             return;
@@ -175,10 +170,8 @@ pub fn time_fused(kernel: &FusedKernel, program: &TcrProgram, arch: &GpuArch) ->
     let waves = (blocks / (cap * arch.sm_count as f64)).ceil().max(1.0);
 
     let dp_lane_width = arch.dp_flops_per_cycle_per_sm / 2.0;
-    let dp_util = (active_warps * arch.warp_size as f64
-        / arch.dp_latency_cycles
-        / dp_lane_width)
-        .min(1.0);
+    let dp_util =
+        (active_warps * arch.warp_size as f64 / arch.dp_latency_cycles / dp_lane_width).min(1.0);
 
     let mut phase_s = Vec::with_capacity(kernel.phases.len());
     let mut global_bytes_total = 0.0;
@@ -189,8 +182,7 @@ pub fn time_fused(kernel: &FusedKernel, program: &TcrProgram, arch: &GpuArch) ->
         let fma_total = blocks * points_per_block;
 
         // DP pipe.
-        let dp_s =
-            fma_total / (active_sms * dp_lane_width * clock_hz * dp_util * lane_eff);
+        let dp_s = fma_total / (active_sms * dp_lane_width * clock_hz * dp_util * lane_eff);
 
         // Global traffic: only Global operands and the final output.
         let inner_par = phase.par_dims.last().map(|(v, _)| v.clone());
@@ -207,11 +199,7 @@ pub fn time_fused(kernel: &FusedKernel, program: &TcrProgram, arch: &GpuArch) ->
                     // by line reuse across the innermost summation loop.
                     let coalesced = inner_par
                         .as_ref()
-                        .map(|v| {
-                            terms
-                                .iter()
-                                .any(|(tv, s)| tv == v && *s == 1)
-                        })
+                        .map(|v| terms.iter().any(|(tv, s)| tv == v && *s == 1))
                         .unwrap_or(false);
                     let waste = if coalesced { 1.0 } else { 4.0 };
                     bytes += blocks * points_per_block * 8.0 * waste;
@@ -251,13 +239,12 @@ pub fn time_fused(kernel: &FusedKernel, program: &TcrProgram, arch: &GpuArch) ->
         let stall_div = 1.0 + active_warps / 4.0;
         let stall = global_loads_per_point * arch.l2_latency_cycles / stall_div
             + smem_loads_per_point * 30.0 / stall_div;
-        let serial_s =
-            waves * per_thread_points * (arch.dp_latency_cycles + stall) / clock_hz;
+        let serial_s = waves * per_thread_points * (arch.dp_latency_cycles + stall) / clock_hz;
 
         // Issue bound.
         let instr = blocks * points_per_block * 4.0; // FMA + addr + loop
-        let issue_s = instr
-            / (active_sms * arch.issue_lanes_per_cycle_per_sm * clock_hz * lane_eff);
+        let issue_s =
+            instr / (active_sms * arch.issue_lanes_per_cycle_per_sm * clock_hz * lane_eff);
 
         // Barrier cost between phases (~ tens of cycles per resident warp).
         let sync_s = 60.0 / clock_hz * waves;

@@ -130,8 +130,7 @@ pub fn time_kernel(kernel: &MappedKernel, arch: &GpuArch) -> KernelTiming {
     // 1. DP pipe with occupancy throttling: a warp can issue one dependent
     //    FMA of its accumulation chain every `dp_latency` cycles.
     let dp_lane_width = arch.dp_flops_per_cycle_per_sm / 2.0;
-    let supply =
-        occ.active_warps_per_sm as f64 * arch.warp_size as f64 / arch.dp_latency_cycles;
+    let supply = occ.active_warps_per_sm as f64 * arch.warp_size as f64 / arch.dp_latency_cycles;
     let dp_util = (supply / dp_lane_width).min(1.0);
     let fma_total = flops as f64 / 2.0;
     let dp_pipe_s = fma_total
@@ -161,9 +160,7 @@ pub fn time_kernel(kernel: &MappedKernel, arch: &GpuArch) -> KernelTiming {
     // 5. Latency floor: per-wave critical path. Each interior point costs a
     //    dependent FMA plus memory stalls that shrink with warp-level
     //    parallelism and unrolling (independent loads overlap).
-    let stall_div = 1.0
-        + occ.active_warps_per_sm as f64 / 4.0
-        + 2.0 * (kernel.unroll as f64 - 1.0);
+    let stall_div = 1.0 + occ.active_warps_per_sm as f64 / 4.0 + 2.0 * (kernel.unroll as f64 - 1.0);
     // Shared-memory reads cost ~30 cycles instead of an L2 round trip.
     let stall_cycles_per_point: f64 = (0..kernel.inputs.len())
         .map(|k| {
@@ -174,10 +171,9 @@ pub fn time_kernel(kernel: &MappedKernel, arch: &GpuArch) -> KernelTiming {
             }
         })
         .sum();
-    let per_point_cycles =
-        arch.dp_latency_cycles + stall_cycles_per_point / stall_div;
-    let serial_s = occ.waves as f64 * kernel.interior_trip_count() as f64 * per_point_cycles
-        / clock_hz;
+    let per_point_cycles = arch.dp_latency_cycles + stall_cycles_per_point / stall_div;
+    let serial_s =
+        occ.waves as f64 * kernel.interior_trip_count() as f64 * per_point_cycles / clock_hz;
 
     let launch_s = arch.kernel_launch_us * 1e-6;
     let body = dp_pipe_s.max(issue_s).max(l2_s).max(dram_s).max(serial_s);
@@ -327,7 +323,14 @@ mod tests {
         let p = matmul_program(64);
         for arch in all_architectures() {
             let t = time_kernel(&kernel_with(&p, "k", 2), &arch);
-            for v in [t.dp_pipe_s, t.issue_s, t.l2_s, t.dram_s, t.serial_s, t.launch_s] {
+            for v in [
+                t.dp_pipe_s,
+                t.issue_s,
+                t.l2_s,
+                t.dram_s,
+                t.serial_s,
+                t.launch_s,
+            ] {
                 assert!(v > 0.0 && v.is_finite());
             }
             assert!(t.time_s >= t.launch_s);
@@ -407,8 +410,7 @@ mod tests {
         let p = matmul_program(128);
         for arch in all_architectures() {
             let space = ProgramSpace::build(&p);
-            let kernels =
-                map_program(&p, &space, &Configuration { choice: vec![0] }, false);
+            let kernels = map_program(&p, &space, &Configuration { choice: vec![0] }, false);
             let t = time_program(&p, &kernels, &arch, false);
             assert!(
                 t.gflops_device() <= arch.peak_dp_gflops(),

@@ -203,7 +203,10 @@ mod tests {
         let mut c = eqn1();
         c.sum_indices.push("i".into());
         let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
-        assert!(c.validate(&dims).unwrap_err().contains("appears in the output"));
+        assert!(c
+            .validate(&dims)
+            .unwrap_err()
+            .contains("appears in the output"));
     }
 
     #[test]

@@ -100,10 +100,7 @@ fn step_flops(f: &Factorization, step: usize, dims: &IndexMap) -> u64 {
 
 /// Analyzes the chosen factorization of every statement for reuse across
 /// statements (first occurrence wins; each later duplicate is counted once).
-pub fn analyze_cse(
-    chosen: &[(&Contraction, &Factorization)],
-    dims: &IndexMap,
-) -> CseReport {
+pub fn analyze_cse(chosen: &[(&Contraction, &Factorization)], dims: &IndexMap) -> CseReport {
     let mut seen: Vec<(StepKey, usize, usize)> = Vec::new();
     let mut report = CseReport::default();
     for (si, (c, f)) in chosen.iter().enumerate() {
@@ -112,8 +109,7 @@ pub fn analyze_cse(
             let Some(key) = step_key(c, f, step) else {
                 continue;
             };
-            if let Some((_, ei, es)) = seen.iter().find(|(k, ei, _)| *k == key && *ei != si)
-            {
+            if let Some((_, ei, es)) = seen.iter().find(|(k, ei, _)| *k == key && *ei != si) {
                 let saved = step_flops(f, step, dims);
                 report.flops_saved += saved;
                 report.matches.push(CseMatch {
@@ -142,10 +138,7 @@ mod tests {
         Contraction {
             output: TensorRef::new(out, out_idx),
             sum_indices: sums.iter().map(|s| (*s).into()).collect(),
-            terms: terms
-                .iter()
-                .map(|(n, ix)| TensorRef::new(*n, ix))
-                .collect(),
+            terms: terms.iter().map(|(n, ix)| TensorRef::new(*n, ix)).collect(),
             accumulate: false,
             coefficient: 1.0,
         }

@@ -165,8 +165,7 @@ impl<'a> Enumerator<'a> {
                 let tb = terms2.remove(b);
                 let ta = terms2.remove(a);
 
-                let union: BTreeSet<IndexVar> =
-                    ta.indices.union(&tb.indices).cloned().collect();
+                let union: BTreeSet<IndexVar> = ta.indices.union(&tb.indices).cloned().collect();
                 // Sum away indices now exclusive to the merged term.
                 let summed: Vec<IndexVar> = union
                     .iter()
@@ -215,8 +214,7 @@ impl<'a> Enumerator<'a> {
 
     fn finish(&mut self, last: Term, mut steps: Vec<Step>) {
         debug_assert_eq!(
-            last.indices,
-            self.output_set,
+            last.indices, self.output_set,
             "final term does not match output indices"
         );
         // Ensure the final step is named after, and laid out as, the output.
@@ -258,10 +256,7 @@ impl<'a> Enumerator<'a> {
 /// Enumerates all distinct factorizations of `contraction` under `dims`,
 /// sorted by ascending operation count (ties broken by canonical key, so the
 /// order is fully deterministic).
-pub fn enumerate_factorizations(
-    contraction: &Contraction,
-    dims: &IndexMap,
-) -> Vec<Factorization> {
+pub fn enumerate_factorizations(contraction: &Contraction, dims: &IndexMap) -> Vec<Factorization> {
     contraction
         .validate(dims)
         .unwrap_or_else(|e| panic!("invalid contraction: {e}"));
@@ -351,11 +346,7 @@ impl Factorization {
                 output: step.indices.clone(),
                 dims: {
                     let mut sub = IndexMap::new();
-                    for ix in step
-                        .indices
-                        .iter()
-                        .chain(step.sum_over.iter())
-                    {
+                    for ix in step.indices.iter().chain(step.sum_over.iter()) {
                         sub.insert(ix.clone(), dims[ix]);
                     }
                     // Operand indices may include summed ones already covered.
@@ -436,7 +427,10 @@ mod tests {
         let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
         let fs = enumerate_factorizations(&eqn1(), &dims);
         let max = fs.last().unwrap().flops;
-        assert!(max >= 2 * 10u64.pow(6), "worst tree should be O(N^6): {max}");
+        assert!(
+            max >= 2 * 10u64.pow(6),
+            "worst tree should be O(N^6): {max}"
+        );
     }
 
     #[test]

@@ -168,7 +168,8 @@ impl<'a> Lexer<'a> {
                 }
                 c if c.is_ascii_alphabetic() || c == b'_' => {
                     while self.pos < self.src.len()
-                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                        && (self.src[self.pos].is_ascii_alphanumeric()
+                            || self.src[self.pos] == b'_')
                     {
                         self.pos += 1;
                     }
@@ -336,21 +337,21 @@ impl Parser {
                 })
             }
         };
-        let (sum_indices, coeff, terms) =
-            if matches!(self.peek(), Some(Tok::Ident(s)) if s == "Sum") {
-                self.bump();
-                self.expect(&Tok::LParen)?;
-                self.expect(&Tok::LBracket)?;
-                let sums = self.index_list()?;
-                self.expect(&Tok::RBracket)?;
-                self.expect(&Tok::Comma)?;
-                let (coeff, terms) = self.product()?;
-                self.expect(&Tok::RParen)?;
-                (sums, coeff, terms)
-            } else {
-                let (coeff, terms) = self.product()?;
-                (Vec::new(), coeff, terms)
-            };
+        let (sum_indices, coeff, terms) = if matches!(self.peek(), Some(Tok::Ident(s)) if s == "Sum")
+        {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            self.expect(&Tok::LBracket)?;
+            let sums = self.index_list()?;
+            self.expect(&Tok::RBracket)?;
+            self.expect(&Tok::Comma)?;
+            let (coeff, terms) = self.product()?;
+            self.expect(&Tok::RParen)?;
+            (sums, coeff, terms)
+        } else {
+            let (coeff, terms) = self.product()?;
+            (Vec::new(), coeff, terms)
+        };
         Ok(Contraction {
             output,
             sum_indices,
@@ -420,7 +421,8 @@ mod tests {
 
     #[test]
     fn parse_multi_statement() {
-        let src = "T1[i l m] = Sum([n], C[n i] * U[l m n])\nT2[j i l] = Sum([m], B[m j] * T1[i l m])";
+        let src =
+            "T1[i l m] = Sum([n], C[n i] * U[l m n])\nT2[j i l] = Sum([m], B[m j] * T1[i l m])";
         let p = parse_program(src).unwrap();
         assert_eq!(p.statements.len(), 2);
         assert_eq!(p.statements[1].terms[1].name, "T1");

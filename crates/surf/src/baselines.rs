@@ -158,9 +158,28 @@ mod tests {
         let b = random_search(&pool, f, 50, 7);
         assert_eq!(a.best_id, b.best_id);
         assert_eq!(a.n_evals, 50);
-        let c = random_search(&pool, f, 50, 8);
         // Different seeds explore different subsets (almost surely).
-        assert!(a.best_id == c.best_id || a.best_y != c.best_y || true);
+        let mut seen7 = Vec::new();
+        random_search(
+            &pool,
+            |id| {
+                seen7.push(id);
+                f(id)
+            },
+            50,
+            7,
+        );
+        let mut seen8 = Vec::new();
+        random_search(
+            &pool,
+            |id| {
+                seen8.push(id);
+                f(id)
+            },
+            50,
+            8,
+        );
+        assert_ne!(seen7, seen8);
     }
 
     /// A rugged 1-D landscape with a global optimum at 700.

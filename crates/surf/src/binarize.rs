@@ -107,7 +107,9 @@ mod tests {
 
     #[test]
     fn one_hot_encoding() {
-        let fs = FeatureSpace::default().categorical("tx", 3).integer("uf", 1.0, 5.0);
+        let fs = FeatureSpace::default()
+            .categorical("tx", 3)
+            .integer("uf", 1.0, 5.0);
         let v = fs.binarize(&[2.0, 3.0]);
         assert_eq!(v, vec![0.0, 0.0, 1.0, 0.5]);
     }

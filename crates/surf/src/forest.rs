@@ -63,7 +63,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    at = if x[*feature] < *threshold { *left } else { *right };
+                    at = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -138,11 +142,19 @@ fn grow(
             continue;
         }
         let threshold = rng.gen_range(lo..hi).max(lo + (hi - lo) * 1e-9);
-        let left: Vec<usize> = idx.iter().copied().filter(|&i| xs[i][f] < threshold).collect();
+        let left: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| xs[i][f] < threshold)
+            .collect();
         if left.is_empty() || left.len() == idx.len() {
             continue;
         }
-        let right: Vec<usize> = idx.iter().copied().filter(|&i| xs[i][f] >= threshold).collect();
+        let right: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| xs[i][f] >= threshold)
+            .collect();
         let score = parent_sse - sse(ys, &left) - sse(ys, &right);
         if best.map(|(_, _, s)| score > s).unwrap_or(true) {
             best = Some((f, threshold, score));
@@ -179,16 +191,21 @@ fn grow(
 
 impl ExtraTrees {
     /// Fits the forest on binarized configurations `xs` with targets `ys`.
+    ///
+    /// Trees are grown in parallel on the rayon pool: each tree draws its
+    /// own rng from `seed + tree_index`, so the forest is identical at any
+    /// thread count. Per-tree importance contributions are summed in tree
+    /// order, keeping the floating-point reduction scheduling-independent.
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: ForestParams) -> Self {
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         assert!(!xs.is_empty(), "cannot fit on an empty training set");
         let n_features = xs[0].len();
         assert!(xs.iter().all(|x| x.len() == n_features));
-        let mut trees = Vec::with_capacity(params.n_trees);
-        let mut importance = vec![0.0; n_features];
-        for t in 0..params.n_trees {
-            let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(t as u64));
+        let tree_ids: Vec<u64> = (0..params.n_trees as u64).collect();
+        let grown: Vec<(Tree, Vec<f64>)> = rayon::par_map_slice(&tree_ids, |&t| {
+            let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(t));
             let mut nodes = Vec::new();
+            let mut importance = vec![0.0; n_features];
             let root = grow(
                 xs,
                 ys,
@@ -199,7 +216,15 @@ impl ExtraTrees {
                 &mut importance,
             );
             debug_assert_eq!(root, 0);
-            trees.push(Tree { nodes });
+            (Tree { nodes }, importance)
+        });
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut importance = vec![0.0; n_features];
+        for (tree, imp) in grown {
+            trees.push(tree);
+            for (acc, v) in importance.iter_mut().zip(imp) {
+                *acc += v;
+            }
         }
         let total: f64 = importance.iter().sum();
         if total > 0.0 {

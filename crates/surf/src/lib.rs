@@ -20,4 +20,6 @@ pub mod search;
 pub use baselines::{exhaustive_search, hill_climb, random_search, simulated_annealing};
 pub use binarize::{Feature, FeatureSpace};
 pub use forest::{ExtraTrees, ForestParams};
-pub use search::{surf_search, SurfParams, SurfResult};
+pub use search::{
+    surf_search, surf_search_parallel, ParallelEvaluator, SurfParams, SurfResult, UnpromisingStop,
+};

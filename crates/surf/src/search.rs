@@ -3,10 +3,19 @@
 //! Configurations are opaque `u128` ids drawn from a pool. The caller
 //! provides the feature encoding and the (expensive, possibly parallel)
 //! evaluation. Lower evaluation values are better (execution time).
+//!
+//! Two entry points share one driver: [`surf_search`] takes `FnMut`
+//! closures and evaluates serially; [`surf_search_parallel`] takes a
+//! [`ParallelEvaluator`] and fans each batch (and the surrogate's pool
+//! scoring) out over the rayon pool. Both produce *bit-identical* results
+//! for pure evaluators: batch membership is decided before evaluation,
+//! results are folded in batch order, and parallel maps preserve index
+//! order, so no reduction depends on thread scheduling.
 
 use crate::forest::{ExtraTrees, ForestParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Model-confidence stopping rule: stop once the surrogate predicts that
 /// fewer than `epsilon` of the remaining configurations lie within
@@ -83,6 +92,10 @@ pub struct SurfResult {
     pub evaluated: Vec<(u128, f64)>,
     /// Batches executed (model refits).
     pub batches: usize,
+    /// Threads the evaluation backend used (1 for the serial entry point).
+    pub threads: usize,
+    /// Wall-clock seconds spent inside the search.
+    pub wall_s: f64,
 }
 
 impl SurfResult {
@@ -91,18 +104,110 @@ impl SurfResult {
     }
 }
 
-/// Runs SURF over `pool`.
+/// A thread-safe configuration evaluator, the unit of work
+/// [`surf_search_parallel`] fans out over the rayon pool. Implementations
+/// must be *pure* per id (same id ⇒ same features and value regardless of
+/// call order) for parallel runs to stay bit-identical to serial ones; a
+/// shared memo cache behind interior mutability satisfies this.
+pub trait ParallelEvaluator: Sync {
+    /// Binarized feature vector of a configuration.
+    fn features(&self, id: u128) -> Vec<f64>;
+    /// Measured performance of a configuration (lower = better).
+    fn evaluate(&self, id: u128) -> f64;
+}
+
+/// Evaluation backend the shared driver is generic over: given a batch of
+/// ids decided by the search, produce `(features, y)` per id *in batch
+/// order*; given the fitted surrogate, score the remaining pool in index
+/// order.
+trait Backend {
+    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, f64)>;
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64>;
+    fn threads(&self) -> usize;
+}
+
+struct SerialBackend<F, E> {
+    features: F,
+    evaluate: E,
+}
+
+impl<F: FnMut(u128) -> Vec<f64>, E: FnMut(u128) -> f64> Backend for SerialBackend<F, E> {
+    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, f64)> {
+        ids.iter()
+            .map(|&id| {
+                // Evaluation before featurization, matching the historical
+                // call order observed by stateful closures.
+                let y = (self.evaluate)(id);
+                ((self.features)(id), y)
+            })
+            .collect()
+    }
+
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+        remaining
+            .iter()
+            .map(|&id| model.predict(&(self.features)(id)))
+            .collect()
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+}
+
+struct ParallelBackend<'a, E: ParallelEvaluator> {
+    evaluator: &'a E,
+}
+
+impl<E: ParallelEvaluator> Backend for ParallelBackend<'_, E> {
+    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, f64)> {
+        // Order-preserving indexed map: slot i holds id i's result, so the
+        // fold in the driver sees batch order regardless of scheduling.
+        rayon::par_map_slice(ids, |&id| {
+            let y = self.evaluator.evaluate(id);
+            (self.evaluator.features(id), y)
+        })
+    }
+
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+        rayon::par_map_slice(remaining, |&id| model.predict(&self.evaluator.features(id)))
+    }
+
+    fn threads(&self) -> usize {
+        rayon::current_num_threads()
+    }
+}
+
+/// Runs SURF over `pool`, evaluating serially on the calling thread.
 ///
 /// * `features(id)` returns the *binarized* feature vector of a config.
 /// * `evaluate(id)` returns its measured performance (lower = better).
 pub fn surf_search(
     pool: &[u128],
-    mut features: impl FnMut(u128) -> Vec<f64>,
-    mut evaluate: impl FnMut(u128) -> f64,
+    features: impl FnMut(u128) -> Vec<f64>,
+    evaluate: impl FnMut(u128) -> f64,
     params: SurfParams,
 ) -> SurfResult {
+    drive(pool, &mut SerialBackend { features, evaluate }, params)
+}
+
+/// Runs SURF over `pool`, fanning each batch evaluation and each surrogate
+/// scoring pass out over the rayon thread pool (sized by
+/// `RAYON_NUM_THREADS`, default: all cores). For pure evaluators the result
+/// is bit-identical to [`surf_search`] with the same parameters, at any
+/// thread count.
+pub fn surf_search_parallel<E: ParallelEvaluator>(
+    pool: &[u128],
+    evaluator: &E,
+    params: SurfParams,
+) -> SurfResult {
+    drive(pool, &mut ParallelBackend { evaluator }, params)
+}
+
+fn drive<B: Backend>(pool: &[u128], backend: &mut B, params: SurfParams) -> SurfResult {
     assert!(!pool.is_empty(), "empty configuration pool");
     assert!(params.batch_size >= 1);
+    let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     // Remaining (unevaluated) pool, shuffled once for unbiased init.
@@ -119,18 +224,18 @@ pub fn surf_search(
     let mut stale_batches = 0usize;
     let mut batches = 0usize;
 
-    let run_batch = |ids: Vec<u128>,
-                         xs: &mut Vec<Vec<f64>>,
-                         ys: &mut Vec<f64>,
-                         evaluated: &mut Vec<(u128, f64)>,
-                         best: &mut Option<(u128, f64)>,
-                         features: &mut dyn FnMut(u128) -> Vec<f64>,
-                         evaluate: &mut dyn FnMut(u128) -> f64|
+    // Evaluates one batch (possibly in parallel) and folds the results in
+    // batch order, so the incumbent/trace updates are scheduling-independent.
+    let run_batch = |ids: &[u128],
+                     backend: &mut B,
+                     xs: &mut Vec<Vec<f64>>,
+                     ys: &mut Vec<f64>,
+                     evaluated: &mut Vec<(u128, f64)>,
+                     best: &mut Option<(u128, f64)>|
      -> bool {
         let mut improved = false;
-        for id in ids {
-            let y = evaluate(id);
-            xs.push(features(id));
+        for (&id, (x, y)) in ids.iter().zip(backend.eval_batch(ids)) {
+            xs.push(x);
             ys.push(y);
             evaluated.push((id, y));
             let better = match best {
@@ -158,26 +263,15 @@ pub fn surf_search(
         .min(params.max_evals)
         .min(remaining.len());
     let init: Vec<u128> = remaining.drain(..n_init).collect();
-    run_batch(
-        init,
-        &mut xs,
-        &mut ys,
-        &mut evaluated,
-        &mut best,
-        &mut features,
-        &mut evaluate,
-    );
+    run_batch(&init, backend, &mut xs, &mut ys, &mut evaluated, &mut best);
     batches += 1;
 
     // Iterative phase (lines 5–12).
     while evaluated.len() < params.max_evals && !remaining.is_empty() {
         let model = ExtraTrees::fit(&xs, &ys, params.forest);
         // Predict all remaining configs, take the best-predicted batch.
-        let mut scored: Vec<(usize, f64)> = remaining
-            .iter()
-            .enumerate()
-            .map(|(k, &id)| (k, model.predict(&features(id))))
-            .collect();
+        let preds = backend.score(&model, &remaining);
+        let mut scored: Vec<(usize, f64)> = preds.into_iter().enumerate().collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
 
         // Model-confidence stop: how much of the pool still looks
@@ -206,15 +300,7 @@ pub fn surf_search(
             ids.push(remaining.swap_remove(k));
         }
 
-        let improved = run_batch(
-            ids,
-            &mut xs,
-            &mut ys,
-            &mut evaluated,
-            &mut best,
-            &mut features,
-            &mut evaluate,
-        );
+        let improved = run_batch(&ids, backend, &mut xs, &mut ys, &mut evaluated, &mut best);
         batches += 1;
         if improved {
             stale_batches = 0;
@@ -234,6 +320,8 @@ pub fn surf_search(
         best_y,
         evaluated,
         batches,
+        threads: backend.threads(),
+        wall_s: start.elapsed().as_secs_f64(),
     }
 }
 
@@ -327,6 +415,59 @@ mod tests {
         assert!(res_flat.n_evals() <= 110 + params.batch_size);
         let res_peaked = surf_search(&pool, feats, landscape, params);
         assert!(res_peaked.n_evals() <= 1500);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        struct Pure;
+        impl ParallelEvaluator for Pure {
+            fn features(&self, id: u128) -> Vec<f64> {
+                feats(id)
+            }
+            fn evaluate(&self, id: u128) -> f64 {
+                landscape(id)
+            }
+        }
+        let pool: Vec<u128> = (0..5_000).collect();
+        let serial = surf_search(&pool, feats, landscape, SurfParams::default());
+        let parallel = surf_search_parallel(&pool, &Pure, SurfParams::default());
+        assert_eq!(serial.best_id, parallel.best_id);
+        assert_eq!(serial.best_y.to_bits(), parallel.best_y.to_bits());
+        assert_eq!(serial.evaluated, parallel.evaluated);
+        assert_eq!(serial.batches, parallel.batches);
+    }
+
+    #[test]
+    fn parallel_never_reevaluates_a_configuration() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting {
+            calls: Vec<AtomicUsize>,
+        }
+        impl ParallelEvaluator for Counting {
+            fn features(&self, id: u128) -> Vec<f64> {
+                feats(id)
+            }
+            fn evaluate(&self, id: u128) -> f64 {
+                self.calls[id as usize].fetch_add(1, Ordering::Relaxed);
+                landscape(id)
+            }
+        }
+        let pool: Vec<u128> = (0..500).collect();
+        let evaluator = Counting {
+            calls: (0..500).map(|_| AtomicUsize::new(0)).collect(),
+        };
+        let res = surf_search_parallel(&pool, &evaluator, SurfParams::default());
+        assert_eq!(res.n_evals(), 100);
+        assert!(evaluator
+            .calls
+            .iter()
+            .all(|c| c.load(Ordering::Relaxed) <= 1));
+        let total: usize = evaluator
+            .calls
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, 100);
     }
 
     #[test]

@@ -115,7 +115,15 @@ pub fn cuda_kernel(kernel: &MappedKernel) -> String {
 
     // Cooperative shared-memory staging of small reused inputs.
     if !kernel.staged.is_empty() {
-        let _ = writeln!(s, "  int tid = tx{};", if kernel.ty.is_some() { " + ty * blockDim.x" } else { "" });
+        let _ = writeln!(
+            s,
+            "  int tid = tx{};",
+            if kernel.ty.is_some() {
+                " + ty * blockDim.x"
+            } else {
+                ""
+            }
+        );
         let tpb = kernel.threads_per_block();
         let mut staged_names: Vec<String> = Vec::new();
         for &k in &kernel.staged {
@@ -157,11 +165,7 @@ pub fn cuda_kernel(kernel: &MappedKernel) -> String {
         if last && kernel.unroll > 1 {
             let u = kernel.unroll;
             let main_end = l.extent - l.extent % u;
-            let _ = writeln!(
-                s,
-                "{pad}int {v};",
-                v = l.var
-            );
+            let _ = writeln!(s, "{pad}int {v};", v = l.var);
             let _ = writeln!(
                 s,
                 "{pad}for ({v} = 0; {v} < {main_end}; {v} += {u}) {{",
@@ -259,7 +263,9 @@ pub fn orio_annotation(space: &OpSpace) -> String {
     let _ = writeln!(s, "  param PERMUTE_{i}_TY{i}[] = {};", fmt_vars(&ty));
     let _ = writeln!(s, "  param PERMUTE_{i}_BX{i}[] = {};", fmt_vars(&bx));
     let _ = writeln!(s, "  param PERMUTE_{i}_BY{i}[] = {};", fmt_vars(&by));
-    let ufs: Vec<String> = (1..=crate::space::MAX_UNROLL).map(|u| u.to_string()).collect();
+    let ufs: Vec<String> = (1..=crate::space::MAX_UNROLL)
+        .map(|u| u.to_string())
+        .collect();
     let _ = writeln!(s, "  param UF_{i}[] = [{}];", ufs.join(","));
     let _ = writeln!(s, "}}");
     let _ = writeln!(s, "/*@ begin CHiLL (");
@@ -290,7 +296,10 @@ pub fn orio_annotations(space: &ProgramSpace) -> String {
 /// reference loop. The output of `--emit cuda` can be handed to `nvcc`.
 pub fn cuda_file(program: &TcrProgram, kernels: &[MappedKernel]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "// Generated by barracuda (reproduction of Nelson et al., ICPP 2015)");
+    let _ = writeln!(
+        s,
+        "// Generated by barracuda (reproduction of Nelson et al., ICPP 2015)"
+    );
     let _ = writeln!(s, "#include <cstdio>");
     let _ = writeln!(s, "#include <cstdlib>");
     let _ = writeln!(s, "#include <cmath>");
@@ -301,16 +310,31 @@ pub fn cuda_file(program: &TcrProgram, kernels: &[MappedKernel]) -> String {
         let _ = writeln!(s);
     }
 
-    let _ = writeln!(s, "static double frand() {{ return 2.0 * rand() / RAND_MAX - 1.0; }}");
+    let _ = writeln!(
+        s,
+        "static double frand() {{ return 2.0 * rand() / RAND_MAX - 1.0; }}"
+    );
     let _ = writeln!(s);
     let _ = writeln!(s, "int main() {{");
     // Host + device buffers for every array.
     for a in &program.arrays {
         let n = a.len(&program.dims);
-        let _ = writeln!(s, "  double *h_{0} = (double*)calloc({1}, sizeof(double));", a.name, n);
-        let _ = writeln!(s, "  double *d_{0}; cudaMalloc(&d_{0}, {1} * sizeof(double));", a.name, n);
+        let _ = writeln!(
+            s,
+            "  double *h_{0} = (double*)calloc({1}, sizeof(double));",
+            a.name, n
+        );
+        let _ = writeln!(
+            s,
+            "  double *d_{0}; cudaMalloc(&d_{0}, {1} * sizeof(double));",
+            a.name, n
+        );
         if a.kind == crate::program::ArrayKind::Input {
-            let _ = writeln!(s, "  for (int q = 0; q < {n}; q++) h_{0}[q] = frand();", a.name);
+            let _ = writeln!(
+                s,
+                "  for (int q = 0; q < {n}; q++) h_{0}[q] = frand();",
+                a.name
+            );
         }
         let _ = writeln!(
             s,
@@ -426,7 +450,10 @@ pub fn cuda_fused(kernel: &crate::fusion::FusedKernel, program: &TcrProgram) -> 
         let _ = writeln!(s, "  __shared__ double s_{}[{}];", slice.name, slice.len);
     }
 
-    let render_terms = |terms: &[(tensor::IndexVar, usize)], tx_v: Option<&tensor::IndexVar>, ty_v: Option<&tensor::IndexVar>| -> String {
+    let render_terms = |terms: &[(tensor::IndexVar, usize)],
+                        tx_v: Option<&tensor::IndexVar>,
+                        ty_v: Option<&tensor::IndexVar>|
+     -> String {
         let parts: Vec<String> = terms
             .iter()
             .map(|(v, stride)| {
@@ -454,8 +481,16 @@ pub fn cuda_fused(kernel: &crate::fusion::FusedKernel, program: &TcrProgram) -> 
     for (pi, phase) in kernel.phases.iter().enumerate() {
         let _ = writeln!(s, "  // phase {pi}: statement {}", phase.op_index);
         let n = phase.par_dims.len();
-        let tx_v = if n >= 1 { Some(&phase.par_dims[n - 1].0) } else { None };
-        let ty_v = if n >= 2 { Some(&phase.par_dims[n - 2].0) } else { None };
+        let tx_v = if n >= 1 {
+            Some(&phase.par_dims[n - 1].0)
+        } else {
+            None
+        };
+        let ty_v = if n >= 2 {
+            Some(&phase.par_dims[n - 2].0)
+        } else {
+            None
+        };
         // Guard threads beyond this phase's extent.
         let mut guards: Vec<String> = Vec::new();
         if let Some(v) = tx_v {

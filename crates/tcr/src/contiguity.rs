@@ -27,11 +27,7 @@ pub fn is_contiguous(program: &TcrProgram, array_id: usize, loop_order: &[IndexV
 }
 
 /// Array ids of `op` (inputs and output) that are contiguous under the order.
-pub fn contiguous_arrays(
-    program: &TcrProgram,
-    op: &TcrOp,
-    loop_order: &[IndexVar],
-) -> Vec<usize> {
+pub fn contiguous_arrays(program: &TcrProgram, op: &TcrOp, loop_order: &[IndexVar]) -> Vec<usize> {
     let mut ids: Vec<usize> = op.inputs.clone();
     ids.push(op.output);
     ids.sort_unstable();

@@ -138,8 +138,7 @@ mod tests {
             coefficient: 1.0,
         };
         let fs = enumerate_factorizations(&c, &dims);
-        let p =
-            crate::program::TcrProgram::from_factorization("outer", &c, &fs[0], &dims);
+        let p = crate::program::TcrProgram::from_factorization("outer", &c, &fs[0], &dims);
         assert!(carried_by(&p, &p.ops[0]).is_empty());
         verify_against_pairwise(&p, &p.ops[0], 4).unwrap();
     }

@@ -246,12 +246,7 @@ pub fn build_fused(program: &TcrProgram) -> Option<FusedKernel> {
                 let strides = decl.shape(&program.dims).strides();
                 FusedOperand::Global {
                     array: id,
-                    terms: decl
-                        .indices
-                        .iter()
-                        .cloned()
-                        .zip(strides)
-                        .collect(),
+                    terms: decl.indices.iter().cloned().zip(strides).collect(),
                 }
             }
         };

@@ -300,7 +300,11 @@ pub fn map_kernel(
         interior,
         unroll: cfg.unroll,
         output: access_for(program, op.output),
-        inputs: op.inputs.iter().map(|&id| access_for(program, id)).collect(),
+        inputs: op
+            .inputs
+            .iter()
+            .map(|&id| access_for(program, id))
+            .collect(),
         accumulate,
         scalar_replacement: true,
         staged: cfg.staged.clone(),
@@ -322,11 +326,27 @@ pub fn map_program(
         .map(|(i, op)| {
             // Only the statement writing the program output may accumulate
             // into pre-existing data; temporaries always start from zero.
-            let acc = accumulate_output
-                && program.arrays[op.output].kind == ArrayKind::Output;
+            let acc = accumulate_output && program.arrays[op.output].kind == ArrayKind::Output;
             map_kernel(program, i, space.op_config(config, i), acc)
         })
         .collect()
+}
+
+/// One program-mapping job for [`map_programs`].
+pub struct MapJob<'a> {
+    pub program: &'a TcrProgram,
+    pub space: &'a crate::space::ProgramSpace,
+    pub config: crate::space::Configuration,
+    pub accumulate_output: bool,
+}
+
+/// Maps a batch of programs in parallel on the rayon pool. Results are
+/// positionally identical to mapping each job serially — mapping is a pure
+/// function of its job, so scheduling never shows in the output.
+pub fn map_programs(jobs: &[MapJob<'_>]) -> Vec<Vec<MappedKernel>> {
+    rayon::par_map_slice(jobs, |j| {
+        map_program(j.program, j.space, &j.config, j.accumulate_output)
+    })
 }
 
 #[cfg(test)]
@@ -394,11 +414,7 @@ mod tests {
         let p = matmul_program(8);
         let space = ProgramSpace::build(&p);
         let s = &space.per_op[0];
-        let cfg = s
-            .configs
-            .iter()
-            .find(|c| c.interior.len() == 1)
-            .unwrap();
+        let cfg = s.configs.iter().find(|c| c.interior.len() == 1).unwrap();
         let k = map_kernel(&p, 0, cfg, false);
         // Both A[i,j] and B[j,k] vary with the interior loop j: 8 loads each.
         assert_eq!(k.input_loads_per_thread(0), 8);

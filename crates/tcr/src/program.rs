@@ -37,12 +37,7 @@ pub struct ArrayDecl {
 impl ArrayDecl {
     /// Concrete shape under an extent map.
     pub fn shape(&self, dims: &IndexMap) -> Shape {
-        Shape::new(
-            self.indices
-                .iter()
-                .map(|ix| dims[ix])
-                .collect::<Vec<_>>(),
-        )
+        Shape::new(self.indices.iter().map(|ix| dims[ix]).collect::<Vec<_>>())
     }
 
     /// Number of elements under an extent map.
@@ -137,7 +132,11 @@ impl TcrProgram {
                 output: out_id,
                 inputs,
                 sum_indices: step.sum_over.clone(),
-                coefficient: if is_final { contraction.coefficient } else { 1.0 },
+                coefficient: if is_final {
+                    contraction.coefficient
+                } else {
+                    1.0
+                },
             });
         }
 
@@ -228,7 +227,9 @@ impl TcrProgram {
             }
             storage[op.output] = Some(result);
         }
-        storage[self.output_id()].take().expect("no output computed")
+        storage[self.output_id()]
+            .take()
+            .expect("no output computed")
     }
 
     /// Total floating-point operations of the program (2 per joint-space
@@ -273,11 +274,7 @@ impl TcrProgram {
         }
         let _ = writeln!(s, "variables:");
         for a in &self.arrays {
-            let ups: Vec<String> = a
-                .indices
-                .iter()
-                .map(|i| i.name().to_uppercase())
-                .collect();
+            let ups: Vec<String> = a.indices.iter().map(|i| i.name().to_uppercase()).collect();
             let _ = writeln!(s, "  {}:({})", a.name, ups.join(","));
         }
         let _ = writeln!(s, "operations:");
@@ -416,11 +413,7 @@ mod tests {
     #[test]
     fn stride_of_row_major() {
         let p = lower_best(10);
-        let u = p
-            .arrays
-            .iter()
-            .position(|a| a.name == "U")
-            .unwrap();
+        let u = p.arrays.iter().position(|a| a.name == "U").unwrap();
         let decl = &p.arrays[u];
         assert_eq!(decl.stride_of(&"n".into(), &p.dims), Some(1));
         assert_eq!(decl.stride_of(&"m".into(), &p.dims), Some(10));

@@ -61,11 +61,7 @@ fn keeps(program: &TcrProgram, op_index: usize, cfg: &OpConfig, rules: &PruneRul
         }
     }
     if rules.unroll_sweet_spots {
-        let full = cfg
-            .interior
-            .last()
-            .map(|v| program.dims[v])
-            .unwrap_or(1);
+        let full = cfg.interior.last().map(|v| program.dims[v]).unwrap_or(1);
         let full = full.min(crate::space::MAX_UNROLL);
         if ![1usize, 2, 4, 8, full].contains(&cfg.unroll) {
             return false;
@@ -145,7 +141,12 @@ mod tests {
         let p = eqn1_program(10);
         let full = ProgramSpace::build(&p);
         let pruned = prune_space(&p, &full, &PruneRules::aggressive());
-        assert!(pruned.len() < full.len() / 4, "{} vs {}", pruned.len(), full.len());
+        assert!(
+            pruned.len() < full.len() / 4,
+            "{} vs {}",
+            pruned.len(),
+            full.len()
+        );
         assert!(!pruned.is_empty());
         assert!(validate_pruned(&p, &pruned) > 0);
     }

@@ -318,10 +318,7 @@ fn build_op_space(program: &TcrProgram, op: &TcrOp, op_index: usize) -> OpSpace 
                     cands.truncate(2);
                     let stagings = staging_subsets(&cands);
                     for interior in interior_orders(&base_interior) {
-                        let max_uf = interior
-                            .last()
-                            .map(|v| ext(v).min(MAX_UNROLL))
-                            .unwrap_or(1);
+                        let max_uf = interior.last().map(|v| ext(v).min(MAX_UNROLL)).unwrap_or(1);
                         for unroll in 1..=max_uf {
                             for staged in &stagings {
                                 configs.push(OpConfig {
@@ -354,10 +351,7 @@ fn build_op_space(program: &TcrProgram, op: &TcrOp, op_index: usize) -> OpSpace 
                 .cloned()
                 .collect();
             for interior in interior_orders(&base_interior) {
-                let max_uf = interior
-                    .last()
-                    .map(|v| ext(v).min(MAX_UNROLL))
-                    .unwrap_or(1);
+                let max_uf = interior.last().map(|v| ext(v).min(MAX_UNROLL)).unwrap_or(1);
                 for unroll in 1..=max_uf {
                     configs.push(OpConfig {
                         tx: tx.clone(),
@@ -515,8 +509,7 @@ mod tests {
                     covered.iter().map(|v| v.name().to_string()).collect();
                 covered.sort();
                 covered.dedup();
-                let mut want: Vec<String> =
-                    all.iter().map(|v| v.name().to_string()).collect();
+                let mut want: Vec<String> = all.iter().map(|v| v.name().to_string()).collect();
                 want.sort();
                 assert_eq!(covered, want);
             }

@@ -58,10 +58,8 @@ impl EinsumSpec {
                 })
                 .collect()
         };
-        let inputs: Vec<Vec<IndexVar>> = lhs
-            .split(',')
-            .map(parse_side)
-            .collect::<Result<_, _>>()?;
+        let inputs: Vec<Vec<IndexVar>> =
+            lhs.split(',').map(parse_side).collect::<Result<_, _>>()?;
         let output = parse_side(rhs)?;
         if inputs.is_empty() || inputs.iter().any(|i| i.is_empty()) {
             return Err("empty operand".to_string());
@@ -88,10 +86,7 @@ impl EinsumSpec {
     fn validate(&self) {
         for labels in self.inputs.iter().chain(std::iter::once(&self.output)) {
             for l in labels {
-                assert!(
-                    self.dims.contains_key(l),
-                    "index {l} has no extent in dims"
-                );
+                assert!(self.dims.contains_key(l), "index {l} has no extent in dims");
             }
         }
         for l in &self.output {
@@ -108,9 +103,7 @@ impl EinsumSpec {
         let mut sums: Vec<IndexVar> = self
             .dims
             .keys()
-            .filter(|ix| {
-                !self.output.contains(ix) && self.inputs.iter().any(|op| op.contains(ix))
-            })
+            .filter(|ix| !self.output.contains(ix) && self.inputs.iter().any(|op| op.contains(ix)))
             .cloned()
             .collect();
         sums.sort();
@@ -156,11 +149,7 @@ impl EinsumSpec {
 
     /// Evaluates the statement, accumulating into a fresh zero tensor.
     pub fn evaluate(&self, operands: &[&Tensor]) -> Tensor {
-        assert_eq!(
-            operands.len(),
-            self.inputs.len(),
-            "operand count mismatch"
-        );
+        assert_eq!(operands.len(), self.inputs.len(), "operand count mismatch");
         for (k, op) in operands.iter().enumerate() {
             assert_eq!(
                 *op.shape(),
@@ -263,12 +252,7 @@ mod tests {
         let n = 3;
         let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], n);
         let naive = EinsumSpec::new(
-            &[
-                &["l", "k"],
-                &["m", "j"],
-                &["n", "i"],
-                &["l", "m", "n"],
-            ],
+            &[&["l", "k"], &["m", "j"], &["n", "i"], &["l", "m", "n"]],
             &["i", "j", "k"],
             dims.clone(),
         );
@@ -279,10 +263,18 @@ mod tests {
         let v_naive = naive.evaluate(&[&a, &b, &c, &u]);
 
         // t1[i,l,m] = C[n,i] U[l,m,n]
-        let t1s = EinsumSpec::new(&[&["n", "i"], &["l", "m", "n"]], &["i", "l", "m"], dims.clone());
+        let t1s = EinsumSpec::new(
+            &[&["n", "i"], &["l", "m", "n"]],
+            &["i", "l", "m"],
+            dims.clone(),
+        );
         let t1 = t1s.evaluate(&[&c, &u]);
         // t2[j,i,l] = B[m,j] t1[i,l,m]
-        let t2s = EinsumSpec::new(&[&["m", "j"], &["i", "l", "m"]], &["j", "i", "l"], dims.clone());
+        let t2s = EinsumSpec::new(
+            &[&["m", "j"], &["i", "l", "m"]],
+            &["j", "i", "l"],
+            dims.clone(),
+        );
         let t2 = t2s.evaluate(&[&b, &t1]);
         // V[i,j,k] = A[l,k] t2[j,i,l]
         let vs = EinsumSpec::new(&[&["l", "k"], &["j", "i", "l"]], &["i", "j", "k"], dims);
@@ -311,11 +303,16 @@ mod tests {
         assert_eq!(spec.output.len(), 2);
         assert_eq!(spec.summation_indices(), vec![IndexVar::new("j")]);
         // Same result as the explicitly-built spec.
-        let explicit =
-            EinsumSpec::new(&[&["i", "j"], &["j", "k"]], &["i", "k"], uniform_dims(&["i", "j", "k"], 4));
+        let explicit = EinsumSpec::new(
+            &[&["i", "j"], &["j", "k"]],
+            &["i", "k"],
+            uniform_dims(&["i", "j", "k"], 4),
+        );
         let a = Tensor::random(Shape::new([4, 4]), 1);
         let b = Tensor::random(Shape::new([4, 4]), 2);
-        assert!(spec.evaluate(&[&a, &b]).approx_eq(&explicit.evaluate(&[&a, &b]), 1e-15));
+        assert!(spec
+            .evaluate(&[&a, &b])
+            .approx_eq(&explicit.evaluate(&[&a, &b]), 1e-15));
     }
 
     #[test]

@@ -56,10 +56,7 @@ pub type IndexMap = BTreeMap<IndexVar, usize>;
 
 /// Builds an [`IndexMap`] where every listed index has the same extent.
 pub fn uniform_dims(names: &[&str], extent: usize) -> IndexMap {
-    names
-        .iter()
-        .map(|n| (IndexVar::new(*n), extent))
-        .collect()
+    names.iter().map(|n| (IndexVar::new(*n), extent)).collect()
 }
 
 #[cfg(test)]

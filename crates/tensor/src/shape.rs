@@ -167,10 +167,7 @@ mod tests {
     fn iter_visits_all_in_order() {
         let s = Shape::new([2, 2]);
         let all: Vec<Vec<usize>> = s.iter().collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

@@ -88,11 +88,7 @@ impl Tensor {
     /// Approximate equality with a tolerance scaled to the magnitude of the
     /// data (contractions of length-k sums accumulate k rounding errors).
     pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
-        let scale = self
-            .data
-            .iter()
-            .map(|v| v.abs())
-            .fold(1.0, f64::max);
+        let scale = self.data.iter().map(|v| v.abs()).fold(1.0, f64::max);
         self.max_abs_diff(other) <= tol * scale
     }
 }

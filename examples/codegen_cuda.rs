@@ -36,7 +36,10 @@ fn main() {
 
     // The sequential loop nest CUDA-CHiLL starts from.
     println!("== sequential C (last statement) ==");
-    println!("{}", sequential_c(&best.program, best.program.ops.last().unwrap()));
+    println!(
+        "{}",
+        sequential_c(&best.program, best.program.ops.last().unwrap())
+    );
 
     // Search-space annotation (Figure 2(c)).
     println!("== Figure 2(c): Orio/CHiLL annotation ==");
@@ -55,8 +58,7 @@ fn main() {
 
     // Complete translation unit (kernels + host main + CPU validation),
     // ready for nvcc.
-    let cufile =
-        tcr::codegen::cuda_file(&tuned.programs[0], &tuned.kernels[0]);
+    let cufile = tcr::codegen::cuda_file(&tuned.programs[0], &tuned.kernels[0]);
     let out = std::path::Path::new("target").join("eqn1_full.cu");
     if std::fs::write(&out, &cufile).is_ok() {
         println!("(wrote complete .cu with host main to {})", out.display());

@@ -17,7 +17,10 @@ fn main() {
     let arch = gpusim::k20();
     let params = TuneParams::paper();
 
-    println!("tuning the NWChem CCSD(T) d1 family (trip count {NWCHEM_TRIP}) on {}:\n", arch.name);
+    println!(
+        "tuning the NWChem CCSD(T) d1 family (trip count {NWCHEM_TRIP}) on {}:\n",
+        arch.name
+    );
     println!(
         "{:<6} {:>12} {:>14} {:>12} {:>8}",
         "kernel", "naive (ms)", "tuned (ms)", "speedup", "GFlops"

@@ -10,7 +10,9 @@
 //! performance of the contraction core under the paper's three strategies
 //! (naive OpenACC, optimized OpenACC, Barracuda) on the Tesla K20.
 
-use barracuda::nekbone::{model_cpu_gflops, model_gpu_perf, run_cg, NekboneConfig, NekboneOperator};
+use barracuda::nekbone::{
+    model_cpu_gflops, model_gpu_perf, run_cg, NekboneConfig, NekboneOperator,
+};
 use barracuda::pipeline::TuneParams;
 
 fn main() {
@@ -31,7 +33,11 @@ fn main() {
     let stats = run_cg(&op, 4);
     println!(
         "CG {} in {} iterations; final relative residual {:.2e}",
-        if stats.converged { "converged" } else { "stopped" },
+        if stats.converged {
+            "converged"
+        } else {
+            "stopped"
+        },
         stats.iterations,
         stats.residuals.last().unwrap()
     );
@@ -50,9 +56,15 @@ fn main() {
     let arch = gpusim::k20();
     let perf = model_gpu_perf(paper_cfg, &arch, TuneParams::paper());
     println!("on the simulated {}:", arch.name);
-    println!("  OpenACC naive     : {:>7.2} GFlops", perf.acc_naive_gflops);
+    println!(
+        "  OpenACC naive     : {:>7.2} GFlops",
+        perf.acc_naive_gflops
+    );
     println!("  OpenACC optimized : {:>7.2} GFlops", perf.acc_opt_gflops);
-    println!("  Barracuda         : {:>7.2} GFlops", perf.barracuda_gflops);
+    println!(
+        "  Barracuda         : {:>7.2} GFlops",
+        perf.barracuda_gflops
+    );
     println!(
         "  (CPU baselines    : {:>7.2} GF 1 core, {:.2} GF OpenMP-4)",
         model_cpu_gflops(paper_cfg, 1),

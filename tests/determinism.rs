@@ -21,6 +21,30 @@ fn autotuning_is_bit_deterministic() {
 }
 
 #[test]
+fn parallel_tuning_is_bit_identical_to_serial() {
+    // The parallel evaluation engine must not perturb the search: noise is
+    // keyed by configuration id and batches fold in batch order, so any
+    // thread count reproduces the serial trace bit for bit.
+    let w = kernels::lg3t(8, 16);
+    let arch = gpusim::k20();
+    let mut serial = quick();
+    serial.threads = 1;
+    let mut parallel = quick();
+    parallel.threads = 0; // rayon pool (RAYON_NUM_THREADS or all cores)
+    let a = WorkloadTuner::build(&w).autotune(&arch, serial);
+    let b = WorkloadTuner::build(&w).autotune(&arch, parallel);
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.gpu_seconds.to_bits(), b.gpu_seconds.to_bits());
+    let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&a.search.evaluated_times),
+        bits(&b.search.evaluated_times)
+    );
+    assert_eq!(a.search.n_evals, b.search.n_evals);
+    assert_eq!(a.search.batches, b.search.batches);
+}
+
+#[test]
 fn noisy_paper_params_are_still_deterministic() {
     // Noise is seeded, so even the noisy search must reproduce exactly.
     let w = kernels::eqn1(8);

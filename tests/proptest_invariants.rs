@@ -92,12 +92,7 @@ fn random_operands(g: &GenContraction, seed: u64) -> Vec<Tensor> {
         .iter()
         .enumerate()
         .map(|(k, t)| {
-            let shape = Shape::new(
-                t.indices
-                    .iter()
-                    .map(|ix| g.dims[ix])
-                    .collect::<Vec<_>>(),
-            );
+            let shape = Shape::new(t.indices.iter().map(|ix| g.dims[ix]).collect::<Vec<_>>());
             Tensor::random(shape, seed + k as u64)
         })
         .collect()

@@ -1,0 +1,103 @@
+//! Minimal, dependency-free stand-in for the `crossbeam` crate, vendored so
+//! the workspace builds offline. Only `crossbeam::thread::scope` /
+//! `Scope::spawn` are implemented, layered over `std::thread::scope`
+//! (stable since Rust 1.63), with crossbeam's `Result`-returning panic
+//! semantics preserved.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Panic payload of a worker thread, as crossbeam reports it.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Scope handle passed to [`scope`]'s closure and to spawned workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // A `Scope` is just a shared reference; copying it lets workers receive
+    // their own handle for nested spawns.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope handle so
+        /// it can spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handle)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. Returns `Err` with
+    /// the panic payload if the closure or any *unjoined* spawned thread
+    /// panicked (crossbeam semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    sum.fetch_add(part as usize, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn worker_panic_is_an_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("worker down"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate, vendored so
+//! the workspace builds offline.
+//!
+//! Supported surface (what this workspace's tests use):
+//!
+//! - strategies: integer ranges (`lo..hi`, `lo..=hi`), `Just`, tuples up
+//!   to arity 6, `proptest::collection::vec`, and the `prop_map` /
+//!   `prop_flat_map` / `prop_filter` / `prop_filter_map` combinators;
+//! - the `proptest!` macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! - `.proptest-regressions` files: `cc <hex>` seeds are replayed before
+//!   novel cases, and new failures are appended in the same format.
+//!
+//! Differences from upstream: generation is *deterministic* (the novel-case
+//! seed sequence is fixed per test name rather than drawn from the OS), and
+//! failing cases are reported without shrinking — the failing input's
+//! `Debug` form plus its replay seed are printed instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic 64-bit generator (SplitMix64) used for all case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x6A09E667F3BCC909);
+        z = (z ^ (z >> 33)).wrapping_mul(0xFF51AFD7ED558CCD);
+        TestRng {
+            state: z ^ (z >> 33),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        let hi = self.next_u64() as u128;
+        let lo = self.next_u64() as u128;
+        ((hi << 64) | lo) % n
+    }
+}

@@ -1,0 +1,184 @@
+//! The `Strategy` trait and the combinators/primitive strategies this
+//! workspace uses. Strategies generate values directly (no shrink trees).
+
+use crate::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A generation attempt either yields a value or rejects (filtered out);
+/// the runner retries rejections with fresh randomness.
+pub type NewTree<T> = Result<T, Rejection>;
+
+/// Why a generation attempt was discarded.
+#[derive(Clone, Debug)]
+pub struct Rejection(pub String);
+
+/// Generates random values of `Self::Value`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> NewTree<Self::Value>;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    fn prop_filter<R, F>(self, whence: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    fn prop_filter_map<R, O, F>(self, whence: R, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        O: Debug,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            source: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> NewTree<T> {
+        Ok(self.0.clone())
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> NewTree<O> {
+        self.source.generate(rng).map(&self.f)
+    }
+}
+
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> NewTree<T::Value> {
+        let inner = (self.f)(self.source.generate(rng)?);
+        inner.generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    source: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> NewTree<S::Value> {
+        let v = self.source.generate(rng)?;
+        if (self.f)(&v) {
+            Ok(v)
+        } else {
+            Err(Rejection(self.whence.clone()))
+        }
+    }
+}
+
+pub struct FilterMap<S, F> {
+    source: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> NewTree<O> {
+        match (self.f)(self.source.generate(rng)?) {
+            Some(v) => Ok(v),
+            None => Err(Rejection(self.whence.clone())),
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> NewTree<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                Ok(self.start + rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> NewTree<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                Ok(lo + rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> NewTree<Self::Value> {
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// `impl Strategy` for shared references to strategies (handy for reuse).
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> NewTree<S::Value> {
+        (*self).generate(rng)
+    }
+}

@@ -1,0 +1,280 @@
+//! Case runner: regression replay, novel-case generation, failure
+//! persistence, and the `proptest!` / `prop_assert*` macros.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Novel cases to run per test (after regression replay).
+    pub cases: u32,
+    /// Upper bound on discarded generation attempts across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Failure or rejection raised inside a test case body.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to derive replay seeds from regression-file hex strings and
+/// per-test base seeds from test names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// `tests/foo.rs` → `tests/foo.proptest-regressions` (same convention as
+/// upstream proptest).
+fn regression_path(source_file: &str) -> PathBuf {
+    PathBuf::from(source_file).with_extension("proptest-regressions")
+}
+
+/// Seeds recorded in the regression file (`cc <hex> # ...` lines).
+fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_path(source_file)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            Some(fnv1a(token.as_bytes()))
+        })
+        .collect()
+}
+
+/// Best-effort append of a fresh failure to the regression file.
+fn persist_failure(source_file: &str, seed: u64, input: &str) {
+    let path = regression_path(source_file);
+    let new_file = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    if new_file {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated."
+        );
+    }
+    // One line of input only, to keep the file grep-friendly.
+    let input = input.replace('\n', " ");
+    let _ = writeln!(f, "cc {seed:016x} # shrinks to input = {input}");
+}
+
+/// Runs `body` over regression cases then `config.cases` novel cases.
+/// Panics (failing the enclosing `#[test]`) on the first failing case,
+/// printing the input and its replay seed.
+pub fn run<S, F>(config: &Config, test_name: &str, source_file: &str, strategy: S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let run_seed = |seed: u64, persist: bool| {
+        // One seed = one fully deterministic case, including the retries
+        // consumed by filtered-out generation attempts.
+        let mut rng = TestRng::seed_from_u64(seed);
+        let mut rejects = 0u32;
+        loop {
+            match strategy.generate(&mut rng) {
+                Ok(input) => {
+                    let rendered = format!("{input:?}");
+                    match body(input) {
+                        Ok(()) => return 0,
+                        Err(TestCaseError::Reject(_)) => return 1,
+                        Err(TestCaseError::Fail(msg)) => {
+                            if persist {
+                                persist_failure(source_file, seed, &rendered);
+                            }
+                            panic!(
+                                "proptest case failed: {msg}\n  test: {test_name}\n  \
+                                 input: {rendered}\n  replay seed: {seed:016x}"
+                            );
+                        }
+                    }
+                }
+                Err(_) => {
+                    rejects += 1;
+                    if rejects >= 1000 {
+                        // This seed's stream cannot produce a valid input;
+                        // treat it as globally rejected rather than spin.
+                        return 1;
+                    }
+                }
+            }
+        }
+    };
+
+    // Phase 1: replay previously failing cases.
+    for seed in regression_seeds(source_file) {
+        run_seed(seed, false);
+    }
+
+    // Phase 2: novel cases from a per-test deterministic seed sequence.
+    let base = fnv1a(test_name.as_bytes()) ^ fnv1a(source_file.as_bytes()).rotate_left(17);
+    let mut accepted = 0u32;
+    let mut global_rejects = 0u32;
+    let mut k = 0u64;
+    while accepted < config.cases {
+        let seed = base.wrapping_add(k.wrapping_mul(0x9E3779B97F4A7C15));
+        k += 1;
+        let rejected = run_seed(seed, true);
+        if rejected == 0 {
+            accepted += 1;
+        } else {
+            global_rejects += 1;
+            assert!(
+                global_rejects < config.max_global_rejects,
+                "proptest: too many rejected inputs in {test_name} \
+                 ({global_rejects} rejects for {accepted} accepted cases)"
+            );
+        }
+    }
+}
+
+/// The `proptest!` macro: wraps each `fn name(arg in strategy, ...)` item
+/// into a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            $crate::test_runner::run(
+                &config,
+                stringify!($name),
+                file!(),
+                ($($strat,)+),
+                |($($arg,)+)| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// `assert!` that fails the proptest case (reporting the generated input)
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        $crate::prop_assert!(lhs == rhs, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+}
+
+/// Discards the current case (not counted against `cases`) when its
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,227 @@
+//! Minimal, dependency-free stand-in for the `rand` crate, vendored so the
+//! workspace builds offline (the container has no registry access).
+//!
+//! Only the surface this workspace uses is implemented: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over integer and
+//! float ranges. The generator is SplitMix64 — statistically solid for
+//! autotuning-search purposes and, critically, *deterministic*: every
+//! search result in this repo is reproducible from its seed. The stream is
+//! not byte-compatible with upstream `rand`'s ChaCha-based `StdRng`; no
+//! test or experiment in this workspace depends on upstream streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a 64-bit output per step.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open or inclusive range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`. Panics if `lo > hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi - lo) as u128;
+                lo + (wide(rng) % span) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u128;
+                if span == u128::MAX {
+                    return wide(rng) as $t;
+                }
+                lo + (wide(rng) % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u128;
+                lo.wrapping_add((wide(rng) % span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u128;
+                lo.wrapping_add((wide(rng) % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(usize, u8, u16, u32, u64, u128);
+impl_sample_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128);
+
+/// Two generator steps folded into a u128 (enough entropy for u128 spans).
+fn wide<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+    let hi = rng.next_u64() as u128;
+    let lo = rng.next_u64() as u128;
+    (hi << 64) | lo
+}
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                // 53 (resp. 24) uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                let v = lo + (hi - lo) * unit;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= hi { <$t>::from_bits(hi.to_bits() - 1) } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_half_open(self, 0.0, 1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: one u64 of state, a fixed-increment Weyl sequence passed
+    /// through an avalanching finalizer. Deterministic and `Send + Sync`
+    /// friendly (no interior mutability).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed so that nearby seeds (0, 1, 2, ...) yield
+            // decorrelated streams.
+            let mut z = seed.wrapping_add(0xA0761D6478BD642F);
+            z = (z ^ (z >> 32)).wrapping_mul(0xE7037ED1A0B428DB);
+            StdRng {
+                state: z ^ (z >> 29),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let run_a: Vec<usize> = (0..16).map(|_| a.gen_range(0..100)).collect();
+        let run_c: Vec<usize> = (0..16).map(|_| c.gen_range(0..100)).collect();
+        assert_ne!(run_a, run_c);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-30i64..=30);
+            assert!((-30..=30).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let x = rng.gen_range(5u128..1_000_000_000_000_000_000_000u128);
+            assert!((5..1_000_000_000_000_000_000_000u128).contains(&x));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn inclusive_u32_full_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Regression guard: `0..u32::MAX` must not overflow the span math.
+        for _ in 0..100 {
+            let _ = rng.gen_range(0u32..u32::MAX);
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Minimal, dependency-free stand-in for the `rayon` crate, vendored so the
+//! workspace builds offline.
+//!
+//! A single global thread pool is spawned lazily; its size comes from
+//! `RAYON_NUM_THREADS` (read once) or `std::thread::available_parallelism`.
+//! The public surface is the subset this workspace uses:
+//!
+//! - `slice.par_iter().map(f).collect::<Vec<_>>()` (order-preserving,
+//!   indexed — results are positionally identical to the serial map);
+//! - `rayon::join(a, b)`;
+//! - `rayon::current_num_threads()` / `rayon::in_parallel_region()`.
+//!
+//! Nested parallel calls from inside a pool worker run inline on the
+//! calling worker (the work-stealing analog), so callees may parallelize
+//! unconditionally without oversubscribing the machine. All combinators
+//! write results by item index, so parallel execution is *bit-identical*
+//! to serial execution for pure functions regardless of thread count or
+//! scheduling order.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of threads the pool runs (workers + the calling thread).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside a parallel region (worker thread or a
+/// nested call on the submitting thread). Nested regions run inline.
+pub fn in_parallel_region() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Pool {
+    state: Arc<PoolState>,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let state = Arc::new(PoolState {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            });
+            // The calling thread participates in every region, so spawn
+            // one fewer worker than the configured width.
+            for _ in 1..current_num_threads() {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name("rayon-lite-worker".into())
+                    .spawn(move || {
+                        IN_POOL.with(|f| f.set(true));
+                        loop {
+                            let job = {
+                                let mut q = state.queue.lock().unwrap();
+                                loop {
+                                    if let Some(job) = q.pop_front() {
+                                        break job;
+                                    }
+                                    q = state.available.wait(q).unwrap();
+                                }
+                            };
+                            job();
+                        }
+                    })
+                    .expect("spawn rayon-lite worker");
+            }
+            Pool { state }
+        })
+    }
+
+    fn submit(&self, job: Job) {
+        self.state.queue.lock().unwrap().push_back(job);
+        self.state.available.notify_one();
+    }
+}
+
+/// Countdown latch: the region owner blocks until every helper finished.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut r = self.remaining.lock().unwrap();
+        *r -= 1;
+        if *r == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut r = self.remaining.lock().unwrap();
+        while *r > 0 {
+            r = self.done.wait(r).unwrap();
+        }
+    }
+}
+
+/// Runs `work(i)` for every `i in 0..tasks`, spreading tasks over the pool
+/// with the calling thread participating. Blocks until every task has
+/// finished; propagates a panic if any task panicked. Tasks must be
+/// index-disjoint in their side effects.
+///
+/// # Safety-by-construction
+/// Helper jobs borrow `work` from the caller's stack, erased to `'static`
+/// to cross into the long-lived workers. The latch guarantees the caller
+/// does not return (even on panic inside its own share) before every
+/// helper has dropped its borrow, so the erasure never outlives the data.
+fn run_region(tasks: usize, work: &(dyn Fn(usize) + Sync)) {
+    if tasks == 0 {
+        return;
+    }
+    if tasks == 1 || in_parallel_region() || current_num_threads() == 1 {
+        for i in 0..tasks {
+            work(i);
+        }
+        return;
+    }
+    let latch = Arc::new(Latch::new(tasks - 1));
+    // Erase the borrow lifetime; see the safety note above.
+    let work_static: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(work) };
+    let pool = Pool::global();
+    for i in 1..tasks {
+        let latch = Arc::clone(&latch);
+        pool.submit(Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(|| work_static(i))).is_err() {
+                latch.panicked.store(true, Ordering::SeqCst);
+            }
+            latch.count_down();
+        }));
+    }
+    // The caller runs task 0 inline, marked as inside the region so that
+    // nested parallel calls serialize.
+    let own = catch_unwind(AssertUnwindSafe(|| {
+        IN_POOL.with(|f| f.set(true));
+        work(0);
+    }));
+    IN_POOL.with(|f| f.set(false));
+    latch.wait();
+    if own.is_err() || latch.panicked.load(Ordering::SeqCst) {
+        panic!("a rayon-lite task panicked");
+    }
+}
+
+/// Slot vector written by index from multiple tasks. Each index is claimed
+/// exactly once via an atomic counter, so writes never alias.
+struct Slots<T>(Vec<std::cell::UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Slots((0..n).map(|_| std::cell::UnsafeCell::new(None)).collect())
+    }
+
+    /// # Safety
+    /// Each index must be written at most once while the value is shared,
+    /// and all writes must complete before `into_values` is called. Writes
+    /// to distinct indices touch distinct cells, so they never alias.
+    unsafe fn write(&self, i: usize, v: T) {
+        *self.0[i].get() = Some(v);
+    }
+
+    fn into_values(self) -> Vec<T> {
+        self.0
+            .into_iter()
+            .map(|c| c.into_inner().expect("slot filled"))
+            .collect()
+    }
+}
+
+/// Order-preserving parallel indexed map over `0..n`.
+pub(crate) fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n <= 1 || in_parallel_region() || current_num_threads() == 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots = Slots::new(n);
+    let next = AtomicUsize::new(0);
+    let tasks = current_num_threads().min(n);
+    run_region(tasks, &|_task| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let v = f(i);
+        // Sound: index i is claimed exactly once, the Vec never grows, and
+        // run_region does not return before all writers have finished.
+        unsafe { slots.write(i, v) }
+    });
+    slots.into_values()
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let mut a = Some(a);
+        let mut b = Some(b);
+        let cell_a = Mutex::new((&mut ra, &mut a));
+        let cell_b = Mutex::new((&mut rb, &mut b));
+        run_region(2, &|i| {
+            if i == 0 {
+                let mut g = cell_a.lock().unwrap();
+                let f = g.1.take().unwrap();
+                *g.0 = Some(f());
+            } else {
+                let mut g = cell_b.lock().unwrap();
+                let f = g.1.take().unwrap();
+                *g.0 = Some(f());
+            }
+        });
+    }
+    (ra.unwrap(), rb.unwrap())
+}
+
+pub mod iter {
+    use super::par_map_indexed;
+
+    /// `.par_iter()` on slices and `Vec`s.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: Sync + 'data;
+        fn par_iter(&'data self) -> ParSlice<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParSlice<'data, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParSlice<'data, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParSlice<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParSlice<'data, T> {
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// Lazy mapped parallel iterator; work happens at `collect`.
+    pub struct ParMap<'data, T, F> {
+        slice: &'data [T],
+        f: F,
+    }
+
+    pub trait ParallelIterator {
+        type Item: Send;
+        fn collect_vec(self) -> Vec<Self::Item>;
+        fn collect<C: FromIterator<Self::Item>>(self) -> C
+        where
+            Self: Sized,
+        {
+            self.collect_vec().into_iter().collect()
+        }
+    }
+
+    impl<'data, T, R, F> ParallelIterator for ParMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        type Item = R;
+        fn collect_vec(self) -> Vec<R> {
+            let ParMap { slice, f } = self;
+            par_map_indexed(slice.len(), |i| f(&slice[i]))
+        }
+    }
+}
+
+/// Order-preserving parallel map over a slice — the convenience entry point
+/// used across this workspace (equivalent to
+/// `items.par_iter().map(f).collect()`).
+pub fn par_map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let outer: Vec<Vec<usize>> = (0..8u64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&i| par_map_slice(&[0usize, 1, 2], |&j| i as usize * 10 + j))
+            .collect();
+        for (i, inner) in outer.iter().enumerate() {
+            assert_eq!(inner, &vec![i * 10, i * 10 + 1, i * 10 + 2]);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [5u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            let v: Vec<u64> = (0..64).collect();
+            let _: Vec<u64> = v
+                .par_iter()
+                .map(|&x| {
+                    if x == 33 {
+                        panic!("boom");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
