@@ -112,7 +112,8 @@ fn bench_executors(c: &mut Criterion) {
     let st = &tuner.statements[0];
     let space = &st.variants[0].space;
     let cfg = space.config(0);
-    let kernels = map_program(&st.variants[0].program, space, &cfg, false);
+    let kernels = map_program(&st.variants[0].program, space, &cfg, false)
+        .unwrap_or_else(|e| panic!("config 0 must map: {e}"));
     c.bench_function("gpusim/execute_lg3_statement", |b| {
         b.iter_batched(
             || refs.clone(),
@@ -135,7 +136,9 @@ fn bench_oracle(c: &mut Criterion) {
 fn bench_codegen(c: &mut Criterion) {
     let w = eqn1_workload();
     let tuner = WorkloadTuner::build(&w);
-    let tuned = tuner.autotune(&gpusim::gtx980(), TuneParams::quick());
+    let tuned = tuner
+        .autotune(&gpusim::gtx980(), TuneParams::quick())
+        .unwrap();
     c.bench_function("tcr/cuda_codegen_eqn1", |b| {
         b.iter(|| black_box(&tuned).cuda_source())
     });

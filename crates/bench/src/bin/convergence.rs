@@ -13,7 +13,7 @@ fn main() {
         kernels::nwchem_d1(1, kernels::NWCHEM_TRIP),
     ] {
         let tuner = WorkloadTuner::build(&w);
-        let tuned = tuner.autotune(&arch, params);
+        let tuned = tuner.autotune(&arch, params).unwrap();
         let mut best = f64::INFINITY;
         for (i, t) in tuned.search.evaluated_times.iter().enumerate() {
             best = best.min(*t);

@@ -102,12 +102,14 @@ fn remap(
         unroll,
         staged: k.staged.clone(),
     };
+    // Derived from a kernel that already mapped, so this config is valid.
     map_kernel(program, k.op_index, &cfg, k.accumulate)
+        .unwrap_or_else(|e| panic!("ablation remap failed: {e}"))
 }
 
 pub fn run_workload(workload: &Workload, arch: &GpuArch, params: TuneParams) -> AblationResult {
     let tuner = WorkloadTuner::build(workload);
-    let tuned = tuner.autotune(arch, params);
+    let tuned = tuner.autotune(arch, params).unwrap();
     let base = tuned.gpu_seconds;
 
     // No strength reduction: the worst (maximal-flop) version of every
@@ -119,7 +121,11 @@ pub fn run_workload(workload: &Workload, arch: &GpuArch, params: TuneParams) -> 
         let mut best = f64::INFINITY;
         for k in 0..64u128 {
             let cfg = variant.space.config(n * k / 64);
-            let kernels = tcr::mapping::map_program(&variant.program, &variant.space, &cfg, false);
+            let Ok(kernels) =
+                tcr::mapping::map_program(&variant.program, &variant.space, &cfg, false)
+            else {
+                continue; // unmappable sample point: skip, don't abort the sweep
+            };
             best = best.min(gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s);
         }
         best

@@ -17,7 +17,7 @@ pub fn run(params: TuneParams) -> Figure2Artifacts {
     let w = barracuda::kernels::eqn1(barracuda::kernels::EQN1_N);
     let tuner = WorkloadTuner::build(&w);
     let arch = gpusim::gtx980();
-    let tuned = tuner.autotune(&arch, params);
+    let tuned = tuner.autotune(&arch, params).unwrap();
     let (variant, _) = &tuned.choices[0];
     let st = &tuner.statements[0];
     Figure2Artifacts {

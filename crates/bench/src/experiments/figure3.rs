@@ -24,7 +24,7 @@ pub fn run_kernel(
     arch: &GpuArch,
     params: TuneParams,
 ) -> Figure3Point {
-    let tuned = WorkloadTuner::build(w).autotune(arch, params);
+    let tuned = WorkloadTuner::build(w).autotune(arch, params).unwrap();
     let naive = openacc_naive(w).gpu_seconds(arch);
     let opt = openacc_optimized(w, &tuned).gpu_seconds(arch);
     Figure3Point {

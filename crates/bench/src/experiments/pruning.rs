@@ -24,9 +24,9 @@ pub fn run_workload(w: &Workload, arch: &gpusim::GpuArch, params: TuneParams) ->
     let full = WorkloadTuner::build(w);
     let cons = WorkloadTuner::build_pruned(w, &PruneRules::conservative());
     let aggr = WorkloadTuner::build_pruned(w, &PruneRules::aggressive());
-    let t_full = full.autotune(arch, params);
-    let t_cons = cons.autotune(arch, params);
-    let t_aggr = aggr.autotune(arch, params);
+    let t_full = full.autotune(arch, params).unwrap();
+    let t_cons = cons.autotune(arch, params).unwrap();
+    let t_aggr = aggr.autotune(arch, params).unwrap();
     PruningRow {
         workload: w.name.clone(),
         full_space: full.total_space(),

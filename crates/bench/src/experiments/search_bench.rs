@@ -38,10 +38,10 @@ pub fn run(params: TuneParams) -> Vec<SearchBenchRow> {
             let tuner = WorkloadTuner::build(w);
             let mut serial_params = params;
             serial_params.threads = 1;
-            let serial = tuner.autotune(&arch, serial_params);
+            let serial = tuner.autotune(&arch, serial_params).unwrap();
             let mut parallel_params = params;
             parallel_params.threads = 0;
-            let parallel = tuner.autotune(&arch, parallel_params);
+            let parallel = tuner.autotune(&arch, parallel_params).unwrap();
             let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
             let identical = serial.id == parallel.id
                 && bits(&serial.search.evaluated_times) == bits(&parallel.search.evaluated_times);

@@ -21,7 +21,7 @@ pub struct SearchCompareRow {
 
 pub fn run_workload(w: &Workload, arch: &gpusim::GpuArch, params: TuneParams) -> SearchCompareRow {
     let tuner = WorkloadTuner::build(w);
-    let tuned = tuner.autotune(arch, params);
+    let tuned = tuner.autotune(arch, params).unwrap();
     let budget = tuned.search.n_evals;
     let pool = tuner.pool(params.pool_cap, params.seed);
 

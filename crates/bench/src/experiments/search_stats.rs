@@ -25,7 +25,7 @@ pub fn run(params: TuneParams) -> SearchStatsResult {
     );
     let tuner = WorkloadTuner::build(&w);
     let arch = gpusim::k20();
-    let tuned = tuner.autotune(&arch, params);
+    let tuned = tuner.autotune(&arch, params).unwrap();
     let search_seconds = tuned.search.search_seconds(&arch, params.reps);
     let exhaustive = tuned.search.exhaustive_seconds(&arch, params.reps);
     // Random search at the same evaluation budget.

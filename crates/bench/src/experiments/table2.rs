@@ -33,7 +33,7 @@ pub fn run_benchmark(workload: &Workload, archs: &[GpuArch], params: TuneParams)
     let mut per_arch = Vec::new();
     let mut speedup = 0.0;
     for arch in archs {
-        let tuned = tuner.autotune(arch, params);
+        let tuned = tuner.autotune(arch, params).unwrap();
         let search = tuned.search.search_seconds(arch, params.reps);
         if arch.name == "GTX 980" {
             speedup = cpu.time_s / tuned.amortized_seconds(params.reps);

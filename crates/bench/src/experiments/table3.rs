@@ -15,7 +15,7 @@ pub struct Table3Row {
 }
 
 pub fn run_arch(arch: &gpusim::GpuArch, cfg: NekboneConfig, params: TuneParams) -> Table3Row {
-    let perf: NekbonePerf = model_gpu_perf(cfg, arch, params);
+    let perf: NekbonePerf = model_gpu_perf(cfg, arch, params).unwrap();
     Table3Row {
         arch: arch.name.to_string(),
         acc_naive: perf.acc_naive_gflops,

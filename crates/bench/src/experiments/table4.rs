@@ -34,7 +34,7 @@ pub fn nwchem_row(family: &str, trip: usize, params: TuneParams) -> Table4Row {
         let t4 = workload_cpu_time(w, &model, 4);
         cpu1 += t1.flops as f64 / t1.time_s / 1e9;
         cpu4 += t4.flops as f64 / t4.time_s / 1e9;
-        let tuned = WorkloadTuner::build(w).autotune(&arch, params);
+        let tuned = WorkloadTuner::build(w).autotune(&arch, params).unwrap();
         bar += tuned.gflops_device();
     }
     let n = workloads.len() as f64;
@@ -48,7 +48,7 @@ pub fn nwchem_row(family: &str, trip: usize, params: TuneParams) -> Table4Row {
 
 pub fn nekbone_row(params: TuneParams) -> Table4Row {
     let cfg = NekboneConfig::default();
-    let perf = model_gpu_perf(cfg, &gpusim::gtx980(), params);
+    let perf = model_gpu_perf(cfg, &gpusim::gtx980(), params).unwrap();
     Table4Row {
         name: "Nekbone".to_string(),
         cpu_1core: model_cpu_gflops(cfg, 1),

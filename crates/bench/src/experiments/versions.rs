@@ -32,7 +32,9 @@ pub fn run(sweep: usize) -> VersionsResult {
         let mut best = f64::INFINITY;
         for k in 0..sweep as u128 {
             let cfg = v.space.config(total * k / sweep as u128);
-            let kernels = map_program(&v.program, &v.space, &cfg, false);
+            let Ok(kernels) = map_program(&v.program, &v.space, &cfg, false) else {
+                continue; // unmappable sample point: skip, don't abort the sweep
+            };
             let t = gpusim::time_program(&v.program, &kernels, &arch, false).gpu_s;
             best = best.min(t);
         }

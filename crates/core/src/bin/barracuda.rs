@@ -11,6 +11,14 @@
 //!   --dims N                      extent for every undeclared index
 //!   --evals N                     SURF evaluation budget (default 1200)
 //!   --quick                       small search budget (tests/demos)
+//!   --deadline S                  wall-clock search deadline in seconds
+//!   --min-survivors F             stop early when fewer than F of the
+//!                                 attempts survive quarantine (0..1)
+//!   --inject-faults RATE          deterministically fail RATE of the
+//!                                 evaluations (resilience testing)
+//!   --fault-seed N                seed for --inject-faults (default 7)
+//!   --strict                      exit 9 when the search degrades
+//!                                 (budget/deadline/survivor threshold)
 //!   --emit cuda|tcr|annotation    artifact to print after tuning
 //!   --validate                    execute the tuned kernels against the
 //!                                 reference evaluator before reporting
@@ -19,12 +27,18 @@
 //!                                 parameters the surrogate found important
 //! ```
 //!
+//! Exit codes: 0 success, 1 generic failure, 2 usage; typed pipeline
+//! failures exit with their stage code (3 parse, 4 validation,
+//! 5 factorization, 6 mapping, 7 simulation, 8 search); 9 means the run
+//! completed but degraded under `--strict`.
+//!
 //! Built-in workloads (for `builtin:NAME`): eqn1, lg3, lg3t, tce,
 //! s1_1..s1_9, d1_1..d1_9, d2_1..d2_9.
 
 use barracuda::prelude::*;
 use barracuda::report::fmt_f;
 use std::process::ExitCode;
+use surf::{FaultPlan, SearchStatus};
 use tensor::IndexMap;
 
 struct Options {
@@ -33,6 +47,11 @@ struct Options {
     default_dim: Option<usize>,
     evals: usize,
     quick: bool,
+    deadline: Option<f64>,
+    min_survivors: f64,
+    inject_faults: Option<f64>,
+    fault_seed: u64,
+    strict: bool,
     emit: Option<String>,
     validate: bool,
     fused: bool,
@@ -47,6 +66,11 @@ impl Default for Options {
             default_dim: None,
             evals: 1200,
             quick: false,
+            deadline: None,
+            min_survivors: 0.0,
+            inject_faults: None,
+            fault_seed: 7,
+            strict: false,
             emit: None,
             validate: false,
             fused: false,
@@ -55,10 +79,53 @@ impl Default for Options {
     }
 }
 
+/// Everything the CLI can fail with, mapped onto the documented exit codes.
+enum CliError {
+    /// Bad command line: exit 2 (after printing usage).
+    Usage(String),
+    /// A typed pipeline failure: exits with the stage's own code (3..8).
+    Pipeline(BarracudaError),
+    /// Anything else (I/O, validation mismatch): exit 1.
+    Other(String),
+    /// `--strict` and the search degraded: exit 9.
+    StrictDegraded(String),
+}
+
+impl From<BarracudaError> for CliError {
+    fn from(e: BarracudaError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+impl CliError {
+    fn report(self) -> ExitCode {
+        match self {
+            CliError::Usage(msg) => {
+                eprintln!("error: {msg}");
+                usage()
+            }
+            CliError::Pipeline(e) => {
+                eprintln!("error[{}]: {e}", e.stage());
+                ExitCode::from(e.exit_code() as u8)
+            }
+            CliError::Other(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+            CliError::StrictDegraded(reason) => {
+                eprintln!("error: search degraded under --strict: {reason}");
+                ExitCode::from(9)
+            }
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: barracuda <tune|info|benchmarks> [<file.dsl>|builtin:NAME] \
          [--arch A] [--dim i=10]... [--dims N] [--evals N] [--quick] \
+         [--deadline S] [--min-survivors F] [--inject-faults RATE] \
+         [--fault-seed N] [--strict] \
          [--emit cuda|cufile|tcr|annotation] [--validate] [--fused]"
     );
     ExitCode::from(2)
@@ -92,6 +159,44 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "bad N")?
             }
             "--quick" => o.quick = true,
+            "--deadline" => {
+                o.deadline = Some(
+                    it.next()
+                        .ok_or("--deadline needs seconds")?
+                        .parse()
+                        .map_err(|_| "bad deadline")?,
+                )
+            }
+            "--min-survivors" => {
+                let f: f64 = it
+                    .next()
+                    .ok_or("--min-survivors needs a fraction")?
+                    .parse()
+                    .map_err(|_| "bad fraction")?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err("--min-survivors must be in 0..1".to_string());
+                }
+                o.min_survivors = f;
+            }
+            "--inject-faults" => {
+                let r: f64 = it
+                    .next()
+                    .ok_or("--inject-faults needs a rate")?
+                    .parse()
+                    .map_err(|_| "bad rate")?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err("--inject-faults rate must be in 0..1".to_string());
+                }
+                o.inject_faults = Some(r);
+            }
+            "--fault-seed" => {
+                o.fault_seed = it
+                    .next()
+                    .ok_or("--fault-seed needs N")?
+                    .parse()
+                    .map_err(|_| "bad seed")?
+            }
+            "--strict" => o.strict = true,
             "--emit" => o.emit = Some(it.next().ok_or("--emit needs a kind")?.clone()),
             "--validate" => o.validate = true,
             "--fused" => o.fused = true,
@@ -126,13 +231,21 @@ fn builtin(name: &str) -> Option<Workload> {
     Some(w)
 }
 
-fn load_workload(spec: &str, o: &Options) -> Result<Workload, String> {
+fn load_workload(spec: &str, o: &Options) -> Result<Workload, CliError> {
     if let Some(name) = spec.strip_prefix("builtin:") {
-        return builtin(name).ok_or_else(|| format!("unknown builtin workload {name}"));
+        return builtin(name)
+            .ok_or_else(|| CliError::Other(format!("unknown builtin workload {name}")));
     }
-    let src = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    let src = std::fs::read_to_string(spec)
+        .map_err(|e| CliError::Other(format!("cannot read {spec}: {e}")))?;
     // Collect indices so --dims can fill the gaps.
-    let prog = octopi::parse_program(&src).map_err(|e| e.to_string())?;
+    let prog = octopi::parse_program(&src).map_err(|e| {
+        CliError::Pipeline(BarracudaError::Parse {
+            workload: "cli".to_string(),
+            offset: e.offset,
+            message: e.message,
+        })
+    })?;
     let mut dims = o.dims.clone();
     if let Some(n) = o.default_dim {
         for st in &prog.statements {
@@ -141,18 +254,18 @@ fn load_workload(spec: &str, o: &Options) -> Result<Workload, String> {
             }
         }
     }
-    Workload::parse("cli", &src, &dims)
+    Ok(Workload::parse("cli", &src, &dims)?)
 }
 
-fn archs_for(name: &str) -> Result<Vec<gpusim::GpuArch>, String> {
+fn archs_for(name: &str) -> Result<Vec<gpusim::GpuArch>, CliError> {
     match name {
         "gtx980" => Ok(vec![gpusim::gtx980()]),
         "k20" => Ok(vec![gpusim::k20()]),
         "c2050" => Ok(vec![gpusim::c2050()]),
         "all" => Ok(gpusim::arch::all_architectures()),
-        other => Err(format!(
+        other => Err(CliError::Usage(format!(
             "unknown architecture {other} (gtx980|k20|c2050|all)"
-        )),
+        ))),
     }
 }
 
@@ -163,6 +276,11 @@ fn params_for(o: &Options) -> TuneParams {
         TuneParams::paper()
     };
     p.surf.max_evals = o.evals;
+    p.wall_deadline_s = o.deadline;
+    p.min_survivor_fraction = o.min_survivors;
+    if let Some(rate) = o.inject_faults {
+        p.fault_injection = Some(FaultPlan::mixed(rate, o.fault_seed));
+    }
     p
 }
 
@@ -181,13 +299,17 @@ fn cmd_info(w: &Workload) {
             st.variants.len(),
             st.total()
         );
-        let best = &st.variants[0];
-        println!(
-            "  best version: {} flops in {} kernel(s), temps {} elements",
-            best.factorization.flops,
-            best.program.ops.len(),
-            best.factorization.temp_elems
-        );
+        for (v, reason) in &st.quarantined_versions {
+            println!("  version {v} quarantined: {reason}");
+        }
+        if let Some(best) = st.variants.first() {
+            println!(
+                "  best version: {} flops in {} kernel(s), temps {} elements",
+                best.factorization.flops,
+                best.program.ops.len(),
+                best.factorization.temp_elems
+            );
+        }
     }
     println!("joint space: {} configurations", tuner.total_space());
     // Cross-statement common subexpressions (TCE-style CSE).
@@ -211,11 +333,11 @@ fn cmd_info(w: &Workload) {
     }
 }
 
-fn cmd_tune(w: &Workload, o: &Options) -> Result<(), String> {
+fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
     let tuner = WorkloadTuner::build(w);
     let params = params_for(o);
     for arch in archs_for(&o.arch)? {
-        let tuned = tuner.autotune(&arch, params);
+        let tuned = tuner.autotune(&arch, params)?;
         println!(
             "{:12} {:>10} us device  {:>8} GF device  {:>8} GF w/transfers  ({} evals, space {})",
             arch.name,
@@ -225,13 +347,27 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), String> {
             tuned.search.n_evals,
             tuned.search.space_size,
         );
+        if !tuned.quarantine.is_empty() {
+            println!("  {}", tuned.quarantine);
+        }
+        match &tuned.status {
+            SearchStatus::Complete => {}
+            SearchStatus::Degraded { reason } => {
+                println!("  status: degraded ({reason})");
+                if o.strict {
+                    return Err(CliError::StrictDegraded(reason.clone()));
+                }
+            }
+        }
         if o.validate {
             let inputs = w.random_inputs(1);
-            let expect = w.evaluate_reference(&inputs);
-            let got = tuned.execute(w, &inputs);
+            let expect = w.evaluate_reference(&inputs)?;
+            let got = tuned.execute(w, &inputs)?;
             for ((n1, t1), (_, t2)) in expect.iter().zip(&got) {
                 if !t1.approx_eq(t2, 1e-10) {
-                    return Err(format!("validation FAILED for output {n1}"));
+                    return Err(CliError::Other(format!(
+                        "validation FAILED for output {n1}"
+                    )));
                 }
             }
             println!("  validation: OK (matches the reference evaluator)");
@@ -274,13 +410,16 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), String> {
                 let _ = program;
             }
             // Which knobs mattered: fit a forest over a sample of the space
-            // and report the top importance mass.
+            // and report the top importance mass. Unmappable samples (NaN
+            // time) are dropped rather than poisoning the fit.
             let pool = tuner.pool(512, params.seed);
-            let xs: Vec<Vec<f64>> = pool.iter().map(|&id| tuner.features(id)).collect();
-            let ys: Vec<f64> = pool
+            let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = pool
                 .iter()
-                .map(|&id| tuner.gpu_seconds(id, &arch))
-                .collect();
+                .filter_map(|&id| {
+                    let t = tuner.gpu_seconds(id, &arch);
+                    t.is_finite().then(|| (tuner.features(id), t))
+                })
+                .unzip();
             let model = surf::ExtraTrees::fit(&xs, &ys, params.surf.forest);
             let names = tuner.binarized_feature_names();
             let mut ranked: Vec<(f64, &String)> = model
@@ -289,7 +428,7 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), String> {
                 .copied()
                 .zip(&names)
                 .collect();
-            ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
             println!("  most important parameters (surrogate attribution):");
             for (imp, name) in ranked.iter().take(6) {
                 if *imp > 0.0 {
@@ -314,7 +453,7 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), String> {
                     println!("{}", tcr::codegen::orio_annotations(&st.variants[*v].space));
                 }
             }
-            Some(other) => return Err(format!("unknown --emit kind {other}")),
+            Some(other) => return Err(CliError::Usage(format!("unknown --emit kind {other}"))),
             None => {}
         }
     }
@@ -350,10 +489,7 @@ fn main() -> ExitCode {
             };
             let w = match load_workload(spec, &opts) {
                 Ok(w) => w,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return e.report(),
             };
             let result = if cmd == "info" {
                 cmd_info(&w);
@@ -363,10 +499,7 @@ fn main() -> ExitCode {
             };
             match result {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => e.report(),
             }
         }
         _ => usage(),

@@ -40,10 +40,13 @@ impl<V: Clone> ShardedMap<V> {
         }
     }
 
+    // Lock poisoning only means another thread panicked mid-access; the
+    // memo data itself is always consistent (whole-value inserts), so
+    // recover the guard instead of propagating the panic.
     fn get(&self, salt: u64, id: u128) -> Option<V> {
         self.shards[shard_of(salt, id)]
             .read()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .get(&(salt, id))
             .cloned()
     }
@@ -51,12 +54,15 @@ impl<V: Clone> ShardedMap<V> {
     fn insert(&self, salt: u64, id: u128, v: V) {
         self.shards[shard_of(salt, id)]
             .write()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .insert((salt, id), v);
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
     }
 }
 

@@ -99,7 +99,9 @@ pub fn execute_workload_cpu(
         .external_outputs()
         .into_iter()
         .map(|name| {
-            let t = env.remove(&name).expect("output computed");
+            let t = env
+                .remove(&name)
+                .unwrap_or_else(|| panic!("external output {name} was never computed"));
             (name, t)
         })
         .collect()
@@ -123,7 +125,7 @@ mod tests {
     fn real_cpu_execution_matches_oracle() {
         let w = eqn1_workload(4);
         let inputs = w.random_inputs(7);
-        let expect = w.evaluate_reference(&inputs);
+        let expect = w.evaluate_reference(&inputs).unwrap();
         for threads in [1, 4] {
             let got = execute_workload_cpu(&w, &inputs, threads);
             assert!(

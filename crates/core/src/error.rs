@@ -1,0 +1,227 @@
+//! Typed error taxonomy for the whole pipeline.
+//!
+//! Every fallible stage — parsing, validation, factorization, mapping,
+//! simulation, search — reports a [`BarracudaError`] carrying enough
+//! context (workload, statement, version, configuration) to act on: retry
+//! with a different input, quarantine a version, or fail the run with a
+//! meaningful exit code. Panics are reserved for programmer errors
+//! (violated internal invariants), never for bad inputs or bad
+//! configurations.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BarracudaError>;
+
+/// One typed failure, tagged by the pipeline stage that raised it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BarracudaError {
+    /// The OCTOPI DSL source did not parse.
+    Parse {
+        workload: String,
+        /// Byte offset of the failure in the source.
+        offset: usize,
+        message: String,
+    },
+    /// The parsed workload is malformed: an index with no extent, an empty
+    /// statement list, an input binding that does not cover a tensor.
+    Validation {
+        workload: String,
+        /// Statement index, when the failure is attributable to one.
+        statement: Option<usize>,
+        detail: String,
+    },
+    /// A factorization (OCTOPI version) could not be lowered to TCR.
+    Factorization {
+        workload: String,
+        statement: usize,
+        version: usize,
+        detail: String,
+    },
+    /// A configuration could not be applied to its statement's loop nest.
+    Mapping {
+        workload: String,
+        statement: usize,
+        /// Version index within the statement, when known.
+        version: Option<usize>,
+        /// Flat configuration id, when the failure arose inside a search.
+        config: Option<u128>,
+        detail: String,
+    },
+    /// The simulator rejected a mapped kernel or produced a non-finite or
+    /// absurd time.
+    Simulation {
+        workload: String,
+        config: Option<u128>,
+        detail: String,
+    },
+    /// The search itself could not produce a result (empty pool, every
+    /// attempt quarantined).
+    Search { workload: String, detail: String },
+}
+
+impl BarracudaError {
+    /// Short machine-readable stage tag (stable; used for quarantine
+    /// classification and CLI messages).
+    pub fn stage(&self) -> &'static str {
+        match self {
+            BarracudaError::Parse { .. } => "parse",
+            BarracudaError::Validation { .. } => "validation",
+            BarracudaError::Factorization { .. } => "factorization",
+            BarracudaError::Mapping { .. } => "mapping",
+            BarracudaError::Simulation { .. } => "simulation",
+            BarracudaError::Search { .. } => "search",
+        }
+    }
+
+    /// Process exit code for the CLI: every stage fails distinctly, so
+    /// scripts can tell a typo from a quarantined space. 0 = success,
+    /// 1 = generic, 2 = usage; stages start at 3. Exit code 9 is reserved
+    /// for `--strict` runs that completed degraded (see `bin/barracuda`).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            BarracudaError::Parse { .. } => 3,
+            BarracudaError::Validation { .. } => 4,
+            BarracudaError::Factorization { .. } => 5,
+            BarracudaError::Mapping { .. } => 6,
+            BarracudaError::Simulation { .. } => 7,
+            BarracudaError::Search { .. } => 8,
+        }
+    }
+
+    /// The workload the error belongs to.
+    pub fn workload(&self) -> &str {
+        match self {
+            BarracudaError::Parse { workload, .. }
+            | BarracudaError::Validation { workload, .. }
+            | BarracudaError::Factorization { workload, .. }
+            | BarracudaError::Mapping { workload, .. }
+            | BarracudaError::Simulation { workload, .. }
+            | BarracudaError::Search { workload, .. } => workload,
+        }
+    }
+}
+
+impl fmt::Display for BarracudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarracudaError::Parse {
+                workload,
+                offset,
+                message,
+            } => write!(f, "{workload}: parse error at byte {offset}: {message}"),
+            BarracudaError::Validation {
+                workload,
+                statement,
+                detail,
+            } => match statement {
+                Some(s) => write!(f, "{workload}: statement {s} is invalid: {detail}"),
+                None => write!(f, "{workload}: invalid workload: {detail}"),
+            },
+            BarracudaError::Factorization {
+                workload,
+                statement,
+                version,
+                detail,
+            } => write!(
+                f,
+                "{workload}: statement {statement} version {version} failed to lower: {detail}"
+            ),
+            BarracudaError::Mapping {
+                workload,
+                statement,
+                version,
+                config,
+                detail,
+            } => {
+                write!(f, "{workload}: statement {statement}")?;
+                if let Some(v) = version {
+                    write!(f, " version {v}")?;
+                }
+                if let Some(c) = config {
+                    write!(f, " config {c}")?;
+                }
+                write!(f, " failed to map: {detail}")
+            }
+            BarracudaError::Simulation {
+                workload,
+                config,
+                detail,
+            } => {
+                write!(f, "{workload}:")?;
+                if let Some(c) = config {
+                    write!(f, " config {c}")?;
+                }
+                write!(f, " failed to simulate: {detail}")
+            }
+            BarracudaError::Search { workload, detail } => {
+                write!(f, "{workload}: search failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BarracudaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_stage() {
+        let errs = [
+            BarracudaError::Parse {
+                workload: "w".into(),
+                offset: 0,
+                message: "m".into(),
+            },
+            BarracudaError::Validation {
+                workload: "w".into(),
+                statement: Some(0),
+                detail: "d".into(),
+            },
+            BarracudaError::Factorization {
+                workload: "w".into(),
+                statement: 0,
+                version: 0,
+                detail: "d".into(),
+            },
+            BarracudaError::Mapping {
+                workload: "w".into(),
+                statement: 0,
+                version: None,
+                config: None,
+                detail: "d".into(),
+            },
+            BarracudaError::Simulation {
+                workload: "w".into(),
+                config: None,
+                detail: "d".into(),
+            },
+            BarracudaError::Search {
+                workload: "w".into(),
+                detail: "d".into(),
+            },
+        ];
+        let mut codes: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len());
+        assert!(codes.iter().all(|&c| c > 2), "0/1/2 are reserved");
+    }
+
+    #[test]
+    fn display_names_the_context() {
+        let e = BarracudaError::Mapping {
+            workload: "lg3".into(),
+            statement: 1,
+            version: Some(4),
+            config: Some(77),
+            detail: "unroll out of range".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("lg3") && s.contains("statement 1"));
+        assert!(s.contains("version 4") && s.contains("config 77"));
+        assert_eq!(e.stage(), "mapping");
+    }
+}

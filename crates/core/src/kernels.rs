@@ -38,7 +38,7 @@ pub fn eqn1(n: usize) -> Workload {
         "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
         &uniform_dims(&["i", "j", "k", "l", "m", "n"], n),
     )
-    .expect("eqn1 parses")
+    .unwrap_or_else(|e| panic!("eqn1 must parse: {e}"))
 }
 
 fn nek_dims(order: usize, elements: usize) -> IndexMap {
@@ -58,7 +58,7 @@ us[e i j k] = Sum([l], D[j l] * u[e i l k])
 ut[e i j k] = Sum([l], D[k l] * u[e i j l])",
         &nek_dims(order, elements),
     )
-    .expect("lg3 parses")
+    .unwrap_or_else(|e| panic!("lg3 must parse: {e}"))
 }
 
 /// `local_grad3t`: the transposed gradient, accumulating the three
@@ -72,7 +72,7 @@ w[e i j k] += Sum([l], D[l j] * us[e i l k])
 w[e i j k] += Sum([l], D[l k] * ut[e i j l])",
         &nek_dims(order, elements),
     )
-    .expect("lg3t parses")
+    .unwrap_or_else(|e| panic!("lg3t must parse: {e}"))
 }
 
 /// The TCE paper's running example:
@@ -84,7 +84,7 @@ pub fn tce_ex(n: usize) -> Workload {
          A[a c i k] * B[b e f l] * C[d f j k] * D[c d e l])",
         &uniform_dims(&["a", "b", "c", "d", "e", "f", "i", "j", "k", "l"], n),
     )
-    .expect("tce_ex parses")
+    .unwrap_or_else(|e| panic!("tce_ex must parse: {e}"))
 }
 
 const HOLES: [&str; 3] = ["h1", "h2", "h3"];
@@ -140,7 +140,8 @@ pub fn nwchem_s1(variant: usize, trip: usize) -> Workload {
         ps[0],
         ps[1]
     );
-    Workload::parse(format!("s1_{variant}"), &src, &nwchem_dims(trip)).expect("s1 parses")
+    Workload::parse(format!("s1_{variant}"), &src, &nwchem_dims(trip))
+        .unwrap_or_else(|e| panic!("s1 must parse: {e}"))
 }
 
 /// `sd_t_d1_<variant>`: contraction over the extra hole `h7`.
@@ -157,7 +158,8 @@ pub fn nwchem_d1(variant: usize, trip: usize) -> Workload {
         hs[1]
     );
     let _ = ps;
-    Workload::parse(format!("d1_{variant}"), &src, &nwchem_dims(trip)).expect("d1 parses")
+    Workload::parse(format!("d1_{variant}"), &src, &nwchem_dims(trip))
+        .unwrap_or_else(|e| panic!("d1 must parse: {e}"))
 }
 
 /// `sd_t_d2_<variant>`: contraction over the extra particle `p7`.
@@ -172,7 +174,8 @@ pub fn nwchem_d2(variant: usize, trip: usize) -> Workload {
         hs[0],
         hs[1]
     );
-    Workload::parse(format!("d2_{variant}"), &src, &nwchem_dims(trip)).expect("d2 parses")
+    Workload::parse(format!("d2_{variant}"), &src, &nwchem_dims(trip))
+        .unwrap_or_else(|e| panic!("d2 must parse: {e}"))
 }
 
 /// All nine kernels of a family, in order.
@@ -245,8 +248,9 @@ mod tests {
         let vs = tensor::Tensor::random(u.shape().clone(), 4);
         let vt = tensor::Tensor::random(u.shape().clone(), 5);
 
-        let grads =
-            g3.evaluate_reference(&[("D".to_string(), d.clone()), ("u".to_string(), u.clone())]);
+        let grads = g3
+            .evaluate_reference(&[("D".to_string(), d.clone()), ("u".to_string(), u.clone())])
+            .unwrap();
         let lhs: f64 = grads
             .iter()
             .zip([&vr, &vs, &vt])
@@ -254,12 +258,14 @@ mod tests {
             .map(|(a, b)| a * b)
             .sum();
 
-        let wt = g3t.evaluate_reference(&[
-            ("D".to_string(), d),
-            ("ur".to_string(), vr),
-            ("us".to_string(), vs),
-            ("ut".to_string(), vt),
-        ]);
+        let wt = g3t
+            .evaluate_reference(&[
+                ("D".to_string(), d),
+                ("ur".to_string(), vr),
+                ("us".to_string(), vs),
+                ("ut".to_string(), vt),
+            ])
+            .unwrap();
         let rhs: f64 = wt[0]
             .1
             .data()
@@ -346,7 +352,7 @@ mod tests {
         for family in ["s1", "d1", "d2"] {
             for w in nwchem_family(family, 3) {
                 let inputs = w.random_inputs(1);
-                let out = w.evaluate_reference(&inputs);
+                let out = w.evaluate_reference(&inputs).unwrap();
                 assert_eq!(out.len(), 1);
                 assert_eq!(out[0].0, "t3");
             }

@@ -38,33 +38,44 @@
 //! .unwrap();
 //! let tuner = WorkloadTuner::build(&workload);
 //! let arch = gpusim::gtx980();
-//! let tuned = tuner.autotune(&arch, TuneParams::quick());
+//! let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
 //! assert!(tuned.gflops() > 0.0);
 //! println!("{}", tuned.cuda_source());
 //! ```
+//!
+//! Every fallible stage returns a typed [`error::BarracudaError`]; versions
+//! and configurations that fail are quarantined (see [`quarantine`]) and the
+//! search continues over survivors, degrading gracefully instead of
+//! panicking.
 
 pub mod cache;
 pub mod cpu;
+pub mod error;
 pub mod fusionopt;
 pub mod kernels;
 pub mod nekbone;
 pub mod openacc;
 pub mod pipeline;
+pub mod quarantine;
 pub mod report;
 pub mod variant;
 pub mod workload;
 
 pub use cache::EvalCache;
+pub use error::{BarracudaError, Result};
 pub use fusionopt::{fuse_alternatives, FusedAlternative};
 pub use pipeline::{SearchStats, TuneParams, TunedWorkload, TunerEvaluator, WorkloadTuner};
+pub use quarantine::{QuarantineEntry, QuarantineReport, QuarantineStage};
 pub use variant::{StatementTuner, Variant};
 pub use workload::Workload;
 
 /// Convenient glob-import for examples and applications.
 pub mod prelude {
+    pub use crate::error::BarracudaError;
     pub use crate::kernels;
     pub use crate::openacc::{openacc_naive, openacc_optimized};
     pub use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
+    pub use crate::quarantine::{QuarantineReport, QuarantineStage};
     pub use crate::variant::{StatementTuner, Variant};
     pub use crate::workload::Workload;
 }

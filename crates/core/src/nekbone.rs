@@ -110,7 +110,11 @@ impl NekboneOperator {
         }
         scaled.push(("D".to_string(), self.d.clone()));
         let w = execute_workload_cpu(&self.lg3t, &scaled, threads);
-        let mut out = w.into_iter().next().expect("lg3t output").1;
+        let mut out = w
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| panic!("lg3t produced no output"))
+            .1;
         for (o, ui) in out.data_mut().iter_mut().zip(u.data()) {
             *o += self.mass * ui;
         }
@@ -192,11 +196,15 @@ pub struct NekbonePerf {
 /// Tunes lg3+lg3t on `arch` and evaluates the three GPU strategies.
 /// Transfer of `u` in and `w` out is charged once per operator application
 /// ("our results include the time to transfer data back and forth", §VII).
-pub fn model_gpu_perf(cfg: NekboneConfig, arch: &GpuArch, params: TuneParams) -> NekbonePerf {
+pub fn model_gpu_perf(
+    cfg: NekboneConfig,
+    arch: &GpuArch,
+    params: TuneParams,
+) -> Result<NekbonePerf, crate::error::BarracudaError> {
     let w3 = lg3(cfg.order, cfg.elements);
     let w3t = lg3t(cfg.order, cfg.elements);
-    let t3 = WorkloadTuner::build(&w3).autotune(arch, params);
-    let t3t = WorkloadTuner::build(&w3t).autotune(arch, params);
+    let t3 = WorkloadTuner::build(&w3).autotune(arch, params)?;
+    let t3t = WorkloadTuner::build(&w3t).autotune(arch, params)?;
 
     let field_bytes = (cfg.elements * cfg.order.pow(3) * 8) as f64;
     // One application moves u down and w up; intermediate gradients stay
@@ -211,13 +219,13 @@ pub fn model_gpu_perf(cfg: NekboneConfig, arch: &GpuArch, params: TuneParams) ->
         + openacc_optimized(&w3t, &t3t).gpu_seconds(arch)
         + transfer;
 
-    NekbonePerf {
+    Ok(NekbonePerf {
         barracuda_gflops: flops / bar_t / 1e9,
         acc_naive_gflops: flops / naive_t / 1e9,
         acc_opt_gflops: flops / opt_t / 1e9,
         tuned_lg3: t3,
         tuned_lg3t: t3t,
-    }
+    })
 }
 
 /// Modeled CPU GFlop/s of the Nekbone contraction core.

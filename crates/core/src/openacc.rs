@@ -108,7 +108,9 @@ pub fn openacc_naive(workload: &Workload) -> AccMapping {
             (0..p.ops.len())
                 .map(|i| {
                     let cfg = naive_config(p, i);
-                    let mut k = map_kernel(p, i, &cfg, st.accumulate);
+                    // The naive config covers every loop by construction.
+                    let mut k = map_kernel(p, i, &cfg, st.accumulate)
+                        .unwrap_or_else(|e| panic!("naive OpenACC config failed to map: {e}"));
                     k.scalar_replacement = false;
                     k.name = format!("{}_acc_naive", k.name);
                     k
@@ -170,7 +172,10 @@ pub fn openacc_optimized(workload: &Workload, tuned: &TunedWorkload) -> AccMappi
                         unroll: 1,
                         staged: Vec::new(),
                     };
-                    let mut nk = map_kernel(program, op_index, &cfg, st.accumulate);
+                    // Derived from a kernel that already mapped, so this
+                    // config covers the same loops.
+                    let mut nk = map_kernel(program, op_index, &cfg, st.accumulate)
+                        .unwrap_or_else(|e| panic!("optimized OpenACC config failed to map: {e}"));
                     nk.name = format!("{}_acc_opt", nk.name);
                     nk
                 })
@@ -212,7 +217,7 @@ mod tests {
         let w = matmul_workload(64);
         let tuner = WorkloadTuner::build(&w);
         let arch = gpusim::k20();
-        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
         let naive = openacc_naive(&w);
         assert!(
             naive.gpu_seconds(&arch) > tuned.gpu_seconds,
@@ -227,7 +232,7 @@ mod tests {
         let w = matmul_workload(64);
         let tuner = WorkloadTuner::build(&w);
         let arch = gpusim::c2050();
-        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
         let naive = openacc_naive(&w).gpu_seconds(&arch);
         let opt = openacc_optimized(&w, &tuned).gpu_seconds(&arch);
         assert!(
@@ -247,7 +252,7 @@ mod tests {
         let w = matmul_workload(8);
         let acc = openacc_naive(&w);
         let inputs = w.random_inputs(2);
-        let expect = w.evaluate_reference(&inputs);
+        let expect = w.evaluate_reference(&inputs).unwrap();
         let operands: Vec<&tensor::Tensor> = acc.programs[0]
             .input_ids()
             .iter()

@@ -9,13 +9,18 @@
 //! reports in Table II.
 
 use crate::cache::EvalCache;
+use crate::error::BarracudaError;
+use crate::quarantine::QuarantineReport;
 use crate::variant::StatementTuner;
 use crate::workload::Workload;
 use gpusim::GpuArch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
-use surf::{surf_search, surf_search_parallel, ForestParams, ParallelEvaluator, SurfParams};
+use surf::{
+    surf_search_parallel, surf_search_serial, EvalFault, FaultPlan, FaultyEvaluator, ForestParams,
+    ParallelEvaluator, SearchStatus, SurfParams, SurfResult,
+};
 use tcr::mapping::{map_program, map_programs, MapJob, MappedKernel};
 use tcr::space::Configuration;
 use tcr::TcrProgram;
@@ -46,6 +51,21 @@ pub struct TuneParams {
     /// Results are bit-identical at every setting: noise is keyed by
     /// configuration id, not by evaluation order.
     pub threads: usize,
+    /// Hard cap on evaluation *attempts* (successes + quarantined) across
+    /// the whole run, on top of `surf.max_evals`. Decomposed tuning spends
+    /// it as one shared budget across statements. `None`: surf budget only.
+    pub max_evaluations: Option<usize>,
+    /// Wall-clock deadline for the search; when it expires the run stops at
+    /// the next batch boundary and returns best-so-far with a
+    /// [`SearchStatus::Degraded`] status.
+    pub wall_deadline_s: Option<f64>,
+    /// Minimum fraction of attempts that must survive quarantine; dipping
+    /// below stops the search early with a degraded status. `0.0` disables.
+    pub min_survivor_fraction: f64,
+    /// Deterministic fault injection (tests, resilience experiments):
+    /// failures are keyed by configuration id exactly like the measurement
+    /// noise, so injected runs stay bit-identical serial vs parallel.
+    pub fault_injection: Option<FaultPlan>,
 }
 
 impl TuneParams {
@@ -63,6 +83,8 @@ impl TuneParams {
                 min_improvement: 0.01,
                 unpromising_stop: None,
                 seed: 0xBA22,
+                wall_deadline_s: None,
+                min_survivor_fraction: 0.0,
                 forest: ForestParams {
                     n_trees: 30,
                     min_samples_leaf: 2,
@@ -76,6 +98,10 @@ impl TuneParams {
             noise_floor_us: 6.0,
             seed: 0xBA22,
             threads: 0,
+            max_evaluations: None,
+            wall_deadline_s: None,
+            min_survivor_fraction: 0.0,
+            fault_injection: None,
         }
     }
 
@@ -90,6 +116,8 @@ impl TuneParams {
                 min_improvement: 0.01,
                 unpromising_stop: None,
                 seed: 0xBA22,
+                wall_deadline_s: None,
+                min_survivor_fraction: 0.0,
                 forest: ForestParams {
                     n_trees: 10,
                     min_samples_leaf: 2,
@@ -103,7 +131,25 @@ impl TuneParams {
             noise_floor_us: 0.0,
             seed: 0xBA22,
             threads: 0,
+            max_evaluations: None,
+            wall_deadline_s: None,
+            min_survivor_fraction: 0.0,
+            fault_injection: None,
         }
+    }
+
+    /// The SURF parameters actually handed to the search: the tuner-level
+    /// budget/deadline/threshold knobs folded into `surf`.
+    fn effective_surf(&self) -> SurfParams {
+        let mut sp = self.surf;
+        if let Some(cap) = self.max_evaluations {
+            sp.max_evals = sp.max_evals.min(cap.max(1));
+        }
+        if self.wall_deadline_s.is_some() {
+            sp.wall_deadline_s = self.wall_deadline_s;
+        }
+        sp.min_survivor_fraction = sp.min_survivor_fraction.max(self.min_survivor_fraction);
+        sp
     }
 }
 
@@ -134,6 +180,11 @@ pub struct SearchStats {
     pub wall_s: f64,
     /// Threads the evaluation backend used (1 = serial).
     pub threads: usize,
+    /// OCTOPI versions quarantined at build time (lowering failures).
+    pub quarantined_versions: usize,
+    /// Configurations quarantined during the search (mapping/simulation
+    /// failures, non-finite times, injected faults).
+    pub quarantined_configs: usize,
 }
 
 impl SearchStats {
@@ -214,10 +265,45 @@ impl<'a> TunerEvaluator<'a> {
         }
     }
 
-    /// Noiseless memoized simulated time of a joint configuration.
+    /// Noiseless memoized simulated time of a joint configuration; `NaN`
+    /// when the configuration fails to map or simulate (the NaN is cached,
+    /// so a failing configuration is never re-simulated).
     pub fn time(&self, id: u128) -> f64 {
-        self.cache
-            .time(self.salt, id, || self.tuner.gpu_seconds(id, self.arch))
+        self.try_time(id).unwrap_or(f64::NAN)
+    }
+
+    /// Noiseless memoized simulated time, with typed failure. Failures are
+    /// memoized as a cached `NaN` sentinel: re-asking about a quarantined
+    /// configuration costs one cache hit, not a re-simulation.
+    pub fn try_time(&self, id: u128) -> Result<f64, EvalFault> {
+        let mut fault = None;
+        let t = self.cache.time(self.salt, id, || {
+            match self.tuner.try_gpu_seconds(id, self.arch) {
+                Ok(t) => t,
+                Err(e) => {
+                    fault = Some(EvalFault::new(e.stage(), e.to_string()));
+                    f64::NAN
+                }
+            }
+        });
+        if let Some(f) = fault {
+            return Err(f);
+        }
+        if !t.is_finite() || t <= 0.0 {
+            return Err(EvalFault::new(
+                "simulation",
+                format!("non-finite or non-positive simulated time {t} for config {id}"),
+            ));
+        }
+        Ok(t)
+    }
+
+    /// Applies the deterministic measurement noise the search observes.
+    fn noisy(&self, id: u128, t: f64) -> f64 {
+        // A relative component plus absolute launch/measurement jitter that
+        // dominates for microsecond-scale kernels.
+        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
+        t * (1.0 + rel * noise_unit(id as u64 ^ self.noise_seed))
     }
 }
 
@@ -228,12 +314,14 @@ impl ParallelEvaluator for TunerEvaluator<'_> {
     }
 
     fn evaluate(&self, id: u128) -> f64 {
-        let t = self.time(id);
-        // What the search *observes* is a noisy measurement: a relative
-        // component plus absolute launch/measurement jitter that dominates
-        // for microsecond-scale kernels.
-        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
-        t * (1.0 + rel * noise_unit(id as u64 ^ self.noise_seed))
+        match self.try_time(id) {
+            Ok(t) => self.noisy(id, t),
+            Err(_) => f64::NAN,
+        }
+    }
+
+    fn try_evaluate(&self, id: u128) -> Result<f64, EvalFault> {
+        self.try_time(id).map(|t| self.noisy(id, t))
     }
 }
 
@@ -253,12 +341,47 @@ struct StatementEvaluator<'a> {
 
 impl StatementEvaluator<'_> {
     fn time(&self, local: u128) -> f64 {
-        self.cache.time(self.salt, local, || {
+        self.try_time(local).unwrap_or(f64::NAN)
+    }
+
+    /// Statement-local analog of [`TunerEvaluator::try_time`], with the
+    /// same cached-NaN memoization of failures.
+    fn try_time(&self, local: u128) -> Result<f64, EvalFault> {
+        let mut fault = None;
+        let t = self.cache.time(self.salt, local, || {
             let (v, config) = self.st.decode(local);
             let variant = &self.st.variants[v];
-            let kernels = map_program(&variant.program, &variant.space, &config, self.accumulate);
-            gpusim::time_program(&variant.program, &kernels, self.arch, false).gpu_s
-        })
+            match map_program(&variant.program, &variant.space, &config, self.accumulate) {
+                Ok(kernels) => {
+                    for k in &kernels {
+                        if let Err(detail) = gpusim::validate_kernel(k, self.arch) {
+                            fault = Some(EvalFault::new("simulation", detail));
+                            return f64::NAN;
+                        }
+                    }
+                    gpusim::time_program(&variant.program, &kernels, self.arch, false).gpu_s
+                }
+                Err(e) => {
+                    fault = Some(EvalFault::new("mapping", e.to_string()));
+                    f64::NAN
+                }
+            }
+        });
+        if let Some(f) = fault {
+            return Err(f);
+        }
+        if !t.is_finite() || t <= 0.0 {
+            return Err(EvalFault::new(
+                "simulation",
+                format!("non-finite or non-positive simulated time {t} for config {local}"),
+            ));
+        }
+        Ok(t)
+    }
+
+    fn noisy(&self, local: u128, t: f64) -> f64 {
+        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
+        t * (1.0 + rel * noise_unit(local as u64 ^ self.noise_seed))
     }
 }
 
@@ -269,28 +392,29 @@ impl ParallelEvaluator for StatementEvaluator<'_> {
     }
 
     fn evaluate(&self, local: u128) -> f64 {
-        let t = self.time(local);
-        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
-        t * (1.0 + rel * noise_unit(local as u64 ^ self.noise_seed))
+        match self.try_time(local) {
+            Ok(t) => self.noisy(local, t),
+            Err(_) => f64::NAN,
+        }
+    }
+
+    fn try_evaluate(&self, local: u128) -> Result<f64, EvalFault> {
+        self.try_time(local).map(|t| self.noisy(local, t))
     }
 }
 
 /// Dispatches to the serial or parallel SURF backend per
 /// [`TuneParams::threads`]; both run the same driver over the same
-/// evaluator, so the choice never changes the result.
+/// evaluator (including its typed-fault path), so the choice never changes
+/// the result — including which configurations get quarantined and why.
 fn search_with<E: ParallelEvaluator>(
     pool: &[u128],
     evaluator: &E,
     surf_params: SurfParams,
     threads: usize,
-) -> surf::SurfResult {
+) -> Result<SurfResult, surf::SearchError> {
     if threads == 1 {
-        surf_search(
-            pool,
-            |id| evaluator.features(id),
-            |id| evaluator.evaluate(id),
-            surf_params,
-        )
+        surf_search_serial(pool, evaluator, surf_params)
     } else {
         surf_search_parallel(pool, evaluator, surf_params)
     }
@@ -313,11 +437,23 @@ pub struct TunedWorkload {
     pub transfer_seconds: f64,
     pub flops: u64,
     pub search: SearchStats,
+    /// Whether the search ran to completion or stopped early (budget,
+    /// deadline, survivor-fraction threshold) with best-so-far.
+    pub status: SearchStatus,
+    /// Every version and configuration excluded from the search, with the
+    /// stage and reason it was quarantined.
+    pub quarantine: QuarantineReport,
 }
 
 impl TunedWorkload {
     pub fn total_seconds(&self) -> f64 {
         self.gpu_seconds + self.transfer_seconds
+    }
+
+    /// `true` when the search stopped early instead of running to its
+    /// configured budget (the result is still the best configuration seen).
+    pub fn is_degraded(&self) -> bool {
+        self.status.is_degraded()
     }
 
     /// Sustained GFlop/s including PCIe transfers.
@@ -358,12 +494,13 @@ impl TunedWorkload {
     }
 
     /// Executes the tuned kernels functionally (simulated GPU) over named
-    /// inputs; returns the workload's external outputs.
+    /// inputs; returns the workload's external outputs. Fails when `inputs`
+    /// is missing a tensor some statement consumes.
     pub fn execute(
         &self,
         workload: &Workload,
         inputs: &[(String, Tensor)],
-    ) -> Vec<(String, Tensor)> {
+    ) -> Result<Vec<(String, Tensor)>, BarracudaError> {
         let mut env: BTreeMap<String, Tensor> = inputs.iter().cloned().collect();
         for (sidx, st) in workload.statements.iter().enumerate() {
             let program = &self.programs[sidx];
@@ -372,10 +509,13 @@ impl TunedWorkload {
                 .iter()
                 .map(|&id| {
                     let name = &program.arrays[id].name;
-                    env.get(name)
-                        .unwrap_or_else(|| panic!("missing input tensor {name}"))
+                    env.get(name).ok_or_else(|| BarracudaError::Validation {
+                        workload: self.name.clone(),
+                        statement: Some(sidx),
+                        detail: format!("missing input tensor {name}"),
+                    })
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             let fresh = gpusim::execute_program(program, &self.kernels[sidx], &operands);
             match env.entry(st.output.name.clone()) {
                 std::collections::btree_map::Entry::Occupied(mut o) if st.accumulate => {
@@ -395,8 +535,14 @@ impl TunedWorkload {
             .external_outputs()
             .into_iter()
             .map(|name| {
-                let t = env.remove(&name).expect("output computed");
-                (name, t)
+                let t = env
+                    .remove(&name)
+                    .ok_or_else(|| BarracudaError::Validation {
+                        workload: self.name.clone(),
+                        statement: None,
+                        detail: format!("external output {name} was never computed"),
+                    })?;
+                Ok((name, t))
             })
             .collect()
     }
@@ -508,8 +654,9 @@ impl WorkloadTuner {
     }
 
     /// Maps every statement under the joint id (statements map in parallel
-    /// on the rayon pool).
-    pub fn kernels(&self, id: u128) -> Vec<Vec<MappedKernel>> {
+    /// on the rayon pool); fails with full context when any statement's
+    /// configuration cannot be applied to its loop nest.
+    pub fn kernels(&self, id: u128) -> Result<Vec<Vec<MappedKernel>>, BarracudaError> {
         let locals = self.decode(id);
         let jobs: Vec<MapJob<'_>> = self
             .statements
@@ -528,21 +675,57 @@ impl WorkloadTuner {
             })
             .collect();
         map_programs(&jobs)
+            .into_iter()
+            .enumerate()
+            .map(|(k, r)| {
+                r.map_err(|e| BarracudaError::Mapping {
+                    workload: self.workload.name.clone(),
+                    statement: k,
+                    version: Some(self.statements[k].decode(locals[k]).0),
+                    config: Some(id),
+                    detail: e.to_string(),
+                })
+            })
+            .collect()
     }
 
     /// Device-side time of a joint configuration (no transfers — they are
-    /// identical across configurations).
+    /// identical across configurations); `NaN` when mapping or simulation
+    /// fails. Prefer [`WorkloadTuner::try_gpu_seconds`] for the reason.
     pub fn gpu_seconds(&self, id: u128, arch: &GpuArch) -> f64 {
+        self.try_gpu_seconds(id, arch).unwrap_or(f64::NAN)
+    }
+
+    /// Device-side time of a joint configuration, with a typed error naming
+    /// the statement/version/configuration when mapping fails or the
+    /// simulator rejects a kernel.
+    pub fn try_gpu_seconds(&self, id: u128, arch: &GpuArch) -> Result<f64, BarracudaError> {
         let locals = self.decode(id);
         let mut total = 0.0;
-        for (s, &local) in self.statements.iter().zip(&locals) {
+        for (k, (s, &local)) in self.statements.iter().zip(&locals).enumerate() {
             let (v, config) = s.decode(local);
             let variant = &s.variants[v];
-            let st = &self.workload.statements[s_index(self, s)];
-            let kernels = map_program(&variant.program, &variant.space, &config, st.accumulate);
+            let st = &self.workload.statements[k];
+            let kernels = map_program(&variant.program, &variant.space, &config, st.accumulate)
+                .map_err(|e| BarracudaError::Mapping {
+                    workload: self.workload.name.clone(),
+                    statement: k,
+                    version: Some(v),
+                    config: Some(id),
+                    detail: e.to_string(),
+                })?;
+            for kernel in &kernels {
+                gpusim::validate_kernel(kernel, arch).map_err(|detail| {
+                    BarracudaError::Simulation {
+                        workload: self.workload.name.clone(),
+                        config: Some(id),
+                        detail,
+                    }
+                })?;
+            }
             total += gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s;
         }
-        total
+        Ok(total)
     }
 
     /// PCIe transfer time of the workload on `arch`.
@@ -597,9 +780,25 @@ impl WorkloadTuner {
         set.into_iter().collect()
     }
 
+    /// Quarantine report of the build stage: every version whose lowering
+    /// failed, per statement.
+    fn build_quarantine(&self) -> QuarantineReport {
+        let mut q = QuarantineReport::new();
+        for (k, st) in self.statements.iter().enumerate() {
+            for (v, reason) in &st.quarantined_versions {
+                q.record_version(k, *v, reason.clone());
+            }
+        }
+        q
+    }
+
     /// Runs SURF and returns the tuned workload. Uses a fresh memo cache;
     /// [`WorkloadTuner::autotune_with_cache`] shares one across runs.
-    pub fn autotune(&self, arch: &GpuArch, params: TuneParams) -> TunedWorkload {
+    pub fn autotune(
+        &self,
+        arch: &GpuArch,
+        params: TuneParams,
+    ) -> Result<TunedWorkload, BarracudaError> {
         self.autotune_with_cache(arch, params, &EvalCache::new())
     }
 
@@ -607,27 +806,60 @@ impl WorkloadTuner {
     /// (per-architecture sweeps, benchmark repetitions, decomposed +
     /// joint comparisons) never re-simulate a configuration they have
     /// already seen.
+    ///
+    /// Configurations that fail to map/simulate (or are failed by
+    /// [`TuneParams::fault_injection`]) are quarantined, not fatal: the
+    /// search continues over survivors and the report travels on the
+    /// result. The only hard errors are an empty pool and a search with no
+    /// survivors at all.
     pub fn autotune_with_cache(
         &self,
         arch: &GpuArch,
         params: TuneParams,
         cache: &EvalCache,
-    ) -> TunedWorkload {
+    ) -> Result<TunedWorkload, BarracudaError> {
         let pool = self.pool(params.pool_cap, params.seed);
         let evaluator = TunerEvaluator::new(self, arch, cache, &params);
+        let faulty = FaultyEvaluator::new(
+            &evaluator,
+            params.fault_injection.unwrap_or_else(FaultPlan::none),
+        );
         let (hits0, misses0) = cache.stats();
-        let result = search_with(&pool, &evaluator, params.surf, params.threads);
+        let result =
+            search_with(&pool, &faulty, params.effective_surf(), params.threads).map_err(|e| {
+                BarracudaError::Search {
+                    workload: self.workload.name.clone(),
+                    detail: e.to_string(),
+                }
+            })?;
         let (hits1, misses1) = cache.stats();
+        // An external attempt cap that actually truncated the search is an
+        // explicit degradation, not a silent completion.
+        let mut status = result.status.clone();
+        if let Some(cap) = params.max_evaluations {
+            if !status.is_degraded() && cap < params.surf.max_evals && result.n_attempted() >= cap {
+                status = SearchStatus::Degraded {
+                    reason: format!(
+                        "evaluation budget exhausted after {} attempts (cap {cap})",
+                        result.n_attempted()
+                    ),
+                };
+            }
+        }
 
         // The search observed noisy measurements; the final pick re-measures
         // carefully: choose the best *noiseless* time among everything the
         // search evaluated (the paper's final numbers are 100-rep averages).
         // Every candidate is a cache hit: the search already simulated it.
+        // NaN-safe: quarantined ids never reach `evaluated`, but total_cmp
+        // plus the finite filter keep even a stray NaN from poisoning the
+        // pick.
         let id = result
             .evaluated
             .iter()
             .map(|(id, _)| *id)
-            .min_by(|a, b| evaluator.time(*a).partial_cmp(&evaluator.time(*b)).unwrap())
+            .filter(|&id| evaluator.time(id).is_finite())
+            .min_by(|a, b| evaluator.time(*a).total_cmp(&evaluator.time(*b)))
             .unwrap_or(result.best_id);
         let locals = self.decode(id);
         let mut choices = Vec::new();
@@ -637,12 +869,16 @@ impl WorkloadTuner {
             programs.push(s.variants[v].program.clone());
             choices.push((v, config));
         }
-        let kernels = self.kernels(id);
+        let kernels = self.kernels(id)?;
+        let mut quarantine = self.build_quarantine();
+        for (cid, reason) in &result.quarantined {
+            quarantine.record_config(None, *cid, reason.clone());
+        }
         // Report the noiseless model time of the chosen configuration.
-        let gpu_seconds = self.gpu_seconds(id, arch);
+        let gpu_seconds = self.try_gpu_seconds(id, arch)?;
         let transfer_seconds = self.transfer_seconds(arch);
         let flops = self.flops(id);
-        TunedWorkload {
+        Ok(TunedWorkload {
             name: self.workload.name.clone(),
             arch_name: arch.name.to_string(),
             id,
@@ -662,8 +898,12 @@ impl WorkloadTuner {
                 cache_misses: misses1 - misses0,
                 wall_s: result.wall_s,
                 threads: result.threads,
+                quarantined_versions: quarantine.versions(),
+                quarantined_configs: quarantine.configs(),
             },
-        }
+            status,
+            quarantine,
+        })
     }
 }
 
@@ -673,25 +913,39 @@ impl WorkloadTuner {
     /// factors — an observation the paper's joint 512,000-variant framing
     /// leaves on the table). Costs the sum of the per-statement budgets
     /// instead of one budget over the product space.
-    pub fn autotune_decomposed(&self, arch: &GpuArch, params: TuneParams) -> TunedWorkload {
+    pub fn autotune_decomposed(
+        &self,
+        arch: &GpuArch,
+        params: TuneParams,
+    ) -> Result<TunedWorkload, BarracudaError> {
         self.autotune_decomposed_with_cache(arch, params, &EvalCache::new())
     }
 
     /// [`WorkloadTuner::autotune_decomposed`] against a shared memo cache:
     /// statements salt the cache's keyspace individually, so repeated or
     /// interleaved runs reuse each other's simulations.
+    ///
+    /// [`TuneParams::max_evaluations`] and [`TuneParams::wall_deadline_s`]
+    /// are *shared* budgets: each statement's search gets what the previous
+    /// statements left over, and exhaustion degrades the run rather than
+    /// failing it.
     pub fn autotune_decomposed_with_cache(
         &self,
         arch: &GpuArch,
         params: TuneParams,
         cache: &EvalCache,
-    ) -> TunedWorkload {
+    ) -> Result<TunedWorkload, BarracudaError> {
         let mut locals: Vec<u128> = Vec::with_capacity(self.statements.len());
         let mut n_evals = 0;
         let mut batches = 0;
         let mut evaluated_times = Vec::new();
         let mut wall_s = 0.0;
         let mut threads = 1;
+        let mut quarantine = self.build_quarantine();
+        let mut status = SearchStatus::Complete;
+        let mut remaining = params.max_evaluations;
+        let mut attempted_total = 0usize;
+        let start = std::time::Instant::now();
         let (hits0, misses0) = cache.stats();
         for (k, st) in self.statements.iter().enumerate() {
             // Pool over this statement's own space.
@@ -724,12 +978,44 @@ impl WorkloadTuner {
                 noise_floor_us: params.noise_floor_us,
                 noise_seed: params.seed ^ k as u64,
             };
-            let result = search_with(&pool, &evaluator, params.surf, params.threads);
+            let faulty = FaultyEvaluator::new(
+                &evaluator,
+                params.fault_injection.unwrap_or_else(FaultPlan::none),
+            );
+            // This statement's share of the run-wide budget/deadline.
+            let mut sp = params.effective_surf();
+            if let Some(rem) = remaining {
+                sp.max_evals = sp.max_evals.min(rem.max(1));
+            }
+            if let Some(d) = params.wall_deadline_s {
+                sp.wall_deadline_s = Some((d - start.elapsed().as_secs_f64()).max(0.0));
+            }
+            let result = search_with(&pool, &faulty, sp, params.threads).map_err(|e| {
+                BarracudaError::Search {
+                    workload: self.workload.name.clone(),
+                    detail: format!("statement {k}: {e}"),
+                }
+            })?;
+            if let Some(rem) = remaining.as_mut() {
+                *rem = rem.saturating_sub(result.n_attempted());
+            }
+            attempted_total += result.n_attempted();
+            if let (SearchStatus::Complete, SearchStatus::Degraded { reason }) =
+                (&status, &result.status)
+            {
+                status = SearchStatus::Degraded {
+                    reason: format!("statement {k}: {reason}"),
+                };
+            }
+            for (cid, reason) in &result.quarantined {
+                quarantine.record_config(Some(k), *cid, reason.clone());
+            }
             let best = result
                 .evaluated
                 .iter()
                 .map(|(id, _)| *id)
-                .min_by(|a, b| evaluator.time(*a).partial_cmp(&evaluator.time(*b)).unwrap())
+                .filter(|&id| evaluator.time(id).is_finite())
+                .min_by(|a, b| evaluator.time(*a).total_cmp(&evaluator.time(*b)))
                 .unwrap_or(result.best_id);
             n_evals += result.n_evals();
             batches += result.batches;
@@ -739,6 +1025,16 @@ impl WorkloadTuner {
             locals.push(best);
         }
         let (hits1, misses1) = cache.stats();
+        // The shared attempt budget ran dry: an explicit degradation.
+        if let Some(cap) = params.max_evaluations {
+            if !status.is_degraded() && attempted_total >= cap {
+                status = SearchStatus::Degraded {
+                    reason: format!(
+                        "shared evaluation budget exhausted after {attempted_total} attempts (cap {cap})"
+                    ),
+                };
+            }
+        }
         // Re-encode as a joint id and assemble the result.
         let mut id = 0u128;
         for (st, &local) in self.statements.iter().zip(&locals) {
@@ -751,15 +1047,15 @@ impl WorkloadTuner {
             programs.push(st.variants[v].program.clone());
             choices.push((v, config));
         }
-        let kernels = self.kernels(id);
-        TunedWorkload {
+        let kernels = self.kernels(id)?;
+        Ok(TunedWorkload {
             name: self.workload.name.clone(),
             arch_name: arch.name.to_string(),
             id,
             choices,
             programs,
             kernels,
-            gpu_seconds: self.gpu_seconds(id, arch),
+            gpu_seconds: self.try_gpu_seconds(id, arch)?,
             transfer_seconds: self.transfer_seconds(arch),
             flops: self.flops(id),
             search: SearchStats {
@@ -772,19 +1068,13 @@ impl WorkloadTuner {
                 cache_misses: misses1 - misses0,
                 wall_s,
                 threads,
+                quarantined_versions: quarantine.versions(),
+                quarantined_configs: quarantine.configs(),
             },
-        }
+            status,
+            quarantine,
+        })
     }
-}
-
-/// Index of a statement tuner within its parent (tuners are built in
-/// statement order, so identity search is safe).
-fn s_index(tuner: &WorkloadTuner, s: &StatementTuner) -> usize {
-    tuner
-        .statements
-        .iter()
-        .position(|x| std::ptr::eq(x, s))
-        .expect("statement belongs to tuner")
 }
 
 #[cfg(test)]
@@ -815,10 +1105,10 @@ mod tests {
         let w = matmul_workload(8);
         let tuner = WorkloadTuner::build(&w);
         let arch = gpusim::gtx980();
-        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
         let inputs = w.random_inputs(3);
-        let expect = w.evaluate_reference(&inputs);
-        let got = tuned.execute(&w, &inputs);
+        let expect = w.evaluate_reference(&inputs).unwrap();
+        let got = tuned.execute(&w, &inputs).unwrap();
         assert_eq!(expect.len(), got.len());
         for ((n1, t1), (n2, t2)) in expect.iter().zip(&got) {
             assert_eq!(n1, n2);
@@ -836,11 +1126,11 @@ mod tests {
         let mut params = TuneParams::quick();
         params.surf.batch_size = 10;
         params.surf.max_evals = 150;
-        let tuned = tuner.autotune(&arch, params);
+        let tuned = tuner.autotune(&arch, params).unwrap();
         // Correctness across the whole chain of temporaries.
         let inputs = w.random_inputs(11);
-        let expect = w.evaluate_reference(&inputs);
-        let got = tuned.execute(&w, &inputs);
+        let expect = w.evaluate_reference(&inputs).unwrap();
+        let got = tuned.execute(&w, &inputs).unwrap();
         assert!(expect[0].1.approx_eq(&got[0].1, 1e-10));
         // The tuner must not pick the naive O(N^6) version.
         assert!(
@@ -856,7 +1146,7 @@ mod tests {
         let w = matmul_workload(32);
         let tuner = WorkloadTuner::build(&w);
         let arch = gpusim::c2050();
-        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
         // Compare against the average of a random sample.
         let pool = tuner.pool(64, 9);
         let avg: f64 = pool
@@ -876,8 +1166,8 @@ mod tests {
         let w = matmul_workload(16);
         let tuner = WorkloadTuner::build(&w);
         let arch = gpusim::gtx980();
-        let a = tuner.autotune(&arch, TuneParams::quick());
-        let b = tuner.autotune(&arch, TuneParams::quick());
+        let a = tuner.autotune(&arch, TuneParams::quick()).unwrap();
+        let b = tuner.autotune(&arch, TuneParams::quick()).unwrap();
         assert_eq!(a.id, b.id);
         assert_eq!(a.gpu_seconds, b.gpu_seconds);
     }
@@ -886,7 +1176,9 @@ mod tests {
     fn cuda_source_contains_all_kernels() {
         let w = eqn1_workload(6);
         let tuner = WorkloadTuner::build(&w);
-        let tuned = tuner.autotune(&gpusim::gtx980(), TuneParams::quick());
+        let tuned = tuner
+            .autotune(&gpusim::gtx980(), TuneParams::quick())
+            .unwrap();
         let src = tuned.cuda_source();
         let n_kernels: usize = tuned.kernels.iter().map(|k| k.len()).sum();
         assert_eq!(src.matches("__global__").count(), n_kernels);
@@ -898,7 +1190,7 @@ mod tests {
         let w = matmul_workload(16);
         let tuner = WorkloadTuner::build(&w);
         let arch = gpusim::gtx980();
-        let tuned = tuner.autotune(&arch, TuneParams::quick());
+        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
         let s = tuned.search.search_seconds(&arch, 100);
         assert!(s > tuned.search.n_evals as f64 * arch.compile_seconds);
         // When the space is fully enumerated the two estimates coincide up
@@ -922,9 +1214,9 @@ mod tests {
         let arch = gpusim::k20();
         let mut params = TuneParams::quick();
         params.surf.max_evals = 60;
-        let joint = tuner.autotune(&arch, params);
+        let joint = tuner.autotune(&arch, params).unwrap();
         params.surf.max_evals = 30; // per statement -> same total budget
-        let decomposed = tuner.autotune_decomposed(&arch, params);
+        let decomposed = tuner.autotune_decomposed(&arch, params).unwrap();
         assert!(
             decomposed.gpu_seconds <= joint.gpu_seconds * 1.05,
             "decomposed {} vs joint {}",
@@ -933,8 +1225,8 @@ mod tests {
         );
         // The result must execute correctly too.
         let inputs = w.random_inputs(3);
-        let expect = w.evaluate_reference(&inputs);
-        let got = decomposed.execute(&w, &inputs);
+        let expect = w.evaluate_reference(&inputs).unwrap();
+        let got = decomposed.execute(&w, &inputs).unwrap();
         assert!(expect[0].1.approx_eq(&got[0].1, 1e-10));
     }
 
@@ -947,8 +1239,8 @@ mod tests {
         serial_params.threads = 1;
         let mut parallel_params = TuneParams::quick();
         parallel_params.threads = 0;
-        let serial = tuner.autotune(&arch, serial_params);
-        let parallel = tuner.autotune(&arch, parallel_params);
+        let serial = tuner.autotune(&arch, serial_params).unwrap();
+        let parallel = tuner.autotune(&arch, parallel_params).unwrap();
         assert_eq!(serial.id, parallel.id);
         assert_eq!(serial.gpu_seconds.to_bits(), parallel.gpu_seconds.to_bits());
         assert_eq!(serial.search.n_evals, parallel.search.n_evals);
@@ -969,7 +1261,9 @@ mod tests {
         let tuner = WorkloadTuner::build(&w);
         let arch = gpusim::gtx980();
         let cache = EvalCache::new();
-        let tuned = tuner.autotune_with_cache(&arch, TuneParams::quick(), &cache);
+        let tuned = tuner
+            .autotune_with_cache(&arch, TuneParams::quick(), &cache)
+            .unwrap();
         let total_lookups = tuned.search.cache_hits + tuned.search.cache_misses;
         assert!(total_lookups > 0);
         // Distinct simulations recorded in the shared cache must equal the
@@ -983,8 +1277,12 @@ mod tests {
         let tuner = WorkloadTuner::build(&w);
         let arch = gpusim::gtx980();
         let cache = EvalCache::new();
-        let first = tuner.autotune_with_cache(&arch, TuneParams::quick(), &cache);
-        let second = tuner.autotune_with_cache(&arch, TuneParams::quick(), &cache);
+        let first = tuner
+            .autotune_with_cache(&arch, TuneParams::quick(), &cache)
+            .unwrap();
+        let second = tuner
+            .autotune_with_cache(&arch, TuneParams::quick(), &cache)
+            .unwrap();
         assert_eq!(first.id, second.id);
         // The second run re-simulates nothing: every time lookup hits.
         assert_eq!(second.search.cache_misses, 0);

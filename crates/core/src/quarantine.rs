@@ -1,0 +1,191 @@
+//! Per-unit quarantine bookkeeping.
+//!
+//! The tuner never aborts on a bad unit: a version that fails lowering or a
+//! configuration that fails mapping / yields a non-finite time is recorded
+//! here — with its stage, location, and reason — and excluded from the
+//! search, which continues over survivors. The report travels on
+//! [`crate::pipeline::TunedWorkload`] so callers (CLI, benches) can show
+//! exactly what was skipped and why.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Pipeline stage a quarantined unit failed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QuarantineStage {
+    /// A whole version: lowering the factorization failed.
+    Factorization,
+    /// A configuration could not be applied to its loop nest.
+    Mapping,
+    /// The simulator rejected the kernel or produced a non-finite/absurd
+    /// time.
+    Simulation,
+    /// A deterministic fault-injection harness failed the evaluation.
+    Injected,
+}
+
+impl QuarantineStage {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QuarantineStage::Factorization => "factorization",
+            QuarantineStage::Mapping => "mapping",
+            QuarantineStage::Simulation => "simulation",
+            QuarantineStage::Injected => "injected",
+        }
+    }
+
+    /// Classifies a quarantine reason string produced by the search layer
+    /// (`[stage] detail` from `surf::EvalFault`, or the driver's own
+    /// `non-finite simulated time …`).
+    pub fn classify(reason: &str) -> QuarantineStage {
+        if reason.starts_with("[mapping]") {
+            QuarantineStage::Mapping
+        } else if reason.starts_with("[injected]") {
+            QuarantineStage::Injected
+        } else {
+            QuarantineStage::Simulation
+        }
+    }
+}
+
+impl fmt::Display for QuarantineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One quarantined unit: a version or a configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuarantineEntry {
+    pub stage: QuarantineStage,
+    /// Statement index, when attributable.
+    pub statement: Option<usize>,
+    /// Version index within the statement (version-level quarantine).
+    pub version: Option<usize>,
+    /// Flat configuration id (configuration-level quarantine).
+    pub config: Option<u128>,
+    pub reason: String,
+}
+
+/// The quarantine report of one tuning run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QuarantineReport {
+    pub entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineReport {
+    pub fn new() -> Self {
+        QuarantineReport::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn push(&mut self, entry: QuarantineEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Records a quarantined version.
+    pub fn record_version(&mut self, statement: usize, version: usize, reason: impl Into<String>) {
+        self.entries.push(QuarantineEntry {
+            stage: QuarantineStage::Factorization,
+            statement: Some(statement),
+            version: Some(version),
+            config: None,
+            reason: reason.into(),
+        });
+    }
+
+    /// Records a quarantined configuration, classifying its stage from the
+    /// reason string.
+    pub fn record_config(&mut self, statement: Option<usize>, config: u128, reason: String) {
+        self.entries.push(QuarantineEntry {
+            stage: QuarantineStage::classify(&reason),
+            statement,
+            version: None,
+            config: Some(config),
+            reason,
+        });
+    }
+
+    /// Number of quarantined versions (factorization-stage entries).
+    pub fn versions(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.stage == QuarantineStage::Factorization)
+            .count()
+    }
+
+    /// Number of quarantined configurations.
+    pub fn configs(&self) -> usize {
+        self.entries.iter().filter(|e| e.config.is_some()).count()
+    }
+
+    /// Entry counts keyed by stage tag.
+    pub fn counts_by_stage(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for e in &self.entries {
+            *out.entry(e.stage.as_str()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    pub fn merge(&mut self, other: QuarantineReport) {
+        self.entries.extend(other.entries);
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "quarantine: empty");
+        }
+        write!(f, "quarantine: {} entries (", self.len())?;
+        for (i, (stage, n)) in self.counts_by_stage().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{stage}: {n}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_from_reason_prefixes() {
+        assert_eq!(
+            QuarantineStage::classify("[mapping] statement 0: bad"),
+            QuarantineStage::Mapping
+        );
+        assert_eq!(
+            QuarantineStage::classify("[injected] boom"),
+            QuarantineStage::Injected
+        );
+        assert_eq!(
+            QuarantineStage::classify("non-finite simulated time NaN"),
+            QuarantineStage::Simulation
+        );
+    }
+
+    #[test]
+    fn counts_split_versions_and_configs() {
+        let mut q = QuarantineReport::new();
+        q.record_version(0, 3, "lowering failed");
+        q.record_config(Some(0), 42, "[mapping] nope".into());
+        q.record_config(None, 43, "non-finite simulated time inf".into());
+        assert_eq!(q.versions(), 1);
+        assert_eq!(q.configs(), 2);
+        assert_eq!(q.counts_by_stage().get("mapping"), Some(&1));
+        let s = q.to_string();
+        assert!(s.contains("3 entries"), "{s}");
+    }
+}

@@ -27,6 +27,9 @@ pub struct StatementTuner {
     pub contraction: Contraction,
     pub dims: IndexMap,
     pub variants: Vec<Variant>,
+    /// Versions whose lowering failed, as `(version index, reason)` —
+    /// quarantined at build time and excluded from the id space.
+    pub quarantined_versions: Vec<(usize, String)>,
     /// Prefix sums of per-variant space sizes (offsets[v] = first id of v).
     offsets: Vec<u128>,
     /// Sorted index vocabulary of the statement (for feature encoding).
@@ -37,21 +40,31 @@ pub struct StatementTuner {
 
 impl StatementTuner {
     /// Enumerates factorizations of `contraction`, lowers each to TCR and
-    /// builds its search space.
+    /// builds its search space. Versions whose lowering fails are
+    /// quarantined (recorded in `quarantined_versions`) rather than
+    /// aborting the build; the id space covers survivors only.
     pub fn build(name: &str, contraction: &Contraction, dims: &IndexMap) -> Self {
         let factorizations = enumerate_factorizations(contraction, dims);
         // Lowering + space construction per version is independent work;
         // fan it out over the rayon pool (order-preserving, so version
         // indices and id offsets match the serial construction).
-        let variants: Vec<Variant> = rayon::par_map_slice(&factorizations, |f| {
-            let program = TcrProgram::from_factorization(name, contraction, f, dims);
+        let lowered: Vec<Result<Variant, String>> = rayon::par_map_slice(&factorizations, |f| {
+            let program = TcrProgram::try_from_factorization(name, contraction, f, dims)?;
             let space = ProgramSpace::build(&program);
-            Variant {
+            Ok(Variant {
                 factorization: f.clone(),
                 program,
                 space,
-            }
+            })
         });
+        let mut variants = Vec::with_capacity(lowered.len());
+        let mut quarantined_versions = Vec::new();
+        for (v, r) in lowered.into_iter().enumerate() {
+            match r {
+                Ok(variant) => variants.push(variant),
+                Err(reason) => quarantined_versions.push((v, reason)),
+            }
+        }
         let mut offsets = Vec::with_capacity(variants.len() + 1);
         let mut acc = 0u128;
         for v in &variants {
@@ -69,15 +82,16 @@ impl StatementTuner {
             contraction: contraction.clone(),
             dims: dims.clone(),
             variants,
+            quarantined_versions,
             offsets,
             vocab,
             max_ops,
         }
     }
 
-    /// Total configurations across all versions.
+    /// Total configurations across all (surviving) versions.
     pub fn total(&self) -> u128 {
-        *self.offsets.last().unwrap()
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Decodes a flat id into (version index, configuration).
@@ -100,13 +114,15 @@ impl StatementTuner {
     fn vocab_slot(&self, sel: Option<&IndexVar>) -> f64 {
         match sel {
             None => 0.0,
-            Some(v) => {
-                1.0 + self
-                    .vocab
-                    .iter()
-                    .position(|x| x == v)
-                    .expect("loop var in vocabulary") as f64
-            }
+            // Slot 0 doubles as "absent": a variable outside the vocabulary
+            // (impossible for well-formed spaces) encodes as absent rather
+            // than aborting feature extraction.
+            Some(v) => self
+                .vocab
+                .iter()
+                .position(|x| x == v)
+                .map(|p| 1.0 + p as f64)
+                .unwrap_or(0.0),
         }
     }
 
@@ -229,6 +245,7 @@ mod tests {
         let dims = uniform_dims(&["i", "j", "k", "l", "m", "n"], 10);
         let t = StatementTuner::build("ex", &eqn1(), &dims);
         assert_eq!(t.variants.len(), 15);
+        assert!(t.quarantined_versions.is_empty());
         assert_eq!(
             t.total(),
             t.variants.iter().map(|v| v.space.len()).sum::<u128>()

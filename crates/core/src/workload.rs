@@ -1,6 +1,7 @@
 //! A workload: parsed OCTOPI statements plus concrete extents, with
 //! host↔device data-movement analysis.
 
+use crate::error::BarracudaError;
 use octopi::{parse_program, Contraction, ParseError};
 use tensor::{IndexMap, Tensor};
 
@@ -16,14 +17,23 @@ pub struct Workload {
 impl Workload {
     /// Parses DSL source. `dims` provides (or overrides) extents for any
     /// index not declared in a `dims { ... }` block of the source.
-    pub fn parse(name: impl Into<String>, src: &str, dims: &IndexMap) -> Result<Workload, String> {
-        let prog = parse_program(src).map_err(|e: ParseError| e.to_string())?;
+    pub fn parse(
+        name: impl Into<String>,
+        src: &str,
+        dims: &IndexMap,
+    ) -> Result<Workload, BarracudaError> {
+        let name = name.into();
+        let prog = parse_program(src).map_err(|e: ParseError| BarracudaError::Parse {
+            workload: name.clone(),
+            offset: e.offset,
+            message: e.message,
+        })?;
         let mut merged = prog.dims.clone();
         for (k, v) in dims {
             merged.insert(k.clone(), *v);
         }
         let w = Workload {
-            name: name.into(),
+            name,
             dims: merged,
             statements: prog.statements,
         };
@@ -36,7 +46,7 @@ impl Workload {
         name: impl Into<String>,
         statements: Vec<Contraction>,
         dims: IndexMap,
-    ) -> Result<Workload, String> {
+    ) -> Result<Workload, BarracudaError> {
         let w = Workload {
             name: name.into(),
             dims,
@@ -46,12 +56,21 @@ impl Workload {
         Ok(w)
     }
 
-    fn validate(&self) -> Result<(), String> {
+    fn validate(&self) -> Result<(), BarracudaError> {
         if self.statements.is_empty() {
-            return Err(format!("workload {} has no statements", self.name));
+            return Err(BarracudaError::Validation {
+                workload: self.name.clone(),
+                statement: None,
+                detail: "workload has no statements".to_string(),
+            });
         }
-        for st in &self.statements {
-            st.validate(&self.dims)?;
+        for (i, st) in self.statements.iter().enumerate() {
+            st.validate(&self.dims)
+                .map_err(|detail| BarracudaError::Validation {
+                    workload: self.name.clone(),
+                    statement: Some(i),
+                    detail,
+                })?;
         }
         Ok(())
     }
@@ -125,41 +144,49 @@ impl Workload {
     }
 
     /// Deterministic random input tensors for every external input, keyed by
-    /// name, suitable for executor validation.
+    /// name, suitable for executor validation. External inputs are by
+    /// construction referenced by some statement, so every one gets a
+    /// tensor.
     pub fn random_inputs(&self, seed: u64) -> Vec<(String, Tensor)> {
         self.external_inputs()
             .iter()
             .enumerate()
-            .map(|(k, name)| {
+            .filter_map(|(k, name)| {
                 // Find a reference to recover the shape (declaration order).
                 let r = self
                     .statements
                     .iter()
                     .flat_map(|st| std::iter::once(&st.output).chain(st.terms.iter()))
-                    .find(|r| &r.name == name)
-                    .expect("external input referenced somewhere");
+                    .find(|r| &r.name == name)?;
                 let shape = tensor::Shape::new(
                     r.indices.iter().map(|ix| self.dims[ix]).collect::<Vec<_>>(),
                 );
-                (name.clone(), Tensor::random(shape, seed + k as u64))
+                Some((name.clone(), Tensor::random(shape, seed + k as u64)))
             })
             .collect()
     }
 
     /// Reference (oracle) evaluation of the whole workload. Returns the
-    /// final values of every external output, by name.
-    pub fn evaluate_reference(&self, inputs: &[(String, Tensor)]) -> Vec<(String, Tensor)> {
+    /// final values of every external output, by name; fails when `inputs`
+    /// is missing a tensor some statement consumes.
+    pub fn evaluate_reference(
+        &self,
+        inputs: &[(String, Tensor)],
+    ) -> Result<Vec<(String, Tensor)>, BarracudaError> {
         let mut env: std::collections::BTreeMap<String, Tensor> = inputs.iter().cloned().collect();
-        for st in &self.statements {
+        for (i, st) in self.statements.iter().enumerate() {
             let spec = st.to_einsum(&self.dims);
             let operands: Vec<&Tensor> = st
                 .terms
                 .iter()
                 .map(|t| {
-                    env.get(&t.name)
-                        .unwrap_or_else(|| panic!("missing {}", t.name))
+                    env.get(&t.name).ok_or_else(|| BarracudaError::Validation {
+                        workload: self.name.clone(),
+                        statement: Some(i),
+                        detail: format!("missing input tensor {}", t.name),
+                    })
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             let mut fresh = spec.evaluate(&operands);
             if st.coefficient != 1.0 {
                 for v in fresh.data_mut() {
@@ -185,8 +212,14 @@ impl Workload {
         self.external_outputs()
             .into_iter()
             .map(|name| {
-                let t = env.remove(&name).expect("output computed");
-                (name, t)
+                let t = env
+                    .remove(&name)
+                    .ok_or_else(|| BarracudaError::Validation {
+                        workload: self.name.clone(),
+                        statement: None,
+                        detail: format!("external output {name} was never computed"),
+                    })?;
+                Ok((name, t))
             })
             .collect()
     }
@@ -254,7 +287,7 @@ ut[e i j k] = Sum([l], D[k l] * u[e i j l])";
         let dims = uniform_dims(&["i", "j"], 4);
         let w = Workload::parse("twice", src, &dims).unwrap();
         let inputs = w.random_inputs(5);
-        let out = w.evaluate_reference(&inputs);
+        let out = w.evaluate_reference(&inputs).unwrap();
         assert_eq!(out.len(), 1);
         // Must equal 2 * (A x) + initial y.
         let once = w.statements[0]
@@ -272,12 +305,50 @@ ut[e i j k] = Sum([l], D[k l] * u[e i j l])";
 
     #[test]
     fn parse_error_surfaces() {
-        assert!(Workload::parse("bad", "C[i] =", &IndexMap::new()).is_err());
+        let err = Workload::parse("bad", "C[i] =", &IndexMap::new()).unwrap_err();
+        assert!(matches!(err, BarracudaError::Parse { .. }), "{err}");
+        assert_eq!(err.workload(), "bad");
     }
 
     #[test]
-    fn missing_extent_caught() {
-        assert!(Workload::parse("bad", "C[i] = A[i]", &IndexMap::new()).is_err());
+    fn missing_extent_is_typed_validation_naming_the_statement() {
+        let err = Workload::parse("bad", "C[i] = A[i]", &IndexMap::new()).unwrap_err();
+        match &err {
+            BarracudaError::Validation {
+                workload,
+                statement,
+                detail,
+            } => {
+                assert_eq!(workload, "bad");
+                assert_eq!(*statement, Some(0));
+                assert!(detail.contains("no extent"), "{detail}");
+                assert!(detail.contains('i'), "names the index: {detail}");
+            }
+            other => panic!("expected Validation, got {other:?}"),
+        }
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn evaluate_reference_missing_input_is_typed() {
+        let w = Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], 4),
+        )
+        .unwrap();
+        let mut inputs = w.random_inputs(1);
+        inputs.retain(|(n, _)| n != "B");
+        let err = w.evaluate_reference(&inputs).unwrap_err();
+        match err {
+            BarracudaError::Validation {
+                statement, detail, ..
+            } => {
+                assert_eq!(statement, Some(0));
+                assert!(detail.contains("missing input tensor B"), "{detail}");
+            }
+            other => panic!("expected Validation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -73,28 +73,136 @@ fn tune_emits_cuda() {
 }
 
 #[test]
-fn unknown_arch_fails_cleanly() {
+fn unknown_arch_exits_2_usage() {
     let out = bin()
         .args(["tune", "builtin:eqn1", "--arch", "h100"])
         .output()
         .unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown architecture"));
 }
 
 #[test]
-fn missing_file_fails_cleanly() {
+fn unknown_option_exits_2_usage() {
+    let out = bin()
+        .args(["tune", "builtin:eqn1", "--frobnicate"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_file_exits_1() {
     let out = bin()
         .args(["tune", "/nonexistent/path.dsl"])
         .output()
         .unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
 }
 
 #[test]
-fn no_arguments_prints_usage() {
+fn no_arguments_exits_2_with_usage() {
     let out = bin().output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn syntax_error_exits_3_parse() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("barracuda_cli_parse_error.dsl");
+    std::fs::write(&path, "W[a c] = Sum([b], X[a b] *").unwrap();
+    let out = bin()
+        .args(["info", path.to_str().unwrap(), "--dims", "8"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error[parse]"));
+}
+
+#[test]
+fn missing_extent_exits_4_validation() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("barracuda_cli_missing_extent.dsl");
+    std::fs::write(&path, "W[a c] = Sum([b], X[a b] * Y[b c])").unwrap();
+    // Only 'a' gets an extent; 'b' and 'c' are undeclared.
+    let out = bin()
+        .args(["info", path.to_str().unwrap(), "--dim", "a=8"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error[validation]"), "stderr: {err}");
+    assert!(err.contains("statement"), "stderr: {err}");
+}
+
+#[test]
+fn saturated_fault_injection_exits_8_search() {
+    let out = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "20",
+            "--inject-faults",
+            "1.0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(8));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error[search]"), "stderr: {err}");
+}
+
+#[test]
+fn degraded_run_exits_0_without_strict_and_9_with() {
+    let args = [
+        "tune",
+        "builtin:eqn1",
+        "--quick",
+        "--evals",
+        "20",
+        "--deadline",
+        "0",
+    ];
+    let lenient = bin().args(args).output().unwrap();
+    assert_eq!(
+        lenient.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&lenient.stderr)
+    );
+    assert!(String::from_utf8_lossy(&lenient.stdout).contains("status: degraded"));
+
+    let strict = bin().args(args).arg("--strict").output().unwrap();
+    assert_eq!(strict.status.code(), Some(9));
+    assert!(String::from_utf8_lossy(&strict.stderr).contains("degraded under --strict"));
+}
+
+#[test]
+fn injected_faults_are_reported_in_quarantine() {
+    let out = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "30",
+            "--inject-faults",
+            "0.2",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("quarantine:"), "stdout: {text}");
+    assert!(text.contains("injected"), "stdout: {text}");
 }

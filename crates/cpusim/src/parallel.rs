@@ -130,7 +130,7 @@ pub fn execute_op_parallel(
                 });
             }
         })
-        .expect("worker thread panicked");
+        .unwrap_or_else(|_| panic!("worker thread panicked"));
     }
     buffers[op.output] = out;
 }

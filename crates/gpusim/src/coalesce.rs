@@ -218,7 +218,7 @@ mod tests {
             unroll: 1,
             staged: vec![],
         };
-        map_kernel(p, 0, &cfg, false)
+        map_kernel(p, 0, &cfg, false).unwrap()
     }
 
     #[test]
@@ -291,7 +291,7 @@ mod tests {
         let space = ProgramSpace::build(&p);
         let arch = gtx980();
         for cfg in space.per_op[0].configs.iter().take(8) {
-            let k = map_kernel(&p, 0, cfg, false);
+            let k = map_kernel(&p, 0, cfg, false).unwrap();
             let t = kernel_traffic(&k, &arch);
             assert!(t.l2_transactions > 0.0);
             assert!(t.l2_bytes >= t.l2_transactions * 32.0);

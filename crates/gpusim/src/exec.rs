@@ -198,7 +198,7 @@ mod tests {
         let expect = p.evaluate(&[&a, &b]);
         for (ci, _) in space.per_op[0].configs.iter().enumerate() {
             let cfg = tcr::space::Configuration { choice: vec![ci] };
-            let kernels = map_program(&p, &space, &cfg, false);
+            let kernels = map_program(&p, &space, &cfg, false).unwrap();
             let got = execute_program(&p, &kernels, &[&a, &b]);
             assert!(
                 expect.approx_eq(&got, 1e-10),
@@ -226,7 +226,7 @@ mod tests {
             for frac in [0u128, 1, 2, 5] {
                 let id = total * frac / 7;
                 let cfg = space.config(id);
-                let kernels = map_program(&p, &space, &cfg, false);
+                let kernels = map_program(&p, &space, &cfg, false).unwrap();
                 let got = execute_program(&p, &kernels, &[&a, &b, &cc, &u]);
                 assert!(
                     expect.approx_eq(&got, 1e-10),
@@ -255,7 +255,7 @@ mod tests {
         let p = tcr::TcrProgram::from_factorization("mm", &c, &fs[0], &dims);
         let space = ProgramSpace::build(&p);
         let cfg = space.config(0);
-        let kernels = map_program(&p, &space, &cfg, true);
+        let kernels = map_program(&p, &space, &cfg, true).unwrap();
         let a = Tensor::random(Shape::new([n, n]), 7);
         let b = Tensor::random(Shape::new([n, n]), 8);
 
@@ -301,7 +301,7 @@ mod tests {
         let fs = enumerate_factorizations(&c, &dims);
         let p = tcr::TcrProgram::from_factorization("mm", &c, &fs[0], &dims);
         let space = ProgramSpace::build(&p);
-        let kernels = map_program(&p, &space, &space.config(0), false);
+        let kernels = map_program(&p, &space, &space.config(0), false).unwrap();
         let a = Tensor::random(Shape::new([n, n]), 7);
         let _ = execute_program(&p, &kernels, &[&a]);
     }

@@ -351,7 +351,7 @@ mod tests {
         let total = space.len();
         for frac in 0..64u128 {
             let cfg = space.config(total * frac / 64);
-            let kernels = tcr::mapping::map_program(&p, &space, &cfg, false);
+            let kernels = tcr::mapping::map_program(&p, &space, &cfg, false).unwrap();
             best_unfused =
                 best_unfused.min(crate::timing::time_program(&p, &kernels, &arch, false).gpu_s);
         }

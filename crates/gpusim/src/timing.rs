@@ -119,6 +119,49 @@ fn instr_per_thread(kernel: &MappedKernel) -> f64 {
     fma + 1.5 * (loads + stores) + overhead + 8.0
 }
 
+/// Checks that a mapped kernel is launchable on `arch` before the model is
+/// asked to time it: nonzero launch geometry, block within the CUDA thread
+/// limit, staged shared memory within the SM's budget. The pipeline runs
+/// this as its simulation-stage guard so an unlaunchable kernel becomes a
+/// quarantined configuration instead of a nonsense time.
+pub fn validate_kernel(kernel: &MappedKernel, arch: &GpuArch) -> Result<(), String> {
+    let threads = kernel.threads_per_block();
+    if threads == 0 || kernel.num_blocks() == 0 {
+        return Err(format!(
+            "kernel {} has an empty launch geometry ({} blocks × {} threads)",
+            kernel.name,
+            kernel.num_blocks(),
+            threads
+        ));
+    }
+    if threads > 1024 {
+        return Err(format!(
+            "kernel {} block of {} threads exceeds the 1024-thread CUDA limit",
+            kernel.name, threads
+        ));
+    }
+    if threads > arch.max_threads_per_sm as usize {
+        return Err(format!(
+            "kernel {} block of {} threads exceeds {} threads/SM on {}",
+            kernel.name, threads, arch.max_threads_per_sm, arch.name
+        ));
+    }
+    let smem = kernel.smem_bytes_per_block();
+    if smem > arch.smem_per_sm as usize {
+        return Err(format!(
+            "kernel {} stages {} B of shared memory per block, over the {} B/SM budget on {}",
+            kernel.name, smem, arch.smem_per_sm, arch.name
+        ));
+    }
+    if let Some(l) = kernel.interior.iter().find(|l| l.extent == 0) {
+        return Err(format!(
+            "kernel {} interior loop {} has zero extent",
+            kernel.name, l.var
+        ));
+    }
+    Ok(())
+}
+
 /// Times one kernel on `arch`.
 pub fn time_kernel(kernel: &MappedKernel, arch: &GpuArch) -> KernelTiming {
     let occ = occupancy(kernel, arch);
@@ -256,7 +299,7 @@ mod tests {
             unroll,
             staged: vec![],
         };
-        map_kernel(p, 0, &cfg, false)
+        map_kernel(p, 0, &cfg, false).unwrap()
     }
 
     #[test]
@@ -308,7 +351,7 @@ mod tests {
     fn program_time_accumulates_and_transfers() {
         let p = matmul_program(32);
         let space = ProgramSpace::build(&p);
-        let kernels = map_program(&p, &space, &Configuration { choice: vec![0] }, false);
+        let kernels = map_program(&p, &space, &Configuration { choice: vec![0] }, false).unwrap();
         let arch = gtx980();
         let with = time_program(&p, &kernels, &arch, true);
         let without = time_program(&p, &kernels, &arch, false);
@@ -368,8 +411,8 @@ mod tests {
         let mut staged = base.clone();
         staged.staged = vec![0];
         let arch = gtx980();
-        let t0 = time_kernel(&map_kernel(&p, 0, &base, false), &arch);
-        let t1 = time_kernel(&map_kernel(&p, 0, &staged, false), &arch);
+        let t0 = time_kernel(&map_kernel(&p, 0, &base, false).unwrap(), &arch);
+        let t1 = time_kernel(&map_kernel(&p, 0, &staged, false).unwrap(), &arch);
         // The win is latency: shared-memory reads replace L2 round trips in
         // the per-point critical path. (Traffic for a broadcast-friendly
         // reference is already cheap, so L2 bytes barely move.)
@@ -396,9 +439,9 @@ mod tests {
             staged: vec![],
         };
         let arch = c2050();
-        let k0 = map_kernel(&p, 0, &cfg, false);
+        let k0 = map_kernel(&p, 0, &cfg, false).unwrap();
         cfg.staged = vec![0, 1];
-        let k1 = map_kernel(&p, 0, &cfg, false);
+        let k1 = map_kernel(&p, 0, &cfg, false).unwrap();
         assert!(k1.smem_bytes_per_block() > 0);
         let o0 = occupancy(&k0, &arch);
         let o1 = occupancy(&k1, &arch);
@@ -410,7 +453,8 @@ mod tests {
         let p = matmul_program(128);
         for arch in all_architectures() {
             let space = ProgramSpace::build(&p);
-            let kernels = map_program(&p, &space, &Configuration { choice: vec![0] }, false);
+            let kernels =
+                map_program(&p, &space, &Configuration { choice: vec![0] }, false).unwrap();
             let t = time_program(&p, &kernels, &arch, false);
             assert!(
                 t.gflops_device() <= arch.peak_dp_gflops(),

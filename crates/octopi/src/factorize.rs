@@ -154,7 +154,10 @@ impl<'a> Enumerator<'a> {
             return;
         }
         if terms.len() == 1 {
-            self.finish(terms.into_iter().next().unwrap(), steps);
+            let Some(last) = terms.into_iter().next() else {
+                return;
+            };
+            self.finish(last, steps);
             return;
         }
         // Depth-first over every unordered pair (Algorithm 1 lines 10–14).
@@ -372,7 +375,9 @@ impl Factorization {
                 .collect();
             temps.push(spec.evaluate(&operand_tensors));
         }
-        let mut out = temps.pop().expect("factorization has no steps");
+        let mut out = temps
+            .pop()
+            .unwrap_or_else(|| panic!("factorization has no steps"));
         if contraction.coefficient != 1.0 {
             for v in out.data_mut() {
                 *v *= contraction.coefficient;

@@ -187,6 +187,8 @@ impl<'a> Lexer<'a> {
 struct Parser {
     toks: Vec<(usize, Tok)>,
     pos: usize,
+    /// Source length in bytes: the offset reported for errors at EOF.
+    end: usize,
 }
 
 impl Parser {
@@ -195,10 +197,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .map(|(o, _)| *o)
-            .unwrap_or(usize::MAX)
+        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.end)
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -381,7 +380,12 @@ impl Parser {
 /// Parses a full OCTOPI program.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let toks = Lexer::new(src).tokens()?;
-    Parser { toks, pos: 0 }.program()
+    Parser {
+        toks,
+        pos: 0,
+        end: src.len(),
+    }
+    .program()
 }
 
 #[cfg(test)]

@@ -1,0 +1,105 @@
+//! Parser robustness properties: `parse_program` must be total — any input,
+//! however hostile, yields `Ok` or a located `ParseError`, never a panic.
+
+use octopi::{parse_program, ParseError};
+use proptest::prelude::*;
+
+/// Characters the generator draws from: everything the DSL uses, plus junk
+/// that exercises the lexer's reject paths (unbalanced brackets, stray
+/// operators, unicode).
+const CHARSET: &[char] = &[
+    'A', 'B', 'C', 'X', 'Y', 'a', 'b', 'c', 'i', 'j', 'k', 'S', 'u', 'm', '0', '1', '9', '[', ']',
+    '(', ')', '=', '*', '+', '-', ',', ' ', '\n', '\t', '_', '.', ';', '%', 'é', '∑',
+];
+
+fn soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..CHARSET.len(), 0..80)
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARSET[i]).collect())
+}
+
+/// A small pool of valid programs to truncate and mutate.
+const VALID: &[&str] = &[
+    "W[a c] = Sum([b], X[a b] * Y[b c])",
+    "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
+    "T[i] = Sum([j], A[i j] * x[j])\nS[i] += Sum([k], B[i k] * y[k])",
+    "R[a] = Sum([b], P[a b] * Q[b a])",
+];
+
+/// Errors must locate themselves inside (or at the end of) the input and
+/// carry a non-empty message.
+fn check_error_is_located(src: &str, e: &ParseError) {
+    assert!(
+        e.offset <= src.len(),
+        "offset {} beyond input length {}",
+        e.offset,
+        src.len()
+    );
+    assert!(!e.message.is_empty(), "empty parse error message");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary character soup never panics the parser.
+    #[test]
+    fn arbitrary_input_never_panics(src in soup()) {
+        if let Err(e) = parse_program(&src) {
+            check_error_is_located(&src, &e);
+        }
+    }
+
+    /// Every prefix of a valid program parses or fails cleanly — the
+    /// parser never reads past a truncation point.
+    #[test]
+    fn truncated_programs_never_panic(which in 0usize..4, cut in 0usize..120) {
+        let full = VALID[which];
+        let cut = cut.min(full.len());
+        // Snap to a char boundary (the pool is ASCII, but keep it robust).
+        let mut cut = cut;
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let src = &full[..cut];
+        if let Err(e) = parse_program(src) {
+            check_error_is_located(src, &e);
+        }
+    }
+
+    /// Single-character corruption of a valid program parses or fails
+    /// cleanly, never panics.
+    #[test]
+    fn mutated_programs_never_panic(
+        which in 0usize..4,
+        pos in 0usize..120,
+        sub in 0usize..CHARSET.len(),
+    ) {
+        let full = VALID[which];
+        let pos = pos % full.len();
+        let Some((start, c)) = full.char_indices().nth(pos.min(full.chars().count() - 1)) else {
+            return Ok(());
+        };
+        let mut src = String::with_capacity(full.len() + 4);
+        src.push_str(&full[..start]);
+        src.push(CHARSET[sub]);
+        src.push_str(&full[start + c.len_utf8()..]);
+        if let Err(e) = parse_program(&src) {
+            check_error_is_located(&src, &e);
+        }
+    }
+
+    /// Valid programs keep parsing (the generator pool really is valid),
+    /// and re-parsing the pretty-printed form gives the same AST.
+    #[test]
+    fn valid_pool_round_trips(which in 0usize..4) {
+        let prog = parse_program(VALID[which]).unwrap();
+        prop_assert!(!prog.statements.is_empty());
+        let printed = prog
+            .statements
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(&reparsed.statements, &prog.statements);
+    }
+}

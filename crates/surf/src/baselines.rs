@@ -28,15 +28,17 @@ pub fn random_search(
         let j = rng.gen_range(0..=i);
         ids.swap(i, j);
     }
-    ids.truncate(n.min(pool.len()));
-    let mut best: Option<(u128, f64)> = None;
-    for &id in &ids {
+    ids.truncate(n.clamp(1, pool.len()));
+    let mut best_id = ids[0];
+    let mut best_y = evaluate(best_id);
+    for &id in &ids[1..] {
         let y = evaluate(id);
-        if best.map(|(_, by)| y < by).unwrap_or(true) {
-            best = Some((id, y));
+        // NaN-safe: a non-finite incumbent yields to any finite candidate.
+        if y.total_cmp(&best_y).is_lt() || (!best_y.is_finite() && y.is_finite()) {
+            best_id = id;
+            best_y = y;
         }
     }
-    let (best_id, best_y) = best.unwrap();
     BaselineResult {
         best_id,
         best_y,
@@ -47,14 +49,16 @@ pub fn random_search(
 /// Evaluates every configuration (only for spaces small enough to afford).
 pub fn exhaustive_search(pool: &[u128], mut evaluate: impl FnMut(u128) -> f64) -> BaselineResult {
     assert!(!pool.is_empty(), "empty configuration pool");
-    let mut best: Option<(u128, f64)> = None;
-    for &id in pool {
+    let mut best_id = pool[0];
+    let mut best_y = evaluate(best_id);
+    for &id in &pool[1..] {
         let y = evaluate(id);
-        if best.map(|(_, by)| y < by).unwrap_or(true) {
-            best = Some((id, y));
+        // NaN-safe: a non-finite incumbent yields to any finite candidate.
+        if y.total_cmp(&best_y).is_lt() || (!best_y.is_finite() && y.is_finite()) {
+            best_id = id;
+            best_y = y;
         }
     }
-    let (best_id, best_y) = best.unwrap();
     BaselineResult {
         best_id,
         best_y,

@@ -14,12 +14,15 @@
 
 pub mod baselines;
 pub mod binarize;
+pub mod fault;
 pub mod forest;
 pub mod search;
 
 pub use baselines::{exhaustive_search, hill_climb, random_search, simulated_annealing};
 pub use binarize::{Feature, FeatureSpace};
+pub use fault::{FaultPlan, FaultyEvaluator, InjectedFault};
 pub use forest::{ExtraTrees, ForestParams};
 pub use search::{
-    surf_search, surf_search_parallel, ParallelEvaluator, SurfParams, SurfResult, UnpromisingStop,
+    surf_search, surf_search_parallel, surf_search_serial, EvalFault, ParallelEvaluator,
+    SearchError, SearchStatus, SurfParams, SurfResult, UnpromisingStop,
 };

@@ -4,18 +4,99 @@
 //! provides the feature encoding and the (expensive, possibly parallel)
 //! evaluation. Lower evaluation values are better (execution time).
 //!
-//! Two entry points share one driver: [`surf_search`] takes `FnMut`
-//! closures and evaluates serially; [`surf_search_parallel`] takes a
-//! [`ParallelEvaluator`] and fans each batch (and the surrogate's pool
-//! scoring) out over the rayon pool. Both produce *bit-identical* results
-//! for pure evaluators: batch membership is decided before evaluation,
-//! results are folded in batch order, and parallel maps preserve index
-//! order, so no reduction depends on thread scheduling.
+//! Three entry points share one driver: [`surf_search`] takes `FnMut`
+//! closures and evaluates serially; [`surf_search_serial`] and
+//! [`surf_search_parallel`] take a [`ParallelEvaluator`] and run it on the
+//! calling thread or fan each batch (and the surrogate's pool scoring) out
+//! over the rayon pool. All produce *bit-identical* results for pure
+//! evaluators: batch membership is decided before evaluation, results are
+//! folded in batch order, and parallel maps preserve index order, so no
+//! reduction depends on thread scheduling.
+//!
+//! ## Fault tolerance
+//!
+//! An evaluation may fail ([`ParallelEvaluator::try_evaluate`] returns an
+//! [`EvalFault`]) or come back non-finite. Either way the configuration is
+//! *quarantined* — recorded in [`SurfResult::quarantined`] with its reason
+//! and excluded from the surrogate's training set and from the incumbent —
+//! and the search continues over survivors. Quarantined configurations
+//! still consume evaluation budget (they cost a simulator/benchmark run),
+//! and they are never retried: the pool is sampled without replacement.
+//! When every attempted configuration is quarantined the search returns
+//! [`SearchError::NoSurvivors`] rather than a bogus best.
 
 use crate::forest::{ExtraTrees, ForestParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use std::time::Instant;
+
+/// A typed evaluation failure surfaced by [`ParallelEvaluator::try_evaluate`].
+///
+/// `stage` is a short machine-readable tag naming the pipeline stage that
+/// failed (`"mapping"`, `"simulation"`, `"injected"`, …); `detail` is the
+/// human-readable reason recorded in the quarantine report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalFault {
+    pub stage: &'static str,
+    pub detail: String,
+}
+
+impl EvalFault {
+    pub fn new(stage: &'static str, detail: impl Into<String>) -> Self {
+        EvalFault {
+            stage,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for EvalFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.detail)
+    }
+}
+
+/// Why a search could not produce any result at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchError {
+    /// The configuration pool was empty before the search began.
+    EmptyPool,
+    /// Every attempted configuration was quarantined; there is no finite
+    /// best-so-far to return.
+    NoSurvivors { attempted: usize },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::EmptyPool => write!(f, "empty configuration pool"),
+            SearchError::NoSurvivors { attempted } => write!(
+                f,
+                "all {attempted} attempted configurations were quarantined; no survivor to rank"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Whether the search ran to its stopping rule or was cut short.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchStatus {
+    /// The search ran until a configured stopping rule (budget, patience,
+    /// model confidence, pool exhaustion) was satisfied.
+    Complete,
+    /// The search stopped early — deadline expired or too many
+    /// quarantines — and returned the best survivor found so far.
+    Degraded { reason: String },
+}
+
+impl SearchStatus {
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, SearchStatus::Degraded { .. })
+    }
+}
 
 /// Model-confidence stopping rule: stop once the surrogate predicts that
 /// fewer than `epsilon` of the remaining configurations lie within
@@ -53,7 +134,7 @@ pub struct SurfParams {
     pub init_evals: usize,
     /// Concurrent evaluations per iteration (`bs` in Algorithm 2).
     pub batch_size: usize,
-    /// Evaluation budget (`nmax`).
+    /// Evaluation budget (`nmax`). Quarantined attempts count against it.
     pub max_evals: usize,
     /// Stop early after this many consecutive batches without improving the
     /// incumbent by at least `min_improvement` (relative). `None` disables
@@ -64,6 +145,15 @@ pub struct SurfParams {
     pub min_improvement: f64,
     /// Optional model-confidence stop (see [`UnpromisingStop`]).
     pub unpromising_stop: Option<UnpromisingStop>,
+    /// Wall-clock deadline in seconds, checked at batch boundaries; on
+    /// expiry the search stops with a `Degraded` status and the best
+    /// survivor so far. `None` disables the deadline (and keeps results
+    /// independent of machine speed).
+    pub wall_deadline_s: Option<f64>,
+    /// Stop (Degraded) when the fraction of attempted configurations that
+    /// survived quarantine falls below this after any batch. `0.0`
+    /// disables the check.
+    pub min_survivor_fraction: f64,
     pub seed: u64,
     pub forest: ForestParams,
 }
@@ -77,6 +167,8 @@ impl Default for SurfParams {
             patience: None,
             min_improvement: 0.01,
             unpromising_stop: None,
+            wall_deadline_s: None,
+            min_survivor_fraction: 0.0,
             seed: 0x5EED,
             forest: ForestParams::default(),
         }
@@ -88,8 +180,14 @@ impl Default for SurfParams {
 pub struct SurfResult {
     pub best_id: u128,
     pub best_y: f64,
-    /// Every evaluated `(id, y)` pair in evaluation order.
+    /// Every surviving `(id, y)` pair in evaluation order.
     pub evaluated: Vec<(u128, f64)>,
+    /// Every quarantined `(id, reason)` pair in evaluation order. Ids here
+    /// are disjoint from `evaluated` and never retried.
+    pub quarantined: Vec<(u128, String)>,
+    /// Whether the search completed or degraded (deadline, quarantine
+    /// threshold).
+    pub status: SearchStatus,
     /// Batches executed (model refits).
     pub batches: usize,
     /// Threads the evaluation backend used (1 for the serial entry point).
@@ -99,14 +197,20 @@ pub struct SurfResult {
 }
 
 impl SurfResult {
+    /// Surviving evaluations (excludes quarantined attempts).
     pub fn n_evals(&self) -> usize {
         self.evaluated.len()
+    }
+
+    /// Total attempts: survivors plus quarantined.
+    pub fn n_attempted(&self) -> usize {
+        self.evaluated.len() + self.quarantined.len()
     }
 }
 
 /// A thread-safe configuration evaluator, the unit of work
 /// [`surf_search_parallel`] fans out over the rayon pool. Implementations
-/// must be *pure* per id (same id ⇒ same features and value regardless of
+/// must be *pure* per id (same id ⇒ same features and outcome regardless of
 /// call order) for parallel runs to stay bit-identical to serial ones; a
 /// shared memo cache behind interior mutability satisfies this.
 pub trait ParallelEvaluator: Sync {
@@ -114,14 +218,37 @@ pub trait ParallelEvaluator: Sync {
     fn features(&self, id: u128) -> Vec<f64>;
     /// Measured performance of a configuration (lower = better).
     fn evaluate(&self, id: u128) -> f64;
+    /// Fallible evaluation. The default wraps [`evaluate`], so existing
+    /// infallible evaluators keep working; evaluators whose pipeline can
+    /// fail per configuration (mapping, simulation, injection) override
+    /// this to surface a typed [`EvalFault`] instead of a panic or NaN.
+    ///
+    /// [`evaluate`]: ParallelEvaluator::evaluate
+    fn try_evaluate(&self, id: u128) -> Result<f64, EvalFault> {
+        Ok(self.evaluate(id))
+    }
+}
+
+/// Blanket impl so wrappers can borrow evaluators.
+impl<E: ParallelEvaluator + ?Sized> ParallelEvaluator for &E {
+    fn features(&self, id: u128) -> Vec<f64> {
+        (**self).features(id)
+    }
+    fn evaluate(&self, id: u128) -> f64 {
+        (**self).evaluate(id)
+    }
+    fn try_evaluate(&self, id: u128) -> Result<f64, EvalFault> {
+        (**self).try_evaluate(id)
+    }
 }
 
 /// Evaluation backend the shared driver is generic over: given a batch of
-/// ids decided by the search, produce `(features, y)` per id *in batch
-/// order*; given the fitted surrogate, score the remaining pool in index
-/// order.
+/// ids decided by the search, produce `(features, outcome)` per id *in
+/// batch order*; given the fitted surrogate, score the remaining pool in
+/// index order. Features of faulted configurations are not needed and may
+/// be empty.
 trait Backend {
-    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, f64)>;
+    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, Result<f64, EvalFault>)>;
     fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64>;
     fn threads(&self) -> usize;
 }
@@ -132,13 +259,13 @@ struct SerialBackend<F, E> {
 }
 
 impl<F: FnMut(u128) -> Vec<f64>, E: FnMut(u128) -> f64> Backend for SerialBackend<F, E> {
-    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, f64)> {
+    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, Result<f64, EvalFault>)> {
         ids.iter()
             .map(|&id| {
                 // Evaluation before featurization, matching the historical
                 // call order observed by stateful closures.
                 let y = (self.evaluate)(id);
-                ((self.features)(id), y)
+                ((self.features)(id), Ok(y))
             })
             .collect()
     }
@@ -155,17 +282,46 @@ impl<F: FnMut(u128) -> Vec<f64>, E: FnMut(u128) -> f64> Backend for SerialBacken
     }
 }
 
+/// Serial backend over a [`ParallelEvaluator`]: same call order as the
+/// parallel backend, on the calling thread. Used for `threads == 1` so
+/// fault outcomes (not just values) match the parallel path bit-for-bit.
+struct SerialEvalBackend<'a, E: ParallelEvaluator> {
+    evaluator: &'a E,
+}
+
+impl<E: ParallelEvaluator> Backend for SerialEvalBackend<'_, E> {
+    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, Result<f64, EvalFault>)> {
+        ids.iter()
+            .map(|&id| match self.evaluator.try_evaluate(id) {
+                Ok(y) => (self.evaluator.features(id), Ok(y)),
+                Err(fault) => (Vec::new(), Err(fault)),
+            })
+            .collect()
+    }
+
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+        remaining
+            .iter()
+            .map(|&id| model.predict(&self.evaluator.features(id)))
+            .collect()
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+}
+
 struct ParallelBackend<'a, E: ParallelEvaluator> {
     evaluator: &'a E,
 }
 
 impl<E: ParallelEvaluator> Backend for ParallelBackend<'_, E> {
-    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, f64)> {
+    fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, Result<f64, EvalFault>)> {
         // Order-preserving indexed map: slot i holds id i's result, so the
         // fold in the driver sees batch order regardless of scheduling.
-        rayon::par_map_slice(ids, |&id| {
-            let y = self.evaluator.evaluate(id);
-            (self.evaluator.features(id), y)
+        rayon::par_map_slice(ids, |&id| match self.evaluator.try_evaluate(id) {
+            Ok(y) => (self.evaluator.features(id), Ok(y)),
+            Err(fault) => (Vec::new(), Err(fault)),
         })
     }
 
@@ -182,13 +338,28 @@ impl<E: ParallelEvaluator> Backend for ParallelBackend<'_, E> {
 ///
 /// * `features(id)` returns the *binarized* feature vector of a config.
 /// * `evaluate(id)` returns its measured performance (lower = better).
+///
+/// Non-finite evaluations are quarantined rather than panicking; see the
+/// module docs.
 pub fn surf_search(
     pool: &[u128],
     features: impl FnMut(u128) -> Vec<f64>,
     evaluate: impl FnMut(u128) -> f64,
     params: SurfParams,
-) -> SurfResult {
+) -> Result<SurfResult, SearchError> {
     drive(pool, &mut SerialBackend { features, evaluate }, params)
+}
+
+/// Runs SURF over `pool` with a [`ParallelEvaluator`] on the calling
+/// thread — identical fault semantics to [`surf_search_parallel`], without
+/// touching the rayon pool. Bit-identical to the parallel entry point for
+/// pure evaluators.
+pub fn surf_search_serial<E: ParallelEvaluator>(
+    pool: &[u128],
+    evaluator: &E,
+    params: SurfParams,
+) -> Result<SurfResult, SearchError> {
+    drive(pool, &mut SerialEvalBackend { evaluator }, params)
 }
 
 /// Runs SURF over `pool`, fanning each batch evaluation and each surrogate
@@ -200,13 +371,19 @@ pub fn surf_search_parallel<E: ParallelEvaluator>(
     pool: &[u128],
     evaluator: &E,
     params: SurfParams,
-) -> SurfResult {
+) -> Result<SurfResult, SearchError> {
     drive(pool, &mut ParallelBackend { evaluator }, params)
 }
 
-fn drive<B: Backend>(pool: &[u128], backend: &mut B, params: SurfParams) -> SurfResult {
-    assert!(!pool.is_empty(), "empty configuration pool");
-    assert!(params.batch_size >= 1);
+fn drive<B: Backend>(
+    pool: &[u128],
+    backend: &mut B,
+    params: SurfParams,
+) -> Result<SurfResult, SearchError> {
+    if pool.is_empty() {
+        return Err(SearchError::EmptyPool);
+    }
+    let batch_size = params.batch_size.max(1);
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -220,21 +397,37 @@ fn drive<B: Backend>(pool: &[u128], backend: &mut B, params: SurfParams) -> Surf
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     let mut evaluated: Vec<(u128, f64)> = Vec::new();
+    let mut quarantined: Vec<(u128, String)> = Vec::new();
     let mut best: Option<(u128, f64)> = None;
+    let mut status = SearchStatus::Complete;
     let mut stale_batches = 0usize;
     let mut batches = 0usize;
 
     // Evaluates one batch (possibly in parallel) and folds the results in
-    // batch order, so the incumbent/trace updates are scheduling-independent.
+    // batch order, so the incumbent/trace/quarantine updates are
+    // scheduling-independent. Faulted or non-finite outcomes go to
+    // quarantine and never reach the surrogate's training set.
     let run_batch = |ids: &[u128],
                      backend: &mut B,
                      xs: &mut Vec<Vec<f64>>,
                      ys: &mut Vec<f64>,
                      evaluated: &mut Vec<(u128, f64)>,
+                     quarantined: &mut Vec<(u128, String)>,
                      best: &mut Option<(u128, f64)>|
      -> bool {
         let mut improved = false;
-        for (&id, (x, y)) in ids.iter().zip(backend.eval_batch(ids)) {
+        for (&id, (x, outcome)) in ids.iter().zip(backend.eval_batch(ids)) {
+            let y = match outcome {
+                Ok(y) if y.is_finite() => y,
+                Ok(y) => {
+                    quarantined.push((id, format!("non-finite simulated time {y}")));
+                    continue;
+                }
+                Err(fault) => {
+                    quarantined.push((id, fault.to_string()));
+                    continue;
+                }
+            };
             xs.push(x);
             ys.push(y);
             evaluated.push((id, y));
@@ -256,51 +449,103 @@ fn drive<B: Backend>(pool: &[u128], backend: &mut B, params: SurfParams) -> Surf
         improved
     };
 
+    // Degradation checks shared by every batch boundary. Returns the reason
+    // when the search should stop early.
+    let degraded = |start: &Instant, n_ok: usize, n_bad: usize| -> Option<String> {
+        if let Some(deadline) = params.wall_deadline_s {
+            if start.elapsed().as_secs_f64() >= deadline {
+                return Some(format!(
+                    "wall deadline {deadline}s expired after {} attempts",
+                    n_ok + n_bad
+                ));
+            }
+        }
+        let attempted = n_ok + n_bad;
+        if params.min_survivor_fraction > 0.0 && attempted > 0 {
+            let frac = n_ok as f64 / attempted as f64;
+            if frac < params.min_survivor_fraction {
+                return Some(format!(
+                    "survivor fraction {frac:.3} below threshold {} ({n_bad}/{attempted} quarantined)",
+                    params.min_survivor_fraction
+                ));
+            }
+        }
+        None
+    };
+
     // Initialization: random configurations (Algorithm 2, lines 1–4).
     let n_init = params
         .init_evals
-        .max(params.batch_size)
+        .max(batch_size)
         .min(params.max_evals)
         .min(remaining.len());
     let init: Vec<u128> = remaining.drain(..n_init).collect();
-    run_batch(&init, backend, &mut xs, &mut ys, &mut evaluated, &mut best);
+    run_batch(
+        &init,
+        backend,
+        &mut xs,
+        &mut ys,
+        &mut evaluated,
+        &mut quarantined,
+        &mut best,
+    );
     batches += 1;
 
     // Iterative phase (lines 5–12).
-    while evaluated.len() < params.max_evals && !remaining.is_empty() {
-        let model = ExtraTrees::fit(&xs, &ys, params.forest);
-        // Predict all remaining configs, take the best-predicted batch.
-        let preds = backend.score(&model, &remaining);
-        let mut scored: Vec<(usize, f64)> = preds.into_iter().enumerate().collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    while evaluated.len() + quarantined.len() < params.max_evals && !remaining.is_empty() {
+        if let Some(reason) = degraded(&start, evaluated.len(), quarantined.len()) {
+            status = SearchStatus::Degraded { reason };
+            break;
+        }
+        let attempted = evaluated.len() + quarantined.len();
+        let take = batch_size
+            .min(params.max_evals - attempted)
+            .min(remaining.len());
 
-        // Model-confidence stop: how much of the pool still looks
-        // competitive with the incumbent?
-        if let (Some(stop), Some((_, by))) = (params.unpromising_stop, best) {
-            if evaluated.len() >= stop.min_evals {
-                let promising = scored
-                    .iter()
-                    .filter(|(_, pred)| *pred <= by * (1.0 + stop.delta))
-                    .count();
-                let frac = promising as f64 / scored.len() as f64;
-                if frac < stop.epsilon {
-                    break;
+        let ids: Vec<u128> = if ys.is_empty() {
+            // Nothing survived yet: the surrogate has no training data, so
+            // keep drawing from the shuffled pool (pure random phase).
+            remaining.drain(..take).collect()
+        } else {
+            let model = ExtraTrees::fit(&xs, &ys, params.forest);
+            // Predict all remaining configs, take the best-predicted batch.
+            let preds = backend.score(&model, &remaining);
+            let mut scored: Vec<(usize, f64)> = preds.into_iter().enumerate().collect();
+            scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+            // Model-confidence stop: how much of the pool still looks
+            // competitive with the incumbent?
+            if let (Some(stop), Some((_, by))) = (params.unpromising_stop, best) {
+                if evaluated.len() >= stop.min_evals {
+                    let promising = scored
+                        .iter()
+                        .filter(|(_, pred)| *pred <= by * (1.0 + stop.delta))
+                        .count();
+                    let frac = promising as f64 / scored.len() as f64;
+                    if frac < stop.epsilon {
+                        break;
+                    }
                 }
             }
-        }
 
-        let take = params
-            .batch_size
-            .min(params.max_evals - evaluated.len())
-            .min(remaining.len());
-        let mut chosen_idx: Vec<usize> = scored[..take].iter().map(|(k, _)| *k).collect();
-        chosen_idx.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
-        let mut ids = Vec::with_capacity(take);
-        for k in chosen_idx {
-            ids.push(remaining.swap_remove(k));
-        }
+            let mut chosen_idx: Vec<usize> = scored[..take].iter().map(|(k, _)| *k).collect();
+            chosen_idx.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
+            let mut ids = Vec::with_capacity(take);
+            for k in chosen_idx {
+                ids.push(remaining.swap_remove(k));
+            }
+            ids
+        };
 
-        let improved = run_batch(&ids, backend, &mut xs, &mut ys, &mut evaluated, &mut best);
+        let improved = run_batch(
+            &ids,
+            backend,
+            &mut xs,
+            &mut ys,
+            &mut evaluated,
+            &mut quarantined,
+            &mut best,
+        );
         batches += 1;
         if improved {
             stale_batches = 0;
@@ -314,14 +559,28 @@ fn drive<B: Backend>(pool: &[u128], backend: &mut B, params: SurfParams) -> Surf
         }
     }
 
-    let (best_id, best_y) = best.expect("at least one configuration evaluated");
-    SurfResult {
-        best_id,
-        best_y,
-        evaluated,
-        batches,
-        threads: backend.threads(),
-        wall_s: start.elapsed().as_secs_f64(),
+    // One final degradation check so a run that exhausted its budget while
+    // below the survivor threshold is still reported as degraded.
+    if status == SearchStatus::Complete {
+        if let Some(reason) = degraded(&start, evaluated.len(), quarantined.len()) {
+            status = SearchStatus::Degraded { reason };
+        }
+    }
+
+    match best {
+        Some((best_id, best_y)) => Ok(SurfResult {
+            best_id,
+            best_y,
+            evaluated,
+            quarantined,
+            status,
+            batches,
+            threads: backend.threads(),
+            wall_s: start.elapsed().as_secs_f64(),
+        }),
+        None => Err(SearchError::NoSurvivors {
+            attempted: quarantined.len(),
+        }),
     }
 }
 
@@ -345,17 +604,19 @@ mod tests {
     #[test]
     fn finds_near_optimum_with_few_evals() {
         let pool: Vec<u128> = (0..10_000).collect();
-        let res = surf_search(&pool, feats, landscape, SurfParams::default());
+        let res = surf_search(&pool, feats, landscape, SurfParams::default()).unwrap();
         assert_eq!(res.n_evals(), 100);
         // Global optimum is 1.0 at (70,30); random-100 expectation is far
         // worse. SURF should land close.
         assert!(res.best_y < 3.0, "best = {}", res.best_y);
+        assert_eq!(res.status, SearchStatus::Complete);
+        assert!(res.quarantined.is_empty());
     }
 
     #[test]
     fn beats_random_search_on_structured_landscape() {
         let pool: Vec<u128> = (0..10_000).collect();
-        let surf = surf_search(&pool, feats, landscape, SurfParams::default());
+        let surf = surf_search(&pool, feats, landscape, SurfParams::default()).unwrap();
         let random = crate::baselines::random_search(&pool, landscape, 100, 0x5EED);
         assert!(
             surf.best_y <= random.best_y,
@@ -368,8 +629,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let pool: Vec<u128> = (0..5_000).collect();
-        let a = surf_search(&pool, feats, landscape, SurfParams::default());
-        let b = surf_search(&pool, feats, landscape, SurfParams::default());
+        let a = surf_search(&pool, feats, landscape, SurfParams::default()).unwrap();
+        let b = surf_search(&pool, feats, landscape, SurfParams::default()).unwrap();
         assert_eq!(a.best_id, b.best_id);
         assert_eq!(a.evaluated, b.evaluated);
     }
@@ -382,7 +643,7 @@ mod tests {
             *count.borrow_mut().entry(id).or_insert(0) += 1;
             landscape(id)
         };
-        let res = surf_search(&pool, feats, eval, SurfParams::default());
+        let res = surf_search(&pool, feats, eval, SurfParams::default()).unwrap();
         assert!(count.borrow().values().all(|&c| c == 1));
         assert_eq!(res.n_evals(), 100);
     }
@@ -390,7 +651,7 @@ mod tests {
     #[test]
     fn exhausts_small_pools() {
         let pool: Vec<u128> = (0..37).collect();
-        let res = surf_search(&pool, feats, landscape, SurfParams::default());
+        let res = surf_search(&pool, feats, landscape, SurfParams::default()).unwrap();
         assert_eq!(res.n_evals(), 37);
         // With the whole pool evaluated the optimum is exact.
         let expect = pool
@@ -409,11 +670,11 @@ mod tests {
             patience: Some(10),
             ..Default::default()
         };
-        let res_flat = surf_search(&pool, feats, flat, params);
+        let res_flat = surf_search(&pool, feats, flat, params).unwrap();
         // Flat: the first evaluation is never improved upon; patience 10
         // means 10 more batches after the first.
         assert!(res_flat.n_evals() <= 110 + params.batch_size);
-        let res_peaked = surf_search(&pool, feats, landscape, params);
+        let res_peaked = surf_search(&pool, feats, landscape, params).unwrap();
         assert!(res_peaked.n_evals() <= 1500);
     }
 
@@ -429,12 +690,15 @@ mod tests {
             }
         }
         let pool: Vec<u128> = (0..5_000).collect();
-        let serial = surf_search(&pool, feats, landscape, SurfParams::default());
-        let parallel = surf_search_parallel(&pool, &Pure, SurfParams::default());
+        let serial = surf_search(&pool, feats, landscape, SurfParams::default()).unwrap();
+        let parallel = surf_search_parallel(&pool, &Pure, SurfParams::default()).unwrap();
         assert_eq!(serial.best_id, parallel.best_id);
         assert_eq!(serial.best_y.to_bits(), parallel.best_y.to_bits());
         assert_eq!(serial.evaluated, parallel.evaluated);
         assert_eq!(serial.batches, parallel.batches);
+        let eval_serial = surf_search_serial(&pool, &Pure, SurfParams::default()).unwrap();
+        assert_eq!(eval_serial.evaluated, parallel.evaluated);
+        assert_eq!(eval_serial.best_id, parallel.best_id);
     }
 
     #[test]
@@ -456,7 +720,7 @@ mod tests {
         let evaluator = Counting {
             calls: (0..500).map(|_| AtomicUsize::new(0)).collect(),
         };
-        let res = surf_search_parallel(&pool, &evaluator, SurfParams::default());
+        let res = surf_search_parallel(&pool, &evaluator, SurfParams::default()).unwrap();
         assert_eq!(res.n_evals(), 100);
         assert!(evaluator
             .calls
@@ -478,7 +742,117 @@ mod tests {
             batch_size: 10,
             ..Default::default()
         };
-        let res = surf_search(&pool, feats, landscape, params);
+        let res = surf_search(&pool, feats, landscape, params).unwrap();
         assert_eq!(res.n_evals(), 23);
+    }
+
+    #[test]
+    fn empty_pool_is_an_error_not_a_panic() {
+        let res = surf_search(&[], feats, landscape, SurfParams::default());
+        assert_eq!(res.unwrap_err(), SearchError::EmptyPool);
+    }
+
+    #[test]
+    fn nan_evaluations_are_quarantined_not_fatal() {
+        let pool: Vec<u128> = (0..400).collect();
+        // Every 5th configuration yields NaN; the optimum (321 → 0.0 shifted
+        // to 1.0) survives.
+        let eval = |id: u128| {
+            if id.is_multiple_of(5) {
+                f64::NAN
+            } else {
+                landscape(id)
+            }
+        };
+        let res = surf_search(&pool, feats, eval, SurfParams::default()).unwrap();
+        assert!(res.best_y.is_finite());
+        assert!(!res.quarantined.is_empty());
+        assert!(res
+            .quarantined
+            .iter()
+            .all(|(id, reason)| id % 5 == 0 && reason.contains("non-finite")));
+        // Quarantined attempts count against the budget.
+        assert_eq!(res.n_attempted(), 100);
+        // No id appears in both lists.
+        let ok: std::collections::HashSet<u128> = res.evaluated.iter().map(|&(id, _)| id).collect();
+        assert!(res.quarantined.iter().all(|(id, _)| !ok.contains(id)));
+    }
+
+    #[test]
+    fn all_faulty_pool_reports_no_survivors() {
+        let pool: Vec<u128> = (0..50).collect();
+        let res = surf_search(&pool, feats, |_| f64::INFINITY, SurfParams::default());
+        assert_eq!(res.unwrap_err(), SearchError::NoSurvivors { attempted: 50 });
+    }
+
+    #[test]
+    fn typed_faults_flow_through_try_evaluate() {
+        struct Flaky;
+        impl ParallelEvaluator for Flaky {
+            fn features(&self, id: u128) -> Vec<f64> {
+                feats(id)
+            }
+            fn evaluate(&self, id: u128) -> f64 {
+                landscape(id)
+            }
+            fn try_evaluate(&self, id: u128) -> Result<f64, EvalFault> {
+                if id.is_multiple_of(7) {
+                    Err(EvalFault::new("injected", format!("boom on {id}")))
+                } else {
+                    Ok(landscape(id))
+                }
+            }
+        }
+        let pool: Vec<u128> = (0..600).collect();
+        let par = surf_search_parallel(&pool, &Flaky, SurfParams::default()).unwrap();
+        let ser = surf_search_serial(&pool, &Flaky, SurfParams::default()).unwrap();
+        assert!(par.quarantined.iter().all(|(id, r)| {
+            id % 7 == 0 && r.contains("injected") && r.contains(&format!("boom on {id}"))
+        }));
+        assert!(!par.quarantined.is_empty());
+        assert_eq!(par.evaluated, ser.evaluated);
+        assert_eq!(par.quarantined, ser.quarantined);
+        assert_eq!(par.best_id, ser.best_id);
+    }
+
+    #[test]
+    fn survivor_fraction_threshold_degrades() {
+        let pool: Vec<u128> = (0..2_000).collect();
+        // Two thirds of the pool is broken: survivor fraction ~1/3 < 0.5.
+        let eval = |id: u128| {
+            if !id.is_multiple_of(3) {
+                f64::NAN
+            } else {
+                landscape(id)
+            }
+        };
+        let params = SurfParams {
+            min_survivor_fraction: 0.5,
+            ..Default::default()
+        };
+        let res = surf_search(&pool, feats, eval, params).unwrap();
+        assert!(res.status.is_degraded(), "status = {:?}", res.status);
+        assert!(res.best_y.is_finite());
+        // Degraded early: far fewer attempts than the full budget would
+        // imply only when the threshold fired before exhaustion; at minimum
+        // the status carries the reason.
+        match &res.status {
+            SearchStatus::Degraded { reason } => assert!(reason.contains("survivor fraction")),
+            SearchStatus::Complete => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_degrades_with_best_so_far() {
+        let pool: Vec<u128> = (0..5_000).collect();
+        let params = SurfParams {
+            wall_deadline_s: Some(0.0),
+            ..Default::default()
+        };
+        let res = surf_search(&pool, feats, landscape, params).unwrap();
+        assert!(res.status.is_degraded());
+        assert!(res.best_y.is_finite());
+        // Only the init batch ran before the deadline check fired.
+        assert_eq!(res.batches, 1);
     }
 }

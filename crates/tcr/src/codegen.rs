@@ -641,7 +641,7 @@ mod tests {
         let p = eqn1_program(10);
         let space = ProgramSpace::build(&p);
         let cfg = &space.per_op[2].configs[0];
-        let k = map_kernel(&p, 2, cfg, false);
+        let k = map_kernel(&p, 2, cfg, false).unwrap();
         let src = cuda_kernel(&k);
         assert!(src.contains("__global__ void ex_GPU_2"));
         assert!(src.contains("threadIdx.x"));
@@ -657,7 +657,7 @@ mod tests {
             .iter()
             .find(|c| c.unroll == 3 && c.interior.len() == 1)
             .expect("an unroll-3 config exists");
-        let k = map_kernel(&p, 0, cfg, false);
+        let k = map_kernel(&p, 0, cfg, false).unwrap();
         let src = cuda_kernel(&k);
         // Main unrolled loop steps by 3 and a remainder loop follows
         // (10 % 3 != 0).
@@ -676,7 +676,7 @@ mod tests {
             .iter()
             .find(|c| c.interior.len() == 1 && c.unroll == 1)
             .unwrap();
-        let k = map_kernel(&p, 0, cfg, false);
+        let k = map_kernel(&p, 0, cfg, false).unwrap();
         assert!(k.output_fully_registered());
         let src = cuda_kernel(&k);
         assert!(src.contains("double nv = 0.0;"));
@@ -692,7 +692,7 @@ mod tests {
             .iter()
             .find(|c| c.interior.len() == 1 && c.unroll == 1)
             .unwrap();
-        let k = map_kernel(&p, 0, cfg, true);
+        let k = map_kernel(&p, 0, cfg, true).unwrap();
         let src = cuda_kernel(&k);
         assert!(src.contains("double nv = C["), "{src}");
     }
@@ -701,7 +701,7 @@ mod tests {
     fn launcher_lists_every_kernel() {
         let p = eqn1_program(10);
         let space = ProgramSpace::build(&p);
-        let kernels = map_program(&p, &space, &space.config(0), false);
+        let kernels = map_program(&p, &space, &space.config(0), false).unwrap();
         let host = cuda_launcher(&kernels);
         assert_eq!(host.matches("<<<").count(), 3);
     }
@@ -720,7 +720,7 @@ mod tests {
     fn cuda_file_is_self_contained() {
         let p = eqn1_program(10);
         let space = ProgramSpace::build(&p);
-        let kernels = map_program(&p, &space, &space.config(0), false);
+        let kernels = map_program(&p, &space, &space.config(0), false).unwrap();
         let src = cuda_file(&p, &kernels);
         assert!(src.contains("#include <cuda_runtime.h>"));
         assert_eq!(src.matches("__global__").count(), 3);
@@ -746,7 +746,7 @@ mod tests {
             .unwrap()
             .clone();
         cfg.staged = vec![0];
-        let k = map_kernel(&p, 0, &cfg, false);
+        let k = map_kernel(&p, 0, &cfg, false).unwrap();
         let src = cuda_kernel(&k);
         assert!(src.contains("__shared__ double s_A["), "{src}");
         assert!(src.contains("__syncthreads();"), "{src}");

@@ -53,7 +53,11 @@ pub fn pairwise_carried(program: &TcrProgram, op: &TcrOp, probe_extent: usize) -
     let out_decl = &program.arrays[op.output].indices;
     let out_pos: Vec<usize> = out_decl
         .iter()
-        .map(|ix| vars.iter().position(|v| v == ix).unwrap())
+        .map(|ix| {
+            vars.iter()
+                .position(|v| v == ix)
+                .unwrap_or_else(|| panic!("output index {} missing from loop order", ix.name()))
+        })
         .collect();
 
     let points: Vec<Vec<usize>> = space.iter().collect();

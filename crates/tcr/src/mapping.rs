@@ -10,7 +10,35 @@
 
 use crate::program::{ArrayKind, TcrProgram};
 use crate::space::{LoopSel, OpConfig};
+use std::fmt;
 use tensor::IndexVar;
+
+/// A configuration that cannot be applied to its statement: the typed
+/// replacement for the panics the mapper used to raise. Carried upward into
+/// the pipeline's quarantine report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapError {
+    /// Statement the configuration was applied to.
+    pub op_index: usize,
+    pub detail: String,
+}
+
+impl MapError {
+    fn new(op_index: usize, detail: impl Into<String>) -> Self {
+        MapError {
+            op_index,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "statement {}: {}", self.op_index, self.detail)
+    }
+}
+
+impl std::error::Error for MapError {}
 
 /// A linearized array reference: `base + Σ var·stride` over the kernel's
 /// loop variables.
@@ -233,28 +261,41 @@ fn access_for(program: &TcrProgram, array_id: usize) -> ArrayAccess {
 
 /// Applies `cfg` to statement `op_index` of `program`.
 ///
-/// Panics when the configuration is inconsistent with the statement (loops
-/// not covered exactly once, a mapped loop that is not parallel, or an
-/// unroll factor exceeding the innermost extent) — configurations produced
-/// by [`crate::space::ProgramSpace::build`] always satisfy these.
+/// Returns a [`MapError`] when the configuration is inconsistent with the
+/// statement (loops not covered exactly once, a mapped loop that is not
+/// parallel, a loop variable with no extent, or an unroll factor exceeding
+/// the innermost extent) — configurations produced by
+/// [`crate::space::ProgramSpace::build`] always satisfy these, so this
+/// surfaces only for hand-built or corrupted configurations.
 pub fn map_kernel(
     program: &TcrProgram,
     op_index: usize,
     cfg: &OpConfig,
     accumulate: bool,
-) -> MappedKernel {
-    let op = &program.ops[op_index];
+) -> Result<MappedKernel, MapError> {
+    let op = program
+        .ops
+        .get(op_index)
+        .ok_or_else(|| MapError::new(op_index, "statement index out of range"))?;
     let loop_vars = program.loop_vars(op);
     let out_indices = &program.arrays[op.output].indices;
-    let ext = |v: &IndexVar| program.dims[v];
+    let ext = |v: &IndexVar| -> Result<usize, MapError> {
+        program
+            .dims
+            .get(v)
+            .copied()
+            .ok_or_else(|| MapError::new(op_index, format!("loop variable {v} has no extent")))
+    };
 
     // Coverage and parallelism checks.
     let mapped = cfg.mapped_vars();
     for v in &mapped {
-        assert!(
-            out_indices.contains(v),
-            "mapped loop {v} is not parallel in statement {op_index}"
-        );
+        if !out_indices.contains(v) {
+            return Err(MapError::new(
+                op_index,
+                format!("mapped loop {v} is not parallel in statement {op_index}"),
+            ));
+        }
     }
     let mut covered: Vec<&IndexVar> = mapped.clone();
     covered.extend(cfg.interior.iter());
@@ -263,40 +304,52 @@ pub fn map_kernel(
     covered_names.dedup();
     let mut want: Vec<&str> = loop_vars.iter().map(|v| v.name()).collect();
     want.sort_unstable();
-    assert_eq!(
-        covered_names, want,
-        "configuration does not cover the loops of statement {op_index} exactly once"
-    );
-
-    let interior: Vec<InteriorLoop> = cfg
-        .interior
-        .iter()
-        .map(|v| InteriorLoop {
-            var: v.clone(),
-            extent: ext(v),
-            parallel: out_indices.contains(v),
-        })
-        .collect();
-    if let Some(inner) = interior.last() {
-        assert!(
-            cfg.unroll >= 1 && cfg.unroll <= inner.extent,
-            "unroll factor {} out of range for extent {}",
-            cfg.unroll,
-            inner.extent
-        );
-    } else {
-        assert_eq!(cfg.unroll, 1, "unroll without interior loop");
+    if covered_names != want {
+        return Err(MapError::new(
+            op_index,
+            format!(
+                "configuration does not cover the loops of statement {op_index} exactly once \
+                 (covered {covered_names:?}, want {want:?})"
+            ),
+        ));
     }
 
-    let sel = |s: &LoopSel| s.var().map(|v| (v.clone(), ext(v)));
+    let mut interior: Vec<InteriorLoop> = Vec::with_capacity(cfg.interior.len());
+    for v in &cfg.interior {
+        interior.push(InteriorLoop {
+            var: v.clone(),
+            extent: ext(v)?,
+            parallel: out_indices.contains(v),
+        });
+    }
+    if let Some(inner) = interior.last() {
+        if cfg.unroll < 1 || cfg.unroll > inner.extent {
+            return Err(MapError::new(
+                op_index,
+                format!(
+                    "unroll factor {} out of range for extent {}",
+                    cfg.unroll, inner.extent
+                ),
+            ));
+        }
+    } else if cfg.unroll != 1 {
+        return Err(MapError::new(op_index, "unroll without interior loop"));
+    }
 
-    MappedKernel {
+    let sel = |s: &LoopSel| -> Result<Option<(IndexVar, usize)>, MapError> {
+        match s.var() {
+            Some(v) => Ok(Some((v.clone(), ext(v)?))),
+            None => Ok(None),
+        }
+    };
+
+    Ok(MappedKernel {
         name: format!("{}_GPU_{}", program.name, op_index),
         op_index,
-        tx: (cfg.tx.clone(), ext(&cfg.tx)),
-        ty: sel(&cfg.ty),
-        bx: sel(&cfg.bx),
-        by: sel(&cfg.by),
+        tx: (cfg.tx.clone(), ext(&cfg.tx)?),
+        ty: sel(&cfg.ty)?,
+        bx: sel(&cfg.bx)?,
+        by: sel(&cfg.by)?,
         interior,
         unroll: cfg.unroll,
         output: access_for(program, op.output),
@@ -309,16 +362,17 @@ pub fn map_kernel(
         scalar_replacement: true,
         staged: cfg.staged.clone(),
         coefficient: op.coefficient,
-    }
+    })
 }
 
 /// Maps every statement of a program under one [`crate::space::Configuration`].
+/// Fails on the first statement whose configuration cannot be applied.
 pub fn map_program(
     program: &TcrProgram,
     space: &crate::space::ProgramSpace,
     config: &crate::space::Configuration,
     accumulate_output: bool,
-) -> Vec<MappedKernel> {
+) -> Result<Vec<MappedKernel>, MapError> {
     program
         .ops
         .iter()
@@ -342,8 +396,9 @@ pub struct MapJob<'a> {
 
 /// Maps a batch of programs in parallel on the rayon pool. Results are
 /// positionally identical to mapping each job serially — mapping is a pure
-/// function of its job, so scheduling never shows in the output.
-pub fn map_programs(jobs: &[MapJob<'_>]) -> Vec<Vec<MappedKernel>> {
+/// function of its job, so scheduling never shows in the output. Each job
+/// fails independently; one bad configuration does not poison the batch.
+pub fn map_programs(jobs: &[MapJob<'_>]) -> Vec<Result<Vec<MappedKernel>, MapError>> {
     rayon::par_map_slice(jobs, |j| {
         map_program(j.program, j.space, &j.config, j.accumulate_output)
     })
@@ -360,7 +415,7 @@ mod tests {
         let p = matmul_program(8);
         let space = ProgramSpace::build(&p);
         let cfg = &space.per_op[0].configs[0];
-        let k = map_kernel(&p, 0, cfg, false);
+        let k = map_kernel(&p, 0, cfg, false).unwrap();
         assert_eq!(k.tx.1, 8);
         let (bx, by) = k.grid();
         let (tx, ty) = k.block();
@@ -375,9 +430,9 @@ mod tests {
         let p = eqn1_program(6);
         let space = ProgramSpace::build(&p);
         for (i, s) in space.per_op.iter().enumerate() {
-            let expect = map_kernel(&p, i, &s.configs[0], false).flops();
+            let expect = map_kernel(&p, i, &s.configs[0], false).unwrap().flops();
             for cfg in &s.configs {
-                assert_eq!(map_kernel(&p, i, cfg, false).flops(), expect);
+                assert_eq!(map_kernel(&p, i, cfg, false).unwrap().flops(), expect);
             }
         }
     }
@@ -387,7 +442,7 @@ mod tests {
         let p = eqn1_program(6);
         let space = ProgramSpace::build(&p);
         let cfgid = space.config(0);
-        let kernels = map_program(&p, &space, &cfgid, false);
+        let kernels = map_program(&p, &space, &cfgid, false).unwrap();
         let total: u64 = kernels.iter().map(|k| k.flops()).sum();
         assert_eq!(total, p.flops());
     }
@@ -404,7 +459,7 @@ mod tests {
             .iter()
             .find(|c| c.interior.len() == 1)
             .expect("some config maps both parallel loops");
-        let k = map_kernel(&p, 0, cfg, false);
+        let k = map_kernel(&p, 0, cfg, false).unwrap();
         assert!(k.output_fully_registered());
         assert_eq!(k.output_stores_per_thread(), 1);
     }
@@ -415,7 +470,7 @@ mod tests {
         let space = ProgramSpace::build(&p);
         let s = &space.per_op[0];
         let cfg = s.configs.iter().find(|c| c.interior.len() == 1).unwrap();
-        let k = map_kernel(&p, 0, cfg, false);
+        let k = map_kernel(&p, 0, cfg, false).unwrap();
         // Both A[i,j] and B[j,k] vary with the interior loop j: 8 loads each.
         assert_eq!(k.input_loads_per_thread(0), 8);
         assert_eq!(k.input_loads_per_thread(1), 8);
@@ -425,7 +480,7 @@ mod tests {
     fn accumulate_flag_only_on_output_statement() {
         let p = eqn1_program(4);
         let space = ProgramSpace::build(&p);
-        let kernels = map_program(&p, &space, &space.config(0), true);
+        let kernels = map_program(&p, &space, &space.config(0), true).unwrap();
         for k in &kernels[..kernels.len() - 1] {
             assert!(!k.accumulate, "temporary kernels never accumulate");
         }
@@ -433,20 +488,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not cover")]
     fn bad_interior_rejected() {
         let p = matmul_program(8);
         let space = ProgramSpace::build(&p);
         let mut cfg = space.per_op[0].configs[0].clone();
         cfg.interior.clear();
-        let _ = map_kernel(&p, 0, &cfg, false);
+        let err = map_kernel(&p, 0, &cfg, false).unwrap_err();
+        assert_eq!(err.op_index, 0);
+        assert!(err.detail.contains("does not cover"), "{err}");
+    }
+
+    #[test]
+    fn bad_unroll_rejected() {
+        let p = matmul_program(8);
+        let space = ProgramSpace::build(&p);
+        let base = space.per_op[0].configs[0].clone();
+        let mut cfg = base.clone();
+        cfg.unroll = 10_000;
+        if cfg.interior.is_empty() {
+            cfg.interior.push(tensor::IndexVar::new("j"));
+        }
+        let err = map_kernel(&p, 0, &cfg, false).unwrap_err();
+        assert!(err.detail.contains("unroll"), "{err}");
     }
 
     #[test]
     fn kernel_names_match_paper_style() {
         let p = eqn1_program(4);
         let space = ProgramSpace::build(&p);
-        let kernels = map_program(&p, &space, &space.config(0), false);
+        let kernels = map_program(&p, &space, &space.config(0), false).unwrap();
         assert_eq!(kernels[2].name, "ex_GPU_2");
     }
 }

@@ -75,17 +75,39 @@ pub struct TcrProgram {
 }
 
 impl TcrProgram {
-    /// Lowers one OCTOPI factorization into a TCR program.
-    ///
-    /// Arrays: one per distinct original input term (shared between steps
-    /// when a tensor appears in several), one per step temporary, with the
-    /// final step writing the `Output` array.
+    /// Lowers one OCTOPI factorization into a TCR program, panicking on a
+    /// malformed factorization. Prefer [`TcrProgram::try_from_factorization`]
+    /// when the factorization comes from an untrusted enumerator.
     pub fn from_factorization(
         name: impl Into<String>,
         contraction: &Contraction,
         factorization: &Factorization,
         dims: &IndexMap,
     ) -> Self {
+        match Self::try_from_factorization(name, contraction, factorization, dims) {
+            Ok(p) => p,
+            Err(e) => panic!("from_factorization: {e}"),
+        }
+    }
+
+    /// Fallible lowering of one OCTOPI factorization into a TCR program.
+    ///
+    /// Arrays: one per distinct original input term (shared between steps
+    /// when a tensor appears in several), one per step temporary, with the
+    /// final step writing the `Output` array.
+    ///
+    /// Fails when the factorization is malformed: no steps, an operand
+    /// referencing an unknown term or not-yet-computed temporary, or an
+    /// index with no extent in `dims`.
+    pub fn try_from_factorization(
+        name: impl Into<String>,
+        contraction: &Contraction,
+        factorization: &Factorization,
+        dims: &IndexMap,
+    ) -> Result<Self, String> {
+        if factorization.steps.is_empty() {
+            return Err("factorization has no steps".to_string());
+        }
         let mut arrays: Vec<ArrayDecl> = Vec::new();
         // Map from input term id -> array id, merging repeated tensor names.
         let mut input_array: BTreeMap<usize, usize> = BTreeMap::new();
@@ -124,10 +146,15 @@ impl TcrProgram {
                 .operands
                 .iter()
                 .map(|op| match op {
-                    Operand::Input(k) => input_array[k],
-                    Operand::Temp(t) => temp_array[t],
+                    Operand::Input(k) => input_array
+                        .get(k)
+                        .copied()
+                        .ok_or_else(|| format!("step {j} references unknown input term {k}")),
+                    Operand::Temp(t) => temp_array.get(t).copied().ok_or_else(|| {
+                        format!("step {j} references not-yet-computed temporary {t}")
+                    }),
                 })
-                .collect();
+                .collect::<Result<Vec<usize>, String>>()?;
             ops.push(TcrOp {
                 output: out_id,
                 inputs,
@@ -144,16 +171,19 @@ impl TcrProgram {
         let mut used: IndexMap = IndexMap::new();
         for a in &arrays {
             for ix in &a.indices {
-                used.insert(ix.clone(), dims[ix]);
+                let ext = dims.get(ix).copied().ok_or_else(|| {
+                    format!("index {} of array {} has no extent", ix.name(), a.name)
+                })?;
+                used.insert(ix.clone(), ext);
             }
         }
 
-        TcrProgram {
+        Ok(TcrProgram {
             name: name.into(),
             dims: used,
             arrays,
             ops,
-        }
+        })
     }
 
     /// Ids of the `Input` arrays, in declaration order.
@@ -168,7 +198,7 @@ impl TcrProgram {
         self.arrays
             .iter()
             .position(|a| a.kind == ArrayKind::Output)
-            .expect("program has no output array")
+            .unwrap_or_else(|| panic!("program {} has no output array", self.name))
     }
 
     /// Loop variables of statement `op`: output indices (parallel) followed
@@ -217,7 +247,11 @@ impl TcrProgram {
             let operand_tensors: Vec<&Tensor> = op
                 .inputs
                 .iter()
-                .map(|id| storage[*id].as_ref().expect("operand not yet computed"))
+                .map(|id| {
+                    storage[*id]
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("operand array {id} not yet computed"))
+                })
                 .collect();
             let mut result = spec.evaluate(&operand_tensors);
             if op.coefficient != 1.0 {
@@ -227,9 +261,10 @@ impl TcrProgram {
             }
             storage[op.output] = Some(result);
         }
-        storage[self.output_id()]
+        let out = self.output_id();
+        storage[out]
             .take()
-            .expect("no output computed")
+            .unwrap_or_else(|| panic!("output array {out} was never computed"))
     }
 
     /// Total floating-point operations of the program (2 per joint-space

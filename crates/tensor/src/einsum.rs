@@ -135,7 +135,11 @@ impl EinsumSpec {
         let mut all: Vec<&IndexVar> = self.output.iter().collect();
         for s in self.summation_indices() {
             // summation indices are disjoint from output indices
-            all.push(self.dims.get_key_value(&s).unwrap().0);
+            let (key, _) = self
+                .dims
+                .get_key_value(&s)
+                .unwrap_or_else(|| panic!("summation index {} has no extent", s.name()));
+            all.push(key);
         }
         all.iter().map(|ix| self.dims[*ix]).product()
     }
@@ -170,7 +174,12 @@ impl EinsumSpec {
         let positions = |labels: &[IndexVar]| -> Vec<usize> {
             labels
                 .iter()
-                .map(|l| loop_vars.iter().position(|v| v == l).unwrap())
+                .map(|l| {
+                    loop_vars
+                        .iter()
+                        .position(|v| v == l)
+                        .unwrap_or_else(|| panic!("label {} missing from loop order", l.name()))
+                })
                 .collect()
         };
         let in_pos: Vec<Vec<usize>> = self.inputs.iter().map(|l| positions(l)).collect();

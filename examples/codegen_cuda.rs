@@ -47,7 +47,9 @@ fn main() {
 
     // Autotune and emit CUDA (Figure 2(d)).
     let full = WorkloadTuner::build(&w);
-    let tuned = full.autotune(&gpusim::gtx980(), TuneParams::paper());
+    let tuned = full
+        .autotune(&gpusim::gtx980(), TuneParams::paper())
+        .unwrap();
     let cuda = tuned.cuda_source();
     println!("== Figure 2(d): optimized CUDA ==\n{cuda}");
 

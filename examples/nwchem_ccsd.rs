@@ -26,7 +26,7 @@ fn main() {
         "kernel", "naive (ms)", "tuned (ms)", "speedup", "GFlops"
     );
     for w in nwchem_family("d1", NWCHEM_TRIP) {
-        let tuned = WorkloadTuner::build(&w).autotune(&arch, params);
+        let tuned = WorkloadTuner::build(&w).autotune(&arch, params).unwrap();
         let naive = openacc_naive(&w).gpu_seconds(&arch);
         println!(
             "{:<6} {:>12.3} {:>14.3} {:>11.1}x {:>8.1}",
@@ -42,10 +42,12 @@ fn main() {
     // simulated grid: 8^6 output elements).
     println!("\nvalidating d1_1 functionally at trip count 8 ...");
     let w = nwchem_d1(1, 8);
-    let tuned = WorkloadTuner::build(&w).autotune(&arch, TuneParams::quick());
+    let tuned = WorkloadTuner::build(&w)
+        .autotune(&arch, TuneParams::quick())
+        .unwrap();
     let inputs = w.random_inputs(9);
-    let expect = w.evaluate_reference(&inputs);
-    let got = tuned.execute(&w, &inputs);
+    let expect = w.evaluate_reference(&inputs).unwrap();
+    let got = tuned.execute(&w, &inputs).unwrap();
     assert!(
         expect[0].1.approx_eq(&got[0].1, 1e-10),
         "tuned kernel diverges"
@@ -54,7 +56,7 @@ fn main() {
 
     // Show what the tuner chose for d1_1 at full size.
     let w = nwchem_d1(1, NWCHEM_TRIP);
-    let tuned = WorkloadTuner::build(&w).autotune(&arch, params);
+    let tuned = WorkloadTuner::build(&w).autotune(&arch, params).unwrap();
     let k = &tuned.kernels[0][0];
     println!(
         "\nd1_1 chosen mapping: block {:?}, grid {:?}, interior {:?}, unroll {}",

@@ -31,7 +31,7 @@ fn main() {
 
     // SURF autotuning against the simulated GTX 980.
     let arch = gpusim::gtx980();
-    let tuned = tuner.autotune(&arch, TuneParams::paper());
+    let tuned = tuner.autotune(&arch, TuneParams::paper()).unwrap();
     println!(
         "tuned on {}: {:.2} us/kernel-set, {:.2} GFlops (device), {} evaluations\n",
         arch.name,
@@ -43,8 +43,8 @@ fn main() {
     // Correctness: the tuned kernels must reproduce the oracle bit-for-bit
     // up to floating-point associativity.
     let inputs = workload.random_inputs(42);
-    let expect = workload.evaluate_reference(&inputs);
-    let got = tuned.execute(&workload, &inputs);
+    let expect = workload.evaluate_reference(&inputs).unwrap();
+    let got = tuned.execute(&workload, &inputs).unwrap();
     assert!(
         expect[0].1.approx_eq(&got[0].1, 1e-10),
         "tuned kernels diverge from the reference"

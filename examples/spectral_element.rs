@@ -54,7 +54,7 @@ fn main() {
         paper_cfg.elements, paper_cfg.order
     );
     let arch = gpusim::k20();
-    let perf = model_gpu_perf(paper_cfg, &arch, TuneParams::paper());
+    let perf = model_gpu_perf(paper_cfg, &arch, TuneParams::paper()).unwrap();
     println!("on the simulated {}:", arch.name);
     println!(
         "  OpenACC naive     : {:>7.2} GFlops",

