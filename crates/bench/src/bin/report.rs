@@ -28,6 +28,7 @@ fn main() {
     println!("{}\n", bench::search_compare::render(&rows));
     let rows = bench::search_bench::run(params);
     println!("{}\n", bench::search_bench::render(&rows));
+    println!("{}\n", bench::search_bench::render_hot(&rows));
     match bench::search_bench::write_json(&rows, "BENCH_search.json") {
         Ok(()) => println!("wrote BENCH_search.json\n"),
         Err(e) => eprintln!("could not write BENCH_search.json: {e}\n"),

@@ -20,12 +20,27 @@ pub struct SearchBenchRow {
     pub parallel_wall_s: f64,
     /// Serial wall-clock over parallel wall-clock (>1 means parallel wins).
     pub speedup: f64,
-    /// Threads the parallel run used (`RAYON_NUM_THREADS` or all cores).
+    /// Actual size of the rayon pool the parallel run fanned out over
+    /// (workers + calling thread). A single-CPU host legitimately reports
+    /// 1 — the backend still goes through the parallel code path.
     pub threads: usize,
     pub evals_per_sec: f64,
     pub cache_hits: usize,
     pub cache_misses: usize,
     pub cache_hit_rate: f64,
+    /// Per-op memo layer traffic: lookups keyed by `(statement, version,
+    /// op, choice)` under the whole-configuration cache.
+    pub per_op_hits: usize,
+    pub per_op_misses: usize,
+    pub per_op_hit_rate: f64,
+    /// Whole-configuration time-cache hit rate (the rate the per-op layer
+    /// is meant to beat).
+    pub time_hit_rate: f64,
+    /// Hot-path stage split of the parallel run, nanoseconds.
+    pub decode_ns: u64,
+    pub map_ns: u64,
+    pub sim_ns: u64,
+    pub predict_ns: u64,
     /// Parallel run reproduced the serial run bit for bit.
     pub identical: bool,
 }
@@ -52,11 +67,21 @@ pub fn run(params: TuneParams) -> Vec<SearchBenchRow> {
                 serial_wall_s: serial.search.wall_s,
                 parallel_wall_s: parallel.search.wall_s,
                 speedup: serial.search.wall_s / parallel.search.wall_s.max(1e-12),
-                threads: parallel.search.threads,
+                // The backend's own count can be stale when the pool is
+                // lazily initialized; ask rayon for the real pool size.
+                threads: parallel.search.threads.max(rayon::current_num_threads()),
                 evals_per_sec: parallel.search.n_evals as f64 / parallel.search.wall_s.max(1e-12),
                 cache_hits: parallel.search.cache_hits,
                 cache_misses: parallel.search.cache_misses,
                 cache_hit_rate: parallel.search.cache_hit_rate(),
+                per_op_hits: parallel.search.per_op_hits,
+                per_op_misses: parallel.search.per_op_misses,
+                per_op_hit_rate: parallel.search.per_op_hit_rate(),
+                time_hit_rate: parallel.search.time_hit_rate(),
+                decode_ns: parallel.search.hot.decode_ns,
+                map_ns: parallel.search.hot.map_ns,
+                sim_ns: parallel.search.hot.sim_ns,
+                predict_ns: parallel.search.hot.predict_ns,
                 identical,
             }
         })
@@ -75,6 +100,7 @@ pub fn render(rows: &[SearchBenchRow]) -> Table {
             "threads",
             "evals/s",
             "hit rate",
+            "per-op rate",
             "identical",
         ],
     );
@@ -88,7 +114,41 @@ pub fn render(rows: &[SearchBenchRow]) -> Table {
             r.threads.to_string(),
             fmt_f(r.evals_per_sec),
             fmt_f(r.cache_hit_rate),
+            fmt_f(r.per_op_hit_rate),
             r.identical.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Hot-path stage split of the same rows: where evaluation wall-time goes.
+pub fn render_hot(rows: &[SearchBenchRow]) -> Table {
+    let mut t = Table::new(
+        "Evaluation hot path: per-stage wall-time (ms) and memo traffic",
+        &[
+            "workload",
+            "decode ms",
+            "map ms",
+            "sim ms",
+            "predict ms",
+            "per-op hits",
+            "per-op misses",
+            "per-op rate",
+            "time rate",
+        ],
+    );
+    let ms = |ns: u64| fmt_f(ns as f64 / 1e6);
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            ms(r.decode_ns),
+            ms(r.map_ns),
+            ms(r.sim_ns),
+            ms(r.predict_ns),
+            r.per_op_hits.to_string(),
+            r.per_op_misses.to_string(),
+            fmt_f(r.per_op_hit_rate),
+            fmt_f(r.time_hit_rate),
         ]);
     }
     t
@@ -103,7 +163,10 @@ pub fn to_json(rows: &[SearchBenchRow]) -> String {
             "    {{\"workload\": \"{}\", \"space_size\": {}, \"n_evals\": {}, \
              \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \"speedup\": {:.3}, \
              \"threads\": {}, \"evals_per_sec\": {:.1}, \"cache_hits\": {}, \
-             \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"identical\": {}}}{}\n",
+             \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"per_op_hits\": {}, \
+             \"per_op_misses\": {}, \"per_op_hit_rate\": {:.4}, \"time_hit_rate\": {:.4}, \
+             \"decode_ns\": {}, \"map_ns\": {}, \"sim_ns\": {}, \"predict_ns\": {}, \
+             \"identical\": {}}}{}\n",
             r.workload,
             r.space_size,
             r.n_evals,
@@ -115,6 +178,14 @@ pub fn to_json(rows: &[SearchBenchRow]) -> String {
             r.cache_hits,
             r.cache_misses,
             r.cache_hit_rate,
+            r.per_op_hits,
+            r.per_op_misses,
+            r.per_op_hit_rate,
+            r.time_hit_rate,
+            r.decode_ns,
+            r.map_ns,
+            r.sim_ns,
+            r.predict_ns,
             r.identical,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -146,6 +217,49 @@ mod tests {
             assert!(r.n_evals > 0);
             assert!(r.threads >= 1);
         }
+    }
+
+    #[test]
+    fn per_op_layer_sees_traffic_on_every_workload() {
+        let rows = run(smoke_params());
+        for r in &rows {
+            assert!(
+                r.per_op_hits + r.per_op_misses > 0,
+                "{}: per-op memo layer saw no traffic",
+                r.workload
+            );
+            // Fresh-cache runs never revisit a whole configuration, so the
+            // per-op layer can only do better than the time cache.
+            assert!(
+                r.per_op_hit_rate >= r.time_hit_rate,
+                "{}: per-op rate {} fell below whole-config time rate {}",
+                r.workload,
+                r.per_op_hit_rate,
+                r.time_hit_rate
+            );
+        }
+    }
+
+    #[test]
+    fn per_op_layer_outhits_whole_config_cache_at_real_budgets() {
+        // Per-op reuse comes from distinct configurations sharing per-op
+        // digits, which needs a non-trivial eval budget to materialize;
+        // the search is seeded, so these rates are exact and reproducible.
+        let w = barracuda::kernels::table2_benchmarks()
+            .into_iter()
+            .find(|w| w.name == "tce")
+            .unwrap();
+        let tuner = WorkloadTuner::build(&w);
+        let mut params = TuneParams::quick();
+        params.surf.max_evals = 150;
+        params.pool_cap = 5000;
+        let tuned = tuner.autotune(&gpusim::k20(), params).unwrap();
+        assert!(
+            tuned.search.per_op_hit_rate() > tuned.search.cache_hit_rate(),
+            "tce: per-op rate {} must beat whole-config rate {}",
+            tuned.search.per_op_hit_rate(),
+            tuned.search.cache_hit_rate()
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! local ids in decomposed tuning, or per-architecture times).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::RwLock;
 
 const SHARDS: usize = 16;
@@ -66,13 +66,98 @@ impl<V: Clone> ShardedMap<V> {
     }
 }
 
+/// Outcome of mapping + validating + timing one statement op under one
+/// per-op configuration choice. The strings are the exact detail messages
+/// the unmemoized pipeline produces; they carry no configuration id, so one
+/// entry serves every joint configuration that selects the same choice.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpOutcome {
+    /// Simulated kernel time in seconds.
+    Time(f64),
+    /// The op's kernel failed to map (`MapError` display string).
+    MapFault(String),
+    /// The mapped kernel failed architecture validation (detail string).
+    SimFault(String),
+}
+
+/// Wall-time spent in each stage of the evaluation hot path, accumulated
+/// across threads. Nanosecond sums, monotone; report deltas via
+/// [`HotPathSnapshot::delta`].
+#[derive(Default)]
+pub struct HotPathStats {
+    decode_ns: AtomicU64,
+    map_ns: AtomicU64,
+    sim_ns: AtomicU64,
+}
+
+impl HotPathStats {
+    pub fn add_decode(&self, ns: u64) {
+        self.decode_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn add_map(&self, ns: u64) {
+        self.map_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn add_sim(&self, ns: u64) {
+        self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HotPathSnapshot {
+        HotPathSnapshot {
+            decode_ns: self.decode_ns.load(Ordering::Relaxed),
+            map_ns: self.map_ns.load(Ordering::Relaxed),
+            sim_ns: self.sim_ns.load(Ordering::Relaxed),
+            predict_ns: 0,
+        }
+    }
+}
+
+/// Point-in-time view of [`HotPathStats`] plus the surrogate's scoring time
+/// (tracked by the search backend rather than the cache).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotPathSnapshot {
+    /// Time decoding flat ids into per-op configuration digits.
+    pub decode_ns: u64,
+    /// Time in `map_kernel` (index mapping + coverage checks).
+    pub map_ns: u64,
+    /// Time validating + timing mapped kernels in the GPU model.
+    pub sim_ns: u64,
+    /// Time scoring pool candidates with the fitted forest.
+    pub predict_ns: u64,
+}
+
+impl HotPathSnapshot {
+    /// Stage times elapsed since `earlier` (saturating).
+    pub fn delta(&self, earlier: &HotPathSnapshot) -> HotPathSnapshot {
+        HotPathSnapshot {
+            decode_ns: self.decode_ns.saturating_sub(earlier.decode_ns),
+            map_ns: self.map_ns.saturating_sub(earlier.map_ns),
+            sim_ns: self.sim_ns.saturating_sub(earlier.sim_ns),
+            predict_ns: self.predict_ns.saturating_sub(earlier.predict_ns),
+        }
+    }
+}
+
 /// Memo cache for simulated times and feature vectors, shared across SURF
 /// batches, the final selection pass, and per-statement sub-searches.
+///
+/// A third keyspace memoizes per-op outcomes ([`OpOutcome`]): the joint
+/// configuration space is a Cartesian product of per-op choices, so two
+/// distinct whole-program configurations usually share most of their per-op
+/// sub-configurations. Caching at op granularity turns whole-config misses
+/// into sums of per-op hits.
 pub struct EvalCache {
     times: ShardedMap<f64>,
     features: ShardedMap<Vec<f64>>,
+    ops: ShardedMap<OpOutcome>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    time_hits: AtomicUsize,
+    time_misses: AtomicUsize,
+    op_hits: AtomicUsize,
+    op_misses: AtomicUsize,
+    hot: HotPathStats,
 }
 
 impl Default for EvalCache {
@@ -86,8 +171,14 @@ impl EvalCache {
         EvalCache {
             times: ShardedMap::new(),
             features: ShardedMap::new(),
+            ops: ShardedMap::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            time_hits: AtomicUsize::new(0),
+            time_misses: AtomicUsize::new(0),
+            op_hits: AtomicUsize::new(0),
+            op_misses: AtomicUsize::new(0),
+            hot: HotPathStats::default(),
         }
     }
 
@@ -96,12 +187,33 @@ impl EvalCache {
     pub fn time(&self, salt: u64, id: u128, compute: impl FnOnce() -> f64) -> f64 {
         if let Some(t) = self.times.get(salt, id) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.time_hits.fetch_add(1, Ordering::Relaxed);
             return t;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.time_misses.fetch_add(1, Ordering::Relaxed);
         let t = compute();
         self.times.insert(salt, id, t);
         t
+    }
+
+    /// Memoized per-op outcome of `(salt, key)`. Counted separately from
+    /// the whole-configuration keyspaces so the two hit rates stay
+    /// comparable in the search statistics.
+    pub fn op_outcome(
+        &self,
+        salt: u64,
+        key: u128,
+        compute: impl FnOnce() -> OpOutcome,
+    ) -> OpOutcome {
+        if let Some(o) = self.ops.get(salt, key) {
+            self.op_hits.fetch_add(1, Ordering::Relaxed);
+            return o;
+        }
+        self.op_misses.fetch_add(1, Ordering::Relaxed);
+        let o = compute();
+        self.ops.insert(salt, key, o.clone());
+        o
     }
 
     /// Memoized feature vector of `(salt, id)`.
@@ -124,6 +236,27 @@ impl EvalCache {
         )
     }
 
+    /// `(hits, misses)` over whole-configuration times only.
+    pub fn time_stats(&self) -> (usize, usize) {
+        (
+            self.time_hits.load(Ordering::Relaxed),
+            self.time_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(hits, misses)` over per-op outcomes only.
+    pub fn op_stats(&self) -> (usize, usize) {
+        (
+            self.op_hits.load(Ordering::Relaxed),
+            self.op_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hot-path stage timers shared by every evaluator on this cache.
+    pub fn hot(&self) -> &HotPathStats {
+        &self.hot
+    }
+
     /// Distinct entries currently memoized (times + features).
     pub fn len(&self) -> usize {
         self.times.len() + self.features.len()
@@ -138,6 +271,11 @@ impl EvalCache {
     /// Distinct feature vectors memoized.
     pub fn features_len(&self) -> usize {
         self.features.len()
+    }
+
+    /// Distinct per-op outcomes memoized.
+    pub fn ops_len(&self) -> usize {
+        self.ops.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -180,6 +318,34 @@ mod tests {
         assert_eq!(cache.features(0, 5, || unreachable!()), x);
         cache.time(0, 5, || 3.0);
         assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn op_outcomes_are_a_separate_keyspace_with_separate_counters() {
+        let cache = EvalCache::new();
+        // Same (salt, key) as a time entry must not collide.
+        cache.time(3, 9, || 1.25);
+        let o = cache.op_outcome(3, 9, || OpOutcome::SimFault("too wide".into()));
+        assert_eq!(o, OpOutcome::SimFault("too wide".into()));
+        assert_eq!(cache.op_outcome(3, 9, || unreachable!()), o);
+        assert_eq!(cache.op_stats(), (1, 1));
+        assert_eq!(cache.time_stats(), (0, 1));
+        // Combined whole-config stats are untouched by per-op traffic.
+        assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(cache.ops_len(), 1);
+        assert_eq!(cache.times_len(), 1);
+    }
+
+    #[test]
+    fn hot_path_snapshot_deltas() {
+        let cache = EvalCache::new();
+        cache.hot().add_decode(5);
+        cache.hot().add_map(7);
+        let before = cache.hot().snapshot();
+        cache.hot().add_map(10);
+        cache.hot().add_sim(3);
+        let d = cache.hot().snapshot().delta(&before);
+        assert_eq!((d.decode_ns, d.map_ns, d.sim_ns), (0, 10, 3));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! statistics including the modeled wall-clock search time the paper
 //! reports in Table II.
 
-use crate::cache::EvalCache;
+use crate::cache::{EvalCache, HotPathSnapshot, OpOutcome};
 use crate::error::BarracudaError;
 use crate::quarantine::QuarantineReport;
 use crate::variant::StatementTuner;
@@ -17,11 +17,13 @@ use gpusim::GpuArch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::time::Instant;
 use surf::{
     surf_search_parallel, surf_search_serial, EvalFault, FaultPlan, FaultyEvaluator, ForestParams,
     ParallelEvaluator, SearchStatus, SurfParams, SurfResult,
 };
-use tcr::mapping::{map_program, map_programs, MapJob, MappedKernel};
+use tcr::mapping::{map_kernel, map_program, map_programs, MapJob, MappedKernel};
+use tcr::program::ArrayKind;
 use tcr::space::Configuration;
 use tcr::TcrProgram;
 use tensor::Tensor;
@@ -185,6 +187,17 @@ pub struct SearchStats {
     /// Configurations quarantined during the search (mapping/simulation
     /// failures, non-finite times, injected faults).
     pub quarantined_configs: usize,
+    /// Per-op outcome cache hits during this run — the memo layer under the
+    /// whole-configuration cache, keyed by `(statement, version, op,
+    /// choice)` so distinct joint configurations share sub-results.
+    pub per_op_hits: usize,
+    pub per_op_misses: usize,
+    /// Whole-configuration time cache hits/misses during this run.
+    pub time_hits: usize,
+    pub time_misses: usize,
+    /// Wall-time spent per hot-path stage (decode / map / simulate /
+    /// predict) during this run.
+    pub hot: HotPathSnapshot,
 }
 
 impl SearchStats {
@@ -218,6 +231,29 @@ impl SearchStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of per-op outcome lookups served from the memo layer. The
+    /// joint space is a Cartesian product of per-op choices, so this runs
+    /// far above the whole-configuration rates: a fresh joint id usually
+    /// re-combines already-seen sub-configurations.
+    pub fn per_op_hit_rate(&self) -> f64 {
+        let total = self.per_op_hits + self.per_op_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.per_op_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of whole-configuration time lookups served memoized.
+    pub fn time_hit_rate(&self) -> f64 {
+        let total = self.time_hits + self.time_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.time_hits as f64 / total as f64
+        }
+    }
 }
 
 /// FNV-1a of a string, used to salt the shared [`EvalCache`] keyspace per
@@ -229,6 +265,85 @@ fn salt_of(name: &str) -> u64 {
         h = h.wrapping_mul(0x100000001B3);
     }
     h
+}
+
+/// Cache key of one per-op outcome: statement, version, op and the op's
+/// configuration digit, packed bit-disjoint. Joint and decomposed tuning
+/// use the same keys, so they share each other's sub-results.
+fn op_key(stmt: usize, version: usize, op: usize, choice: usize) -> u128 {
+    debug_assert!(stmt < 1 << 8 && op < 1 << 8 && version < 1 << 16);
+    ((choice as u128) << 32) | ((version as u128) << 16) | ((op as u128) << 8) | stmt as u128
+}
+
+/// A statement-level failure reconstructed from memoized per-op outcomes,
+/// carrying the exact detail string the unmemoized pipeline produces.
+enum StatementFault {
+    Mapping { version: usize, detail: String },
+    Simulation { detail: String },
+}
+
+/// Device time of one statement under `(version, per-op choices)`, with
+/// each op's map + validate + time outcome memoized in `cache` under
+/// `salt`. Bitwise identical to `map_program` + `validate_kernel` +
+/// `time_program(..).gpu_s`: the first op that fails to map fails the
+/// statement (mapping runs before any validation), then the first
+/// validation failure in op order, else the kernel times are summed
+/// left-to-right exactly like `ProgramTiming::gpu_s`.
+#[allow(clippy::too_many_arguments)]
+fn statement_time_memo(
+    st: &StatementTuner,
+    stmt: usize,
+    version: usize,
+    choices: &[usize],
+    accumulate: bool,
+    arch: &GpuArch,
+    cache: &EvalCache,
+    salt: u64,
+) -> Result<f64, StatementFault> {
+    let variant = &st.variants[version];
+    let mut sum = 0.0;
+    let mut sim_fault: Option<String> = None;
+    for (o, &choice) in choices.iter().enumerate() {
+        let outcome = cache.op_outcome(salt, op_key(stmt, version, o, choice), || {
+            let t0 = Instant::now();
+            let cfg = &variant.space.per_op[o].configs[choice];
+            // Only the statement writing the program output may accumulate
+            // into pre-existing data (same rule as `map_program`).
+            let acc = accumulate
+                && variant.program.arrays[variant.program.ops[o].output].kind == ArrayKind::Output;
+            match map_kernel(&variant.program, o, cfg, acc) {
+                Ok(kernel) => {
+                    cache.hot().add_map(t0.elapsed().as_nanos() as u64);
+                    let t1 = Instant::now();
+                    let out = match gpusim::validate_kernel(&kernel, arch) {
+                        Ok(()) => OpOutcome::Time(gpusim::kernel_time_s(&kernel, arch)),
+                        Err(detail) => OpOutcome::SimFault(detail),
+                    };
+                    cache.hot().add_sim(t1.elapsed().as_nanos() as u64);
+                    out
+                }
+                Err(e) => {
+                    cache.hot().add_map(t0.elapsed().as_nanos() as u64);
+                    OpOutcome::MapFault(e.to_string())
+                }
+            }
+        });
+        match outcome {
+            OpOutcome::Time(t) => sum += t,
+            // Validation only runs once the whole statement maps, so a
+            // later op's mapping failure still outranks this one.
+            OpOutcome::SimFault(detail) => {
+                if sim_fault.is_none() {
+                    sim_fault = Some(detail);
+                }
+            }
+            OpOutcome::MapFault(detail) => return Err(StatementFault::Mapping { version, detail }),
+        }
+    }
+    match sim_fault {
+        Some(detail) => Err(StatementFault::Simulation { detail }),
+        None => Ok(sum),
+    }
 }
 
 /// Thread-safe joint-configuration evaluator: memoized simulated times and
@@ -278,7 +393,7 @@ impl<'a> TunerEvaluator<'a> {
     pub fn try_time(&self, id: u128) -> Result<f64, EvalFault> {
         let mut fault = None;
         let t = self.cache.time(self.salt, id, || {
-            match self.tuner.try_gpu_seconds(id, self.arch) {
+            match self.tuner.try_gpu_seconds_memo(id, self.arch, self.cache) {
                 Ok(t) => t,
                 Err(e) => {
                     fault = Some(EvalFault::new(e.stage(), e.to_string()));
@@ -330,10 +445,16 @@ impl ParallelEvaluator for TunerEvaluator<'_> {
 /// one cache without key collisions.
 struct StatementEvaluator<'a> {
     st: &'a StatementTuner,
+    /// Statement index in the workload — keys the per-op memo layer with
+    /// the same `(statement, version, op, choice)` keys joint tuning uses,
+    /// so the two paths share sub-results.
+    stmt: usize,
     accumulate: bool,
     arch: &'a GpuArch,
     cache: &'a EvalCache,
     salt: u64,
+    /// Per-op memo salt (per-architecture, shared with joint tuning).
+    op_salt: u64,
     eval_noise: f64,
     noise_floor_us: f64,
     noise_seed: u64,
@@ -345,24 +466,35 @@ impl StatementEvaluator<'_> {
     }
 
     /// Statement-local analog of [`TunerEvaluator::try_time`], with the
-    /// same cached-NaN memoization of failures.
+    /// same cached-NaN memoization of failures, built on the shared per-op
+    /// memo layer.
     fn try_time(&self, local: u128) -> Result<f64, EvalFault> {
         let mut fault = None;
         let t = self.cache.time(self.salt, local, || {
-            let (v, config) = self.st.decode(local);
-            let variant = &self.st.variants[v];
-            match map_program(&variant.program, &variant.space, &config, self.accumulate) {
-                Ok(kernels) => {
-                    for k in &kernels {
-                        if let Err(detail) = gpusim::validate_kernel(k, self.arch) {
-                            fault = Some(EvalFault::new("simulation", detail));
-                            return f64::NAN;
-                        }
-                    }
-                    gpusim::time_program(&variant.program, &kernels, self.arch, false).gpu_s
+            let t0 = Instant::now();
+            let (v, local_cfg) = self.st.decode_raw(local);
+            let mut choices = Vec::new();
+            self.st.variants[v]
+                .space
+                .choices_into(local_cfg, &mut choices);
+            self.cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
+            match statement_time_memo(
+                self.st,
+                self.stmt,
+                v,
+                &choices,
+                self.accumulate,
+                self.arch,
+                self.cache,
+                self.op_salt,
+            ) {
+                Ok(t) => t,
+                Err(StatementFault::Mapping { detail, .. }) => {
+                    fault = Some(EvalFault::new("mapping", detail));
+                    f64::NAN
                 }
-                Err(e) => {
-                    fault = Some(EvalFault::new("mapping", e.to_string()));
+                Err(StatementFault::Simulation { detail }) => {
+                    fault = Some(EvalFault::new("simulation", detail));
                     f64::NAN
                 }
             }
@@ -728,6 +860,53 @@ impl WorkloadTuner {
         Ok(total)
     }
 
+    /// [`WorkloadTuner::try_gpu_seconds`] through the per-op memo layer of
+    /// `cache`: every op outcome is keyed by `(statement, version, op,
+    /// choice)`, so a fresh joint configuration that re-combines
+    /// already-seen per-op choices costs only cache hits instead of a full
+    /// map + validate + simulate pass. Bitwise identical to the unmemoized
+    /// path, including the error a faulting configuration produces.
+    pub fn try_gpu_seconds_memo(
+        &self,
+        id: u128,
+        arch: &GpuArch,
+        cache: &EvalCache,
+    ) -> Result<f64, BarracudaError> {
+        let salt = salt_of(arch.name);
+        let t0 = Instant::now();
+        let locals = self.decode(id);
+        cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
+        let mut choices: Vec<usize> = Vec::new();
+        let mut total = 0.0;
+        for (k, (s, &local)) in self.statements.iter().zip(&locals).enumerate() {
+            let t0 = Instant::now();
+            let (v, local_cfg) = s.decode_raw(local);
+            s.variants[v].space.choices_into(local_cfg, &mut choices);
+            cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
+            let accumulate = self.workload.statements[k].accumulate;
+            match statement_time_memo(s, k, v, &choices, accumulate, arch, cache, salt) {
+                Ok(stmt_s) => total += stmt_s,
+                Err(StatementFault::Mapping { version, detail }) => {
+                    return Err(BarracudaError::Mapping {
+                        workload: self.workload.name.clone(),
+                        statement: k,
+                        version: Some(version),
+                        config: Some(id),
+                        detail,
+                    })
+                }
+                Err(StatementFault::Simulation { detail }) => {
+                    return Err(BarracudaError::Simulation {
+                        workload: self.workload.name.clone(),
+                        config: Some(id),
+                        detail,
+                    })
+                }
+            }
+        }
+        Ok(total)
+    }
+
     /// PCIe transfer time of the workload on `arch`.
     pub fn transfer_seconds(&self, arch: &GpuArch) -> f64 {
         self.workload.transfer_bytes() as f64 / (arch.pcie_bw_gbs * 1e9)
@@ -825,6 +1004,9 @@ impl WorkloadTuner {
             params.fault_injection.unwrap_or_else(FaultPlan::none),
         );
         let (hits0, misses0) = cache.stats();
+        let (th0, tm0) = cache.time_stats();
+        let (oh0, om0) = cache.op_stats();
+        let hot0 = cache.hot().snapshot();
         let result =
             search_with(&pool, &faulty, params.effective_surf(), params.threads).map_err(|e| {
                 BarracudaError::Search {
@@ -833,6 +1015,10 @@ impl WorkloadTuner {
                 }
             })?;
         let (hits1, misses1) = cache.stats();
+        let (th1, tm1) = cache.time_stats();
+        let (oh1, om1) = cache.op_stats();
+        let mut hot = cache.hot().snapshot().delta(&hot0);
+        hot.predict_ns = result.predict_ns;
         // An external attempt cap that actually truncated the search is an
         // explicit degradation, not a silent completion.
         let mut status = result.status.clone();
@@ -850,17 +1036,23 @@ impl WorkloadTuner {
         // The search observed noisy measurements; the final pick re-measures
         // carefully: choose the best *noiseless* time among everything the
         // search evaluated (the paper's final numbers are 100-rep averages).
-        // Every candidate is a cache hit: the search already simulated it.
-        // NaN-safe: quarantined ids never reach `evaluated`, but total_cmp
-        // plus the finite filter keep even a stray NaN from poisoning the
-        // pick.
-        let id = result
-            .evaluated
-            .iter()
-            .map(|(id, _)| *id)
-            .filter(|&id| evaluator.time(id).is_finite())
-            .min_by(|a, b| evaluator.time(*a).total_cmp(&evaluator.time(*b)))
-            .unwrap_or(result.best_id);
+        // One cache hit per candidate — the search already simulated them
+        // all, and each id's time is looked up exactly once. First minimal
+        // wins ties, matching `min_by`; quarantined ids never reach
+        // `evaluated`, and the finite filter keeps even a stray NaN from
+        // poisoning the pick.
+        let mut best: Option<(u128, f64)> = None;
+        for &(cand, _) in &result.evaluated {
+            let t = evaluator.time(cand);
+            let better = match best {
+                None => true,
+                Some((_, bt)) => t < bt,
+            };
+            if t.is_finite() && better {
+                best = Some((cand, t));
+            }
+        }
+        let id = best.map_or(result.best_id, |(id, _)| id);
         let locals = self.decode(id);
         let mut choices = Vec::new();
         let mut programs = Vec::new();
@@ -900,6 +1092,11 @@ impl WorkloadTuner {
                 threads: result.threads,
                 quarantined_versions: quarantine.versions(),
                 quarantined_configs: quarantine.configs(),
+                per_op_hits: oh1 - oh0,
+                per_op_misses: om1 - om0,
+                time_hits: th1 - th0,
+                time_misses: tm1 - tm0,
+                hot,
             },
             status,
             quarantine,
@@ -941,12 +1138,16 @@ impl WorkloadTuner {
         let mut evaluated_times = Vec::new();
         let mut wall_s = 0.0;
         let mut threads = 1;
+        let mut predict_ns = 0u64;
         let mut quarantine = self.build_quarantine();
         let mut status = SearchStatus::Complete;
         let mut remaining = params.max_evaluations;
         let mut attempted_total = 0usize;
-        let start = std::time::Instant::now();
+        let start = Instant::now();
         let (hits0, misses0) = cache.stats();
+        let (th0, tm0) = cache.time_stats();
+        let (oh0, om0) = cache.op_stats();
+        let hot0 = cache.hot().snapshot();
         for (k, st) in self.statements.iter().enumerate() {
             // Pool over this statement's own space.
             let total = st.total();
@@ -970,10 +1171,12 @@ impl WorkloadTuner {
             };
             let evaluator = StatementEvaluator {
                 st,
+                stmt: k,
                 accumulate: self.workload.statements[k].accumulate,
                 arch,
                 cache,
                 salt: salt_of(arch.name) ^ (k as u64 + 1),
+                op_salt: salt_of(arch.name),
                 eval_noise: params.eval_noise,
                 noise_floor_us: params.noise_floor_us,
                 noise_seed: params.seed ^ k as u64,
@@ -1010,21 +1213,35 @@ impl WorkloadTuner {
             for (cid, reason) in &result.quarantined {
                 quarantine.record_config(Some(k), *cid, reason.clone());
             }
-            let best = result
-                .evaluated
-                .iter()
-                .map(|(id, _)| *id)
-                .filter(|&id| evaluator.time(id).is_finite())
-                .min_by(|a, b| evaluator.time(*a).total_cmp(&evaluator.time(*b)))
-                .unwrap_or(result.best_id);
+            // Final noiseless pick and the evaluated-times record in one
+            // pass: each id's time is looked up exactly once (first minimal
+            // wins ties, matching `min_by`).
+            let mut best: Option<(u128, f64)> = None;
+            evaluated_times.reserve(result.evaluated.len());
+            for &(cand, _) in &result.evaluated {
+                let t = evaluator.time(cand);
+                evaluated_times.push(t);
+                let better = match best {
+                    None => true,
+                    Some((_, bt)) => t < bt,
+                };
+                if t.is_finite() && better {
+                    best = Some((cand, t));
+                }
+            }
+            let best = best.map_or(result.best_id, |(id, _)| id);
             n_evals += result.n_evals();
             batches += result.batches;
             wall_s += result.wall_s;
             threads = threads.max(result.threads);
-            evaluated_times.extend(result.evaluated.iter().map(|(id, _)| evaluator.time(*id)));
+            predict_ns += result.predict_ns;
             locals.push(best);
         }
         let (hits1, misses1) = cache.stats();
+        let (th1, tm1) = cache.time_stats();
+        let (oh1, om1) = cache.op_stats();
+        let mut hot = cache.hot().snapshot().delta(&hot0);
+        hot.predict_ns = predict_ns;
         // The shared attempt budget ran dry: an explicit degradation.
         if let Some(cap) = params.max_evaluations {
             if !status.is_degraded() && attempted_total >= cap {
@@ -1070,6 +1287,11 @@ impl WorkloadTuner {
                 threads,
                 quarantined_versions: quarantine.versions(),
                 quarantined_configs: quarantine.configs(),
+                per_op_hits: oh1 - oh0,
+                per_op_misses: om1 - om0,
+                time_hits: th1 - th0,
+                time_misses: tm1 - tm0,
+                hot,
             },
             status,
             quarantine,

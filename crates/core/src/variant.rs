@@ -13,6 +13,21 @@ use tcr::space::{Configuration, LoopSel, OpConfig, ProgramSpace};
 use tcr::TcrProgram;
 use tensor::{IndexMap, IndexVar};
 
+/// Feature layout of a statement: version one-hot, then per op-slot six
+/// loop-choice one-hots over the index vocabulary plus two integers.
+fn build_feature_space(n_variants: usize, vocab_len: usize, max_ops: usize) -> FeatureSpace {
+    let card = vocab_len + 1;
+    let mut fs = FeatureSpace::default().categorical("version", n_variants);
+    for op in 0..max_ops {
+        for name in ["tx", "ty", "bx", "by", "inner", "second"] {
+            fs = fs.categorical(format!("op{op}_{name}"), card);
+        }
+        fs = fs.integer(format!("op{op}_unroll"), 0.0, 10.0);
+        fs = fs.integer(format!("op{op}_staged"), 0.0, 2.0);
+    }
+    fs
+}
+
 /// One OCTOPI version of a statement, lowered and with its search space.
 #[derive(Clone, Debug)]
 pub struct Variant {
@@ -36,6 +51,10 @@ pub struct StatementTuner {
     vocab: Vec<IndexVar>,
     /// Max statement count across variants (feature slots).
     max_ops: usize,
+    /// Feature layout, built once — rebuilding it per `features` call
+    /// allocates a few hundred `String`s per candidate and used to dominate
+    /// featurization time.
+    feature_space: FeatureSpace,
 }
 
 impl StatementTuner {
@@ -78,6 +97,7 @@ impl StatementTuner {
             .map(|v| v.program.ops.len())
             .max()
             .unwrap_or(0);
+        let feature_space = build_feature_space(variants.len(), vocab.len(), max_ops);
         StatementTuner {
             contraction: contraction.clone(),
             dims: dims.clone(),
@@ -86,6 +106,7 @@ impl StatementTuner {
             offsets,
             vocab,
             max_ops,
+            feature_space,
         }
     }
 
@@ -94,15 +115,22 @@ impl StatementTuner {
         self.offsets.last().copied().unwrap_or(0)
     }
 
-    /// Decodes a flat id into (version index, configuration).
-    pub fn decode(&self, id: u128) -> (usize, Configuration) {
+    /// Decodes a flat id into (version index, configuration id local to
+    /// that version) without materializing the configuration — the memoized
+    /// hot path extracts per-op digits from the local id directly.
+    pub fn decode_raw(&self, id: u128) -> (usize, u128) {
         assert!(id < self.total(), "statement config id out of range");
         // offsets is sorted; find the variant whose range contains id.
         let v = match self.offsets.binary_search(&id) {
             Ok(exact) => exact.min(self.variants.len() - 1),
             Err(ins) => ins - 1,
         };
-        let local = id - self.offsets[v];
+        (v, id - self.offsets[v])
+    }
+
+    /// Decodes a flat id into (version index, configuration).
+    pub fn decode(&self, id: u128) -> (usize, Configuration) {
+        let (v, local) = self.decode_raw(id);
         (v, self.variants[v].space.config(local))
     }
 
@@ -126,14 +154,14 @@ impl StatementTuner {
         }
     }
 
-    /// Raw (pre-binarization) feature vector of one per-op configuration:
+    /// Raw (pre-binarization) feature values of one per-op configuration:
     /// `[tx, ty, bx, by, innermost, second-innermost]` as vocabulary slots
-    /// plus the unroll factor.
-    fn op_raw(&self, cfg: &OpConfig) -> Vec<f64> {
+    /// plus the unroll factor, appended to `raw`.
+    fn op_raw_into(&self, cfg: &OpConfig, raw: &mut Vec<f64>) {
         let sel = |s: &LoopSel| self.vocab_slot(s.var());
         let inner = cfg.interior.last();
         let second = cfg.interior.len().checked_sub(2).map(|k| &cfg.interior[k]);
-        vec![
+        raw.extend([
             self.vocab_slot(Some(&cfg.tx)),
             sel(&cfg.ty),
             sel(&cfg.bx),
@@ -142,21 +170,12 @@ impl StatementTuner {
             self.vocab_slot(second),
             cfg.unroll as f64,
             cfg.staged.len() as f64,
-        ]
+        ]);
     }
 
     /// Feature layout for this statement (shared by every id).
-    pub fn feature_space(&self) -> FeatureSpace {
-        let card = self.vocab.len() + 1;
-        let mut fs = FeatureSpace::default().categorical("version", self.variants.len());
-        for op in 0..self.max_ops {
-            for name in ["tx", "ty", "bx", "by", "inner", "second"] {
-                fs = fs.categorical(format!("op{op}_{name}"), card);
-            }
-            fs = fs.integer(format!("op{op}_unroll"), 0.0, 10.0);
-            fs = fs.integer(format!("op{op}_staged"), 0.0, 2.0);
-        }
-        fs
+    pub fn feature_space(&self) -> &FeatureSpace {
+        &self.feature_space
     }
 
     /// Prunes every variant's space in place and rebuilds the offsets.
@@ -207,15 +226,18 @@ impl StatementTuner {
     pub fn features(&self, id: u128) -> Vec<f64> {
         let (v, config) = self.decode(id);
         let variant = &self.variants[v];
-        let mut raw = vec![v as f64];
+        let mut raw = Vec::with_capacity(1 + 8 * self.max_ops);
+        raw.push(v as f64);
         for op in 0..self.max_ops {
             if op < variant.program.ops.len() {
-                raw.extend(self.op_raw(variant.space.op_config(&config, op)));
+                self.op_raw_into(variant.space.op_config(&config, op), &mut raw);
             } else {
                 raw.extend([0.0; 8]);
             }
         }
-        self.feature_space().binarize(&raw)
+        let mut out = Vec::with_capacity(self.feature_space.width());
+        self.feature_space.binarize_into(&raw, &mut out);
+        out
     }
 }
 

@@ -1,0 +1,120 @@
+//! Property tests for the per-op timing memo layer: evaluation through
+//! [`WorkloadTuner::try_gpu_seconds_memo`] must be bit-identical to the
+//! unmemoized whole-program path — successful times and fault strings
+//! alike — on cold and warm caches, and injected faults must quarantine
+//! identically between serial and parallel searches without ever
+//! contaminating the per-op cache.
+
+use barracuda::prelude::*;
+use barracuda::EvalCache;
+use surf::FaultPlan;
+
+fn workload(name: &str) -> Workload {
+    kernels::table2_benchmarks()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("no table-2 workload named {name}"))
+}
+
+/// Deterministic id sample striding the whole joint space with a prime.
+fn sample_ids(total: u128, n: usize) -> Vec<u128> {
+    (0..n as u128).map(|k| (k * 104_729) % total).collect()
+}
+
+fn assert_memo_matches_unmemoized(
+    tuner: &WorkloadTuner,
+    arch: &gpusim::GpuArch,
+    cache: &EvalCache,
+    ids: &[u128],
+    label: &str,
+) {
+    for &id in ids {
+        let plain = tuner.try_gpu_seconds(id, arch);
+        let memo = tuner.try_gpu_seconds_memo(id, arch, cache);
+        match (plain, memo) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: id {id} time diverged ({a} vs {b})"
+            ),
+            (Err(a), Err(b)) => assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "{label}: id {id} fault string diverged"
+            ),
+            (a, b) => panic!("{label}: id {id} outcome kind diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn memoized_eval_is_bit_identical_to_unmemoized() {
+    let arch = gpusim::k20();
+    for name in ["ex", "tce"] {
+        let w = workload(name);
+        let tuner = WorkloadTuner::build(&w);
+        let ids = sample_ids(tuner.total_space(), 150);
+        let cache = EvalCache::new();
+        // Cold pass populates the per-op layer; warm pass answers from it.
+        assert_memo_matches_unmemoized(&tuner, &arch, &cache, &ids, name);
+        let (hits0, _) = cache.op_stats();
+        assert_memo_matches_unmemoized(&tuner, &arch, &cache, &ids, name);
+        let (hits1, misses1) = cache.op_stats();
+        assert!(
+            hits1 > hits0,
+            "{name}: warm pass produced no per-op hits ({hits0} -> {hits1})"
+        );
+        assert!(misses1 > 0, "{name}: per-op layer saw no compute at all");
+    }
+}
+
+#[test]
+fn faulty_parallel_tuning_quarantines_identically_to_serial() {
+    let w = workload("ex");
+    let tuner = WorkloadTuner::build(&w);
+    let arch = gpusim::k20();
+    let plan = FaultPlan::mixed(0.3, 42);
+    let mut serial_params = TuneParams::quick();
+    serial_params.threads = 1;
+    serial_params.fault_injection = Some(plan);
+    let mut parallel_params = TuneParams::quick();
+    parallel_params.threads = 0;
+    parallel_params.fault_injection = Some(plan);
+    let serial = tuner.autotune(&arch, serial_params).unwrap();
+    let parallel = tuner.autotune(&arch, parallel_params).unwrap();
+    assert_eq!(serial.id, parallel.id);
+    assert_eq!(serial.gpu_seconds.to_bits(), parallel.gpu_seconds.to_bits());
+    let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&serial.search.evaluated_times),
+        bits(&parallel.search.evaluated_times)
+    );
+    // Quarantine is part of the contract: same entries, same reason
+    // strings, same order.
+    assert_eq!(serial.quarantine.entries, parallel.quarantine.entries);
+    assert!(
+        !serial.quarantine.entries.is_empty(),
+        "a 30% fault plan must quarantine something"
+    );
+}
+
+#[test]
+fn injected_faults_never_poison_the_per_op_cache() {
+    let w = workload("ex");
+    let tuner = WorkloadTuner::build(&w);
+    let arch = gpusim::k20();
+    let cache = EvalCache::new();
+    let mut params = TuneParams::quick();
+    params.fault_injection = Some(FaultPlan::mixed(0.4, 7));
+    let tuned = tuner.autotune_with_cache(&arch, params, &cache).unwrap();
+    assert!(
+        !tuned.quarantine.entries.is_empty(),
+        "a 40% fault plan must quarantine something"
+    );
+    // Injected faults short-circuit above the real evaluator, so every
+    // per-op entry the search left behind is a genuine outcome: replaying
+    // ids through the same (now warm) cache must still agree bitwise with
+    // the unmemoized path.
+    let ids = sample_ids(tuner.total_space(), 150);
+    assert_memo_matches_unmemoized(&tuner, &arch, &cache, &ids, "ex-faulty");
+}

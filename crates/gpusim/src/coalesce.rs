@@ -166,13 +166,13 @@ pub fn kernel_traffic(kernel: &MappedKernel, arch: &GpuArch) -> TrafficSummary {
     } else {
         stores
     };
-    let out = kernel.output.clone();
-    let txn_per_warp = transactions_per_warp(kernel, &out, arch);
-    let locality = temporal_factor(kernel, &out, arch);
+    let out = &kernel.output;
+    let txn_per_warp = transactions_per_warp(kernel, out, arch);
+    let locality = temporal_factor(kernel, out, arch);
     account(
         &mut summary,
         &mut seen_arrays,
-        &out,
+        out,
         total_warps * (stores + out_loads) * txn_per_warp * locality,
         txn_per_warp,
     );

@@ -31,4 +31,6 @@ pub mod timing;
 pub use arch::{c2050, gtx980, k20, GpuArch};
 pub use exec::{execute_kernel, execute_program};
 pub use fused::{execute_fused_program, time_fused, FusedTiming};
-pub use timing::{time_kernel, time_program, validate_kernel, KernelTiming, ProgramTiming};
+pub use timing::{
+    kernel_time_s, time_kernel, time_program, validate_kernel, KernelTiming, ProgramTiming,
+};

@@ -162,8 +162,21 @@ pub fn validate_kernel(kernel: &MappedKernel, arch: &GpuArch) -> Result<(), Stri
     Ok(())
 }
 
-/// Times one kernel on `arch`.
-pub fn time_kernel(kernel: &MappedKernel, arch: &GpuArch) -> KernelTiming {
+/// The five mechanistic bounds of one kernel, plus the occupancy and
+/// traffic summaries they derive from. Shared by [`time_kernel`] (full
+/// breakdown) and [`kernel_time_s`] (scalar fast path), so the two are
+/// bitwise identical by construction.
+struct KernelBounds {
+    occ: Occupancy,
+    traffic: TrafficSummary,
+    dp_pipe_s: f64,
+    issue_s: f64,
+    l2_s: f64,
+    dram_s: f64,
+    serial_s: f64,
+}
+
+fn kernel_bounds(kernel: &MappedKernel, arch: &GpuArch) -> KernelBounds {
     let occ = occupancy(kernel, arch);
     let traffic = kernel_traffic(kernel, arch);
     let clock_hz = arch.clock_ghz * 1e9;
@@ -218,21 +231,55 @@ pub fn time_kernel(kernel: &MappedKernel, arch: &GpuArch) -> KernelTiming {
     let serial_s =
         occ.waves as f64 * kernel.interior_trip_count() as f64 * per_point_cycles / clock_hz;
 
-    let launch_s = arch.kernel_launch_us * 1e-6;
-    let body = dp_pipe_s.max(issue_s).max(l2_s).max(dram_s).max(serial_s);
-    KernelTiming {
-        name: kernel.name.clone(),
-        time_s: launch_s + body,
-        launch_s,
+    KernelBounds {
+        occ,
+        traffic,
         dp_pipe_s,
         issue_s,
         l2_s,
         dram_s,
         serial_s,
-        flops,
-        occupancy: occ,
-        traffic,
     }
+}
+
+/// Times one kernel on `arch`.
+pub fn time_kernel(kernel: &MappedKernel, arch: &GpuArch) -> KernelTiming {
+    let b = kernel_bounds(kernel, arch);
+    let launch_s = arch.kernel_launch_us * 1e-6;
+    let body = b
+        .dp_pipe_s
+        .max(b.issue_s)
+        .max(b.l2_s)
+        .max(b.dram_s)
+        .max(b.serial_s);
+    KernelTiming {
+        name: kernel.name.clone(),
+        time_s: launch_s + body,
+        launch_s,
+        dp_pipe_s: b.dp_pipe_s,
+        issue_s: b.issue_s,
+        l2_s: b.l2_s,
+        dram_s: b.dram_s,
+        serial_s: b.serial_s,
+        flops: kernel.flops(),
+        occupancy: b.occ,
+        traffic: b.traffic,
+    }
+}
+
+/// Total time of one kernel (`time_kernel(..).time_s`) without building the
+/// breakdown struct or cloning the kernel name — the memoized per-op hot
+/// path's variant. Bitwise identical to the full path: both compute the
+/// same [`kernel_bounds`].
+pub fn kernel_time_s(kernel: &MappedKernel, arch: &GpuArch) -> f64 {
+    let b = kernel_bounds(kernel, arch);
+    let launch_s = arch.kernel_launch_us * 1e-6;
+    launch_s
+        + b.dp_pipe_s
+            .max(b.issue_s)
+            .max(b.l2_s)
+            .max(b.dram_s)
+            .max(b.serial_s)
 }
 
 /// Times a whole mapped program. `include_transfer` adds PCIe movement of
@@ -310,6 +357,17 @@ mod tests {
         let a = time_kernel(&k, &arch).time_s;
         let b = time_kernel(&k, &arch).time_s;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fast_path_time_matches_full_breakdown_bitwise() {
+        let p = matmul_program(96);
+        for arch in all_architectures() {
+            for unroll in [1, 2, 4] {
+                let k = kernel_with(&p, "k", unroll);
+                assert_eq!(kernel_time_s(&k, &arch), time_kernel(&k, &arch).time_s);
+            }
+        }
     }
 
     #[test]

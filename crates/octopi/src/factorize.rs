@@ -225,7 +225,7 @@ impl<'a> Enumerator<'a> {
             steps[j].name = self.contraction.output.name.clone();
             steps[j].indices = self.contraction.output.indices.clone();
         }
-        let key = last.key.clone();
+        let key = last.key;
         if self.results.contains_key(&key) {
             return;
         }

@@ -8,6 +8,7 @@
 //! uniformly random cut-point between its node-local min and max, and the
 //! split with the best variance reduction wins.
 
+use crate::binarize::{CompactMatrix, FeatureMatrix, NUMERIC_COL};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,16 +75,237 @@ impl Tree {
     }
 }
 
+/// One packed node: 24 bytes, so a traversal step touches a single cache
+/// line instead of one per parallel array. Leaves self-loop
+/// (`left == right == self`) with a `-inf` threshold, so a bounded walk
+/// parks at the leaf without branching on the node kind.
+#[derive(Clone, Copy, Debug)]
+struct PackedNode {
+    thr: f64,
+    feat: u32,
+    left: u32,
+    right: u32,
+}
+
+/// Flat tree layout for the batch prediction hot path.
+#[derive(Clone, Debug)]
+struct PackedTree {
+    nodes: Vec<PackedNode>,
+    val: Vec<f64>,
+    depth: u32,
+}
+
+impl PackedTree {
+    fn pack(tree: &Tree) -> Self {
+        let n = tree.nodes.len();
+        let mut p = PackedTree {
+            nodes: vec![
+                PackedNode {
+                    thr: f64::NEG_INFINITY,
+                    feat: 0,
+                    left: 0,
+                    right: 0,
+                };
+                n
+            ],
+            val: vec![0.0; n],
+            depth: 0,
+        };
+        for (i, node) in tree.nodes.iter().enumerate() {
+            match node {
+                Node::Leaf { value } => {
+                    p.nodes[i].left = i as u32;
+                    p.nodes[i].right = i as u32;
+                    p.val[i] = *value;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    p.nodes[i] = PackedNode {
+                        thr: *threshold,
+                        feat: *feature as u32,
+                        left: *left as u32,
+                        right: *right as u32,
+                    };
+                }
+            }
+        }
+        // Depth of the deepest leaf: the maximal walk length.
+        let mut stack = vec![(0u32, 0u32)];
+        while let Some((at, d)) = stack.pop() {
+            p.depth = p.depth.max(d);
+            if let Node::Split { left, right, .. } = &tree.nodes[at as usize] {
+                stack.push((*left as u32, d + 1));
+                stack.push((*right as u32, d + 1));
+            }
+        }
+        p
+    }
+
+    #[inline(always)]
+    fn step(&self, x: &[f64], at: u32) -> u32 {
+        let n = &self.nodes[at as usize];
+        if x[n.feat as usize] < n.thr {
+            n.left
+        } else {
+            n.right
+        }
+    }
+
+    /// Walks one row to its leaf value.
+    #[inline]
+    fn leaf(&self, x: &[f64]) -> f64 {
+        let mut at = 0u32;
+        for _ in 0..self.depth {
+            let next = self.step(x, at);
+            if next == at {
+                break;
+            }
+            at = next;
+        }
+        self.val[at as usize]
+    }
+}
+
+/// A forest whose node feature indices are rewritten against a
+/// [`CompactMatrix`] schema: each node records whether its column lives in
+/// the bitset or the numeric block, so traversal never consults a
+/// translation table. The comparison is unchanged — a bit rereads as
+/// exactly 0.0 or 1.0 before the `x < threshold` test — so every decision,
+/// and therefore every prediction, is bit-identical to the flat-matrix
+/// walk.
+#[derive(Clone, Debug)]
+pub struct CompiledForest {
+    trees: Vec<PackedTree>,
+    n_trees: usize,
+    n_features: usize,
+}
+
+impl PackedTree {
+    #[inline(always)]
+    fn cstep(&self, xb: &[u64], xn: &[f64], at: u32) -> u32 {
+        let n = &self.nodes[at as usize];
+        let f = n.feat;
+        let x = if f & NUMERIC_COL != 0 {
+            xn[(f & !NUMERIC_COL) as usize]
+        } else {
+            ((xb[(f >> 6) as usize] >> (f & 63)) & 1) as f64
+        };
+        if x < n.thr {
+            n.left
+        } else {
+            n.right
+        }
+    }
+
+    #[inline]
+    fn cleaf(&self, xb: &[u64], xn: &[f64]) -> f64 {
+        let mut at = 0u32;
+        for _ in 0..self.depth {
+            let next = self.cstep(xb, xn, at);
+            if next == at {
+                break;
+            }
+            at = next;
+        }
+        self.val[at as usize]
+    }
+}
+
+impl CompiledForest {
+    /// Predicts the selected `rows` of compact matrix `c` into `out`
+    /// (cleared first); bit-identical to
+    /// [`ExtraTrees::predict_rows_into`] on the flat matrix `c` was built
+    /// from.
+    pub fn predict_rows_into(&self, c: &CompactMatrix, rows: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        if rows.is_empty() {
+            return;
+        }
+        assert_eq!(c.width(), self.n_features, "feature width mismatch");
+        out.resize(rows.len(), 0.0);
+        const BLOCK: usize = 128;
+        for (bi, chunk) in rows.chunks(BLOCK).enumerate() {
+            let acc = &mut out[bi * BLOCK..bi * BLOCK + chunk.len()];
+            for t in &self.trees {
+                const LANES: usize = 8;
+                let mut i = 0;
+                while i + LANES <= chunk.len() {
+                    let xb: [&[u64]; LANES] =
+                        std::array::from_fn(|l| c.bits_row(chunk[i + l] as usize));
+                    let xn: [&[f64]; LANES] =
+                        std::array::from_fn(|l| c.num_row(chunk[i + l] as usize));
+                    let mut at = [0u32; LANES];
+                    for _ in 0..t.depth {
+                        let mut parked = true;
+                        for l in 0..LANES {
+                            let next = t.cstep(xb[l], xn[l], at[l]);
+                            parked &= next == at[l];
+                            at[l] = next;
+                        }
+                        if parked {
+                            break;
+                        }
+                    }
+                    for l in 0..LANES {
+                        acc[i + l] += t.val[at[l] as usize];
+                    }
+                    i += LANES;
+                }
+                while i < chunk.len() {
+                    let r = chunk[i] as usize;
+                    acc[i] += t.cleaf(c.bits_row(r), c.num_row(r));
+                    i += 1;
+                }
+            }
+        }
+        let n = self.n_trees as f64;
+        for v in out.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
 /// A fitted extra-trees regression forest.
 #[derive(Clone, Debug)]
 pub struct ExtraTrees {
     trees: Vec<Tree>,
+    /// SoA mirror of `trees`, built once at fit time for batch traversal.
+    packed: Vec<PackedTree>,
     pub params: ForestParams,
     n_features: usize,
     /// Accumulated variance reduction per (binarized) feature across every
     /// split of every tree, normalized to sum to 1 (all zeros when no tree
     /// ever split).
     importance: Vec<f64>,
+}
+
+/// Reusable per-tree buffers for `grow`: without these every candidate
+/// split allocates two partition vectors, which dominates fit time.
+#[derive(Default)]
+struct GrowScratch {
+    cand: Vec<usize>,
+    left_ys: Vec<f64>,
+    right_ys: Vec<f64>,
+}
+
+/// Column-major view of the training set, built once per fit so the
+/// per-candidate min/max and partition passes scan one contiguous column
+/// instead of chasing a row pointer per sample.
+struct Cols<'a> {
+    data: &'a [f64],
+    n: usize,
+    d: usize,
+}
+
+impl Cols<'_> {
+    #[inline(always)]
+    fn get(&self, i: usize, f: usize) -> f64 {
+        self.data[f * self.n + i]
+    }
 }
 
 fn mean(ys: &[f64], idx: &[usize]) -> f64 {
@@ -95,16 +317,18 @@ fn sse(ys: &[f64], idx: &[usize]) -> f64 {
     idx.iter().map(|&i| (ys[i] - m).powi(2)).sum()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn grow(
-    xs: &[Vec<f64>],
+    xs: &Cols<'_>,
     ys: &[f64],
     idx: Vec<usize>,
     nodes: &mut Vec<Node>,
     params: &ForestParams,
     rng: &mut StdRng,
     importance: &mut [f64],
+    scratch: &mut GrowScratch,
 ) -> usize {
-    let n_features = xs[0].len();
+    let n_features = xs.d;
     let make_leaf = |nodes: &mut Vec<Node>, idx: &[usize]| {
         nodes.push(Node::Leaf {
             value: mean(ys, idx),
@@ -122,40 +346,52 @@ fn grow(
 
     // Candidate features with non-constant values at this node.
     let k = params.k_features.unwrap_or(n_features).min(n_features);
-    let mut candidates: Vec<usize> = (0..n_features).collect();
+    scratch.cand.clear();
+    scratch.cand.extend(0..n_features);
     // Partial Fisher–Yates to draw k distinct features.
-    for i in 0..k.min(candidates.len()) {
-        let j = rng.gen_range(i..candidates.len());
-        candidates.swap(i, j);
+    for i in 0..k.min(n_features) {
+        let j = rng.gen_range(i..n_features);
+        scratch.cand.swap(i, j);
     }
-    candidates.truncate(k);
 
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
     let parent_sse = sse(ys, &idx);
-    for &f in &candidates {
+    for ci in 0..k {
+        let f = scratch.cand[ci];
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &i in &idx {
-            lo = lo.min(xs[i][f]);
-            hi = hi.max(xs[i][f]);
+            lo = lo.min(xs.get(i, f));
+            hi = hi.max(xs.get(i, f));
         }
         if hi - lo < 1e-12 {
             continue;
         }
         let threshold = rng.gen_range(lo..hi).max(lo + (hi - lo) * 1e-9);
-        let left: Vec<usize> = idx
-            .iter()
-            .copied()
-            .filter(|&i| xs[i][f] < threshold)
-            .collect();
-        if left.is_empty() || left.len() == idx.len() {
+        // One partition pass gathers each side's targets contiguously and
+        // accumulates their sums in the same left-to-right order `mean`
+        // would, so the means — and the sse passes below — are bit-identical
+        // to the separate filter+mean+sse formulation.
+        scratch.left_ys.clear();
+        scratch.right_ys.clear();
+        let (mut sum_l, mut sum_r) = (0.0f64, 0.0f64);
+        for &i in &idx {
+            let y = ys[i];
+            if xs.get(i, f) < threshold {
+                scratch.left_ys.push(y);
+                sum_l += y;
+            } else {
+                scratch.right_ys.push(y);
+                sum_r += y;
+            }
+        }
+        if scratch.left_ys.is_empty() || scratch.left_ys.len() == idx.len() {
             continue;
         }
-        let right: Vec<usize> = idx
-            .iter()
-            .copied()
-            .filter(|&i| xs[i][f] >= threshold)
-            .collect();
-        let score = parent_sse - sse(ys, &left) - sse(ys, &right);
+        let m_l = sum_l / scratch.left_ys.len() as f64;
+        let m_r = sum_r / scratch.right_ys.len() as f64;
+        let sse_l: f64 = scratch.left_ys.iter().map(|&y| (y - m_l).powi(2)).sum();
+        let sse_r: f64 = scratch.right_ys.iter().map(|&y| (y - m_r).powi(2)).sum();
+        let score = parent_sse - sse_l - sse_r;
         if best.map(|(_, _, s)| score > s).unwrap_or(true) {
             best = Some((f, threshold, score));
         }
@@ -168,18 +404,18 @@ fn grow(
     let left_idx: Vec<usize> = idx
         .iter()
         .copied()
-        .filter(|&i| xs[i][feature] < threshold)
+        .filter(|&i| xs.get(i, feature) < threshold)
         .collect();
     let right_idx: Vec<usize> = idx
         .iter()
         .copied()
-        .filter(|&i| xs[i][feature] >= threshold)
+        .filter(|&i| xs.get(i, feature) >= threshold)
         .collect();
 
     let at = nodes.len();
     nodes.push(Node::Leaf { value: 0.0 }); // placeholder
-    let left = grow(xs, ys, left_idx, nodes, params, rng, importance);
-    let right = grow(xs, ys, right_idx, nodes, params, rng, importance);
+    let left = grow(xs, ys, left_idx, nodes, params, rng, importance, scratch);
+    let right = grow(xs, ys, right_idx, nodes, params, rng, importance, scratch);
     nodes[at] = Node::Split {
         feature,
         threshold,
@@ -201,19 +437,36 @@ impl ExtraTrees {
         assert!(!xs.is_empty(), "cannot fit on an empty training set");
         let n_features = xs[0].len();
         assert!(xs.iter().all(|x| x.len() == n_features));
+        // Transpose once; every tree's split passes then scan contiguous
+        // columns (values and visit order unchanged, so trees are
+        // bit-identical to the row-major layout).
+        let n = xs.len();
+        let mut colmaj = vec![0.0; n * n_features];
+        for (i, x) in xs.iter().enumerate() {
+            for (f, &v) in x.iter().enumerate() {
+                colmaj[f * n + i] = v;
+            }
+        }
+        let cols = Cols {
+            data: &colmaj,
+            n,
+            d: n_features,
+        };
         let tree_ids: Vec<u64> = (0..params.n_trees as u64).collect();
         let grown: Vec<(Tree, Vec<f64>)> = rayon::par_map_slice(&tree_ids, |&t| {
             let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(t));
             let mut nodes = Vec::new();
             let mut importance = vec![0.0; n_features];
+            let mut scratch = GrowScratch::default();
             let root = grow(
-                xs,
+                &cols,
                 ys,
-                (0..xs.len()).collect(),
+                (0..n).collect(),
                 &mut nodes,
                 &params,
                 &mut rng,
                 &mut importance,
+                &mut scratch,
             );
             debug_assert_eq!(root, 0);
             (Tree { nodes }, importance)
@@ -230,8 +483,10 @@ impl ExtraTrees {
         if total > 0.0 {
             importance.iter_mut().for_each(|v| *v /= total);
         }
+        let packed = trees.iter().map(PackedTree::pack).collect();
         ExtraTrees {
             trees,
+            packed,
             params,
             n_features,
             importance,
@@ -251,7 +506,97 @@ impl ExtraTrees {
 
     /// Predicts a batch.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let m = FeatureMatrix::from_rows(xs);
+        let rows: Vec<u32> = (0..xs.len() as u32).collect();
+        let mut out = Vec::new();
+        self.predict_rows_into(&m, &rows, &mut out);
+        out
+    }
+
+    /// Predicts every row of a flat matrix.
+    pub fn predict_rows(&self, m: &FeatureMatrix) -> Vec<f64> {
+        let rows: Vec<u32> = (0..m.n_rows() as u32).collect();
+        let mut out = Vec::new();
+        self.predict_rows_into(m, &rows, &mut out);
+        out
+    }
+
+    /// Rewrites the forest's node feature indices against a compact-matrix
+    /// schema, for repeated scoring of the same (large) candidate pool.
+    pub fn compile(&self, schema: &CompactMatrix) -> CompiledForest {
+        assert_eq!(schema.width(), self.n_features, "feature width mismatch");
+        let kinds = schema.kinds();
+        let trees = self
+            .packed
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                for n in &mut t.nodes {
+                    n.feat = kinds[n.feat as usize];
+                }
+                t
+            })
+            .collect();
+        CompiledForest {
+            trees,
+            n_trees: self.trees.len(),
+            n_features: self.n_features,
+        }
+    }
+
+    /// Predicts the selected `rows` of `m` into `out` (cleared first).
+    ///
+    /// Bit-identical to calling [`predict`](Self::predict) per row: each
+    /// row's leaf values are accumulated in ascending tree order from 0.0
+    /// and divided once, exactly the scalar path's reduction. Rows are
+    /// processed in cache-resident blocks with the tree loop outside, so a
+    /// tree's SoA arrays stay hot across the whole block, and four rows
+    /// walk each tree at once to overlap the dependent node→child loads.
+    pub fn predict_rows_into(&self, m: &FeatureMatrix, rows: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        if rows.is_empty() {
+            return;
+        }
+        assert_eq!(m.width(), self.n_features, "feature width mismatch");
+        out.resize(rows.len(), 0.0);
+        const BLOCK: usize = 128;
+        for (bi, chunk) in rows.chunks(BLOCK).enumerate() {
+            let acc = &mut out[bi * BLOCK..bi * BLOCK + chunk.len()];
+            for t in &self.packed {
+                const LANES: usize = 8;
+                let mut i = 0;
+                while i + LANES <= chunk.len() {
+                    let x: [&[f64]; LANES] = std::array::from_fn(|l| m.row(chunk[i + l] as usize));
+                    let mut at = [0u32; LANES];
+                    // Walk until every lane self-loops at a leaf; bounded by
+                    // the tree depth, but usually far shorter because the
+                    // deepest branch is rarely hit by any of the eight rows.
+                    for _ in 0..t.depth {
+                        let mut parked = true;
+                        for l in 0..LANES {
+                            let next = t.step(x[l], at[l]);
+                            parked &= next == at[l];
+                            at[l] = next;
+                        }
+                        if parked {
+                            break;
+                        }
+                    }
+                    for l in 0..LANES {
+                        acc[i + l] += t.val[at[l] as usize];
+                    }
+                    i += LANES;
+                }
+                while i < chunk.len() {
+                    acc[i] += t.leaf(m.row(chunk[i] as usize));
+                    i += 1;
+                }
+            }
+        }
+        let n = self.trees.len() as f64;
+        for v in out.iter_mut() {
+            *v /= n;
+        }
     }
 }
 
@@ -358,5 +703,80 @@ mod tests {
     #[should_panic(expected = "empty training set")]
     fn empty_fit_panics() {
         let _ = ExtraTrees::fit(&[], &[], ForestParams::default());
+    }
+
+    #[test]
+    fn packed_batch_prediction_is_bit_identical_to_scalar() {
+        let (xs, ys) = synthetic(500, 11);
+        let model = ExtraTrees::fit(&xs, &ys, ForestParams::default());
+        let (xt, _) = synthetic(333, 12); // odd size exercises the remainder lanes
+        let batch = model.predict_batch(&xt);
+        for (x, p) in xt.iter().zip(&batch) {
+            assert_eq!(model.predict(x).to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn selected_rows_match_full_matrix() {
+        let (xs, ys) = synthetic(200, 13);
+        let model = ExtraTrees::fit(&xs, &ys, ForestParams::default());
+        let m = FeatureMatrix::from_rows(&xs);
+        let full = model.predict_rows(&m);
+        let sel: Vec<u32> = (0..xs.len() as u32).rev().step_by(3).collect();
+        let mut out = Vec::new();
+        model.predict_rows_into(&m, &sel, &mut out);
+        for (r, p) in sel.iter().zip(&out) {
+            assert_eq!(full[*r as usize].to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn compiled_forest_matches_flat_matrix_bitwise() {
+        // Mixed binary (one-hot) and numeric columns, odd row count for the
+        // remainder lanes; compiled traversal must reproduce the flat-matrix
+        // predictions bit for bit.
+        let (xs, ys) = synthetic(450, 21);
+        let model = ExtraTrees::fit(&xs, &ys, ForestParams::default());
+        let (xt, _) = synthetic(301, 22);
+        let m = FeatureMatrix::from_rows(&xt);
+        let c = crate::binarize::CompactMatrix::from_matrix(&m);
+        let rows: Vec<u32> = (0..m.n_rows() as u32).collect();
+        let (mut flat, mut compact) = (Vec::new(), Vec::new());
+        model.predict_rows_into(&m, &rows, &mut flat);
+        model.compile(&c).predict_rows_into(&c, &rows, &mut compact);
+        for (a, b) in flat.iter().zip(&compact) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Strided selection goes through the same gather path.
+        let sel: Vec<u32> = (0..m.n_rows() as u32).rev().step_by(7).collect();
+        model.predict_rows_into(&m, &sel, &mut flat);
+        model.compile(&c).predict_rows_into(&c, &sel, &mut compact);
+        assert_eq!(flat, compact);
+    }
+
+    #[test]
+    fn compiled_forest_all_numeric_columns() {
+        // No binary column at all: the bitset block is empty and every node
+        // reads the numeric side.
+        let mut rng = StdRng::seed_from_u64(31);
+        let xs: Vec<Vec<f64>> = (0..120)
+            .map(|_| vec![rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1]).collect();
+        let model = ExtraTrees::fit(&xs, &ys, ForestParams::default());
+        let m = FeatureMatrix::from_rows(&xs);
+        let c = crate::binarize::CompactMatrix::from_matrix(&m);
+        let rows: Vec<u32> = (0..m.n_rows() as u32).collect();
+        let (mut flat, mut compact) = (Vec::new(), Vec::new());
+        model.predict_rows_into(&m, &rows, &mut flat);
+        model.compile(&c).predict_rows_into(&c, &rows, &mut compact);
+        assert_eq!(flat, compact);
+    }
+
+    #[test]
+    fn empty_batch_predicts_empty() {
+        let (xs, ys) = synthetic(50, 14);
+        let model = ExtraTrees::fit(&xs, &ys, ForestParams::default());
+        assert!(model.predict_batch(&[]).is_empty());
     }
 }

@@ -25,9 +25,11 @@
 //! When every attempted configuration is quarantined the search returns
 //! [`SearchError::NoSurvivors`] rather than a bogus best.
 
+use crate::binarize::{CompactMatrix, FeatureMatrix};
 use crate::forest::{ExtraTrees, ForestParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
 
@@ -194,6 +196,9 @@ pub struct SurfResult {
     pub threads: usize,
     /// Wall-clock seconds spent inside the search.
     pub wall_s: f64,
+    /// Nanoseconds spent inside surrogate pool scoring (model prediction,
+    /// excluding the one-time pool featurization).
+    pub predict_ns: u64,
 }
 
 impl SurfResult {
@@ -251,6 +256,69 @@ trait Backend {
     fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, Result<f64, EvalFault>)>;
     fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64>;
     fn threads(&self) -> usize;
+    /// Nanoseconds spent in model prediction during `score` so far.
+    fn predict_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Featurized pool shared by every scoring pass: built once from the first
+/// pass's `remaining` set (later sets are subsets — the pool only shrinks),
+/// compressed into a [`CompactMatrix`] (one bit per one-hot column), then
+/// every pass compiles the fresh forest against that schema, gathers row
+/// indices and runs the blocked traversal over rows a tenth the size of the
+/// flat matrix. This removes both the per-pass per-candidate `Vec<f64>`
+/// featurization and the DRAM streaming that used to dominate search wall
+/// time; predictions stay bit-identical to the naive per-id path.
+struct PoolFeatures {
+    rows: CompactMatrix,
+    index: HashMap<u128, u32>,
+    sel: Vec<u32>,
+}
+
+impl PoolFeatures {
+    fn build(feats: Vec<Vec<f64>>, ids: &[u128]) -> Self {
+        let rows = CompactMatrix::from_matrix(&FeatureMatrix::from_rows(&feats));
+        let index = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        PoolFeatures {
+            rows,
+            index,
+            sel: Vec::new(),
+        }
+    }
+
+    /// Scores `remaining` in order; bit-identical to per-id
+    /// `model.predict(features(id))` because the compiled traversal makes
+    /// the same decisions and reduces in the same tree order per row.
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+        self.sel.clear();
+        self.sel.extend(remaining.iter().map(|id| self.index[id]));
+        let mut preds = Vec::new();
+        let compiled = model.compile(&self.rows);
+        compiled.predict_rows_into(&self.rows, &self.sel, &mut preds);
+        preds
+    }
+
+    /// Parallel variant: rows are predicted independently (no cross-row
+    /// reduction), so chunking the selection over the rayon pool keeps
+    /// every output bit identical to the serial traversal.
+    fn score_parallel(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+        self.sel.clear();
+        self.sel.extend(remaining.iter().map(|id| self.index[id]));
+        let chunks: Vec<&[u32]> = self.sel.chunks(2048).collect();
+        let rows = &self.rows;
+        let compiled = model.compile(rows);
+        let parts = rayon::par_map_slice(&chunks, |c| {
+            let mut v = Vec::new();
+            compiled.predict_rows_into(rows, c, &mut v);
+            v
+        });
+        parts.concat()
+    }
 }
 
 struct SerialBackend<F, E> {
@@ -287,6 +355,8 @@ impl<F: FnMut(u128) -> Vec<f64>, E: FnMut(u128) -> f64> Backend for SerialBacken
 /// fault outcomes (not just values) match the parallel path bit-for-bit.
 struct SerialEvalBackend<'a, E: ParallelEvaluator> {
     evaluator: &'a E,
+    pool: Option<PoolFeatures>,
+    predict_ns: u64,
 }
 
 impl<E: ParallelEvaluator> Backend for SerialEvalBackend<'_, E> {
@@ -300,19 +370,35 @@ impl<E: ParallelEvaluator> Backend for SerialEvalBackend<'_, E> {
     }
 
     fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
-        remaining
-            .iter()
-            .map(|&id| model.predict(&self.evaluator.features(id)))
-            .collect()
+        let pool = match &mut self.pool {
+            Some(p) => p,
+            None => {
+                let feats: Vec<Vec<f64>> = remaining
+                    .iter()
+                    .map(|&id| self.evaluator.features(id))
+                    .collect();
+                self.pool.insert(PoolFeatures::build(feats, remaining))
+            }
+        };
+        let t0 = Instant::now();
+        let preds = pool.score(model, remaining);
+        self.predict_ns += t0.elapsed().as_nanos() as u64;
+        preds
     }
 
     fn threads(&self) -> usize {
         1
     }
+
+    fn predict_ns(&self) -> u64 {
+        self.predict_ns
+    }
 }
 
 struct ParallelBackend<'a, E: ParallelEvaluator> {
     evaluator: &'a E,
+    pool: Option<PoolFeatures>,
+    predict_ns: u64,
 }
 
 impl<E: ParallelEvaluator> Backend for ParallelBackend<'_, E> {
@@ -326,11 +412,25 @@ impl<E: ParallelEvaluator> Backend for ParallelBackend<'_, E> {
     }
 
     fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
-        rayon::par_map_slice(remaining, |&id| model.predict(&self.evaluator.features(id)))
+        let pool = match &mut self.pool {
+            Some(p) => p,
+            None => {
+                let feats = rayon::par_map_slice(remaining, |&id| self.evaluator.features(id));
+                self.pool.insert(PoolFeatures::build(feats, remaining))
+            }
+        };
+        let t0 = Instant::now();
+        let preds = pool.score_parallel(model, remaining);
+        self.predict_ns += t0.elapsed().as_nanos() as u64;
+        preds
     }
 
     fn threads(&self) -> usize {
         rayon::current_num_threads()
+    }
+
+    fn predict_ns(&self) -> u64 {
+        self.predict_ns
     }
 }
 
@@ -359,7 +459,15 @@ pub fn surf_search_serial<E: ParallelEvaluator>(
     evaluator: &E,
     params: SurfParams,
 ) -> Result<SurfResult, SearchError> {
-    drive(pool, &mut SerialEvalBackend { evaluator }, params)
+    drive(
+        pool,
+        &mut SerialEvalBackend {
+            evaluator,
+            pool: None,
+            predict_ns: 0,
+        },
+        params,
+    )
 }
 
 /// Runs SURF over `pool`, fanning each batch evaluation and each surrogate
@@ -372,7 +480,15 @@ pub fn surf_search_parallel<E: ParallelEvaluator>(
     evaluator: &E,
     params: SurfParams,
 ) -> Result<SurfResult, SearchError> {
-    drive(pool, &mut ParallelBackend { evaluator }, params)
+    drive(
+        pool,
+        &mut ParallelBackend {
+            evaluator,
+            pool: None,
+            predict_ns: 0,
+        },
+        params,
+    )
 }
 
 fn drive<B: Backend>(
@@ -577,6 +693,7 @@ fn drive<B: Backend>(
             batches,
             threads: backend.threads(),
             wall_s: start.elapsed().as_secs_f64(),
+            predict_ns: backend.predict_ns(),
         }),
         None => Err(SearchError::NoSurvivors {
             attempted: quarantined.len(),

@@ -288,8 +288,7 @@ pub fn map_kernel(
     };
 
     // Coverage and parallelism checks.
-    let mapped = cfg.mapped_vars();
-    for v in &mapped {
+    for v in cfg.mapped_vars_iter() {
         if !out_indices.contains(v) {
             return Err(MapError::new(
                 op_index,
@@ -297,14 +296,25 @@ pub fn map_kernel(
             ));
         }
     }
-    let mut covered: Vec<&IndexVar> = mapped.clone();
-    covered.extend(cfg.interior.iter());
-    let mut covered_names: Vec<&str> = covered.iter().map(|v| v.name()).collect();
-    covered_names.sort_unstable();
-    covered_names.dedup();
-    let mut want: Vec<&str> = loop_vars.iter().map(|v| v.name()).collect();
-    want.sort_unstable();
-    if covered_names != want {
+    // Set equality between (mapped ∪ interior) and the statement's loop
+    // variables, checked by membership over the tiny loop nests instead of
+    // building sorted scratch vectors on every call; the diagnostic lists
+    // are materialized only on the failure path.
+    let covers = |v: &IndexVar| cfg.mapped_vars_iter().any(|m| m == v) || cfg.interior.contains(v);
+    let in_loops = |v: &IndexVar| loop_vars.contains(v);
+    if !(loop_vars.iter().all(covers)
+        && cfg.mapped_vars_iter().all(in_loops)
+        && cfg.interior.iter().all(in_loops))
+    {
+        let mut covered_names: Vec<&str> = cfg
+            .mapped_vars_iter()
+            .chain(cfg.interior.iter())
+            .map(|v| v.name())
+            .collect();
+        covered_names.sort_unstable();
+        covered_names.dedup();
+        let mut want: Vec<&str> = loop_vars.iter().map(|v| v.name()).collect();
+        want.sort_unstable();
         return Err(MapError::new(
             op_index,
             format!(

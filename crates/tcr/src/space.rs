@@ -122,13 +122,16 @@ pub struct OpConfig {
 impl OpConfig {
     /// All loop variables consumed by the GPU decomposition.
     pub fn mapped_vars(&self) -> Vec<&IndexVar> {
-        let mut v = vec![&self.tx];
-        for sel in [&self.ty, &self.bx, &self.by] {
-            if let LoopSel::Var(ref s) = sel {
-                v.push(s);
-            }
-        }
-        v
+        self.mapped_vars_iter().collect()
+    }
+
+    /// The grid/block-mapped loop variables, without allocating.
+    pub fn mapped_vars_iter(&self) -> impl Iterator<Item = &IndexVar> {
+        std::iter::once(&self.tx).chain(
+            [&self.ty, &self.bx, &self.by]
+                .into_iter()
+                .filter_map(|s| s.var()),
+        )
     }
 }
 
@@ -191,6 +194,20 @@ impl ProgramSpace {
             id /= radix;
         }
         Configuration { choice }
+    }
+
+    /// Mixed-radix decode into a caller-provided scratch buffer (resized to
+    /// one digit per op), so hot evaluation loops can reuse one allocation
+    /// across many ids instead of building a [`Configuration`] each time.
+    pub fn choices_into(&self, mut id: u128, out: &mut Vec<usize>) {
+        assert!(id < self.len(), "configuration id out of range");
+        out.clear();
+        out.resize(self.per_op.len(), 0);
+        for (k, s) in self.per_op.iter().enumerate().rev() {
+            let radix = s.configs.len() as u128;
+            out[k] = (id % radix) as usize;
+            id /= radix;
+        }
     }
 
     /// Inverse of [`ProgramSpace::config`].
