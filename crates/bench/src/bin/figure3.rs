@@ -1,6 +1,12 @@
-//! Regenerates Figure 3: the 27 NWChem kernels on C2050 and K20.
+//! Regenerates Figure 3: the 27 NWChem kernels on C2050 and K20 by
+//! default; `--backend KEY|all` selects other architectures.
 fn main() {
-    let points = bench::figure3::run(barracuda::kernels::NWCHEM_TRIP, bench::experiment_params());
+    let archs = bench::archs_or_exit(&[gpusim::c2050(), gpusim::k20()]);
+    let points = bench::figure3::run_with_archs(
+        barracuda::kernels::NWCHEM_TRIP,
+        &archs,
+        bench::experiment_params(),
+    );
     println!("{}", bench::figure3::render(&points));
     for family in ["s1", "d1", "d2"] {
         let (lo, hi) = bench::figure3::family_range(&points, family);

@@ -1,5 +1,7 @@
-//! Regenerates Table II of the paper.
+//! Regenerates Table II of the paper. `--backend KEY|all` selects the
+//! architectures; the default is the paper's three GPUs.
 fn main() {
-    let rows = bench::table2::run(bench::experiment_params());
+    let archs = bench::archs_or_exit(&gpusim::arch::all_architectures());
+    let rows = bench::table2::run_with_archs(&archs, bench::experiment_params());
     println!("{}", bench::table2::render(&rows));
 }

@@ -1,5 +1,7 @@
-//! Regenerates Table III of the paper.
+//! Regenerates Table III of the paper. `--backend KEY|all` selects the
+//! architectures; the default is the paper's K20 + C2050.
 fn main() {
-    let rows = bench::table3::run(bench::experiment_params());
+    let archs = bench::archs_or_exit(&[gpusim::k20(), gpusim::c2050()]);
+    let rows = bench::table3::run_with_archs(&archs, bench::experiment_params());
     println!("{}", bench::table3::render(&rows));
 }

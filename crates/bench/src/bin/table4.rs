@@ -1,5 +1,9 @@
-//! Regenerates Table IV of the paper.
+//! Regenerates Table IV of the paper. `--backend KEY|all` selects the GPU
+//! column's architecture (one table per arch); the default is GTX 980.
 fn main() {
-    let rows = bench::table4::run(bench::experiment_params());
-    println!("{}", bench::table4::render(&rows));
+    let archs = bench::archs_or_exit(&[gpusim::gtx980()]);
+    for arch in &archs {
+        let rows = bench::table4::run_on(arch, bench::experiment_params());
+        println!("{}", bench::table4::render_for(arch.name, &rows));
+    }
 }

@@ -36,18 +36,22 @@ pub fn run_kernel(
     }
 }
 
-/// All 27 kernels × 2 architectures.
-pub fn run(trip: usize, params: TuneParams) -> Vec<Figure3Point> {
-    let archs = [gpusim::c2050(), gpusim::k20()];
+/// All 27 kernels on an explicit architecture list (`--backend`).
+pub fn run_with_archs(trip: usize, archs: &[GpuArch], params: TuneParams) -> Vec<Figure3Point> {
     let mut out = Vec::new();
     for family in ["d1", "d2", "s1"] {
         for w in nwchem_family(family, trip) {
-            for arch in &archs {
+            for arch in archs {
                 out.push(run_kernel(&w, arch, params));
             }
         }
     }
     out
+}
+
+/// All 27 kernels × the paper's 2 architectures.
+pub fn run(trip: usize, params: TuneParams) -> Vec<Figure3Point> {
+    run_with_archs(trip, &[gpusim::c2050(), gpusim::k20()], params)
 }
 
 pub fn render(points: &[Figure3Point]) -> Table {

@@ -13,10 +13,57 @@ pub mod table4;
 pub mod versions;
 
 use barracuda::pipeline::TuneParams;
+use gpusim::GpuArch;
 
 /// Tuning parameters used by every experiment: the paper-scale settings.
 pub fn experiment_params() -> TuneParams {
     TuneParams::paper()
+}
+
+/// Resolves an optional `--backend KEY|all` argument (shared by the bench
+/// binaries) into the GPU architectures to run, via the barracuda backend
+/// registry. Absent flag → `default`, so every binary's no-argument output
+/// stays bit-identical to before the registry existed. Non-GPU backend
+/// keys are rejected: these experiments time CUDA mappings.
+pub fn archs_from_args(args: &[String], default: &[GpuArch]) -> Result<Vec<GpuArch>, String> {
+    let mut it = args.iter();
+    let Some(a) = it.next() else {
+        return Ok(default.to_vec());
+    };
+    if a != "--backend" {
+        return Err(format!("unknown option {a} (only --backend KEY|all)"));
+    }
+    let key = it.next().ok_or("--backend needs a key")?;
+    if let Some(extra) = it.next() {
+        return Err(format!("unexpected argument {extra}"));
+    }
+    if key == "all" {
+        return Ok(gpusim::all_architectures());
+    }
+    let backend = barracuda::backend_by_key(key).ok_or_else(|| {
+        format!(
+            "unknown backend {key} (one of: {}, all)",
+            barracuda::backend_keys().join(", ")
+        )
+    })?;
+    match backend.arch() {
+        Some(arch) if backend.caps().searchable => Ok(vec![arch.clone()]),
+        _ => Err(format!(
+            "backend {key} is not a searchable GPU target; this bench times CUDA mappings"
+        )),
+    }
+}
+
+/// [`archs_from_args`] with exit-2-on-usage-error semantics for binaries.
+pub fn archs_or_exit(default: &[GpuArch]) -> Vec<GpuArch> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match archs_from_args(&args, default) {
+        Ok(archs) => archs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Reduced parameters for smoke tests of the experiment drivers.

@@ -52,50 +52,47 @@ pub fn run_benchmark(workload: &Workload, archs: &[GpuArch], params: TuneParams)
     }
 }
 
-/// Runs the full table.
-pub fn run(params: TuneParams) -> Vec<Table2Row> {
-    let archs = gpusim::arch::all_architectures();
+/// Runs the full table on an explicit architecture list (`--backend`).
+pub fn run_with_archs(archs: &[GpuArch], params: TuneParams) -> Vec<Table2Row> {
     barracuda::kernels::table2_benchmarks()
         .iter()
-        .map(|w| run_benchmark(w, &archs, params))
+        .map(|w| run_benchmark(w, archs, params))
         .collect()
 }
 
-/// Renders the table in the paper's layout.
+/// Runs the full table on the paper's three architectures.
+pub fn run(params: TuneParams) -> Vec<Table2Row> {
+    run_with_archs(&gpusim::arch::all_architectures(), params)
+}
+
+/// Renders the table in the paper's layout. The GF/search column pairs
+/// follow whatever architectures the rows were run on (the paper's three
+/// by default, fewer under `--backend`).
 pub fn render(rows: &[Table2Row]) -> Table {
+    // "GTX 980" -> "980", "Tesla K20" -> "K20".
+    let short = |name: &str| {
+        name.trim_start_matches("GTX ")
+            .trim_start_matches("Tesla ")
+            .to_string()
+    };
+    let mut headers = vec!["bench".to_string(), "speedup(980 vs 1-core)".to_string()];
+    if let Some(first) = rows.first() {
+        for (name, _, _, _) in &first.per_arch {
+            headers.push(format!("{} GF", short(name)));
+            headers.push(format!("{} search", short(name)));
+        }
+    }
     let mut t = Table::new(
         "Table II: individual tensor contractions (GFlops include transfers)",
-        &[
-            "bench",
-            "speedup(980 vs 1-core)",
-            "980 GF",
-            "980 search",
-            "K20 GF",
-            "K20 search",
-            "C2050 GF",
-            "C2050 search",
-        ],
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     for r in rows {
-        let g = |arch: &str| {
-            r.per_arch
-                .iter()
-                .find(|(n, _, _, _)| n.contains(arch))
-                .expect("arch present")
-        };
-        let (_, gf9, s9, _) = g("980");
-        let (_, gfk, sk, _) = g("K20");
-        let (_, gfc, sc, _) = g("C2050");
-        t.row(vec![
-            r.name.clone(),
-            format!("{:.2}x", r.speedup),
-            fmt_f(*gf9),
-            fmt_secs(*s9),
-            fmt_f(*gfk),
-            fmt_secs(*sk),
-            fmt_f(*gfc),
-            fmt_secs(*sc),
-        ]);
+        let mut cells = vec![r.name.clone(), format!("{:.2}x", r.speedup)];
+        for (_, gf, search, _) in &r.per_arch {
+            cells.push(fmt_f(*gf));
+            cells.push(fmt_secs(*search));
+        }
+        t.row(cells);
     }
     t
 }

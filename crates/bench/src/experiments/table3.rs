@@ -24,13 +24,15 @@ pub fn run_arch(arch: &gpusim::GpuArch, cfg: NekboneConfig, params: TuneParams) 
     }
 }
 
+/// Runs the table on an explicit architecture list (`--backend`).
+pub fn run_with_archs(archs: &[gpusim::GpuArch], params: TuneParams) -> Vec<Table3Row> {
+    let cfg = NekboneConfig::default();
+    archs.iter().map(|a| run_arch(a, cfg, params)).collect()
+}
+
 /// The paper reports K20 and C2050 for this table.
 pub fn run(params: TuneParams) -> Vec<Table3Row> {
-    let cfg = NekboneConfig::default();
-    vec![
-        run_arch(&gpusim::k20(), cfg, params),
-        run_arch(&gpusim::c2050(), cfg, params),
-    ]
+    run_with_archs(&[gpusim::k20(), gpusim::c2050()], params)
 }
 
 pub fn render(rows: &[Table3Row]) -> Table {

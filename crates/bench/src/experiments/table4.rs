@@ -21,9 +21,19 @@ pub struct Table4Row {
     pub barracuda: f64,
 }
 
-/// Mean GFlops of an NWChem family under each strategy.
+/// Mean GFlops of an NWChem family under each strategy, on the paper's
+/// GTX 980.
 pub fn nwchem_row(family: &str, trip: usize, params: TuneParams) -> Table4Row {
-    let arch = gpusim::gtx980();
+    nwchem_row_on(&gpusim::gtx980(), family, trip, params)
+}
+
+/// [`nwchem_row`] on an explicit architecture (`--backend`).
+pub fn nwchem_row_on(
+    arch: &gpusim::GpuArch,
+    family: &str,
+    trip: usize,
+    params: TuneParams,
+) -> Table4Row {
     let model = CpuModel::haswell();
     let mut cpu1 = 0.0;
     let mut cpu4 = 0.0;
@@ -34,7 +44,7 @@ pub fn nwchem_row(family: &str, trip: usize, params: TuneParams) -> Table4Row {
         let t4 = workload_cpu_time(w, &model, 4);
         cpu1 += t1.flops as f64 / t1.time_s / 1e9;
         cpu4 += t4.flops as f64 / t4.time_s / 1e9;
-        let tuned = WorkloadTuner::build(w).autotune(&arch, params).unwrap();
+        let tuned = WorkloadTuner::build(w).autotune(arch, params).unwrap();
         bar += tuned.gflops_device();
     }
     let n = workloads.len() as f64;
@@ -47,8 +57,13 @@ pub fn nwchem_row(family: &str, trip: usize, params: TuneParams) -> Table4Row {
 }
 
 pub fn nekbone_row(params: TuneParams) -> Table4Row {
+    nekbone_row_on(&gpusim::gtx980(), params)
+}
+
+/// [`nekbone_row`] on an explicit architecture (`--backend`).
+pub fn nekbone_row_on(arch: &gpusim::GpuArch, params: TuneParams) -> Table4Row {
     let cfg = NekboneConfig::default();
-    let perf = model_gpu_perf(cfg, &gpusim::gtx980(), params).unwrap();
+    let perf = model_gpu_perf(cfg, arch, params).unwrap();
     Table4Row {
         name: "Nekbone".to_string(),
         cpu_1core: model_cpu_gflops(cfg, 1),
@@ -57,17 +72,27 @@ pub fn nekbone_row(params: TuneParams) -> Table4Row {
     }
 }
 
-pub fn run(params: TuneParams) -> Vec<Table4Row> {
-    let mut rows = vec![nekbone_row(params)];
+/// Runs the table with the GPU column on an explicit architecture.
+pub fn run_on(arch: &gpusim::GpuArch, params: TuneParams) -> Vec<Table4Row> {
+    let mut rows = vec![nekbone_row_on(arch, params)];
     for family in ["s1", "d1", "d2"] {
-        rows.push(nwchem_row(family, NWCHEM_TRIP, params));
+        rows.push(nwchem_row_on(arch, family, NWCHEM_TRIP, params));
     }
     rows
 }
 
+pub fn run(params: TuneParams) -> Vec<Table4Row> {
+    run_on(&gpusim::gtx980(), params)
+}
+
 pub fn render(rows: &[Table4Row]) -> Table {
+    render_for("GTX 980", rows)
+}
+
+/// [`render`] with the GPU column's architecture named in the title.
+pub fn render_for(arch_name: &str, rows: &[Table4Row]) -> Table {
     let mut t = Table::new(
-        "Table IV: OpenMP vs Barracuda (GFlops; Barracuda on GTX 980)",
+        format!("Table IV: OpenMP vs Barracuda (GFlops; Barracuda on {arch_name})"),
         &["bench", "1 core", "OpenMP 4 cores", "Barracuda"],
     );
     for r in rows {

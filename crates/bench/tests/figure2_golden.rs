@@ -1,0 +1,31 @@
+//! Golden-file test pinning the CUDA text Figure 2(d) emits for Eqn. (1).
+//!
+//! The simulator and search are fully deterministic, so the tuned kernel
+//! for a fixed budget is a stable artifact; this test freezes its exact
+//! source text. If a deliberate codegen change shifts the output, refresh
+//! the golden with `BLESS=1 cargo test -p bench --test figure2_golden`.
+
+use std::path::Path;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/figure2_eqn1.cu");
+
+#[test]
+fn eqn1_cuda_matches_golden() {
+    let artifacts = bench::figure2::run(bench::smoke_params());
+    let got = artifacts.cuda;
+    assert!(
+        got.contains("__global__"),
+        "figure2 must emit a CUDA kernel"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(Path::new(GOLDEN))
+        .unwrap_or_else(|e| panic!("missing golden {GOLDEN} ({e}); run with BLESS=1 to create it"));
+    assert_eq!(
+        got, want,
+        "Eqn.(1) CUDA drifted from the golden file; if intentional, \
+         re-bless with BLESS=1 cargo test -p bench --test figure2_golden"
+    );
+}

@@ -1,0 +1,68 @@
+__global__ void ex_0_GPU_0
+(double *t1, double *B, double *U)
+{
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int bx = blockIdx.x;
+  double nv = 0.0;
+  int m;
+  for (m = 0; m < 10; m += 10) {
+    nv = nv + B[(m + 0) * 10 + ty] * U[bx * 100 + (m + 0) * 10 + tx];
+    nv = nv + B[(m + 1) * 10 + ty] * U[bx * 100 + (m + 1) * 10 + tx];
+    nv = nv + B[(m + 2) * 10 + ty] * U[bx * 100 + (m + 2) * 10 + tx];
+    nv = nv + B[(m + 3) * 10 + ty] * U[bx * 100 + (m + 3) * 10 + tx];
+    nv = nv + B[(m + 4) * 10 + ty] * U[bx * 100 + (m + 4) * 10 + tx];
+    nv = nv + B[(m + 5) * 10 + ty] * U[bx * 100 + (m + 5) * 10 + tx];
+    nv = nv + B[(m + 6) * 10 + ty] * U[bx * 100 + (m + 6) * 10 + tx];
+    nv = nv + B[(m + 7) * 10 + ty] * U[bx * 100 + (m + 7) * 10 + tx];
+    nv = nv + B[(m + 8) * 10 + ty] * U[bx * 100 + (m + 8) * 10 + tx];
+    nv = nv + B[(m + 9) * 10 + ty] * U[bx * 100 + (m + 9) * 10 + tx];
+  }
+  t1[ty * 100 + bx * 10 + tx] = nv;
+}
+
+__global__ void ex_0_GPU_1
+(double *t2, double *C, double *t1)
+{
+  int tx = threadIdx.x;
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  double nv = 0.0;
+  int n;
+  for (n = 0; n < 7; n += 7) {
+    nv = nv + C[(n + 0) * 10 + by] * t1[bx * 100 + tx * 10 + (n + 0)];
+    nv = nv + C[(n + 1) * 10 + by] * t1[bx * 100 + tx * 10 + (n + 1)];
+    nv = nv + C[(n + 2) * 10 + by] * t1[bx * 100 + tx * 10 + (n + 2)];
+    nv = nv + C[(n + 3) * 10 + by] * t1[bx * 100 + tx * 10 + (n + 3)];
+    nv = nv + C[(n + 4) * 10 + by] * t1[bx * 100 + tx * 10 + (n + 4)];
+    nv = nv + C[(n + 5) * 10 + by] * t1[bx * 100 + tx * 10 + (n + 5)];
+    nv = nv + C[(n + 6) * 10 + by] * t1[bx * 100 + tx * 10 + (n + 6)];
+  }
+  for (; n < 10; n++) {
+    nv = nv + C[n * 10 + by] * t1[bx * 100 + tx * 10 + n];
+  }
+  t2[by * 100 + bx * 10 + tx] = nv;
+}
+
+__global__ void ex_0_GPU_2
+(double *V, double *A, double *t2)
+{
+  int tx = threadIdx.x;
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  double nv = 0.0;
+  int l;
+  for (l = 0; l < 10; l += 5) {
+    nv = nv + A[(l + 0) * 10 + tx] * t2[by * 100 + bx * 10 + (l + 0)];
+    nv = nv + A[(l + 1) * 10 + tx] * t2[by * 100 + bx * 10 + (l + 1)];
+    nv = nv + A[(l + 2) * 10 + tx] * t2[by * 100 + bx * 10 + (l + 2)];
+    nv = nv + A[(l + 3) * 10 + tx] * t2[by * 100 + bx * 10 + (l + 3)];
+    nv = nv + A[(l + 4) * 10 + tx] * t2[by * 100 + bx * 10 + (l + 4)];
+  }
+  V[by * 100 + bx * 10 + tx] = nv;
+}
+
+// data stays resident on the GPU across these calls
+ex_0_GPU_0<<<dim3(10, 1), dim3(10, 10)>>>(t1, B, U);
+ex_0_GPU_1<<<dim3(10, 10), dim3(10, 1)>>>(t2, C, t1);
+ex_0_GPU_2<<<dim3(10, 10), dim3(10, 1)>>>(V, A, t2);

@@ -1,0 +1,496 @@
+//! Unified `Backend` trait and string-keyed registry over every timing
+//! target the reproduction models.
+//!
+//! The paper compares seven execution targets: three CUDA GPUs (GTX 980,
+//! K20, C2050), sequential and 4-thread OpenMP CPU baselines, and the two
+//! OpenACC analogs (naive and Barracuda-optimized directives). Before this
+//! module each target had its own entry point with its own calling
+//! convention; the [`Backend`] trait gives them one interface — time a
+//! configuration, validate it, describe yourself — and [`registry`] makes
+//! them addressable by stable string keys (`gtx980`, `cpu4`, `acc-opt`, …)
+//! from the CLI, the bench binaries and the tests alike.
+//!
+//! [`tune_all_backends`] is the sweep entry point: one lowering, one shared
+//! [`EvalCache`], every backend. GPU backends salt the cache's per-op
+//! keyspace by architecture name (distinct rooflines must never share
+//! timings) but share the arch-independent feature memo, so a three-arch
+//! sweep pays feature extraction once.
+
+use crate::cache::EvalCache;
+use crate::cpu::{try_cpu_programs, workload_cpu_time};
+use crate::error::BarracudaError;
+use crate::openacc::{try_openacc_naive, try_openacc_optimized_parts, AccMapping};
+use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
+use crate::stages::evaluate::salt_of;
+use cpusim::model::CpuModel;
+use gpusim::GpuArch;
+use tcr::TcrProgram;
+
+/// What a backend can do, for capability-gated callers (a search loop only
+/// wants searchable backends; a codegen path only CUDA emitters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// The backend's time depends on the configuration id, so SURF search
+    /// over the joint space is meaningful.
+    pub searchable: bool,
+    /// The backend can emit CUDA source for its chosen configuration.
+    pub emits_cuda: bool,
+    /// The backend models an accelerator (device + PCIe transfers) rather
+    /// than a host CPU.
+    pub accelerator: bool,
+}
+
+/// One timing target: a simulated GPU architecture, a CPU baseline, or an
+/// OpenACC analog. Implementations are stateless and `Sync`, so a registry
+/// can be shared across threads.
+pub trait Backend: Sync {
+    /// Stable machine-readable registry key (`gtx980`, `cpu1`, `acc-opt`).
+    fn key(&self) -> &'static str;
+
+    /// Human-readable name (`"GTX 980"`, `"Haswell CPU, 4 threads"`).
+    fn name(&self) -> String;
+
+    /// One-line description of what the backend models.
+    fn describe(&self) -> String;
+
+    /// The GPU architecture descriptor the backend times against, when it
+    /// has one (CPU baselines return `None`).
+    fn arch(&self) -> Option<&GpuArch>;
+
+    fn caps(&self) -> BackendCaps;
+
+    /// Salt separating this backend's entries in a shared [`EvalCache`]
+    /// keyspace. Backends with equal salts may share cached timings; the
+    /// arch-independent feature memo (salt 0) is always shared.
+    fn cache_salt(&self) -> u64;
+
+    /// End-to-end modeled seconds (device + transfers, or CPU wall time) of
+    /// configuration `id` of the tuner's workload. Backends whose time does
+    /// not depend on the configuration (CPU baselines) ignore `id`.
+    fn time_config(&self, tuner: &WorkloadTuner, id: u128) -> Result<f64, BarracudaError>;
+
+    /// Checks that configuration `id` lowers and maps cleanly on this
+    /// backend without timing it.
+    fn validate(&self, tuner: &WorkloadTuner, id: u128) -> Result<(), BarracudaError>;
+}
+
+/// A simulated CUDA GPU (one of the paper's three architectures).
+pub struct GpuBackend {
+    pub arch: GpuArch,
+}
+
+impl Backend for GpuBackend {
+    fn key(&self) -> &'static str {
+        self.arch.key
+    }
+
+    fn name(&self) -> String {
+        self.arch.name.to_string()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "simulated {} ({}, {} SMs)",
+            self.arch.name, self.arch.generation, self.arch.sm_count
+        )
+    }
+
+    fn arch(&self) -> Option<&GpuArch> {
+        Some(&self.arch)
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            searchable: true,
+            emits_cuda: true,
+            accelerator: true,
+        }
+    }
+
+    fn cache_salt(&self) -> u64 {
+        salt_of(self.arch.name)
+    }
+
+    fn time_config(&self, tuner: &WorkloadTuner, id: u128) -> Result<f64, BarracudaError> {
+        Ok(tuner.try_gpu_seconds(id, &self.arch)? + tuner.transfer_seconds(&self.arch))
+    }
+
+    fn validate(&self, tuner: &WorkloadTuner, id: u128) -> Result<(), BarracudaError> {
+        tuner.kernels(id).map(|_| ())
+    }
+}
+
+/// A modeled Haswell CPU baseline (sequential or OpenMP).
+pub struct CpuBackend {
+    pub threads: usize,
+    model: CpuModel,
+}
+
+impl CpuBackend {
+    pub fn new(threads: usize) -> Self {
+        CpuBackend {
+            threads,
+            model: CpuModel::haswell(),
+        }
+    }
+}
+
+impl Backend for CpuBackend {
+    fn key(&self) -> &'static str {
+        // The registry only constructs the paper's two thread counts.
+        if self.threads <= 1 {
+            "cpu1"
+        } else {
+            "cpu4"
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.threads <= 1 {
+            "Haswell CPU, sequential".to_string()
+        } else {
+            format!("Haswell CPU, {} OpenMP threads", self.threads)
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "modeled Haswell core(s), best-flop sequential lowering on {} thread(s)",
+            self.threads
+        )
+    }
+
+    fn arch(&self) -> Option<&GpuArch> {
+        None
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            searchable: false,
+            emits_cuda: false,
+            accelerator: false,
+        }
+    }
+
+    fn cache_salt(&self) -> u64 {
+        salt_of(self.key())
+    }
+
+    fn time_config(&self, tuner: &WorkloadTuner, _id: u128) -> Result<f64, BarracudaError> {
+        // The CPU baseline always runs the best-flop lowering; the GPU
+        // configuration id does not apply. Validate the lowering, then time.
+        try_cpu_programs(&tuner.workload)?;
+        Ok(workload_cpu_time(&tuner.workload, &self.model, self.threads).time_s)
+    }
+
+    fn validate(&self, tuner: &WorkloadTuner, _id: u128) -> Result<(), BarracudaError> {
+        try_cpu_programs(&tuner.workload).map(|_| ())
+    }
+}
+
+/// An OpenACC analog (paper §VI-B), timed on a reference GPU architecture.
+pub struct AccBackend {
+    pub optimized: bool,
+    pub arch: GpuArch,
+}
+
+impl AccBackend {
+    /// Directives with no decomposition guidance (gang/vector defaults).
+    pub fn naive() -> Self {
+        AccBackend {
+            optimized: false,
+            arch: gpusim::k20(),
+        }
+    }
+
+    /// Barracuda-derived decomposition directives + scalar replacement.
+    pub fn optimized() -> Self {
+        AccBackend {
+            optimized: true,
+            arch: gpusim::k20(),
+        }
+    }
+
+    /// Builds the mapping this backend times: naive ignores `id`; optimized
+    /// derives its directives from the configuration `id` selects.
+    fn mapping(&self, tuner: &WorkloadTuner, id: u128) -> Result<AccMapping, BarracudaError> {
+        if !self.optimized {
+            return try_openacc_naive(&tuner.workload);
+        }
+        let locals = tuner.decode(id);
+        let programs: Vec<TcrProgram> = tuner
+            .statements
+            .iter()
+            .zip(&locals)
+            .map(|(st, &local)| {
+                let (v, _) = st.decode(local);
+                st.variants[v].program.clone()
+            })
+            .collect();
+        let kernels = tuner.kernels(id)?;
+        try_openacc_optimized_parts(&tuner.workload, &programs, &kernels)
+    }
+}
+
+impl Backend for AccBackend {
+    fn key(&self) -> &'static str {
+        if self.optimized {
+            "acc-opt"
+        } else {
+            "acc-naive"
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.optimized {
+            format!("OpenACC optimized on {}", self.arch.name)
+        } else {
+            format!("OpenACC naive on {}", self.arch.name)
+        }
+    }
+
+    fn describe(&self) -> String {
+        if self.optimized {
+            "OpenACC with Barracuda-derived decomposition directives + scalar replacement"
+                .to_string()
+        } else {
+            "OpenACC with default gang/vector placement, no scalar replacement".to_string()
+        }
+    }
+
+    fn arch(&self) -> Option<&GpuArch> {
+        Some(&self.arch)
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            // Optimized-ACC time varies with the id it borrows directives
+            // from, but it is a derived mapping, not a search target.
+            searchable: false,
+            emits_cuda: false,
+            accelerator: true,
+        }
+    }
+
+    fn cache_salt(&self) -> u64 {
+        salt_of(self.key())
+    }
+
+    fn time_config(&self, tuner: &WorkloadTuner, id: u128) -> Result<f64, BarracudaError> {
+        Ok(self
+            .mapping(tuner, id)?
+            .total_seconds(&tuner.workload, &self.arch))
+    }
+
+    fn validate(&self, tuner: &WorkloadTuner, id: u128) -> Result<(), BarracudaError> {
+        self.mapping(tuner, id).map(|_| ())
+    }
+}
+
+/// Every backend the reproduction models, in presentation order: the three
+/// GPU architectures, the two CPU baselines, the two OpenACC analogs.
+pub fn registry() -> Vec<Box<dyn Backend>> {
+    let mut v: Vec<Box<dyn Backend>> = Vec::new();
+    for arch in gpusim::all_architectures() {
+        v.push(Box::new(GpuBackend { arch }));
+    }
+    v.push(Box::new(CpuBackend::new(1)));
+    v.push(Box::new(CpuBackend::new(4)));
+    v.push(Box::new(AccBackend::naive()));
+    v.push(Box::new(AccBackend::optimized()));
+    v
+}
+
+/// Keys of every registered backend (stable, CLI-facing).
+pub fn backend_keys() -> Vec<&'static str> {
+    registry().iter().map(|b| b.key()).collect()
+}
+
+/// Looks a backend up by its registry key.
+pub fn backend_by_key(key: &str) -> Option<Box<dyn Backend>> {
+    registry().into_iter().find(|b| b.key() == key)
+}
+
+/// One backend's row of a whole-registry sweep.
+pub struct BackendTuning {
+    pub key: &'static str,
+    pub name: String,
+    /// End-to-end modeled seconds (device + transfers, or CPU wall time).
+    pub total_seconds: f64,
+    /// Sustained GFlop/s at the flop count the backend executes.
+    pub gflops: f64,
+    /// The full search result, for backends that ran one (GPU targets).
+    pub tuned: Option<TunedWorkload>,
+}
+
+/// Tunes/times the workload on every registered backend against one shared
+/// [`EvalCache`]: searchable (GPU) backends each run SURF — their per-op
+/// timing entries stay disjoint via [`Backend::cache_salt`], while the
+/// arch-independent feature memo is shared across all of them — and the
+/// derived backends ride along: OpenACC-optimized borrows the directives of
+/// the reference (K20) tuned configuration from this same sweep, so it
+/// costs no extra search.
+pub fn tune_all_backends(
+    tuner: &WorkloadTuner,
+    params: TuneParams,
+    cache: &EvalCache,
+) -> Result<Vec<BackendTuning>, BarracudaError> {
+    let mut rows = Vec::new();
+    let mut reference: Option<TunedWorkload> = None;
+    for backend in registry() {
+        if backend.caps().searchable {
+            let arch = backend.arch().ok_or_else(|| BarracudaError::Search {
+                workload: tuner.workload.name.clone(),
+                detail: format!("searchable backend {} has no architecture", backend.key()),
+            })?;
+            let tuned = tuner.autotune_with_cache(arch, params, cache)?;
+            if backend.key() == "k20" {
+                reference = Some(tuned.clone());
+            }
+            rows.push(BackendTuning {
+                key: backend.key(),
+                name: backend.name(),
+                total_seconds: tuned.total_seconds(),
+                gflops: tuned.gflops(),
+                tuned: Some(tuned),
+            });
+        } else {
+            // Derived/fixed backends time the reference configuration: the
+            // K20 search result when one exists in this sweep, else id 0.
+            let id = reference.as_ref().map_or(0, |t| t.id);
+            let total_seconds = backend.time_config(tuner, id)?;
+            let flops = if backend.caps().accelerator {
+                // OpenACC analogs execute the best-flop lowering.
+                try_cpu_programs(&tuner.workload)?
+                    .iter()
+                    .map(|p| p.flops())
+                    .sum::<u64>()
+            } else {
+                workload_cpu_time(&tuner.workload, &CpuModel::haswell(), 1).flops
+            };
+            rows.push(BackendTuning {
+                key: backend.key(),
+                name: backend.name(),
+                total_seconds,
+                gflops: flops as f64 / total_seconds / 1e9,
+                tuned: None,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use std::collections::BTreeSet;
+    use tensor::index::uniform_dims;
+
+    fn matmul(n: usize) -> Workload {
+        Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], n),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_keys_are_stable_and_distinct() {
+        let keys = backend_keys();
+        assert_eq!(
+            keys,
+            vec![
+                "gtx980",
+                "k20",
+                "c2050",
+                "cpu1",
+                "cpu4",
+                "acc-naive",
+                "acc-opt"
+            ]
+        );
+        let set: BTreeSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+        for k in keys {
+            assert!(backend_by_key(k).is_some(), "lookup must find {k}");
+        }
+        assert!(backend_by_key("tpu").is_none());
+    }
+
+    #[test]
+    fn gpu_salts_are_distinct_and_feature_salt_shared() {
+        let salts: BTreeSet<u64> = registry().iter().map(|b| b.cache_salt()).collect();
+        assert_eq!(salts.len(), 7, "no two backends may share a timing salt");
+        assert!(!salts.contains(&0), "salt 0 is the shared feature memo");
+    }
+
+    #[test]
+    fn every_backend_times_the_tuned_configuration() {
+        let w = matmul(16);
+        let tuner = WorkloadTuner::build(&w);
+        let tuned = tuner.autotune(&gpusim::k20(), TuneParams::quick()).unwrap();
+        for b in registry() {
+            b.validate(&tuner, tuned.id).unwrap();
+            let t = b.time_config(&tuner, tuned.id).unwrap();
+            assert!(t.is_finite() && t > 0.0, "{}: {t}", b.key());
+        }
+    }
+
+    #[test]
+    fn gpu_backend_time_matches_direct_path() {
+        let w = matmul(16);
+        let tuner = WorkloadTuner::build(&w);
+        let arch = gpusim::gtx980();
+        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
+        let b = backend_by_key("gtx980").unwrap();
+        let t = b.time_config(&tuner, tuned.id).unwrap();
+        assert_eq!(t.to_bits(), tuned.total_seconds().to_bits());
+    }
+
+    #[test]
+    fn sweep_covers_every_backend_and_shares_the_cache() {
+        let w = matmul(16);
+        let tuner = WorkloadTuner::build(&w);
+        let cache = EvalCache::new();
+        let rows = tune_all_backends(&tuner, TuneParams::quick(), &cache).unwrap();
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            assert!(
+                row.total_seconds.is_finite() && row.total_seconds > 0.0,
+                "{}",
+                row.key
+            );
+        }
+        // The paper's ordering holds on matmul: tuned K20 beats naive ACC.
+        let t = |k: &str| {
+            rows.iter()
+                .find(|r| r.key == k)
+                .map(|r| r.total_seconds)
+                .unwrap()
+        };
+        assert!(t("k20") <= t("acc-naive"));
+        assert!(t("acc-opt") <= t("acc-naive"));
+        // Re-sweeping against the same cache re-simulates nothing.
+        let again = tune_all_backends(&tuner, TuneParams::quick(), &cache).unwrap();
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+        }
+        let (second_hits, second_misses) = (
+            again
+                .iter()
+                .filter_map(|r| r.tuned.as_ref())
+                .map(|t| t.search.time_hits)
+                .sum::<usize>(),
+            again
+                .iter()
+                .filter_map(|r| r.tuned.as_ref())
+                .map(|t| t.search.time_misses)
+                .sum::<usize>(),
+        );
+        assert_eq!(second_misses, 0, "second sweep must be pure cache hits");
+        assert!(second_hits > 0);
+    }
+}

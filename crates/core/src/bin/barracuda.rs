@@ -3,10 +3,21 @@
 //! ```text
 //! barracuda tune <file.dsl | builtin:NAME> [options]
 //! barracuda info <file.dsl | builtin:NAME> [options]
+//! barracuda replay <plan.json> [--validate] [--emit cuda]
+//! barracuda backends
 //! barracuda benchmarks
 //!
 //! options:
 //!   --arch gtx980|k20|c2050|all   target architecture (default gtx980)
+//!   --backend KEY|all             target backend from the registry (see
+//!                                 `barracuda backends`); GPU keys behave
+//!                                 like --arch, CPU/OpenACC keys report
+//!                                 modeled baseline times, `all` sweeps
+//!                                 every backend over one shared cache
+//!   --save-plan PATH              persist the winning configuration +
+//!                                 provenance as versioned JSON (single
+//!                                 GPU target only); `barracuda replay`
+//!                                 re-maps and re-times it with no search
 //!   --dim IDX=EXT                 extent for one index (repeatable)
 //!   --dims N                      extent for every undeclared index
 //!   --evals N                     SURF evaluation budget (default 1200)
@@ -29,20 +40,24 @@
 //!
 //! Exit codes: 0 success, 1 generic failure, 2 usage; typed pipeline
 //! failures exit with their stage code (3 parse, 4 validation,
-//! 5 factorization, 6 mapping, 7 simulation, 8 search); 9 means the run
-//! completed but degraded under `--strict`.
+//! 5 factorization, 6 mapping, 7 simulation, 8 search, 10 plan); 9 means
+//! the run completed but degraded under `--strict`. A stale plan (schema
+//! or workload fingerprint mismatch) is the exit-10 case.
 //!
 //! Built-in workloads (for `builtin:NAME`): eqn1, lg3, lg3t, tce,
 //! s1_1..s1_9, d1_1..d1_9, d2_1..d2_9.
 
 use barracuda::prelude::*;
 use barracuda::report::fmt_f;
+use barracuda::{backend_by_key, registry, tune_all_backends, EvalCache, TunedPlan};
 use std::process::ExitCode;
 use surf::{FaultPlan, SearchStatus};
 use tensor::IndexMap;
 
 struct Options {
     arch: String,
+    backend: Option<String>,
+    save_plan: Option<String>,
     dims: IndexMap,
     default_dim: Option<usize>,
     evals: usize,
@@ -62,6 +77,8 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             arch: "gtx980".to_string(),
+            backend: None,
+            save_plan: None,
             dims: IndexMap::new(),
             default_dim: None,
             evals: 1200,
@@ -122,8 +139,10 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: barracuda <tune|info|benchmarks> [<file.dsl>|builtin:NAME] \
-         [--arch A] [--dim i=10]... [--dims N] [--evals N] [--quick] \
+        "usage: barracuda <tune|info|replay|backends|benchmarks> \
+         [<file.dsl>|builtin:NAME|<plan.json>] \
+         [--arch A] [--backend KEY|all] [--save-plan PATH] \
+         [--dim i=10]... [--dims N] [--evals N] [--quick] \
          [--deadline S] [--min-survivors F] [--inject-faults RATE] \
          [--fault-seed N] [--strict] \
          [--emit cuda|cufile|tcr|annotation] [--validate] [--fused]"
@@ -137,6 +156,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--arch" => o.arch = it.next().ok_or("--arch needs a value")?.clone(),
+            "--backend" => o.backend = Some(it.next().ok_or("--backend needs a key")?.clone()),
+            "--save-plan" => {
+                o.save_plan = Some(it.next().ok_or("--save-plan needs a path")?.clone())
+            }
             "--dim" => {
                 let spec = it.next().ok_or("--dim needs IDX=EXT")?;
                 let (name, ext) = spec.split_once('=').ok_or("--dim needs IDX=EXT")?;
@@ -258,15 +281,15 @@ fn load_workload(spec: &str, o: &Options) -> Result<Workload, CliError> {
 }
 
 fn archs_for(name: &str) -> Result<Vec<gpusim::GpuArch>, CliError> {
-    match name {
-        "gtx980" => Ok(vec![gpusim::gtx980()]),
-        "k20" => Ok(vec![gpusim::k20()]),
-        "c2050" => Ok(vec![gpusim::c2050()]),
-        "all" => Ok(gpusim::arch::all_architectures()),
-        other => Err(CliError::Usage(format!(
-            "unknown architecture {other} (gtx980|k20|c2050|all)"
-        ))),
+    if name == "all" {
+        return Ok(gpusim::all_architectures());
     }
+    gpusim::arch_by_key(name).map(|a| vec![a]).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown architecture {name} ({}|all)",
+            gpusim::arch_keys().join("|")
+        ))
+    })
 }
 
 fn params_for(o: &Options) -> TuneParams {
@@ -333,10 +356,98 @@ fn cmd_info(w: &Workload) {
     }
 }
 
+/// Modeled-baseline path for non-searchable backends (`cpu1`, `cpu4`,
+/// `acc-naive`, `acc-opt`): no SURF run of their own — `acc-opt` first
+/// tunes on its reference architecture to borrow a configuration.
+fn cmd_tune_baseline(
+    w: &Workload,
+    tuner: &WorkloadTuner,
+    backend: &dyn barracuda::Backend,
+    o: &Options,
+    params: TuneParams,
+) -> Result<(), CliError> {
+    if o.save_plan.is_some() {
+        return Err(CliError::Usage(format!(
+            "--save-plan needs a searchable GPU backend, not {}",
+            backend.key()
+        )));
+    }
+    if o.emit.is_some() {
+        return Err(CliError::Usage(format!(
+            "--emit is not available on backend {} (no CUDA mapping of its own)",
+            backend.key()
+        )));
+    }
+    let id = if backend.key() == "acc-opt" {
+        let arch = backend
+            .arch()
+            .ok_or_else(|| CliError::Other("acc-opt has no reference architecture".into()))?;
+        tuner.autotune(arch, params)?.id
+    } else {
+        0
+    };
+    backend.validate(tuner, id)?;
+    let total = backend.time_config(tuner, id)?;
+    let flops: u64 = barracuda::cpu::try_cpu_programs(w)?
+        .iter()
+        .map(|p| p.flops())
+        .sum();
+    println!(
+        "{:28} {:>10} us total  {:>8} GF  (modeled baseline, no search)",
+        backend.name(),
+        fmt_f(total * 1e6),
+        fmt_f(flops as f64 / total / 1e9),
+    );
+    Ok(())
+}
+
 fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
     let tuner = WorkloadTuner::build(w);
     let params = params_for(o);
-    for arch in archs_for(&o.arch)? {
+    // --backend: registry-driven dispatch. GPU keys join the --arch loop
+    // below; baseline keys print modeled times; `all` sweeps everything
+    // against one shared cache.
+    let archs = match o.backend.as_deref() {
+        Some("all") => {
+            if o.save_plan.is_some() || o.emit.is_some() {
+                return Err(CliError::Usage(
+                    "--backend all cannot combine with --save-plan or --emit".to_string(),
+                ));
+            }
+            let rows = tune_all_backends(&tuner, params, &EvalCache::new())?;
+            for row in rows {
+                println!(
+                    "{:10} {:28} {:>10} us total  {:>8} GF",
+                    row.key,
+                    row.name,
+                    fmt_f(row.total_seconds * 1e6),
+                    fmt_f(row.gflops),
+                );
+            }
+            return Ok(());
+        }
+        Some(key) => {
+            let backend = backend_by_key(key).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown backend {key} (one of: {}, all)",
+                    barracuda::backend_keys().join(", ")
+                ))
+            })?;
+            if !backend.caps().searchable {
+                return cmd_tune_baseline(w, &tuner, backend.as_ref(), o, params);
+            }
+            // A searchable backend is a GPU architecture: same path as
+            // --arch.
+            archs_for(key)?
+        }
+        None => archs_for(&o.arch)?,
+    };
+    if o.save_plan.is_some() && archs.len() > 1 {
+        return Err(CliError::Usage(
+            "--save-plan needs a single architecture, not `all`".to_string(),
+        ));
+    }
+    for arch in archs {
         let tuned = tuner.autotune(&arch, params)?;
         println!(
             "{:12} {:>10} us device  {:>8} GF device  {:>8} GF w/transfers  ({} evals, space {})",
@@ -358,6 +469,14 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
                     return Err(CliError::StrictDegraded(reason.clone()));
                 }
             }
+        }
+        if let Some(path) = &o.save_plan {
+            let plan = TunedPlan::from_tuned(&tuner, arch.key, &tuned);
+            plan.save(std::path::Path::new(path))?;
+            println!(
+                "  plan saved to {path} (schema v{}, fingerprint {:016x})",
+                plan.schema_version, plan.fingerprint
+            );
         }
         if o.validate {
             let inputs = w.random_inputs(1);
@@ -460,12 +579,96 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Re-applies a saved plan: fingerprint-checked re-mapping and re-timing,
+/// zero search evaluations.
+fn cmd_replay(path: &str, o: &Options) -> Result<(), CliError> {
+    let plan = TunedPlan::load(std::path::Path::new(path))?;
+    let w = plan.workload()?;
+    let cache = EvalCache::new();
+    let tuned = plan.replay_for(&w, &cache)?;
+    println!(
+        "{:12} {:>10} us device  {:>8} GF device  {:>8} GF w/transfers  \
+         (replayed, 0 evals; search spent {})",
+        tuned.arch_name,
+        fmt_f(tuned.gpu_seconds * 1e6),
+        fmt_f(tuned.gflops_device()),
+        fmt_f(tuned.gflops()),
+        plan.provenance.n_evals,
+    );
+    if plan.provenance.degraded {
+        println!("  saved search was degraded: {}", plan.provenance.status);
+    }
+    if o.validate {
+        let inputs = w.random_inputs(1);
+        let expect = w.evaluate_reference(&inputs)?;
+        let got = tuned.execute(&w, &inputs)?;
+        for ((n1, t1), (_, t2)) in expect.iter().zip(&got) {
+            if !t1.approx_eq(t2, 1e-10) {
+                return Err(CliError::Other(format!(
+                    "validation FAILED for output {n1}"
+                )));
+            }
+        }
+        println!("  validation: OK (matches the reference evaluator)");
+    }
+    match o.emit.as_deref() {
+        Some("cuda") => println!("{}", tuned.cuda_source()),
+        Some("tcr") => {
+            for p in &tuned.programs {
+                println!("{}", p.listing());
+            }
+        }
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "replay supports --emit cuda|tcr, not {other}"
+            )))
+        }
+        None => {}
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();
     };
     match cmd.as_str() {
+        "backends" => {
+            println!("backends (for --backend; GPU keys also work with --arch):");
+            for b in registry() {
+                let caps = b.caps();
+                let mut flags = Vec::new();
+                if caps.searchable {
+                    flags.push("searchable");
+                }
+                if caps.emits_cuda {
+                    flags.push("cuda");
+                }
+                if caps.accelerator {
+                    flags.push("accelerator");
+                }
+                println!("  {:10} {:34} [{}]", b.key(), b.name(), flags.join(", "));
+            }
+            println!("  {:10} every backend above, one shared cache", "all");
+            ExitCode::SUCCESS
+        }
+        "replay" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let opts = match parse_options(&args[2..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            match cmd_replay(path, &opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => e.report(),
+            }
+        }
         "benchmarks" => {
             println!("builtin workloads:");
             for n in ["eqn1", "lg3", "lg3t", "tce"] {

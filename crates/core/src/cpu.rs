@@ -4,6 +4,7 @@
 //! Haswell model (so tables reproduce bit-identically), while the *values*
 //! can be computed with the real executors for validation.
 
+use crate::error::BarracudaError;
 use crate::workload::Workload;
 use cpusim::model::{time_cpu, CpuModel, CpuTiming};
 use octopi::enumerate_factorizations;
@@ -25,6 +26,32 @@ pub fn cpu_programs(workload: &Workload) -> Vec<TcrProgram> {
                 &fs[0],
                 &workload.dims,
             )
+        })
+        .collect()
+}
+
+/// Fallible [`cpu_programs`]: a lowering failure becomes a typed
+/// [`BarracudaError::Factorization`] instead of a panic (the `Backend`
+/// registry validates workloads through this).
+pub fn try_cpu_programs(workload: &Workload) -> Result<Vec<TcrProgram>, BarracudaError> {
+    workload
+        .statements
+        .iter()
+        .enumerate()
+        .map(|(i, st)| {
+            let fs = enumerate_factorizations(st, &workload.dims);
+            TcrProgram::try_from_factorization(
+                format!("{}_{}", workload.name, i),
+                st,
+                &fs[0],
+                &workload.dims,
+            )
+            .map_err(|detail| BarracudaError::Factorization {
+                workload: workload.name.clone(),
+                statement: i,
+                version: 0,
+                detail,
+            })
         })
         .collect()
 }

@@ -58,6 +58,10 @@ pub enum BarracudaError {
     /// The search itself could not produce a result (empty pool, every
     /// attempt quarantined).
     Search { workload: String, detail: String },
+    /// A saved tuning plan could not be read, parsed, or applied — wrong
+    /// schema version, corrupt JSON, or a workload fingerprint that no
+    /// longer matches the plan.
+    Plan { workload: String, detail: String },
 }
 
 impl BarracudaError {
@@ -71,6 +75,7 @@ impl BarracudaError {
             BarracudaError::Mapping { .. } => "mapping",
             BarracudaError::Simulation { .. } => "simulation",
             BarracudaError::Search { .. } => "search",
+            BarracudaError::Plan { .. } => "plan",
         }
     }
 
@@ -86,6 +91,7 @@ impl BarracudaError {
             BarracudaError::Mapping { .. } => 6,
             BarracudaError::Simulation { .. } => 7,
             BarracudaError::Search { .. } => 8,
+            BarracudaError::Plan { .. } => 10,
         }
     }
 
@@ -97,7 +103,8 @@ impl BarracudaError {
             | BarracudaError::Factorization { workload, .. }
             | BarracudaError::Mapping { workload, .. }
             | BarracudaError::Simulation { workload, .. }
-            | BarracudaError::Search { workload, .. } => workload,
+            | BarracudaError::Search { workload, .. }
+            | BarracudaError::Plan { workload, .. } => workload,
         }
     }
 }
@@ -157,6 +164,9 @@ impl fmt::Display for BarracudaError {
             BarracudaError::Search { workload, detail } => {
                 write!(f, "{workload}: search failed: {detail}")
             }
+            BarracudaError::Plan { workload, detail } => {
+                write!(f, "{workload}: plan error: {detail}")
+            }
         }
     }
 }
@@ -199,6 +209,10 @@ mod tests {
                 detail: "d".into(),
             },
             BarracudaError::Search {
+                workload: "w".into(),
+                detail: "d".into(),
+            },
+            BarracudaError::Plan {
                 workload: "w".into(),
                 detail: "d".into(),
             },

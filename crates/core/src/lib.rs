@@ -48,23 +48,31 @@
 //! search continues over survivors, degrading gracefully instead of
 //! panicking.
 
+pub mod backend;
 pub mod cache;
 pub mod cpu;
 pub mod error;
 pub mod fusionopt;
+pub mod json;
 pub mod kernels;
 pub mod nekbone;
 pub mod openacc;
 pub mod pipeline;
+pub mod plan;
 pub mod quarantine;
 pub mod report;
+pub mod stages;
 pub mod variant;
 pub mod workload;
 
+pub use backend::{
+    backend_by_key, backend_keys, registry, tune_all_backends, Backend, BackendCaps, BackendTuning,
+};
 pub use cache::EvalCache;
 pub use error::{BarracudaError, Result};
 pub use fusionopt::{fuse_alternatives, FusedAlternative};
 pub use pipeline::{SearchStats, TuneParams, TunedWorkload, TunerEvaluator, WorkloadTuner};
+pub use plan::{PlanChoice, PlanProvenance, TunedPlan, PLAN_SCHEMA_VERSION};
 pub use quarantine::{QuarantineEntry, QuarantineReport, QuarantineStage};
 pub use variant::{StatementTuner, Variant};
 pub use workload::Workload;

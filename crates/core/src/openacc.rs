@@ -17,9 +17,10 @@
 //!   output" — but no interior loop permutation and no unrolling (those
 //!   require a transformation framework, not directives).
 
+use crate::cpu::try_cpu_programs;
+use crate::error::BarracudaError;
 use crate::pipeline::TunedWorkload;
 use crate::workload::Workload;
-use octopi::enumerate_factorizations;
 use tcr::mapping::{map_kernel, MappedKernel};
 use tcr::space::{LoopSel, OpConfig};
 use tcr::TcrProgram;
@@ -52,24 +53,6 @@ impl AccMapping {
     }
 }
 
-/// Best-flop (strength-reduced) program of every statement.
-fn base_programs(workload: &Workload) -> Vec<TcrProgram> {
-    workload
-        .statements
-        .iter()
-        .enumerate()
-        .map(|(i, st)| {
-            let fs = enumerate_factorizations(st, &workload.dims);
-            TcrProgram::from_factorization(
-                format!("{}_{}", workload.name, i),
-                st,
-                &fs[0],
-                &workload.dims,
-            )
-        })
-        .collect()
-}
-
 /// The naive OpenACC mapping of one statement.
 fn naive_config(program: &TcrProgram, op_index: usize) -> OpConfig {
     let op = &program.ops[op_index];
@@ -99,42 +82,83 @@ fn naive_config(program: &TcrProgram, op_index: usize) -> OpConfig {
 }
 
 /// Builds the naive-OpenACC analog for a workload.
+///
+/// Panics on a mapping failure (the naive config covers every loop by
+/// construction, so a failure is a programmer error);
+/// [`try_openacc_naive`] reports it as a typed error instead.
 pub fn openacc_naive(workload: &Workload) -> AccMapping {
-    let programs = base_programs(workload);
+    try_openacc_naive(workload)
+        .unwrap_or_else(|e| panic!("naive OpenACC config failed to map: {e}"))
+}
+
+/// Fallible [`openacc_naive`]: lowering and mapping failures become typed
+/// [`BarracudaError`]s (the `Backend` registry goes through this).
+pub fn try_openacc_naive(workload: &Workload) -> Result<AccMapping, BarracudaError> {
+    let programs = try_cpu_programs(workload)?;
     let kernels = programs
         .iter()
         .zip(&workload.statements)
-        .map(|(p, st)| {
+        .enumerate()
+        .map(|(sidx, (p, st))| {
             (0..p.ops.len())
                 .map(|i| {
                     let cfg = naive_config(p, i);
-                    // The naive config covers every loop by construction.
-                    let mut k = map_kernel(p, i, &cfg, st.accumulate)
-                        .unwrap_or_else(|e| panic!("naive OpenACC config failed to map: {e}"));
+                    let mut k = map_kernel(p, i, &cfg, st.accumulate).map_err(|detail| {
+                        BarracudaError::Mapping {
+                            workload: workload.name.clone(),
+                            statement: sidx,
+                            version: Some(0),
+                            config: None,
+                            detail: detail.to_string(),
+                        }
+                    })?;
                     k.scalar_replacement = false;
                     k.name = format!("{}_acc_naive", k.name);
-                    k
+                    Ok(k)
                 })
-                .collect()
+                .collect::<Result<Vec<_>, BarracudaError>>()
         })
-        .collect();
-    AccMapping { programs, kernels }
+        .collect::<Result<Vec<_>, BarracudaError>>()?;
+    Ok(AccMapping { programs, kernels })
 }
 
 /// Builds the optimized-OpenACC analog: Barracuda's tuned thread/block
 /// decomposition + scalar replacement, default interior order, no unroll.
+///
+/// Panics on a mapping failure (the config is derived from kernels that
+/// already mapped); [`try_openacc_optimized`] reports it typed instead.
 pub fn openacc_optimized(workload: &Workload, tuned: &TunedWorkload) -> AccMapping {
-    let programs = base_programs(workload);
-    let kernels: Vec<Vec<MappedKernel>> = tuned
-        .programs
+    try_openacc_optimized(workload, tuned)
+        .unwrap_or_else(|e| panic!("optimized OpenACC config failed to map: {e}"))
+}
+
+/// Fallible [`openacc_optimized`] over an already-tuned workload.
+pub fn try_openacc_optimized(
+    workload: &Workload,
+    tuned: &TunedWorkload,
+) -> Result<AccMapping, BarracudaError> {
+    try_openacc_optimized_parts(workload, &tuned.programs, &tuned.kernels)
+}
+
+/// Core of the optimized-OpenACC construction, taking the tuned mapping as
+/// bare parts (`programs` = chosen version per statement, `kernels` = its
+/// mapped kernels) so callers holding only a configuration id — the
+/// `Backend` registry derives both from `(tuner, id)` — can build it
+/// without a full [`TunedWorkload`].
+pub fn try_openacc_optimized_parts(
+    workload: &Workload,
+    tuned_programs: &[TcrProgram],
+    tuned_kernels: &[Vec<MappedKernel>],
+) -> Result<AccMapping, BarracudaError> {
+    let programs = try_cpu_programs(workload)?;
+    let kernels: Vec<Vec<MappedKernel>> = tuned_programs
         .iter()
-        .zip(&tuned.choices)
         .zip(&workload.statements)
-        .map(|((program, (_, _config)), st)| {
+        .enumerate()
+        .map(|(sidx, (program, st))| {
             // Reuse the tuned kernels' decomposition but reset interior
             // order to default and unroll to 1.
-            tuned
-                .kernels
+            tuned_kernels
                 .iter()
                 .flatten()
                 .filter(|k| k.name.starts_with(&program.name))
@@ -174,15 +198,23 @@ pub fn openacc_optimized(workload: &Workload, tuned: &TunedWorkload) -> AccMappi
                     };
                     // Derived from a kernel that already mapped, so this
                     // config covers the same loops.
-                    let mut nk = map_kernel(program, op_index, &cfg, st.accumulate)
-                        .unwrap_or_else(|e| panic!("optimized OpenACC config failed to map: {e}"));
+                    let mut nk =
+                        map_kernel(program, op_index, &cfg, st.accumulate).map_err(|detail| {
+                            BarracudaError::Mapping {
+                                workload: workload.name.clone(),
+                                statement: sidx,
+                                version: None,
+                                config: None,
+                                detail: detail.to_string(),
+                            }
+                        })?;
                     nk.name = format!("{}_acc_opt", nk.name);
-                    nk
+                    Ok(nk)
                 })
-                .collect()
+                .collect::<Result<Vec<_>, BarracudaError>>()
         })
-        .collect();
-    AccMapping { programs, kernels }
+        .collect::<Result<Vec<_>, BarracudaError>>()?;
+    Ok(AccMapping { programs, kernels })
 }
 
 #[cfg(test)]

@@ -1,682 +1,46 @@
-//! End-to-end autotuning: OCTOPI versions × TCR configurations × SURF.
+//! End-to-end autotuning facade over the staged compiler driver.
 //!
-//! A [`WorkloadTuner`] joins the per-statement spaces of a workload into a
-//! single flat configuration space (the cross product that reaches 512,000
-//! variants for Lg3t in the paper), runs SURF against the GPU simulator and
-//! returns a [`TunedWorkload`]: chosen version + configuration per
-//! statement, mapped kernels, CUDA source, timing breakdown, and search
-//! statistics including the modeled wall-clock search time the paper
-//! reports in Table II.
+//! The actual pipeline lives in [`crate::stages`] as five explicitly
+//! staged modules with typed artifacts (`CompiledWorkload` →
+//! `LoweredVersions` → `SearchSpace` → `TunedWorkload`). This module keeps
+//! the original one-call API on top of them: a [`WorkloadTuner`] joins the
+//! per-statement spaces of a workload into a single flat configuration
+//! space (the cross product that reaches 512,000 variants for Lg3t in the
+//! paper), runs SURF against the GPU simulator and returns a
+//! [`TunedWorkload`]: chosen version + configuration per statement, mapped
+//! kernels, CUDA source, timing breakdown, and search statistics including
+//! the modeled wall-clock search time the paper reports in Table II.
 
-use crate::cache::{EvalCache, HotPathSnapshot, OpOutcome};
+use crate::cache::EvalCache;
 use crate::error::BarracudaError;
-use crate::quarantine::QuarantineReport;
+use crate::stages::{evaluate, lower, search, space, LoweredVersions};
 use crate::variant::StatementTuner;
 use crate::workload::Workload;
 use gpusim::GpuArch;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
-use std::time::Instant;
-use surf::{
-    surf_search_parallel, surf_search_serial, EvalFault, FaultPlan, FaultyEvaluator, ForestParams,
-    ParallelEvaluator, SearchStatus, SurfParams, SurfResult,
-};
-use tcr::mapping::{map_kernel, map_program, map_programs, MapJob, MappedKernel};
-use tcr::program::ArrayKind;
-use tcr::space::Configuration;
-use tcr::TcrProgram;
-use tensor::Tensor;
+use tcr::mapping::MappedKernel;
 
-/// Autotuning parameters.
-#[derive(Clone, Copy, Debug)]
-pub struct TuneParams {
-    pub surf: SurfParams,
-    /// Maximum pool presented to SURF; larger spaces are sampled.
-    pub pool_cap: usize,
-    /// Repetitions per empirical measurement (the paper averages 100) —
-    /// only affects the modeled search time, not the deterministic result.
-    pub reps: usize,
-    /// Relative run-to-run measurement noise injected into the times SURF
-    /// observes (seeded, deterministic). Real autotuners see a few percent;
-    /// it is what makes near-flat landscapes (Eqn.(1)) hard to search —
-    /// the mechanism behind the paper's longest search time (§VI-A).
-    pub eval_noise: f64,
-    /// Absolute timing jitter in microseconds (launch/measurement jitter).
-    /// Relative to a 30 µs Eqn.(1) run this dwarfs the differences between
-    /// its versions; relative to a millisecond Lg3 run it is invisible.
-    pub noise_floor_us: f64,
-    pub seed: u64,
-    /// Evaluation parallelism: `1` evaluates serially on the calling
-    /// thread; any other value fans batches out over the rayon pool (sized
-    /// by `RAYON_NUM_THREADS`, default: all cores — `0` means "auto").
-    /// Results are bit-identical at every setting: noise is keyed by
-    /// configuration id, not by evaluation order.
-    pub threads: usize,
-    /// Hard cap on evaluation *attempts* (successes + quarantined) across
-    /// the whole run, on top of `surf.max_evals`. Decomposed tuning spends
-    /// it as one shared budget across statements. `None`: surf budget only.
-    pub max_evaluations: Option<usize>,
-    /// Wall-clock deadline for the search; when it expires the run stops at
-    /// the next batch boundary and returns best-so-far with a
-    /// [`SearchStatus::Degraded`] status.
-    pub wall_deadline_s: Option<f64>,
-    /// Minimum fraction of attempts that must survive quarantine; dipping
-    /// below stops the search early with a degraded status. `0.0` disables.
-    pub min_survivor_fraction: f64,
-    /// Deterministic fault injection (tests, resilience experiments):
-    /// failures are keyed by configuration id exactly like the measurement
-    /// noise, so injected runs stay bit-identical serial vs parallel.
-    pub fault_injection: Option<FaultPlan>,
-}
-
-impl TuneParams {
-    /// Paper-scale settings: batch 10, generous eval budget with the
-    /// model-confidence stop (flat landscapes run long, §VI-A).
-    pub fn paper() -> Self {
-        TuneParams {
-            surf: SurfParams {
-                init_evals: 50,
-                batch_size: 10,
-                max_evals: 1200,
-                // Stop after 8 batches without a >1% record: noisy flat
-                // landscapes keep producing small records and run long.
-                patience: Some(8),
-                min_improvement: 0.01,
-                unpromising_stop: None,
-                seed: 0xBA22,
-                wall_deadline_s: None,
-                min_survivor_fraction: 0.0,
-                forest: ForestParams {
-                    n_trees: 30,
-                    min_samples_leaf: 2,
-                    k_features: Some(48),
-                    seed: 0xF0357,
-                },
-            },
-            pool_cap: 20_000,
-            reps: 100,
-            eval_noise: 0.02,
-            noise_floor_us: 6.0,
-            seed: 0xBA22,
-            threads: 0,
-            max_evaluations: None,
-            wall_deadline_s: None,
-            min_survivor_fraction: 0.0,
-            fault_injection: None,
-        }
-    }
-
-    /// Small settings for tests and doc examples.
-    pub fn quick() -> Self {
-        TuneParams {
-            surf: SurfParams {
-                init_evals: 0,
-                batch_size: 8,
-                max_evals: 40,
-                patience: None,
-                min_improvement: 0.01,
-                unpromising_stop: None,
-                seed: 0xBA22,
-                wall_deadline_s: None,
-                min_survivor_fraction: 0.0,
-                forest: ForestParams {
-                    n_trees: 10,
-                    min_samples_leaf: 2,
-                    k_features: Some(24),
-                    seed: 0xF0357,
-                },
-            },
-            pool_cap: 2_000,
-            reps: 100,
-            eval_noise: 0.0,
-            noise_floor_us: 0.0,
-            seed: 0xBA22,
-            threads: 0,
-            max_evaluations: None,
-            wall_deadline_s: None,
-            min_survivor_fraction: 0.0,
-            fault_injection: None,
-        }
-    }
-
-    /// The SURF parameters actually handed to the search: the tuner-level
-    /// budget/deadline/threshold knobs folded into `surf`.
-    fn effective_surf(&self) -> SurfParams {
-        let mut sp = self.surf;
-        if let Some(cap) = self.max_evaluations {
-            sp.max_evals = sp.max_evals.min(cap.max(1));
-        }
-        if self.wall_deadline_s.is_some() {
-            sp.wall_deadline_s = self.wall_deadline_s;
-        }
-        sp.min_survivor_fraction = sp.min_survivor_fraction.max(self.min_survivor_fraction);
-        sp
-    }
-}
-
-/// SplitMix64 hash mapped to [-1, 1): deterministic per-configuration noise.
-fn noise_unit(mut z: u64) -> f64 {
-    z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^= z >> 31;
-    2.0 * ((z >> 11) as f64 / (1u64 << 53) as f64) - 1.0
-}
-
-/// Search bookkeeping of one autotuning run.
-#[derive(Clone, Debug)]
-pub struct SearchStats {
-    pub n_evals: usize,
-    pub batches: usize,
-    /// Simulated execution time of every evaluated variant.
-    pub evaluated_times: Vec<f64>,
-    /// Size of the full configuration space (before pool sampling).
-    pub space_size: u128,
-    pub pool_size: usize,
-    /// Memo-cache hits during this run (times + features combined).
-    pub cache_hits: usize,
-    /// Memo-cache misses during this run (= distinct computations).
-    pub cache_misses: usize,
-    /// Wall-clock seconds spent inside the SURF search.
-    pub wall_s: f64,
-    /// Threads the evaluation backend used (1 = serial).
-    pub threads: usize,
-    /// OCTOPI versions quarantined at build time (lowering failures).
-    pub quarantined_versions: usize,
-    /// Configurations quarantined during the search (mapping/simulation
-    /// failures, non-finite times, injected faults).
-    pub quarantined_configs: usize,
-    /// Per-op outcome cache hits during this run — the memo layer under the
-    /// whole-configuration cache, keyed by `(statement, version, op,
-    /// choice)` so distinct joint configurations share sub-results.
-    pub per_op_hits: usize,
-    pub per_op_misses: usize,
-    /// Whole-configuration time cache hits/misses during this run.
-    pub time_hits: usize,
-    pub time_misses: usize,
-    /// Wall-time spent per hot-path stage (decode / map / simulate /
-    /// predict) during this run.
-    pub hot: HotPathSnapshot,
-}
-
-impl SearchStats {
-    /// Modeled wall-clock search time the way the paper accounts it: per
-    /// evaluated variant, one `nvcc` compile plus `reps` timed runs plus
-    /// fixed measurement overhead.
-    pub fn search_seconds(&self, arch: &GpuArch, reps: usize) -> f64 {
-        self.evaluated_times
-            .iter()
-            .map(|t| arch.compile_seconds + reps as f64 * t + 0.1)
-            .sum()
-    }
-
-    /// Modeled time to exhaustively enumerate the whole space at the same
-    /// per-variant cost (the paper's "23 days" comparison for Lg3t).
-    pub fn exhaustive_seconds(&self, arch: &GpuArch, reps: usize) -> f64 {
-        let avg = if self.evaluated_times.is_empty() {
-            0.0
-        } else {
-            self.evaluated_times.iter().sum::<f64>() / self.evaluated_times.len() as f64
-        };
-        self.space_size as f64 * (arch.compile_seconds + reps as f64 * avg + 0.1)
-    }
-
-    /// Fraction of cache lookups served without recomputation.
-    pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / total as f64
-        }
-    }
-
-    /// Fraction of per-op outcome lookups served from the memo layer. The
-    /// joint space is a Cartesian product of per-op choices, so this runs
-    /// far above the whole-configuration rates: a fresh joint id usually
-    /// re-combines already-seen sub-configurations.
-    pub fn per_op_hit_rate(&self) -> f64 {
-        let total = self.per_op_hits + self.per_op_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.per_op_hits as f64 / total as f64
-        }
-    }
-
-    /// Fraction of whole-configuration time lookups served memoized.
-    pub fn time_hit_rate(&self) -> f64 {
-        let total = self.time_hits + self.time_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.time_hits as f64 / total as f64
-        }
-    }
-}
-
-/// FNV-1a of a string, used to salt the shared [`EvalCache`] keyspace per
-/// architecture (and per statement in decomposed tuning).
-fn salt_of(name: &str) -> u64 {
-    let mut h: u64 = 0xCBF29CE484222325;
-    for b in name.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001B3);
-    }
-    h
-}
-
-/// Cache key of one per-op outcome: statement, version, op and the op's
-/// configuration digit, packed bit-disjoint. Joint and decomposed tuning
-/// use the same keys, so they share each other's sub-results.
-fn op_key(stmt: usize, version: usize, op: usize, choice: usize) -> u128 {
-    debug_assert!(stmt < 1 << 8 && op < 1 << 8 && version < 1 << 16);
-    ((choice as u128) << 32) | ((version as u128) << 16) | ((op as u128) << 8) | stmt as u128
-}
-
-/// A statement-level failure reconstructed from memoized per-op outcomes,
-/// carrying the exact detail string the unmemoized pipeline produces.
-enum StatementFault {
-    Mapping { version: usize, detail: String },
-    Simulation { detail: String },
-}
-
-/// Device time of one statement under `(version, per-op choices)`, with
-/// each op's map + validate + time outcome memoized in `cache` under
-/// `salt`. Bitwise identical to `map_program` + `validate_kernel` +
-/// `time_program(..).gpu_s`: the first op that fails to map fails the
-/// statement (mapping runs before any validation), then the first
-/// validation failure in op order, else the kernel times are summed
-/// left-to-right exactly like `ProgramTiming::gpu_s`.
-#[allow(clippy::too_many_arguments)]
-fn statement_time_memo(
-    st: &StatementTuner,
-    stmt: usize,
-    version: usize,
-    choices: &[usize],
-    accumulate: bool,
-    arch: &GpuArch,
-    cache: &EvalCache,
-    salt: u64,
-) -> Result<f64, StatementFault> {
-    let variant = &st.variants[version];
-    let mut sum = 0.0;
-    let mut sim_fault: Option<String> = None;
-    for (o, &choice) in choices.iter().enumerate() {
-        let outcome = cache.op_outcome(salt, op_key(stmt, version, o, choice), || {
-            let t0 = Instant::now();
-            let cfg = &variant.space.per_op[o].configs[choice];
-            // Only the statement writing the program output may accumulate
-            // into pre-existing data (same rule as `map_program`).
-            let acc = accumulate
-                && variant.program.arrays[variant.program.ops[o].output].kind == ArrayKind::Output;
-            match map_kernel(&variant.program, o, cfg, acc) {
-                Ok(kernel) => {
-                    cache.hot().add_map(t0.elapsed().as_nanos() as u64);
-                    let t1 = Instant::now();
-                    let out = match gpusim::validate_kernel(&kernel, arch) {
-                        Ok(()) => OpOutcome::Time(gpusim::kernel_time_s(&kernel, arch)),
-                        Err(detail) => OpOutcome::SimFault(detail),
-                    };
-                    cache.hot().add_sim(t1.elapsed().as_nanos() as u64);
-                    out
-                }
-                Err(e) => {
-                    cache.hot().add_map(t0.elapsed().as_nanos() as u64);
-                    OpOutcome::MapFault(e.to_string())
-                }
-            }
-        });
-        match outcome {
-            OpOutcome::Time(t) => sum += t,
-            // Validation only runs once the whole statement maps, so a
-            // later op's mapping failure still outranks this one.
-            OpOutcome::SimFault(detail) => {
-                if sim_fault.is_none() {
-                    sim_fault = Some(detail);
-                }
-            }
-            OpOutcome::MapFault(detail) => return Err(StatementFault::Mapping { version, detail }),
-        }
-    }
-    match sim_fault {
-        Some(detail) => Err(StatementFault::Simulation { detail }),
-        None => Ok(sum),
-    }
-}
-
-/// Thread-safe joint-configuration evaluator: memoized simulated times and
-/// features from a shared [`EvalCache`], plus the deterministic measurement
-/// noise SURF observes. Implements [`surf::ParallelEvaluator`], so one
-/// instance serves both the serial and the parallel search backends —
-/// noise is keyed by configuration id, never by evaluation order, which is
-/// what keeps parallel runs bit-identical to serial ones.
-pub struct TunerEvaluator<'a> {
-    tuner: &'a WorkloadTuner,
-    arch: &'a GpuArch,
-    cache: &'a EvalCache,
-    salt: u64,
-    eval_noise: f64,
-    noise_floor_us: f64,
-    noise_seed: u64,
-}
+pub use crate::stages::{SearchStats, TuneParams, TunedWorkload, TunerEvaluator};
 
 impl<'a> TunerEvaluator<'a> {
+    /// Facade constructor over [`TunerEvaluator::from_parts`], taking the
+    /// tuner and the autotuning parameters the way the search entry points
+    /// do.
     pub fn new(
         tuner: &'a WorkloadTuner,
         arch: &'a GpuArch,
         cache: &'a EvalCache,
         params: &TuneParams,
     ) -> Self {
-        TunerEvaluator {
-            tuner,
+        TunerEvaluator::from_parts(
+            &tuner.workload,
+            &tuner.statements,
             arch,
             cache,
-            salt: salt_of(arch.name),
-            eval_noise: params.eval_noise,
-            noise_floor_us: params.noise_floor_us,
-            noise_seed: params.seed,
-        }
-    }
-
-    /// Noiseless memoized simulated time of a joint configuration; `NaN`
-    /// when the configuration fails to map or simulate (the NaN is cached,
-    /// so a failing configuration is never re-simulated).
-    pub fn time(&self, id: u128) -> f64 {
-        self.try_time(id).unwrap_or(f64::NAN)
-    }
-
-    /// Noiseless memoized simulated time, with typed failure. Failures are
-    /// memoized as a cached `NaN` sentinel: re-asking about a quarantined
-    /// configuration costs one cache hit, not a re-simulation.
-    pub fn try_time(&self, id: u128) -> Result<f64, EvalFault> {
-        let mut fault = None;
-        let t = self.cache.time(self.salt, id, || {
-            match self.tuner.try_gpu_seconds_memo(id, self.arch, self.cache) {
-                Ok(t) => t,
-                Err(e) => {
-                    fault = Some(EvalFault::new(e.stage(), e.to_string()));
-                    f64::NAN
-                }
-            }
-        });
-        if let Some(f) = fault {
-            return Err(f);
-        }
-        if !t.is_finite() || t <= 0.0 {
-            return Err(EvalFault::new(
-                "simulation",
-                format!("non-finite or non-positive simulated time {t} for config {id}"),
-            ));
-        }
-        Ok(t)
-    }
-
-    /// Applies the deterministic measurement noise the search observes.
-    fn noisy(&self, id: u128, t: f64) -> f64 {
-        // A relative component plus absolute launch/measurement jitter that
-        // dominates for microsecond-scale kernels.
-        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
-        t * (1.0 + rel * noise_unit(id as u64 ^ self.noise_seed))
-    }
-}
-
-impl ParallelEvaluator for TunerEvaluator<'_> {
-    fn features(&self, id: u128) -> Vec<f64> {
-        // Features are arch-independent; salt 0 shares them across archs.
-        self.cache.features(0, id, || self.tuner.features(id))
-    }
-
-    fn evaluate(&self, id: u128) -> f64 {
-        match self.try_time(id) {
-            Ok(t) => self.noisy(id, t),
-            Err(_) => f64::NAN,
-        }
-    }
-
-    fn try_evaluate(&self, id: u128) -> Result<f64, EvalFault> {
-        self.try_time(id).map(|t| self.noisy(id, t))
-    }
-}
-
-/// Statement-local analog of [`TunerEvaluator`] for decomposed tuning: ids
-/// are local to one statement's space, salted so several statements share
-/// one cache without key collisions.
-struct StatementEvaluator<'a> {
-    st: &'a StatementTuner,
-    /// Statement index in the workload — keys the per-op memo layer with
-    /// the same `(statement, version, op, choice)` keys joint tuning uses,
-    /// so the two paths share sub-results.
-    stmt: usize,
-    accumulate: bool,
-    arch: &'a GpuArch,
-    cache: &'a EvalCache,
-    salt: u64,
-    /// Per-op memo salt (per-architecture, shared with joint tuning).
-    op_salt: u64,
-    eval_noise: f64,
-    noise_floor_us: f64,
-    noise_seed: u64,
-}
-
-impl StatementEvaluator<'_> {
-    fn time(&self, local: u128) -> f64 {
-        self.try_time(local).unwrap_or(f64::NAN)
-    }
-
-    /// Statement-local analog of [`TunerEvaluator::try_time`], with the
-    /// same cached-NaN memoization of failures, built on the shared per-op
-    /// memo layer.
-    fn try_time(&self, local: u128) -> Result<f64, EvalFault> {
-        let mut fault = None;
-        let t = self.cache.time(self.salt, local, || {
-            let t0 = Instant::now();
-            let (v, local_cfg) = self.st.decode_raw(local);
-            let mut choices = Vec::new();
-            self.st.variants[v]
-                .space
-                .choices_into(local_cfg, &mut choices);
-            self.cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
-            match statement_time_memo(
-                self.st,
-                self.stmt,
-                v,
-                &choices,
-                self.accumulate,
-                self.arch,
-                self.cache,
-                self.op_salt,
-            ) {
-                Ok(t) => t,
-                Err(StatementFault::Mapping { detail, .. }) => {
-                    fault = Some(EvalFault::new("mapping", detail));
-                    f64::NAN
-                }
-                Err(StatementFault::Simulation { detail }) => {
-                    fault = Some(EvalFault::new("simulation", detail));
-                    f64::NAN
-                }
-            }
-        });
-        if let Some(f) = fault {
-            return Err(f);
-        }
-        if !t.is_finite() || t <= 0.0 {
-            return Err(EvalFault::new(
-                "simulation",
-                format!("non-finite or non-positive simulated time {t} for config {local}"),
-            ));
-        }
-        Ok(t)
-    }
-
-    fn noisy(&self, local: u128, t: f64) -> f64 {
-        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
-        t * (1.0 + rel * noise_unit(local as u64 ^ self.noise_seed))
-    }
-}
-
-impl ParallelEvaluator for StatementEvaluator<'_> {
-    fn features(&self, local: u128) -> Vec<f64> {
-        self.cache
-            .features(self.salt, local, || self.st.features(local))
-    }
-
-    fn evaluate(&self, local: u128) -> f64 {
-        match self.try_time(local) {
-            Ok(t) => self.noisy(local, t),
-            Err(_) => f64::NAN,
-        }
-    }
-
-    fn try_evaluate(&self, local: u128) -> Result<f64, EvalFault> {
-        self.try_time(local).map(|t| self.noisy(local, t))
-    }
-}
-
-/// Dispatches to the serial or parallel SURF backend per
-/// [`TuneParams::threads`]; both run the same driver over the same
-/// evaluator (including its typed-fault path), so the choice never changes
-/// the result — including which configurations get quarantined and why.
-fn search_with<E: ParallelEvaluator>(
-    pool: &[u128],
-    evaluator: &E,
-    surf_params: SurfParams,
-    threads: usize,
-) -> Result<SurfResult, surf::SearchError> {
-    if threads == 1 {
-        surf_search_serial(pool, evaluator, surf_params)
-    } else {
-        surf_search_parallel(pool, evaluator, surf_params)
-    }
-}
-
-/// Result of autotuning one workload on one architecture.
-#[derive(Clone, Debug)]
-pub struct TunedWorkload {
-    pub name: String,
-    pub arch_name: String,
-    /// Flat id of the chosen configuration.
-    pub id: u128,
-    /// Per statement: chosen version index + configuration.
-    pub choices: Vec<(usize, Configuration)>,
-    /// Per statement: the chosen version's TCR program.
-    pub programs: Vec<TcrProgram>,
-    /// Per statement: mapped kernels.
-    pub kernels: Vec<Vec<MappedKernel>>,
-    pub gpu_seconds: f64,
-    pub transfer_seconds: f64,
-    pub flops: u64,
-    pub search: SearchStats,
-    /// Whether the search ran to completion or stopped early (budget,
-    /// deadline, survivor-fraction threshold) with best-so-far.
-    pub status: SearchStatus,
-    /// Every version and configuration excluded from the search, with the
-    /// stage and reason it was quarantined.
-    pub quarantine: QuarantineReport,
-}
-
-impl TunedWorkload {
-    pub fn total_seconds(&self) -> f64 {
-        self.gpu_seconds + self.transfer_seconds
-    }
-
-    /// `true` when the search stopped early instead of running to its
-    /// configured budget (the result is still the best configuration seen).
-    pub fn is_degraded(&self) -> bool {
-        self.status.is_degraded()
-    }
-
-    /// Sustained GFlop/s including PCIe transfers.
-    pub fn gflops(&self) -> f64 {
-        self.flops as f64 / self.total_seconds() / 1e9
-    }
-
-    /// Device-side GFlop/s (kernels + launches only).
-    pub fn gflops_device(&self) -> f64 {
-        self.flops as f64 / self.gpu_seconds / 1e9
-    }
-
-    /// Time per run when the measurement loop repeats the kernels `reps`
-    /// times over device-resident data (the paper averages 100 repetitions,
-    /// so host transfers amortize across them).
-    pub fn amortized_seconds(&self, reps: usize) -> f64 {
-        self.gpu_seconds + self.transfer_seconds / reps.max(1) as f64
-    }
-
-    /// GFlop/s under `reps`-amortized transfers (the Table II metric).
-    pub fn gflops_amortized(&self, reps: usize) -> f64 {
-        self.flops as f64 / self.amortized_seconds(reps) / 1e9
-    }
-
-    /// Full CUDA source: every kernel plus the host launcher.
-    pub fn cuda_source(&self) -> String {
-        let mut s = String::new();
-        for ks in &self.kernels {
-            for k in ks {
-                s.push_str(&tcr::codegen::cuda_kernel(k));
-                s.push('\n');
-            }
-        }
-        for ks in &self.kernels {
-            s.push_str(&tcr::codegen::cuda_launcher(ks));
-        }
-        s
-    }
-
-    /// Executes the tuned kernels functionally (simulated GPU) over named
-    /// inputs; returns the workload's external outputs. Fails when `inputs`
-    /// is missing a tensor some statement consumes.
-    pub fn execute(
-        &self,
-        workload: &Workload,
-        inputs: &[(String, Tensor)],
-    ) -> Result<Vec<(String, Tensor)>, BarracudaError> {
-        let mut env: BTreeMap<String, Tensor> = inputs.iter().cloned().collect();
-        for (sidx, st) in workload.statements.iter().enumerate() {
-            let program = &self.programs[sidx];
-            let input_ids = program.input_ids();
-            let operands: Vec<&Tensor> = input_ids
-                .iter()
-                .map(|&id| {
-                    let name = &program.arrays[id].name;
-                    env.get(name).ok_or_else(|| BarracudaError::Validation {
-                        workload: self.name.clone(),
-                        statement: Some(sidx),
-                        detail: format!("missing input tensor {name}"),
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            let fresh = gpusim::execute_program(program, &self.kernels[sidx], &operands);
-            match env.entry(st.output.name.clone()) {
-                std::collections::btree_map::Entry::Occupied(mut o) if st.accumulate => {
-                    for (a, b) in o.get_mut().data_mut().iter_mut().zip(fresh.data()) {
-                        *a += b;
-                    }
-                }
-                std::collections::btree_map::Entry::Occupied(mut o) => {
-                    *o.get_mut() = fresh;
-                }
-                std::collections::btree_map::Entry::Vacant(v) => {
-                    v.insert(fresh);
-                }
-            }
-        }
-        workload
-            .external_outputs()
-            .into_iter()
-            .map(|name| {
-                let t = env
-                    .remove(&name)
-                    .ok_or_else(|| BarracudaError::Validation {
-                        workload: self.name.clone(),
-                        statement: None,
-                        detail: format!("external output {name} was never computed"),
-                    })?;
-                Ok((name, t))
-            })
-            .collect()
+            params.eval_noise,
+            params.noise_floor_us,
+            params.seed,
+        )
     }
 }
 
@@ -688,137 +52,60 @@ pub struct WorkloadTuner {
 }
 
 impl WorkloadTuner {
+    /// Lowers every statement (see [`LoweredVersions::build`]) and wraps
+    /// the artifact with its workload.
     pub fn build(workload: &Workload) -> Self {
-        // Statements are independent; enumerate + lower + space-build each
-        // on the rayon pool (order-preserving, so offsets and ids match the
-        // serial construction exactly).
-        let idx: Vec<usize> = (0..workload.statements.len()).collect();
-        let statements = rayon::par_map_slice(&idx, |&i| {
-            StatementTuner::build(
-                &format!("{}_{}", workload.name, i),
-                &workload.statements[i],
-                &workload.dims,
-            )
-        });
-        WorkloadTuner {
-            workload: workload.clone(),
-            statements,
-        }
+        Self::from_lowered(workload.clone(), LoweredVersions::build(workload))
     }
 
     /// Builds the tuner with every statement's space pruned by `rules`
     /// (§VIII future work; see `tcr::prune`).
     pub fn build_pruned(workload: &Workload, rules: &tcr::PruneRules) -> Self {
-        let mut tuner = Self::build(workload);
-        for st in &mut tuner.statements {
-            st.prune(rules);
+        let mut lowered = LoweredVersions::build(workload);
+        lowered.prune(rules);
+        Self::from_lowered(workload.clone(), lowered)
+    }
+
+    /// Wraps an already-built lowering artifact.
+    pub fn from_lowered(workload: Workload, lowered: LoweredVersions) -> Self {
+        WorkloadTuner {
+            workload,
+            statements: lowered.statements,
         }
-        tuner
     }
 
     /// A random neighbor of `id` for local-search baselines: re-draws one
     /// statement's configuration (keeping its OCTOPI version with
     /// probability ~0.7).
     pub fn neighbor(&self, id: u128, rng: &mut StdRng) -> u128 {
-        let locals = self.decode(id);
-        let k = rng.gen_range(0..self.statements.len());
-        let st = &self.statements[k];
-        let (v, _) = st.decode(locals[k]);
-        let new_v = if st.variants.len() > 1 && rng.gen_range(0..10) < 3 {
-            rng.gen_range(0..st.variants.len())
-        } else {
-            v
-        };
-        let space_len = st.variants[new_v].space.len();
-        let new_local = st.encode(
-            new_v,
-            &st.variants[new_v].space.config(rng.gen_range(0..space_len)),
-        );
-        // Re-encode the joint id.
-        let mut out = 0u128;
-        for (i, s) in self.statements.iter().enumerate() {
-            let l = if i == k { new_local } else { locals[i] };
-            out = out * s.total() + l;
-        }
-        out
+        space::neighbor(&self.statements, id, rng)
     }
 
     /// Total joint configurations (product of per-statement spaces).
     pub fn total_space(&self) -> u128 {
-        self.statements
-            .iter()
-            .map(|s| s.total())
-            .fold(1u128, |a, b| a.saturating_mul(b))
+        lower::total_space(&self.statements)
     }
 
     /// Decodes a joint id into per-statement local ids.
-    pub fn decode(&self, mut id: u128) -> Vec<u128> {
-        let mut locals = vec![0u128; self.statements.len()];
-        for (k, s) in self.statements.iter().enumerate().rev() {
-            let radix = s.total();
-            locals[k] = id % radix;
-            id /= radix;
-        }
-        locals
+    pub fn decode(&self, id: u128) -> Vec<u128> {
+        lower::decode_joint(&self.statements, id)
     }
 
     /// Names of every binarized feature column of [`WorkloadTuner::features`].
     pub fn binarized_feature_names(&self) -> Vec<String> {
-        let mut out = Vec::new();
-        for (k, st) in self.statements.iter().enumerate() {
-            out.extend(
-                st.binarized_feature_names()
-                    .into_iter()
-                    .map(|n| format!("s{k}.{n}")),
-            );
-        }
-        out
+        lower::binarized_feature_names(&self.statements)
     }
 
     /// Binarized features of a joint id: concatenation across statements.
     pub fn features(&self, id: u128) -> Vec<f64> {
-        let locals = self.decode(id);
-        let mut out = Vec::new();
-        for (s, &local) in self.statements.iter().zip(&locals) {
-            out.extend(s.features(local));
-        }
-        out
+        lower::joint_features(&self.statements, id)
     }
 
     /// Maps every statement under the joint id (statements map in parallel
     /// on the rayon pool); fails with full context when any statement's
     /// configuration cannot be applied to its loop nest.
     pub fn kernels(&self, id: u128) -> Result<Vec<Vec<MappedKernel>>, BarracudaError> {
-        let locals = self.decode(id);
-        let jobs: Vec<MapJob<'_>> = self
-            .statements
-            .iter()
-            .zip(&locals)
-            .zip(&self.workload.statements)
-            .map(|((s, &local), st)| {
-                let (v, config) = s.decode(local);
-                let variant = &s.variants[v];
-                MapJob {
-                    program: &variant.program,
-                    space: &variant.space,
-                    config,
-                    accumulate_output: st.accumulate,
-                }
-            })
-            .collect();
-        map_programs(&jobs)
-            .into_iter()
-            .enumerate()
-            .map(|(k, r)| {
-                r.map_err(|e| BarracudaError::Mapping {
-                    workload: self.workload.name.clone(),
-                    statement: k,
-                    version: Some(self.statements[k].decode(locals[k]).0),
-                    config: Some(id),
-                    detail: e.to_string(),
-                })
-            })
-            .collect()
+        lower::map_joint(&self.workload, &self.statements, id)
     }
 
     /// Device-side time of a joint configuration (no transfers — they are
@@ -832,143 +119,34 @@ impl WorkloadTuner {
     /// the statement/version/configuration when mapping fails or the
     /// simulator rejects a kernel.
     pub fn try_gpu_seconds(&self, id: u128, arch: &GpuArch) -> Result<f64, BarracudaError> {
-        let locals = self.decode(id);
-        let mut total = 0.0;
-        for (k, (s, &local)) in self.statements.iter().zip(&locals).enumerate() {
-            let (v, config) = s.decode(local);
-            let variant = &s.variants[v];
-            let st = &self.workload.statements[k];
-            let kernels = map_program(&variant.program, &variant.space, &config, st.accumulate)
-                .map_err(|e| BarracudaError::Mapping {
-                    workload: self.workload.name.clone(),
-                    statement: k,
-                    version: Some(v),
-                    config: Some(id),
-                    detail: e.to_string(),
-                })?;
-            for kernel in &kernels {
-                gpusim::validate_kernel(kernel, arch).map_err(|detail| {
-                    BarracudaError::Simulation {
-                        workload: self.workload.name.clone(),
-                        config: Some(id),
-                        detail,
-                    }
-                })?;
-            }
-            total += gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s;
-        }
-        Ok(total)
+        evaluate::joint_gpu_seconds(&self.workload, &self.statements, id, arch)
     }
 
     /// [`WorkloadTuner::try_gpu_seconds`] through the per-op memo layer of
-    /// `cache`: every op outcome is keyed by `(statement, version, op,
-    /// choice)`, so a fresh joint configuration that re-combines
-    /// already-seen per-op choices costs only cache hits instead of a full
-    /// map + validate + simulate pass. Bitwise identical to the unmemoized
-    /// path, including the error a faulting configuration produces.
+    /// `cache` (see [`evaluate::joint_gpu_seconds_memo`]).
     pub fn try_gpu_seconds_memo(
         &self,
         id: u128,
         arch: &GpuArch,
         cache: &EvalCache,
     ) -> Result<f64, BarracudaError> {
-        let salt = salt_of(arch.name);
-        let t0 = Instant::now();
-        let locals = self.decode(id);
-        cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
-        let mut choices: Vec<usize> = Vec::new();
-        let mut total = 0.0;
-        for (k, (s, &local)) in self.statements.iter().zip(&locals).enumerate() {
-            let t0 = Instant::now();
-            let (v, local_cfg) = s.decode_raw(local);
-            s.variants[v].space.choices_into(local_cfg, &mut choices);
-            cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
-            let accumulate = self.workload.statements[k].accumulate;
-            match statement_time_memo(s, k, v, &choices, accumulate, arch, cache, salt) {
-                Ok(stmt_s) => total += stmt_s,
-                Err(StatementFault::Mapping { version, detail }) => {
-                    return Err(BarracudaError::Mapping {
-                        workload: self.workload.name.clone(),
-                        statement: k,
-                        version: Some(version),
-                        config: Some(id),
-                        detail,
-                    })
-                }
-                Err(StatementFault::Simulation { detail }) => {
-                    return Err(BarracudaError::Simulation {
-                        workload: self.workload.name.clone(),
-                        config: Some(id),
-                        detail,
-                    })
-                }
-            }
-        }
-        Ok(total)
+        evaluate::joint_gpu_seconds_memo(&self.workload, &self.statements, id, arch, cache)
     }
 
     /// PCIe transfer time of the workload on `arch`.
     pub fn transfer_seconds(&self, arch: &GpuArch) -> f64 {
-        self.workload.transfer_bytes() as f64 / (arch.pcie_bw_gbs * 1e9)
-            + 2.0 * arch.pcie_latency_us * 1e-6
+        evaluate::transfer_seconds(&self.workload, arch)
     }
 
     /// Flops of the versions selected by `id`.
     pub fn flops(&self, id: u128) -> u64 {
-        let locals = self.decode(id);
-        self.statements
-            .iter()
-            .zip(&locals)
-            .map(|(s, &local)| {
-                let (v, _) = s.decode(local);
-                s.variants[v].program.flops()
-            })
-            .sum()
+        lower::joint_flops(&self.statements, id)
     }
 
     /// Configuration pool: the full space when it fits under `cap`, else a
-    /// deterministic *stratified* sample of `cap` distinct ids — the OCTOPI
-    /// version of every statement is drawn uniformly, then a configuration
-    /// within it. Plain uniform id sampling would weight versions by their
-    /// space size and all but hide the small-space (often minimal-flop)
-    /// versions OCTOPI works hardest to expose.
+    /// deterministic stratified sample (see [`space::joint_pool`]).
     pub fn pool(&self, cap: usize, seed: u64) -> Vec<u128> {
-        let total = self.total_space();
-        if total <= cap as u128 {
-            return (0..total).collect();
-        }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut set = std::collections::BTreeSet::new();
-        let mut guard = 0usize;
-        while set.len() < cap && guard < cap * 20 {
-            guard += 1;
-            // Per statement: uniform version, then uniform config inside it.
-            let mut id = 0u128;
-            for st in &self.statements {
-                let v = rng.gen_range(0..st.variants.len());
-                let local = st.encode(
-                    v,
-                    &st.variants[v]
-                        .space
-                        .config(rng.gen_range(0..st.variants[v].space.len())),
-                );
-                id = id * st.total() + local;
-            }
-            set.insert(id);
-        }
-        set.into_iter().collect()
-    }
-
-    /// Quarantine report of the build stage: every version whose lowering
-    /// failed, per statement.
-    fn build_quarantine(&self) -> QuarantineReport {
-        let mut q = QuarantineReport::new();
-        for (k, st) in self.statements.iter().enumerate() {
-            for (v, reason) in &st.quarantined_versions {
-                q.record_version(k, *v, reason.clone());
-            }
-        }
-        q
+        space::joint_pool(&self.statements, cap, seed)
     }
 
     /// Runs SURF and returns the tuned workload. Uses a fresh memo cache;
@@ -981,135 +159,19 @@ impl WorkloadTuner {
         self.autotune_with_cache(arch, params, &EvalCache::new())
     }
 
-    /// Runs SURF against a caller-provided [`EvalCache`], so repeated runs
-    /// (per-architecture sweeps, benchmark repetitions, decomposed +
-    /// joint comparisons) never re-simulate a configuration they have
-    /// already seen.
-    ///
-    /// Configurations that fail to map/simulate (or are failed by
-    /// [`TuneParams::fault_injection`]) are quarantined, not fatal: the
-    /// search continues over survivors and the report travels on the
-    /// result. The only hard errors are an empty pool and a search with no
-    /// survivors at all.
+    /// Runs SURF against a caller-provided [`EvalCache`] (see
+    /// [`search::autotune_joint`] for the full contract).
     pub fn autotune_with_cache(
         &self,
         arch: &GpuArch,
         params: TuneParams,
         cache: &EvalCache,
     ) -> Result<TunedWorkload, BarracudaError> {
-        let pool = self.pool(params.pool_cap, params.seed);
-        let evaluator = TunerEvaluator::new(self, arch, cache, &params);
-        let faulty = FaultyEvaluator::new(
-            &evaluator,
-            params.fault_injection.unwrap_or_else(FaultPlan::none),
-        );
-        let (hits0, misses0) = cache.stats();
-        let (th0, tm0) = cache.time_stats();
-        let (oh0, om0) = cache.op_stats();
-        let hot0 = cache.hot().snapshot();
-        let result =
-            search_with(&pool, &faulty, params.effective_surf(), params.threads).map_err(|e| {
-                BarracudaError::Search {
-                    workload: self.workload.name.clone(),
-                    detail: e.to_string(),
-                }
-            })?;
-        let (hits1, misses1) = cache.stats();
-        let (th1, tm1) = cache.time_stats();
-        let (oh1, om1) = cache.op_stats();
-        let mut hot = cache.hot().snapshot().delta(&hot0);
-        hot.predict_ns = result.predict_ns;
-        // An external attempt cap that actually truncated the search is an
-        // explicit degradation, not a silent completion.
-        let mut status = result.status.clone();
-        if let Some(cap) = params.max_evaluations {
-            if !status.is_degraded() && cap < params.surf.max_evals && result.n_attempted() >= cap {
-                status = SearchStatus::Degraded {
-                    reason: format!(
-                        "evaluation budget exhausted after {} attempts (cap {cap})",
-                        result.n_attempted()
-                    ),
-                };
-            }
-        }
-
-        // The search observed noisy measurements; the final pick re-measures
-        // carefully: choose the best *noiseless* time among everything the
-        // search evaluated (the paper's final numbers are 100-rep averages).
-        // One cache hit per candidate — the search already simulated them
-        // all, and each id's time is looked up exactly once. First minimal
-        // wins ties, matching `min_by`; quarantined ids never reach
-        // `evaluated`, and the finite filter keeps even a stray NaN from
-        // poisoning the pick.
-        let mut best: Option<(u128, f64)> = None;
-        for &(cand, _) in &result.evaluated {
-            let t = evaluator.time(cand);
-            let better = match best {
-                None => true,
-                Some((_, bt)) => t < bt,
-            };
-            if t.is_finite() && better {
-                best = Some((cand, t));
-            }
-        }
-        let id = best.map_or(result.best_id, |(id, _)| id);
-        let locals = self.decode(id);
-        let mut choices = Vec::new();
-        let mut programs = Vec::new();
-        for (s, &local) in self.statements.iter().zip(&locals) {
-            let (v, config) = s.decode(local);
-            programs.push(s.variants[v].program.clone());
-            choices.push((v, config));
-        }
-        let kernels = self.kernels(id)?;
-        let mut quarantine = self.build_quarantine();
-        for (cid, reason) in &result.quarantined {
-            quarantine.record_config(None, *cid, reason.clone());
-        }
-        // Report the noiseless model time of the chosen configuration.
-        let gpu_seconds = self.try_gpu_seconds(id, arch)?;
-        let transfer_seconds = self.transfer_seconds(arch);
-        let flops = self.flops(id);
-        Ok(TunedWorkload {
-            name: self.workload.name.clone(),
-            arch_name: arch.name.to_string(),
-            id,
-            choices,
-            programs,
-            kernels,
-            gpu_seconds,
-            transfer_seconds,
-            flops,
-            search: SearchStats {
-                n_evals: result.n_evals(),
-                batches: result.batches,
-                evaluated_times: result.evaluated.iter().map(|(_, t)| *t).collect(),
-                space_size: self.total_space(),
-                pool_size: pool.len(),
-                cache_hits: hits1 - hits0,
-                cache_misses: misses1 - misses0,
-                wall_s: result.wall_s,
-                threads: result.threads,
-                quarantined_versions: quarantine.versions(),
-                quarantined_configs: quarantine.configs(),
-                per_op_hits: oh1 - oh0,
-                per_op_misses: om1 - om0,
-                time_hits: th1 - th0,
-                time_misses: tm1 - tm0,
-                hot,
-            },
-            status,
-            quarantine,
-        })
+        search::autotune_joint(&self.workload, &self.statements, arch, params, cache)
     }
-}
 
-impl WorkloadTuner {
-    /// Decomposed tuning: each statement is searched *independently* (the
-    /// joint objective is a sum over statements, so the joint optimum
-    /// factors — an observation the paper's joint 512,000-variant framing
-    /// leaves on the table). Costs the sum of the per-statement budgets
-    /// instead of one budget over the product space.
+    /// Decomposed tuning: each statement is searched independently (see
+    /// [`search::autotune_decomposed`]). Uses a fresh memo cache.
     pub fn autotune_decomposed(
         &self,
         arch: &GpuArch,
@@ -1118,409 +180,14 @@ impl WorkloadTuner {
         self.autotune_decomposed_with_cache(arch, params, &EvalCache::new())
     }
 
-    /// [`WorkloadTuner::autotune_decomposed`] against a shared memo cache:
-    /// statements salt the cache's keyspace individually, so repeated or
-    /// interleaved runs reuse each other's simulations.
-    ///
-    /// [`TuneParams::max_evaluations`] and [`TuneParams::wall_deadline_s`]
-    /// are *shared* budgets: each statement's search gets what the previous
-    /// statements left over, and exhaustion degrades the run rather than
-    /// failing it.
+    /// [`WorkloadTuner::autotune_decomposed`] against a shared memo cache
+    /// (see [`search::autotune_decomposed`] for the budget semantics).
     pub fn autotune_decomposed_with_cache(
         &self,
         arch: &GpuArch,
         params: TuneParams,
         cache: &EvalCache,
     ) -> Result<TunedWorkload, BarracudaError> {
-        let mut locals: Vec<u128> = Vec::with_capacity(self.statements.len());
-        let mut n_evals = 0;
-        let mut batches = 0;
-        let mut evaluated_times = Vec::new();
-        let mut wall_s = 0.0;
-        let mut threads = 1;
-        let mut predict_ns = 0u64;
-        let mut quarantine = self.build_quarantine();
-        let mut status = SearchStatus::Complete;
-        let mut remaining = params.max_evaluations;
-        let mut attempted_total = 0usize;
-        let start = Instant::now();
-        let (hits0, misses0) = cache.stats();
-        let (th0, tm0) = cache.time_stats();
-        let (oh0, om0) = cache.op_stats();
-        let hot0 = cache.hot().snapshot();
-        for (k, st) in self.statements.iter().enumerate() {
-            // Pool over this statement's own space.
-            let total = st.total();
-            let cap = params.pool_cap as u128;
-            let pool: Vec<u128> = if total <= cap {
-                (0..total).collect()
-            } else {
-                let mut rng = StdRng::seed_from_u64(params.seed ^ k as u64);
-                let mut set = std::collections::BTreeSet::new();
-                while (set.len() as u128) < cap {
-                    let v = rng.gen_range(0..st.variants.len());
-                    let local = st.encode(
-                        v,
-                        &st.variants[v]
-                            .space
-                            .config(rng.gen_range(0..st.variants[v].space.len())),
-                    );
-                    set.insert(local);
-                }
-                set.into_iter().collect()
-            };
-            let evaluator = StatementEvaluator {
-                st,
-                stmt: k,
-                accumulate: self.workload.statements[k].accumulate,
-                arch,
-                cache,
-                salt: salt_of(arch.name) ^ (k as u64 + 1),
-                op_salt: salt_of(arch.name),
-                eval_noise: params.eval_noise,
-                noise_floor_us: params.noise_floor_us,
-                noise_seed: params.seed ^ k as u64,
-            };
-            let faulty = FaultyEvaluator::new(
-                &evaluator,
-                params.fault_injection.unwrap_or_else(FaultPlan::none),
-            );
-            // This statement's share of the run-wide budget/deadline.
-            let mut sp = params.effective_surf();
-            if let Some(rem) = remaining {
-                sp.max_evals = sp.max_evals.min(rem.max(1));
-            }
-            if let Some(d) = params.wall_deadline_s {
-                sp.wall_deadline_s = Some((d - start.elapsed().as_secs_f64()).max(0.0));
-            }
-            let result = search_with(&pool, &faulty, sp, params.threads).map_err(|e| {
-                BarracudaError::Search {
-                    workload: self.workload.name.clone(),
-                    detail: format!("statement {k}: {e}"),
-                }
-            })?;
-            if let Some(rem) = remaining.as_mut() {
-                *rem = rem.saturating_sub(result.n_attempted());
-            }
-            attempted_total += result.n_attempted();
-            if let (SearchStatus::Complete, SearchStatus::Degraded { reason }) =
-                (&status, &result.status)
-            {
-                status = SearchStatus::Degraded {
-                    reason: format!("statement {k}: {reason}"),
-                };
-            }
-            for (cid, reason) in &result.quarantined {
-                quarantine.record_config(Some(k), *cid, reason.clone());
-            }
-            // Final noiseless pick and the evaluated-times record in one
-            // pass: each id's time is looked up exactly once (first minimal
-            // wins ties, matching `min_by`).
-            let mut best: Option<(u128, f64)> = None;
-            evaluated_times.reserve(result.evaluated.len());
-            for &(cand, _) in &result.evaluated {
-                let t = evaluator.time(cand);
-                evaluated_times.push(t);
-                let better = match best {
-                    None => true,
-                    Some((_, bt)) => t < bt,
-                };
-                if t.is_finite() && better {
-                    best = Some((cand, t));
-                }
-            }
-            let best = best.map_or(result.best_id, |(id, _)| id);
-            n_evals += result.n_evals();
-            batches += result.batches;
-            wall_s += result.wall_s;
-            threads = threads.max(result.threads);
-            predict_ns += result.predict_ns;
-            locals.push(best);
-        }
-        let (hits1, misses1) = cache.stats();
-        let (th1, tm1) = cache.time_stats();
-        let (oh1, om1) = cache.op_stats();
-        let mut hot = cache.hot().snapshot().delta(&hot0);
-        hot.predict_ns = predict_ns;
-        // The shared attempt budget ran dry: an explicit degradation.
-        if let Some(cap) = params.max_evaluations {
-            if !status.is_degraded() && attempted_total >= cap {
-                status = SearchStatus::Degraded {
-                    reason: format!(
-                        "shared evaluation budget exhausted after {attempted_total} attempts (cap {cap})"
-                    ),
-                };
-            }
-        }
-        // Re-encode as a joint id and assemble the result.
-        let mut id = 0u128;
-        for (st, &local) in self.statements.iter().zip(&locals) {
-            id = id * st.total() + local;
-        }
-        let mut choices = Vec::new();
-        let mut programs = Vec::new();
-        for (st, &local) in self.statements.iter().zip(&locals) {
-            let (v, config) = st.decode(local);
-            programs.push(st.variants[v].program.clone());
-            choices.push((v, config));
-        }
-        let kernels = self.kernels(id)?;
-        Ok(TunedWorkload {
-            name: self.workload.name.clone(),
-            arch_name: arch.name.to_string(),
-            id,
-            choices,
-            programs,
-            kernels,
-            gpu_seconds: self.try_gpu_seconds(id, arch)?,
-            transfer_seconds: self.transfer_seconds(arch),
-            flops: self.flops(id),
-            search: SearchStats {
-                n_evals,
-                batches,
-                evaluated_times,
-                space_size: self.total_space(),
-                pool_size: 0,
-                cache_hits: hits1 - hits0,
-                cache_misses: misses1 - misses0,
-                wall_s,
-                threads,
-                quarantined_versions: quarantine.versions(),
-                quarantined_configs: quarantine.configs(),
-                per_op_hits: oh1 - oh0,
-                per_op_misses: om1 - om0,
-                time_hits: th1 - th0,
-                time_misses: tm1 - tm0,
-                hot,
-            },
-            status,
-            quarantine,
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tensor::index::uniform_dims;
-
-    fn matmul_workload(n: usize) -> Workload {
-        Workload::parse(
-            "mm",
-            "C[i k] = Sum([j], A[i j] * B[j k])",
-            &uniform_dims(&["i", "j", "k"], n),
-        )
-        .unwrap()
-    }
-
-    fn eqn1_workload(n: usize) -> Workload {
-        Workload::parse(
-            "ex",
-            "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
-            &uniform_dims(&["i", "j", "k", "l", "m", "n"], n),
-        )
-        .unwrap()
-    }
-
-    #[test]
-    fn tuned_matmul_is_correct() {
-        let w = matmul_workload(8);
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::gtx980();
-        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
-        let inputs = w.random_inputs(3);
-        let expect = w.evaluate_reference(&inputs).unwrap();
-        let got = tuned.execute(&w, &inputs).unwrap();
-        assert_eq!(expect.len(), got.len());
-        for ((n1, t1), (n2, t2)) in expect.iter().zip(&got) {
-            assert_eq!(n1, n2);
-            assert!(t1.approx_eq(t2, 1e-10));
-        }
-    }
-
-    #[test]
-    fn tuned_eqn1_is_correct_and_strength_reduced() {
-        // N must be large enough for strength reduction to pay (at N=5 the
-        // O(N^4) reorganizations cost about as much as the naive O(N^6)).
-        let w = eqn1_workload(6);
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::k20();
-        let mut params = TuneParams::quick();
-        params.surf.batch_size = 10;
-        params.surf.max_evals = 150;
-        let tuned = tuner.autotune(&arch, params).unwrap();
-        // Correctness across the whole chain of temporaries.
-        let inputs = w.random_inputs(11);
-        let expect = w.evaluate_reference(&inputs).unwrap();
-        let got = tuned.execute(&w, &inputs).unwrap();
-        assert!(expect[0].1.approx_eq(&got[0].1, 1e-10));
-        // The tuner must not pick the naive O(N^6) version.
-        assert!(
-            tuned.flops < w.naive_flops(),
-            "strength reduction must win: {} vs naive {}",
-            tuned.flops,
-            w.naive_flops()
-        );
-    }
-
-    #[test]
-    fn autotuning_beats_the_median_configuration() {
-        let w = matmul_workload(32);
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::c2050();
-        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
-        // Compare against the average of a random sample.
-        let pool = tuner.pool(64, 9);
-        let avg: f64 = pool
-            .iter()
-            .map(|&id| tuner.gpu_seconds(id, &arch))
-            .sum::<f64>()
-            / pool.len() as f64;
-        assert!(
-            tuned.gpu_seconds <= avg,
-            "tuned {} should beat average {avg}",
-            tuned.gpu_seconds
-        );
-    }
-
-    #[test]
-    fn deterministic_tuning() {
-        let w = matmul_workload(16);
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::gtx980();
-        let a = tuner.autotune(&arch, TuneParams::quick()).unwrap();
-        let b = tuner.autotune(&arch, TuneParams::quick()).unwrap();
-        assert_eq!(a.id, b.id);
-        assert_eq!(a.gpu_seconds, b.gpu_seconds);
-    }
-
-    #[test]
-    fn cuda_source_contains_all_kernels() {
-        let w = eqn1_workload(6);
-        let tuner = WorkloadTuner::build(&w);
-        let tuned = tuner
-            .autotune(&gpusim::gtx980(), TuneParams::quick())
-            .unwrap();
-        let src = tuned.cuda_source();
-        let n_kernels: usize = tuned.kernels.iter().map(|k| k.len()).sum();
-        assert_eq!(src.matches("__global__").count(), n_kernels);
-        assert_eq!(src.matches("<<<").count(), n_kernels);
-    }
-
-    #[test]
-    fn search_stats_account_time() {
-        let w = matmul_workload(16);
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::gtx980();
-        let tuned = tuner.autotune(&arch, TuneParams::quick()).unwrap();
-        let s = tuned.search.search_seconds(&arch, 100);
-        assert!(s > tuned.search.n_evals as f64 * arch.compile_seconds);
-        // When the space is fully enumerated the two estimates coincide up
-        // to averaging; otherwise exhaustive is (much) larger.
-        assert!(tuned.search.exhaustive_seconds(&arch, 100) >= s * 0.999);
-    }
-
-    #[test]
-    fn decomposed_tuning_matches_joint_quality() {
-        // The objective is separable, so per-statement search must find a
-        // configuration at least as good as joint search at a similar
-        // total budget (usually better: no cross-statement credit
-        // assignment for the model to learn).
-        let w = Workload::parse(
-            "pair",
-            "T[i l] = Sum([j], A[i j] * B[j l])\nC[i k] = Sum([l], T[i l] * D[l k])",
-            &uniform_dims(&["i", "j", "k", "l"], 12),
-        )
-        .unwrap();
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::k20();
-        let mut params = TuneParams::quick();
-        params.surf.max_evals = 60;
-        let joint = tuner.autotune(&arch, params).unwrap();
-        params.surf.max_evals = 30; // per statement -> same total budget
-        let decomposed = tuner.autotune_decomposed(&arch, params).unwrap();
-        assert!(
-            decomposed.gpu_seconds <= joint.gpu_seconds * 1.05,
-            "decomposed {} vs joint {}",
-            decomposed.gpu_seconds,
-            joint.gpu_seconds
-        );
-        // The result must execute correctly too.
-        let inputs = w.random_inputs(3);
-        let expect = w.evaluate_reference(&inputs).unwrap();
-        let got = decomposed.execute(&w, &inputs).unwrap();
-        assert!(expect[0].1.approx_eq(&got[0].1, 1e-10));
-    }
-
-    #[test]
-    fn parallel_tuning_is_bit_identical_to_serial() {
-        let w = eqn1_workload(6);
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::k20();
-        let mut serial_params = TuneParams::quick();
-        serial_params.threads = 1;
-        let mut parallel_params = TuneParams::quick();
-        parallel_params.threads = 0;
-        let serial = tuner.autotune(&arch, serial_params).unwrap();
-        let parallel = tuner.autotune(&arch, parallel_params).unwrap();
-        assert_eq!(serial.id, parallel.id);
-        assert_eq!(serial.gpu_seconds.to_bits(), parallel.gpu_seconds.to_bits());
-        assert_eq!(serial.search.n_evals, parallel.search.n_evals);
-        let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
-        assert_eq!(
-            bits(&serial.search.evaluated_times),
-            bits(&parallel.search.evaluated_times)
-        );
-    }
-
-    #[test]
-    fn one_search_never_duplicates_a_simulation() {
-        // Every time-cache miss is one simulator call; SURF never
-        // re-evaluates a configuration and the final noiseless pick only
-        // re-reads evaluated ids, so misses = distinct evaluated ids and
-        // the final pass is pure hits.
-        let w = matmul_workload(16);
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::gtx980();
-        let cache = EvalCache::new();
-        let tuned = tuner
-            .autotune_with_cache(&arch, TuneParams::quick(), &cache)
-            .unwrap();
-        let total_lookups = tuned.search.cache_hits + tuned.search.cache_misses;
-        assert!(total_lookups > 0);
-        // Distinct simulations recorded in the shared cache must equal the
-        // evaluation count — zero duplicate simulator calls.
-        assert_eq!(cache.times_len(), tuned.search.n_evals);
-    }
-
-    #[test]
-    fn shared_cache_skips_resimulation_on_reruns() {
-        let w = matmul_workload(16);
-        let tuner = WorkloadTuner::build(&w);
-        let arch = gpusim::gtx980();
-        let cache = EvalCache::new();
-        let first = tuner
-            .autotune_with_cache(&arch, TuneParams::quick(), &cache)
-            .unwrap();
-        let second = tuner
-            .autotune_with_cache(&arch, TuneParams::quick(), &cache)
-            .unwrap();
-        assert_eq!(first.id, second.id);
-        // The second run re-simulates nothing: every time lookup hits.
-        assert_eq!(second.search.cache_misses, 0);
-        assert!(second.search.cache_hit_rate() == 1.0);
-    }
-
-    #[test]
-    fn pool_sampling_is_deterministic_and_distinct() {
-        let w = eqn1_workload(10);
-        let tuner = WorkloadTuner::build(&w);
-        let a = tuner.pool(500, 1);
-        let b = tuner.pool(500, 1);
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 500);
-        let mut c = a.clone();
-        c.dedup();
-        assert_eq!(c.len(), 500);
+        search::autotune_decomposed(&self.workload, &self.statements, arch, params, cache)
     }
 }

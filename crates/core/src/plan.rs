@@ -1,0 +1,585 @@
+//! Serializable tuning plans: persist a search result, replay it later.
+//!
+//! Autotuning is the expensive step — the paper models multi-hour searches
+//! (Table II) for a configuration that is then reused for every production
+//! run. A [`TunedPlan`] captures everything needed to skip the search next
+//! time: the workload (canonical DSL source + extents + a fingerprint),
+//! the backend it was tuned for, the winning joint configuration id with
+//! its per-statement `(version, local)` decomposition, the modeled times,
+//! and provenance describing how the search ran (evaluations, batches,
+//! quarantine counts, cache hit rates, degradation status).
+//!
+//! Plans are versioned hand-rolled JSON (see [`crate::json`] — no serde in
+//! this repo): `f64` values round-trip bit-exactly via Rust's shortest
+//! `Display`, and `u128`/`u64` quantities that exceed double precision
+//! travel as strings. [`TunedPlan::replay`] rejects a plan whose schema
+//! version or workload fingerprint no longer matches with a typed
+//! [`BarracudaError::Plan`] (CLI exit code 10), then re-maps and re-times
+//! the configuration — bit-identical to the saved numbers, since the
+//! simulator is deterministic — without searching anything.
+
+use crate::backend::backend_by_key;
+use crate::cache::EvalCache;
+use crate::error::BarracudaError;
+use crate::json::Json;
+use crate::pipeline::{TunedWorkload, WorkloadTuner};
+use crate::quarantine::QuarantineReport;
+use crate::stages::frontend::{canonical_source, workload_fingerprint};
+use crate::stages::SearchStats;
+use crate::workload::Workload;
+use surf::SearchStatus;
+
+/// Version of the on-disk plan schema. Bump on any incompatible change;
+/// readers reject other versions rather than misinterpreting fields.
+pub const PLAN_SCHEMA_VERSION: u64 = 1;
+
+/// How the saved configuration was found: the search's bookkeeping,
+/// flattened for serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanProvenance {
+    pub n_evals: usize,
+    pub batches: usize,
+    pub space_size: u128,
+    pub pool_size: usize,
+    pub wall_s: f64,
+    pub threads: usize,
+    pub quarantined_versions: usize,
+    pub quarantined_configs: usize,
+    pub cache_hit_rate: f64,
+    pub per_op_hit_rate: f64,
+    pub time_hit_rate: f64,
+    /// Whether the search stopped early (budget, deadline, survivors).
+    pub degraded: bool,
+    /// Human-readable status (`complete` or `degraded: <reason>`).
+    pub status: String,
+}
+
+/// One per-statement choice of the plan's joint configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanChoice {
+    /// OCTOPI version index within the statement.
+    pub version: usize,
+    /// Local configuration id within the statement's own space.
+    pub local: u128,
+}
+
+/// A persisted tuning result: enough to re-map, validate and emit CUDA for
+/// the winning configuration without re-running the search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunedPlan {
+    pub schema_version: u64,
+    pub workload_name: String,
+    /// Canonical DSL source (statement `Display` forms, one per line).
+    pub source: String,
+    /// Index extents, sorted by index name.
+    pub dims: Vec<(String, usize)>,
+    /// FNV-1a fingerprint over source + dims (name excluded); replay
+    /// refuses a workload whose fingerprint differs.
+    pub fingerprint: u64,
+    /// Backend registry key the plan was tuned for (`k20`, `gtx980`, …).
+    pub backend: String,
+    /// Human-readable architecture name at save time.
+    pub arch_name: String,
+    /// Winning joint configuration id.
+    pub id: u128,
+    /// Per-statement decomposition of `id`.
+    pub choices: Vec<PlanChoice>,
+    pub gpu_seconds: f64,
+    pub transfer_seconds: f64,
+    pub flops: u64,
+    pub provenance: PlanProvenance,
+}
+
+impl TunedPlan {
+    /// Captures a finished tuning run as a plan. The `tuner` must be the
+    /// one the result came from (it decomposes the joint id), and
+    /// `backend` the registry key of the architecture searched.
+    pub fn from_tuned(tuner: &WorkloadTuner, backend: &str, tuned: &TunedWorkload) -> TunedPlan {
+        let locals = tuner.decode(tuned.id);
+        let choices = tuner
+            .statements
+            .iter()
+            .zip(&locals)
+            .map(|(st, &local)| PlanChoice {
+                version: st.decode_raw(local).0,
+                local,
+            })
+            .collect();
+        let s = &tuned.search;
+        TunedPlan {
+            schema_version: PLAN_SCHEMA_VERSION,
+            workload_name: tuner.workload.name.clone(),
+            source: canonical_source(&tuner.workload),
+            dims: tuner
+                .workload
+                .dims
+                .iter()
+                .map(|(v, &n)| (v.name().to_string(), n))
+                .collect(),
+            fingerprint: workload_fingerprint(&tuner.workload),
+            backend: backend.to_string(),
+            arch_name: tuned.arch_name.clone(),
+            id: tuned.id,
+            choices,
+            gpu_seconds: tuned.gpu_seconds,
+            transfer_seconds: tuned.transfer_seconds,
+            flops: tuned.flops,
+            provenance: PlanProvenance {
+                n_evals: s.n_evals,
+                batches: s.batches,
+                space_size: s.space_size,
+                pool_size: s.pool_size,
+                wall_s: s.wall_s,
+                threads: s.threads,
+                quarantined_versions: s.quarantined_versions,
+                quarantined_configs: s.quarantined_configs,
+                cache_hit_rate: s.cache_hit_rate(),
+                per_op_hit_rate: s.per_op_hit_rate(),
+                time_hit_rate: s.time_hit_rate(),
+                degraded: tuned.is_degraded(),
+                status: match &tuned.status {
+                    SearchStatus::Complete => "complete".to_string(),
+                    SearchStatus::Degraded { reason } => format!("degraded: {reason}"),
+                },
+            },
+        }
+    }
+
+    /// The plan as pretty-printed JSON text.
+    pub fn to_json_text(&self) -> String {
+        let p = &self.provenance;
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("workload".into(), Json::Str(self.workload_name.clone())),
+            ("source".into(), Json::Str(self.source.clone())),
+            (
+                "dims".into(),
+                Json::Obj(
+                    self.dims
+                        .iter()
+                        .map(|(name, n)| (name.clone(), Json::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "fingerprint".into(),
+                Json::Str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("backend".into(), Json::Str(self.backend.clone())),
+            ("arch_name".into(), Json::Str(self.arch_name.clone())),
+            ("id".into(), Json::Str(self.id.to_string())),
+            (
+                "choices".into(),
+                Json::Arr(
+                    self.choices
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("version".into(), Json::Num(c.version as f64)),
+                                ("local".into(), Json::Str(c.local.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("gpu_seconds".into(), Json::Num(self.gpu_seconds)),
+            ("transfer_seconds".into(), Json::Num(self.transfer_seconds)),
+            ("flops".into(), Json::Str(self.flops.to_string())),
+            (
+                "provenance".into(),
+                Json::Obj(vec![
+                    ("n_evals".into(), Json::Num(p.n_evals as f64)),
+                    ("batches".into(), Json::Num(p.batches as f64)),
+                    ("space_size".into(), Json::Str(p.space_size.to_string())),
+                    ("pool_size".into(), Json::Num(p.pool_size as f64)),
+                    ("wall_s".into(), Json::Num(p.wall_s)),
+                    ("threads".into(), Json::Num(p.threads as f64)),
+                    (
+                        "quarantined_versions".into(),
+                        Json::Num(p.quarantined_versions as f64),
+                    ),
+                    (
+                        "quarantined_configs".into(),
+                        Json::Num(p.quarantined_configs as f64),
+                    ),
+                    ("cache_hit_rate".into(), Json::Num(p.cache_hit_rate)),
+                    ("per_op_hit_rate".into(), Json::Num(p.per_op_hit_rate)),
+                    ("time_hit_rate".into(), Json::Num(p.time_hit_rate)),
+                    ("degraded".into(), Json::Bool(p.degraded)),
+                    ("status".into(), Json::Str(p.status.clone())),
+                ]),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses a plan from JSON text, rejecting unknown schema versions.
+    pub fn from_json_text(text: &str) -> Result<TunedPlan, BarracudaError> {
+        let err = |detail: String| BarracudaError::Plan {
+            workload: "plan".to_string(),
+            detail,
+        };
+        let doc = Json::parse(text).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| err(format!("missing field `{key}`")))
+        };
+        let str_field = |key: &str| {
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| err(format!("field `{key}` must be a string")))
+        };
+        let num_field = |key: &str| {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| err(format!("field `{key}` must be an integer")))
+        };
+        let schema_version = num_field("schema_version")?;
+        if schema_version != PLAN_SCHEMA_VERSION {
+            return Err(err(format!(
+                "unsupported schema version {schema_version} (this build reads {PLAN_SCHEMA_VERSION})"
+            )));
+        }
+        let workload_name = str_field("workload")?;
+        let perr = |detail: String| BarracudaError::Plan {
+            workload: workload_name.clone(),
+            detail,
+        };
+        let u128_field = |parent: &Json, key: &str| -> Result<u128, BarracudaError> {
+            parent
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| perr(format!("missing string field `{key}`")))?
+                .parse::<u128>()
+                .map_err(|_| perr(format!("field `{key}` is not a decimal u128")))
+        };
+        let f64_field = |parent: &Json, key: &str| -> Result<f64, BarracudaError> {
+            parent
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| perr(format!("missing numeric field `{key}`")))
+        };
+        let usize_field = |parent: &Json, key: &str| -> Result<usize, BarracudaError> {
+            parent
+                .get(key)
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .ok_or_else(|| perr(format!("missing integer field `{key}`")))
+        };
+        let dims = match field("dims")? {
+            Json::Obj(members) => members
+                .iter()
+                .map(|(name, v)| {
+                    v.as_u64()
+                        .map(|n| (name.clone(), n as usize))
+                        .ok_or_else(|| perr(format!("dimension `{name}` must be an integer")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(perr("field `dims` must be an object".to_string())),
+        };
+        let fingerprint = u64::from_str_radix(&str_field("fingerprint")?, 16)
+            .map_err(|_| perr("field `fingerprint` is not a hex u64".to_string()))?;
+        let choices = field("choices")?
+            .as_arr()
+            .ok_or_else(|| perr("field `choices` must be an array".to_string()))?
+            .iter()
+            .map(|c| {
+                Ok(PlanChoice {
+                    version: usize_field(c, "version")?,
+                    local: u128_field(c, "local")?,
+                })
+            })
+            .collect::<Result<Vec<_>, BarracudaError>>()?;
+        let prov = field("provenance")?;
+        let provenance = PlanProvenance {
+            n_evals: usize_field(prov, "n_evals")?,
+            batches: usize_field(prov, "batches")?,
+            space_size: u128_field(prov, "space_size")?,
+            pool_size: usize_field(prov, "pool_size")?,
+            wall_s: f64_field(prov, "wall_s")?,
+            threads: usize_field(prov, "threads")?,
+            quarantined_versions: usize_field(prov, "quarantined_versions")?,
+            quarantined_configs: usize_field(prov, "quarantined_configs")?,
+            cache_hit_rate: f64_field(prov, "cache_hit_rate")?,
+            per_op_hit_rate: f64_field(prov, "per_op_hit_rate")?,
+            time_hit_rate: f64_field(prov, "time_hit_rate")?,
+            degraded: prov
+                .get("degraded")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| perr("missing boolean field `degraded`".to_string()))?,
+            status: prov
+                .get("status")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| perr("missing string field `status`".to_string()))?,
+        };
+        Ok(TunedPlan {
+            schema_version,
+            source: str_field("source")?,
+            dims,
+            fingerprint,
+            backend: str_field("backend")?,
+            arch_name: str_field("arch_name")?,
+            id: u128_field(&doc, "id")?,
+            choices,
+            gpu_seconds: f64_field(&doc, "gpu_seconds")?,
+            transfer_seconds: f64_field(&doc, "transfer_seconds")?,
+            flops: str_field("flops")?
+                .parse::<u64>()
+                .map_err(|_| perr("field `flops` is not a decimal u64".to_string()))?,
+            provenance,
+            workload_name,
+        })
+    }
+
+    /// Writes the plan to `path` as JSON.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), BarracudaError> {
+        std::fs::write(path, self.to_json_text()).map_err(|e| BarracudaError::Plan {
+            workload: self.workload_name.clone(),
+            detail: format!("cannot write {}: {e}", path.display()),
+        })
+    }
+
+    /// Reads and parses a plan from `path`.
+    pub fn load(path: &std::path::Path) -> Result<TunedPlan, BarracudaError> {
+        let text = std::fs::read_to_string(path).map_err(|e| BarracudaError::Plan {
+            workload: "plan".to_string(),
+            detail: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::from_json_text(&text)
+    }
+
+    /// Reconstructs the plan's workload from its embedded source + dims.
+    pub fn workload(&self) -> Result<Workload, BarracudaError> {
+        let dims = self
+            .dims
+            .iter()
+            .map(|(name, n)| (tensor::IndexVar::new(name.clone()), *n))
+            .collect();
+        let w = Workload::parse(&self.workload_name, &self.source, &dims)?;
+        self.validate_for(&w)?;
+        Ok(w)
+    }
+
+    /// Checks that `workload` is the one this plan was tuned for: same
+    /// schema version and same source/dims fingerprint. A stale plan (the
+    /// DSL or the extents changed since tuning) is a typed error, never a
+    /// silently wrong kernel.
+    pub fn validate_for(&self, workload: &Workload) -> Result<(), BarracudaError> {
+        if self.schema_version != PLAN_SCHEMA_VERSION {
+            return Err(BarracudaError::Plan {
+                workload: workload.name.clone(),
+                detail: format!(
+                    "unsupported schema version {} (this build reads {PLAN_SCHEMA_VERSION})",
+                    self.schema_version
+                ),
+            });
+        }
+        let actual = workload_fingerprint(workload);
+        if actual != self.fingerprint {
+            return Err(BarracudaError::Plan {
+                workload: workload.name.clone(),
+                detail: format!(
+                    "workload fingerprint {actual:016x} does not match plan fingerprint \
+                     {:016x}: the statements or extents changed since tuning — re-tune \
+                     instead of replaying",
+                    self.fingerprint
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Replays the plan against `workload`: validates the fingerprint,
+    /// re-maps the saved configuration and re-times it through `cache` —
+    /// no search. The deterministic simulator reproduces the saved
+    /// `gpu_seconds` bit-for-bit; a mismatch (an edited plan, a changed
+    /// model) is reported as a typed error rather than trusted.
+    pub fn replay_for(
+        &self,
+        workload: &Workload,
+        cache: &EvalCache,
+    ) -> Result<TunedWorkload, BarracudaError> {
+        self.validate_for(workload)?;
+        let backend = backend_by_key(&self.backend).ok_or_else(|| BarracudaError::Plan {
+            workload: workload.name.clone(),
+            detail: format!("unknown backend `{}` in plan", self.backend),
+        })?;
+        let arch = backend.arch().ok_or_else(|| BarracudaError::Plan {
+            workload: workload.name.clone(),
+            detail: format!(
+                "backend `{}` has no architecture to replay on",
+                self.backend
+            ),
+        })?;
+        let tuner = WorkloadTuner::build(workload);
+        if self.id >= tuner.total_space() {
+            return Err(BarracudaError::Plan {
+                workload: workload.name.clone(),
+                detail: format!(
+                    "plan id {} exceeds the search space ({} configurations)",
+                    self.id,
+                    tuner.total_space()
+                ),
+            });
+        }
+        let locals = tuner.decode(self.id);
+        let mut choices = Vec::new();
+        let mut programs = Vec::new();
+        for (k, (st, &local)) in tuner.statements.iter().zip(&locals).enumerate() {
+            if let Some(saved) = self.choices.get(k) {
+                if saved.local != local {
+                    return Err(BarracudaError::Plan {
+                        workload: workload.name.clone(),
+                        detail: format!(
+                            "statement {k}: plan id decomposes to local {local} but the plan \
+                             recorded {} — the plan was edited inconsistently",
+                            saved.local
+                        ),
+                    });
+                }
+            }
+            let (v, config) = st.decode(local);
+            programs.push(st.variants[v].program.clone());
+            choices.push((v, config));
+        }
+        let kernels = tuner.kernels(self.id)?;
+        let gpu_seconds = tuner.try_gpu_seconds_memo(self.id, arch, cache)?;
+        if gpu_seconds.to_bits() != self.gpu_seconds.to_bits() {
+            return Err(BarracudaError::Plan {
+                workload: workload.name.clone(),
+                detail: format!(
+                    "replayed time {gpu_seconds} differs from saved {} — the plan no longer \
+                     matches this build's performance model",
+                    self.gpu_seconds
+                ),
+            });
+        }
+        let transfer_seconds = tuner.transfer_seconds(arch);
+        let p = &self.provenance;
+        Ok(TunedWorkload {
+            name: workload.name.clone(),
+            arch_name: arch.name.to_string(),
+            id: self.id,
+            choices,
+            programs,
+            kernels,
+            gpu_seconds,
+            transfer_seconds,
+            flops: tuner.flops(self.id),
+            search: SearchStats {
+                n_evals: p.n_evals,
+                batches: p.batches,
+                evaluated_times: Vec::new(),
+                space_size: p.space_size,
+                pool_size: p.pool_size,
+                cache_hits: 0,
+                cache_misses: 0,
+                wall_s: p.wall_s,
+                threads: p.threads,
+                quarantined_versions: p.quarantined_versions,
+                quarantined_configs: p.quarantined_configs,
+                per_op_hits: 0,
+                per_op_misses: 0,
+                time_hits: 0,
+                time_misses: 0,
+                hot: Default::default(),
+            },
+            status: if p.degraded {
+                SearchStatus::Degraded {
+                    reason: p.status.clone(),
+                }
+            } else {
+                SearchStatus::Complete
+            },
+            quarantine: QuarantineReport::new(),
+        })
+    }
+
+    /// [`TunedPlan::replay_for`] against the workload embedded in the plan.
+    pub fn replay(&self, cache: &EvalCache) -> Result<TunedWorkload, BarracudaError> {
+        let w = self.workload()?;
+        self.replay_for(&w, cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::TuneParams;
+    use tensor::index::uniform_dims;
+
+    fn matmul(n: usize) -> Workload {
+        Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], n),
+        )
+        .unwrap()
+    }
+
+    fn tuned_plan(n: usize) -> (WorkloadTuner, TunedPlan) {
+        let w = matmul(n);
+        let tuner = WorkloadTuner::build(&w);
+        let tuned = tuner.autotune(&gpusim::k20(), TuneParams::quick()).unwrap();
+        let plan = TunedPlan::from_tuned(&tuner, "k20", &tuned);
+        (tuner, plan)
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let (_, plan) = tuned_plan(16);
+        let text = plan.to_json_text();
+        let back = TunedPlan::from_json_text(&text).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(
+            plan.gpu_seconds.to_bits(),
+            back.gpu_seconds.to_bits(),
+            "f64 fields must survive serialization bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_the_tuned_time_without_searching() {
+        let (_, plan) = tuned_plan(16);
+        let cache = EvalCache::new();
+        let replayed = plan.replay(&cache).unwrap();
+        assert_eq!(replayed.id, plan.id);
+        assert_eq!(replayed.gpu_seconds.to_bits(), plan.gpu_seconds.to_bits());
+        assert!(replayed.cuda_source().contains("__global__"));
+    }
+
+    #[test]
+    fn stale_fingerprint_is_a_typed_plan_error() {
+        let (_, plan) = tuned_plan(16);
+        // Same statements, different extents: a stale plan.
+        let other = matmul(32);
+        let err = plan.replay_for(&other, &EvalCache::new()).unwrap_err();
+        assert_eq!(err.stage(), "plan");
+        assert_eq!(err.exit_code(), 10);
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let (_, plan) = tuned_plan(16);
+        let text = plan
+            .to_json_text()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let err = TunedPlan::from_json_text(&text).unwrap_err();
+        assert_eq!(err.stage(), "plan");
+        assert!(err.to_string().contains("schema version"));
+    }
+
+    #[test]
+    fn corrupt_json_is_a_typed_plan_error() {
+        let err = TunedPlan::from_json_text("{not json").unwrap_err();
+        assert_eq!(err.stage(), "plan");
+        let err = TunedPlan::from_json_text("{\"schema_version\": 1}").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+}

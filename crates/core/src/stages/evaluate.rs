@@ -1,0 +1,471 @@
+//! Stage 4 — evaluate: memoized simulated timing of configurations, plus
+//! the deterministic measurement noise the search observes.
+//!
+//! [`TunerEvaluator`] times *joint* configurations and the crate-private
+//! `StatementEvaluator` times one statement's *local* configurations
+//! (decomposed tuning); both implement [`surf::ParallelEvaluator`] over a
+//! shared [`EvalCache`] and both key their noise by configuration id, never
+//! by evaluation order — which is what keeps parallel runs bit-identical to
+//! serial ones. Under the whole-configuration time cache sits a per-op memo
+//! layer (`statement_time_memo`) keyed by `(statement, version, op,
+//! choice)`, shared between joint and decomposed tuning.
+
+use crate::cache::{EvalCache, OpOutcome};
+use crate::error::BarracudaError;
+use crate::stages::lower;
+use crate::variant::StatementTuner;
+use crate::workload::Workload;
+use gpusim::GpuArch;
+use std::time::Instant;
+use surf::{EvalFault, ParallelEvaluator};
+use tcr::mapping::{map_kernel, map_program};
+use tcr::program::ArrayKind;
+
+/// SplitMix64 hash mapped to [-1, 1): deterministic per-configuration noise.
+pub(crate) fn noise_unit(mut z: u64) -> f64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    2.0 * ((z >> 11) as f64 / (1u64 << 53) as f64) - 1.0
+}
+
+/// FNV-1a of a string, used to salt the shared [`EvalCache`] keyspace per
+/// architecture (and per statement in decomposed tuning).
+pub fn salt_of(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Cache key of one per-op outcome: statement, version, op and the op's
+/// configuration digit, packed bit-disjoint. Joint and decomposed tuning
+/// use the same keys, so they share each other's sub-results.
+pub fn op_key(stmt: usize, version: usize, op: usize, choice: usize) -> u128 {
+    debug_assert!(stmt < 1 << 8 && op < 1 << 8 && version < 1 << 16);
+    ((choice as u128) << 32) | ((version as u128) << 16) | ((op as u128) << 8) | stmt as u128
+}
+
+/// A statement-level failure reconstructed from memoized per-op outcomes,
+/// carrying the exact detail string the unmemoized pipeline produces.
+pub(crate) enum StatementFault {
+    Mapping { version: usize, detail: String },
+    Simulation { detail: String },
+}
+
+/// Device time of one statement under `(version, per-op choices)`, with
+/// each op's map + validate + time outcome memoized in `cache` under
+/// `salt`. Bitwise identical to `map_program` + `validate_kernel` +
+/// `time_program(..).gpu_s`: the first op that fails to map fails the
+/// statement (mapping runs before any validation), then the first
+/// validation failure in op order, else the kernel times are summed
+/// left-to-right exactly like `ProgramTiming::gpu_s`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn statement_time_memo(
+    st: &StatementTuner,
+    stmt: usize,
+    version: usize,
+    choices: &[usize],
+    accumulate: bool,
+    arch: &GpuArch,
+    cache: &EvalCache,
+    salt: u64,
+) -> Result<f64, StatementFault> {
+    let variant = &st.variants[version];
+    let mut sum = 0.0;
+    let mut sim_fault: Option<String> = None;
+    for (o, &choice) in choices.iter().enumerate() {
+        let outcome = cache.op_outcome(salt, op_key(stmt, version, o, choice), || {
+            let t0 = Instant::now();
+            let cfg = &variant.space.per_op[o].configs[choice];
+            // Only the statement writing the program output may accumulate
+            // into pre-existing data (same rule as `map_program`).
+            let acc = accumulate
+                && variant.program.arrays[variant.program.ops[o].output].kind == ArrayKind::Output;
+            match map_kernel(&variant.program, o, cfg, acc) {
+                Ok(kernel) => {
+                    cache.hot().add_map(t0.elapsed().as_nanos() as u64);
+                    let t1 = Instant::now();
+                    let out = match gpusim::validate_kernel(&kernel, arch) {
+                        Ok(()) => OpOutcome::Time(gpusim::kernel_time_s(&kernel, arch)),
+                        Err(detail) => OpOutcome::SimFault(detail),
+                    };
+                    cache.hot().add_sim(t1.elapsed().as_nanos() as u64);
+                    out
+                }
+                Err(e) => {
+                    cache.hot().add_map(t0.elapsed().as_nanos() as u64);
+                    OpOutcome::MapFault(e.to_string())
+                }
+            }
+        });
+        match outcome {
+            OpOutcome::Time(t) => sum += t,
+            // Validation only runs once the whole statement maps, so a
+            // later op's mapping failure still outranks this one.
+            OpOutcome::SimFault(detail) => {
+                if sim_fault.is_none() {
+                    sim_fault = Some(detail);
+                }
+            }
+            OpOutcome::MapFault(detail) => return Err(StatementFault::Mapping { version, detail }),
+        }
+    }
+    match sim_fault {
+        Some(detail) => Err(StatementFault::Simulation { detail }),
+        None => Ok(sum),
+    }
+}
+
+/// Device-side time of a joint configuration (no transfers — they are
+/// identical across configurations), with a typed error naming the
+/// statement/version/configuration when mapping fails or the simulator
+/// rejects a kernel. Unmemoized; [`joint_gpu_seconds_memo`] is the hot
+/// path.
+pub fn joint_gpu_seconds(
+    workload: &Workload,
+    statements: &[StatementTuner],
+    id: u128,
+    arch: &GpuArch,
+) -> Result<f64, BarracudaError> {
+    let locals = lower::decode_joint(statements, id);
+    let mut total = 0.0;
+    for (k, (s, &local)) in statements.iter().zip(&locals).enumerate() {
+        let (v, config) = s.decode(local);
+        let variant = &s.variants[v];
+        let st = &workload.statements[k];
+        let kernels = map_program(&variant.program, &variant.space, &config, st.accumulate)
+            .map_err(|e| BarracudaError::Mapping {
+                workload: workload.name.clone(),
+                statement: k,
+                version: Some(v),
+                config: Some(id),
+                detail: e.to_string(),
+            })?;
+        for kernel in &kernels {
+            gpusim::validate_kernel(kernel, arch).map_err(|detail| BarracudaError::Simulation {
+                workload: workload.name.clone(),
+                config: Some(id),
+                detail,
+            })?;
+        }
+        total += gpusim::time_program(&variant.program, &kernels, arch, false).gpu_s;
+    }
+    Ok(total)
+}
+
+/// [`joint_gpu_seconds`] through the per-op memo layer of `cache`: every op
+/// outcome is keyed by `(statement, version, op, choice)`, so a fresh joint
+/// configuration that re-combines already-seen per-op choices costs only
+/// cache hits instead of a full map + validate + simulate pass. Bitwise
+/// identical to the unmemoized path, including the error a faulting
+/// configuration produces.
+pub fn joint_gpu_seconds_memo(
+    workload: &Workload,
+    statements: &[StatementTuner],
+    id: u128,
+    arch: &GpuArch,
+    cache: &EvalCache,
+) -> Result<f64, BarracudaError> {
+    let salt = salt_of(arch.name);
+    let t0 = Instant::now();
+    let locals = lower::decode_joint(statements, id);
+    cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
+    let mut choices: Vec<usize> = Vec::new();
+    let mut total = 0.0;
+    for (k, (s, &local)) in statements.iter().zip(&locals).enumerate() {
+        let t0 = Instant::now();
+        let (v, local_cfg) = s.decode_raw(local);
+        s.variants[v].space.choices_into(local_cfg, &mut choices);
+        cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
+        let accumulate = workload.statements[k].accumulate;
+        match statement_time_memo(s, k, v, &choices, accumulate, arch, cache, salt) {
+            Ok(stmt_s) => total += stmt_s,
+            Err(StatementFault::Mapping { version, detail }) => {
+                return Err(BarracudaError::Mapping {
+                    workload: workload.name.clone(),
+                    statement: k,
+                    version: Some(version),
+                    config: Some(id),
+                    detail,
+                })
+            }
+            Err(StatementFault::Simulation { detail }) => {
+                return Err(BarracudaError::Simulation {
+                    workload: workload.name.clone(),
+                    config: Some(id),
+                    detail,
+                })
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// PCIe transfer time of the workload on `arch`.
+pub fn transfer_seconds(workload: &Workload, arch: &GpuArch) -> f64 {
+    workload.transfer_bytes() as f64 / (arch.pcie_bw_gbs * 1e9) + 2.0 * arch.pcie_latency_us * 1e-6
+}
+
+/// Thread-safe joint-configuration evaluator: memoized simulated times and
+/// features from a shared [`EvalCache`], plus the deterministic measurement
+/// noise SURF observes. Implements [`surf::ParallelEvaluator`], so one
+/// instance serves both the serial and the parallel search backends —
+/// noise is keyed by configuration id, never by evaluation order, which is
+/// what keeps parallel runs bit-identical to serial ones.
+pub struct TunerEvaluator<'a> {
+    workload: &'a Workload,
+    statements: &'a [StatementTuner],
+    arch: &'a GpuArch,
+    cache: &'a EvalCache,
+    salt: u64,
+    eval_noise: f64,
+    noise_floor_us: f64,
+    noise_seed: u64,
+}
+
+impl<'a> TunerEvaluator<'a> {
+    /// Builds an evaluator over explicit stage artifacts. The facade's
+    /// `TunerEvaluator::new` (in `crate::pipeline`) wraps this with a
+    /// `WorkloadTuner` + `TuneParams` signature.
+    pub fn from_parts(
+        workload: &'a Workload,
+        statements: &'a [StatementTuner],
+        arch: &'a GpuArch,
+        cache: &'a EvalCache,
+        eval_noise: f64,
+        noise_floor_us: f64,
+        noise_seed: u64,
+    ) -> Self {
+        TunerEvaluator {
+            workload,
+            statements,
+            arch,
+            cache,
+            salt: salt_of(arch.name),
+            eval_noise,
+            noise_floor_us,
+            noise_seed,
+        }
+    }
+
+    /// Noiseless memoized simulated time of a joint configuration; `NaN`
+    /// when the configuration fails to map or simulate (the NaN is cached,
+    /// so a failing configuration is never re-simulated).
+    pub fn time(&self, id: u128) -> f64 {
+        self.try_time(id).unwrap_or(f64::NAN)
+    }
+
+    /// Noiseless memoized simulated time, with typed failure. Failures are
+    /// memoized as a cached `NaN` sentinel: re-asking about a quarantined
+    /// configuration costs one cache hit, not a re-simulation.
+    pub fn try_time(&self, id: u128) -> Result<f64, EvalFault> {
+        let mut fault = None;
+        let t = self.cache.time(self.salt, id, || {
+            match joint_gpu_seconds_memo(self.workload, self.statements, id, self.arch, self.cache)
+            {
+                Ok(t) => t,
+                Err(e) => {
+                    fault = Some(EvalFault::new(e.stage(), e.to_string()));
+                    f64::NAN
+                }
+            }
+        });
+        if let Some(f) = fault {
+            return Err(f);
+        }
+        if !t.is_finite() || t <= 0.0 {
+            return Err(EvalFault::new(
+                "simulation",
+                format!("non-finite or non-positive simulated time {t} for config {id}"),
+            ));
+        }
+        Ok(t)
+    }
+
+    /// Applies the deterministic measurement noise the search observes.
+    fn noisy(&self, id: u128, t: f64) -> f64 {
+        // A relative component plus absolute launch/measurement jitter that
+        // dominates for microsecond-scale kernels.
+        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
+        t * (1.0 + rel * noise_unit(id as u64 ^ self.noise_seed))
+    }
+}
+
+impl ParallelEvaluator for TunerEvaluator<'_> {
+    fn features(&self, id: u128) -> Vec<f64> {
+        // Features are arch-independent; salt 0 shares them across archs.
+        self.cache
+            .features(0, id, || lower::joint_features(self.statements, id))
+    }
+
+    fn evaluate(&self, id: u128) -> f64 {
+        match self.try_time(id) {
+            Ok(t) => self.noisy(id, t),
+            Err(_) => f64::NAN,
+        }
+    }
+
+    fn try_evaluate(&self, id: u128) -> Result<f64, EvalFault> {
+        self.try_time(id).map(|t| self.noisy(id, t))
+    }
+}
+
+/// Statement-local analog of [`TunerEvaluator`] for decomposed tuning: ids
+/// are local to one statement's space, salted so several statements share
+/// one cache without key collisions.
+pub(crate) struct StatementEvaluator<'a> {
+    pub(crate) st: &'a StatementTuner,
+    /// Statement index in the workload — keys the per-op memo layer with
+    /// the same `(statement, version, op, choice)` keys joint tuning uses,
+    /// so the two paths share sub-results.
+    pub(crate) stmt: usize,
+    pub(crate) accumulate: bool,
+    pub(crate) arch: &'a GpuArch,
+    pub(crate) cache: &'a EvalCache,
+    pub(crate) salt: u64,
+    /// Per-op memo salt (per-architecture, shared with joint tuning).
+    pub(crate) op_salt: u64,
+    pub(crate) eval_noise: f64,
+    pub(crate) noise_floor_us: f64,
+    pub(crate) noise_seed: u64,
+}
+
+impl StatementEvaluator<'_> {
+    pub(crate) fn time(&self, local: u128) -> f64 {
+        self.try_time(local).unwrap_or(f64::NAN)
+    }
+
+    /// Statement-local analog of [`TunerEvaluator::try_time`], with the
+    /// same cached-NaN memoization of failures, built on the shared per-op
+    /// memo layer.
+    fn try_time(&self, local: u128) -> Result<f64, EvalFault> {
+        let mut fault = None;
+        let t = self.cache.time(self.salt, local, || {
+            let t0 = Instant::now();
+            let (v, local_cfg) = self.st.decode_raw(local);
+            let mut choices = Vec::new();
+            self.st.variants[v]
+                .space
+                .choices_into(local_cfg, &mut choices);
+            self.cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
+            match statement_time_memo(
+                self.st,
+                self.stmt,
+                v,
+                &choices,
+                self.accumulate,
+                self.arch,
+                self.cache,
+                self.op_salt,
+            ) {
+                Ok(t) => t,
+                Err(StatementFault::Mapping { detail, .. }) => {
+                    fault = Some(EvalFault::new("mapping", detail));
+                    f64::NAN
+                }
+                Err(StatementFault::Simulation { detail }) => {
+                    fault = Some(EvalFault::new("simulation", detail));
+                    f64::NAN
+                }
+            }
+        });
+        if let Some(f) = fault {
+            return Err(f);
+        }
+        if !t.is_finite() || t <= 0.0 {
+            return Err(EvalFault::new(
+                "simulation",
+                format!("non-finite or non-positive simulated time {t} for config {local}"),
+            ));
+        }
+        Ok(t)
+    }
+
+    fn noisy(&self, local: u128, t: f64) -> f64 {
+        let rel = self.eval_noise + self.noise_floor_us * 1e-6 / t;
+        t * (1.0 + rel * noise_unit(local as u64 ^ self.noise_seed))
+    }
+}
+
+impl ParallelEvaluator for StatementEvaluator<'_> {
+    fn features(&self, local: u128) -> Vec<f64> {
+        self.cache
+            .features(self.salt, local, || self.st.features(local))
+    }
+
+    fn evaluate(&self, local: u128) -> f64 {
+        match self.try_time(local) {
+            Ok(t) => self.noisy(local, t),
+            Err(_) => f64::NAN,
+        }
+    }
+
+    fn try_evaluate(&self, local: u128) -> Result<f64, EvalFault> {
+        self.try_time(local).map(|t| self.noisy(local, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::lower::LoweredVersions;
+    use tensor::index::uniform_dims;
+
+    fn mm(n: usize) -> Workload {
+        Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], n),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluator_builds_from_stage_artifacts_alone() {
+        // No WorkloadTuner, no TuneParams: the evaluate stage works from
+        // the lowering artifact directly.
+        let w = mm(8);
+        let lowered = LoweredVersions::build(&w);
+        let arch = gpusim::gtx980();
+        let cache = EvalCache::new();
+        let ev = TunerEvaluator::from_parts(&w, &lowered.statements, &arch, &cache, 0.0, 0.0, 1);
+        let t = ev.try_time(0).unwrap();
+        assert!(t.is_finite() && t > 0.0);
+        // Memoized and bit-identical to the unmemoized path.
+        assert_eq!(
+            t.to_bits(),
+            joint_gpu_seconds(&w, &lowered.statements, 0, &arch)
+                .unwrap()
+                .to_bits()
+        );
+        assert_eq!(ev.time(0).to_bits(), t.to_bits());
+    }
+
+    #[test]
+    fn noise_is_keyed_by_id_not_order() {
+        let w = mm(8);
+        let lowered = LoweredVersions::build(&w);
+        let arch = gpusim::gtx980();
+        let cache = EvalCache::new();
+        let ev = TunerEvaluator::from_parts(&w, &lowered.statements, &arch, &cache, 0.05, 2.0, 9);
+        let a = ev.evaluate(3);
+        let _ = ev.evaluate(1);
+        let b = ev.evaluate(3);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_ne!(a.to_bits(), ev.time(3).to_bits(), "noise actually applied");
+    }
+
+    #[test]
+    fn op_keys_are_bit_disjoint() {
+        let a = op_key(1, 2, 3, 4);
+        let b = op_key(1, 2, 3, 5);
+        let c = op_key(2, 2, 3, 4);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a & 0xFF, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Stage 1 — frontend: parse and validate DSL source into a typed,
+//! fingerprinted artifact.
+//!
+//! A [`CompiledWorkload`] is a validated [`Workload`] plus a deterministic
+//! fingerprint over its canonical source and extents. The fingerprint is
+//! what lets a saved [`crate::plan::TunedPlan`] prove at replay time that it
+//! was tuned for *this* computation and not a stale or edited one.
+
+use crate::error::BarracudaError;
+use crate::workload::Workload;
+use tensor::IndexMap;
+
+/// The frontend artifact: a validated workload plus its fingerprint.
+#[derive(Clone, Debug)]
+pub struct CompiledWorkload {
+    pub workload: Workload,
+    /// [`workload_fingerprint`] of the workload.
+    pub fingerprint: u64,
+}
+
+impl CompiledWorkload {
+    /// Parses and validates DSL source (see [`Workload::parse`]).
+    pub fn parse(
+        name: impl Into<String>,
+        src: &str,
+        dims: &IndexMap,
+    ) -> Result<CompiledWorkload, BarracudaError> {
+        Ok(Self::from_workload(Workload::parse(name, src, dims)?))
+    }
+
+    /// Wraps an already-validated workload.
+    pub fn from_workload(workload: Workload) -> CompiledWorkload {
+        let fingerprint = workload_fingerprint(&workload);
+        CompiledWorkload {
+            workload,
+            fingerprint,
+        }
+    }
+
+    /// Canonical DSL text of the workload (see [`canonical_source`]).
+    pub fn canonical_source(&self) -> String {
+        canonical_source(&self.workload)
+    }
+}
+
+/// Canonical DSL text of a workload: every statement printed by its
+/// `Display` form, one per line. Parsing this text back yields an equivalent
+/// workload, so it doubles as the replayable source embedded in saved plans.
+pub fn canonical_source(w: &Workload) -> String {
+    let lines: Vec<String> = w.statements.iter().map(|s| s.to_string()).collect();
+    lines.join("\n")
+}
+
+/// Deterministic fingerprint of a workload: FNV-1a over the canonical
+/// source and the extent map (ordered — `IndexMap` is a `BTreeMap`). The
+/// workload *name* is deliberately excluded: renaming a workload does not
+/// change what was tuned.
+pub fn workload_fingerprint(w: &Workload) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+    };
+    eat(canonical_source(w).as_bytes());
+    for (var, extent) in &w.dims {
+        eat(b"\n");
+        eat(var.name().as_bytes());
+        eat(b"=");
+        eat(extent.to_string().as_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::index::uniform_dims;
+
+    fn mm(n: usize) -> CompiledWorkload {
+        CompiledWorkload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], n),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonical_source_reparses_to_same_fingerprint() {
+        let c = mm(8);
+        let again =
+            CompiledWorkload::parse("renamed", &c.canonical_source(), &c.workload.dims).unwrap();
+        assert_eq!(c.fingerprint, again.fingerprint);
+    }
+
+    #[test]
+    fn fingerprint_tracks_source_and_extents() {
+        let a = mm(8);
+        let b = mm(16); // same source, different extents
+        assert_ne!(a.fingerprint, b.fingerprint);
+        let c = CompiledWorkload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[k i] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], 8),
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_name() {
+        let a = mm(8);
+        let b = CompiledWorkload::parse(
+            "completely_different",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], 8),
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn parse_errors_pass_through_typed() {
+        let err = CompiledWorkload::parse("bad", "C[i] =", &IndexMap::new()).unwrap_err();
+        assert_eq!(err.stage(), "parse");
+    }
+}

@@ -1,0 +1,235 @@
+//! Stage 2 — lower: enumerate OCTOPI versions, lower each to TCR, build
+//! per-statement search spaces, and join them into one flat id space.
+//!
+//! The artifact is [`LoweredVersions`]: one [`StatementTuner`] per workload
+//! statement. The joint configuration space is the mixed-radix product of
+//! the per-statement spaces; the free functions here ([`total_space`],
+//! [`decode_joint`], [`encode_joint`], [`joint_features`], [`joint_flops`],
+//! [`map_joint`]) operate on any `&[StatementTuner]` slice so the facade,
+//! the evaluators and the search stage all share one implementation.
+
+use crate::error::BarracudaError;
+use crate::quarantine::QuarantineReport;
+use crate::stages::frontend::CompiledWorkload;
+use crate::variant::StatementTuner;
+use crate::workload::Workload;
+use tcr::mapping::{map_programs, MapJob, MappedKernel};
+
+/// The lowering artifact: every statement's versions × configurations.
+#[derive(Clone, Debug)]
+pub struct LoweredVersions {
+    pub statements: Vec<StatementTuner>,
+}
+
+impl LoweredVersions {
+    /// Enumerates, lowers and space-builds every statement of `workload`.
+    /// Statements are independent, so each is built on the rayon pool
+    /// (order-preserving: offsets and ids match the serial construction).
+    pub fn build(workload: &Workload) -> LoweredVersions {
+        let idx: Vec<usize> = (0..workload.statements.len()).collect();
+        let statements = rayon::par_map_slice(&idx, |&i| {
+            StatementTuner::build(
+                &format!("{}_{}", workload.name, i),
+                &workload.statements[i],
+                &workload.dims,
+            )
+        });
+        LoweredVersions { statements }
+    }
+
+    /// [`LoweredVersions::build`] from the frontend artifact.
+    pub fn from_compiled(compiled: &CompiledWorkload) -> LoweredVersions {
+        Self::build(&compiled.workload)
+    }
+
+    /// Prunes every statement's space in place (§VIII future work; see
+    /// `tcr::prune`).
+    pub fn prune(&mut self, rules: &tcr::PruneRules) {
+        for st in &mut self.statements {
+            st.prune(rules);
+        }
+    }
+
+    /// Total joint configurations (product of per-statement spaces).
+    pub fn total_space(&self) -> u128 {
+        total_space(&self.statements)
+    }
+
+    /// Quarantine report of this stage: every version whose lowering
+    /// failed, per statement.
+    pub fn quarantine(&self) -> QuarantineReport {
+        build_quarantine(&self.statements)
+    }
+}
+
+/// Total joint configurations (product of per-statement spaces).
+pub fn total_space(statements: &[StatementTuner]) -> u128 {
+    statements
+        .iter()
+        .map(|s| s.total())
+        .fold(1u128, |a, b| a.saturating_mul(b))
+}
+
+/// Decodes a joint id into per-statement local ids.
+pub fn decode_joint(statements: &[StatementTuner], mut id: u128) -> Vec<u128> {
+    let mut locals = vec![0u128; statements.len()];
+    for (k, s) in statements.iter().enumerate().rev() {
+        let radix = s.total();
+        locals[k] = id % radix;
+        id /= radix;
+    }
+    locals
+}
+
+/// Inverse of [`decode_joint`]: re-encodes per-statement local ids into one
+/// joint id.
+pub fn encode_joint(statements: &[StatementTuner], locals: &[u128]) -> u128 {
+    let mut id = 0u128;
+    for (st, &local) in statements.iter().zip(locals) {
+        id = id * st.total() + local;
+    }
+    id
+}
+
+/// Names of every binarized feature column of [`joint_features`].
+pub fn binarized_feature_names(statements: &[StatementTuner]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, st) in statements.iter().enumerate() {
+        out.extend(
+            st.binarized_feature_names()
+                .into_iter()
+                .map(|n| format!("s{k}.{n}")),
+        );
+    }
+    out
+}
+
+/// Binarized features of a joint id: concatenation across statements.
+pub fn joint_features(statements: &[StatementTuner], id: u128) -> Vec<f64> {
+    let locals = decode_joint(statements, id);
+    let mut out = Vec::new();
+    for (s, &local) in statements.iter().zip(&locals) {
+        out.extend(s.features(local));
+    }
+    out
+}
+
+/// Flops of the versions selected by a joint id.
+pub fn joint_flops(statements: &[StatementTuner], id: u128) -> u64 {
+    let locals = decode_joint(statements, id);
+    statements
+        .iter()
+        .zip(&locals)
+        .map(|(s, &local)| {
+            let (v, _) = s.decode(local);
+            s.variants[v].program.flops()
+        })
+        .sum()
+}
+
+/// Quarantine report of the build stage: every version whose lowering
+/// failed, per statement.
+pub fn build_quarantine(statements: &[StatementTuner]) -> QuarantineReport {
+    let mut q = QuarantineReport::new();
+    for (k, st) in statements.iter().enumerate() {
+        for (v, reason) in &st.quarantined_versions {
+            q.record_version(k, *v, reason.clone());
+        }
+    }
+    q
+}
+
+/// Maps every statement under the joint id (statements map in parallel on
+/// the rayon pool); fails with full context when any statement's
+/// configuration cannot be applied to its loop nest.
+pub fn map_joint(
+    workload: &Workload,
+    statements: &[StatementTuner],
+    id: u128,
+) -> Result<Vec<Vec<MappedKernel>>, BarracudaError> {
+    let locals = decode_joint(statements, id);
+    let jobs: Vec<MapJob<'_>> = statements
+        .iter()
+        .zip(&locals)
+        .zip(&workload.statements)
+        .map(|((s, &local), st)| {
+            let (v, config) = s.decode(local);
+            let variant = &s.variants[v];
+            MapJob {
+                program: &variant.program,
+                space: &variant.space,
+                config,
+                accumulate_output: st.accumulate,
+            }
+        })
+        .collect();
+    map_programs(&jobs)
+        .into_iter()
+        .enumerate()
+        .map(|(k, r)| {
+            r.map_err(|e| BarracudaError::Mapping {
+                workload: workload.name.clone(),
+                statement: k,
+                version: Some(statements[k].decode(locals[k]).0),
+                config: Some(id),
+                detail: e.to_string(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::index::uniform_dims;
+
+    fn lowered_pair() -> (Workload, LoweredVersions) {
+        let w = Workload::parse(
+            "pair",
+            "T[i l] = Sum([j], A[i j] * B[j l])\nC[i k] = Sum([l], T[i l] * D[l k])",
+            &uniform_dims(&["i", "j", "k", "l"], 6),
+        )
+        .unwrap();
+        let lowered = LoweredVersions::build(&w);
+        (w, lowered)
+    }
+
+    #[test]
+    fn builds_in_isolation_without_searching() {
+        let (_, lowered) = lowered_pair();
+        assert_eq!(lowered.statements.len(), 2);
+        assert!(lowered.total_space() > 0);
+        assert_eq!(lowered.quarantine().versions(), 0);
+    }
+
+    #[test]
+    fn joint_ids_roundtrip_through_decode_encode() {
+        let (_, lowered) = lowered_pair();
+        let total = lowered.total_space();
+        for frac in [0u128, 1, 7, 1000] {
+            let id = total * frac % total;
+            let locals = decode_joint(&lowered.statements, id);
+            assert_eq!(encode_joint(&lowered.statements, &locals), id);
+        }
+    }
+
+    #[test]
+    fn joint_features_concatenate_statement_features() {
+        let (_, lowered) = lowered_pair();
+        let width: usize = lowered
+            .statements
+            .iter()
+            .map(|s| s.feature_space().width())
+            .sum();
+        assert_eq!(joint_features(&lowered.statements, 0).len(), width);
+        assert_eq!(binarized_feature_names(&lowered.statements).len(), width);
+    }
+
+    #[test]
+    fn map_joint_maps_every_statement() {
+        let (w, lowered) = lowered_pair();
+        let kernels = map_joint(&w, &lowered.statements, 0).unwrap();
+        assert_eq!(kernels.len(), 2);
+        assert!(kernels.iter().all(|ks| !ks.is_empty()));
+    }
+}

@@ -1,0 +1,33 @@
+//! The staged compiler driver: explicit pipeline stages with typed
+//! inter-stage artifacts.
+//!
+//! The pipeline of the paper (OCTOPI → TCR → mapping → SURF) runs as four
+//! stages, each consuming the previous stage's artifact:
+//!
+//! ```text
+//!  frontend ──▶ CompiledWorkload     parse + validate + fingerprint
+//!  lower    ──▶ LoweredVersions      OCTOPI versions × TCR spaces
+//!  space    ──▶ SearchSpace          candidate pool over the joint space
+//!  search   ──▶ TunedWorkload        SURF + final noiseless pick
+//! ```
+//!
+//! A [`TunedWorkload`] can then be projected into a serializable
+//! [`crate::plan::TunedPlan`] for the compile-once / serve-many workflow.
+//! Each stage is independently constructible — tests can build a
+//! [`LoweredVersions`] without searching, or a [`SearchSpace`] without
+//! evaluating — and the stages form a DAG with no back-edges: `frontend ←
+//! lower ← {space, evaluate} ← search`. The [`crate::pipeline`] module is a
+//! thin facade ([`crate::pipeline::WorkloadTuner`]) over these stages that
+//! preserves the original one-call API.
+
+pub mod evaluate;
+pub mod frontend;
+pub mod lower;
+pub mod search;
+pub mod space;
+
+pub use evaluate::TunerEvaluator;
+pub use frontend::CompiledWorkload;
+pub use lower::LoweredVersions;
+pub use search::{SearchStats, TuneParams, TunedWorkload};
+pub use space::SearchSpace;

@@ -1,0 +1,685 @@
+//! Stage 5 — search: SURF over a candidate pool, final noiseless pick,
+//! and the [`TunedWorkload`] result artifact.
+//!
+//! [`autotune_joint`] searches the whole joint space at once (the paper's
+//! framing); [`autotune_decomposed`] searches each statement independently
+//! (the objective is a sum over statements, so the optimum factors). Both
+//! operate purely on stage artifacts — a [`Workload`] plus its lowered
+//! `&[StatementTuner]` — and a shared [`EvalCache`].
+
+use crate::cache::{EvalCache, HotPathSnapshot};
+use crate::error::BarracudaError;
+use crate::quarantine::QuarantineReport;
+use crate::stages::evaluate::{salt_of, StatementEvaluator, TunerEvaluator};
+use crate::stages::{evaluate, lower, space};
+use crate::variant::StatementTuner;
+use crate::workload::Workload;
+use gpusim::GpuArch;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use surf::{
+    surf_search_parallel, surf_search_serial, FaultPlan, FaultyEvaluator, ForestParams,
+    ParallelEvaluator, SearchStatus, SurfParams, SurfResult,
+};
+use tcr::mapping::MappedKernel;
+use tcr::space::Configuration;
+use tcr::TcrProgram;
+use tensor::Tensor;
+
+/// Autotuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneParams {
+    pub surf: SurfParams,
+    /// Maximum pool presented to SURF; larger spaces are sampled.
+    pub pool_cap: usize,
+    /// Repetitions per empirical measurement (the paper averages 100) —
+    /// only affects the modeled search time, not the deterministic result.
+    pub reps: usize,
+    /// Relative run-to-run measurement noise injected into the times SURF
+    /// observes (seeded, deterministic). Real autotuners see a few percent;
+    /// it is what makes near-flat landscapes (Eqn.(1)) hard to search —
+    /// the mechanism behind the paper's longest search time (§VI-A).
+    pub eval_noise: f64,
+    /// Absolute timing jitter in microseconds (launch/measurement jitter).
+    /// Relative to a 30 µs Eqn.(1) run this dwarfs the differences between
+    /// its versions; relative to a millisecond Lg3 run it is invisible.
+    pub noise_floor_us: f64,
+    pub seed: u64,
+    /// Evaluation parallelism: `1` evaluates serially on the calling
+    /// thread; any other value fans batches out over the rayon pool (sized
+    /// by `RAYON_NUM_THREADS`, default: all cores — `0` means "auto").
+    /// Results are bit-identical at every setting: noise is keyed by
+    /// configuration id, not by evaluation order.
+    pub threads: usize,
+    /// Hard cap on evaluation *attempts* (successes + quarantined) across
+    /// the whole run, on top of `surf.max_evals`. Decomposed tuning spends
+    /// it as one shared budget across statements. `None`: surf budget only.
+    pub max_evaluations: Option<usize>,
+    /// Wall-clock deadline for the search; when it expires the run stops at
+    /// the next batch boundary and returns best-so-far with a
+    /// [`SearchStatus::Degraded`] status.
+    pub wall_deadline_s: Option<f64>,
+    /// Minimum fraction of attempts that must survive quarantine; dipping
+    /// below stops the search early with a degraded status. `0.0` disables.
+    pub min_survivor_fraction: f64,
+    /// Deterministic fault injection (tests, resilience experiments):
+    /// failures are keyed by configuration id exactly like the measurement
+    /// noise, so injected runs stay bit-identical serial vs parallel.
+    pub fault_injection: Option<FaultPlan>,
+}
+
+impl TuneParams {
+    /// Paper-scale settings: batch 10, generous eval budget with the
+    /// model-confidence stop (flat landscapes run long, §VI-A).
+    pub fn paper() -> Self {
+        TuneParams {
+            surf: SurfParams {
+                init_evals: 50,
+                batch_size: 10,
+                max_evals: 1200,
+                // Stop after 8 batches without a >1% record: noisy flat
+                // landscapes keep producing small records and run long.
+                patience: Some(8),
+                min_improvement: 0.01,
+                unpromising_stop: None,
+                seed: 0xBA22,
+                wall_deadline_s: None,
+                min_survivor_fraction: 0.0,
+                forest: ForestParams {
+                    n_trees: 30,
+                    min_samples_leaf: 2,
+                    k_features: Some(48),
+                    seed: 0xF0357,
+                },
+            },
+            pool_cap: 20_000,
+            reps: 100,
+            eval_noise: 0.02,
+            noise_floor_us: 6.0,
+            seed: 0xBA22,
+            threads: 0,
+            max_evaluations: None,
+            wall_deadline_s: None,
+            min_survivor_fraction: 0.0,
+            fault_injection: None,
+        }
+    }
+
+    /// Small settings for tests and doc examples.
+    pub fn quick() -> Self {
+        TuneParams {
+            surf: SurfParams {
+                init_evals: 0,
+                batch_size: 8,
+                max_evals: 40,
+                patience: None,
+                min_improvement: 0.01,
+                unpromising_stop: None,
+                seed: 0xBA22,
+                wall_deadline_s: None,
+                min_survivor_fraction: 0.0,
+                forest: ForestParams {
+                    n_trees: 10,
+                    min_samples_leaf: 2,
+                    k_features: Some(24),
+                    seed: 0xF0357,
+                },
+            },
+            pool_cap: 2_000,
+            reps: 100,
+            eval_noise: 0.0,
+            noise_floor_us: 0.0,
+            seed: 0xBA22,
+            threads: 0,
+            max_evaluations: None,
+            wall_deadline_s: None,
+            min_survivor_fraction: 0.0,
+            fault_injection: None,
+        }
+    }
+
+    /// The SURF parameters actually handed to the search: the tuner-level
+    /// budget/deadline/threshold knobs folded into `surf`.
+    fn effective_surf(&self) -> SurfParams {
+        let mut sp = self.surf;
+        if let Some(cap) = self.max_evaluations {
+            sp.max_evals = sp.max_evals.min(cap.max(1));
+        }
+        if self.wall_deadline_s.is_some() {
+            sp.wall_deadline_s = self.wall_deadline_s;
+        }
+        sp.min_survivor_fraction = sp.min_survivor_fraction.max(self.min_survivor_fraction);
+        sp
+    }
+}
+
+/// Search bookkeeping of one autotuning run.
+#[derive(Clone, Debug)]
+pub struct SearchStats {
+    pub n_evals: usize,
+    pub batches: usize,
+    /// Simulated execution time of every evaluated variant.
+    pub evaluated_times: Vec<f64>,
+    /// Size of the full configuration space (before pool sampling).
+    pub space_size: u128,
+    pub pool_size: usize,
+    /// Memo-cache hits during this run (times + features combined).
+    pub cache_hits: usize,
+    /// Memo-cache misses during this run (= distinct computations).
+    pub cache_misses: usize,
+    /// Wall-clock seconds spent inside the SURF search.
+    pub wall_s: f64,
+    /// Threads the evaluation backend used (1 = serial).
+    pub threads: usize,
+    /// OCTOPI versions quarantined at build time (lowering failures).
+    pub quarantined_versions: usize,
+    /// Configurations quarantined during the search (mapping/simulation
+    /// failures, non-finite times, injected faults).
+    pub quarantined_configs: usize,
+    /// Per-op outcome cache hits during this run — the memo layer under the
+    /// whole-configuration cache, keyed by `(statement, version, op,
+    /// choice)` so distinct joint configurations share sub-results.
+    pub per_op_hits: usize,
+    pub per_op_misses: usize,
+    /// Whole-configuration time cache hits/misses during this run.
+    pub time_hits: usize,
+    pub time_misses: usize,
+    /// Wall-time spent per hot-path stage (decode / map / simulate /
+    /// predict) during this run.
+    pub hot: HotPathSnapshot,
+}
+
+impl SearchStats {
+    /// Modeled wall-clock search time the way the paper accounts it: per
+    /// evaluated variant, one `nvcc` compile plus `reps` timed runs plus
+    /// fixed measurement overhead.
+    pub fn search_seconds(&self, arch: &GpuArch, reps: usize) -> f64 {
+        self.evaluated_times
+            .iter()
+            .map(|t| arch.compile_seconds + reps as f64 * t + 0.1)
+            .sum()
+    }
+
+    /// Modeled time to exhaustively enumerate the whole space at the same
+    /// per-variant cost (the paper's "23 days" comparison for Lg3t).
+    pub fn exhaustive_seconds(&self, arch: &GpuArch, reps: usize) -> f64 {
+        let avg = if self.evaluated_times.is_empty() {
+            0.0
+        } else {
+            self.evaluated_times.iter().sum::<f64>() / self.evaluated_times.len() as f64
+        };
+        self.space_size as f64 * (arch.compile_seconds + reps as f64 * avg + 0.1)
+    }
+
+    /// Fraction of cache lookups served without recomputation.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of per-op outcome lookups served from the memo layer. The
+    /// joint space is a Cartesian product of per-op choices, so this runs
+    /// far above the whole-configuration rates: a fresh joint id usually
+    /// re-combines already-seen sub-configurations.
+    pub fn per_op_hit_rate(&self) -> f64 {
+        let total = self.per_op_hits + self.per_op_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.per_op_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of whole-configuration time lookups served memoized.
+    pub fn time_hit_rate(&self) -> f64 {
+        let total = self.time_hits + self.time_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.time_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Dispatches to the serial or parallel SURF backend per
+/// [`TuneParams::threads`]; both run the same driver over the same
+/// evaluator (including its typed-fault path), so the choice never changes
+/// the result — including which configurations get quarantined and why.
+fn search_with<E: ParallelEvaluator>(
+    pool: &[u128],
+    evaluator: &E,
+    surf_params: SurfParams,
+    threads: usize,
+) -> Result<SurfResult, surf::SearchError> {
+    if threads == 1 {
+        surf_search_serial(pool, evaluator, surf_params)
+    } else {
+        surf_search_parallel(pool, evaluator, surf_params)
+    }
+}
+
+/// Result of autotuning one workload on one architecture.
+#[derive(Clone, Debug)]
+pub struct TunedWorkload {
+    pub name: String,
+    pub arch_name: String,
+    /// Flat id of the chosen configuration.
+    pub id: u128,
+    /// Per statement: chosen version index + configuration.
+    pub choices: Vec<(usize, Configuration)>,
+    /// Per statement: the chosen version's TCR program.
+    pub programs: Vec<TcrProgram>,
+    /// Per statement: mapped kernels.
+    pub kernels: Vec<Vec<MappedKernel>>,
+    pub gpu_seconds: f64,
+    pub transfer_seconds: f64,
+    pub flops: u64,
+    pub search: SearchStats,
+    /// Whether the search ran to completion or stopped early (budget,
+    /// deadline, survivor-fraction threshold) with best-so-far.
+    pub status: SearchStatus,
+    /// Every version and configuration excluded from the search, with the
+    /// stage and reason it was quarantined.
+    pub quarantine: QuarantineReport,
+}
+
+impl TunedWorkload {
+    pub fn total_seconds(&self) -> f64 {
+        self.gpu_seconds + self.transfer_seconds
+    }
+
+    /// `true` when the search stopped early instead of running to its
+    /// configured budget (the result is still the best configuration seen).
+    pub fn is_degraded(&self) -> bool {
+        self.status.is_degraded()
+    }
+
+    /// Sustained GFlop/s including PCIe transfers.
+    pub fn gflops(&self) -> f64 {
+        self.flops as f64 / self.total_seconds() / 1e9
+    }
+
+    /// Device-side GFlop/s (kernels + launches only).
+    pub fn gflops_device(&self) -> f64 {
+        self.flops as f64 / self.gpu_seconds / 1e9
+    }
+
+    /// Time per run when the measurement loop repeats the kernels `reps`
+    /// times over device-resident data (the paper averages 100 repetitions,
+    /// so host transfers amortize across them).
+    pub fn amortized_seconds(&self, reps: usize) -> f64 {
+        self.gpu_seconds + self.transfer_seconds / reps.max(1) as f64
+    }
+
+    /// GFlop/s under `reps`-amortized transfers (the Table II metric).
+    pub fn gflops_amortized(&self, reps: usize) -> f64 {
+        self.flops as f64 / self.amortized_seconds(reps) / 1e9
+    }
+
+    /// Full CUDA source: every kernel plus the host launcher.
+    pub fn cuda_source(&self) -> String {
+        let mut s = String::new();
+        for ks in &self.kernels {
+            for k in ks {
+                s.push_str(&tcr::codegen::cuda_kernel(k));
+                s.push('\n');
+            }
+        }
+        for ks in &self.kernels {
+            s.push_str(&tcr::codegen::cuda_launcher(ks));
+        }
+        s
+    }
+
+    /// Executes the tuned kernels functionally (simulated GPU) over named
+    /// inputs; returns the workload's external outputs. Fails when `inputs`
+    /// is missing a tensor some statement consumes.
+    pub fn execute(
+        &self,
+        workload: &Workload,
+        inputs: &[(String, Tensor)],
+    ) -> Result<Vec<(String, Tensor)>, BarracudaError> {
+        let mut env: BTreeMap<String, Tensor> = inputs.iter().cloned().collect();
+        for (sidx, st) in workload.statements.iter().enumerate() {
+            let program = &self.programs[sidx];
+            let input_ids = program.input_ids();
+            let operands: Vec<&Tensor> = input_ids
+                .iter()
+                .map(|&id| {
+                    let name = &program.arrays[id].name;
+                    env.get(name).ok_or_else(|| BarracudaError::Validation {
+                        workload: self.name.clone(),
+                        statement: Some(sidx),
+                        detail: format!("missing input tensor {name}"),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let fresh = gpusim::execute_program(program, &self.kernels[sidx], &operands);
+            match env.entry(st.output.name.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut o) if st.accumulate => {
+                    for (a, b) in o.get_mut().data_mut().iter_mut().zip(fresh.data()) {
+                        *a += b;
+                    }
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    *o.get_mut() = fresh;
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(fresh);
+                }
+            }
+        }
+        workload
+            .external_outputs()
+            .into_iter()
+            .map(|name| {
+                let t = env
+                    .remove(&name)
+                    .ok_or_else(|| BarracudaError::Validation {
+                        workload: self.name.clone(),
+                        statement: None,
+                        detail: format!("external output {name} was never computed"),
+                    })?;
+                Ok((name, t))
+            })
+            .collect()
+    }
+}
+
+/// Runs SURF over the joint space against a caller-provided [`EvalCache`],
+/// so repeated runs (per-architecture sweeps, benchmark repetitions,
+/// decomposed + joint comparisons) never re-simulate a configuration they
+/// have already seen.
+///
+/// Configurations that fail to map/simulate (or are failed by
+/// [`TuneParams::fault_injection`]) are quarantined, not fatal: the search
+/// continues over survivors and the report travels on the result. The only
+/// hard errors are an empty pool and a search with no survivors at all.
+pub fn autotune_joint(
+    workload: &Workload,
+    statements: &[StatementTuner],
+    arch: &GpuArch,
+    params: TuneParams,
+    cache: &EvalCache,
+) -> Result<TunedWorkload, BarracudaError> {
+    let pool = space::joint_pool(statements, params.pool_cap, params.seed);
+    let evaluator = TunerEvaluator::from_parts(
+        workload,
+        statements,
+        arch,
+        cache,
+        params.eval_noise,
+        params.noise_floor_us,
+        params.seed,
+    );
+    let faulty = FaultyEvaluator::new(
+        &evaluator,
+        params.fault_injection.unwrap_or_else(FaultPlan::none),
+    );
+    let (hits0, misses0) = cache.stats();
+    let (th0, tm0) = cache.time_stats();
+    let (oh0, om0) = cache.op_stats();
+    let hot0 = cache.hot().snapshot();
+    let result =
+        search_with(&pool, &faulty, params.effective_surf(), params.threads).map_err(|e| {
+            BarracudaError::Search {
+                workload: workload.name.clone(),
+                detail: e.to_string(),
+            }
+        })?;
+    let (hits1, misses1) = cache.stats();
+    let (th1, tm1) = cache.time_stats();
+    let (oh1, om1) = cache.op_stats();
+    let mut hot = cache.hot().snapshot().delta(&hot0);
+    hot.predict_ns = result.predict_ns;
+    // An external attempt cap that actually truncated the search is an
+    // explicit degradation, not a silent completion.
+    let mut status = result.status.clone();
+    if let Some(cap) = params.max_evaluations {
+        if !status.is_degraded() && cap < params.surf.max_evals && result.n_attempted() >= cap {
+            status = SearchStatus::Degraded {
+                reason: format!(
+                    "evaluation budget exhausted after {} attempts (cap {cap})",
+                    result.n_attempted()
+                ),
+            };
+        }
+    }
+
+    // The search observed noisy measurements; the final pick re-measures
+    // carefully: choose the best *noiseless* time among everything the
+    // search evaluated (the paper's final numbers are 100-rep averages).
+    // One cache hit per candidate — the search already simulated them
+    // all, and each id's time is looked up exactly once. First minimal
+    // wins ties, matching `min_by`; quarantined ids never reach
+    // `evaluated`, and the finite filter keeps even a stray NaN from
+    // poisoning the pick.
+    let mut best: Option<(u128, f64)> = None;
+    for &(cand, _) in &result.evaluated {
+        let t = evaluator.time(cand);
+        let better = match best {
+            None => true,
+            Some((_, bt)) => t < bt,
+        };
+        if t.is_finite() && better {
+            best = Some((cand, t));
+        }
+    }
+    let id = best.map_or(result.best_id, |(id, _)| id);
+    let locals = lower::decode_joint(statements, id);
+    let mut choices = Vec::new();
+    let mut programs = Vec::new();
+    for (s, &local) in statements.iter().zip(&locals) {
+        let (v, config) = s.decode(local);
+        programs.push(s.variants[v].program.clone());
+        choices.push((v, config));
+    }
+    let kernels = lower::map_joint(workload, statements, id)?;
+    let mut quarantine = lower::build_quarantine(statements);
+    for (cid, reason) in &result.quarantined {
+        quarantine.record_config(None, *cid, reason.clone());
+    }
+    // Report the noiseless model time of the chosen configuration.
+    let gpu_seconds = evaluate::joint_gpu_seconds(workload, statements, id, arch)?;
+    let transfer_seconds = evaluate::transfer_seconds(workload, arch);
+    let flops = lower::joint_flops(statements, id);
+    Ok(TunedWorkload {
+        name: workload.name.clone(),
+        arch_name: arch.name.to_string(),
+        id,
+        choices,
+        programs,
+        kernels,
+        gpu_seconds,
+        transfer_seconds,
+        flops,
+        search: SearchStats {
+            n_evals: result.n_evals(),
+            batches: result.batches,
+            evaluated_times: result.evaluated.iter().map(|(_, t)| *t).collect(),
+            space_size: lower::total_space(statements),
+            pool_size: pool.len(),
+            cache_hits: hits1 - hits0,
+            cache_misses: misses1 - misses0,
+            wall_s: result.wall_s,
+            threads: result.threads,
+            quarantined_versions: quarantine.versions(),
+            quarantined_configs: quarantine.configs(),
+            per_op_hits: oh1 - oh0,
+            per_op_misses: om1 - om0,
+            time_hits: th1 - th0,
+            time_misses: tm1 - tm0,
+            hot,
+        },
+        status,
+        quarantine,
+    })
+}
+
+/// Decomposed tuning: each statement is searched *independently* (the
+/// joint objective is a sum over statements, so the joint optimum factors —
+/// an observation the paper's joint 512,000-variant framing leaves on the
+/// table). Costs the sum of the per-statement budgets instead of one budget
+/// over the product space. Statements salt the cache's keyspace
+/// individually, so repeated or interleaved runs reuse each other's
+/// simulations.
+///
+/// [`TuneParams::max_evaluations`] and [`TuneParams::wall_deadline_s`] are
+/// *shared* budgets: each statement's search gets what the previous
+/// statements left over, and exhaustion degrades the run rather than
+/// failing it.
+pub fn autotune_decomposed(
+    workload: &Workload,
+    statements: &[StatementTuner],
+    arch: &GpuArch,
+    params: TuneParams,
+    cache: &EvalCache,
+) -> Result<TunedWorkload, BarracudaError> {
+    let mut locals: Vec<u128> = Vec::with_capacity(statements.len());
+    let mut n_evals = 0;
+    let mut batches = 0;
+    let mut evaluated_times = Vec::new();
+    let mut wall_s = 0.0;
+    let mut threads = 1;
+    let mut predict_ns = 0u64;
+    let mut quarantine = lower::build_quarantine(statements);
+    let mut status = SearchStatus::Complete;
+    let mut remaining = params.max_evaluations;
+    let mut attempted_total = 0usize;
+    let start = Instant::now();
+    let (hits0, misses0) = cache.stats();
+    let (th0, tm0) = cache.time_stats();
+    let (oh0, om0) = cache.op_stats();
+    let hot0 = cache.hot().snapshot();
+    for (k, st) in statements.iter().enumerate() {
+        // Pool over this statement's own space.
+        let pool = space::statement_pool(st, params.pool_cap, params.seed ^ k as u64);
+        let evaluator = StatementEvaluator {
+            st,
+            stmt: k,
+            accumulate: workload.statements[k].accumulate,
+            arch,
+            cache,
+            salt: salt_of(arch.name) ^ (k as u64 + 1),
+            op_salt: salt_of(arch.name),
+            eval_noise: params.eval_noise,
+            noise_floor_us: params.noise_floor_us,
+            noise_seed: params.seed ^ k as u64,
+        };
+        let faulty = FaultyEvaluator::new(
+            &evaluator,
+            params.fault_injection.unwrap_or_else(FaultPlan::none),
+        );
+        // This statement's share of the run-wide budget/deadline.
+        let mut sp = params.effective_surf();
+        if let Some(rem) = remaining {
+            sp.max_evals = sp.max_evals.min(rem.max(1));
+        }
+        if let Some(d) = params.wall_deadline_s {
+            sp.wall_deadline_s = Some((d - start.elapsed().as_secs_f64()).max(0.0));
+        }
+        let result = search_with(&pool, &faulty, sp, params.threads).map_err(|e| {
+            BarracudaError::Search {
+                workload: workload.name.clone(),
+                detail: format!("statement {k}: {e}"),
+            }
+        })?;
+        if let Some(rem) = remaining.as_mut() {
+            *rem = rem.saturating_sub(result.n_attempted());
+        }
+        attempted_total += result.n_attempted();
+        if let (SearchStatus::Complete, SearchStatus::Degraded { reason }) =
+            (&status, &result.status)
+        {
+            status = SearchStatus::Degraded {
+                reason: format!("statement {k}: {reason}"),
+            };
+        }
+        for (cid, reason) in &result.quarantined {
+            quarantine.record_config(Some(k), *cid, reason.clone());
+        }
+        // Final noiseless pick and the evaluated-times record in one
+        // pass: each id's time is looked up exactly once (first minimal
+        // wins ties, matching `min_by`).
+        let mut best: Option<(u128, f64)> = None;
+        evaluated_times.reserve(result.evaluated.len());
+        for &(cand, _) in &result.evaluated {
+            let t = evaluator.time(cand);
+            evaluated_times.push(t);
+            let better = match best {
+                None => true,
+                Some((_, bt)) => t < bt,
+            };
+            if t.is_finite() && better {
+                best = Some((cand, t));
+            }
+        }
+        let best = best.map_or(result.best_id, |(id, _)| id);
+        n_evals += result.n_evals();
+        batches += result.batches;
+        wall_s += result.wall_s;
+        threads = threads.max(result.threads);
+        predict_ns += result.predict_ns;
+        locals.push(best);
+    }
+    let (hits1, misses1) = cache.stats();
+    let (th1, tm1) = cache.time_stats();
+    let (oh1, om1) = cache.op_stats();
+    let mut hot = cache.hot().snapshot().delta(&hot0);
+    hot.predict_ns = predict_ns;
+    // The shared attempt budget ran dry: an explicit degradation.
+    if let Some(cap) = params.max_evaluations {
+        if !status.is_degraded() && attempted_total >= cap {
+            status = SearchStatus::Degraded {
+                reason: format!(
+                    "shared evaluation budget exhausted after {attempted_total} attempts (cap {cap})"
+                ),
+            };
+        }
+    }
+    // Re-encode as a joint id and assemble the result.
+    let id = lower::encode_joint(statements, &locals);
+    let mut choices = Vec::new();
+    let mut programs = Vec::new();
+    for (st, &local) in statements.iter().zip(&locals) {
+        let (v, config) = st.decode(local);
+        programs.push(st.variants[v].program.clone());
+        choices.push((v, config));
+    }
+    let kernels = lower::map_joint(workload, statements, id)?;
+    Ok(TunedWorkload {
+        name: workload.name.clone(),
+        arch_name: arch.name.to_string(),
+        id,
+        choices,
+        programs,
+        kernels,
+        gpu_seconds: evaluate::joint_gpu_seconds(workload, statements, id, arch)?,
+        transfer_seconds: evaluate::transfer_seconds(workload, arch),
+        flops: lower::joint_flops(statements, id),
+        search: SearchStats {
+            n_evals,
+            batches,
+            evaluated_times,
+            space_size: lower::total_space(statements),
+            pool_size: 0,
+            cache_hits: hits1 - hits0,
+            cache_misses: misses1 - misses0,
+            wall_s,
+            threads,
+            quarantined_versions: quarantine.versions(),
+            quarantined_configs: quarantine.configs(),
+            per_op_hits: oh1 - oh0,
+            per_op_misses: om1 - om0,
+            time_hits: th1 - th0,
+            time_misses: tm1 - tm0,
+            hot,
+        },
+        status,
+        quarantine,
+    })
+}

@@ -1,0 +1,184 @@
+//! Stage 3 — space: candidate pools over the joint configuration space.
+//!
+//! The artifact is [`SearchSpace`]: the (possibly sampled) pool of joint
+//! ids SURF searches over, together with the size of the full space it was
+//! drawn from. Sampling is deterministic and *stratified*: the OCTOPI
+//! version of every statement is drawn uniformly, then a configuration
+//! within it — plain uniform id sampling would weight versions by their
+//! space size and all but hide the small-space (often minimal-flop)
+//! versions OCTOPI works hardest to expose.
+
+use crate::stages::lower::{self, LoweredVersions};
+use crate::variant::StatementTuner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The space artifact: a deterministic candidate pool over the joint space.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// Candidate joint ids, sorted ascending (full space or sample).
+    pub pool: Vec<u128>,
+    /// Size of the full joint space the pool was drawn from.
+    pub space_size: u128,
+    /// The cap the pool was built under.
+    pub cap: usize,
+    /// The seed the sample was drawn with (unused when the space fits).
+    pub seed: u64,
+}
+
+impl SearchSpace {
+    /// Builds the pool over `statements` (see [`joint_pool`]).
+    pub fn build(statements: &[StatementTuner], cap: usize, seed: u64) -> SearchSpace {
+        SearchSpace {
+            pool: joint_pool(statements, cap, seed),
+            space_size: lower::total_space(statements),
+            cap,
+            seed,
+        }
+    }
+
+    /// [`SearchSpace::build`] from the lowering artifact.
+    pub fn from_lowered(lowered: &LoweredVersions, cap: usize, seed: u64) -> SearchSpace {
+        Self::build(&lowered.statements, cap, seed)
+    }
+
+    /// `true` when the pool is the full space rather than a sample.
+    pub fn is_exhaustive(&self) -> bool {
+        self.pool.len() as u128 == self.space_size
+    }
+}
+
+/// Configuration pool: the full space when it fits under `cap`, else a
+/// deterministic stratified sample of `cap` distinct ids.
+pub fn joint_pool(statements: &[StatementTuner], cap: usize, seed: u64) -> Vec<u128> {
+    let total = lower::total_space(statements);
+    if total <= cap as u128 {
+        return (0..total).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = std::collections::BTreeSet::new();
+    let mut guard = 0usize;
+    while set.len() < cap && guard < cap * 20 {
+        guard += 1;
+        // Per statement: uniform version, then uniform config inside it.
+        let mut id = 0u128;
+        for st in statements {
+            let v = rng.gen_range(0..st.variants.len());
+            let local = st.encode(
+                v,
+                &st.variants[v]
+                    .space
+                    .config(rng.gen_range(0..st.variants[v].space.len())),
+            );
+            id = id * st.total() + local;
+        }
+        set.insert(id);
+    }
+    set.into_iter().collect()
+}
+
+/// Pool over one statement's own space (decomposed tuning): the full space
+/// when it fits under `cap`, else a stratified sample of local ids.
+pub fn statement_pool(st: &StatementTuner, cap: usize, seed: u64) -> Vec<u128> {
+    let total = st.total();
+    let cap = cap as u128;
+    if total <= cap {
+        return (0..total).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = std::collections::BTreeSet::new();
+    while (set.len() as u128) < cap {
+        let v = rng.gen_range(0..st.variants.len());
+        let local = st.encode(
+            v,
+            &st.variants[v]
+                .space
+                .config(rng.gen_range(0..st.variants[v].space.len())),
+        );
+        set.insert(local);
+    }
+    set.into_iter().collect()
+}
+
+/// A random neighbor of `id` for local-search baselines: re-draws one
+/// statement's configuration (keeping its OCTOPI version with probability
+/// ~0.7).
+pub fn neighbor(statements: &[StatementTuner], id: u128, rng: &mut StdRng) -> u128 {
+    let locals = lower::decode_joint(statements, id);
+    let k = rng.gen_range(0..statements.len());
+    let st = &statements[k];
+    let (v, _) = st.decode(locals[k]);
+    let new_v = if st.variants.len() > 1 && rng.gen_range(0..10) < 3 {
+        rng.gen_range(0..st.variants.len())
+    } else {
+        v
+    };
+    let space_len = st.variants[new_v].space.len();
+    let new_local = st.encode(
+        new_v,
+        &st.variants[new_v].space.config(rng.gen_range(0..space_len)),
+    );
+    // Re-encode the joint id.
+    let mut out = 0u128;
+    for (i, s) in statements.iter().enumerate() {
+        let l = if i == k { new_local } else { locals[i] };
+        out = out * s.total() + l;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use tensor::index::uniform_dims;
+
+    fn lowered_eqn1(n: usize) -> LoweredVersions {
+        let w = Workload::parse(
+            "ex",
+            "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
+            &uniform_dims(&["i", "j", "k", "l", "m", "n"], n),
+        )
+        .unwrap();
+        LoweredVersions::build(&w)
+    }
+
+    #[test]
+    fn space_artifact_builds_in_isolation() {
+        let lowered = lowered_eqn1(10);
+        let space = SearchSpace::from_lowered(&lowered, 500, 1);
+        assert_eq!(space.pool.len(), 500);
+        assert!(!space.is_exhaustive());
+        assert!(space.space_size > 500);
+        // Every candidate decodes.
+        for &id in space.pool.iter().take(10) {
+            assert!(id < space.space_size);
+        }
+    }
+
+    #[test]
+    fn small_spaces_enumerate_exhaustively() {
+        let w = Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], 8),
+        )
+        .unwrap();
+        let lowered = LoweredVersions::build(&w);
+        let total = lowered.total_space();
+        assert!(total < 100_000, "matmul space stays enumerable: {total}");
+        let space = SearchSpace::from_lowered(&lowered, total as usize, 1);
+        assert!(space.is_exhaustive());
+        assert_eq!(space.pool.len() as u128, total);
+    }
+
+    #[test]
+    fn statement_pool_is_deterministic_and_within_range() {
+        let lowered = lowered_eqn1(10);
+        let st = &lowered.statements[0];
+        let a = statement_pool(st, 200, 7);
+        let b = statement_pool(st, 200, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&l| l < st.total()));
+    }
+}

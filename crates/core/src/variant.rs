@@ -3,7 +3,8 @@
 //! A [`StatementTuner`] owns every factorization (OCTOPI "version") of one
 //! summation statement, each lowered to a TCR program with its GPU search
 //! space. Configurations of the statement are addressed by a flat `u128`
-//! id that selects a version and a configuration within it; [`features`]
+//! id that selects a version and a configuration within it;
+//! [`StatementTuner::features`]
 //! binarizes an id for the SURF surrogate (version one-hot, loop-choice
 //! one-hots over the statement's index vocabulary, numeric unroll).
 

@@ -183,6 +183,131 @@ fn degraded_run_exits_0_without_strict_and_9_with() {
 }
 
 #[test]
+fn backends_lists_the_registry() {
+    let out = bin().arg("backends").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "gtx980",
+        "k20",
+        "c2050",
+        "cpu1",
+        "cpu4",
+        "acc-naive",
+        "acc-opt",
+    ] {
+        assert!(text.contains(key), "missing backend {key}: {text}");
+    }
+}
+
+#[test]
+fn unknown_backend_exits_2_usage() {
+    let out = bin()
+        .args(["tune", "builtin:eqn1", "--backend", "tpu"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown backend"), "stderr: {err}");
+}
+
+#[test]
+fn save_plan_then_replay_reproduces_the_time_without_searching() {
+    let dir = std::env::temp_dir();
+    let plan = dir.join("barracuda_cli_roundtrip.plan.json");
+    let tune = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "20",
+            "--arch",
+            "k20",
+            "--save-plan",
+            plan.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        tune.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&tune.stderr)
+    );
+    let tune_text = String::from_utf8_lossy(&tune.stdout);
+    assert!(tune_text.contains("plan saved to"), "stdout: {tune_text}");
+
+    let replay = bin()
+        .args(["replay", plan.to_str().unwrap(), "--validate"])
+        .output()
+        .unwrap();
+    assert!(
+        replay.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    let replay_text = String::from_utf8_lossy(&replay.stdout);
+    assert!(replay_text.contains("replayed"), "stdout: {replay_text}");
+    assert!(
+        replay_text.contains("validation: OK"),
+        "stdout: {replay_text}"
+    );
+
+    // The timing columns ("<name> <us> us device ... GF w/transfers") must
+    // be identical: replay reproduces the tuned result bit-for-bit. Only
+    // the trailing parenthetical (eval counts) differs by design.
+    let timing = |text: &str| -> String {
+        text.lines()
+            .find(|l| l.contains(" us device "))
+            .unwrap_or_default()
+            .split(" (")
+            .next()
+            .unwrap_or_default()
+            .to_string()
+    };
+    assert_eq!(
+        timing(&tune_text),
+        timing(&replay_text),
+        "tune: {tune_text}\nreplay: {replay_text}"
+    );
+}
+
+#[test]
+fn stale_plan_fingerprint_exits_10() {
+    let dir = std::env::temp_dir();
+    let plan = dir.join("barracuda_cli_stale.plan.json");
+    let tune = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "20",
+            "--arch",
+            "k20",
+            "--save-plan",
+            plan.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(tune.status.success());
+    // Change the embedded workload source: the fingerprint no longer
+    // matches and replay must refuse with the typed plan error.
+    let text = std::fs::read_to_string(&plan).unwrap();
+    let tampered = text.replace("V[i j k]", "W[i j k]");
+    assert_ne!(text, tampered, "plan text should embed the DSL source");
+    std::fs::write(&plan, tampered).unwrap();
+    let replay = bin()
+        .args(["replay", plan.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(replay.status.code(), Some(10));
+    let err = String::from_utf8_lossy(&replay.stderr);
+    assert!(err.contains("error[plan]"), "stderr: {err}");
+    assert!(err.contains("fingerprint"), "stderr: {err}");
+}
+
+#[test]
 fn injected_faults_are_reported_in_quarantine() {
     let out = bin()
         .args([

@@ -1,0 +1,187 @@
+//! Property tests for [`barracuda::TunedPlan`]: the hand-rolled JSON
+//! serialization must be lossless for *arbitrary* field values (bit-exact
+//! f64s, full-range u128 ids, hostile strings), and replaying a saved plan
+//! through a shared [`EvalCache`] must reproduce the tuned time
+//! bit-identically without spending any search evaluations.
+
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use barracuda::workload::Workload;
+use barracuda::{EvalCache, PlanChoice, PlanProvenance, TunedPlan, PLAN_SCHEMA_VERSION};
+use proptest::prelude::*;
+use tensor::index::uniform_dims;
+
+/// Counter-like fields serialize through `Json::Num` (a double), so the
+/// representable domain is exact integers up to 2^53.
+const MAX_EXACT: usize = 9_007_199_254_740_992;
+
+fn counter() -> impl Strategy<Value = usize> {
+    0usize..=MAX_EXACT
+}
+
+/// Any finite double, including -0.0, subnormals and extreme exponents.
+/// Non-finite values are excluded: JSON has no literal for them and the
+/// planner never produces them (times and rates are finite by
+/// construction).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX)
+        .prop_map(f64::from_bits)
+        .prop_filter("finite", |f| f.is_finite())
+}
+
+fn any_u128() -> impl Strategy<Value = u128> {
+    ((0u64..=u64::MAX), (0u64..=u64::MAX)).prop_map(|(hi, lo)| ((hi as u128) << 64) | lo as u128)
+}
+
+fn any_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+/// Strings drawn from a pool that exercises every escape path of the JSON
+/// writer: quotes, backslashes, control characters, multi-byte unicode.
+const CHARS: &[char] = &[
+    'a', 'Z', '0', '9', ' ', '_', '-', '.', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', '=',
+    '[', ']', '{', '}', ':', ',', '/', 'é', '∑', '𝄞',
+];
+
+fn any_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..CHARS.len(), 0..24)
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARS[i]).collect())
+}
+
+fn provenance() -> impl Strategy<Value = PlanProvenance> {
+    (
+        (counter(), counter(), any_u128(), counter()),
+        (finite_f64(), counter(), counter(), counter()),
+        (
+            finite_f64(),
+            finite_f64(),
+            finite_f64(),
+            any_bool(),
+            any_string(),
+        ),
+    )
+        .prop_map(
+            |(
+                (n_evals, batches, space_size, pool_size),
+                (wall_s, threads, quarantined_versions, quarantined_configs),
+                (cache_hit_rate, per_op_hit_rate, time_hit_rate, degraded, status),
+            )| PlanProvenance {
+                n_evals,
+                batches,
+                space_size,
+                pool_size,
+                wall_s,
+                threads,
+                quarantined_versions,
+                quarantined_configs,
+                cache_hit_rate,
+                per_op_hit_rate,
+                time_hit_rate,
+                degraded,
+                status,
+            },
+        )
+}
+
+fn plan() -> impl Strategy<Value = TunedPlan> {
+    (
+        (
+            any_string(),
+            any_string(),
+            proptest::collection::vec((any_string(), counter()), 0..4),
+        ),
+        ((0u64..=u64::MAX), any_string(), any_string(), any_u128()),
+        proptest::collection::vec(
+            (counter(), any_u128()).prop_map(|(version, local)| PlanChoice { version, local }),
+            0..4,
+        ),
+        (finite_f64(), finite_f64(), (0u64..=u64::MAX)),
+        provenance(),
+    )
+        .prop_map(
+            |(
+                (workload_name, source, dims),
+                (fingerprint, backend, arch_name, id),
+                choices,
+                (gpu_seconds, transfer_seconds, flops),
+                provenance,
+            )| TunedPlan {
+                schema_version: PLAN_SCHEMA_VERSION,
+                workload_name,
+                source,
+                dims,
+                fingerprint,
+                backend,
+                arch_name,
+                id,
+                choices,
+                gpu_seconds,
+                transfer_seconds,
+                flops,
+                provenance,
+            },
+        )
+}
+
+proptest! {
+    /// Serialize → parse is the identity on every field, including f64
+    /// bit patterns and u128 values JSON numbers could not carry.
+    #[test]
+    fn json_roundtrip_is_lossless_for_arbitrary_plans(plan in plan()) {
+        let text = plan.to_json_text();
+        let back = match TunedPlan::from_json_text(&text) {
+            Ok(p) => p,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "reparse failed: {e}\n{text}"
+            ))),
+        };
+        prop_assert_eq!(&plan, &back);
+        prop_assert_eq!(plan.gpu_seconds.to_bits(), back.gpu_seconds.to_bits());
+        prop_assert_eq!(plan.transfer_seconds.to_bits(), back.transfer_seconds.to_bits());
+        prop_assert_eq!(plan.provenance.wall_s.to_bits(), back.provenance.wall_s.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Tune → save → load → replay reproduces the tuned time bit-for-bit
+    /// through a shared cache, regardless of the search budget, and spends
+    /// zero fresh evaluations doing so.
+    #[test]
+    fn replay_reproduces_tuned_time_for_any_budget(max_evals in 1usize..24, n in 6usize..14) {
+        let w = Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], n),
+        )
+        .unwrap();
+        let tuner = WorkloadTuner::build(&w);
+        let mut params = TuneParams::quick();
+        params.surf.max_evals = max_evals;
+        let cache = EvalCache::new();
+        let tuned = tuner
+            .autotune_with_cache(&gpusim::k20(), params, &cache)
+            .unwrap();
+        let plan = TunedPlan::from_tuned(&tuner, "k20", &tuned);
+        let loaded = match TunedPlan::from_json_text(&plan.to_json_text()) {
+            Ok(p) => p,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "reparse failed: {e}"
+            ))),
+        };
+        let (_, misses_before) = cache.time_stats();
+        let replayed = loaded.replay(&cache).unwrap();
+        let (_, misses_after) = cache.time_stats();
+        prop_assert_eq!(replayed.id, tuned.id);
+        prop_assert_eq!(replayed.gpu_seconds.to_bits(), tuned.gpu_seconds.to_bits());
+        prop_assert_eq!(
+            misses_after, misses_before,
+            "replay through the shared cache must not recompute any timing"
+        );
+        prop_assert_eq!(
+            replayed.search.n_evals, tuned.search.n_evals,
+            "replay carries the original search provenance"
+        );
+    }
+}

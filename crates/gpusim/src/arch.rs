@@ -11,6 +11,9 @@
 #[derive(Clone, Debug, PartialEq)]
 pub struct GpuArch {
     pub name: &'static str,
+    /// Short machine-readable registry key (`gtx980`, `k20`, `c2050`) used
+    /// by `--arch`/`--backend` lookups and cache salting.
+    pub key: &'static str,
     /// Marketing generation, e.g. "Fermi".
     pub generation: &'static str,
     pub sm_count: u32,
@@ -60,6 +63,7 @@ impl GpuArch {
 pub fn c2050() -> GpuArch {
     GpuArch {
         name: "Tesla C2050",
+        key: "c2050",
         generation: "Fermi",
         sm_count: 14,
         clock_ghz: 1.15,
@@ -88,6 +92,7 @@ pub fn c2050() -> GpuArch {
 pub fn k20() -> GpuArch {
     GpuArch {
         name: "Tesla K20",
+        key: "k20",
         generation: "Kepler",
         sm_count: 13,
         clock_ghz: 0.706,
@@ -116,6 +121,7 @@ pub fn k20() -> GpuArch {
 pub fn gtx980() -> GpuArch {
     GpuArch {
         name: "GTX 980",
+        key: "gtx980",
         generation: "Maxwell",
         sm_count: 16,
         clock_ghz: 1.126,
@@ -143,6 +149,16 @@ pub fn gtx980() -> GpuArch {
 /// All three architectures, newest first (the paper's column order).
 pub fn all_architectures() -> Vec<GpuArch> {
     vec![gtx980(), k20(), c2050()]
+}
+
+/// Looks an architecture up by its registry key (`gtx980`, `k20`, `c2050`).
+pub fn arch_by_key(key: &str) -> Option<GpuArch> {
+    all_architectures().into_iter().find(|a| a.key == key)
+}
+
+/// The registry keys of every built-in architecture, in registry order.
+pub fn arch_keys() -> Vec<&'static str> {
+    all_architectures().iter().map(|a| a.key).collect()
 }
 
 #[cfg(test)]

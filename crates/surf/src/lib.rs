@@ -24,5 +24,5 @@ pub use fault::{FaultPlan, FaultyEvaluator, InjectedFault};
 pub use forest::{ExtraTrees, ForestParams};
 pub use search::{
     surf_search, surf_search_parallel, surf_search_serial, EvalFault, ParallelEvaluator,
-    SearchError, SearchStatus, SurfParams, SurfResult, UnpromisingStop,
+    SearchError, SearchProvenance, SearchStatus, SurfParams, SurfResult, UnpromisingStop,
 };

@@ -211,6 +211,38 @@ impl SurfResult {
     pub fn n_attempted(&self) -> usize {
         self.evaluated.len() + self.quarantined.len()
     }
+
+    /// Serialization-friendly summary of how this search ran, for plan
+    /// artifacts that persist the winning configuration's provenance.
+    pub fn provenance(&self) -> SearchProvenance {
+        SearchProvenance {
+            n_evals: self.n_evals(),
+            n_quarantined: self.quarantined.len(),
+            batches: self.batches,
+            threads: self.threads,
+            wall_s: self.wall_s,
+            degraded: self.status.is_degraded(),
+            status: match &self.status {
+                SearchStatus::Complete => "complete".to_string(),
+                SearchStatus::Degraded { reason } => format!("degraded: {reason}"),
+            },
+        }
+    }
+}
+
+/// Flat, string-and-number summary of a finished search — everything a
+/// saved tuning plan needs to explain *how* its configuration was found,
+/// with no lifetime or closure baggage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchProvenance {
+    pub n_evals: usize,
+    pub n_quarantined: usize,
+    pub batches: usize,
+    pub threads: usize,
+    pub wall_s: f64,
+    pub degraded: bool,
+    /// Human-readable status line (`complete` or `degraded: <reason>`).
+    pub status: String,
 }
 
 /// A thread-safe configuration evaluator, the unit of work
