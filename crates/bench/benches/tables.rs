@@ -2,6 +2,7 @@
 //! pipeline that regenerates it (at reduced search budgets, so `cargo
 //! bench` stays quick — the `bin/*` binaries run the paper-scale versions).
 
+use barracuda::TuningSession;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -9,11 +10,16 @@ fn params() -> barracuda::pipeline::TuneParams {
     bench::smoke_params()
 }
 
+// Each iteration gets a fresh TuningSession: the benchmarks time the full
+// search pipeline, not a warm-cache replay.
+
 fn bench_table2(c: &mut Criterion) {
     let archs = gpusim::arch::all_architectures();
     let w = barracuda::kernels::eqn1(10);
     c.bench_function("table2/eqn1_all_archs", |b| {
-        b.iter(|| bench::table2::run_benchmark(black_box(&w), &archs, params()))
+        b.iter(|| {
+            bench::table2::run_benchmark(&TuningSession::new(), black_box(&w), &archs, params())
+        })
     });
 }
 
@@ -25,7 +31,7 @@ fn bench_table3(c: &mut Criterion) {
         tol: 1e-6,
     };
     c.bench_function("table3/nekbone_k20", |b| {
-        b.iter(|| bench::table3::run_arch(&gpusim::k20(), cfg, params()))
+        b.iter(|| bench::table3::run_arch(&TuningSession::new(), &gpusim::k20(), cfg, params()))
     });
 }
 
@@ -39,7 +45,9 @@ fn bench_figure3(c: &mut Criterion) {
     let w = barracuda::kernels::nwchem_d1(1, 8);
     let arch = gpusim::k20();
     c.bench_function("figure3/d1_1_k20", |b| {
-        b.iter(|| bench::figure3::run_kernel(black_box(&w), &arch, params()))
+        b.iter(|| {
+            bench::figure3::run_kernel(&TuningSession::new(), black_box(&w), &arch, params())
+        })
     });
 }
 

@@ -6,6 +6,7 @@ use barracuda::kernels::nwchem_family;
 use barracuda::openacc::{openacc_naive, openacc_optimized};
 use barracuda::pipeline::{TuneParams, WorkloadTuner};
 use barracuda::report::{fmt_f, Table};
+use barracuda::TuningSession;
 use gpusim::GpuArch;
 
 /// One kernel's speedups on one architecture.
@@ -20,11 +21,14 @@ pub struct Figure3Point {
 }
 
 pub fn run_kernel(
+    session: &TuningSession,
     w: &barracuda::workload::Workload,
     arch: &GpuArch,
     params: TuneParams,
 ) -> Figure3Point {
-    let tuned = WorkloadTuner::build(w).autotune(arch, params).unwrap();
+    let tuned = session
+        .tune_on_arch(&WorkloadTuner::build(w), arch, params)
+        .unwrap();
     let naive = openacc_naive(w).gpu_seconds(arch);
     let opt = openacc_optimized(w, &tuned).gpu_seconds(arch);
     Figure3Point {
@@ -36,13 +40,15 @@ pub fn run_kernel(
     }
 }
 
-/// All 27 kernels on an explicit architecture list (`--backend`).
+/// All 27 kernels on an explicit architecture list (`--backend`). One
+/// [`TuningSession`] spans the full sweep.
 pub fn run_with_archs(trip: usize, archs: &[GpuArch], params: TuneParams) -> Vec<Figure3Point> {
+    let session = TuningSession::new();
     let mut out = Vec::new();
     for family in ["d1", "d2", "s1"] {
         for w in nwchem_family(family, trip) {
             for arch in archs {
-                out.push(run_kernel(&w, arch, params));
+                out.push(run_kernel(&session, &w, arch, params));
             }
         }
     }
@@ -92,8 +98,9 @@ mod tests {
     #[test]
     fn smoke_one_kernel_both_archs() {
         let w = barracuda::kernels::nwchem_d1(1, 8);
+        let session = TuningSession::new();
         for arch in [gpusim::c2050(), gpusim::k20()] {
-            let p = run_kernel(&w, &arch, smoke_params());
+            let p = run_kernel(&session, &w, &arch, smoke_params());
             assert!(
                 p.barracuda_speedup > 1.0,
                 "Barracuda must beat naive OpenACC: {}",

@@ -8,6 +8,7 @@ use barracuda::cpu::workload_cpu_time;
 use barracuda::pipeline::{TuneParams, WorkloadTuner};
 use barracuda::report::{fmt_f, fmt_secs, Table};
 use barracuda::workload::Workload;
+use barracuda::TuningSession;
 use cpusim::model::CpuModel;
 use gpusim::GpuArch;
 
@@ -27,13 +28,18 @@ pub struct Table2Row {
 /// `reps` repetitions with device-resident data, so PCIe transfers amortize
 /// across the repetitions. The speedup baseline is *naive* sequential C
 /// (the untuned loop nests the framework starts from).
-pub fn run_benchmark(workload: &Workload, archs: &[GpuArch], params: TuneParams) -> Table2Row {
+pub fn run_benchmark(
+    session: &TuningSession,
+    workload: &Workload,
+    archs: &[GpuArch],
+    params: TuneParams,
+) -> Table2Row {
     let tuner = WorkloadTuner::build(workload);
     let cpu = workload_cpu_time(workload, &CpuModel::haswell_naive(), 1);
     let mut per_arch = Vec::new();
     let mut speedup = 0.0;
     for arch in archs {
-        let tuned = tuner.autotune(arch, params).unwrap();
+        let tuned = session.tune_on_arch(&tuner, arch, params).unwrap();
         let search = tuned.search.search_seconds(arch, params.reps);
         if arch.name == "GTX 980" {
             speedup = cpu.time_s / tuned.amortized_seconds(params.reps);
@@ -53,10 +59,13 @@ pub fn run_benchmark(workload: &Workload, archs: &[GpuArch], params: TuneParams)
 }
 
 /// Runs the full table on an explicit architecture list (`--backend`).
+/// One [`TuningSession`] spans the whole table, so repeated ops share the
+/// session's feature memo across benchmarks and architectures.
 pub fn run_with_archs(archs: &[GpuArch], params: TuneParams) -> Vec<Table2Row> {
+    let session = TuningSession::new();
     barracuda::kernels::table2_benchmarks()
         .iter()
-        .map(|w| run_benchmark(w, archs, params))
+        .map(|w| run_benchmark(&session, w, archs, params))
         .collect()
 }
 
@@ -112,7 +121,7 @@ mod tests {
         )
         .unwrap();
         let archs = gpusim::arch::all_architectures();
-        let row = run_benchmark(&w, &archs, smoke_params());
+        let row = run_benchmark(&TuningSession::new(), &w, &archs, smoke_params());
         assert_eq!(row.per_arch.len(), 3);
         assert!(row.speedup > 0.0);
         for (_, gf, search, evals) in &row.per_arch {

@@ -1,9 +1,10 @@
 //! Table III: Nekbone performance — OpenACC naive/optimized vs Barracuda
 //! (GFlops on Tesla K20 and Tesla C2050).
 
-use barracuda::nekbone::{model_gpu_perf, NekboneConfig, NekbonePerf};
+use barracuda::nekbone::{model_gpu_perf_with, NekboneConfig, NekbonePerf};
 use barracuda::pipeline::TuneParams;
 use barracuda::report::{fmt_f, Table};
+use barracuda::TuningSession;
 
 /// One row: architecture + the three strategies' GFlops.
 #[derive(Clone, Debug)]
@@ -14,8 +15,13 @@ pub struct Table3Row {
     pub barracuda: f64,
 }
 
-pub fn run_arch(arch: &gpusim::GpuArch, cfg: NekboneConfig, params: TuneParams) -> Table3Row {
-    let perf: NekbonePerf = model_gpu_perf(cfg, arch, params).unwrap();
+pub fn run_arch(
+    session: &TuningSession,
+    arch: &gpusim::GpuArch,
+    cfg: NekboneConfig,
+    params: TuneParams,
+) -> Table3Row {
+    let perf: NekbonePerf = model_gpu_perf_with(session, cfg, arch, params).unwrap();
     Table3Row {
         arch: arch.name.to_string(),
         acc_naive: perf.acc_naive_gflops,
@@ -24,10 +30,15 @@ pub fn run_arch(arch: &gpusim::GpuArch, cfg: NekboneConfig, params: TuneParams) 
     }
 }
 
-/// Runs the table on an explicit architecture list (`--backend`).
+/// Runs the table on an explicit architecture list (`--backend`). One
+/// [`TuningSession`] spans both architectures, sharing the feature memo.
 pub fn run_with_archs(archs: &[gpusim::GpuArch], params: TuneParams) -> Vec<Table3Row> {
     let cfg = NekboneConfig::default();
-    archs.iter().map(|a| run_arch(a, cfg, params)).collect()
+    let session = TuningSession::new();
+    archs
+        .iter()
+        .map(|a| run_arch(&session, a, cfg, params))
+        .collect()
 }
 
 /// The paper reports K20 and C2050 for this table.
@@ -64,7 +75,7 @@ mod tests {
             cg_iters: 1,
             tol: 1e-6,
         };
-        let row = run_arch(&gpusim::k20(), cfg, smoke_params());
+        let row = run_arch(&TuningSession::new(), &gpusim::k20(), cfg, smoke_params());
         // The paper's headline ordering: naive << optimized <= Barracuda-ish.
         assert!(row.acc_naive < row.acc_optimized);
         assert!(row.barracuda > row.acc_naive);

@@ -8,9 +8,10 @@
 
 use barracuda::cpu::workload_cpu_time;
 use barracuda::kernels::{nwchem_family, NWCHEM_TRIP};
-use barracuda::nekbone::{model_cpu_gflops, model_gpu_perf, NekboneConfig};
+use barracuda::nekbone::{model_cpu_gflops, model_gpu_perf_with, NekboneConfig};
 use barracuda::pipeline::{TuneParams, WorkloadTuner};
 use barracuda::report::{fmt_f, Table};
+use barracuda::TuningSession;
 use cpusim::model::CpuModel;
 
 #[derive(Clone, Debug)]
@@ -24,11 +25,18 @@ pub struct Table4Row {
 /// Mean GFlops of an NWChem family under each strategy, on the paper's
 /// GTX 980.
 pub fn nwchem_row(family: &str, trip: usize, params: TuneParams) -> Table4Row {
-    nwchem_row_on(&gpusim::gtx980(), family, trip, params)
+    nwchem_row_on(
+        &TuningSession::new(),
+        &gpusim::gtx980(),
+        family,
+        trip,
+        params,
+    )
 }
 
 /// [`nwchem_row`] on an explicit architecture (`--backend`).
 pub fn nwchem_row_on(
+    session: &TuningSession,
     arch: &gpusim::GpuArch,
     family: &str,
     trip: usize,
@@ -44,7 +52,9 @@ pub fn nwchem_row_on(
         let t4 = workload_cpu_time(w, &model, 4);
         cpu1 += t1.flops as f64 / t1.time_s / 1e9;
         cpu4 += t4.flops as f64 / t4.time_s / 1e9;
-        let tuned = WorkloadTuner::build(w).autotune(arch, params).unwrap();
+        let tuned = session
+            .tune_on_arch(&WorkloadTuner::build(w), arch, params)
+            .unwrap();
         bar += tuned.gflops_device();
     }
     let n = workloads.len() as f64;
@@ -57,13 +67,17 @@ pub fn nwchem_row_on(
 }
 
 pub fn nekbone_row(params: TuneParams) -> Table4Row {
-    nekbone_row_on(&gpusim::gtx980(), params)
+    nekbone_row_on(&TuningSession::new(), &gpusim::gtx980(), params)
 }
 
 /// [`nekbone_row`] on an explicit architecture (`--backend`).
-pub fn nekbone_row_on(arch: &gpusim::GpuArch, params: TuneParams) -> Table4Row {
+pub fn nekbone_row_on(
+    session: &TuningSession,
+    arch: &gpusim::GpuArch,
+    params: TuneParams,
+) -> Table4Row {
     let cfg = NekboneConfig::default();
-    let perf = model_gpu_perf(cfg, arch, params).unwrap();
+    let perf = model_gpu_perf_with(session, cfg, arch, params).unwrap();
     Table4Row {
         name: "Nekbone".to_string(),
         cpu_1core: model_cpu_gflops(cfg, 1),
@@ -72,11 +86,13 @@ pub fn nekbone_row_on(arch: &gpusim::GpuArch, params: TuneParams) -> Table4Row {
     }
 }
 
-/// Runs the table with the GPU column on an explicit architecture.
+/// Runs the table with the GPU column on an explicit architecture. One
+/// [`TuningSession`] spans all four rows.
 pub fn run_on(arch: &gpusim::GpuArch, params: TuneParams) -> Vec<Table4Row> {
-    let mut rows = vec![nekbone_row_on(arch, params)];
+    let session = TuningSession::new();
+    let mut rows = vec![nekbone_row_on(&session, arch, params)];
     for family in ["s1", "d1", "d2"] {
-        rows.push(nwchem_row_on(arch, family, NWCHEM_TRIP, params));
+        rows.push(nwchem_row_on(&session, arch, family, NWCHEM_TRIP, params));
     }
     rows
 }

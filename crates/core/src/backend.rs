@@ -335,6 +335,23 @@ pub fn tune_all_backends(
     params: TuneParams,
     cache: &EvalCache,
 ) -> Result<Vec<BackendTuning>, BarracudaError> {
+    tune_all_backends_with(tuner, |_, arch| {
+        tuner.autotune_with_cache(arch, params, cache)
+    })
+}
+
+/// [`tune_all_backends`] with the per-backend search step supplied by the
+/// caller: `tune_one` produces the tuned result for each searchable
+/// backend (a plain search, or a store-first lookup — see
+/// `crate::session::TuningSession`), and the derived backends ride along
+/// exactly as in the plain sweep.
+pub fn tune_all_backends_with<F>(
+    tuner: &WorkloadTuner,
+    mut tune_one: F,
+) -> Result<Vec<BackendTuning>, BarracudaError>
+where
+    F: FnMut(&dyn Backend, &GpuArch) -> Result<TunedWorkload, BarracudaError>,
+{
     let mut rows = Vec::new();
     let mut reference: Option<TunedWorkload> = None;
     for backend in registry() {
@@ -343,7 +360,7 @@ pub fn tune_all_backends(
                 workload: tuner.workload.name.clone(),
                 detail: format!("searchable backend {} has no architecture", backend.key()),
             })?;
-            let tuned = tuner.autotune_with_cache(arch, params, cache)?;
+            let tuned = tune_one(backend.as_ref(), arch)?;
             if backend.key() == "k20" {
                 reference = Some(tuned.clone());
             }

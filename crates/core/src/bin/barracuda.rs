@@ -4,6 +4,9 @@
 //! barracuda tune <file.dsl | builtin:NAME> [options]
 //! barracuda info <file.dsl | builtin:NAME> [options]
 //! barracuda replay <plan.json> [--validate] [--emit cuda]
+//! barracuda replay <file.dsl | builtin:NAME> --store DIR [--backend KEY]
+//! barracuda plans <list|gc> --store DIR [--schema-older-than V]
+//! barracuda plans <show|path> <file.dsl | builtin:NAME> --store DIR
 //! barracuda backends
 //! barracuda benchmarks
 //!
@@ -14,6 +17,17 @@
 //!                                 like --arch, CPU/OpenACC keys report
 //!                                 modeled baseline times, `all` sweeps
 //!                                 every backend over one shared cache
+//!   --store DIR                   content-addressed plan store: `tune`
+//!                                 becomes store-first (hit -> replay with
+//!                                 0 search evaluations, bit-identical
+//!                                 timing; miss -> search then persist),
+//!                                 `replay` takes a workload spec instead
+//!                                 of a path, `plans` manages the entries
+//!   --schema-older-than V         `plans gc`: evict entries whose plan
+//!                                 schema is below V (default: the
+//!                                 current schema)
+//!   --schema V                    `plans path`: address an entry written
+//!                                 with schema V instead of the current
 //!   --save-plan PATH              persist the winning configuration +
 //!                                 provenance as versioned JSON (single
 //!                                 GPU target only); `barracuda replay`
@@ -40,16 +54,22 @@
 //!
 //! Exit codes: 0 success, 1 generic failure, 2 usage; typed pipeline
 //! failures exit with their stage code (3 parse, 4 validation,
-//! 5 factorization, 6 mapping, 7 simulation, 8 search, 10 plan); 9 means
-//! the run completed but degraded under `--strict`. A stale plan (schema
-//! or workload fingerprint mismatch) is the exit-10 case.
+//! 5 factorization, 6 mapping, 7 simulation, 8 search, 10 plan,
+//! 11 store); 9 means the run completed but degraded under `--strict`.
+//! A bad plan *artifact* — unsupported schema version, tampered workload
+//! fingerprint, foreign backend cache salt — is the exit-10 case; a bad
+//! plan *store* — unreadable directory, an entry whose file name does not
+//! decode to a store key — is the exit-11 case.
 //!
 //! Built-in workloads (for `builtin:NAME`): eqn1, lg3, lg3t, tce,
 //! s1_1..s1_9, d1_1..d1_9, d2_1..d2_9.
 
 use barracuda::prelude::*;
 use barracuda::report::fmt_f;
-use barracuda::{backend_by_key, registry, tune_all_backends, EvalCache, TunedPlan};
+use barracuda::{
+    backend_by_key, registry, EvalCache, PlanStore, TunedPlan, TunedWorkload, TuningSession,
+    PLAN_SCHEMA_VERSION,
+};
 use std::process::ExitCode;
 use surf::{FaultPlan, SearchStatus};
 use tensor::IndexMap;
@@ -57,6 +77,9 @@ use tensor::IndexMap;
 struct Options {
     arch: String,
     backend: Option<String>,
+    store: Option<String>,
+    schema_older_than: Option<u64>,
+    schema: Option<u64>,
     save_plan: Option<String>,
     dims: IndexMap,
     default_dim: Option<usize>,
@@ -78,6 +101,9 @@ impl Default for Options {
         Options {
             arch: "gtx980".to_string(),
             backend: None,
+            store: None,
+            schema_older_than: None,
+            schema: None,
             save_plan: None,
             dims: IndexMap::new(),
             default_dim: None,
@@ -139,13 +165,15 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: barracuda <tune|info|replay|backends|benchmarks> \
+        "usage: barracuda <tune|info|replay|plans|backends|benchmarks> \
          [<file.dsl>|builtin:NAME|<plan.json>] \
-         [--arch A] [--backend KEY|all] [--save-plan PATH] \
+         [--arch A] [--backend KEY|all] [--store DIR] [--save-plan PATH] \
          [--dim i=10]... [--dims N] [--evals N] [--quick] \
          [--deadline S] [--min-survivors F] [--inject-faults RATE] \
          [--fault-seed N] [--strict] \
-         [--emit cuda|cufile|tcr|annotation] [--validate] [--fused]"
+         [--emit cuda|cufile|tcr|annotation] [--validate] [--fused]\n\
+         \x20      barracuda plans <list|gc> --store DIR [--schema-older-than V]\n\
+         \x20      barracuda plans <show|path> <workload> --store DIR [--backend KEY] [--schema V]"
     );
     ExitCode::from(2)
 }
@@ -157,6 +185,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         match a.as_str() {
             "--arch" => o.arch = it.next().ok_or("--arch needs a value")?.clone(),
             "--backend" => o.backend = Some(it.next().ok_or("--backend needs a key")?.clone()),
+            "--store" => o.store = Some(it.next().ok_or("--store needs a directory")?.clone()),
+            "--schema-older-than" => {
+                o.schema_older_than = Some(
+                    it.next()
+                        .ok_or("--schema-older-than needs a version")?
+                        .parse()
+                        .map_err(|_| "bad schema version")?,
+                )
+            }
+            "--schema" => {
+                o.schema = Some(
+                    it.next()
+                        .ok_or("--schema needs a version")?
+                        .parse()
+                        .map_err(|_| "bad schema version")?,
+                )
+            }
             "--save-plan" => {
                 o.save_plan = Some(it.next().ok_or("--save-plan needs a path")?.clone())
             }
@@ -401,12 +446,22 @@ fn cmd_tune_baseline(
     Ok(())
 }
 
+/// The session every tuning command runs through: cache-only by default,
+/// store-first when `--store` was given.
+fn session_for(o: &Options) -> Result<TuningSession, CliError> {
+    match &o.store {
+        Some(root) => Ok(TuningSession::with_store(root)?),
+        None => Ok(TuningSession::new()),
+    }
+}
+
 fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
     let tuner = WorkloadTuner::build(w);
     let params = params_for(o);
+    let session = session_for(o)?;
     // --backend: registry-driven dispatch. GPU keys join the --arch loop
     // below; baseline keys print modeled times; `all` sweeps everything
-    // against one shared cache.
+    // through the session (store-first per searchable backend).
     let archs = match o.backend.as_deref() {
         Some("all") => {
             if o.save_plan.is_some() || o.emit.is_some() {
@@ -414,8 +469,8 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
                     "--backend all cannot combine with --save-plan or --emit".to_string(),
                 ));
             }
-            let rows = tune_all_backends(&tuner, params, &EvalCache::new())?;
-            for row in rows {
+            let sweep = session.tune_all(&tuner, params)?;
+            for row in sweep.rows {
                 println!(
                     "{:10} {:28} {:>10} us total  {:>8} GF",
                     row.key,
@@ -423,6 +478,11 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
                     fmt_f(row.total_seconds * 1e6),
                     fmt_f(row.gflops),
                 );
+            }
+            if session.store().is_some() {
+                for (key, source) in sweep.notes {
+                    println!("  {:10} {}", key, source.describe());
+                }
             }
             return Ok(());
         }
@@ -448,7 +508,8 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
         ));
     }
     for arch in archs {
-        let tuned = tuner.autotune(&arch, params)?;
+        let out = session.tune_built(&tuner, arch.key, params)?;
+        let tuned = &out.tuned;
         println!(
             "{:12} {:>10} us device  {:>8} GF device  {:>8} GF w/transfers  ({} evals, space {})",
             arch.name,
@@ -458,6 +519,9 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
             tuned.search.n_evals,
             tuned.search.space_size,
         );
+        if session.store().is_some() {
+            println!("  {}", out.source.describe());
+        }
         if !tuned.quarantine.is_empty() {
             println!("  {}", tuned.quarantine);
         }
@@ -471,11 +535,10 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
             }
         }
         if let Some(path) = &o.save_plan {
-            let plan = TunedPlan::from_tuned(&tuner, arch.key, &tuned);
-            plan.save(std::path::Path::new(path))?;
+            out.plan.save(std::path::Path::new(path))?;
             println!(
                 "  plan saved to {path} (schema v{}, fingerprint {:016x})",
-                plan.schema_version, plan.fingerprint
+                out.plan.schema_version, out.plan.fingerprint
             );
         }
         if o.validate {
@@ -492,7 +555,7 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
             println!("  validation: OK (matches the reference evaluator)");
         }
         if o.fused {
-            for alt in barracuda::fusionopt::fuse_alternatives(&tuned, &arch)
+            for alt in barracuda::fusionopt::fuse_alternatives(tuned, &arch)
                 .into_iter()
                 .flatten()
             {
@@ -580,12 +643,39 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
 }
 
 /// Re-applies a saved plan: fingerprint-checked re-mapping and re-timing,
-/// zero search evaluations.
-fn cmd_replay(path: &str, o: &Options) -> Result<(), CliError> {
-    let plan = TunedPlan::load(std::path::Path::new(path))?;
-    let w = plan.workload()?;
-    let cache = EvalCache::new();
-    let tuned = plan.replay_for(&w, &cache)?;
+/// zero search evaluations. With `--store`, the positional argument is a
+/// workload spec and the plan comes from the store's content address.
+fn cmd_replay(spec: &str, o: &Options) -> Result<(), CliError> {
+    let (plan, w, tuned) = if o.store.is_some() {
+        let backend = match o.backend.as_deref() {
+            Some("all") => {
+                return Err(CliError::Usage(
+                    "replay --store needs a single backend, not `all`".to_string(),
+                ))
+            }
+            Some(key) => key.to_string(),
+            None => o.arch.clone(),
+        };
+        let session = session_for(o)?;
+        let w = load_workload(spec, o)?;
+        let (tuned, plan, _path) = session.replay_from_store(&w, &backend)?;
+        (plan, w, tuned)
+    } else {
+        let plan = TunedPlan::load(std::path::Path::new(spec))?;
+        let w = plan.workload()?;
+        let tuned = plan.replay_for(&w, &EvalCache::new())?;
+        (plan, w, tuned)
+    };
+    report_replay(&plan, &w, &tuned, o)
+}
+
+/// Shared reporting tail of both replay modes.
+fn report_replay(
+    plan: &TunedPlan,
+    w: &Workload,
+    tuned: &TunedWorkload,
+    o: &Options,
+) -> Result<(), CliError> {
     println!(
         "{:12} {:>10} us device  {:>8} GF device  {:>8} GF w/transfers  \
          (replayed, 0 evals; search spent {})",
@@ -595,13 +685,16 @@ fn cmd_replay(path: &str, o: &Options) -> Result<(), CliError> {
         fmt_f(tuned.gflops()),
         plan.provenance.n_evals,
     );
+    if !tuned.quarantine.is_empty() {
+        println!("  {}", tuned.quarantine);
+    }
     if plan.provenance.degraded {
         println!("  saved search was degraded: {}", plan.provenance.status);
     }
     if o.validate {
         let inputs = w.random_inputs(1);
         let expect = w.evaluate_reference(&inputs)?;
-        let got = tuned.execute(&w, &inputs)?;
+        let got = tuned.execute(w, &inputs)?;
         for ((n1, t1), (_, t2)) in expect.iter().zip(&got) {
             if !t1.approx_eq(t2, 1e-10) {
                 return Err(CliError::Other(format!(
@@ -626,6 +719,93 @@ fn cmd_replay(path: &str, o: &Options) -> Result<(), CliError> {
         None => {}
     }
     Ok(())
+}
+
+/// `barracuda plans <list|show|gc|path>` — manage a content-addressed
+/// plan store.
+fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError> {
+    let root = o
+        .store
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("plans needs --store DIR".to_string()))?;
+    let store = PlanStore::open(root)?;
+    // Resolves the store key of `(workload spec, --backend/--arch)`, with
+    // `--schema V` overriding the addressed schema version (pre-v2 plans
+    // always carry salt 0, and their addresses must agree).
+    let key_of = |spec: &str| -> Result<barracuda::StoreKey, CliError> {
+        let w = load_workload(spec, o)?;
+        let backend = o.backend.clone().unwrap_or_else(|| o.arch.clone());
+        let session = TuningSession::new();
+        let mut key = session.key_for(&w, &backend)?;
+        if let Some(v) = o.schema {
+            key.schema = v;
+            if v < 2 {
+                key.cache_salt = 0;
+            }
+        }
+        Ok(key)
+    };
+    match sub {
+        "list" => {
+            let entries = store.entries()?;
+            if entries.is_empty() {
+                println!("plan store {}: empty", store.root().display());
+                return Ok(());
+            }
+            println!(
+                "plan store {} ({} entr{}):",
+                store.root().display(),
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" }
+            );
+            for e in &entries {
+                let stale = if e.key.is_stale() {
+                    "  [stale schema]"
+                } else {
+                    ""
+                };
+                println!(
+                    "  {:016x}  {:10} salt {:016x}  v{}{}",
+                    e.key.fingerprint, e.key.backend, e.key.cache_salt, e.key.schema, stale
+                );
+            }
+            Ok(())
+        }
+        "show" => {
+            let spec = spec
+                .ok_or_else(|| CliError::Usage("plans show needs a workload spec".to_string()))?;
+            let key = key_of(spec)?;
+            let plan = store.lookup(&key)?.ok_or(BarracudaError::Plan {
+                workload: spec.to_string(),
+                detail: format!("no stored plan for {key} in {}", store.root().display()),
+            })?;
+            print!("{}", plan.to_json_text());
+            Ok(())
+        }
+        "gc" => {
+            let cutoff = o.schema_older_than.unwrap_or(PLAN_SCHEMA_VERSION);
+            let evicted = store.gc(cutoff)?;
+            println!(
+                "plan store {}: evicted {} stale plan(s) (schema < {cutoff})",
+                store.root().display(),
+                evicted.len()
+            );
+            for e in evicted {
+                println!("  {}", e.path.display());
+            }
+            Ok(())
+        }
+        "path" => {
+            let spec = spec
+                .ok_or_else(|| CliError::Usage("plans path needs a workload spec".to_string()))?;
+            let key = key_of(spec)?;
+            println!("{}", store.path_of(&key).display());
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown plans subcommand {other} (list|show|gc|path)"
+        ))),
+    }
 }
 
 fn main() -> ExitCode {
@@ -665,6 +845,30 @@ fn main() -> ExitCode {
                 }
             };
             match cmd_replay(path, &opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => e.report(),
+            }
+        }
+        "plans" => {
+            let Some(sub) = args.get(1) else {
+                return usage();
+            };
+            // show/path take a positional workload spec before the options.
+            let (spec, rest) = match sub.as_str() {
+                "show" | "path" => (
+                    args.get(2).map(String::as_str),
+                    args.get(3..).unwrap_or(&[]),
+                ),
+                _ => (None, args.get(2..).unwrap_or(&[])),
+            };
+            let opts = match parse_options(rest) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            match cmd_plans(sub, spec, &opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => e.report(),
             }

@@ -59,9 +59,17 @@ pub enum BarracudaError {
     /// attempt quarantined).
     Search { workload: String, detail: String },
     /// A saved tuning plan could not be read, parsed, or applied — wrong
-    /// schema version, corrupt JSON, or a workload fingerprint that no
-    /// longer matches the plan.
+    /// schema version, corrupt JSON, a workload fingerprint that no longer
+    /// matches the plan, or a cache salt from a foreign backend/model.
     Plan { workload: String, detail: String },
+    /// The plan *store* itself failed: the directory cannot be created or
+    /// scanned, an entry cannot be written or removed, or a stored file
+    /// name does not decode to a valid store key. Distinct from [`Plan`]
+    /// (the content of one plan) so scripts can tell a broken artifact
+    /// from a broken store.
+    ///
+    /// [`Plan`]: BarracudaError::Plan
+    Store { detail: String },
 }
 
 impl BarracudaError {
@@ -76,6 +84,7 @@ impl BarracudaError {
             BarracudaError::Simulation { .. } => "simulation",
             BarracudaError::Search { .. } => "search",
             BarracudaError::Plan { .. } => "plan",
+            BarracudaError::Store { .. } => "store",
         }
     }
 
@@ -92,6 +101,7 @@ impl BarracudaError {
             BarracudaError::Simulation { .. } => 7,
             BarracudaError::Search { .. } => 8,
             BarracudaError::Plan { .. } => 10,
+            BarracudaError::Store { .. } => 11,
         }
     }
 
@@ -105,6 +115,7 @@ impl BarracudaError {
             | BarracudaError::Simulation { workload, .. }
             | BarracudaError::Search { workload, .. }
             | BarracudaError::Plan { workload, .. } => workload,
+            BarracudaError::Store { .. } => "store",
         }
     }
 }
@@ -167,6 +178,9 @@ impl fmt::Display for BarracudaError {
             BarracudaError::Plan { workload, detail } => {
                 write!(f, "{workload}: plan error: {detail}")
             }
+            BarracudaError::Store { detail } => {
+                write!(f, "plan store error: {detail}")
+            }
         }
     }
 }
@@ -216,6 +230,7 @@ mod tests {
                 workload: "w".into(),
                 detail: "d".into(),
             },
+            BarracudaError::Store { detail: "d".into() },
         ];
         let mut codes: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
         codes.sort_unstable();

@@ -61,19 +61,24 @@ pub mod pipeline;
 pub mod plan;
 pub mod quarantine;
 pub mod report;
+pub mod session;
 pub mod stages;
+pub mod store;
 pub mod variant;
 pub mod workload;
 
 pub use backend::{
-    backend_by_key, backend_keys, registry, tune_all_backends, Backend, BackendCaps, BackendTuning,
+    backend_by_key, backend_keys, registry, tune_all_backends, tune_all_backends_with, Backend,
+    BackendCaps, BackendTuning,
 };
 pub use cache::EvalCache;
 pub use error::{BarracudaError, Result};
 pub use fusionopt::{fuse_alternatives, FusedAlternative};
 pub use pipeline::{SearchStats, TuneParams, TunedWorkload, TunerEvaluator, WorkloadTuner};
-pub use plan::{PlanChoice, PlanProvenance, TunedPlan, PLAN_SCHEMA_VERSION};
+pub use plan::{PlanChoice, PlanProvenance, TunedPlan, PLAN_SCHEMA_READABLE, PLAN_SCHEMA_VERSION};
 pub use quarantine::{QuarantineEntry, QuarantineReport, QuarantineStage};
+pub use session::{PlanSource, SessionOutcome, SweepOutcome, TuningSession};
+pub use store::{PlanStore, StoreEntry, StoreKey};
 pub use variant::{StatementTuner, Variant};
 pub use workload::Workload;
 

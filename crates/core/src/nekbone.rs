@@ -15,6 +15,7 @@ use crate::cpu::execute_workload_cpu;
 use crate::kernels::{lg3, lg3t};
 use crate::openacc::{openacc_naive, openacc_optimized};
 use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
+use crate::session::TuningSession;
 use crate::workload::Workload;
 use cpusim::model::CpuModel;
 use gpusim::GpuArch;
@@ -201,10 +202,22 @@ pub fn model_gpu_perf(
     arch: &GpuArch,
     params: TuneParams,
 ) -> Result<NekbonePerf, crate::error::BarracudaError> {
+    model_gpu_perf_with(&TuningSession::new(), cfg, arch, params)
+}
+
+/// [`model_gpu_perf`] through a caller-owned [`TuningSession`], so the
+/// lg3/lg3t searches share the session's evaluation cache (and plan
+/// store, when one is attached) with everything else the caller tunes.
+pub fn model_gpu_perf_with(
+    session: &TuningSession,
+    cfg: NekboneConfig,
+    arch: &GpuArch,
+    params: TuneParams,
+) -> Result<NekbonePerf, crate::error::BarracudaError> {
     let w3 = lg3(cfg.order, cfg.elements);
     let w3t = lg3t(cfg.order, cfg.elements);
-    let t3 = WorkloadTuner::build(&w3).autotune(arch, params)?;
-    let t3t = WorkloadTuner::build(&w3t).autotune(arch, params)?;
+    let t3 = session.tune_on_arch(&WorkloadTuner::build(&w3), arch, params)?;
+    let t3t = session.tune_on_arch(&WorkloadTuner::build(&w3t), arch, params)?;
 
     let field_bytes = (cfg.elements * cfg.order.pow(3) * 8) as f64;
     // One application moves u down and w up; intermediate gradients stay

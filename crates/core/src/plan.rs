@@ -4,34 +4,46 @@
 //! (Table II) for a configuration that is then reused for every production
 //! run. A [`TunedPlan`] captures everything needed to skip the search next
 //! time: the workload (canonical DSL source + extents + a fingerprint),
-//! the backend it was tuned for, the winning joint configuration id with
-//! its per-statement `(version, local)` decomposition, the modeled times,
-//! and provenance describing how the search ran (evaluations, batches,
-//! quarantine counts, cache hit rates, degradation status).
+//! the backend it was tuned for (registry key plus its cache salt), the
+//! winning joint configuration id with its per-statement `(version, local)`
+//! decomposition, the modeled times, the full quarantine report, and
+//! provenance describing how the search ran (evaluations, batches, memo
+//! counters, hot-path stage times, degradation status).
 //!
 //! Plans are versioned hand-rolled JSON (see [`crate::json`] — no serde in
 //! this repo): `f64` values round-trip bit-exactly via Rust's shortest
 //! `Display`, and `u128`/`u64` quantities that exceed double precision
-//! travel as strings. [`TunedPlan::replay`] rejects a plan whose schema
-//! version or workload fingerprint no longer matches with a typed
-//! [`BarracudaError::Plan`] (CLI exit code 10), then re-maps and re-times
-//! the configuration — bit-identical to the saved numbers, since the
-//! simulator is deterministic — without searching anything.
+//! travel as strings. Schema v2 (current) embeds the quarantine entries,
+//! per-op memo statistics and the backend cache salt; v1 plans still parse
+//! read-only (their v2-only fields default to empty/zero) so old artifacts
+//! replay or are reported as stale by `barracuda plans gc` rather than
+//! erroring. [`TunedPlan::replay`] rejects a plan whose schema version,
+//! workload fingerprint or backend cache salt no longer matches with a
+//! typed [`BarracudaError::Plan`] (CLI exit code 10), then re-maps and
+//! re-times the configuration — bit-identical to the saved numbers, since
+//! the simulator is deterministic — without searching anything.
 
 use crate::backend::backend_by_key;
-use crate::cache::EvalCache;
+use crate::cache::{EvalCache, HotPathSnapshot};
 use crate::error::BarracudaError;
 use crate::json::Json;
 use crate::pipeline::{TunedWorkload, WorkloadTuner};
-use crate::quarantine::QuarantineReport;
+use crate::quarantine::{QuarantineEntry, QuarantineReport, QuarantineStage};
 use crate::stages::frontend::{canonical_source, workload_fingerprint};
 use crate::stages::SearchStats;
 use crate::workload::Workload;
 use surf::SearchStatus;
 
 /// Version of the on-disk plan schema. Bump on any incompatible change;
-/// readers reject other versions rather than misinterpreting fields.
-pub const PLAN_SCHEMA_VERSION: u64 = 1;
+/// readers accept the current version plus the legacy versions listed in
+/// [`PLAN_SCHEMA_READABLE`] and reject everything else rather than
+/// misinterpreting fields.
+pub const PLAN_SCHEMA_VERSION: u64 = 2;
+
+/// Schema versions this build can still read. v1 plans (PR 4) lack the
+/// quarantine entries, memo counters and cache salt; they parse with those
+/// fields empty/zero and are flagged stale by the plan store.
+pub const PLAN_SCHEMA_READABLE: [u64; 2] = [1, PLAN_SCHEMA_VERSION];
 
 /// How the saved configuration was found: the search's bookkeeping,
 /// flattened for serialization.
@@ -48,6 +60,22 @@ pub struct PlanProvenance {
     pub cache_hit_rate: f64,
     pub per_op_hit_rate: f64,
     pub time_hit_rate: f64,
+    /// Feature-memo hits/misses (schema v2; zero in v1 plans).
+    pub cache_hits: usize,
+    pub cache_misses: usize,
+    /// Per-op decomposed-memo hits/misses (schema v2; zero in v1 plans).
+    pub per_op_hits: usize,
+    pub per_op_misses: usize,
+    /// Whole-config time-memo hits/misses (schema v2; zero in v1 plans).
+    pub time_hits: usize,
+    pub time_misses: usize,
+    /// Hot-path stage times at the end of the search (schema v2; zero in
+    /// v1 plans). Serialized as decimal strings — nanosecond totals can
+    /// exceed the 2^53 doubles carry exactly.
+    pub hot_decode_ns: u64,
+    pub hot_map_ns: u64,
+    pub hot_sim_ns: u64,
+    pub hot_predict_ns: u64,
     /// Whether the search stopped early (budget, deadline, survivors).
     pub degraded: bool,
     /// Human-readable status (`complete` or `degraded: <reason>`).
@@ -78,6 +106,11 @@ pub struct TunedPlan {
     pub fingerprint: u64,
     /// Backend registry key the plan was tuned for (`k20`, `gtx980`, …).
     pub backend: String,
+    /// The backend's [`crate::backend::Backend::cache_salt`] at save time
+    /// (schema v2). Replay refuses a plan whose salt differs from the live
+    /// backend's — a changed model or architecture must re-tune, never
+    /// serve a stale mapping. Zero means unknown (legacy v1 plan).
+    pub cache_salt: u64,
     /// Human-readable architecture name at save time.
     pub arch_name: String,
     /// Winning joint configuration id.
@@ -87,6 +120,9 @@ pub struct TunedPlan {
     pub gpu_seconds: f64,
     pub transfer_seconds: f64,
     pub flops: u64,
+    /// Full quarantine report of the search (schema v2; empty in v1
+    /// plans), so replay reconstructs exactly what the tuning run showed.
+    pub quarantine: Vec<QuarantineEntry>,
     pub provenance: PlanProvenance,
 }
 
@@ -118,12 +154,14 @@ impl TunedPlan {
                 .collect(),
             fingerprint: workload_fingerprint(&tuner.workload),
             backend: backend.to_string(),
+            cache_salt: backend_by_key(backend).map_or(0, |b| b.cache_salt()),
             arch_name: tuned.arch_name.clone(),
             id: tuned.id,
             choices,
             gpu_seconds: tuned.gpu_seconds,
             transfer_seconds: tuned.transfer_seconds,
             flops: tuned.flops,
+            quarantine: tuned.quarantine.entries.clone(),
             provenance: PlanProvenance {
                 n_evals: s.n_evals,
                 batches: s.batches,
@@ -136,6 +174,16 @@ impl TunedPlan {
                 cache_hit_rate: s.cache_hit_rate(),
                 per_op_hit_rate: s.per_op_hit_rate(),
                 time_hit_rate: s.time_hit_rate(),
+                cache_hits: s.cache_hits,
+                cache_misses: s.cache_misses,
+                per_op_hits: s.per_op_hits,
+                per_op_misses: s.per_op_misses,
+                time_hits: s.time_hits,
+                time_misses: s.time_misses,
+                hot_decode_ns: s.hot.decode_ns,
+                hot_map_ns: s.hot.map_ns,
+                hot_sim_ns: s.hot.sim_ns,
+                hot_predict_ns: s.hot.predict_ns,
                 degraded: tuned.is_degraded(),
                 status: match &tuned.status {
                     SearchStatus::Complete => "complete".to_string(),
@@ -145,10 +193,20 @@ impl TunedPlan {
         }
     }
 
-    /// The plan as pretty-printed JSON text.
+    /// Whether the plan predates the current schema — readable, but the
+    /// plan store treats it as evictable (`plans gc --schema-older-than`).
+    pub fn is_stale(&self) -> bool {
+        self.schema_version < PLAN_SCHEMA_VERSION
+    }
+
+    /// The plan as pretty-printed JSON text. A plan whose
+    /// `schema_version` is 1 is written in the v1 layout (no salt,
+    /// quarantine or memo counters), so tests and migration tooling can
+    /// produce byte-faithful legacy artifacts.
     pub fn to_json_text(&self) -> String {
+        let v2 = self.schema_version >= 2;
         let p = &self.provenance;
-        Json::Obj(vec![
+        let mut top = vec![
             (
                 "schema_version".into(),
                 Json::Num(self.schema_version as f64),
@@ -169,54 +227,106 @@ impl TunedPlan {
                 Json::Str(format!("{:016x}", self.fingerprint)),
             ),
             ("backend".into(), Json::Str(self.backend.clone())),
-            ("arch_name".into(), Json::Str(self.arch_name.clone())),
-            ("id".into(), Json::Str(self.id.to_string())),
-            (
-                "choices".into(),
+        ];
+        if v2 {
+            top.push((
+                "cache_salt".into(),
+                Json::Str(format!("{:016x}", self.cache_salt)),
+            ));
+        }
+        top.push(("arch_name".into(), Json::Str(self.arch_name.clone())));
+        top.push(("id".into(), Json::Str(self.id.to_string())));
+        top.push((
+            "choices".into(),
+            Json::Arr(
+                self.choices
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("version".into(), Json::Num(c.version as f64)),
+                            ("local".into(), Json::Str(c.local.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        top.push(("gpu_seconds".into(), Json::Num(self.gpu_seconds)));
+        top.push(("transfer_seconds".into(), Json::Num(self.transfer_seconds)));
+        top.push(("flops".into(), Json::Str(self.flops.to_string())));
+        if v2 {
+            top.push((
+                "quarantine".into(),
                 Json::Arr(
-                    self.choices
+                    self.quarantine
                         .iter()
-                        .map(|c| {
+                        .map(|e| {
                             Json::Obj(vec![
-                                ("version".into(), Json::Num(c.version as f64)),
-                                ("local".into(), Json::Str(c.local.to_string())),
+                                ("stage".into(), Json::Str(e.stage.as_str().to_string())),
+                                (
+                                    "statement".into(),
+                                    e.statement.map_or(Json::Null, |s| Json::Num(s as f64)),
+                                ),
+                                (
+                                    "version".into(),
+                                    e.version.map_or(Json::Null, |v| Json::Num(v as f64)),
+                                ),
+                                (
+                                    "config".into(),
+                                    e.config.map_or(Json::Null, |c| Json::Str(c.to_string())),
+                                ),
+                                ("reason".into(), Json::Str(e.reason.clone())),
                             ])
                         })
                         .collect(),
                 ),
-            ),
-            ("gpu_seconds".into(), Json::Num(self.gpu_seconds)),
-            ("transfer_seconds".into(), Json::Num(self.transfer_seconds)),
-            ("flops".into(), Json::Str(self.flops.to_string())),
+            ));
+        }
+        let mut prov = vec![
+            ("n_evals".into(), Json::Num(p.n_evals as f64)),
+            ("batches".into(), Json::Num(p.batches as f64)),
+            ("space_size".into(), Json::Str(p.space_size.to_string())),
+            ("pool_size".into(), Json::Num(p.pool_size as f64)),
+            ("wall_s".into(), Json::Num(p.wall_s)),
+            ("threads".into(), Json::Num(p.threads as f64)),
             (
-                "provenance".into(),
-                Json::Obj(vec![
-                    ("n_evals".into(), Json::Num(p.n_evals as f64)),
-                    ("batches".into(), Json::Num(p.batches as f64)),
-                    ("space_size".into(), Json::Str(p.space_size.to_string())),
-                    ("pool_size".into(), Json::Num(p.pool_size as f64)),
-                    ("wall_s".into(), Json::Num(p.wall_s)),
-                    ("threads".into(), Json::Num(p.threads as f64)),
-                    (
-                        "quarantined_versions".into(),
-                        Json::Num(p.quarantined_versions as f64),
-                    ),
-                    (
-                        "quarantined_configs".into(),
-                        Json::Num(p.quarantined_configs as f64),
-                    ),
-                    ("cache_hit_rate".into(), Json::Num(p.cache_hit_rate)),
-                    ("per_op_hit_rate".into(), Json::Num(p.per_op_hit_rate)),
-                    ("time_hit_rate".into(), Json::Num(p.time_hit_rate)),
-                    ("degraded".into(), Json::Bool(p.degraded)),
-                    ("status".into(), Json::Str(p.status.clone())),
-                ]),
+                "quarantined_versions".into(),
+                Json::Num(p.quarantined_versions as f64),
             ),
-        ])
-        .to_string_pretty()
+            (
+                "quarantined_configs".into(),
+                Json::Num(p.quarantined_configs as f64),
+            ),
+            ("cache_hit_rate".into(), Json::Num(p.cache_hit_rate)),
+            ("per_op_hit_rate".into(), Json::Num(p.per_op_hit_rate)),
+            ("time_hit_rate".into(), Json::Num(p.time_hit_rate)),
+        ];
+        if v2 {
+            prov.push(("cache_hits".into(), Json::Num(p.cache_hits as f64)));
+            prov.push(("cache_misses".into(), Json::Num(p.cache_misses as f64)));
+            prov.push(("per_op_hits".into(), Json::Num(p.per_op_hits as f64)));
+            prov.push(("per_op_misses".into(), Json::Num(p.per_op_misses as f64)));
+            prov.push(("time_hits".into(), Json::Num(p.time_hits as f64)));
+            prov.push(("time_misses".into(), Json::Num(p.time_misses as f64)));
+            prov.push((
+                "hot".into(),
+                Json::Obj(vec![
+                    ("decode_ns".into(), Json::Str(p.hot_decode_ns.to_string())),
+                    ("map_ns".into(), Json::Str(p.hot_map_ns.to_string())),
+                    ("sim_ns".into(), Json::Str(p.hot_sim_ns.to_string())),
+                    ("predict_ns".into(), Json::Str(p.hot_predict_ns.to_string())),
+                ]),
+            ));
+        }
+        prov.push(("degraded".into(), Json::Bool(p.degraded)));
+        prov.push(("status".into(), Json::Str(p.status.clone())));
+        top.push(("provenance".into(), Json::Obj(prov)));
+        Json::Obj(top).to_string_pretty()
     }
 
     /// Parses a plan from JSON text, rejecting unknown schema versions.
+    /// Schema v1 plans parse read-only: their v2-only fields (cache salt,
+    /// quarantine entries, memo counters, hot-path times) default to
+    /// empty/zero.
     pub fn from_json_text(text: &str) -> Result<TunedPlan, BarracudaError> {
         let err = |detail: String| BarracudaError::Plan {
             workload: "plan".to_string(),
@@ -239,11 +349,13 @@ impl TunedPlan {
                 .ok_or_else(|| err(format!("field `{key}` must be an integer")))
         };
         let schema_version = num_field("schema_version")?;
-        if schema_version != PLAN_SCHEMA_VERSION {
+        if !PLAN_SCHEMA_READABLE.contains(&schema_version) {
             return Err(err(format!(
-                "unsupported schema version {schema_version} (this build reads {PLAN_SCHEMA_VERSION})"
+                "unsupported schema version {schema_version} (this build writes \
+                 {PLAN_SCHEMA_VERSION} and reads {PLAN_SCHEMA_READABLE:?})"
             )));
         }
+        let v2 = schema_version >= 2;
         let workload_name = str_field("workload")?;
         let perr = |detail: String| BarracudaError::Plan {
             workload: workload_name.clone(),
@@ -270,6 +382,25 @@ impl TunedPlan {
                 .map(|n| n as usize)
                 .ok_or_else(|| perr(format!("missing integer field `{key}`")))
         };
+        // v2-only: required at schema 2, defaulted at schema 1.
+        let usize_v2 = |parent: &Json, key: &str| -> Result<usize, BarracudaError> {
+            if v2 {
+                usize_field(parent, key)
+            } else {
+                Ok(0)
+            }
+        };
+        let ns_v2 = |parent: &Json, key: &str| -> Result<u64, BarracudaError> {
+            if !v2 {
+                return Ok(0);
+            }
+            parent
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| perr(format!("missing string field `{key}`")))?
+                .parse::<u64>()
+                .map_err(|_| perr(format!("field `{key}` is not a decimal u64")))
+        };
         let dims = match field("dims")? {
             Json::Obj(members) => members
                 .iter()
@@ -283,6 +414,12 @@ impl TunedPlan {
         };
         let fingerprint = u64::from_str_radix(&str_field("fingerprint")?, 16)
             .map_err(|_| perr("field `fingerprint` is not a hex u64".to_string()))?;
+        let cache_salt = if v2 {
+            u64::from_str_radix(&str_field("cache_salt")?, 16)
+                .map_err(|_| perr("field `cache_salt` is not a hex u64".to_string()))?
+        } else {
+            0
+        };
         let choices = field("choices")?
             .as_arr()
             .ok_or_else(|| perr("field `choices` must be an array".to_string()))?
@@ -294,7 +431,64 @@ impl TunedPlan {
                 })
             })
             .collect::<Result<Vec<_>, BarracudaError>>()?;
+        let quarantine = if v2 {
+            field("quarantine")?
+                .as_arr()
+                .ok_or_else(|| perr("field `quarantine` must be an array".to_string()))?
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    let tag = e
+                        .get("stage")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| perr(format!("quarantine entry {i}: missing `stage`")))?;
+                    let stage = QuarantineStage::from_tag(tag).ok_or_else(|| {
+                        perr(format!("quarantine entry {i}: unknown stage `{tag}`"))
+                    })?;
+                    let opt_usize = |key: &str| match e.get(key) {
+                        None | Some(Json::Null) => Ok(None),
+                        Some(v) => v.as_u64().map(|n| Some(n as usize)).ok_or_else(|| {
+                            perr(format!("quarantine entry {i}: `{key}` must be an integer"))
+                        }),
+                    };
+                    let config = match e.get("config") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => {
+                            Some(v.as_str().and_then(|s| s.parse::<u128>().ok()).ok_or_else(
+                                || {
+                                    perr(format!(
+                                        "quarantine entry {i}: `config` must be a decimal u128 \
+                                         string"
+                                    ))
+                                },
+                            )?)
+                        }
+                    };
+                    Ok(QuarantineEntry {
+                        stage,
+                        statement: opt_usize("statement")?,
+                        version: opt_usize("version")?,
+                        config,
+                        reason: e
+                            .get("reason")
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| {
+                                perr(format!("quarantine entry {i}: missing `reason`"))
+                            })?,
+                    })
+                })
+                .collect::<Result<Vec<_>, BarracudaError>>()?
+        } else {
+            Vec::new()
+        };
         let prov = field("provenance")?;
+        let hot = if v2 {
+            prov.get("hot")
+                .ok_or_else(|| perr("missing object field `hot`".to_string()))?
+        } else {
+            &Json::Null
+        };
         let provenance = PlanProvenance {
             n_evals: usize_field(prov, "n_evals")?,
             batches: usize_field(prov, "batches")?,
@@ -307,6 +501,16 @@ impl TunedPlan {
             cache_hit_rate: f64_field(prov, "cache_hit_rate")?,
             per_op_hit_rate: f64_field(prov, "per_op_hit_rate")?,
             time_hit_rate: f64_field(prov, "time_hit_rate")?,
+            cache_hits: usize_v2(prov, "cache_hits")?,
+            cache_misses: usize_v2(prov, "cache_misses")?,
+            per_op_hits: usize_v2(prov, "per_op_hits")?,
+            per_op_misses: usize_v2(prov, "per_op_misses")?,
+            time_hits: usize_v2(prov, "time_hits")?,
+            time_misses: usize_v2(prov, "time_misses")?,
+            hot_decode_ns: ns_v2(hot, "decode_ns")?,
+            hot_map_ns: ns_v2(hot, "map_ns")?,
+            hot_sim_ns: ns_v2(hot, "sim_ns")?,
+            hot_predict_ns: ns_v2(hot, "predict_ns")?,
             degraded: prov
                 .get("degraded")
                 .and_then(Json::as_bool)
@@ -323,6 +527,7 @@ impl TunedPlan {
             dims,
             fingerprint,
             backend: str_field("backend")?,
+            cache_salt,
             arch_name: str_field("arch_name")?,
             id: u128_field(&doc, "id")?,
             choices,
@@ -331,6 +536,7 @@ impl TunedPlan {
             flops: str_field("flops")?
                 .parse::<u64>()
                 .map_err(|_| perr("field `flops` is not a decimal u64".to_string()))?,
+            quarantine,
             provenance,
             workload_name,
         })
@@ -365,16 +571,17 @@ impl TunedPlan {
         Ok(w)
     }
 
-    /// Checks that `workload` is the one this plan was tuned for: same
-    /// schema version and same source/dims fingerprint. A stale plan (the
-    /// DSL or the extents changed since tuning) is a typed error, never a
-    /// silently wrong kernel.
+    /// Checks that `workload` is the one this plan was tuned for: a
+    /// readable schema version and the same source/dims fingerprint. A
+    /// stale plan (the DSL or the extents changed since tuning) is a typed
+    /// error, never a silently wrong kernel.
     pub fn validate_for(&self, workload: &Workload) -> Result<(), BarracudaError> {
-        if self.schema_version != PLAN_SCHEMA_VERSION {
+        if !PLAN_SCHEMA_READABLE.contains(&self.schema_version) {
             return Err(BarracudaError::Plan {
                 workload: workload.name.clone(),
                 detail: format!(
-                    "unsupported schema version {} (this build reads {PLAN_SCHEMA_VERSION})",
+                    "unsupported schema version {} (this build writes {PLAN_SCHEMA_VERSION} and \
+                     reads {PLAN_SCHEMA_READABLE:?})",
                     self.schema_version
                 ),
             });
@@ -394,11 +601,12 @@ impl TunedPlan {
         Ok(())
     }
 
-    /// Replays the plan against `workload`: validates the fingerprint,
-    /// re-maps the saved configuration and re-times it through `cache` —
-    /// no search. The deterministic simulator reproduces the saved
-    /// `gpu_seconds` bit-for-bit; a mismatch (an edited plan, a changed
-    /// model) is reported as a typed error rather than trusted.
+    /// Replays the plan against `workload`: validates the fingerprint and
+    /// (for v2 plans) the backend cache salt, re-maps the saved
+    /// configuration and re-times it through `cache` — no search. The
+    /// deterministic simulator reproduces the saved `gpu_seconds`
+    /// bit-for-bit; a mismatch (an edited plan, a changed model) is
+    /// reported as a typed error rather than trusted.
     pub fn replay_for(
         &self,
         workload: &Workload,
@@ -409,6 +617,19 @@ impl TunedPlan {
             workload: workload.name.clone(),
             detail: format!("unknown backend `{}` in plan", self.backend),
         })?;
+        if self.cache_salt != 0 && self.cache_salt != backend.cache_salt() {
+            return Err(BarracudaError::Plan {
+                workload: workload.name.clone(),
+                detail: format!(
+                    "plan cache salt {:016x} does not match backend `{}` salt {:016x}: the \
+                     plan was tuned against a different model or architecture revision — \
+                     re-tune instead of replaying",
+                    self.cache_salt,
+                    self.backend,
+                    backend.cache_salt()
+                ),
+            });
+        }
         let arch = backend.arch().ok_or_else(|| BarracudaError::Plan {
             workload: workload.name.clone(),
             detail: format!(
@@ -477,26 +698,40 @@ impl TunedPlan {
                 evaluated_times: Vec::new(),
                 space_size: p.space_size,
                 pool_size: p.pool_size,
-                cache_hits: 0,
-                cache_misses: 0,
+                cache_hits: p.cache_hits,
+                cache_misses: p.cache_misses,
                 wall_s: p.wall_s,
                 threads: p.threads,
                 quarantined_versions: p.quarantined_versions,
                 quarantined_configs: p.quarantined_configs,
-                per_op_hits: 0,
-                per_op_misses: 0,
-                time_hits: 0,
-                time_misses: 0,
-                hot: Default::default(),
+                per_op_hits: p.per_op_hits,
+                per_op_misses: p.per_op_misses,
+                time_hits: p.time_hits,
+                time_misses: p.time_misses,
+                hot: HotPathSnapshot {
+                    decode_ns: p.hot_decode_ns,
+                    map_ns: p.hot_map_ns,
+                    sim_ns: p.hot_sim_ns,
+                    predict_ns: p.hot_predict_ns,
+                },
             },
             status: if p.degraded {
+                // `status` carries the display form `degraded: <reason>`;
+                // feed back the bare reason so replayed output is not
+                // double-prefixed.
                 SearchStatus::Degraded {
-                    reason: p.status.clone(),
+                    reason: p
+                        .status
+                        .strip_prefix("degraded: ")
+                        .unwrap_or(&p.status)
+                        .to_string(),
                 }
             } else {
                 SearchStatus::Complete
             },
-            quarantine: QuarantineReport::new(),
+            quarantine: QuarantineReport {
+                entries: self.quarantine.clone(),
+            },
         })
     }
 
@@ -532,7 +767,17 @@ mod tests {
 
     #[test]
     fn json_roundtrip_is_lossless() {
-        let (_, plan) = tuned_plan(16);
+        let (_, mut plan) = tuned_plan(16);
+        // Exercise every v2 field, including the ones a clean quick tune
+        // leaves empty.
+        plan.quarantine.push(QuarantineEntry {
+            stage: QuarantineStage::Mapping,
+            statement: Some(0),
+            version: None,
+            config: Some(u128::MAX),
+            reason: "hostile \"reason\"\nwith newline".into(),
+        });
+        plan.provenance.hot_decode_ns = u64::MAX;
         let text = plan.to_json_text();
         let back = TunedPlan::from_json_text(&text).unwrap();
         assert_eq!(plan, back);
@@ -544,6 +789,40 @@ mod tests {
     }
 
     #[test]
+    fn v2_plans_carry_backend_salt_and_memo_counters() {
+        let (_, plan) = tuned_plan(16);
+        assert_eq!(plan.schema_version, 2);
+        assert!(!plan.is_stale());
+        let expected = backend_by_key("k20").unwrap().cache_salt();
+        assert_eq!(plan.cache_salt, expected);
+        assert_ne!(plan.cache_salt, 0);
+        let p = &plan.provenance;
+        assert!(
+            p.time_hits + p.time_misses > 0,
+            "a real search must record time-memo traffic"
+        );
+    }
+
+    #[test]
+    fn v1_layout_parses_read_only_and_is_stale() {
+        let (_, plan) = tuned_plan(16);
+        let mut v1 = plan.clone();
+        v1.schema_version = 1;
+        let text = v1.to_json_text();
+        assert!(!text.contains("cache_salt"), "v1 layout has no salt");
+        assert!(!text.contains("\"quarantine\""));
+        let back = TunedPlan::from_json_text(&text).unwrap();
+        assert!(back.is_stale());
+        assert_eq!(back.cache_salt, 0);
+        assert!(back.quarantine.is_empty());
+        assert_eq!(back.id, plan.id);
+        assert_eq!(back.gpu_seconds.to_bits(), plan.gpu_seconds.to_bits());
+        // v1 plans still replay (read path preserved).
+        let replayed = back.replay(&EvalCache::new()).unwrap();
+        assert_eq!(replayed.gpu_seconds.to_bits(), plan.gpu_seconds.to_bits());
+    }
+
+    #[test]
     fn replay_reproduces_the_tuned_time_without_searching() {
         let (_, plan) = tuned_plan(16);
         let cache = EvalCache::new();
@@ -551,6 +830,23 @@ mod tests {
         assert_eq!(replayed.id, plan.id);
         assert_eq!(replayed.gpu_seconds.to_bits(), plan.gpu_seconds.to_bits());
         assert!(replayed.cuda_source().contains("__global__"));
+        // v2 reconstructs the memo counters, not zeros.
+        assert_eq!(replayed.search.time_hits, plan.provenance.time_hits);
+        assert_eq!(replayed.search.time_misses, plan.provenance.time_misses);
+    }
+
+    #[test]
+    fn replayed_degraded_status_is_not_double_prefixed() {
+        let (_, mut plan) = tuned_plan(16);
+        plan.provenance.degraded = true;
+        plan.provenance.status = "degraded: eval budget exhausted".into();
+        let replayed = plan.replay(&EvalCache::new()).unwrap();
+        match replayed.status {
+            SearchStatus::Degraded { reason } => {
+                assert_eq!(reason, "eval budget exhausted");
+            }
+            SearchStatus::Complete => panic!("expected degraded status"),
+        }
     }
 
     #[test]
@@ -565,11 +861,21 @@ mod tests {
     }
 
     #[test]
+    fn foreign_cache_salt_is_a_typed_plan_error() {
+        let (_, mut plan) = tuned_plan(16);
+        plan.cache_salt ^= 1;
+        let err = plan.replay(&EvalCache::new()).unwrap_err();
+        assert_eq!(err.stage(), "plan");
+        assert_eq!(err.exit_code(), 10);
+        assert!(err.to_string().contains("salt"), "{err}");
+    }
+
+    #[test]
     fn wrong_schema_version_is_rejected() {
         let (_, plan) = tuned_plan(16);
         let text = plan
             .to_json_text()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = TunedPlan::from_json_text(&text).unwrap_err();
         assert_eq!(err.stage(), "plan");
         assert!(err.to_string().contains("schema version"));

@@ -34,6 +34,19 @@ impl QuarantineStage {
         }
     }
 
+    /// Inverse of [`QuarantineStage::as_str`], for deserializing plan
+    /// artifacts. Unknown tags are `None` rather than a guess: a plan with
+    /// an unrecognized stage is from a newer schema and must say so.
+    pub fn from_tag(tag: &str) -> Option<QuarantineStage> {
+        match tag {
+            "factorization" => Some(QuarantineStage::Factorization),
+            "mapping" => Some(QuarantineStage::Mapping),
+            "simulation" => Some(QuarantineStage::Simulation),
+            "injected" => Some(QuarantineStage::Injected),
+            _ => None,
+        }
+    }
+
     /// Classifies a quarantine reason string produced by the search layer
     /// (`[stage] detail` from `surf::EvalFault`, or the driver's own
     /// `non-finite simulated time …`).

@@ -1,0 +1,417 @@
+//! Content-addressed plan store: a directory of [`TunedPlan`] artifacts
+//! keyed by what they are, not where the user put them.
+//!
+//! The paper's economics are compile-once/run-many: a search that takes
+//! hours produces a mapping that is reused forever (§5, Table II). The
+//! store makes that reuse automatic. Every plan lives at a path derived
+//! from its [`StoreKey`] — `(workload fingerprint, backend key, backend
+//! cache salt, plan schema version)` — so a `tune` can ask "has this
+//! exact workload already been tuned for this exact backend under this
+//! exact model revision?" and replay the answer with zero search
+//! evaluations. The salt in the key means a model or architecture change
+//! silently *misses* (and re-tunes) rather than serving a stale mapping;
+//! the schema version in the key means old-format plans are flagged as
+//! evictable by `gc`, never misread.
+//!
+//! File names are injective in the key: fixed-width lowercase hex for the
+//! two u64s, a decimal schema tag, and a percent-encoded backend key
+//! (every byte outside `[a-z0-9_-]` becomes `%XX`, so hostile or
+//! case-colliding backend names cannot alias on case-insensitive
+//! filesystems). Store-layer failures (unreadable directory, undecodable
+//! file name) are [`BarracudaError::Store`] (exit code 11); a plan whose
+//! *content* is wrong — tampered fingerprint, foreign salt, unsupported
+//! schema — stays [`BarracudaError::Plan`] (exit code 10), so scripts can
+//! tell a broken store from a broken artifact.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::BarracudaError;
+use crate::plan::{TunedPlan, PLAN_SCHEMA_VERSION};
+
+/// File-name suffix of every store entry.
+const PLAN_SUFFIX: &str = ".plan.json";
+
+/// The identity of one stored plan.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoreKey {
+    /// Workload fingerprint (FNV-1a over canonical source + dims).
+    pub fingerprint: u64,
+    /// Backend cache salt at tuning time (0 for legacy v1 plans).
+    pub cache_salt: u64,
+    /// Plan schema version the artifact was written with.
+    pub schema: u64,
+    /// Backend registry key (`k20`, `gtx980`, …).
+    pub backend: String,
+}
+
+impl StoreKey {
+    /// The key a plan files under.
+    pub fn of_plan(plan: &TunedPlan) -> StoreKey {
+        StoreKey {
+            fingerprint: plan.fingerprint,
+            cache_salt: plan.cache_salt,
+            schema: plan.schema_version,
+            backend: plan.backend.clone(),
+        }
+    }
+
+    /// The store file name for this key:
+    /// `{fingerprint:016x}-{salt:016x}-v{schema}-{enc(backend)}.plan.json`.
+    /// Injective: the hex fields are fixed width, the schema tag is a
+    /// digit run terminated by `-`, and the backend encoding never emits
+    /// a byte it also passes through raw.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{:016x}-{:016x}-v{}-{}{PLAN_SUFFIX}",
+            self.fingerprint,
+            self.cache_salt,
+            self.schema,
+            encode_component(&self.backend)
+        )
+    }
+
+    /// Inverse of [`StoreKey::file_name`]. `None` if the name is not a
+    /// well-formed store entry.
+    pub fn parse_file_name(name: &str) -> Option<StoreKey> {
+        let stem = name.strip_suffix(PLAN_SUFFIX)?;
+        let (fp_hex, rest) = (stem.get(..16)?, stem.get(16..)?);
+        let rest = rest.strip_prefix('-')?;
+        let (salt_hex, rest) = (rest.get(..16)?, rest.get(16..)?);
+        let rest = rest.strip_prefix("-v")?;
+        let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+        if digits == 0 {
+            return None;
+        }
+        let (schema_str, rest) = rest.split_at(digits);
+        let backend = decode_component(rest.strip_prefix('-')?)?;
+        Some(StoreKey {
+            fingerprint: u64::from_str_radix(fp_hex, 16).ok()?,
+            cache_salt: u64::from_str_radix(salt_hex, 16).ok()?,
+            schema: schema_str.parse().ok()?,
+            backend,
+        })
+    }
+
+    /// Whether the entry predates the current plan schema (evictable via
+    /// `gc`).
+    pub fn is_stale(&self) -> bool {
+        self.schema < PLAN_SCHEMA_VERSION
+    }
+}
+
+impl std::fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:016x} {} (salt {:016x}, schema v{})",
+            self.fingerprint, self.backend, self.cache_salt, self.schema
+        )
+    }
+}
+
+/// Percent-encodes a key component so distinct strings map to distinct
+/// file names on any filesystem: lowercase ASCII letters, digits, `_`
+/// and `-` pass through; every other byte (including `%` itself and
+/// uppercase letters, which could alias on case-insensitive filesystems)
+/// becomes `%XX` with uppercase hex.
+fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-' => out.push(b as char),
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_component`]. `None` on a malformed escape.
+fn decode_component(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = std::str::from_utf8(bytes.get(i + 1..i + 3)?).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b @ (b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-') => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// One entry found by a store scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreEntry {
+    pub key: StoreKey,
+    pub path: PathBuf,
+}
+
+/// A directory of content-addressed plans.
+pub struct PlanStore {
+    root: PathBuf,
+}
+
+impl PlanStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<PlanStore, BarracudaError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| BarracudaError::Store {
+            detail: format!("cannot create store directory {}: {e}", root.display()),
+        })?;
+        Ok(PlanStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Absolute path a plan with `key` lives at.
+    pub fn path_of(&self, key: &StoreKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    /// Persists `plan` under its content address, replacing any previous
+    /// plan with the same key. Returns the path written.
+    pub fn insert(&self, plan: &TunedPlan) -> Result<PathBuf, BarracudaError> {
+        let path = self.path_of(&StoreKey::of_plan(plan));
+        std::fs::write(&path, plan.to_json_text()).map_err(|e| BarracudaError::Store {
+            detail: format!("cannot write store entry {}: {e}", path.display()),
+        })?;
+        Ok(path)
+    }
+
+    /// Loads the plan stored under `key`, if any. A present-but-corrupt
+    /// entry — unparseable JSON, or content that contradicts its own file
+    /// name (a tampered fingerprint, a foreign salt) — is a typed
+    /// [`BarracudaError::Plan`], never silently treated as a miss.
+    pub fn lookup(&self, key: &StoreKey) -> Result<Option<TunedPlan>, BarracudaError> {
+        let path = self.path_of(key);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let plan = TunedPlan::load(&path)?;
+        let actual = StoreKey::of_plan(&plan);
+        if actual != *key {
+            return Err(BarracudaError::Plan {
+                workload: plan.workload_name.clone(),
+                detail: format!(
+                    "store entry {} does not match its own address: file name says {key} but \
+                     the content says {actual} — the artifact was tampered with or misfiled",
+                    path.display()
+                ),
+            });
+        }
+        Ok(Some(plan))
+    }
+
+    /// All entries in the store, sorted by file name (deterministic
+    /// listing order). A file ending in `.plan.json` whose name does not
+    /// decode to a [`StoreKey`] is a typed [`BarracudaError::Store`];
+    /// other files are ignored.
+    pub fn entries(&self) -> Result<Vec<StoreEntry>, BarracudaError> {
+        let dir = std::fs::read_dir(&self.root).map_err(|e| BarracudaError::Store {
+            detail: format!("cannot scan store directory {}: {e}", self.root.display()),
+        })?;
+        let mut names = Vec::new();
+        for item in dir {
+            let item = item.map_err(|e| BarracudaError::Store {
+                detail: format!("cannot scan store directory {}: {e}", self.root.display()),
+            })?;
+            if let Some(name) = item.file_name().to_str() {
+                if name.ends_with(PLAN_SUFFIX) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        names
+            .into_iter()
+            .map(|name| {
+                let key =
+                    StoreKey::parse_file_name(&name).ok_or_else(|| BarracudaError::Store {
+                        detail: format!(
+                            "store entry `{name}` in {} does not decode to a store key — not a \
+                         barracuda artifact, or renamed by hand",
+                            self.root.display()
+                        ),
+                    })?;
+                Ok(StoreEntry {
+                    path: self.root.join(&name),
+                    key,
+                })
+            })
+            .collect()
+    }
+
+    /// Removes the entry under `key`. Returns whether one existed.
+    pub fn evict(&self, key: &StoreKey) -> Result<bool, BarracudaError> {
+        let path = self.path_of(key);
+        if !path.exists() {
+            return Ok(false);
+        }
+        std::fs::remove_file(&path).map_err(|e| BarracudaError::Store {
+            detail: format!("cannot remove store entry {}: {e}", path.display()),
+        })?;
+        Ok(true)
+    }
+
+    /// Evicts every entry whose schema version is below `schema`,
+    /// returning the removed entries. `gc(PLAN_SCHEMA_VERSION)` clears
+    /// all stale (pre-current-schema) artifacts.
+    pub fn gc(&self, schema: u64) -> Result<Vec<StoreEntry>, BarracudaError> {
+        let mut evicted = Vec::new();
+        for entry in self.entries()? {
+            if entry.key.schema < schema {
+                self.evict(&entry.key)?;
+                evicted.push(entry);
+            }
+        }
+        Ok(evicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::EvalCache;
+    use crate::pipeline::{TuneParams, WorkloadTuner};
+    use crate::workload::Workload;
+    use tensor::index::uniform_dims;
+
+    fn temp_store(tag: &str) -> PlanStore {
+        let root =
+            std::env::temp_dir().join(format!("barracuda_store_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        PlanStore::open(root).unwrap()
+    }
+
+    fn tuned_plan() -> TunedPlan {
+        let w = Workload::parse(
+            "mm",
+            "C[i k] = Sum([j], A[i j] * B[j k])",
+            &uniform_dims(&["i", "j", "k"], 16),
+        )
+        .unwrap();
+        let tuner = WorkloadTuner::build(&w);
+        let tuned = tuner.autotune(&gpusim::k20(), TuneParams::quick()).unwrap();
+        TunedPlan::from_tuned(&tuner, "k20", &tuned)
+    }
+
+    #[test]
+    fn file_name_roundtrips_hostile_backends() {
+        for backend in [
+            "k20",
+            "acc-opt",
+            "UPPER case/../%41%",
+            "snowman ☃ backend",
+            "",
+            "a-b_c9",
+        ] {
+            let key = StoreKey {
+                fingerprint: 0xdead_beef_0123_4567,
+                cache_salt: u64::MAX,
+                schema: 12,
+                backend: backend.to_string(),
+            };
+            let name = key.file_name();
+            assert!(
+                !name.contains('/') && !name.contains("..") && !name.contains(' '),
+                "unsafe file name {name}"
+            );
+            assert_eq!(StoreKey::parse_file_name(&name), Some(key), "{name}");
+        }
+    }
+
+    #[test]
+    fn insert_lookup_is_bit_lossless() {
+        let store = temp_store("roundtrip");
+        let plan = tuned_plan();
+        let path = store.insert(&plan).unwrap();
+        assert!(path.exists());
+        let key = StoreKey::of_plan(&plan);
+        let back = store.lookup(&key).unwrap().unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(plan.gpu_seconds.to_bits(), back.gpu_seconds.to_bits());
+        // Replays straight out of the store.
+        let replayed = back.replay(&EvalCache::new()).unwrap();
+        assert_eq!(replayed.gpu_seconds.to_bits(), plan.gpu_seconds.to_bits());
+    }
+
+    #[test]
+    fn lookup_misses_on_foreign_salt_and_schema() {
+        let store = temp_store("miss");
+        let plan = tuned_plan();
+        store.insert(&plan).unwrap();
+        let key = StoreKey::of_plan(&plan);
+        let mut foreign = key.clone();
+        foreign.cache_salt ^= 1;
+        assert_eq!(store.lookup(&foreign).unwrap(), None);
+        let mut old = key.clone();
+        old.schema = 1;
+        assert_eq!(store.lookup(&old).unwrap(), None);
+        assert!(store.lookup(&key).unwrap().is_some());
+    }
+
+    #[test]
+    fn tampered_content_is_a_typed_plan_error() {
+        let store = temp_store("tamper");
+        let plan = tuned_plan();
+        let path = store.insert(&plan).unwrap();
+        let key = StoreKey::of_plan(&plan);
+        // Rewrite the embedded fingerprint: the file name no longer
+        // matches the content.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let want = format!("{:016x}", plan.fingerprint);
+        let tampered = text.replace(&want, &format!("{:016x}", plan.fingerprint ^ 1));
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        let err = store.lookup(&key).unwrap_err();
+        assert_eq!(err.stage(), "plan");
+        assert_eq!(err.exit_code(), 10);
+        assert!(err.to_string().contains("does not match its own address"));
+    }
+
+    #[test]
+    fn undecodable_entry_is_a_typed_store_error() {
+        let store = temp_store("undecodable");
+        std::fs::write(store.root().join("NOT-A-KEY.plan.json"), "{}").unwrap();
+        let err = store.entries().unwrap_err();
+        assert_eq!(err.stage(), "store");
+        assert_eq!(err.exit_code(), 11);
+        // Non-plan files are simply ignored.
+        let store2 = temp_store("ignored");
+        std::fs::write(store2.root().join("README.txt"), "hi").unwrap();
+        assert!(store2.entries().unwrap().is_empty());
+    }
+
+    #[test]
+    fn gc_evicts_only_older_schemas() {
+        let store = temp_store("gc");
+        let plan = tuned_plan();
+        store.insert(&plan).unwrap();
+        let mut v1 = plan.clone();
+        v1.schema_version = 1;
+        v1.cache_salt = 0;
+        store.insert(&v1).unwrap();
+        assert_eq!(store.entries().unwrap().len(), 2);
+        let evicted = store.gc(PLAN_SCHEMA_VERSION).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key.schema, 1);
+        assert!(evicted[0].key.is_stale());
+        let left = store.entries().unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].key.schema, PLAN_SCHEMA_VERSION);
+    }
+}

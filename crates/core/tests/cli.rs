@@ -308,6 +308,261 @@ fn stale_plan_fingerprint_exits_10() {
 }
 
 #[test]
+fn store_hit_tune_replays_bit_identically_with_zero_evals() {
+    let store =
+        std::env::temp_dir().join(format!("barracuda_cli_store_hit_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let args = [
+        "tune",
+        "builtin:eqn1",
+        "--quick",
+        "--evals",
+        "20",
+        "--arch",
+        "k20",
+        "--store",
+        store.to_str().unwrap(),
+    ];
+    let cold = bin().args(args).output().unwrap();
+    assert!(
+        cold.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_text = String::from_utf8_lossy(&cold.stdout);
+    assert!(
+        cold_text.contains("plan store: miss (searched, stored"),
+        "stdout: {cold_text}"
+    );
+
+    let warm = bin().args(args).output().unwrap();
+    assert!(warm.status.success());
+    let warm_text = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        warm_text.contains("plan store: hit (0 search evaluations"),
+        "stdout: {warm_text}"
+    );
+    // The whole timing line — including the "(N evals, space S)" tail
+    // reconstructed from provenance — must be bit-identical to the
+    // original tuned run.
+    let timing = |text: &str| -> String {
+        text.lines()
+            .find(|l| l.contains(" us device "))
+            .unwrap_or_default()
+            .to_string()
+    };
+    assert_eq!(
+        timing(&cold_text),
+        timing(&warm_text),
+        "cold: {cold_text}\nwarm: {warm_text}"
+    );
+
+    // `replay` with a store takes a workload spec, not a path, and
+    // validates against the reference evaluator.
+    let replay = bin()
+        .args([
+            "replay",
+            "builtin:eqn1",
+            "--store",
+            store.to_str().unwrap(),
+            "--backend",
+            "k20",
+            "--validate",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        replay.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    let replay_text = String::from_utf8_lossy(&replay.stdout);
+    assert!(replay_text.contains("validation: OK"), "{replay_text}");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn plans_gc_evicts_a_planted_v1_plan() {
+    let store = std::env::temp_dir().join(format!("barracuda_cli_store_gc_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let tune = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "20",
+            "--arch",
+            "k20",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(tune.status.success());
+
+    // Plant a v1 copy at its schema-1 address (what a pre-v2 build would
+    // have left behind).
+    let path = bin()
+        .args([
+            "plans",
+            "path",
+            "builtin:eqn1",
+            "--store",
+            store.to_str().unwrap(),
+            "--backend",
+            "k20",
+            "--schema",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(path.status.success());
+    let v1_path = String::from_utf8_lossy(&path.stdout).trim().to_string();
+    let v2_path = std::fs::read_dir(&store)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.to_string_lossy().contains("-v2-"))
+        .unwrap();
+    let v1_text = std::fs::read_to_string(&v2_path)
+        .unwrap()
+        .replace("\"schema_version\": 2", "\"schema_version\": 1");
+    std::fs::write(&v1_path, v1_text).unwrap();
+
+    let list = bin()
+        .args(["plans", "list", "--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(list.status.success());
+    let list_text = String::from_utf8_lossy(&list.stdout);
+    assert!(list_text.contains("[stale schema]"), "{list_text}");
+
+    let gc = bin()
+        .args([
+            "plans",
+            "gc",
+            "--store",
+            store.to_str().unwrap(),
+            "--schema-older-than",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(gc.status.success());
+    let gc_text = String::from_utf8_lossy(&gc.stdout);
+    assert!(gc_text.contains("evicted 1 stale plan(s)"), "{gc_text}");
+    assert!(!std::path::Path::new(&v1_path).exists());
+
+    let relist = bin()
+        .args(["plans", "list", "--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let relist_text = String::from_utf8_lossy(&relist.stdout);
+    assert!(!relist_text.contains("[stale schema]"), "{relist_text}");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn foreign_cache_salt_exits_10() {
+    let dir = std::env::temp_dir();
+    let plan = dir.join("barracuda_cli_foreign_salt.plan.json");
+    let tune = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "20",
+            "--arch",
+            "k20",
+            "--save-plan",
+            plan.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(tune.status.success());
+    // Flip one digit of the embedded salt: the plan now claims a
+    // different model/architecture revision.
+    let text = std::fs::read_to_string(&plan).unwrap();
+    let salt = text
+        .lines()
+        .find(|l| l.contains("\"cache_salt\""))
+        .unwrap()
+        .split('"')
+        .nth(3)
+        .unwrap()
+        .to_string();
+    let flipped: String = salt
+        .chars()
+        .map(|c| if c == '0' { '1' } else { '0' })
+        .collect();
+    std::fs::write(&plan, text.replace(&salt, &flipped)).unwrap();
+    let replay = bin()
+        .args(["replay", plan.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(replay.status.code(), Some(10));
+    let err = String::from_utf8_lossy(&replay.stderr);
+    assert!(err.contains("error[plan]"), "stderr: {err}");
+    assert!(err.contains("salt"), "stderr: {err}");
+}
+
+#[test]
+fn stale_schema_version_exits_10() {
+    let dir = std::env::temp_dir();
+    let plan = dir.join("barracuda_cli_stale_schema.plan.json");
+    let tune = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "20",
+            "--arch",
+            "k20",
+            "--save-plan",
+            plan.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(tune.status.success());
+    let text = std::fs::read_to_string(&plan).unwrap();
+    std::fs::write(
+        &plan,
+        text.replace("\"schema_version\": 2", "\"schema_version\": 999"),
+    )
+    .unwrap();
+    let replay = bin()
+        .args(["replay", plan.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(replay.status.code(), Some(10));
+    let err = String::from_utf8_lossy(&replay.stderr);
+    assert!(err.contains("schema version"), "stderr: {err}");
+}
+
+#[test]
+fn plans_without_store_exits_2_and_undecodable_entry_exits_11() {
+    let no_store = bin().args(["plans", "list"]).output().unwrap();
+    assert_eq!(no_store.status.code(), Some(2));
+
+    let store =
+        std::env::temp_dir().join(format!("barracuda_cli_store_bad_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    std::fs::create_dir_all(&store).unwrap();
+    std::fs::write(store.join("NOT-A-KEY.plan.json"), "{}").unwrap();
+    let list = bin()
+        .args(["plans", "list", "--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(list.status.code(), Some(11));
+    let err = String::from_utf8_lossy(&list.stderr);
+    assert!(err.contains("error[store]"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
 fn injected_faults_are_reported_in_quarantine() {
     let out = bin()
         .args([

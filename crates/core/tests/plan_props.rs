@@ -6,7 +6,10 @@
 
 use barracuda::pipeline::{TuneParams, WorkloadTuner};
 use barracuda::workload::Workload;
-use barracuda::{EvalCache, PlanChoice, PlanProvenance, TunedPlan, PLAN_SCHEMA_VERSION};
+use barracuda::{
+    EvalCache, PlanChoice, PlanProvenance, QuarantineEntry, QuarantineStage, TunedPlan,
+    PLAN_SCHEMA_VERSION,
+};
 use proptest::prelude::*;
 use tensor::index::uniform_dims;
 
@@ -59,12 +62,30 @@ fn provenance() -> impl Strategy<Value = PlanProvenance> {
             any_bool(),
             any_string(),
         ),
+        // Schema-v2 memo counters + hot-path nanoseconds (strings on
+        // disk, so the full u64 range must survive).
+        (
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+        ),
+        (
+            (0u64..=u64::MAX),
+            (0u64..=u64::MAX),
+            (0u64..=u64::MAX),
+            (0u64..=u64::MAX),
+        ),
     )
         .prop_map(
             |(
                 (n_evals, batches, space_size, pool_size),
                 (wall_s, threads, quarantined_versions, quarantined_configs),
                 (cache_hit_rate, per_op_hit_rate, time_hit_rate, degraded, status),
+                (cache_hits, cache_misses, per_op_hits, per_op_misses, time_hits, time_misses),
+                (hot_decode_ns, hot_map_ns, hot_sim_ns, hot_predict_ns),
             )| PlanProvenance {
                 n_evals,
                 batches,
@@ -77,8 +98,43 @@ fn provenance() -> impl Strategy<Value = PlanProvenance> {
                 cache_hit_rate,
                 per_op_hit_rate,
                 time_hit_rate,
+                cache_hits,
+                cache_misses,
+                per_op_hits,
+                per_op_misses,
+                time_hits,
+                time_misses,
+                hot_decode_ns,
+                hot_map_ns,
+                hot_sim_ns,
+                hot_predict_ns,
                 degraded,
                 status,
+            },
+        )
+}
+
+fn quarantine_entry() -> impl Strategy<Value = QuarantineEntry> {
+    const STAGES: [QuarantineStage; 4] = [
+        QuarantineStage::Factorization,
+        QuarantineStage::Mapping,
+        QuarantineStage::Simulation,
+        QuarantineStage::Injected,
+    ];
+    (
+        0usize..STAGES.len(),
+        (any_bool(), counter()),
+        (any_bool(), counter()),
+        (any_bool(), any_u128()),
+        any_string(),
+    )
+        .prop_map(
+            |(stage, statement, version, config, reason)| QuarantineEntry {
+                stage: STAGES[stage],
+                statement: statement.0.then_some(statement.1),
+                version: version.0.then_some(version.1),
+                config: config.0.then_some(config.1),
+                reason,
             },
         )
 }
@@ -90,20 +146,28 @@ fn plan() -> impl Strategy<Value = TunedPlan> {
             any_string(),
             proptest::collection::vec((any_string(), counter()), 0..4),
         ),
-        ((0u64..=u64::MAX), any_string(), any_string(), any_u128()),
+        (
+            (0u64..=u64::MAX),
+            any_string(),
+            (0u64..=u64::MAX),
+            any_string(),
+            any_u128(),
+        ),
         proptest::collection::vec(
             (counter(), any_u128()).prop_map(|(version, local)| PlanChoice { version, local }),
             0..4,
         ),
         (finite_f64(), finite_f64(), (0u64..=u64::MAX)),
+        proptest::collection::vec(quarantine_entry(), 0..4),
         provenance(),
     )
         .prop_map(
             |(
                 (workload_name, source, dims),
-                (fingerprint, backend, arch_name, id),
+                (fingerprint, backend, cache_salt, arch_name, id),
                 choices,
                 (gpu_seconds, transfer_seconds, flops),
+                quarantine,
                 provenance,
             )| TunedPlan {
                 schema_version: PLAN_SCHEMA_VERSION,
@@ -112,12 +176,14 @@ fn plan() -> impl Strategy<Value = TunedPlan> {
                 dims,
                 fingerprint,
                 backend,
+                cache_salt,
                 arch_name,
                 id,
                 choices,
                 gpu_seconds,
                 transfer_seconds,
                 flops,
+                quarantine,
                 provenance,
             },
         )
@@ -139,6 +205,37 @@ proptest! {
         prop_assert_eq!(plan.gpu_seconds.to_bits(), back.gpu_seconds.to_bits());
         prop_assert_eq!(plan.transfer_seconds.to_bits(), back.transfer_seconds.to_bits());
         prop_assert_eq!(plan.provenance.wall_s.to_bits(), back.provenance.wall_s.to_bits());
+    }
+
+    /// The legacy v1 layout still round-trips: a plan downgraded to
+    /// schema 1 (v2-only fields zeroed, as the v1 writer emits) parses
+    /// back identically and reports itself stale.
+    #[test]
+    fn v1_layout_roundtrip_is_lossless(plan in plan()) {
+        let mut v1 = plan;
+        v1.schema_version = 1;
+        v1.cache_salt = 0;
+        v1.quarantine.clear();
+        v1.provenance.cache_hits = 0;
+        v1.provenance.cache_misses = 0;
+        v1.provenance.per_op_hits = 0;
+        v1.provenance.per_op_misses = 0;
+        v1.provenance.time_hits = 0;
+        v1.provenance.time_misses = 0;
+        v1.provenance.hot_decode_ns = 0;
+        v1.provenance.hot_map_ns = 0;
+        v1.provenance.hot_sim_ns = 0;
+        v1.provenance.hot_predict_ns = 0;
+        let text = v1.to_json_text();
+        prop_assert!(!text.contains("cache_salt"));
+        let back = match TunedPlan::from_json_text(&text) {
+            Ok(p) => p,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "v1 reparse failed: {e}\n{text}"
+            ))),
+        };
+        prop_assert!(back.is_stale());
+        prop_assert_eq!(&v1, &back);
     }
 }
 
