@@ -111,6 +111,33 @@ fn bench_predict(c: &mut Criterion) {
             black_box(out.len())
         })
     });
+
+    // Per-round model refresh, allocating baseline: what the search loop
+    // used to do each batch — compile a fresh CompiledForest (new node
+    // and value vectors per tree) and collect predictions into a fresh
+    // buffer.
+    c.bench_function("hotpath/round_compile_alloc_512", |b| {
+        b.iter(|| {
+            let compiled = model.compile(black_box(&compact));
+            let mut out: Vec<f64> = Vec::new();
+            compiled.predict_rows_into(black_box(&compact), black_box(&rows), &mut out);
+            black_box(out.len())
+        })
+    });
+
+    // Steady-state path after the scratch-reuse fix: `compile_into`
+    // refills the same CompiledForest in place and predictions land in
+    // the same caller-owned buffer, so a round allocates nothing once
+    // the buffers reach their high-water mark.
+    c.bench_function("hotpath/round_compile_into_reused_512", |b| {
+        let mut compiled = surf::CompiledForest::empty();
+        let mut out: Vec<f64> = Vec::new();
+        b.iter(|| {
+            model.compile_into(black_box(&compact), &mut compiled);
+            compiled.predict_rows_into(black_box(&compact), black_box(&rows), &mut out);
+            black_box(out.len())
+        })
+    });
 }
 
 fn bench_memoized_eval(c: &mut Criterion) {

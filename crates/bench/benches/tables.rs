@@ -45,9 +45,7 @@ fn bench_figure3(c: &mut Criterion) {
     let w = barracuda::kernels::nwchem_d1(1, 8);
     let arch = gpusim::k20();
     c.bench_function("figure3/d1_1_k20", |b| {
-        b.iter(|| {
-            bench::figure3::run_kernel(&TuningSession::new(), black_box(&w), &arch, params())
-        })
+        b.iter(|| bench::figure3::run_kernel(&TuningSession::new(), black_box(&w), &arch, params()))
     });
 }
 

@@ -1,0 +1,224 @@
+//! Load generator for `barracuda serve`: thousands of mixed hot/cold
+//! requests against one in-process daemon, reported as
+//! `BENCH_serve.json`.
+//!
+//! Two phases mirror how a tuning service actually warms up:
+//!
+//! 1. **Cold bursts** — for most workloads, K identical requests fire
+//!    concurrently against the empty store. Exactly one search runs per
+//!    burst; the rest coalesce onto the leader's result.
+//! 2. **Mixed steady state** — T client threads each fire hundreds of
+//!    requests over every workload. Almost all are store hits (replay,
+//!    zero search evaluations); the few workloads held back from phase 1
+//!    go cold mid-stream, so hot and cold latencies interleave the way a
+//!    live service sees them.
+//!
+//! Requests are classified by the response's own `source` field. The
+//! run asserts the tentpole's acceptance bar instead of merely printing
+//! it: warm requests perform 0 search evaluations, warm p50 is >= 100x
+//! below cold p50, and coalescing actually deduplicated work.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use barracuda::json::Json;
+use barracuda::serve::metrics::percentile;
+use barracuda::{Daemon, ServeOptions};
+
+/// Workloads burst-tuned cold in phase 1 (NWChem excitations).
+const PHASE1: &[&str] = &[
+    "s1_1", "s1_2", "s1_3", "d1_1", "d1_2", "d1_3", "d2_1", "d2_2", "d2_3",
+];
+/// Held back from phase 1: their first touch lands mid-load, so the
+/// steady-state phase is genuinely mixed hot/cold (Nekbone + TCE).
+const PHASE2_ONLY: &[&str] = &["lg3", "tce"];
+
+const BURST: usize = 4;
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 400;
+
+fn tune_line(workload: &str) -> String {
+    format!(r#"{{"op":"tune","workload":"builtin:{workload}","backend":"k20"}}"#)
+}
+
+/// Fire one request, timing it and classifying hit/search by response.
+fn fire(daemon: &Daemon, line: &str) -> (bool, u64) {
+    let start = Instant::now();
+    let out = daemon.handle_line(line);
+    let us = start.elapsed().as_micros() as u64;
+    let v = Json::parse(&out.response).unwrap_or(Json::Null);
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {}",
+        out.response
+    );
+    let hit = v.get("source").and_then(Json::as_str) == Some("hit");
+    if hit {
+        assert_eq!(
+            v.get("evals_performed").and_then(Json::as_u64),
+            Some(0),
+            "a store hit must not search: {}",
+            out.response
+        );
+    }
+    (hit, us)
+}
+
+fn main() {
+    let store = std::env::temp_dir().join(format!("barracuda_serve_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let daemon = Arc::new(
+        Daemon::new(ServeOptions {
+            store: Some(store.clone()),
+            backend: "k20".to_string(),
+            quick: true,
+            evals: Some(40),
+            deadline_s: None,
+        })
+        .expect("daemon"),
+    );
+
+    // Phase 1: concurrent identical cold bursts — coalescing under fire.
+    println!(
+        "phase 1: {} workloads x {BURST} concurrent identical cold requests",
+        PHASE1.len()
+    );
+    let t0 = Instant::now();
+    let mut cold_us: Vec<u64> = Vec::new();
+    let mut warm_us: Vec<u64> = Vec::new();
+    for w in PHASE1 {
+        let line = tune_line(w);
+        let burst: Vec<(bool, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..BURST)
+                .map(|_| {
+                    let daemon = Arc::clone(&daemon);
+                    let line = line.clone();
+                    s.spawn(move || fire(&daemon, &line))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+        for (hit, us) in burst {
+            assert!(!hit, "{w}: the store was cold, nothing may hit");
+            cold_us.push(us);
+        }
+    }
+    let after_phase1 = daemon.metrics().snapshot();
+    println!(
+        "phase 1 done in {:.2}s: {} searches, {} coalesced",
+        t0.elapsed().as_secs_f64(),
+        after_phase1.store_misses,
+        after_phase1.coalesced
+    );
+
+    // Phase 2: mixed steady state over every workload.
+    let all: Vec<String> = PHASE1
+        .iter()
+        .chain(PHASE2_ONLY)
+        .map(|w| tune_line(w))
+        .collect();
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    println!("phase 2: {CLIENTS} clients x {REQUESTS_PER_CLIENT} mixed requests = {total}");
+    let t1 = Instant::now();
+    let results: Vec<Vec<(bool, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let daemon = Arc::clone(&daemon);
+                let all = all.clone();
+                s.spawn(move || {
+                    // Per-client LCG walk over the workload list: cheap,
+                    // deterministic, and different per client.
+                    let mut x: u64 = 0x9E3779B97F4A7C15 ^ (c as u64);
+                    (0..REQUESTS_PER_CLIENT)
+                        .map(|_| {
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            fire(&daemon, &all[(x >> 33) as usize % all.len()])
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let phase2_wall = t1.elapsed().as_secs_f64();
+    for (hit, us) in results.into_iter().flatten() {
+        if hit {
+            warm_us.push(us);
+        } else {
+            cold_us.push(us);
+        }
+    }
+
+    cold_us.sort_unstable();
+    warm_us.sort_unstable();
+    let m = daemon.metrics().snapshot();
+    let cold_p50 = percentile(&cold_us, 50.0);
+    let cold_p99 = percentile(&cold_us, 99.0);
+    let warm_p50 = percentile(&warm_us, 50.0);
+    let warm_p99 = percentile(&warm_us, 99.0);
+    let speedup = cold_p50 as f64 / (warm_p50.max(1)) as f64;
+    let throughput = total as f64 / phase2_wall;
+
+    println!(
+        "cold: {} requests, p50 {cold_p50} us, p99 {cold_p99} us",
+        cold_us.len()
+    );
+    println!(
+        "warm: {} requests, p50 {warm_p50} us, p99 {warm_p99} us",
+        warm_us.len()
+    );
+    println!("warm speedup p50: {speedup:.0}x; steady-state throughput {throughput:.0} req/s");
+    println!("{m}");
+
+    // The tentpole's acceptance bar, enforced:
+    assert!(
+        m.coalesced > 0,
+        "concurrent identical cold requests must coalesce"
+    );
+    assert!(
+        speedup >= 100.0,
+        "warm p50 ({warm_p50} us) must be >=100x below cold p50 ({cold_p50} us)"
+    );
+    assert!(
+        warm_us.len() > cold_us.len(),
+        "the load must be mostly warm"
+    );
+
+    let json = Json::Obj(vec![
+        (
+            "workloads".into(),
+            Json::Num((PHASE1.len() + PHASE2_ONLY.len()) as f64),
+        ),
+        ("cold_requests".into(), Json::Num(cold_us.len() as f64)),
+        ("warm_requests".into(), Json::Num(warm_us.len() as f64)),
+        ("cold_p50_us".into(), Json::Num(cold_p50 as f64)),
+        ("cold_p99_us".into(), Json::Num(cold_p99 as f64)),
+        ("warm_p50_us".into(), Json::Num(warm_p50 as f64)),
+        ("warm_p99_us".into(), Json::Num(warm_p99 as f64)),
+        (
+            "warm_speedup_p50".into(),
+            Json::Num((speedup * 10.0).round() / 10.0),
+        ),
+        ("steady_state_rps".into(), Json::Num(throughput.round())),
+        ("store_hits".into(), Json::Num(m.store_hits as f64)),
+        ("store_misses".into(), Json::Num(m.store_misses as f64)),
+        ("coalesced".into(), Json::Num(m.coalesced as f64)),
+        ("warm_zero_search_evals".into(), Json::Bool(true)),
+        ("daemon_p50_us".into(), Json::Num(m.p50_us as f64)),
+        ("daemon_p99_us".into(), Json::Num(m.p99_us as f64)),
+    ]);
+    match std::fs::write("BENCH_serve.json", json.to_string_pretty()) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -7,6 +7,7 @@
 //! barracuda replay <file.dsl | builtin:NAME> --store DIR [--backend KEY]
 //! barracuda plans <list|gc> --store DIR [--schema-older-than V]
 //! barracuda plans <show|path> <file.dsl | builtin:NAME> --store DIR
+//! barracuda serve [--store DIR] [--listen stdio|tcp:HOST:PORT|unix:PATH]
 //! barracuda backends
 //! barracuda benchmarks
 //!
@@ -44,6 +45,11 @@
 //!   --fault-seed N                seed for --inject-faults (default 7)
 //!   --strict                      exit 9 when the search degrades
 //!                                 (budget/deadline/survivor threshold)
+//!   --listen SPEC                 `serve` transport: stdio (default,
+//!                                 sequential), tcp:HOST:PORT or
+//!                                 unix:PATH (thread per connection;
+//!                                 identical concurrent requests coalesce
+//!                                 into one search)
 //!   --emit cuda|tcr|annotation    artifact to print after tuning
 //!   --validate                    execute the tuned kernels against the
 //!                                 reference evaluator before reporting
@@ -55,11 +61,14 @@
 //! Exit codes: 0 success, 1 generic failure, 2 usage; typed pipeline
 //! failures exit with their stage code (3 parse, 4 validation,
 //! 5 factorization, 6 mapping, 7 simulation, 8 search, 10 plan,
-//! 11 store); 9 means the run completed but degraded under `--strict`.
+//! 11 store, 12 serve); 9 means the run completed but degraded under
+//! `--strict`.
 //! A bad plan *artifact* — unsupported schema version, tampered workload
 //! fingerprint, foreign backend cache salt — is the exit-10 case; a bad
 //! plan *store* — unreadable directory, an entry whose file name does not
-//! decode to a store key — is the exit-11 case.
+//! decode to a store key — is the exit-11 case; a daemon that cannot
+//! bind its transport is the exit-12 case (in-protocol failures answer
+//! `ok:false` on the wire instead of killing the daemon).
 //!
 //! Built-in workloads (for `builtin:NAME`): eqn1, lg3, lg3t, tce,
 //! s1_1..s1_9, d1_1..d1_9, d2_1..d2_9.
@@ -94,6 +103,7 @@ struct Options {
     validate: bool,
     fused: bool,
     explain: bool,
+    listen: Option<String>,
 }
 
 impl Default for Options {
@@ -118,6 +128,7 @@ impl Default for Options {
             validate: false,
             fused: false,
             explain: false,
+            listen: None,
         }
     }
 }
@@ -165,7 +176,7 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: barracuda <tune|info|replay|plans|backends|benchmarks> \
+        "usage: barracuda <tune|info|replay|plans|serve|backends|benchmarks> \
          [<file.dsl>|builtin:NAME|<plan.json>] \
          [--arch A] [--backend KEY|all] [--store DIR] [--save-plan PATH] \
          [--dim i=10]... [--dims N] [--evals N] [--quick] \
@@ -173,7 +184,9 @@ fn usage() -> ExitCode {
          [--fault-seed N] [--strict] \
          [--emit cuda|cufile|tcr|annotation] [--validate] [--fused]\n\
          \x20      barracuda plans <list|gc> --store DIR [--schema-older-than V]\n\
-         \x20      barracuda plans <show|path> <workload> --store DIR [--backend KEY] [--schema V]"
+         \x20      barracuda plans <show|path> <workload> --store DIR [--backend KEY] [--schema V]\n\
+         \x20      barracuda serve [--store DIR] [--listen stdio|tcp:HOST:PORT|unix:PATH] \
+         [--backend KEY] [--quick] [--evals N] [--deadline S]"
     );
     ExitCode::from(2)
 }
@@ -265,6 +278,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "bad seed")?
             }
             "--strict" => o.strict = true,
+            "--listen" => o.listen = Some(it.next().ok_or("--listen needs a spec")?.clone()),
             "--emit" => o.emit = Some(it.next().ok_or("--emit needs a kind")?.clone()),
             "--validate" => o.validate = true,
             "--fused" => o.fused = true,
@@ -276,27 +290,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn builtin(name: &str) -> Option<Workload> {
-    use barracuda::kernels as k;
-    let w = match name {
-        "eqn1" => k::eqn1(k::EQN1_N),
-        "lg3" => k::lg3(k::NEK_ORDER, k::NEK_ELEMENTS),
-        "lg3t" => k::lg3t(k::NEK_ORDER, k::NEK_ELEMENTS),
-        "tce" => k::tce_ex(k::TCE_N),
-        other => {
-            let (family, var) = other.split_once('_')?;
-            let v: usize = var.parse().ok()?;
-            if !(1..=9).contains(&v) {
-                return None;
-            }
-            match family {
-                "s1" => k::nwchem_s1(v, k::NWCHEM_TRIP),
-                "d1" => k::nwchem_d1(v, k::NWCHEM_TRIP),
-                "d2" => k::nwchem_d2(v, k::NWCHEM_TRIP),
-                _ => return None,
-            }
-        }
-    };
-    Some(w)
+    barracuda::kernels::builtin(name)
 }
 
 fn load_workload(spec: &str, o: &Options) -> Result<Workload, CliError> {
@@ -808,6 +802,38 @@ fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError>
     }
 }
 
+/// `barracuda serve`: run the tuning daemon until a shutdown request
+/// (or EOF on stdio). The default backend, parameter profile, eval
+/// budget and deadline come from the usual tune flags; individual
+/// requests may override each per the protocol.
+fn cmd_serve(o: &Options) -> Result<(), CliError> {
+    let backend = o.backend.clone().unwrap_or_else(|| o.arch.clone());
+    let b = backend_by_key(&backend).ok_or_else(|| {
+        CliError::Usage(format!(
+            "serve needs a registry backend as its default, not {backend} (one of: {})",
+            barracuda::backend_keys().join(", ")
+        ))
+    })?;
+    if !b.caps().searchable {
+        return Err(CliError::Usage(format!(
+            "serve default backend {backend} is not searchable — pick a GPU backend"
+        )));
+    }
+    let listen = match &o.listen {
+        Some(spec) => barracuda::Listen::parse(spec)?,
+        None => barracuda::Listen::Stdio,
+    };
+    let daemon = std::sync::Arc::new(barracuda::Daemon::new(barracuda::ServeOptions {
+        store: o.store.as_ref().map(std::path::PathBuf::from),
+        backend,
+        quick: o.quick,
+        evals: Some(o.evals),
+        deadline_s: o.deadline,
+    })?);
+    barracuda::serve::transport::run(daemon, &listen)?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -882,6 +908,19 @@ fn main() -> ExitCode {
                 println!("  builtin:{fam}_1 .. builtin:{fam}_9");
             }
             ExitCode::SUCCESS
+        }
+        "serve" => {
+            let opts = match parse_options(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            match cmd_serve(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => e.report(),
+            }
         }
         "tune" | "info" => {
             let Some(spec) = args.get(1) else {

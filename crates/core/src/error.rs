@@ -70,6 +70,12 @@ pub enum BarracudaError {
     ///
     /// [`Plan`]: BarracudaError::Plan
     Store { detail: String },
+    /// The serving daemon itself failed: a malformed request line, an
+    /// unresolvable workload spec, a transport that cannot bind or accept,
+    /// or a coalesced wait that outlived its deadline. Distinct from the
+    /// pipeline stages so clients can tell a broken request from a broken
+    /// tune.
+    Serve { detail: String },
 }
 
 impl BarracudaError {
@@ -85,6 +91,7 @@ impl BarracudaError {
             BarracudaError::Search { .. } => "search",
             BarracudaError::Plan { .. } => "plan",
             BarracudaError::Store { .. } => "store",
+            BarracudaError::Serve { .. } => "serve",
         }
     }
 
@@ -102,6 +109,7 @@ impl BarracudaError {
             BarracudaError::Search { .. } => 8,
             BarracudaError::Plan { .. } => 10,
             BarracudaError::Store { .. } => 11,
+            BarracudaError::Serve { .. } => 12,
         }
     }
 
@@ -116,6 +124,7 @@ impl BarracudaError {
             | BarracudaError::Search { workload, .. }
             | BarracudaError::Plan { workload, .. } => workload,
             BarracudaError::Store { .. } => "store",
+            BarracudaError::Serve { .. } => "serve",
         }
     }
 }
@@ -181,6 +190,9 @@ impl fmt::Display for BarracudaError {
             BarracudaError::Store { detail } => {
                 write!(f, "plan store error: {detail}")
             }
+            BarracudaError::Serve { detail } => {
+                write!(f, "serve error: {detail}")
+            }
         }
     }
 }
@@ -231,6 +243,7 @@ mod tests {
                 detail: "d".into(),
             },
             BarracudaError::Store { detail: "d".into() },
+            BarracudaError::Serve { detail: "d".into() },
         ];
         let mut codes: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
         codes.sort_unstable();

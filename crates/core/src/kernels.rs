@@ -190,6 +190,34 @@ pub fn nwchem_family(family: &str, trip: usize) -> Vec<Workload> {
         .collect()
 }
 
+/// Resolve a builtin workload by its short name, at the paper's sizes:
+/// `eqn1`, `lg3`, `lg3t`, `tce`, or an NWChem excitation `s1_1`..`s1_9`,
+/// `d1_1`..`d1_9`, `d2_1`..`d2_9`. Returns `None` for anything else — the
+/// shared vocabulary of the CLI's `builtin:` specs and the serving
+/// daemon's `workload` field.
+pub fn builtin(name: &str) -> Option<Workload> {
+    let w = match name {
+        "eqn1" => eqn1(EQN1_N),
+        "lg3" => lg3(NEK_ORDER, NEK_ELEMENTS),
+        "lg3t" => lg3t(NEK_ORDER, NEK_ELEMENTS),
+        "tce" => tce_ex(TCE_N),
+        other => {
+            let (family, var) = other.split_once('_')?;
+            let v: usize = var.parse().ok()?;
+            if !(1..=9).contains(&v) {
+                return None;
+            }
+            match family {
+                "s1" => nwchem_s1(v, NWCHEM_TRIP),
+                "d1" => nwchem_d1(v, NWCHEM_TRIP),
+                "d2" => nwchem_d2(v, NWCHEM_TRIP),
+                _ => return None,
+            }
+        }
+    };
+    Some(w)
+}
+
 /// The individual tensor-contraction benchmarks of Table II, at the paper's
 /// sizes.
 pub fn table2_benchmarks() -> Vec<Workload> {

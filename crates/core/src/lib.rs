@@ -61,6 +61,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod quarantine;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod stages;
 pub mod store;
@@ -77,6 +78,7 @@ pub use fusionopt::{fuse_alternatives, FusedAlternative};
 pub use pipeline::{SearchStats, TuneParams, TunedWorkload, TunerEvaluator, WorkloadTuner};
 pub use plan::{PlanChoice, PlanProvenance, TunedPlan, PLAN_SCHEMA_READABLE, PLAN_SCHEMA_VERSION};
 pub use quarantine::{QuarantineEntry, QuarantineReport, QuarantineStage};
+pub use serve::{Daemon, Listen, MetricsSnapshot, ServeMetrics, ServeOptions, ServedTune};
 pub use session::{PlanSource, SessionOutcome, SweepOutcome, TuningSession};
 pub use store::{PlanStore, StoreEntry, StoreKey};
 pub use variant::{StatementTuner, Variant};

@@ -613,6 +613,23 @@ impl TunedPlan {
         cache: &EvalCache,
     ) -> Result<TunedWorkload, BarracudaError> {
         self.validate_for(workload)?;
+        let tuner = WorkloadTuner::build(workload);
+        self.replay_built(workload, &tuner, cache)
+    }
+
+    /// [`TunedPlan::replay_for`] with a pre-built tuner: skips the lowering
+    /// pass when the caller already holds the workload's
+    /// [`WorkloadTuner`] — the serving daemon replays thousands of warm
+    /// requests against one cached tuner. The caller must have built
+    /// `tuner` from `workload` and validated the fingerprint (or accept
+    /// the id-range check below as the only guard).
+    pub fn replay_built(
+        &self,
+        workload: &Workload,
+        tuner: &WorkloadTuner,
+        cache: &EvalCache,
+    ) -> Result<TunedWorkload, BarracudaError> {
+        self.validate_for(workload)?;
         let backend = backend_by_key(&self.backend).ok_or_else(|| BarracudaError::Plan {
             workload: workload.name.clone(),
             detail: format!("unknown backend `{}` in plan", self.backend),
@@ -637,7 +654,6 @@ impl TunedPlan {
                 self.backend
             ),
         })?;
-        let tuner = WorkloadTuner::build(workload);
         if self.id >= tuner.total_space() {
             return Err(BarracudaError::Plan {
                 workload: workload.name.clone(),
@@ -708,6 +724,9 @@ impl TunedPlan {
                 per_op_misses: p.per_op_misses,
                 time_hits: p.time_hits,
                 time_misses: p.time_misses,
+                // The replay never searches, so nothing was pruned here;
+                // the original run's pools are unique by construction.
+                duplicate_candidates: 0,
                 hot: HotPathSnapshot {
                     decode_ns: p.hot_decode_ns,
                     map_ns: p.hot_map_ns,

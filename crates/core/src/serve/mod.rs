@@ -1,0 +1,427 @@
+//! `barracuda serve` — the tuning-as-a-service daemon.
+//!
+//! A [`Daemon`] is one long-lived [`TuningSession`] behind a
+//! line-delimited JSON protocol ([`protocol`]): every request routes
+//! through the same per-workload [`crate::cache::EvalCache`]s and the
+//! same (optional) content-addressed plan store, so the paper's
+//! compile-once/run-many loop (§5) becomes a network service. Three
+//! properties the tests pin:
+//!
+//! - **Store hits replay.** A warm request never searches: the stored
+//!   plan replays with zero search evaluations and the response's timing
+//!   line is byte-identical to the one the original search printed.
+//! - **Identical misses coalesce.** Concurrent requests for the same
+//!   `(workload, backend, parameters)` run *one* search: the first
+//!   becomes the leader, the rest wait on its [`ServedTune`] and answer
+//!   with bit-identical results. Duplicate work is counted, not done.
+//! - **Deadlines degrade, never hang.** A request deadline flows into
+//!   [`TuneParams::wall_deadline_s`]; overrun returns best-so-far with
+//!   the typed degraded status. A coalesced waiter that outlives its
+//!   deadline (plus a fixed grace) fails with a typed
+//!   [`BarracudaError::Serve`] instead of blocking forever.
+//!
+//! Transports ([`transport`]): sequential stdio (deterministic — what CI
+//! scripts drive) and thread-per-connection TCP or Unix sockets (where
+//! coalescing actually overlaps). Tests and the load generator skip the
+//! transport and call [`Daemon::handle_line`] directly.
+
+pub mod metrics;
+pub mod protocol;
+pub mod transport;
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::error::BarracudaError;
+use crate::json::Json;
+use crate::kernels;
+use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
+use crate::report::fmt_f;
+use crate::session::{PlanSource, TuningSession};
+use crate::stages::frontend::workload_fingerprint;
+use crate::workload::Workload;
+
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use protocol::{Request, ServedSource, ServedTune, TuneRequest};
+pub use transport::Listen;
+
+/// Extra wall-clock a coalesced follower grants the leader past the
+/// request deadline: the search stops at the next *batch boundary* after
+/// the deadline, so the tail of one batch must fit inside the grace.
+const COALESCE_GRACE_S: f64 = 30.0;
+
+/// Daemon-wide defaults for fields a tune request leaves unset.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Plan store directory; `None` serves without persistence (every
+    /// cold request searches, warmth only via coalescing and caches).
+    pub store: Option<PathBuf>,
+    /// Default backend registry key for requests without `"backend"`.
+    pub backend: String,
+    /// Default parameter profile: `true` = quick, `false` = paper.
+    pub quick: bool,
+    /// Default SURF evaluation budget (`None`: the profile's own).
+    pub evals: Option<usize>,
+    /// Default per-request deadline in seconds.
+    pub deadline_s: Option<f64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            store: None,
+            backend: "gtx980".to_string(),
+            quick: false,
+            evals: None,
+            deadline_s: None,
+        }
+    }
+}
+
+/// One handled request line: the response line (compact JSON, no
+/// newline) and whether this request asked the daemon to stop.
+#[derive(Clone, Debug)]
+pub struct LineOutcome {
+    pub response: String,
+    pub shutdown: bool,
+}
+
+/// The slot duplicates rendezvous on: the leader publishes exactly once,
+/// then wakes every waiter.
+#[derive(Default)]
+struct InFlight {
+    slot: Mutex<Option<Result<Arc<ServedTune>, BarracudaError>>>,
+    ready: Condvar,
+}
+
+enum Role {
+    Leader(Arc<InFlight>),
+    Follower(Arc<InFlight>),
+}
+
+/// The serving daemon: one shared session, a tuner cache, the in-flight
+/// coalescing map, and counters. `&self` everywhere — transports share
+/// one daemon across threads.
+pub struct Daemon {
+    session: TuningSession,
+    options: ServeOptions,
+    /// Lowered tuners by workload fingerprint: warm requests replay
+    /// against a cached lowering instead of re-running the frontend.
+    tuners: Mutex<HashMap<u64, Arc<WorkloadTuner>>>,
+    /// In-flight tunes by coalescing key; entries live from the leader's
+    /// insertion to just after it publishes.
+    inflight: Mutex<HashMap<(u64, String, u64), Arc<InFlight>>>,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Daemon {
+    /// Build a daemon; opening the plan store is the only fallible part.
+    pub fn new(options: ServeOptions) -> Result<Daemon, BarracudaError> {
+        let session = match &options.store {
+            Some(root) => TuningSession::with_store(root.clone())?,
+            None => TuningSession::new(),
+        };
+        Ok(Daemon {
+            session,
+            options,
+            tuners: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            metrics: ServeMetrics::default(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The daemon's counters (live; snapshot to read them consistently).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The underlying session (tests reach its caches through this).
+    pub fn session(&self) -> &TuningSession {
+        &self.session
+    }
+
+    /// `true` once a shutdown request was handled.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handle one request line end-to-end: parse, dispatch, count, and
+    /// render the one response line. Never panics and never blocks
+    /// beyond the request's own deadline plus the coalescing grace.
+    pub fn handle_line(&self, line: &str) -> LineOutcome {
+        let start = Instant::now();
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let mut shutdown = false;
+        let response: Json = match Request::parse(line) {
+            Err(e) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::error_response("error", None, &e)
+            }
+            Ok(Request::Ping) => protocol::ack_response("ping"),
+            Ok(Request::Stats) => self.metrics.snapshot().to_json(),
+            Ok(Request::Shutdown) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                shutdown = true;
+                protocol::ack_response("shutdown")
+            }
+            Ok(Request::Tune(req)) => match self.serve_tune(&req) {
+                Ok(t) => {
+                    self.metrics.tunes.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .quarantined
+                        .fetch_add(t.quarantined, Ordering::Relaxed);
+                    if t.degraded.is_some() {
+                        self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    protocol::tune_response(req.id.as_deref(), &t)
+                }
+                Err(e) => {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::error_response("tune", req.id.as_deref(), &e)
+                }
+            },
+        };
+        self.metrics
+            .record_latency_us(start.elapsed().as_micros() as u64);
+        LineOutcome {
+            response: response.to_string_compact(),
+            shutdown,
+        }
+    }
+
+    /// Serve one tune request, coalescing with identical in-flight ones.
+    pub fn serve_tune(&self, req: &TuneRequest) -> Result<Arc<ServedTune>, BarracudaError> {
+        let workload = resolve_workload(&req.workload)?;
+        let backend = req
+            .backend
+            .clone()
+            .unwrap_or_else(|| self.options.backend.clone());
+        let params = self.params_for(req);
+        let key = self.coalesce_key(&workload, &backend, &params)?;
+        let role = {
+            let mut map = lock(&self.inflight);
+            match map.entry(key.clone()) {
+                Entry::Occupied(e) => Role::Follower(Arc::clone(e.get())),
+                Entry::Vacant(e) => {
+                    let f = Arc::new(InFlight::default());
+                    e.insert(Arc::clone(&f));
+                    Role::Leader(f)
+                }
+            }
+        };
+        match role {
+            Role::Follower(flight) => {
+                self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                wait_for_leader(&flight, params.wall_deadline_s)
+            }
+            Role::Leader(flight) => {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    self.tune_once(&workload, &backend, params)
+                }))
+                .unwrap_or_else(|panic| {
+                    Err(BarracudaError::Serve {
+                        detail: format!("tune panicked: {}", panic_message(panic.as_ref())),
+                    })
+                })
+                .map(Arc::new);
+                *lock(&flight.slot) = Some(result.clone());
+                flight.ready.notify_all();
+                lock(&self.inflight).remove(&key);
+                result
+            }
+        }
+    }
+
+    /// The leader's actual tune: store-first through the shared session
+    /// over the cached (or freshly lowered) tuner.
+    fn tune_once(
+        &self,
+        workload: &Workload,
+        backend: &str,
+        params: TuneParams,
+    ) -> Result<ServedTune, BarracudaError> {
+        let tuner = self.tuner_for(workload);
+        let out = self.session.tune_built(&tuner, backend, params)?;
+        let source = match &out.source {
+            PlanSource::StoreHit { .. } => ServedSource::Hit,
+            PlanSource::Searched { stored: Some(_) } => ServedSource::Searched,
+            PlanSource::Searched { stored: None } => ServedSource::Detached,
+        };
+        match source {
+            ServedSource::Hit => self.metrics.store_hits.fetch_add(1, Ordering::Relaxed),
+            _ => self.metrics.store_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        Ok(served_from(&out.tuned, backend, source))
+    }
+
+    /// Cached lowering for `workload`, built on first sight.
+    fn tuner_for(&self, workload: &Workload) -> Arc<WorkloadTuner> {
+        let fp = workload_fingerprint(workload);
+        if let Some(t) = lock(&self.tuners).get(&fp) {
+            return Arc::clone(t);
+        }
+        // Lower outside the lock: first requests for distinct workloads
+        // must not serialize on one mutex. A racing duplicate lowering
+        // is idempotent; first insert wins.
+        let built = Arc::new(WorkloadTuner::build(workload));
+        Arc::clone(
+            lock(&self.tuners)
+                .entry(fp)
+                .or_insert_with(|| Arc::clone(&built)),
+        )
+    }
+
+    /// Request parameters: profile default, then request overrides.
+    fn params_for(&self, req: &TuneRequest) -> TuneParams {
+        let quick = req.quick.unwrap_or(self.options.quick);
+        let mut p = if quick {
+            TuneParams::quick()
+        } else {
+            TuneParams::paper()
+        };
+        if let Some(evals) = req.evals.or(self.options.evals) {
+            p.surf.max_evals = evals;
+        }
+        p.wall_deadline_s = req.deadline_s.or(self.options.deadline_s);
+        p
+    }
+
+    /// The coalescing key: workload fingerprint + backend + a digest of
+    /// every parameter that changes the result. Two requests with equal
+    /// keys are interchangeable, so one may answer for both.
+    fn coalesce_key(
+        &self,
+        workload: &Workload,
+        backend: &str,
+        params: &TuneParams,
+    ) -> Result<(u64, String, u64), BarracudaError> {
+        // Validates the backend key early: an unknown backend fails the
+        // request before it can occupy a coalescing slot.
+        let key = self.session.key_for(workload, backend)?;
+        let mut h = DefaultHasher::new();
+        params.surf.max_evals.hash(&mut h);
+        params.surf.batch_size.hash(&mut h);
+        params.surf.seed.hash(&mut h);
+        params
+            .wall_deadline_s
+            .unwrap_or(f64::NAN)
+            .to_bits()
+            .hash(&mut h);
+        key.cache_salt.hash(&mut h);
+        Ok((key.fingerprint, key.backend, h.finish()))
+    }
+}
+
+/// Follower wait: until the leader publishes, bounded by the request
+/// deadline plus [`COALESCE_GRACE_S`] when one is set (unbounded
+/// otherwise — the leader always publishes, even on panic).
+fn wait_for_leader(
+    flight: &InFlight,
+    deadline_s: Option<f64>,
+) -> Result<Arc<ServedTune>, BarracudaError> {
+    let cap = deadline_s.map(|d| Duration::from_secs_f64(d.max(0.0) + COALESCE_GRACE_S));
+    let start = Instant::now();
+    let mut slot = lock(&flight.slot);
+    loop {
+        if let Some(result) = slot.as_ref() {
+            return result.clone();
+        }
+        match cap {
+            None => {
+                slot = match flight.ready.wait(slot) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+            Some(cap) => {
+                let left = cap.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+                if left.is_zero() {
+                    return Err(BarracudaError::Serve {
+                        detail: format!(
+                            "coalesced wait outlived its deadline ({:.1}s + {COALESCE_GRACE_S:.0}s \
+                             grace) — the leading tune did not publish in time",
+                            deadline_s.unwrap_or(0.0)
+                        ),
+                    });
+                }
+                slot = match flight.ready.wait_timeout(slot, left) {
+                    Ok((g, _)) => g,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        }
+    }
+}
+
+/// Resolve a request's workload spec (`builtin:NAME` or bare name).
+fn resolve_workload(spec: &str) -> Result<Workload, BarracudaError> {
+    let name = spec.strip_prefix("builtin:").unwrap_or(spec);
+    kernels::builtin(name).ok_or_else(|| BarracudaError::Serve {
+        detail: format!(
+            "unknown workload \"{spec}\" — serve resolves builtin workloads only \
+             (eqn1, lg3, lg3t, tce, s1_1..s1_9, d1_1..d1_9, d2_1..d2_9)"
+        ),
+    })
+}
+
+/// Project a tuned result onto the wire struct. The timing line uses the
+/// exact CLI `tune` format, so a store-hit replay prints byte-identical
+/// to the search that produced the plan.
+fn served_from(tuned: &TunedWorkload, backend: &str, source: ServedSource) -> ServedTune {
+    let timing = format!(
+        "{:12} {:>10} us device  {:>8} GF device  {:>8} GF w/transfers  ({} evals, space {})",
+        tuned.arch_name,
+        fmt_f(tuned.gpu_seconds * 1e6),
+        fmt_f(tuned.gflops_device()),
+        fmt_f(tuned.gflops()),
+        tuned.search.n_evals,
+        tuned.search.space_size,
+    );
+    ServedTune {
+        workload: tuned.name.clone(),
+        backend: backend.to_string(),
+        arch: tuned.arch_name.clone(),
+        source,
+        gpu_seconds: tuned.gpu_seconds,
+        gflops_device: tuned.gflops_device(),
+        gflops: tuned.gflops(),
+        n_evals: tuned.search.n_evals,
+        space_size: tuned.search.space_size,
+        evals_performed: match source {
+            ServedSource::Hit => 0,
+            _ => tuned.search.n_evals,
+        },
+        quarantined: tuned.quarantine.len(),
+        degraded: match &tuned.status {
+            surf::SearchStatus::Complete => None,
+            surf::SearchStatus::Degraded { reason } => Some(reason.clone()),
+        },
+        timing,
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}

@@ -167,7 +167,7 @@ impl TuningSession {
         if let Some(store) = &self.store {
             let key = self.key_for(workload, backend)?;
             if let Some(plan) = store.lookup(&key)? {
-                let tuned = plan.replay_for(workload, &cache)?;
+                let tuned = plan.replay_built(workload, tuner, &cache)?;
                 return Ok(SessionOutcome {
                     tuned,
                     plan,

@@ -184,6 +184,10 @@ pub struct SearchStats {
     /// Whole-configuration time cache hits/misses during this run.
     pub time_hits: usize,
     pub time_misses: usize,
+    /// Duplicate candidate ids pruned from the pool before the search (0
+    /// for the internal pools, which are built from sets; nonzero only
+    /// when a caller hands SURF a pool with repeats).
+    pub duplicate_candidates: usize,
     /// Wall-time spent per hot-path stage (decode / map / simulate /
     /// predict) during this run.
     pub hot: HotPathSnapshot,
@@ -513,6 +517,7 @@ pub fn autotune_joint(
             per_op_misses: om1 - om0,
             time_hits: th1 - th0,
             time_misses: tm1 - tm0,
+            duplicate_candidates: result.duplicates_pruned,
             hot,
         },
         status,
@@ -546,6 +551,7 @@ pub fn autotune_decomposed(
     let mut wall_s = 0.0;
     let mut threads = 1;
     let mut predict_ns = 0u64;
+    let mut duplicate_candidates = 0usize;
     let mut quarantine = lower::build_quarantine(statements);
     let mut status = SearchStatus::Complete;
     let mut remaining = params.max_evaluations;
@@ -624,6 +630,7 @@ pub fn autotune_decomposed(
         wall_s += result.wall_s;
         threads = threads.max(result.threads);
         predict_ns += result.predict_ns;
+        duplicate_candidates += result.duplicates_pruned;
         locals.push(best);
     }
     let (hits1, misses1) = cache.stats();
@@ -677,6 +684,7 @@ pub fn autotune_decomposed(
             per_op_misses: om1 - om0,
             time_hits: th1 - th0,
             time_misses: tm1 - tm0,
+            duplicate_candidates,
             hot,
         },
         status,

@@ -586,3 +586,75 @@ fn injected_faults_are_reported_in_quarantine() {
     assert!(text.contains("quarantine:"), "stdout: {text}");
     assert!(text.contains("injected"), "stdout: {text}");
 }
+
+#[test]
+fn serve_over_stdio_cold_then_warm() {
+    use std::io::Write;
+    let store = std::env::temp_dir().join(format!("barracuda_cli_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut child = bin()
+        .args([
+            "serve",
+            "--store",
+            store.to_str().unwrap(),
+            "--quick",
+            "--evals",
+            "25",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            concat!(
+                r#"{"op":"tune","id":"cold","workload":"builtin:eqn1"}"#,
+                "\n",
+                r#"{"op":"tune","id":"warm","workload":"builtin:eqn1"}"#,
+                "\n",
+                r#"{"op":"stats"}"#,
+                "\n",
+                r#"{"op":"shutdown"}"#,
+                "\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "stdout: {stdout}");
+    assert!(lines[0].contains(r#""source":"searched""#), "{}", lines[0]);
+    assert!(lines[1].contains(r#""source":"hit""#), "{}", lines[1]);
+    assert!(lines[1].contains(r#""evals_performed":0"#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""store_hits":1"#), "{}", lines[2]);
+    assert!(lines[3].contains(r#""op":"shutdown""#), "{}", lines[3]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 store hits"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn serve_rejects_a_bad_listen_spec_with_exit_12() {
+    let out = bin()
+        .args(["serve", "--listen", "carrier-pigeon:coop"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(12),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error[serve]"));
+}

@@ -216,17 +216,36 @@ impl PackedTree {
 }
 
 impl CompiledForest {
+    /// An empty forest to be filled by [`ExtraTrees::compile_into`]; keeps
+    /// its allocations across refills.
+    pub fn empty() -> CompiledForest {
+        CompiledForest {
+            trees: Vec::new(),
+            n_trees: 0,
+            n_features: 0,
+        }
+    }
+
     /// Predicts the selected `rows` of compact matrix `c` into `out`
     /// (cleared first); bit-identical to
     /// [`ExtraTrees::predict_rows_into`] on the flat matrix `c` was built
     /// from.
     pub fn predict_rows_into(&self, c: &CompactMatrix, rows: &[u32], out: &mut Vec<f64>) {
         out.clear();
+        out.resize(rows.len(), 0.0);
+        self.predict_rows_to(c, rows, out);
+    }
+
+    /// Slice form of [`CompiledForest::predict_rows_into`]: fills the
+    /// exactly-sized `out` without touching any allocation, so hot loops
+    /// (and parallel chunked scoring) can reuse caller-owned buffers.
+    pub fn predict_rows_to(&self, c: &CompactMatrix, rows: &[u32], out: &mut [f64]) {
+        assert_eq!(rows.len(), out.len(), "output length mismatch");
         if rows.is_empty() {
             return;
         }
         assert_eq!(c.width(), self.n_features, "feature width mismatch");
-        out.resize(rows.len(), 0.0);
+        out.fill(0.0);
         const BLOCK: usize = 128;
         for (bi, chunk) in rows.chunks(BLOCK).enumerate() {
             let acc = &mut out[bi * BLOCK..bi * BLOCK + chunk.len()];
@@ -524,24 +543,37 @@ impl ExtraTrees {
     /// Rewrites the forest's node feature indices against a compact-matrix
     /// schema, for repeated scoring of the same (large) candidate pool.
     pub fn compile(&self, schema: &CompactMatrix) -> CompiledForest {
+        let mut out = CompiledForest::empty();
+        self.compile_into(schema, &mut out);
+        out
+    }
+
+    /// [`ExtraTrees::compile`] into a reusable buffer: node and leaf
+    /// vectors are cloned in place (`clone_from`), so a search loop that
+    /// refits and recompiles every round reuses the previous round's
+    /// allocations instead of freeing and reallocating them. The filled
+    /// forest is identical to a fresh [`ExtraTrees::compile`].
+    pub fn compile_into(&self, schema: &CompactMatrix, out: &mut CompiledForest) {
         assert_eq!(schema.width(), self.n_features, "feature width mismatch");
         let kinds = schema.kinds();
-        let trees = self
-            .packed
-            .iter()
-            .map(|t| {
-                let mut t = t.clone();
-                for n in &mut t.nodes {
-                    n.feat = kinds[n.feat as usize];
-                }
-                t
-            })
-            .collect();
-        CompiledForest {
-            trees,
-            n_trees: self.trees.len(),
-            n_features: self.n_features,
+        out.trees.truncate(self.packed.len());
+        while out.trees.len() < self.packed.len() {
+            out.trees.push(PackedTree {
+                nodes: Vec::new(),
+                val: Vec::new(),
+                depth: 0,
+            });
         }
+        for (dst, src) in out.trees.iter_mut().zip(&self.packed) {
+            dst.nodes.clone_from(&src.nodes);
+            dst.val.clone_from(&src.val);
+            dst.depth = src.depth;
+            for n in &mut dst.nodes {
+                n.feat = kinds[n.feat as usize];
+            }
+        }
+        out.n_trees = self.trees.len();
+        out.n_features = self.n_features;
     }
 
     /// Predicts the selected `rows` of `m` into `out` (cleared first).

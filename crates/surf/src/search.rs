@@ -26,7 +26,7 @@
 //! [`SearchError::NoSurvivors`] rather than a bogus best.
 
 use crate::binarize::{CompactMatrix, FeatureMatrix};
-use crate::forest::{ExtraTrees, ForestParams};
+use crate::forest::{CompiledForest, ExtraTrees, ForestParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -199,6 +199,11 @@ pub struct SurfResult {
     /// Nanoseconds spent inside surrogate pool scoring (model prediction,
     /// excluding the one-time pool featurization).
     pub predict_ns: u64,
+    /// Duplicate candidate ids pruned from the caller's pool before the
+    /// search began (first occurrence kept). Duplicates would break
+    /// sampling-without-replacement and be re-scored by every surrogate
+    /// pass, so they never enter the shuffle.
+    pub duplicates_pruned: usize,
 }
 
 impl SurfResult {
@@ -286,7 +291,9 @@ impl<E: ParallelEvaluator + ?Sized> ParallelEvaluator for &E {
 /// be empty.
 trait Backend {
     fn eval_batch(&mut self, ids: &[u128]) -> Vec<(Vec<f64>, Result<f64, EvalFault>)>;
-    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64>;
+    /// Scores `remaining` into the caller-owned `out` (cleared first), so
+    /// the driver's per-round prediction buffer is reused across rounds.
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128], out: &mut Vec<f64>);
     fn threads(&self) -> usize;
     /// Nanoseconds spent in model prediction during `score` so far.
     fn predict_ns(&self) -> u64 {
@@ -306,6 +313,10 @@ struct PoolFeatures {
     rows: CompactMatrix,
     index: HashMap<u128, u32>,
     sel: Vec<u32>,
+    /// Compiled-forest scratch refilled in place each pass
+    /// ([`ExtraTrees::compile_into`]), so steady-state scoring reuses the
+    /// previous round's tree allocations.
+    compiled: CompiledForest,
 }
 
 impl PoolFeatures {
@@ -320,36 +331,35 @@ impl PoolFeatures {
             rows,
             index,
             sel: Vec::new(),
+            compiled: CompiledForest::empty(),
         }
     }
 
-    /// Scores `remaining` in order; bit-identical to per-id
+    /// Scores `remaining` in order into `out`; bit-identical to per-id
     /// `model.predict(features(id))` because the compiled traversal makes
     /// the same decisions and reduces in the same tree order per row.
-    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128], out: &mut Vec<f64>) {
         self.sel.clear();
         self.sel.extend(remaining.iter().map(|id| self.index[id]));
-        let mut preds = Vec::new();
-        let compiled = model.compile(&self.rows);
-        compiled.predict_rows_into(&self.rows, &self.sel, &mut preds);
-        preds
+        model.compile_into(&self.rows, &mut self.compiled);
+        self.compiled.predict_rows_into(&self.rows, &self.sel, out);
     }
 
     /// Parallel variant: rows are predicted independently (no cross-row
-    /// reduction), so chunking the selection over the rayon pool keeps
-    /// every output bit identical to the serial traversal.
-    fn score_parallel(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+    /// reduction), so chunking the selection over the rayon pool — each
+    /// chunk filling its own disjoint piece of `out` — keeps every output
+    /// bit identical to the serial traversal.
+    fn score_parallel(&mut self, model: &ExtraTrees, remaining: &[u128], out: &mut Vec<f64>) {
         self.sel.clear();
         self.sel.extend(remaining.iter().map(|id| self.index[id]));
-        let chunks: Vec<&[u32]> = self.sel.chunks(2048).collect();
+        model.compile_into(&self.rows, &mut self.compiled);
+        out.clear();
+        out.resize(self.sel.len(), 0.0);
         let rows = &self.rows;
-        let compiled = model.compile(rows);
-        let parts = rayon::par_map_slice(&chunks, |c| {
-            let mut v = Vec::new();
-            compiled.predict_rows_into(rows, c, &mut v);
-            v
+        let compiled = &self.compiled;
+        rayon::par_chunks_zip_mut(&self.sel, out, 2048, |c, o| {
+            compiled.predict_rows_to(rows, c, o);
         });
-        parts.concat()
     }
 }
 
@@ -370,11 +380,13 @@ impl<F: FnMut(u128) -> Vec<f64>, E: FnMut(u128) -> f64> Backend for SerialBacken
             .collect()
     }
 
-    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
-        remaining
-            .iter()
-            .map(|&id| model.predict(&(self.features)(id)))
-            .collect()
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            remaining
+                .iter()
+                .map(|&id| model.predict(&(self.features)(id))),
+        );
     }
 
     fn threads(&self) -> usize {
@@ -401,7 +413,7 @@ impl<E: ParallelEvaluator> Backend for SerialEvalBackend<'_, E> {
             .collect()
     }
 
-    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128], out: &mut Vec<f64>) {
         let pool = match &mut self.pool {
             Some(p) => p,
             None => {
@@ -413,9 +425,8 @@ impl<E: ParallelEvaluator> Backend for SerialEvalBackend<'_, E> {
             }
         };
         let t0 = Instant::now();
-        let preds = pool.score(model, remaining);
+        pool.score(model, remaining, out);
         self.predict_ns += t0.elapsed().as_nanos() as u64;
-        preds
     }
 
     fn threads(&self) -> usize {
@@ -443,7 +454,7 @@ impl<E: ParallelEvaluator> Backend for ParallelBackend<'_, E> {
         })
     }
 
-    fn score(&mut self, model: &ExtraTrees, remaining: &[u128]) -> Vec<f64> {
+    fn score(&mut self, model: &ExtraTrees, remaining: &[u128], out: &mut Vec<f64>) {
         let pool = match &mut self.pool {
             Some(p) => p,
             None => {
@@ -452,9 +463,8 @@ impl<E: ParallelEvaluator> Backend for ParallelBackend<'_, E> {
             }
         };
         let t0 = Instant::now();
-        let preds = pool.score_parallel(model, remaining);
+        pool.score_parallel(model, remaining, out);
         self.predict_ns += t0.elapsed().as_nanos() as u64;
-        preds
     }
 
     fn threads(&self) -> usize {
@@ -535,8 +545,20 @@ fn drive<B: Backend>(
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
-    // Remaining (unevaluated) pool, shuffled once for unbiased init.
+    // Remaining (unevaluated) pool. Duplicate ids in the caller's pool
+    // would break sampling-without-replacement (the same configuration
+    // evaluated twice) and be re-scored by every surrogate pass, so they
+    // are pruned before the shuffle — first occurrence wins, order
+    // otherwise preserved, which keeps already-unique pools bit-identical
+    // to the history (the pre-shuffle sequence is unchanged).
     let mut remaining: Vec<u128> = pool.to_vec();
+    {
+        let mut seen = std::collections::HashSet::with_capacity(remaining.len());
+        remaining.retain(|&id| seen.insert(id));
+    }
+    let duplicates_pruned = pool.len() - remaining.len();
+
+    // Shuffled once for an unbiased init.
     for i in (1..remaining.len()).rev() {
         let j = rng.gen_range(0..=i);
         remaining.swap(i, j);
@@ -639,6 +661,13 @@ fn drive<B: Backend>(
     );
     batches += 1;
 
+    // Per-round scratch, reused across the whole iterative phase so
+    // steady-state prediction and batch selection allocate nothing.
+    let mut preds: Vec<f64> = Vec::new();
+    let mut scored: Vec<(usize, f64)> = Vec::new();
+    let mut chosen_idx: Vec<usize> = Vec::new();
+    let mut ids: Vec<u128> = Vec::new();
+
     // Iterative phase (lines 5–12).
     while evaluated.len() + quarantined.len() < params.max_evals && !remaining.is_empty() {
         if let Some(reason) = degraded(&start, evaluated.len(), quarantined.len()) {
@@ -650,15 +679,17 @@ fn drive<B: Backend>(
             .min(params.max_evals - attempted)
             .min(remaining.len());
 
-        let ids: Vec<u128> = if ys.is_empty() {
+        ids.clear();
+        if ys.is_empty() {
             // Nothing survived yet: the surrogate has no training data, so
             // keep drawing from the shuffled pool (pure random phase).
-            remaining.drain(..take).collect()
+            ids.extend(remaining.drain(..take));
         } else {
             let model = ExtraTrees::fit(&xs, &ys, params.forest);
             // Predict all remaining configs, take the best-predicted batch.
-            let preds = backend.score(&model, &remaining);
-            let mut scored: Vec<(usize, f64)> = preds.into_iter().enumerate().collect();
+            backend.score(&model, &remaining, &mut preds);
+            scored.clear();
+            scored.extend(preds.iter().copied().enumerate());
             scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
 
             // Model-confidence stop: how much of the pool still looks
@@ -676,14 +707,13 @@ fn drive<B: Backend>(
                 }
             }
 
-            let mut chosen_idx: Vec<usize> = scored[..take].iter().map(|(k, _)| *k).collect();
+            chosen_idx.clear();
+            chosen_idx.extend(scored[..take].iter().map(|(k, _)| *k));
             chosen_idx.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
-            let mut ids = Vec::with_capacity(take);
-            for k in chosen_idx {
+            for &k in &chosen_idx {
                 ids.push(remaining.swap_remove(k));
             }
-            ids
-        };
+        }
 
         let improved = run_batch(
             &ids,
@@ -726,6 +756,7 @@ fn drive<B: Backend>(
             threads: backend.threads(),
             wall_s: start.elapsed().as_secs_f64(),
             predict_ns: backend.predict_ns(),
+            duplicates_pruned,
         }),
         None => Err(SearchError::NoSurvivors {
             attempted: quarantined.len(),
@@ -989,6 +1020,46 @@ mod tests {
             SearchStatus::Degraded { reason } => assert!(reason.contains("survivor fraction")),
             SearchStatus::Complete => unreachable!(),
         }
+    }
+
+    #[test]
+    fn duplicate_pool_entries_are_pruned_and_counted() {
+        // A pool listing every id twice (plus one triple) must behave
+        // exactly like the unique pool: each configuration evaluated at
+        // most once, and the prune count reported.
+        let unique: Vec<u128> = (0..500).collect();
+        let mut doubled: Vec<u128> = Vec::new();
+        for &id in &unique {
+            doubled.push(id);
+            doubled.push(id);
+        }
+        doubled.push(3);
+        let count = RefCell::new(std::collections::HashMap::<u128, usize>::new());
+        let eval = |id: u128| {
+            *count.borrow_mut().entry(id).or_insert(0) += 1;
+            landscape(id)
+        };
+        let res = surf_search(&doubled, feats, eval, SurfParams::default()).unwrap();
+        assert_eq!(res.duplicates_pruned, unique.len() + 1);
+        assert!(count.borrow().values().all(|&c| c == 1));
+        let ids: std::collections::HashSet<u128> =
+            res.evaluated.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids.len(), res.n_evals());
+    }
+
+    #[test]
+    fn deduplicated_pool_runs_bitwise_identical_to_unique_pool() {
+        let unique: Vec<u128> = (0..500).collect();
+        let mut doubled = unique.clone();
+        doubled.extend(&unique);
+        let base = surf_search(&unique, feats, landscape, SurfParams::default()).unwrap();
+        let dup = surf_search(&doubled, feats, landscape, SurfParams::default()).unwrap();
+        assert_eq!(base.best_id, dup.best_id);
+        assert_eq!(base.best_y.to_bits(), dup.best_y.to_bits());
+        assert_eq!(base.evaluated, dup.evaluated);
+        assert_eq!(base.batches, dup.batches);
+        assert_eq!(base.duplicates_pruned, 0);
+        assert_eq!(dup.duplicates_pruned, unique.len());
     }
 
     #[test]

@@ -355,6 +355,35 @@ where
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// Runs `f` over corresponding `chunk`-sized pieces of `input` and `out`,
+/// potentially in parallel. Pieces are disjoint, each is claimed exactly
+/// once, and which thread runs which piece cannot change what gets written
+/// where — so for pure `f` the result is bit-identical to the serial loop.
+/// Lets hot paths fill one caller-owned output buffer instead of
+/// allocating a vector per piece and concatenating.
+pub fn par_chunks_zip_mut<T, U, F>(input: &[T], out: &mut [U], chunk: usize, f: F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T], &mut [U]) + Sync,
+{
+    assert_eq!(input.len(), out.len(), "zip length mismatch");
+    if input.is_empty() {
+        return;
+    }
+    let chunk = chunk.max(1);
+    type Piece<'a, T, U> = Mutex<Option<(&'a [T], &'a mut [U])>>;
+    let pairs: Vec<Piece<'_, T, U>> = input
+        .chunks(chunk)
+        .zip(out.chunks_mut(chunk))
+        .map(|p| Mutex::new(Some(p)))
+        .collect();
+    run_region(pairs.len(), &|i| {
+        let (a, b) = pairs[i].lock().unwrap().take().expect("piece claimed once");
+        f(a, b);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -416,5 +445,24 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunked_zip_matches_serial_fill() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let mut out = vec![0u64; input.len()];
+        par_chunks_zip_mut(&input, &mut out, 256, |src, dst| {
+            for (s, d) in src.iter().zip(dst.iter_mut()) {
+                *d = s * 7 + 1;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 7 + 1));
+        // Empty input is a no-op, uneven tail chunks are covered.
+        let mut empty_out: Vec<u64> = Vec::new();
+        par_chunks_zip_mut(&[], &mut empty_out, 8, |_: &[u64], _| unreachable!());
+        let odd: Vec<u64> = (0..13).collect();
+        let mut odd_out = vec![0u64; 13];
+        par_chunks_zip_mut(&odd, &mut odd_out, 5, |s, d| d.copy_from_slice(s));
+        assert_eq!(odd, odd_out);
     }
 }
