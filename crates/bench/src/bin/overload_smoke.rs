@@ -1,0 +1,177 @@
+//! Overload smoke test for `barracuda serve` — the CI-facing proof that
+//! admission control sheds load without starving warm traffic.
+//!
+//! A real TCP daemon is pinned to **one** cold-search permit and an
+//! **empty** wait queue, then hit with a barrier-synchronized storm of
+//! distinct cold tunes (distinct workloads cannot coalesce, so every one
+//! needs its own permit). Exactly one storm request can hold the permit
+//! at a time; the overflow must be shed with typed Busy (exit 13,
+//! `retry_after_ms` present). While the storm is in flight, warm
+//! requests for a prewarmed workload must keep answering from the store
+//! with zero search evaluations. Finally the daemon drains cleanly on
+//! shutdown.
+//!
+//! Prints one line per acceptance criterion for CI to grep:
+//!
+//! ```text
+//! overload_smoke: N typed busy rejections (exit 13, retry_after_ms > 0)
+//! overload_smoke: M warm hits served during the storm (0 evals each)
+//! overload_smoke: clean drain
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use barracuda::json::Json;
+use barracuda::serve::transport::serve_tcp_on;
+use barracuda::{Daemon, ServeOptions};
+
+/// Distinct cold workloads: no two can coalesce.
+const STORM: &[&str] = &["s1_1", "s1_2", "d1_1", "d1_2", "d2_1", "d2_2"];
+
+/// One request over its own TCP connection; returns the parsed response.
+fn request(addr: std::net::SocketAddr, line: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("response");
+    Json::parse(resp.trim_end()).expect("response json")
+}
+
+fn tune_line(workload: &str, evals: usize) -> String {
+    format!(
+        r#"{{"op":"tune","workload":"builtin:{workload}","backend":"k20","quick":true,"evals":{evals}}}"#
+    )
+}
+
+fn main() {
+    let store =
+        std::env::temp_dir().join(format!("barracuda_overload_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    let daemon = Arc::new(
+        Daemon::new(ServeOptions {
+            store: Some(store.clone()),
+            backend: "k20".to_string(),
+            quick: true,
+            evals: Some(40),
+            max_searches: Some(1),
+            queue: Some(0),
+            ..ServeOptions::default()
+        })
+        .expect("daemon"),
+    );
+
+    // Bind port 0 ourselves to learn the ephemeral address, then hand
+    // the listener to the real TCP transport on its own thread.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || serve_tcp_on(daemon, listener))
+    };
+
+    // Prewarm: one cold tune populates the store for the warm prober.
+    let warm = request(addr, &tune_line("eqn1", 40));
+    assert_eq!(warm.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        warm.get("source").and_then(Json::as_str),
+        Some("searched"),
+        "prewarm must search the empty store"
+    );
+
+    // The storm: distinct cold tunes released by one barrier. Larger
+    // eval budgets keep the admitted search in flight while the warm
+    // prober runs.
+    println!(
+        "overload_smoke: storm of {} distinct cold tunes, 1 permit, empty queue",
+        STORM.len()
+    );
+    let barrier = Arc::new(Barrier::new(STORM.len()));
+    let storm: Vec<Json> = std::thread::scope(|s| {
+        let handles: Vec<_> = STORM
+            .iter()
+            .map(|w| {
+                let barrier = Arc::clone(&barrier);
+                let line = tune_line(w, 300);
+                s.spawn(move || {
+                    barrier.wait();
+                    request(addr, &line)
+                })
+            })
+            .collect();
+
+        // Warm prober: hammer the prewarmed workload while the storm is
+        // in flight. Store hits bypass admission, so every probe must
+        // succeed even though the single permit is taken.
+        let mut warm_hits = 0usize;
+        let probe = tune_line("eqn1", 40);
+        let t0 = Instant::now();
+        while t0.elapsed().as_millis() < 200 {
+            let v = request(addr, &probe);
+            assert_eq!(
+                v.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "warm probe failed under storm: {v:?}"
+            );
+            assert_eq!(v.get("source").and_then(Json::as_str), Some("hit"));
+            assert_eq!(v.get("evals_performed").and_then(Json::as_u64), Some(0));
+            warm_hits += 1;
+        }
+        println!("overload_smoke: {warm_hits} warm hits served during the storm (0 evals each)");
+        assert!(warm_hits > 0);
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("storm client"))
+            .collect()
+    });
+
+    let mut served = 0usize;
+    let mut busy = 0usize;
+    for v in &storm {
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            served += 1;
+            continue;
+        }
+        assert_eq!(
+            v.get("stage").and_then(Json::as_str),
+            Some("busy"),
+            "storm overflow must be typed busy: {v:?}"
+        );
+        assert_eq!(v.get("exit_code").and_then(Json::as_u64), Some(13));
+        let retry = v
+            .get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .expect("retry_after_ms");
+        assert!(retry > 0);
+        busy += 1;
+    }
+    println!("overload_smoke: {busy} typed busy rejections (exit 13, retry_after_ms > 0)");
+    assert!(served >= 1, "one storm request must win the permit");
+    assert!(busy >= 1, "overflow must be shed with typed busy");
+
+    // Stats must agree with what the clients observed.
+    let stats = request(addr, r#"{"op":"stats"}"#);
+    assert_eq!(
+        stats.get("busy").and_then(Json::as_u64),
+        Some(busy as u64),
+        "daemon busy counter must match client-observed rejections"
+    );
+    assert_eq!(stats.get("errors").and_then(Json::as_u64), Some(0));
+
+    // Clean drain: shutdown is acknowledged and the transport exits.
+    let down = request(addr, r#"{"op":"shutdown"}"#);
+    assert_eq!(down.get("ok").and_then(Json::as_bool), Some(true));
+    server
+        .join()
+        .expect("server thread")
+        .expect("transport exits cleanly");
+    println!("overload_smoke: clean drain");
+
+    let _ = std::fs::remove_dir_all(&store);
+}

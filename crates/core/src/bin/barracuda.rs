@@ -5,9 +5,10 @@
 //! barracuda info <file.dsl | builtin:NAME> [options]
 //! barracuda replay <plan.json> [--validate] [--emit cuda]
 //! barracuda replay <file.dsl | builtin:NAME> --store DIR [--backend KEY]
-//! barracuda plans <list|gc> --store DIR [--schema-older-than V]
+//! barracuda plans <list|gc> --store DIR [--schema-older-than V] [--corrupt]
 //! barracuda plans <show|path> <file.dsl | builtin:NAME> --store DIR
 //! barracuda serve [--store DIR] [--listen stdio|tcp:HOST:PORT|unix:PATH]
+//!                 [--max-searches N] [--queue N] [--fsync]
 //! barracuda backends
 //! barracuda benchmarks
 //!
@@ -27,6 +28,9 @@
 //!   --schema-older-than V         `plans gc`: evict entries whose plan
 //!                                 schema is below V (default: the
 //!                                 current schema)
+//!   --corrupt                     `plans gc`: also remove `*.corrupt`
+//!                                 quarantine sidecars and orphaned
+//!                                 `*.partial` temp files
 //!   --schema V                    `plans path`: address an entry written
 //!                                 with schema V instead of the current
 //!   --save-plan PATH              persist the winning configuration +
@@ -50,6 +54,16 @@
 //!                                 unix:PATH (thread per connection;
 //!                                 identical concurrent requests coalesce
 //!                                 into one search)
+//!   --max-searches N              `serve`: cold-search permit pool size
+//!                                 (default: available parallelism);
+//!                                 store hits bypass the pool, coalesced
+//!                                 followers ride their leader's permit
+//!   --queue N                     `serve`: wait-queue depth for cold
+//!                                 searches (default: --max-searches);
+//!                                 overflow is shed with typed busy
+//!                                 (exit 13, retry_after_ms on the wire)
+//!   --fsync                       `serve`: fsync plan-store writes
+//!                                 (survive power loss, not just crash)
 //!   --emit cuda|tcr|annotation    artifact to print after tuning
 //!   --validate                    execute the tuned kernels against the
 //!                                 reference evaluator before reporting
@@ -61,14 +75,17 @@
 //! Exit codes: 0 success, 1 generic failure, 2 usage; typed pipeline
 //! failures exit with their stage code (3 parse, 4 validation,
 //! 5 factorization, 6 mapping, 7 simulation, 8 search, 10 plan,
-//! 11 store, 12 serve); 9 means the run completed but degraded under
-//! `--strict`.
+//! 11 store, 12 serve, 13 busy); 9 means the run completed but degraded
+//! under `--strict`.
 //! A bad plan *artifact* — unsupported schema version, tampered workload
 //! fingerprint, foreign backend cache salt — is the exit-10 case; a bad
-//! plan *store* — unreadable directory, an entry whose file name does not
-//! decode to a store key — is the exit-11 case; a daemon that cannot
-//! bind its transport is the exit-12 case (in-protocol failures answer
-//! `ok:false` on the wire instead of killing the daemon).
+//! plan *store* — unreadable directory, an injected I/O fault — is the
+//! exit-11 case (a corrupt *entry* is quarantined to a `*.corrupt`
+//! sidecar and treated as a miss instead); a daemon that cannot bind its
+//! transport is the exit-12 case (in-protocol failures answer `ok:false`
+//! on the wire instead of killing the daemon); an overloaded or draining
+//! daemon sheds tune requests with the typed busy rejection — exit 13,
+//! `retry_after_ms` on the wire — instead of queueing them forever.
 //!
 //! Built-in workloads (for `builtin:NAME`): eqn1, lg3, lg3t, tce,
 //! s1_1..s1_9, d1_1..d1_9, d2_1..d2_9.
@@ -104,6 +121,10 @@ struct Options {
     fused: bool,
     explain: bool,
     listen: Option<String>,
+    max_searches: Option<usize>,
+    queue: Option<usize>,
+    fsync: bool,
+    gc_corrupt: bool,
 }
 
 impl Default for Options {
@@ -129,6 +150,10 @@ impl Default for Options {
             fused: false,
             explain: false,
             listen: None,
+            max_searches: None,
+            queue: None,
+            fsync: false,
+            gc_corrupt: false,
         }
     }
 }
@@ -183,10 +208,11 @@ fn usage() -> ExitCode {
          [--deadline S] [--min-survivors F] [--inject-faults RATE] \
          [--fault-seed N] [--strict] \
          [--emit cuda|cufile|tcr|annotation] [--validate] [--fused]\n\
-         \x20      barracuda plans <list|gc> --store DIR [--schema-older-than V]\n\
+         \x20      barracuda plans <list|gc> --store DIR [--schema-older-than V] [--corrupt]\n\
          \x20      barracuda plans <show|path> <workload> --store DIR [--backend KEY] [--schema V]\n\
          \x20      barracuda serve [--store DIR] [--listen stdio|tcp:HOST:PORT|unix:PATH] \
-         [--backend KEY] [--quick] [--evals N] [--deadline S]"
+         [--backend KEY] [--quick] [--evals N] [--deadline S] \
+         [--max-searches N] [--queue N] [--fsync]"
     );
     ExitCode::from(2)
 }
@@ -279,6 +305,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--strict" => o.strict = true,
             "--listen" => o.listen = Some(it.next().ok_or("--listen needs a spec")?.clone()),
+            "--max-searches" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--max-searches needs N")?
+                    .parse()
+                    .map_err(|_| "bad N")?;
+                if n == 0 {
+                    return Err("--max-searches must be at least 1".to_string());
+                }
+                o.max_searches = Some(n);
+            }
+            "--queue" => {
+                o.queue = Some(
+                    it.next()
+                        .ok_or("--queue needs N")?
+                        .parse()
+                        .map_err(|_| "bad N")?,
+                )
+            }
+            "--fsync" => o.fsync = true,
+            "--corrupt" => o.gc_corrupt = true,
             "--emit" => o.emit = Some(it.next().ok_or("--emit needs a kind")?.clone()),
             "--validate" => o.validate = true,
             "--fused" => o.fused = true,
@@ -741,18 +788,20 @@ fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError>
     };
     match sub {
         "list" => {
-            let entries = store.entries()?;
-            if entries.is_empty() {
+            // Tolerant: undecodable names and unreadable files degrade to
+            // per-file reports — one bad entry never hides the rest.
+            let scan = store.scan()?;
+            if scan.entries.is_empty() && scan.problems.is_empty() && scan.corrupt.is_empty() {
                 println!("plan store {}: empty", store.root().display());
                 return Ok(());
             }
             println!(
                 "plan store {} ({} entr{}):",
                 store.root().display(),
-                entries.len(),
-                if entries.len() == 1 { "y" } else { "ies" }
+                scan.entries.len(),
+                if scan.entries.len() == 1 { "y" } else { "ies" }
             );
-            for e in &entries {
+            for e in &scan.entries {
                 let stale = if e.key.is_stale() {
                     "  [stale schema]"
                 } else {
@@ -761,6 +810,19 @@ fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError>
                 println!(
                     "  {:016x}  {:10} salt {:016x}  v{}{}",
                     e.key.fingerprint, e.key.backend, e.key.cache_salt, e.key.schema, stale
+                );
+            }
+            for (path, reason) in &scan.problems {
+                println!("  [unreadable] {}: {reason}", path.display());
+            }
+            for path in &scan.corrupt {
+                println!("  [quarantined] {}", path.display());
+            }
+            if !scan.problems.is_empty() || !scan.corrupt.is_empty() {
+                println!(
+                    "  ({} unreadable, {} quarantined — `plans gc --corrupt` cleans sidecars)",
+                    scan.problems.len(),
+                    scan.corrupt.len()
                 );
             }
             Ok(())
@@ -786,6 +848,17 @@ fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError>
             );
             for e in evicted {
                 println!("  {}", e.path.display());
+            }
+            if o.gc_corrupt {
+                let removed = store.gc_corrupt()?;
+                println!(
+                    "plan store {}: removed {} corrupt/partial file(s)",
+                    store.root().display(),
+                    removed.len()
+                );
+                for p in removed {
+                    println!("  {}", p.display());
+                }
             }
             Ok(())
         }
@@ -829,6 +902,10 @@ fn cmd_serve(o: &Options) -> Result<(), CliError> {
         quick: o.quick,
         evals: Some(o.evals),
         deadline_s: o.deadline,
+        max_searches: o.max_searches,
+        queue: o.queue,
+        durable: o.fsync,
+        ..barracuda::ServeOptions::default()
     })?);
     barracuda::serve::transport::run(daemon, &listen)?;
     Ok(())

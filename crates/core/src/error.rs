@@ -76,6 +76,16 @@ pub enum BarracudaError {
     /// pipeline stages so clients can tell a broken request from a broken
     /// tune.
     Serve { detail: String },
+    /// The daemon is overloaded (every cold-search permit and queue slot
+    /// is taken) or draining for shutdown: a 429-style rejection, not a
+    /// failure of the request itself. Clients should back off for
+    /// `retry_after_ms` (with jitter) and retry — the same request will
+    /// succeed once the storm passes.
+    Busy {
+        detail: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl BarracudaError {
@@ -92,6 +102,7 @@ impl BarracudaError {
             BarracudaError::Plan { .. } => "plan",
             BarracudaError::Store { .. } => "store",
             BarracudaError::Serve { .. } => "serve",
+            BarracudaError::Busy { .. } => "busy",
         }
     }
 
@@ -110,6 +121,7 @@ impl BarracudaError {
             BarracudaError::Plan { .. } => 10,
             BarracudaError::Store { .. } => 11,
             BarracudaError::Serve { .. } => 12,
+            BarracudaError::Busy { .. } => 13,
         }
     }
 
@@ -125,6 +137,7 @@ impl BarracudaError {
             | BarracudaError::Plan { workload, .. } => workload,
             BarracudaError::Store { .. } => "store",
             BarracudaError::Serve { .. } => "serve",
+            BarracudaError::Busy { .. } => "serve",
         }
     }
 }
@@ -193,6 +206,12 @@ impl fmt::Display for BarracudaError {
             BarracudaError::Serve { detail } => {
                 write!(f, "serve error: {detail}")
             }
+            BarracudaError::Busy {
+                detail,
+                retry_after_ms,
+            } => {
+                write!(f, "busy: {detail} (retry after {retry_after_ms} ms)")
+            }
         }
     }
 }
@@ -244,6 +263,10 @@ mod tests {
             },
             BarracudaError::Store { detail: "d".into() },
             BarracudaError::Serve { detail: "d".into() },
+            BarracudaError::Busy {
+                detail: "d".into(),
+                retry_after_ms: 100,
+            },
         ];
         let mut codes: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
         codes.sort_unstable();

@@ -78,9 +78,14 @@ pub use fusionopt::{fuse_alternatives, FusedAlternative};
 pub use pipeline::{SearchStats, TuneParams, TunedWorkload, TunerEvaluator, WorkloadTuner};
 pub use plan::{PlanChoice, PlanProvenance, TunedPlan, PLAN_SCHEMA_READABLE, PLAN_SCHEMA_VERSION};
 pub use quarantine::{QuarantineEntry, QuarantineReport, QuarantineStage};
-pub use serve::{Daemon, Listen, MetricsSnapshot, ServeMetrics, ServeOptions, ServedTune};
+pub use serve::{
+    AdmissionGate, ChaosPlan, Daemon, Listen, MetricsSnapshot, ServeMetrics, ServeOptions,
+    ServedTune,
+};
 pub use session::{PlanSource, SessionOutcome, SweepOutcome, TuningSession};
-pub use store::{PlanStore, StoreEntry, StoreKey};
+pub use store::{
+    PlanStore, StoreEntry, StoreFault, StoreFaultPlan, StoreKey, StoreOptions, StoreScan,
+};
 pub use variant::{StatementTuner, Variant};
 pub use workload::Workload;
 

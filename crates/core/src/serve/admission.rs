@@ -1,0 +1,242 @@
+//! Admission control for cold searches: a bounded permit pool plus a
+//! bounded wait queue, so a storm of cold tunes can never occupy every
+//! thread of the daemon.
+//!
+//! Only **leaders of cold searches** pass through the gate. Store hits
+//! replay without touching it (warm traffic is never starved by a cold
+//! storm), and coalesced followers wait on their leader's publication
+//! (the leader's one permit covers the whole coalition). A request that
+//! finds every permit taken waits in the queue — bounded in depth by
+//! `queue` and in time by its own deadline (or the server-side default) —
+//! and a request that finds the queue full too is rejected immediately
+//! with a typed [`BarracudaError::Busy`] carrying a `retry_after_ms`
+//! hint, the 429 of this protocol.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::BarracudaError;
+
+/// Mutable gate state under the lock.
+#[derive(Debug, Default)]
+struct GateState {
+    /// Permits currently held by running leader searches.
+    active: usize,
+    /// Admitted waiters parked in the queue.
+    waiting: usize,
+}
+
+/// The bounded permit pool + wait queue.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    /// Maximum concurrently running cold searches.
+    max_searches: usize,
+    /// Maximum requests parked waiting for a permit.
+    queue: usize,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+/// Why a request was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitReject {
+    /// Pool and queue both full: reject immediately.
+    Full,
+    /// Queued, but no permit freed up within the wait cap.
+    QueueTimeout,
+}
+
+/// RAII permit: dropping it releases the slot and wakes one queued
+/// waiter. Held by the leader across its whole search — including a
+/// panicking one, which is why this must be RAII and not a manual
+/// release.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut s = lock(&self.gate.state);
+        s.active = s.active.saturating_sub(1);
+        drop(s);
+        self.gate.freed.notify_one();
+    }
+}
+
+fn lock<'a>(m: &'a Mutex<GateState>) -> std::sync::MutexGuard<'a, GateState> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl AdmissionGate {
+    /// A gate with `max_searches` permits and `queue` wait slots. Zero
+    /// permits would deadlock every cold request, so the pool is at
+    /// least 1.
+    pub fn new(max_searches: usize, queue: usize) -> AdmissionGate {
+        AdmissionGate {
+            max_searches: max_searches.max(1),
+            queue,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    pub fn max_searches(&self) -> usize {
+        self.max_searches
+    }
+
+    pub fn queue(&self) -> usize {
+        self.queue
+    }
+
+    /// Current `(active searches, queued waiters)` — for load shedding
+    /// heuristics and the stats op.
+    pub fn depth(&self) -> (usize, usize) {
+        let s = lock(&self.state);
+        (s.active, s.waiting)
+    }
+
+    /// Try to take a permit, waiting in the queue up to `wait_cap` if the
+    /// pool is momentarily full. Returns the RAII [`Permit`] on success.
+    pub fn admit(&self, wait_cap: Duration) -> Result<Permit<'_>, AdmitReject> {
+        let mut s = lock(&self.state);
+        if s.active < self.max_searches {
+            s.active += 1;
+            return Ok(Permit { gate: self });
+        }
+        if s.waiting >= self.queue {
+            return Err(AdmitReject::Full);
+        }
+        s.waiting += 1;
+        let start = Instant::now();
+        loop {
+            let left = match wait_cap.checked_sub(start.elapsed()) {
+                Some(left) if !left.is_zero() => left,
+                _ => {
+                    s.waiting -= 1;
+                    return Err(AdmitReject::QueueTimeout);
+                }
+            };
+            s = match self.freed.wait_timeout(s, left) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+            if s.active < self.max_searches {
+                s.active += 1;
+                s.waiting -= 1;
+                return Ok(Permit { gate: self });
+            }
+        }
+    }
+
+    /// The typed rejection for `reject`, with a back-off hint derived
+    /// from how long a cold search has recently been taking and how much
+    /// work is already committed ahead of the caller.
+    pub fn busy_error(&self, reject: &AdmitReject, recent_search_ms: u64) -> BarracudaError {
+        let (active, waiting) = self.depth();
+        let backlog = (active + waiting).max(1) as u64;
+        let retry_after_ms = (recent_search_ms.max(50))
+            .saturating_mul(backlog)
+            .min(60_000);
+        let detail = match reject {
+            AdmitReject::Full => format!(
+                "cold-search admission rejected: all {} permit(s) and {} queue slot(s) are \
+                 taken ({active} searching, {waiting} queued)",
+                self.max_searches, self.queue
+            ),
+            AdmitReject::QueueTimeout => format!(
+                "cold-search admission timed out in the wait queue: no permit freed up in time \
+                 ({active} searching, {waiting} queued)"
+            ),
+        };
+        BarracudaError::Busy {
+            detail,
+            retry_after_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_admits_up_to_capacity_then_queues_then_rejects() {
+        let gate = AdmissionGate::new(2, 1);
+        let p1 = gate.admit(Duration::ZERO).unwrap();
+        let p2 = gate.admit(Duration::ZERO).unwrap();
+        // Pool full, zero wait budget: the queue slot times out at once.
+        assert_eq!(
+            gate.admit(Duration::ZERO).unwrap_err(),
+            AdmitReject::QueueTimeout
+        );
+        drop(p1);
+        let p3 = gate.admit(Duration::ZERO).unwrap();
+        assert_eq!(gate.depth(), (2, 0));
+        drop(p2);
+        drop(p3);
+        assert_eq!(gate.depth(), (0, 0));
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let gate = Arc::new(AdmissionGate::new(1, 1));
+        let permit = gate.admit(Duration::ZERO).unwrap();
+        // Park one waiter in the single queue slot.
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.admit(Duration::from_secs(5)).map(|_| ()))
+        };
+        // Wait until the waiter is actually queued.
+        while gate.depth().1 == 0 {
+            std::thread::yield_now();
+        }
+        // Second overflow request: queue full, immediate Full rejection,
+        // even with a generous wait budget.
+        assert_eq!(
+            gate.admit(Duration::from_secs(5)).unwrap_err(),
+            AdmitReject::Full
+        );
+        drop(permit);
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn permit_released_on_drop_wakes_a_waiter() {
+        let gate = Arc::new(AdmissionGate::new(1, 4));
+        let permit = gate.admit(Duration::ZERO).unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || gate.admit(Duration::from_secs(10)).map(|_| ()))
+            })
+            .collect();
+        while gate.depth().1 < 3 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(gate.depth(), (0, 0));
+    }
+
+    #[test]
+    fn busy_error_is_typed_with_retry_hint() {
+        let gate = AdmissionGate::new(1, 0);
+        let _p = gate.admit(Duration::ZERO).unwrap();
+        let err = gate.busy_error(&AdmitReject::Full, 120);
+        assert_eq!(err.stage(), "busy");
+        assert_eq!(err.exit_code(), 13);
+        match err {
+            BarracudaError::Busy { retry_after_ms, .. } => {
+                assert!(retry_after_ms >= 120, "retry_after_ms {retry_after_ms}")
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+    }
+}

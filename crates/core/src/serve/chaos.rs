@@ -1,0 +1,142 @@
+//! Deterministic serve-level chaos: a seeded plan that decides, per
+//! request sequence number, whether the daemon should misbehave — a
+//! leader search that panics, a search that stalls, or a response the
+//! transport drops mid-write. Decisions are a pure function of
+//! `(seed, request seq)` via the same SplitMix64 draw the search-level
+//! [`surf::FaultPlan`] uses, so a chaos run is bit-reproducible: the
+//! same plan always breaks the same requests, and a test can predict
+//! exactly which ones.
+//!
+//! The chaos harness proves the overload machinery is not fair-weather
+//! code: a panicking leader must release its admission permit and fail
+//! its followers with a typed error; a slow search must not wedge the
+//! queue forever; a dropped connection must not take the daemon down.
+
+use surf::fault_unit;
+
+/// What the plan decided to do to one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// The leader's search panics mid-flight (after admission).
+    PanicSearch,
+    /// The leader's search stalls for `slow_ms` before running.
+    SlowSearch,
+    /// The transport drops the connection instead of writing the
+    /// response (the work still happens and is still published).
+    DropResponse,
+}
+
+/// A deterministic serve-chaos plan: rates per misbehaviour class plus a
+/// seed. Keyed by the daemon's request sequence number, which increments
+/// once per handled line, so the plan is independent of thread
+/// interleaving.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosPlan {
+    /// Fraction of tune requests whose leader search panics.
+    pub panic_rate: f64,
+    /// Fraction of tune requests whose leader search stalls first.
+    pub slow_rate: f64,
+    /// Stall duration for slow searches, in milliseconds.
+    pub slow_ms: u64,
+    /// Fraction of responses the transport drops instead of writing.
+    pub drop_response_rate: f64,
+    /// Seed mixed into every per-request decision.
+    pub seed: u64,
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> ChaosPlan {
+        ChaosPlan {
+            panic_rate: 0.0,
+            slow_rate: 0.0,
+            slow_ms: 0,
+            drop_response_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.panic_rate <= 0.0 && self.slow_rate <= 0.0 && self.drop_response_rate <= 0.0
+    }
+
+    /// The fate of the search behind request `seq`: panic, stall, or run
+    /// clean. Pure and stateless, so tests can predict every decision.
+    pub fn decide_search(&self, seq: u64) -> Option<ChaosEvent> {
+        if self.panic_rate <= 0.0 && self.slow_rate <= 0.0 {
+            return None;
+        }
+        let u = fault_unit(self.seed ^ 0xC4A0_5EA2, seq as u128);
+        if u < self.panic_rate {
+            Some(ChaosEvent::PanicSearch)
+        } else if u < self.panic_rate + self.slow_rate {
+            Some(ChaosEvent::SlowSearch)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the transport should drop the connection instead of
+    /// writing the response to request `seq`.
+    pub fn decide_drop(&self, seq: u64) -> bool {
+        if self.drop_response_rate <= 0.0 {
+            return false;
+        }
+        fault_unit(self.seed ^ 0xD20_90E5, seq as u128) < self.drop_response_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_accurate() {
+        let plan = ChaosPlan {
+            panic_rate: 0.15,
+            slow_rate: 0.15,
+            slow_ms: 5,
+            drop_response_rate: 0.2,
+            seed: 99,
+        };
+        let n = 10_000u64;
+        let searches = (0..n).filter(|&s| plan.decide_search(s).is_some()).count();
+        let drops = (0..n).filter(|&s| plan.decide_drop(s)).count();
+        let search_frac = searches as f64 / n as f64;
+        let drop_frac = drops as f64 / n as f64;
+        assert!(
+            (search_frac - 0.3).abs() < 0.02,
+            "search rate {search_frac}"
+        );
+        assert!((drop_frac - 0.2).abs() < 0.02, "drop rate {drop_frac}");
+        for s in 0..200 {
+            assert_eq!(plan.decide_search(s), plan.decide_search(s));
+            assert_eq!(plan.decide_drop(s), plan.decide_drop(s));
+        }
+    }
+
+    #[test]
+    fn none_plan_never_fires() {
+        let plan = ChaosPlan::none();
+        assert!(plan.is_none());
+        for s in 0..1_000 {
+            assert_eq!(plan.decide_search(s), None);
+            assert!(!plan.decide_drop(s));
+        }
+    }
+
+    #[test]
+    fn search_and_drop_draws_are_independent() {
+        // Same rates, same seed: the xor'd domain separators must make
+        // the two decision streams differ somewhere.
+        let plan = ChaosPlan {
+            panic_rate: 0.5,
+            slow_rate: 0.0,
+            slow_ms: 0,
+            drop_response_rate: 0.5,
+            seed: 7,
+        };
+        let differs = (0..256).any(|s| (plan.decide_search(s).is_some()) != plan.decide_drop(s));
+        assert!(differs);
+    }
+}

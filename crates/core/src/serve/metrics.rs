@@ -28,6 +28,9 @@ pub struct ServeMetrics {
     pub quarantined: AtomicUsize,
     /// Requests answered `ok:false`.
     pub errors: AtomicUsize,
+    /// Tune requests shed by admission control or shutdown drain with a
+    /// typed Busy (load shedding — counted apart from `errors`).
+    pub busy: AtomicUsize,
     /// Requests that returned a degraded (best-so-far) result.
     pub degraded: AtomicUsize,
     /// Per-request wall latencies in microseconds, for the percentiles.
@@ -44,7 +47,19 @@ pub struct MetricsSnapshot {
     pub coalesced: usize,
     pub quarantined: usize,
     pub errors: usize,
+    /// Tune requests shed with a typed Busy rejection.
+    pub busy: usize,
     pub degraded: usize,
+    /// Corrupt store entries quarantined to `*.corrupt` sidecars (filled
+    /// by [`crate::serve::Daemon::snapshot`]; 0 from a bare
+    /// [`ServeMetrics::snapshot`]).
+    pub store_corrupt: usize,
+    /// Cold searches currently holding an admission permit (filled by
+    /// the daemon snapshot).
+    pub active_searches: usize,
+    /// Requests currently parked in the admission wait queue (filled by
+    /// the daemon snapshot).
+    pub queued_searches: usize,
     /// Median request latency in microseconds (0 with no samples).
     pub p50_us: u64,
     /// 99th-percentile request latency in microseconds.
@@ -79,7 +94,11 @@ impl ServeMetrics {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
+            store_corrupt: 0,
+            active_searches: 0,
+            queued_searches: 0,
             p50_us: percentile(&lat, 50.0),
             p99_us: percentile(&lat, 99.0),
         }
@@ -114,7 +133,20 @@ impl MetricsSnapshot {
                 Json::Num(self.quarantined as f64),
             ),
             ("errors".to_string(), Json::Num(self.errors as f64)),
+            ("busy".to_string(), Json::Num(self.busy as f64)),
             ("degraded".to_string(), Json::Num(self.degraded as f64)),
+            (
+                "store_corrupt".to_string(),
+                Json::Num(self.store_corrupt as f64),
+            ),
+            (
+                "active_searches".to_string(),
+                Json::Num(self.active_searches as f64),
+            ),
+            (
+                "queued_searches".to_string(),
+                Json::Num(self.queued_searches as f64),
+            ),
             ("p50_us".to_string(), Json::Num(self.p50_us as f64)),
             ("p99_us".to_string(), Json::Num(self.p99_us as f64)),
         ])
@@ -130,8 +162,15 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         write!(
             f,
-            "serve: {} errors, {} degraded, {} quarantined; latency p50 {} us, p99 {} us",
-            self.errors, self.degraded, self.quarantined, self.p50_us, self.p99_us
+            "serve: {} errors, {} busy, {} degraded, {} quarantined, {} corrupt quarantined; \
+             latency p50 {} us, p99 {} us",
+            self.errors,
+            self.busy,
+            self.degraded,
+            self.quarantined,
+            self.store_corrupt,
+            self.p50_us,
+            self.p99_us
         )
     }
 }

@@ -4,7 +4,7 @@
 //! line-delimited JSON protocol ([`protocol`]): every request routes
 //! through the same per-workload [`crate::cache::EvalCache`]s and the
 //! same (optional) content-addressed plan store, so the paper's
-//! compile-once/run-many loop (§5) becomes a network service. Three
+//! compile-once/run-many loop (§5) becomes a network service. Five
 //! properties the tests pin:
 //!
 //! - **Store hits replay.** A warm request never searches: the stored
@@ -16,15 +16,30 @@
 //!   with bit-identical results. Duplicate work is counted, not done.
 //! - **Deadlines degrade, never hang.** A request deadline flows into
 //!   [`TuneParams::wall_deadline_s`]; overrun returns best-so-far with
-//!   the typed degraded status. A coalesced waiter that outlives its
-//!   deadline (plus a fixed grace) fails with a typed
-//!   [`BarracudaError::Serve`] instead of blocking forever.
+//!   the typed degraded status. A coalesced waiter is *always* bounded:
+//!   by its deadline plus a fixed grace when it set one, by the
+//!   server-side [`ServeOptions::follower_wait_s`] otherwise — overrun
+//!   fails with a typed [`BarracudaError::Serve`], never a hang.
+//! - **Cold searches are admitted, not unleashed.** A bounded permit
+//!   pool ([`admission::AdmissionGate`], sized by `--max-searches`) plus
+//!   a bounded wait queue (`--queue`) cap concurrent SURF searches.
+//!   Overflow is rejected with a typed [`BarracudaError::Busy`] (exit
+//!   13) carrying a `retry_after_ms` hint derived from recent search
+//!   duration. Store hits bypass the gate entirely and coalesced
+//!   followers ride their leader's permit, so warm traffic keeps
+//!   flowing while a cold storm saturates the pool.
+//! - **Chaos is survivable.** A seeded [`chaos::ChaosPlan`] can make
+//!   leader searches panic or stall and make the transport drop
+//!   responses; the daemon keeps serving, permits are released by RAII,
+//!   and every injected failure surfaces as a typed error.
 //!
 //! Transports ([`transport`]): sequential stdio (deterministic — what CI
 //! scripts drive) and thread-per-connection TCP or Unix sockets (where
 //! coalescing actually overlaps). Tests and the load generator skip the
 //! transport and call [`Daemon::handle_line`] directly.
 
+pub mod admission;
+pub mod chaos;
 pub mod metrics;
 pub mod protocol;
 pub mod transport;
@@ -34,7 +49,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -45,8 +60,11 @@ use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
 use crate::report::fmt_f;
 use crate::session::{PlanSource, TuningSession};
 use crate::stages::frontend::workload_fingerprint;
+use crate::store::{PlanStore, StoreFaultPlan, StoreOptions};
 use crate::workload::Workload;
 
+pub use admission::{AdmissionGate, AdmitReject, Permit};
+pub use chaos::{ChaosEvent, ChaosPlan};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use protocol::{Request, ServedSource, ServedTune, TuneRequest};
 pub use transport::Listen;
@@ -55,6 +73,11 @@ pub use transport::Listen;
 /// request deadline: the search stops at the next *batch boundary* after
 /// the deadline, so the tail of one batch must fit inside the grace.
 const COALESCE_GRACE_S: f64 = 30.0;
+
+/// Default server-side cap on a coalesced follower's wait when the
+/// request set no deadline (seconds). Generous — a paper-profile search
+/// finishes well inside it — but finite: no request ever waits forever.
+pub const DEFAULT_FOLLOWER_WAIT_S: f64 = 600.0;
 
 /// Daemon-wide defaults for fields a tune request leaves unset.
 #[derive(Clone, Debug)]
@@ -70,6 +93,22 @@ pub struct ServeOptions {
     pub evals: Option<usize>,
     /// Default per-request deadline in seconds.
     pub deadline_s: Option<f64>,
+    /// Cold-search permit pool size (`--max-searches`); `None` sizes it
+    /// to the machine's available parallelism.
+    pub max_searches: Option<usize>,
+    /// Wait-queue depth for cold searches (`--queue`); `None` matches
+    /// the permit pool size.
+    pub queue: Option<usize>,
+    /// Server-side wait cap (seconds) for coalesced followers and queued
+    /// leaders whose request set no deadline.
+    pub follower_wait_s: f64,
+    /// Fsync plan-store writes (`--fsync`): survive power loss, not just
+    /// process crash.
+    pub durable: bool,
+    /// Serve-level chaos plan (tests and the chaos harness only).
+    pub chaos: ChaosPlan,
+    /// Store-level I/O fault plan (tests and the chaos harness only).
+    pub store_faults: StoreFaultPlan,
 }
 
 impl Default for ServeOptions {
@@ -80,16 +119,28 @@ impl Default for ServeOptions {
             quick: false,
             evals: None,
             deadline_s: None,
+            max_searches: None,
+            queue: None,
+            follower_wait_s: DEFAULT_FOLLOWER_WAIT_S,
+            durable: false,
+            chaos: ChaosPlan::none(),
+            store_faults: StoreFaultPlan::none(),
         }
     }
 }
 
 /// One handled request line: the response line (compact JSON, no
-/// newline) and whether this request asked the daemon to stop.
+/// newline), whether this request asked the daemon to stop, and whether
+/// the chaos plan told the transport to drop the response instead of
+/// writing it.
 #[derive(Clone, Debug)]
 pub struct LineOutcome {
     pub response: String,
     pub shutdown: bool,
+    /// Chaos: the transport should sever the connection (or swallow the
+    /// line, on stdio) instead of delivering `response`. The work still
+    /// happened and was still published/persisted.
+    pub drop_connection: bool,
 }
 
 /// The slot duplicates rendezvous on: the leader publishes exactly once,
@@ -106,8 +157,8 @@ enum Role {
 }
 
 /// The serving daemon: one shared session, a tuner cache, the in-flight
-/// coalescing map, and counters. `&self` everywhere — transports share
-/// one daemon across threads.
+/// coalescing map, the admission gate, and counters. `&self` everywhere —
+/// transports share one daemon across threads.
 pub struct Daemon {
     session: TuningSession,
     options: ServeOptions,
@@ -117,8 +168,16 @@ pub struct Daemon {
     /// In-flight tunes by coalescing key; entries live from the leader's
     /// insertion to just after it publishes.
     inflight: Mutex<HashMap<(u64, String, u64), Arc<InFlight>>>,
+    /// Cold-search admission: bounded permits + bounded wait queue.
+    gate: AdmissionGate,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
+    /// Monotone request sequence — the chaos plan's decision key.
+    req_seq: AtomicU64,
+    /// EWMA of recent leader search wall time (ms), feeding the
+    /// `retry_after_ms` hint in Busy rejections. 0 until the first
+    /// search completes.
+    search_ewma_ms: AtomicU64,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -128,20 +187,42 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     }
 }
 
+/// Permit pool size when `--max-searches` is not given: the machine's
+/// available parallelism (at least 1).
+fn default_max_searches() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 impl Daemon {
     /// Build a daemon; opening the plan store is the only fallible part.
     pub fn new(options: ServeOptions) -> Result<Daemon, BarracudaError> {
         let session = match &options.store {
-            Some(root) => TuningSession::with_store(root.clone())?,
+            Some(root) => {
+                let store = PlanStore::open_with(
+                    root.clone(),
+                    StoreOptions {
+                        durable: options.durable,
+                        faults: options.store_faults,
+                    },
+                )?;
+                TuningSession::with_plan_store(store)
+            }
             None => TuningSession::new(),
         };
+        let max = options.max_searches.unwrap_or_else(default_max_searches);
+        let queue = options.queue.unwrap_or(max);
         Ok(Daemon {
             session,
             options,
             tuners: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
+            gate: AdmissionGate::new(max, queue),
             metrics: ServeMetrics::default(),
             shutdown: AtomicBool::new(false),
+            req_seq: AtomicU64::new(0),
+            search_ewma_ms: AtomicU64::new(0),
         })
     }
 
@@ -150,9 +231,30 @@ impl Daemon {
         &self.metrics
     }
 
+    /// A consistent metrics snapshot, including the store's corruption
+    /// quarantine count and the admission gate's current depth — what
+    /// the `stats` op and the transports' shutdown line report.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut s = self.metrics.snapshot();
+        s.store_corrupt = self
+            .session
+            .store()
+            .map(PlanStore::corrupt_quarantined)
+            .unwrap_or(0);
+        let (active, queued) = self.gate.depth();
+        s.active_searches = active;
+        s.queued_searches = queued;
+        s
+    }
+
     /// The underlying session (tests reach its caches through this).
     pub fn session(&self) -> &TuningSession {
         &self.session
+    }
+
+    /// The cold-search admission gate (tests assert on its depth).
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
     }
 
     /// `true` once a shutdown request was handled.
@@ -162,9 +264,11 @@ impl Daemon {
 
     /// Handle one request line end-to-end: parse, dispatch, count, and
     /// render the one response line. Never panics and never blocks
-    /// beyond the request's own deadline plus the coalescing grace.
+    /// beyond the request's own deadline plus the coalescing grace (or
+    /// the server-side wait cap).
     pub fn handle_line(&self, line: &str) -> LineOutcome {
         let start = Instant::now();
+        let seq = self.req_seq.fetch_add(1, Ordering::Relaxed);
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let mut shutdown = false;
         let response: Json = match Request::parse(line) {
@@ -173,13 +277,13 @@ impl Daemon {
                 protocol::error_response("error", None, &e)
             }
             Ok(Request::Ping) => protocol::ack_response("ping"),
-            Ok(Request::Stats) => self.metrics.snapshot().to_json(),
+            Ok(Request::Stats) => self.snapshot().to_json(),
             Ok(Request::Shutdown) => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 shutdown = true;
                 protocol::ack_response("shutdown")
             }
-            Ok(Request::Tune(req)) => match self.serve_tune(&req) {
+            Ok(Request::Tune(req)) => match self.serve_tune_at(&req, seq) {
                 Ok(t) => {
                     self.metrics.tunes.fetch_add(1, Ordering::Relaxed);
                     self.metrics
@@ -191,7 +295,14 @@ impl Daemon {
                     protocol::tune_response(req.id.as_deref(), &t)
                 }
                 Err(e) => {
-                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    // Busy is load shedding, not failure: counted apart
+                    // so a saturation run can tell rejections from bugs.
+                    match &e {
+                        BarracudaError::Busy { .. } => {
+                            self.metrics.busy.fetch_add(1, Ordering::Relaxed)
+                        }
+                        _ => self.metrics.errors.fetch_add(1, Ordering::Relaxed),
+                    };
                     protocol::error_response("tune", req.id.as_deref(), &e)
                 }
             },
@@ -201,17 +312,55 @@ impl Daemon {
         LineOutcome {
             response: response.to_string_compact(),
             shutdown,
+            drop_connection: self.options.chaos.decide_drop(seq),
         }
     }
 
     /// Serve one tune request, coalescing with identical in-flight ones.
+    /// Allocates its own chaos sequence number — transports go through
+    /// [`Daemon::handle_line`] instead.
     pub fn serve_tune(&self, req: &TuneRequest) -> Result<Arc<ServedTune>, BarracudaError> {
+        let seq = self.req_seq.fetch_add(1, Ordering::Relaxed);
+        self.serve_tune_at(req, seq)
+    }
+
+    /// Serve one tune request with an explicit chaos sequence number.
+    fn serve_tune_at(
+        &self,
+        req: &TuneRequest,
+        seq: u64,
+    ) -> Result<Arc<ServedTune>, BarracudaError> {
+        // Draining: in-flight leaders finish and publish, new tunes are
+        // shed with a typed Busy so clients fail over instead of hanging
+        // on a daemon that is going away.
+        if self.is_shutdown() {
+            return Err(BarracudaError::Busy {
+                detail: "daemon is draining for shutdown — retry against another instance"
+                    .to_string(),
+                retry_after_ms: self.recent_search_ms(),
+            });
+        }
         let workload = resolve_workload(&req.workload)?;
         let backend = req
             .backend
             .clone()
             .unwrap_or_else(|| self.options.backend.clone());
         let params = self.params_for(req);
+
+        // Warm fast path: probe the store *before* admission control and
+        // before taking a coalescing slot. A replayed hit costs zero
+        // search evaluations, so it must keep flowing even while a cold
+        // storm holds every permit.
+        let tuner = self.tuner_for(&workload);
+        if let Some(hit) = self.session.replay_hit(&tuner, &backend)? {
+            self.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(served_from(
+                &hit.tuned,
+                &backend,
+                ServedSource::Hit,
+            )));
+        }
+
         let key = self.coalesce_key(&workload, &backend, &params)?;
         let role = {
             let mut map = lock(&self.inflight);
@@ -225,26 +374,71 @@ impl Daemon {
             }
         };
         match role {
+            // Followers ride the leader's permit: they hold no admission
+            // slot and cost no search, only a bounded wait.
             Role::Follower(flight) => {
                 self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
-                wait_for_leader(&flight, params.wall_deadline_s)
+                wait_for_leader(
+                    &flight,
+                    params.wall_deadline_s,
+                    self.options.follower_wait_s,
+                )
             }
             Role::Leader(flight) => {
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    self.tune_once(&workload, &backend, params)
-                }))
-                .unwrap_or_else(|panic| {
-                    Err(BarracudaError::Serve {
-                        detail: format!("tune panicked: {}", panic_message(panic.as_ref())),
-                    })
-                })
-                .map(Arc::new);
+                let result = self.lead_tune(&workload, &backend, params, seq);
                 *lock(&flight.slot) = Some(result.clone());
                 flight.ready.notify_all();
                 lock(&self.inflight).remove(&key);
                 result
             }
         }
+    }
+
+    /// The leader's path: admission (bounded queue wait, typed Busy on
+    /// overflow), then the search under `catch_unwind` with the permit
+    /// held by RAII — a panicking search still releases its slot and
+    /// still publishes a typed error to its followers.
+    fn lead_tune(
+        &self,
+        workload: &Workload,
+        backend: &str,
+        params: TuneParams,
+        seq: u64,
+    ) -> Result<Arc<ServedTune>, BarracudaError> {
+        let wait_cap = Duration::from_secs_f64(
+            params
+                .wall_deadline_s
+                .map(|d| d.max(0.0) + COALESCE_GRACE_S)
+                .unwrap_or(self.options.follower_wait_s)
+                .max(0.0),
+        );
+        let permit = match self.gate.admit(wait_cap) {
+            Ok(p) => p,
+            Err(reject) => return Err(self.gate.busy_error(&reject, self.recent_search_ms())),
+        };
+        let started = Instant::now();
+        let chaos = self.options.chaos;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            match chaos.decide_search(seq) {
+                Some(ChaosEvent::PanicSearch) => {
+                    panic!("chaos: injected leader-search panic (request seq {seq})")
+                }
+                Some(ChaosEvent::SlowSearch) => {
+                    std::thread::sleep(Duration::from_millis(chaos.slow_ms));
+                }
+                Some(ChaosEvent::DropResponse) | None => {}
+            }
+            self.tune_once(workload, backend, params)
+        }))
+        .unwrap_or_else(|panic| {
+            Err(BarracudaError::Serve {
+                detail: format!("tune panicked: {}", panic_message(panic.as_ref())),
+            })
+        })
+        .map(Arc::new);
+        self.note_search_ms(started.elapsed().as_millis() as u64);
+        drop(permit);
+        result
     }
 
     /// The leader's actual tune: store-first through the shared session
@@ -284,6 +478,26 @@ impl Daemon {
                 .entry(fp)
                 .or_insert_with(|| Arc::clone(&built)),
         )
+    }
+
+    /// Recent leader search wall time in milliseconds (EWMA), floored so
+    /// the `retry_after_ms` hint is never zero. Before any search
+    /// completes the floor alone answers.
+    fn recent_search_ms(&self) -> u64 {
+        self.search_ewma_ms.load(Ordering::Relaxed).max(50)
+    }
+
+    /// Fold one finished search's wall time into the EWMA (¾ old, ¼
+    /// new). Racy read-modify-write is fine: this feeds a back-off hint,
+    /// not an invariant.
+    fn note_search_ms(&self, sample_ms: u64) {
+        let old = self.search_ewma_ms.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            sample_ms
+        } else {
+            (old.saturating_mul(3).saturating_add(sample_ms)) / 4
+        };
+        self.search_ewma_ms.store(next, Ordering::Relaxed);
     }
 
     /// Request parameters: profile default, then request overrides.
@@ -328,43 +542,43 @@ impl Daemon {
 }
 
 /// Follower wait: until the leader publishes, bounded by the request
-/// deadline plus [`COALESCE_GRACE_S`] when one is set (unbounded
-/// otherwise — the leader always publishes, even on panic).
+/// deadline plus [`COALESCE_GRACE_S`] when one is set, by the
+/// server-side `follower_wait_s` cap otherwise. Always finite: a wedged
+/// leader costs its followers a typed error, never a hang.
 fn wait_for_leader(
     flight: &InFlight,
     deadline_s: Option<f64>,
+    follower_wait_s: f64,
 ) -> Result<Arc<ServedTune>, BarracudaError> {
-    let cap = deadline_s.map(|d| Duration::from_secs_f64(d.max(0.0) + COALESCE_GRACE_S));
+    let cap = Duration::from_secs_f64(
+        deadline_s
+            .map(|d| d.max(0.0) + COALESCE_GRACE_S)
+            .unwrap_or(follower_wait_s)
+            .max(0.0),
+    );
     let start = Instant::now();
     let mut slot = lock(&flight.slot);
     loop {
         if let Some(result) = slot.as_ref() {
             return result.clone();
         }
-        match cap {
-            None => {
-                slot = match flight.ready.wait(slot) {
-                    Ok(g) => g,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
-            }
-            Some(cap) => {
-                let left = cap.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
-                if left.is_zero() {
-                    return Err(BarracudaError::Serve {
-                        detail: format!(
-                            "coalesced wait outlived its deadline ({:.1}s + {COALESCE_GRACE_S:.0}s \
-                             grace) — the leading tune did not publish in time",
-                            deadline_s.unwrap_or(0.0)
-                        ),
-                    });
-                }
-                slot = match flight.ready.wait_timeout(slot, left) {
-                    Ok((g, _)) => g,
-                    Err(poisoned) => poisoned.into_inner().0,
-                };
-            }
+        let left = cap.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+        if left.is_zero() {
+            let bound = match deadline_s {
+                Some(d) => format!("{d:.1}s deadline + {COALESCE_GRACE_S:.0}s grace"),
+                None => format!("{follower_wait_s:.0}s server-side wait cap"),
+            };
+            return Err(BarracudaError::Serve {
+                detail: format!(
+                    "coalesced wait outlived its bound ({bound}) — the leading tune did not \
+                     publish in time"
+                ),
+            });
         }
+        slot = match flight.ready.wait_timeout(slot, left) {
+            Ok((g, _)) => g,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
     }
 }
 

@@ -196,7 +196,10 @@ pub fn ack_response(op: &str) -> Json {
     ])
 }
 
-/// Failure response: typed stage + the exit code the CLI maps it to.
+/// Failure response: typed stage + the exit code the CLI maps it to. A
+/// [`BarracudaError::Busy`] rejection (the protocol's 429) additionally
+/// carries `retry_after_ms`, the daemon's back-off hint, so clients can
+/// retry with informed jitter instead of hammering a saturated pool.
 pub fn error_response(op: &str, id: Option<&str>, err: &BarracudaError) -> Json {
     let mut obj = vec![
         ("ok".to_string(), Json::Bool(false)),
@@ -213,6 +216,12 @@ pub fn error_response(op: &str, id: Option<&str>, err: &BarracudaError) -> Json 
             Json::Num(f64::from(err.exit_code())),
         ),
     ]);
+    if let BarracudaError::Busy { retry_after_ms, .. } = err {
+        obj.push((
+            "retry_after_ms".to_string(),
+            Json::Num(*retry_after_ms as f64),
+        ));
+    }
     Json::Obj(obj)
 }
 
@@ -287,5 +296,20 @@ mod tests {
         let back = Json::parse(&e).unwrap();
         assert_eq!(back.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(back.get("exit_code").and_then(Json::as_u64), Some(12));
+        assert_eq!(back.get("retry_after_ms"), None);
+    }
+
+    #[test]
+    fn busy_response_carries_retry_after_hint() {
+        let err = BarracudaError::Busy {
+            detail: "pool full".to_string(),
+            retry_after_ms: 250,
+        };
+        let e = error_response("tune", Some("r9"), &err).to_string_compact();
+        let back = Json::parse(&e).unwrap();
+        assert_eq!(back.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(back.get("stage").and_then(Json::as_str), Some("busy"));
+        assert_eq!(back.get("exit_code").and_then(Json::as_u64), Some(13));
+        assert_eq!(back.get("retry_after_ms").and_then(Json::as_u64), Some(250));
     }
 }

@@ -80,13 +80,19 @@ pub fn serve_stdio(daemon: &Daemon) -> Result<(), BarracudaError> {
             continue;
         }
         let outcome = daemon.handle_line(&line);
-        writeln!(out, "{}", outcome.response).map_err(write_err)?;
-        out.flush().map_err(write_err)?;
+        if outcome.drop_connection {
+            // Chaos: swallow the response line (stdio has no connection
+            // to sever) — the work still happened and was persisted.
+            eprintln!("serve: chaos dropped a response (stdio)");
+        } else {
+            writeln!(out, "{}", outcome.response).map_err(write_err)?;
+            out.flush().map_err(write_err)?;
+        }
         if outcome.shutdown {
             break;
         }
     }
-    eprintln!("{}", daemon.metrics().snapshot());
+    eprintln!("{}", daemon.snapshot());
     Ok(())
 }
 
@@ -133,7 +139,7 @@ where
     for w in workers {
         let _ = w.join();
     }
-    eprintln!("{}", daemon.metrics().snapshot());
+    eprintln!("{}", daemon.snapshot());
     Ok(())
 }
 
@@ -151,6 +157,12 @@ fn serve_connection<S: std::io::Read + Write>(daemon: &Daemon, stream: S) {
             continue;
         }
         let outcome = daemon.handle_line(line.trim_end());
+        if outcome.drop_connection {
+            // Chaos: sever the connection instead of writing the
+            // response. The request was fully processed and published;
+            // only the delivery is lost.
+            return;
+        }
         let stream = reader.get_mut();
         if writeln!(stream, "{}", outcome.response)
             .and_then(|()| stream.flush())
@@ -168,6 +180,13 @@ fn serve_tcp(daemon: Arc<Daemon>, addr: &str) -> Result<(), BarracudaError> {
     let listener = TcpListener::bind(addr).map_err(|e| BarracudaError::Serve {
         detail: format!("cannot bind tcp {addr}: {e}"),
     })?;
+    serve_tcp_on(daemon, listener)
+}
+
+/// Serve on an already-bound TCP listener. The overload smoke bench and
+/// tests bind port 0 themselves to learn the ephemeral port before
+/// handing the listener over.
+pub fn serve_tcp_on(daemon: Arc<Daemon>, listener: TcpListener) -> Result<(), BarracudaError> {
     let local = listener.local_addr().map_err(|e| BarracudaError::Serve {
         detail: format!("cannot resolve bound address: {e}"),
     })?;

@@ -101,10 +101,17 @@ impl TuningSession {
 
     /// A session backed by the store at `root` (created if absent).
     pub fn with_store(root: impl Into<PathBuf>) -> Result<TuningSession, BarracudaError> {
-        Ok(TuningSession {
+        Ok(Self::with_plan_store(PlanStore::open(root)?))
+    }
+
+    /// A session over an explicitly configured [`PlanStore`] — how the
+    /// daemon opts into durable (fsync'd) inserts, and how the chaos
+    /// harness injects store I/O faults.
+    pub fn with_plan_store(store: PlanStore) -> TuningSession {
+        TuningSession {
             caches: Mutex::new(HashMap::new()),
-            store: Some(PlanStore::open(root)?),
-        })
+            store: Some(store),
+        }
     }
 
     /// The session's shared evaluation cache for `workload`: every tune
@@ -164,18 +171,8 @@ impl TuningSession {
     ) -> Result<SessionOutcome, BarracudaError> {
         let workload = &tuner.workload;
         let cache = self.cache_for(workload);
-        if let Some(store) = &self.store {
-            let key = self.key_for(workload, backend)?;
-            if let Some(plan) = store.lookup(&key)? {
-                let tuned = plan.replay_built(workload, tuner, &cache)?;
-                return Ok(SessionOutcome {
-                    tuned,
-                    plan,
-                    source: PlanSource::StoreHit {
-                        path: store.path_of(&key),
-                    },
-                });
-            }
+        if let Some(hit) = self.replay_hit(tuner, backend)? {
+            return Ok(hit);
         }
         let b = backend_by_key(backend).ok_or_else(|| BarracudaError::Plan {
             workload: workload.name.clone(),
@@ -196,6 +193,35 @@ impl TuningSession {
             plan,
             source: PlanSource::Searched { stored },
         })
+    }
+
+    /// Store probe only: replays the persisted plan for
+    /// `(workload, backend)` if one exists, without ever searching.
+    /// `Ok(None)` on a miss or when no store is attached. This is the
+    /// daemon's warm fast path — it costs one lookup and one replay, so
+    /// it can run *before* admission control and keep warm traffic
+    /// flowing while every cold-search permit is taken.
+    pub fn replay_hit(
+        &self,
+        tuner: &WorkloadTuner,
+        backend: &str,
+    ) -> Result<Option<SessionOutcome>, BarracudaError> {
+        let workload = &tuner.workload;
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let key = self.key_for(workload, backend)?;
+        let Some(plan) = store.lookup(&key)? else {
+            return Ok(None);
+        };
+        let tuned = plan.replay_built(workload, tuner, &self.cache_for(workload))?;
+        Ok(Some(SessionOutcome {
+            tuned,
+            plan,
+            source: PlanSource::StoreHit {
+                path: store.path_of(&key),
+            },
+        }))
     }
 
     /// Store-first tune on an explicit GPU architecture, the calling

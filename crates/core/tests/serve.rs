@@ -14,7 +14,7 @@ fn quick_daemon(store: Option<std::path::PathBuf>) -> Daemon {
         backend: "gtx980".to_string(),
         quick: true,
         evals: Some(30),
-        deadline_s: None,
+        ..ServeOptions::default()
     })
     .unwrap()
 }
@@ -42,7 +42,23 @@ fn concurrent_identical_cold_requests_coalesce_into_one_search() {
     assert!(lone_misses > 0, "a cold search must miss the time cache");
 
     const N: usize = 4;
-    let daemon = Arc::new(quick_daemon(None));
+    // Hold the leader's search open (injected stall — it does not touch
+    // the search itself or the cache counters) so every follower joins
+    // the coalition even under heavy test-runner load.
+    let daemon = Arc::new(
+        Daemon::new(ServeOptions {
+            backend: "gtx980".to_string(),
+            quick: true,
+            evals: Some(30),
+            chaos: barracuda::serve::ChaosPlan {
+                slow_rate: 1.0,
+                slow_ms: 500,
+                ..barracuda::serve::ChaosPlan::none()
+            },
+            ..ServeOptions::default()
+        })
+        .unwrap(),
+    );
     let barrier = Arc::new(Barrier::new(N));
     let responses: Vec<String> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..N)

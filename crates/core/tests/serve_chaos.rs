@@ -1,0 +1,240 @@
+//! Chaos-harness tests: deterministic injected failures (panicking and
+//! stalling leader searches, store I/O faults, dropped responses) must
+//! leave the daemon serving, release every admission permit, and surface
+//! each failure as a typed error — never a hang, never a crash.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+
+use barracuda::json::Json;
+use barracuda::serve::transport::serve_tcp_on;
+use barracuda::serve::ChaosPlan;
+use barracuda::{Daemon, ServeOptions, StoreFaultPlan};
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("barracuda_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+const TUNE_EQN1: &str = r#"{"op":"tune","workload":"builtin:eqn1","backend":"gtx980"}"#;
+
+fn parse(response: &str) -> Json {
+    Json::parse(response).unwrap_or_else(|e| panic!("bad response {response}: {e}"))
+}
+
+fn chaos_daemon(store: Option<std::path::PathBuf>, options: ServeOptions) -> Daemon {
+    Daemon::new(ServeOptions {
+        store,
+        backend: "gtx980".to_string(),
+        quick: true,
+        evals: Some(30),
+        ..options
+    })
+    .unwrap()
+}
+
+/// Every leader search panics: the panic is caught, surfaced as a typed
+/// serve error to the leader AND its coalesced followers, the admission
+/// permit is released by RAII, and the daemon keeps answering.
+#[test]
+fn panicking_searches_surface_typed_and_release_their_permits() {
+    let daemon = Arc::new(chaos_daemon(
+        None,
+        ServeOptions {
+            max_searches: Some(1),
+            queue: Some(0),
+            chaos: ChaosPlan {
+                panic_rate: 1.0,
+                ..ChaosPlan::none()
+            },
+            ..ServeOptions::default()
+        },
+    ));
+    // Leader + follower on the same request: both must see the panic as
+    // a typed error (the leader publishes its failure to the coalition).
+    let barrier = Arc::new(Barrier::new(2));
+    let responses: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let daemon = Arc::clone(&daemon);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    daemon.handle_line(TUNE_EQN1).response
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &responses {
+        let v = parse(r);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{r}");
+        assert_eq!(v.get("stage").and_then(Json::as_str), Some("serve"), "{r}");
+        assert!(
+            v.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("panicked"),
+            "{r}"
+        );
+    }
+    // The panicking leader's permit came back: a fresh request would be
+    // admitted (and panic again), and the gate is idle.
+    assert_eq!(
+        daemon.gate().depth(),
+        (0, 0),
+        "RAII must release the permit"
+    );
+    let ping = parse(&daemon.handle_line(r#"{"op":"ping"}"#).response);
+    assert_eq!(ping.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(
+        !daemon.is_shutdown(),
+        "a panicking search must not kill the daemon"
+    );
+    assert_eq!(daemon.snapshot().errors, 2);
+}
+
+/// Stalled searches slow responses down but never wedge the daemon:
+/// sequential tunes all complete and the gate drains back to idle.
+#[test]
+fn slow_searches_complete_without_wedging() {
+    let daemon = chaos_daemon(
+        None,
+        ServeOptions {
+            chaos: ChaosPlan {
+                slow_rate: 1.0,
+                slow_ms: 50,
+                ..ChaosPlan::none()
+            },
+            ..ServeOptions::default()
+        },
+    );
+    for line in [
+        TUNE_EQN1,
+        r#"{"op":"tune","workload":"builtin:s1_1","backend":"gtx980"}"#,
+    ] {
+        let v = parse(&daemon.handle_line(line).response);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+    }
+    assert_eq!(daemon.gate().depth(), (0, 0));
+    assert_eq!(daemon.snapshot().errors, 0);
+}
+
+/// Every store write fails: the search itself succeeds but persisting
+/// the plan surfaces as a typed store error (exit 11) — and the daemon
+/// keeps serving afterwards.
+#[test]
+fn store_write_faults_surface_typed_store_errors() {
+    let daemon = chaos_daemon(
+        Some(temp_store("wfault")),
+        ServeOptions {
+            store_faults: StoreFaultPlan {
+                write_fail_rate: 1.0,
+                ..StoreFaultPlan::none()
+            },
+            ..ServeOptions::default()
+        },
+    );
+    let v = parse(&daemon.handle_line(TUNE_EQN1).response);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("stage").and_then(Json::as_str), Some("store"));
+    assert_eq!(v.get("exit_code").and_then(Json::as_u64), Some(11));
+    let ping = parse(&daemon.handle_line(r#"{"op":"ping"}"#).response);
+    assert_eq!(ping.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(daemon.snapshot().errors, 1);
+}
+
+/// Every store read fails: the warm-path probe surfaces a typed store
+/// error instead of silently searching (the operator must see a broken
+/// store, not pay for silent cold searches) — and the daemon survives.
+#[test]
+fn store_read_faults_surface_typed_store_errors() {
+    let daemon = chaos_daemon(
+        Some(temp_store("rfault")),
+        ServeOptions {
+            store_faults: StoreFaultPlan {
+                read_fail_rate: 1.0,
+                ..StoreFaultPlan::none()
+            },
+            ..ServeOptions::default()
+        },
+    );
+    let v = parse(&daemon.handle_line(TUNE_EQN1).response);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("stage").and_then(Json::as_str), Some("store"));
+    assert_eq!(v.get("exit_code").and_then(Json::as_u64), Some(11));
+    let ping = parse(&daemon.handle_line(r#"{"op":"ping"}"#).response);
+    assert_eq!(ping.get("ok").and_then(Json::as_bool), Some(true));
+}
+
+/// Connections dropped mid-request over real TCP: the chaos plan is a
+/// pure function of the request sequence number, so the test precomputes
+/// exactly which sequential one-request connections get severed (EOF)
+/// and which get their response — and the daemon drains cleanly after.
+#[test]
+fn dropped_connections_follow_the_seeded_plan_and_daemon_drains_clean() {
+    let chaos = ChaosPlan {
+        drop_response_rate: 0.4,
+        seed: 9,
+        ..ChaosPlan::none()
+    };
+    const PINGS: u64 = 12;
+    let expected_drops: Vec<bool> = (0..PINGS).map(|seq| chaos.decide_drop(seq)).collect();
+    assert!(
+        expected_drops.iter().any(|&d| d) && expected_drops.iter().any(|&d| !d),
+        "seed must exercise both outcomes: {expected_drops:?}"
+    );
+
+    let daemon = Arc::new(chaos_daemon(
+        None,
+        ServeOptions {
+            chaos,
+            ..ServeOptions::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || serve_tcp_on(daemon, listener))
+    };
+
+    // One request per connection, strictly sequential, so the daemon's
+    // request sequence number equals the arrival order.
+    let request = |line: &str| -> Option<String> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        match reader.read_line(&mut response).unwrap() {
+            0 => None, // severed before the response: the injected drop
+            _ => Some(response),
+        }
+    };
+
+    for (seq, &dropped) in expected_drops.iter().enumerate() {
+        let got = request(r#"{"op":"ping"}"#);
+        if dropped {
+            assert!(got.is_none(), "seq {seq}: plan says drop, got {got:?}");
+        } else {
+            let v = parse(
+                got.as_deref()
+                    .unwrap_or_else(|| panic!("seq {seq}: plan says deliver")),
+            );
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        }
+    }
+
+    // Shutdown lands at seq PINGS; whether or not its response is
+    // dropped, the daemon must flip its flag and the server must drain.
+    let _ = request(r#"{"op":"shutdown"}"#);
+    server.join().unwrap().unwrap();
+    assert!(daemon.is_shutdown());
+    // Every ping was processed and none was mis-counted as an error.
+    let m = daemon.snapshot();
+    assert_eq!(m.requests, PINGS as usize + 1);
+    assert_eq!(m.errors, 0);
+}

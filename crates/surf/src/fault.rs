@@ -89,7 +89,9 @@ impl FaultPlan {
 
 /// Deterministic uniform draw in `[0, 1)` from `(seed, id)` — SplitMix64
 /// finalization over the mixed key, mirroring the pipeline noise model.
-fn unit(seed: u64, id: u128) -> f64 {
+/// Public so other fault planes (store I/O faults, serve-level chaos)
+/// make their per-event decisions with the exact same scheme.
+pub fn unit(seed: u64, id: u128) -> f64 {
     let mut z = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(id as u64)

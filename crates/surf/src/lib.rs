@@ -20,7 +20,7 @@ pub mod search;
 
 pub use baselines::{exhaustive_search, hill_climb, random_search, simulated_annealing};
 pub use binarize::{Feature, FeatureSpace};
-pub use fault::{FaultPlan, FaultyEvaluator, InjectedFault};
+pub use fault::{unit as fault_unit, FaultPlan, FaultyEvaluator, InjectedFault};
 pub use forest::{CompiledForest, ExtraTrees, ForestParams};
 pub use search::{
     surf_search, surf_search_parallel, surf_search_serial, EvalFault, ParallelEvaluator,
