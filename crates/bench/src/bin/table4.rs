@@ -4,6 +4,6 @@ fn main() {
     let archs = bench::archs_or_exit(&[gpusim::gtx980()]);
     for arch in &archs {
         let rows = bench::table4::run_on(arch, bench::experiment_params());
-        println!("{}", bench::table4::render_for(arch.name, &rows));
+        println!("{}", bench::table4::render_for(&arch.name, &rows));
     }
 }

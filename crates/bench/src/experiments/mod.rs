@@ -20,37 +20,58 @@ pub fn experiment_params() -> TuneParams {
     TuneParams::paper()
 }
 
-/// Resolves an optional `--backend KEY|all` argument (shared by the bench
-/// binaries) into the GPU architectures to run, via the barracuda backend
-/// registry. Absent flag → `default`, so every binary's no-argument output
-/// stays bit-identical to before the registry existed. Non-GPU backend
-/// keys are rejected: these experiments time CUDA mappings.
+/// Resolves the shared bench flags — `--backend KEY|all` plus repeatable
+/// `--arch-file PATH` descriptor loads — into the GPU architectures to
+/// run. No flags → `default`, so every binary's no-argument output stays
+/// bit-identical to before the registry existed. Descriptor keys work
+/// anywhere a built-in key does; `--arch-file` without `--backend` runs
+/// the loaded descriptors themselves. Non-GPU backend keys are rejected:
+/// these experiments time CUDA mappings.
 pub fn archs_from_args(args: &[String], default: &[GpuArch]) -> Result<Vec<GpuArch>, String> {
+    let mut backend: Option<String> = None;
+    let mut set = barracuda::BackendSet::builtin();
+    let mut loaded: Vec<String> = Vec::new();
     let mut it = args.iter();
-    let Some(a) = it.next() else {
-        return Ok(default.to_vec());
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--backend" => backend = Some(it.next().ok_or("--backend needs a key")?.clone()),
+            "--arch-file" => {
+                let path = it.next().ok_or("--arch-file needs a path")?;
+                let key = set
+                    .load_arch_file(std::path::Path::new(path))
+                    .map_err(|e| e.to_string())?;
+                loaded.push(key);
+            }
+            other => {
+                return Err(format!(
+                    "unknown option {other} (only --backend KEY|all and --arch-file PATH)"
+                ))
+            }
+        }
+    }
+    let arch_of = |key: &str| -> Result<GpuArch, String> {
+        let b = set.get(key).ok_or_else(|| {
+            format!(
+                "unknown backend {key} (one of: {}, all)",
+                set.keys().join(", ")
+            )
+        })?;
+        match b.arch() {
+            Some(arch) if b.caps().searchable => Ok(arch.clone()),
+            _ => Err(format!(
+                "backend {key} is not a searchable GPU target; this bench times CUDA mappings"
+            )),
+        }
     };
-    if a != "--backend" {
-        return Err(format!("unknown option {a} (only --backend KEY|all)"));
-    }
-    let key = it.next().ok_or("--backend needs a key")?;
-    if let Some(extra) = it.next() {
-        return Err(format!("unexpected argument {extra}"));
-    }
-    if key == "all" {
-        return Ok(gpusim::all_architectures());
-    }
-    let backend = barracuda::backend_by_key(key).ok_or_else(|| {
-        format!(
-            "unknown backend {key} (one of: {}, all)",
-            barracuda::backend_keys().join(", ")
-        )
-    })?;
-    match backend.arch() {
-        Some(arch) if backend.caps().searchable => Ok(vec![arch.clone()]),
-        _ => Err(format!(
-            "backend {key} is not a searchable GPU target; this bench times CUDA mappings"
-        )),
+    match backend.as_deref() {
+        None if loaded.is_empty() => Ok(default.to_vec()),
+        None => loaded.iter().map(|k| arch_of(k)).collect(),
+        Some("all") => Ok(set
+            .iter()
+            .filter(|b| b.caps().searchable)
+            .filter_map(|b| b.arch().cloned())
+            .collect()),
+        Some(key) => Ok(vec![arch_of(key)?]),
     }
 }
 

@@ -6,9 +6,17 @@
 //! OpenACC analogs (naive and Barracuda-optimized directives). Before this
 //! module each target had its own entry point with its own calling
 //! convention; the [`Backend`] trait gives them one interface — time a
-//! configuration, validate it, describe yourself — and [`registry`] makes
+//! configuration, validate it, describe yourself — and [`BackendSet`] makes
 //! them addressable by stable string keys (`gtx980`, `cpu4`, `acc-opt`, …)
 //! from the CLI, the bench binaries and the tests alike.
+//!
+//! Backends are *data*: every GPU architecture is an
+//! [`gpusim::ArchDescriptor`] (the built-ins ship as embedded TOML), and a
+//! set can be extended at runtime from descriptor files (`--arch-file`,
+//! `--arch-dir`). A GPU backend's [`Backend::cache_salt`] is the FNV-1a
+//! digest of its canonical descriptor, so plan-store addressing is
+//! self-invalidating: edit a descriptor and every plan tuned against the
+//! old numbers misses (or is rejected on replay with the plan exit code).
 //!
 //! [`tune_all_backends`] is the sweep entry point: one lowering, one shared
 //! [`EvalCache`], every backend. GPU backends salt the cache's per-op
@@ -23,7 +31,9 @@ use crate::openacc::{try_openacc_naive, try_openacc_optimized_parts, AccMapping}
 use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
 use crate::stages::evaluate::salt_of;
 use cpusim::model::CpuModel;
-use gpusim::GpuArch;
+use gpusim::{ArchDescriptor, GpuArch};
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 use tcr::TcrProgram;
 
 /// What a backend can do, for capability-gated callers (a search loop only
@@ -41,11 +51,11 @@ pub struct BackendCaps {
 }
 
 /// One timing target: a simulated GPU architecture, a CPU baseline, or an
-/// OpenACC analog. Implementations are stateless and `Sync`, so a registry
-/// can be shared across threads.
-pub trait Backend: Sync {
+/// OpenACC analog. Implementations are stateless and `Send + Sync`, so a
+/// [`BackendSet`] can be shared across threads behind `Arc`s.
+pub trait Backend: Send + Sync {
     /// Stable machine-readable registry key (`gtx980`, `cpu1`, `acc-opt`).
-    fn key(&self) -> &'static str;
+    fn key(&self) -> &str;
 
     /// Human-readable name (`"GTX 980"`, `"Haswell CPU, 4 threads"`).
     fn name(&self) -> String;
@@ -74,14 +84,30 @@ pub trait Backend: Sync {
     fn validate(&self, tuner: &WorkloadTuner, id: u128) -> Result<(), BarracudaError>;
 }
 
-/// A simulated CUDA GPU (one of the paper's three architectures).
+/// A simulated CUDA GPU: one of the paper's three architectures, or any
+/// machine described by a descriptor file.
 pub struct GpuBackend {
     pub arch: GpuArch,
+    /// FNV-1a digest of the canonical descriptor, computed once at
+    /// construction — this is the plan-store salt.
+    digest: u64,
+}
+
+impl GpuBackend {
+    pub fn new(arch: GpuArch) -> Self {
+        let digest = ArchDescriptor::from_arch(arch.clone()).digest();
+        GpuBackend { arch, digest }
+    }
+
+    /// The descriptor digest (same value as [`Backend::cache_salt`]).
+    pub fn descriptor_digest(&self) -> u64 {
+        self.digest
+    }
 }
 
 impl Backend for GpuBackend {
-    fn key(&self) -> &'static str {
-        self.arch.key
+    fn key(&self) -> &str {
+        &self.arch.key
     }
 
     fn name(&self) -> String {
@@ -108,7 +134,7 @@ impl Backend for GpuBackend {
     }
 
     fn cache_salt(&self) -> u64 {
-        salt_of(self.arch.name)
+        self.digest
     }
 
     fn time_config(&self, tuner: &WorkloadTuner, id: u128) -> Result<f64, BarracudaError> {
@@ -136,7 +162,7 @@ impl CpuBackend {
 }
 
 impl Backend for CpuBackend {
-    fn key(&self) -> &'static str {
+    fn key(&self) -> &str {
         // The registry only constructs the paper's two thread counts.
         if self.threads <= 1 {
             "cpu1"
@@ -233,7 +259,7 @@ impl AccBackend {
 }
 
 impl Backend for AccBackend {
-    fn key(&self) -> &'static str {
+    fn key(&self) -> &str {
         if self.optimized {
             "acc-opt"
         } else {
@@ -287,33 +313,153 @@ impl Backend for AccBackend {
     }
 }
 
-/// Every backend the reproduction models, in presentation order: the three
-/// GPU architectures, the two CPU baselines, the two OpenACC analogs.
-pub fn registry() -> Vec<Box<dyn Backend>> {
-    let mut v: Vec<Box<dyn Backend>> = Vec::new();
-    for arch in gpusim::all_architectures() {
-        v.push(Box::new(GpuBackend { arch }));
+/// An owned, ordered set of backends addressable by string key.
+///
+/// Constructed once and shared (`Arc<dyn Backend>` per entry), it replaces
+/// the old `registry()` free function that re-built every box and re-cloned
+/// every architecture on each lookup. The default set holds the paper's
+/// seven targets in presentation order: three GPU architectures, two CPU
+/// baselines, two OpenACC analogs. Descriptor files extend it at runtime.
+#[derive(Clone)]
+pub struct BackendSet {
+    backends: Vec<Arc<dyn Backend>>,
+}
+
+impl Default for BackendSet {
+    fn default() -> Self {
+        Self::builtin()
     }
-    v.push(Box::new(CpuBackend::new(1)));
-    v.push(Box::new(CpuBackend::new(4)));
-    v.push(Box::new(AccBackend::naive()));
-    v.push(Box::new(AccBackend::optimized()));
-    v
 }
 
-/// Keys of every registered backend (stable, CLI-facing).
+impl BackendSet {
+    /// The seven built-in backends (a cheap clone of a process-wide set:
+    /// seven `Arc` bumps, no arch parsing or boxing).
+    pub fn builtin() -> BackendSet {
+        builtin_backends().clone()
+    }
+
+    /// Registers a GPU architecture as a searchable backend. Keys and
+    /// names must stay unique: two rooflines sharing a name would alias
+    /// each other's evaluation-cache entries.
+    pub fn add_arch(&mut self, arch: GpuArch) -> Result<(), BarracudaError> {
+        if self.get(&arch.key).is_some() {
+            return Err(BarracudaError::Descriptor {
+                path: None,
+                detail: format!("duplicate backend key `{}`", arch.key),
+            });
+        }
+        if self.backends.iter().any(|b| b.name() == arch.name) {
+            return Err(BarracudaError::Descriptor {
+                path: None,
+                detail: format!(
+                    "duplicate backend name `{}` (names salt the shared eval cache)",
+                    arch.name
+                ),
+            });
+        }
+        self.backends.push(Arc::new(GpuBackend::new(arch)));
+        Ok(())
+    }
+
+    /// Loads one descriptor file and registers it. Returns the new key.
+    pub fn load_arch_file(&mut self, path: &Path) -> Result<String, BarracudaError> {
+        let d = ArchDescriptor::load(path).map_err(|e| with_path(e, path))?;
+        let key = d.key().to_string();
+        self.add_arch(d.into_arch()).map_err(|e| match e {
+            BarracudaError::Descriptor { detail, .. } => BarracudaError::Descriptor {
+                path: Some(path.display().to_string()),
+                detail,
+            },
+            other => other,
+        })?;
+        Ok(key)
+    }
+
+    /// Loads every `*.toml` in a directory (sorted by file name, so the
+    /// set's order — and any key collision — is deterministic). Returns
+    /// the new keys.
+    pub fn load_arch_dir(&mut self, dir: &Path) -> Result<Vec<String>, BarracudaError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| BarracudaError::Descriptor {
+            path: Some(dir.display().to_string()),
+            detail: format!("cannot read descriptor directory: {e}"),
+        })?;
+        let mut files: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .collect();
+        files.sort();
+        let mut keys = Vec::new();
+        for f in files {
+            keys.push(self.load_arch_file(&f)?);
+        }
+        Ok(keys)
+    }
+
+    /// Looks a backend up by key — no allocation, no construction.
+    pub fn get(&self, key: &str) -> Option<&Arc<dyn Backend>> {
+        self.backends.iter().find(|b| b.key() == key)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Backend>> {
+        self.backends.iter()
+    }
+
+    /// Every key, in set order (stable, CLI-facing).
+    pub fn keys(&self) -> Vec<&str> {
+        self.backends.iter().map(|b| b.key()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+}
+
+fn with_path(e: gpusim::DescriptorError, path: &Path) -> BarracudaError {
+    BarracudaError::Descriptor {
+        path: Some(path.display().to_string()),
+        detail: e.to_string(),
+    }
+}
+
+/// The process-wide built-in set, constructed once on first use.
+pub fn builtin_backends() -> &'static BackendSet {
+    static CELL: OnceLock<BackendSet> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut v: Vec<Arc<dyn Backend>> = Vec::new();
+        for arch in gpusim::all_architectures() {
+            v.push(Arc::new(GpuBackend::new(arch)));
+        }
+        v.push(Arc::new(CpuBackend::new(1)));
+        v.push(Arc::new(CpuBackend::new(4)));
+        v.push(Arc::new(AccBackend::naive()));
+        v.push(Arc::new(AccBackend::optimized()));
+        BackendSet { backends: v }
+    })
+}
+
+/// Keys of every built-in backend (stable, CLI-facing).
 pub fn backend_keys() -> Vec<&'static str> {
-    registry().iter().map(|b| b.key()).collect()
+    builtin_backends()
+        .backends
+        .iter()
+        .map(|b| b.key())
+        .collect()
 }
 
-/// Looks a backend up by its registry key.
-pub fn backend_by_key(key: &str) -> Option<Box<dyn Backend>> {
-    registry().into_iter().find(|b| b.key() == key)
+/// Looks a built-in backend up by key: one `Arc` bump on hit, nothing
+/// rebuilt. Callers holding a [`BackendSet`] (sessions, the daemon) should
+/// resolve against it instead so runtime-loaded descriptors are visible.
+pub fn backend_by_key(key: &str) -> Option<Arc<dyn Backend>> {
+    builtin_backends().get(key).cloned()
 }
 
-/// One backend's row of a whole-registry sweep.
+/// One backend's row of a whole-set sweep.
 pub struct BackendTuning {
-    pub key: &'static str,
+    pub key: String,
     pub name: String,
     /// End-to-end modeled seconds (device + transfers, or CPU wall time).
     pub total_seconds: f64,
@@ -323,9 +469,9 @@ pub struct BackendTuning {
     pub tuned: Option<TunedWorkload>,
 }
 
-/// Tunes/times the workload on every registered backend against one shared
+/// Tunes/times the workload on every built-in backend against one shared
 /// [`EvalCache`]: searchable (GPU) backends each run SURF — their per-op
-/// timing entries stay disjoint via [`Backend::cache_salt`], while the
+/// timing entries stay disjoint by architecture name, while the
 /// arch-independent feature memo is shared across all of them — and the
 /// derived backends ride along: OpenACC-optimized borrows the directives of
 /// the reference (K20) tuned configuration from this same sweep, so it
@@ -335,17 +481,18 @@ pub fn tune_all_backends(
     params: TuneParams,
     cache: &EvalCache,
 ) -> Result<Vec<BackendTuning>, BarracudaError> {
-    tune_all_backends_with(tuner, |_, arch| {
+    tune_all_backends_with(builtin_backends(), tuner, |_, arch| {
         tuner.autotune_with_cache(arch, params, cache)
     })
 }
 
-/// [`tune_all_backends`] with the per-backend search step supplied by the
-/// caller: `tune_one` produces the tuned result for each searchable
-/// backend (a plain search, or a store-first lookup — see
-/// `crate::session::TuningSession`), and the derived backends ride along
-/// exactly as in the plain sweep.
+/// [`tune_all_backends`] over an explicit [`BackendSet`] and with the
+/// per-backend search step supplied by the caller: `tune_one` produces the
+/// tuned result for each searchable backend (a plain search, or a
+/// store-first lookup — see `crate::session::TuningSession`), and the
+/// derived backends ride along exactly as in the plain sweep.
 pub fn tune_all_backends_with<F>(
+    set: &BackendSet,
     tuner: &WorkloadTuner,
     mut tune_one: F,
 ) -> Result<Vec<BackendTuning>, BarracudaError>
@@ -354,7 +501,12 @@ where
 {
     let mut rows = Vec::new();
     let mut reference: Option<TunedWorkload> = None;
-    for backend in registry() {
+    // Derived-backend flop counts depend only on the workload, not on the
+    // backend: lower once per sweep, lazily, instead of re-lowering per
+    // non-searchable backend.
+    let mut acc_flops: Option<u64> = None;
+    let mut cpu_flops: Option<u64> = None;
+    for backend in set.iter() {
         if backend.caps().searchable {
             let arch = backend.arch().ok_or_else(|| BarracudaError::Search {
                 workload: tuner.workload.name.clone(),
@@ -365,7 +517,7 @@ where
                 reference = Some(tuned.clone());
             }
             rows.push(BackendTuning {
-                key: backend.key(),
+                key: backend.key().to_string(),
                 name: backend.name(),
                 total_seconds: tuned.total_seconds(),
                 gflops: tuned.gflops(),
@@ -378,15 +530,24 @@ where
             let total_seconds = backend.time_config(tuner, id)?;
             let flops = if backend.caps().accelerator {
                 // OpenACC analogs execute the best-flop lowering.
-                try_cpu_programs(&tuner.workload)?
-                    .iter()
-                    .map(|p| p.flops())
-                    .sum::<u64>()
+                match acc_flops {
+                    Some(f) => f,
+                    None => {
+                        let f = try_cpu_programs(&tuner.workload)?
+                            .iter()
+                            .map(|p| p.flops())
+                            .sum::<u64>();
+                        acc_flops = Some(f);
+                        f
+                    }
+                }
             } else {
-                workload_cpu_time(&tuner.workload, &CpuModel::haswell(), 1).flops
+                *cpu_flops.get_or_insert_with(|| {
+                    workload_cpu_time(&tuner.workload, &CpuModel::haswell(), 1).flops
+                })
             };
             rows.push(BackendTuning {
-                key: backend.key(),
+                key: backend.key().to_string(),
                 name: backend.name(),
                 total_seconds,
                 gflops: flops as f64 / total_seconds / 1e9,
@@ -438,9 +599,44 @@ mod tests {
 
     #[test]
     fn gpu_salts_are_distinct_and_feature_salt_shared() {
-        let salts: BTreeSet<u64> = registry().iter().map(|b| b.cache_salt()).collect();
+        let salts: BTreeSet<u64> = builtin_backends().iter().map(|b| b.cache_salt()).collect();
         assert_eq!(salts.len(), 7, "no two backends may share a timing salt");
         assert!(!salts.contains(&0), "salt 0 is the shared feature memo");
+    }
+
+    #[test]
+    fn gpu_salts_are_descriptor_digests() {
+        for b in builtin_backends().iter().filter(|b| b.caps().searchable) {
+            let arch = b.arch().unwrap();
+            let expected = ArchDescriptor::from_arch(arch.clone()).digest();
+            assert_eq!(b.cache_salt(), expected, "{}", b.key());
+        }
+    }
+
+    #[test]
+    fn backend_set_extends_from_a_descriptor_and_rejects_duplicates() {
+        let mut set = BackendSet::builtin();
+        let mut arch = gpusim::k20();
+        arch.key = "k20x".to_string();
+        arch.name = "Tesla K20X-ish".to_string();
+        arch.sm_count = 14;
+        set.add_arch(arch.clone()).unwrap();
+        assert_eq!(set.len(), 8);
+        let b = set.get("k20x").unwrap();
+        assert!(b.caps().searchable);
+        // Same numbers as k20 except sm_count → a different digest.
+        assert_ne!(b.cache_salt(), set.get("k20").unwrap().cache_salt());
+        // Re-adding the same key, or a fresh key with a colliding name,
+        // is a typed descriptor error.
+        assert!(matches!(
+            set.add_arch(arch.clone()),
+            Err(BarracudaError::Descriptor { .. })
+        ));
+        arch.key = "k20y".to_string();
+        assert!(matches!(
+            set.add_arch(arch),
+            Err(BarracudaError::Descriptor { .. })
+        ));
     }
 
     #[test]
@@ -448,7 +644,7 @@ mod tests {
         let w = matmul(16);
         let tuner = WorkloadTuner::build(&w);
         let tuned = tuner.autotune(&gpusim::k20(), TuneParams::quick()).unwrap();
-        for b in registry() {
+        for b in builtin_backends().iter() {
             b.validate(&tuner, tuned.id).unwrap();
             let t = b.time_config(&tuner, tuned.id).unwrap();
             assert!(t.is_finite() && t > 0.0, "{}: {t}", b.key());

@@ -13,7 +13,17 @@
 //! barracuda benchmarks
 //!
 //! options:
-//!   --arch gtx980|k20|c2050|all   target architecture (default gtx980)
+//!   --arch gtx980|k20|c2050|all   target architecture (default gtx980,
+//!                                 or the first loaded descriptor);
+//!                                 `all` sweeps every searchable backend
+//!                                 in the loaded set
+//!   --arch-file PATH              load one architecture descriptor
+//!                                 (TOML; repeatable) into the backend
+//!                                 set — its key then works anywhere a
+//!                                 built-in key does, and its plans are
+//!                                 addressed by the descriptor digest
+//!   --arch-dir DIR                load every `*.toml` descriptor in DIR
+//!                                 (sorted by file name)
 //!   --backend KEY|all             target backend from the registry (see
 //!                                 `barracuda backends`); GPU keys behave
 //!                                 like --arch, CPU/OpenACC keys report
@@ -75,8 +85,8 @@
 //! Exit codes: 0 success, 1 generic failure, 2 usage; typed pipeline
 //! failures exit with their stage code (3 parse, 4 validation,
 //! 5 factorization, 6 mapping, 7 simulation, 8 search, 10 plan,
-//! 11 store, 12 serve, 13 busy); 9 means the run completed but degraded
-//! under `--strict`.
+//! 11 store, 12 serve, 13 busy, 14 descriptor); 9 means the run
+//! completed but degraded under `--strict`.
 //! A bad plan *artifact* — unsupported schema version, tampered workload
 //! fingerprint, foreign backend cache salt — is the exit-10 case; a bad
 //! plan *store* — unreadable directory, an injected I/O fault — is the
@@ -93,15 +103,17 @@
 use barracuda::prelude::*;
 use barracuda::report::fmt_f;
 use barracuda::{
-    backend_by_key, registry, EvalCache, PlanStore, TunedPlan, TunedWorkload, TuningSession,
-    PLAN_SCHEMA_VERSION,
+    BackendSet, EvalCache, PlanStore, TunedPlan, TunedWorkload, TuningSession, PLAN_SCHEMA_VERSION,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 use surf::{FaultPlan, SearchStatus};
 use tensor::IndexMap;
 
 struct Options {
-    arch: String,
+    arch: Option<String>,
+    arch_files: Vec<String>,
+    arch_dir: Option<String>,
     backend: Option<String>,
     store: Option<String>,
     schema_older_than: Option<u64>,
@@ -130,7 +142,9 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Options {
-            arch: "gtx980".to_string(),
+            arch: None,
+            arch_files: Vec::new(),
+            arch_dir: None,
             backend: None,
             store: None,
             schema_older_than: None,
@@ -203,7 +217,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: barracuda <tune|info|replay|plans|serve|backends|benchmarks> \
          [<file.dsl>|builtin:NAME|<plan.json>] \
-         [--arch A] [--backend KEY|all] [--store DIR] [--save-plan PATH] \
+         [--arch A] [--arch-file PATH]... [--arch-dir DIR] \
+         [--backend KEY|all] [--store DIR] [--save-plan PATH] \
          [--dim i=10]... [--dims N] [--evals N] [--quick] \
          [--deadline S] [--min-survivors F] [--inject-faults RATE] \
          [--fault-seed N] [--strict] \
@@ -222,7 +237,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--arch" => o.arch = it.next().ok_or("--arch needs a value")?.clone(),
+            "--arch" => o.arch = Some(it.next().ok_or("--arch needs a value")?.clone()),
+            "--arch-file" => o
+                .arch_files
+                .push(it.next().ok_or("--arch-file needs a path")?.clone()),
+            "--arch-dir" => {
+                o.arch_dir = Some(it.next().ok_or("--arch-dir needs a directory")?.clone())
+            }
             "--backend" => o.backend = Some(it.next().ok_or("--backend needs a key")?.clone()),
             "--store" => o.store = Some(it.next().ok_or("--store needs a directory")?.clone()),
             "--schema-older-than" => {
@@ -366,16 +387,55 @@ fn load_workload(spec: &str, o: &Options) -> Result<Workload, CliError> {
     Ok(Workload::parse("cli", &src, &dims)?)
 }
 
-fn archs_for(name: &str) -> Result<Vec<gpusim::GpuArch>, CliError> {
-    if name == "all" {
-        return Ok(gpusim::all_architectures());
+/// The backend set every command resolves against: the built-ins plus
+/// every descriptor named by `--arch-file` / `--arch-dir`. Also returns
+/// the keys the flags loaded, in load order — the first one is the
+/// default target when no `--arch`/`--backend` was given.
+fn backend_set_for(o: &Options) -> Result<(Arc<BackendSet>, Vec<String>), CliError> {
+    let mut set = BackendSet::builtin();
+    let mut loaded = Vec::new();
+    for file in &o.arch_files {
+        loaded.push(set.load_arch_file(std::path::Path::new(file))?);
     }
-    gpusim::arch_by_key(name).map(|a| vec![a]).ok_or_else(|| {
+    if let Some(dir) = &o.arch_dir {
+        loaded.extend(set.load_arch_dir(std::path::Path::new(dir))?);
+    }
+    Ok((Arc::new(set), loaded))
+}
+
+/// The architecture key targeted when `--arch` was not given: the first
+/// descriptor `--arch-file`/`--arch-dir` loaded, else gtx980.
+fn default_target(o: &Options, loaded: &[String]) -> String {
+    o.arch
+        .clone()
+        .or_else(|| loaded.first().cloned())
+        .unwrap_or_else(|| "gtx980".to_string())
+}
+
+fn archs_for(set: &BackendSet, name: &str) -> Result<Vec<gpusim::GpuArch>, CliError> {
+    if name == "all" {
+        return Ok(set
+            .iter()
+            .filter(|b| b.caps().searchable)
+            .filter_map(|b| b.arch().cloned())
+            .collect());
+    }
+    let unknown = || {
+        let keys: Vec<&str> = set
+            .iter()
+            .filter(|b| b.caps().searchable)
+            .map(|b| b.key())
+            .collect();
         CliError::Usage(format!(
             "unknown architecture {name} ({}|all)",
-            gpusim::arch_keys().join("|")
+            keys.join("|")
         ))
-    })
+    };
+    let b = set.get(name).ok_or_else(unknown)?;
+    match b.arch() {
+        Some(a) if b.caps().searchable => Ok(vec![a.clone()]),
+        _ => Err(unknown()),
+    }
 }
 
 fn params_for(o: &Options) -> TuneParams {
@@ -488,19 +548,22 @@ fn cmd_tune_baseline(
 }
 
 /// The session every tuning command runs through: cache-only by default,
-/// store-first when `--store` was given.
-fn session_for(o: &Options) -> Result<TuningSession, CliError> {
-    match &o.store {
-        Some(root) => Ok(TuningSession::with_store(root)?),
-        None => Ok(TuningSession::new()),
-    }
+/// store-first when `--store` was given, resolving backends against the
+/// loaded set (built-ins plus `--arch-file`/`--arch-dir` descriptors).
+fn session_for(o: &Options, set: &Arc<BackendSet>) -> Result<TuningSession, CliError> {
+    let session = match &o.store {
+        Some(root) => TuningSession::with_store(root)?,
+        None => TuningSession::new(),
+    };
+    Ok(session.with_backends(Arc::clone(set)))
 }
 
 fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
     let tuner = WorkloadTuner::build(w);
     let params = params_for(o);
-    let session = session_for(o)?;
-    // --backend: registry-driven dispatch. GPU keys join the --arch loop
+    let (set, loaded) = backend_set_for(o)?;
+    let session = session_for(o, &set)?;
+    // --backend: set-driven dispatch. GPU keys join the --arch loop
     // below; baseline keys print modeled times; `all` sweeps everything
     // through the session (store-first per searchable backend).
     let archs = match o.backend.as_deref() {
@@ -528,10 +591,10 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
             return Ok(());
         }
         Some(key) => {
-            let backend = backend_by_key(key).ok_or_else(|| {
+            let backend = set.get(key).cloned().ok_or_else(|| {
                 CliError::Usage(format!(
                     "unknown backend {key} (one of: {}, all)",
-                    barracuda::backend_keys().join(", ")
+                    set.keys().join(", ")
                 ))
             })?;
             if !backend.caps().searchable {
@@ -539,9 +602,9 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
             }
             // A searchable backend is a GPU architecture: same path as
             // --arch.
-            archs_for(key)?
+            archs_for(&set, key)?
         }
-        None => archs_for(&o.arch)?,
+        None => archs_for(&set, &default_target(o, &loaded))?,
     };
     if o.save_plan.is_some() && archs.len() > 1 {
         return Err(CliError::Usage(
@@ -549,7 +612,7 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
         ));
     }
     for arch in archs {
-        let out = session.tune_built(&tuner, arch.key, params)?;
+        let out = session.tune_built(&tuner, &arch.key, params)?;
         let tuned = &out.tuned;
         println!(
             "{:12} {:>10} us device  {:>8} GF device  {:>8} GF w/transfers  ({} evals, space {})",
@@ -687,6 +750,7 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
 /// zero search evaluations. With `--store`, the positional argument is a
 /// workload spec and the plan comes from the store's content address.
 fn cmd_replay(spec: &str, o: &Options) -> Result<(), CliError> {
+    let (set, loaded) = backend_set_for(o)?;
     let (plan, w, tuned) = if o.store.is_some() {
         let backend = match o.backend.as_deref() {
             Some("all") => {
@@ -695,16 +759,16 @@ fn cmd_replay(spec: &str, o: &Options) -> Result<(), CliError> {
                 ))
             }
             Some(key) => key.to_string(),
-            None => o.arch.clone(),
+            None => default_target(o, &loaded),
         };
-        let session = session_for(o)?;
+        let session = session_for(o, &set)?;
         let w = load_workload(spec, o)?;
         let (tuned, plan, _path) = session.replay_from_store(&w, &backend)?;
         (plan, w, tuned)
     } else {
         let plan = TunedPlan::load(std::path::Path::new(spec))?;
         let w = plan.workload()?;
-        let tuned = plan.replay_for(&w, &EvalCache::new())?;
+        let tuned = plan.replay_for_in(&set, &w, &EvalCache::new())?;
         (plan, w, tuned)
     };
     report_replay(&plan, &w, &tuned, o)
@@ -770,13 +834,17 @@ fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError>
         .as_deref()
         .ok_or_else(|| CliError::Usage("plans needs --store DIR".to_string()))?;
     let store = PlanStore::open(root)?;
+    let (set, loaded) = backend_set_for(o)?;
     // Resolves the store key of `(workload spec, --backend/--arch)`, with
     // `--schema V` overriding the addressed schema version (pre-v2 plans
     // always carry salt 0, and their addresses must agree).
     let key_of = |spec: &str| -> Result<barracuda::StoreKey, CliError> {
         let w = load_workload(spec, o)?;
-        let backend = o.backend.clone().unwrap_or_else(|| o.arch.clone());
-        let session = TuningSession::new();
+        let backend = o
+            .backend
+            .clone()
+            .unwrap_or_else(|| default_target(o, &loaded));
+        let session = TuningSession::new().with_backends(Arc::clone(&set));
         let mut key = session.key_for(&w, &backend)?;
         if let Some(v) = o.schema {
             key.schema = v;
@@ -807,9 +875,29 @@ fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError>
                 } else {
                     ""
                 };
+                // Descriptor provenance: resolve the entry's backend in
+                // the loaded set. A salt match means the entry was
+                // written by the backend as currently described; a
+                // mismatch means its descriptor changed since (replay
+                // would reject the plan); an absent key degrades to a
+                // note instead of an error.
+                let provenance = match set.get(&e.key.backend) {
+                    Some(b) if b.cache_salt() == e.key.cache_salt => {
+                        format!("  descriptor {:016x}", b.cache_salt())
+                    }
+                    Some(b) => {
+                        format!("  [superseded: backend now {:016x}]", b.cache_salt())
+                    }
+                    None => "  [backend not loaded]".to_string(),
+                };
                 println!(
-                    "  {:016x}  {:10} salt {:016x}  v{}{}",
-                    e.key.fingerprint, e.key.backend, e.key.cache_salt, e.key.schema, stale
+                    "  {:016x}  {:10} salt {:016x}  v{}{}{}",
+                    e.key.fingerprint,
+                    e.key.backend,
+                    e.key.cache_salt,
+                    e.key.schema,
+                    stale,
+                    provenance
                 );
             }
             for (path, reason) in &scan.problems {
@@ -880,11 +968,18 @@ fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError>
 /// budget and deadline come from the usual tune flags; individual
 /// requests may override each per the protocol.
 fn cmd_serve(o: &Options) -> Result<(), CliError> {
-    let backend = o.backend.clone().unwrap_or_else(|| o.arch.clone());
-    let b = backend_by_key(&backend).ok_or_else(|| {
+    // Load the descriptor set up front so a bad --arch-file or an
+    // unknown default backend is a usage-time failure, not a daemon that
+    // rejects every request.
+    let (set, loaded) = backend_set_for(o)?;
+    let backend = o
+        .backend
+        .clone()
+        .unwrap_or_else(|| default_target(o, &loaded));
+    let b = set.get(&backend).ok_or_else(|| {
         CliError::Usage(format!(
-            "serve needs a registry backend as its default, not {backend} (one of: {})",
-            barracuda::backend_keys().join(", ")
+            "serve needs a loaded backend as its default, not {backend} (one of: {})",
+            set.keys().join(", ")
         ))
     })?;
     if !b.caps().searchable {
@@ -905,6 +1000,8 @@ fn cmd_serve(o: &Options) -> Result<(), CliError> {
         max_searches: o.max_searches,
         queue: o.queue,
         durable: o.fsync,
+        arch_files: o.arch_files.iter().map(std::path::PathBuf::from).collect(),
+        arch_dir: o.arch_dir.as_ref().map(std::path::PathBuf::from),
         ..barracuda::ServeOptions::default()
     })?);
     barracuda::serve::transport::run(daemon, &listen)?;
@@ -918,8 +1015,19 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "backends" => {
+            let opts = match parse_options(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let (set, _loaded) = match backend_set_for(&opts) {
+                Ok(x) => x,
+                Err(e) => return e.report(),
+            };
             println!("backends (for --backend; GPU keys also work with --arch):");
-            for b in registry() {
+            for b in set.iter() {
                 let caps = b.caps();
                 let mut flags = Vec::new();
                 if caps.searchable {
@@ -931,7 +1039,13 @@ fn main() -> ExitCode {
                 if caps.accelerator {
                     flags.push("accelerator");
                 }
-                println!("  {:10} {:34} [{}]", b.key(), b.name(), flags.join(", "));
+                println!(
+                    "  {:10} {:34} salt {:016x}  [{}]",
+                    b.key(),
+                    b.name(),
+                    b.cache_salt(),
+                    flags.join(", ")
+                );
             }
             println!("  {:10} every backend above, one shared cache", "all");
             ExitCode::SUCCESS

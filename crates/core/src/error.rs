@@ -76,6 +76,18 @@ pub enum BarracudaError {
     /// pipeline stages so clients can tell a broken request from a broken
     /// tune.
     Serve { detail: String },
+    /// An architecture descriptor file could not be read, parsed, or
+    /// validated, or a loaded set of descriptors is inconsistent (duplicate
+    /// keys or names). Distinct from [`Plan`]/[`Store`] so scripts can tell
+    /// a bad machine description from a bad artifact.
+    ///
+    /// [`Plan`]: BarracudaError::Plan
+    /// [`Store`]: BarracudaError::Store
+    Descriptor {
+        /// The file involved, when the failure is attributable to one.
+        path: Option<String>,
+        detail: String,
+    },
     /// The daemon is overloaded (every cold-search permit and queue slot
     /// is taken) or draining for shutdown: a 429-style rejection, not a
     /// failure of the request itself. Clients should back off for
@@ -102,6 +114,7 @@ impl BarracudaError {
             BarracudaError::Plan { .. } => "plan",
             BarracudaError::Store { .. } => "store",
             BarracudaError::Serve { .. } => "serve",
+            BarracudaError::Descriptor { .. } => "descriptor",
             BarracudaError::Busy { .. } => "busy",
         }
     }
@@ -122,6 +135,7 @@ impl BarracudaError {
             BarracudaError::Store { .. } => 11,
             BarracudaError::Serve { .. } => 12,
             BarracudaError::Busy { .. } => 13,
+            BarracudaError::Descriptor { .. } => 14,
         }
     }
 
@@ -137,7 +151,21 @@ impl BarracudaError {
             | BarracudaError::Plan { workload, .. } => workload,
             BarracudaError::Store { .. } => "store",
             BarracudaError::Serve { .. } => "serve",
+            BarracudaError::Descriptor { .. } => "descriptor",
             BarracudaError::Busy { .. } => "serve",
+        }
+    }
+}
+
+impl From<gpusim::DescriptorError> for BarracudaError {
+    fn from(e: gpusim::DescriptorError) -> Self {
+        let path = match &e {
+            gpusim::DescriptorError::Io { path, .. } => Some(path.clone()),
+            _ => None,
+        };
+        BarracudaError::Descriptor {
+            path,
+            detail: e.to_string(),
         }
     }
 }
@@ -206,6 +234,10 @@ impl fmt::Display for BarracudaError {
             BarracudaError::Serve { detail } => {
                 write!(f, "serve error: {detail}")
             }
+            BarracudaError::Descriptor { path, detail } => match path {
+                Some(p) => write!(f, "descriptor error in {p}: {detail}"),
+                None => write!(f, "descriptor error: {detail}"),
+            },
             BarracudaError::Busy {
                 detail,
                 retry_after_ms,
@@ -263,6 +295,10 @@ mod tests {
             },
             BarracudaError::Store { detail: "d".into() },
             BarracudaError::Serve { detail: "d".into() },
+            BarracudaError::Descriptor {
+                path: None,
+                detail: "d".into(),
+            },
             BarracudaError::Busy {
                 detail: "d".into(),
                 retry_after_ms: 100,

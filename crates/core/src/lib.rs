@@ -69,8 +69,8 @@ pub mod variant;
 pub mod workload;
 
 pub use backend::{
-    backend_by_key, backend_keys, registry, tune_all_backends, tune_all_backends_with, Backend,
-    BackendCaps, BackendTuning,
+    backend_by_key, backend_keys, builtin_backends, tune_all_backends, tune_all_backends_with,
+    Backend, BackendCaps, BackendSet, BackendTuning,
 };
 pub use cache::EvalCache;
 pub use error::{BarracudaError, Result};

@@ -129,8 +129,30 @@ pub struct TunedPlan {
 impl TunedPlan {
     /// Captures a finished tuning run as a plan. The `tuner` must be the
     /// one the result came from (it decomposes the joint id), and
-    /// `backend` the registry key of the architecture searched.
+    /// `backend` the built-in registry key of the architecture searched.
+    /// Runtime-loaded backends go through [`TunedPlan::from_tuned_for`].
     pub fn from_tuned(tuner: &WorkloadTuner, backend: &str, tuned: &TunedWorkload) -> TunedPlan {
+        let salt = backend_by_key(backend).map_or(0, |b| b.cache_salt());
+        Self::from_parts(tuner, backend, salt, tuned)
+    }
+
+    /// [`TunedPlan::from_tuned`] with the backend already resolved — the
+    /// salt provenance records the backend's descriptor digest, whichever
+    /// set it was loaded from.
+    pub fn from_tuned_for(
+        tuner: &WorkloadTuner,
+        backend: &dyn crate::backend::Backend,
+        tuned: &TunedWorkload,
+    ) -> TunedPlan {
+        Self::from_parts(tuner, backend.key(), backend.cache_salt(), tuned)
+    }
+
+    fn from_parts(
+        tuner: &WorkloadTuner,
+        backend: &str,
+        cache_salt: u64,
+        tuned: &TunedWorkload,
+    ) -> TunedPlan {
         let locals = tuner.decode(tuned.id);
         let choices = tuner
             .statements
@@ -154,7 +176,7 @@ impl TunedPlan {
                 .collect(),
             fingerprint: workload_fingerprint(&tuner.workload),
             backend: backend.to_string(),
-            cache_salt: backend_by_key(backend).map_or(0, |b| b.cache_salt()),
+            cache_salt,
             arch_name: tuned.arch_name.clone(),
             id: tuned.id,
             choices,
@@ -612,9 +634,22 @@ impl TunedPlan {
         workload: &Workload,
         cache: &EvalCache,
     ) -> Result<TunedWorkload, BarracudaError> {
+        self.replay_for_in(crate::backend::builtin_backends(), workload, cache)
+    }
+
+    /// [`TunedPlan::replay_for`] resolving the plan's backend against an
+    /// explicit [`BackendSet`] (runtime-loaded descriptors included).
+    ///
+    /// [`BackendSet`]: crate::backend::BackendSet
+    pub fn replay_for_in(
+        &self,
+        set: &crate::backend::BackendSet,
+        workload: &Workload,
+        cache: &EvalCache,
+    ) -> Result<TunedWorkload, BarracudaError> {
         self.validate_for(workload)?;
         let tuner = WorkloadTuner::build(workload);
-        self.replay_built(workload, &tuner, cache)
+        self.replay_built_in(set, workload, &tuner, cache)
     }
 
     /// [`TunedPlan::replay_for`] with a pre-built tuner: skips the lowering
@@ -629,8 +664,22 @@ impl TunedPlan {
         tuner: &WorkloadTuner,
         cache: &EvalCache,
     ) -> Result<TunedWorkload, BarracudaError> {
+        self.replay_built_in(crate::backend::builtin_backends(), workload, tuner, cache)
+    }
+
+    /// [`TunedPlan::replay_built`] resolving the plan's backend against an
+    /// explicit [`BackendSet`].
+    ///
+    /// [`BackendSet`]: crate::backend::BackendSet
+    pub fn replay_built_in(
+        &self,
+        set: &crate::backend::BackendSet,
+        workload: &Workload,
+        tuner: &WorkloadTuner,
+        cache: &EvalCache,
+    ) -> Result<TunedWorkload, BarracudaError> {
         self.validate_for(workload)?;
-        let backend = backend_by_key(&self.backend).ok_or_else(|| BarracudaError::Plan {
+        let backend = set.get(&self.backend).ok_or_else(|| BarracudaError::Plan {
             workload: workload.name.clone(),
             detail: format!("unknown backend `{}` in plan", self.backend),
         })?;

@@ -60,6 +60,10 @@ pub struct MetricsSnapshot {
     /// Requests currently parked in the admission wait queue (filled by
     /// the daemon snapshot).
     pub queued_searches: usize,
+    /// Backends in the daemon's loaded set — built-ins plus descriptors
+    /// (filled by the daemon snapshot; 0 from a bare
+    /// [`ServeMetrics::snapshot`]).
+    pub backends_loaded: usize,
     /// Median request latency in microseconds (0 with no samples).
     pub p50_us: u64,
     /// 99th-percentile request latency in microseconds.
@@ -99,6 +103,7 @@ impl ServeMetrics {
             store_corrupt: 0,
             active_searches: 0,
             queued_searches: 0,
+            backends_loaded: 0,
             p50_us: percentile(&lat, 50.0),
             p99_us: percentile(&lat, 99.0),
         }
@@ -146,6 +151,10 @@ impl MetricsSnapshot {
             (
                 "queued_searches".to_string(),
                 Json::Num(self.queued_searches as f64),
+            ),
+            (
+                "backends_loaded".to_string(),
+                Json::Num(self.backends_loaded as f64),
             ),
             ("p50_us".to_string(), Json::Num(self.p50_us as f64)),
             ("p99_us".to_string(), Json::Num(self.p99_us as f64)),

@@ -53,6 +53,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use crate::backend::BackendSet;
 use crate::error::BarracudaError;
 use crate::json::Json;
 use crate::kernels;
@@ -105,6 +106,12 @@ pub struct ServeOptions {
     /// Fsync plan-store writes (`--fsync`): survive power loss, not just
     /// process crash.
     pub durable: bool,
+    /// Architecture descriptor files (`--arch-file`) loaded into the
+    /// daemon's backend set at startup, in order.
+    pub arch_files: Vec<PathBuf>,
+    /// Directory of `*.toml` descriptors (`--arch-dir`) loaded after
+    /// `arch_files`, sorted by file name.
+    pub arch_dir: Option<PathBuf>,
     /// Serve-level chaos plan (tests and the chaos harness only).
     pub chaos: ChaosPlan,
     /// Store-level I/O fault plan (tests and the chaos harness only).
@@ -123,6 +130,8 @@ impl Default for ServeOptions {
             queue: None,
             follower_wait_s: DEFAULT_FOLLOWER_WAIT_S,
             durable: false,
+            arch_files: Vec::new(),
+            arch_dir: None,
             chaos: ChaosPlan::none(),
             store_faults: StoreFaultPlan::none(),
         }
@@ -196,8 +205,37 @@ fn default_max_searches() -> usize {
 }
 
 impl Daemon {
-    /// Build a daemon; opening the plan store is the only fallible part.
+    /// Build a daemon. Fallible parts: opening the plan store, loading
+    /// the architecture descriptors, and validating that the default
+    /// backend exists in the loaded set and is searchable.
     pub fn new(options: ServeOptions) -> Result<Daemon, BarracudaError> {
+        let mut set = BackendSet::builtin();
+        for file in &options.arch_files {
+            set.load_arch_file(file)?;
+        }
+        if let Some(dir) = &options.arch_dir {
+            set.load_arch_dir(dir)?;
+        }
+        match set.get(&options.backend) {
+            None => {
+                return Err(BarracudaError::Serve {
+                    detail: format!(
+                        "default backend \"{}\" is not in the loaded backend set (one of: {})",
+                        options.backend,
+                        set.keys().join(", ")
+                    ),
+                })
+            }
+            Some(b) if !b.caps().searchable => {
+                return Err(BarracudaError::Serve {
+                    detail: format!(
+                        "default backend \"{}\" is not searchable — serve needs a GPU backend",
+                        options.backend
+                    ),
+                })
+            }
+            Some(_) => {}
+        }
         let session = match &options.store {
             Some(root) => {
                 let store = PlanStore::open_with(
@@ -210,7 +248,8 @@ impl Daemon {
                 TuningSession::with_plan_store(store)
             }
             None => TuningSession::new(),
-        };
+        }
+        .with_backends(Arc::new(set));
         let max = options.max_searches.unwrap_or_else(default_max_searches);
         let queue = options.queue.unwrap_or(max);
         Ok(Daemon {
@@ -244,7 +283,40 @@ impl Daemon {
         let (active, queued) = self.gate.depth();
         s.active_searches = active;
         s.queued_searches = queued;
+        s.backends_loaded = self.session.backends().len();
         s
+    }
+
+    /// The `backends` op: every backend in the daemon's loaded set, with
+    /// its cache salt (the descriptor digest, for GPU backends) so
+    /// clients can tell which machine description will address their
+    /// plans — and which one is the default for requests that name none.
+    fn backends_json(&self) -> Json {
+        let list = self
+            .session
+            .backends()
+            .iter()
+            .map(|b| {
+                Json::Obj(vec![
+                    ("key".to_string(), Json::Str(b.key().to_string())),
+                    ("name".to_string(), Json::Str(b.name().to_string())),
+                    ("searchable".to_string(), Json::Bool(b.caps().searchable)),
+                    (
+                        "salt".to_string(),
+                        Json::Str(format!("{:016x}", b.cache_salt())),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("op".to_string(), Json::Str("backends".to_string())),
+            (
+                "default".to_string(),
+                Json::Str(self.options.backend.clone()),
+            ),
+            ("backends".to_string(), Json::Arr(list)),
+        ])
     }
 
     /// The underlying session (tests reach its caches through this).
@@ -278,6 +350,7 @@ impl Daemon {
             }
             Ok(Request::Ping) => protocol::ack_response("ping"),
             Ok(Request::Stats) => self.snapshot().to_json(),
+            Ok(Request::Backends) => self.backends_json(),
             Ok(Request::Shutdown) => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 shutdown = true;

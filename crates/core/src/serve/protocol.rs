@@ -8,6 +8,7 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"backends"}
 //! {"op":"shutdown"}
 //! {"op":"tune","id":"r1","workload":"builtin:tce","backend":"k20",
 //!  "evals":40,"quick":true,"deadline_s":2.5}
@@ -28,6 +29,8 @@ pub enum Request {
     Ping,
     /// Daemon counters and latency percentiles.
     Stats,
+    /// The daemon's loaded backend set (keys, names, cache salts).
+    Backends,
     /// Stop accepting work; transports drain and exit.
     Shutdown,
     /// Tune (or replay) one workload on one backend.
@@ -71,6 +74,7 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "backends" => Ok(Request::Backends),
             "shutdown" => Ok(Request::Shutdown),
             "tune" => {
                 let workload = v
@@ -233,6 +237,10 @@ mod tests {
     fn parses_every_op() {
         assert_eq!(Request::parse(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
         assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            Request::parse(r#"{"op":"backends"}"#).unwrap(),
+            Request::Backends
+        );
         assert_eq!(
             Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown

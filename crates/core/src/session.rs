@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use crate::backend::{backend_by_key, tune_all_backends_with, BackendTuning};
+use crate::backend::{tune_all_backends_with, BackendSet, BackendTuning};
 use crate::cache::EvalCache;
 use crate::error::BarracudaError;
 use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
@@ -81,6 +81,9 @@ pub struct TuningSession {
     /// so a single cache must never span workloads.
     caches: Mutex<HashMap<u64, Arc<EvalCache>>>,
     store: Option<PlanStore>,
+    /// The backends this session resolves keys against: the built-ins by
+    /// default, or a set extended with runtime-loaded descriptors.
+    backends: Arc<BackendSet>,
 }
 
 impl Default for TuningSession {
@@ -96,6 +99,7 @@ impl TuningSession {
         TuningSession {
             caches: Mutex::new(HashMap::new()),
             store: None,
+            backends: Arc::new(BackendSet::builtin()),
         }
     }
 
@@ -111,7 +115,20 @@ impl TuningSession {
         TuningSession {
             caches: Mutex::new(HashMap::new()),
             store: Some(store),
+            backends: Arc::new(BackendSet::builtin()),
         }
+    }
+
+    /// Replaces the session's backend set (builder-style). How the CLI and
+    /// the daemon make `--arch-file`/`--arch-dir` descriptors resolvable.
+    pub fn with_backends(mut self, backends: Arc<BackendSet>) -> TuningSession {
+        self.backends = backends;
+        self
+    }
+
+    /// The backend set every key in this session resolves against.
+    pub fn backends(&self) -> &BackendSet {
+        &self.backends
     }
 
     /// The session's shared evaluation cache for `workload`: every tune
@@ -133,12 +150,15 @@ impl TuningSession {
 
     /// The current-schema store key for `(workload, backend)`. Typed
     /// [`BarracudaError::Plan`] when the backend key is not in the
-    /// registry.
+    /// session's backend set.
     pub fn key_for(&self, workload: &Workload, backend: &str) -> Result<StoreKey, BarracudaError> {
-        let b = backend_by_key(backend).ok_or_else(|| BarracudaError::Plan {
-            workload: workload.name.clone(),
-            detail: format!("unknown backend `{backend}`"),
-        })?;
+        let b = self
+            .backends
+            .get(backend)
+            .ok_or_else(|| BarracudaError::Plan {
+                workload: workload.name.clone(),
+                detail: format!("unknown backend `{backend}`"),
+            })?;
         Ok(StoreKey {
             fingerprint: workload_fingerprint(workload),
             cache_salt: b.cache_salt(),
@@ -174,16 +194,19 @@ impl TuningSession {
         if let Some(hit) = self.replay_hit(tuner, backend)? {
             return Ok(hit);
         }
-        let b = backend_by_key(backend).ok_or_else(|| BarracudaError::Plan {
-            workload: workload.name.clone(),
-            detail: format!("unknown backend `{backend}`"),
-        })?;
+        let b = self
+            .backends
+            .get(backend)
+            .ok_or_else(|| BarracudaError::Plan {
+                workload: workload.name.clone(),
+                detail: format!("unknown backend `{backend}`"),
+            })?;
         let arch = b.arch().ok_or_else(|| BarracudaError::Search {
             workload: workload.name.clone(),
             detail: format!("backend `{backend}` is not searchable — no architecture to tune on"),
         })?;
         let tuned = tuner.autotune_with_cache(arch, params, &cache)?;
-        let plan = TunedPlan::from_tuned(tuner, backend, &tuned);
+        let plan = TunedPlan::from_tuned_for(tuner, b.as_ref(), &tuned);
         let stored = match &self.store {
             Some(store) => Some(store.insert(&plan)?),
             None => None,
@@ -214,7 +237,8 @@ impl TuningSession {
         let Some(plan) = store.lookup(&key)? else {
             return Ok(None);
         };
-        let tuned = plan.replay_built(workload, tuner, &self.cache_for(workload))?;
+        let tuned =
+            plan.replay_built_in(&self.backends, workload, tuner, &self.cache_for(workload))?;
         Ok(Some(SessionOutcome {
             tuned,
             plan,
@@ -236,8 +260,8 @@ impl TuningSession {
         arch: &gpusim::GpuArch,
         params: TuneParams,
     ) -> Result<TunedWorkload, BarracudaError> {
-        if backend_by_key(arch.key).is_some() {
-            return Ok(self.tune_built(tuner, arch.key, params)?.tuned);
+        if self.backends.get(&arch.key).is_some() {
+            return Ok(self.tune_built(tuner, &arch.key, params)?.tuned);
         }
         tuner.autotune_with_cache(arch, params, &self.cache_for(&tuner.workload))
     }
@@ -252,7 +276,7 @@ impl TuningSession {
         params: TuneParams,
     ) -> Result<SweepOutcome, BarracudaError> {
         let mut notes = Vec::new();
-        let rows = tune_all_backends_with(tuner, |backend, _| {
+        let rows = tune_all_backends_with(&self.backends, tuner, |backend, _| {
             let out = self.tune_built(tuner, backend.key(), params)?;
             notes.push((backend.key().to_string(), out.source));
             Ok(out.tuned)
@@ -279,7 +303,7 @@ impl TuningSession {
                 store.root().display()
             ),
         })?;
-        let tuned = plan.replay_for(workload, &self.cache_for(workload))?;
+        let tuned = plan.replay_for_in(&self.backends, workload, &self.cache_for(workload))?;
         Ok((tuned, plan, store.path_of(&key)))
     }
 }

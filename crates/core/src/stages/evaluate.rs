@@ -170,7 +170,7 @@ pub fn joint_gpu_seconds_memo(
     arch: &GpuArch,
     cache: &EvalCache,
 ) -> Result<f64, BarracudaError> {
-    let salt = salt_of(arch.name);
+    let salt = salt_of(&arch.name);
     let t0 = Instant::now();
     let locals = lower::decode_joint(statements, id);
     cache.hot().add_decode(t0.elapsed().as_nanos() as u64);
@@ -245,7 +245,7 @@ impl<'a> TunerEvaluator<'a> {
             statements,
             arch,
             cache,
-            salt: salt_of(arch.name),
+            salt: salt_of(&arch.name),
             eval_noise,
             noise_floor_us,
             noise_seed,

@@ -570,8 +570,8 @@ pub fn autotune_decomposed(
             accumulate: workload.statements[k].accumulate,
             arch,
             cache,
-            salt: salt_of(arch.name) ^ (k as u64 + 1),
-            op_salt: salt_of(arch.name),
+            salt: salt_of(&arch.name) ^ (k as u64 + 1),
+            op_salt: salt_of(&arch.name),
             eval_noise: params.eval_noise,
             noise_floor_us: params.noise_floor_us,
             noise_seed: params.seed ^ k as u64,

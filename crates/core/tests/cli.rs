@@ -200,6 +200,179 @@ fn backends_lists_the_registry() {
     }
 }
 
+/// End-to-end descriptor flow through the CLI: `--arch-file` adds a
+/// backend, the store misses then hits, `plans list` reports descriptor
+/// provenance, and editing the descriptor invalidates the stored plan
+/// (replay exits 10) until a fresh search repopulates the store.
+#[test]
+fn descriptor_file_drives_tune_store_and_invalidation() {
+    let dir = std::env::temp_dir().join(format!("barracuda_cli_descriptor_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let desc = dir.join("k20x.toml");
+    let store = dir.join("store");
+    // A K20 variant with its own key — tweaked bandwidth so the digest
+    // (and the tuned result) are genuinely its own.
+    let toml = "\
+name = \"Tesla K20X (cli)\"\n\
+key = \"k20x\"\n\
+generation = \"Kepler\"\n\
+sm_count = 14\n\
+clock_ghz = 0.732\n\
+dp_flops_per_cycle_per_sm = 128.0\n\
+issue_lanes_per_cycle_per_sm = 160.0\n\
+mem_bw_gbs = 180.0\n\
+l2_bytes = 1572864\n\
+l2_bw_gbs = 350.0\n\
+smem_per_sm = 49152\n\
+max_threads_per_sm = 2048\n\
+max_blocks_per_sm = 16\n\
+max_warps_per_sm = 64\n\
+regs_per_sm = 65536\n\
+warp_size = 32\n\
+transaction_bytes = 128\n\
+kernel_launch_us = 7.0\n\
+pcie_bw_gbs = 5.5\n\
+pcie_latency_us = 14.0\n\
+dp_latency_cycles = 24.0\n\
+l2_latency_cycles = 220.0\n\
+compile_seconds = 7.6\n";
+    std::fs::write(&desc, toml).unwrap();
+    let desc_arg = desc.to_str().unwrap();
+    let store_arg = store.to_str().unwrap();
+
+    // The loaded descriptor shows up in `backends`.
+    let out = bin()
+        .args(["backends", "--arch-file", desc_arg])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("k20x"), "{text}");
+    assert!(text.contains("Tesla K20X (cli)"), "{text}");
+
+    // First tune: store miss, searched and persisted. No --arch needed —
+    // the loaded descriptor is the default target.
+    let tune = |args: &[&str]| {
+        bin()
+            .args([
+                "tune",
+                "builtin:eqn1",
+                "--quick",
+                "--evals",
+                "20",
+                "--arch-file",
+                desc_arg,
+                "--store",
+                store_arg,
+            ])
+            .args(args)
+            .output()
+            .unwrap()
+    };
+    let first = tune(&[]);
+    assert!(first.status.success());
+    let first_text = String::from_utf8_lossy(&first.stdout);
+    assert!(first_text.contains("Tesla K20X (cli)"), "{first_text}");
+    assert!(first_text.contains("plan store: miss"), "{first_text}");
+
+    // Second tune: warm hit, zero search evaluations, identical timing.
+    let second = tune(&[]);
+    assert!(second.status.success());
+    let second_text = String::from_utf8_lossy(&second.stdout);
+    assert!(
+        second_text.contains("plan store: hit (0 search evaluations"),
+        "{second_text}"
+    );
+    assert_eq!(
+        first_text.lines().next(),
+        second_text.lines().next(),
+        "hit must replay the searched timing byte-identically"
+    );
+
+    // `plans list` ties the entry to the loaded descriptor digest.
+    let list = bin()
+        .args([
+            "plans",
+            "list",
+            "--store",
+            store_arg,
+            "--arch-file",
+            desc_arg,
+        ])
+        .output()
+        .unwrap();
+    assert!(list.status.success());
+    let list_text = String::from_utf8_lossy(&list.stdout);
+    assert!(list_text.contains("k20x"), "{list_text}");
+    assert!(list_text.contains("descriptor "), "{list_text}");
+
+    // Edit one field: the digest moves, so the stored plan no longer
+    // answers — replay rejects it with the plan exit code.
+    std::fs::write(&desc, toml.replace("180.0", "200.0")).unwrap();
+    let replay = bin()
+        .args([
+            "replay",
+            "builtin:eqn1",
+            "--store",
+            store_arg,
+            "--arch-file",
+            desc_arg,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(replay.status.code(), Some(10), "stale plan must exit 10");
+
+    // The old entry is now reported as superseded...
+    let list = bin()
+        .args([
+            "plans",
+            "list",
+            "--store",
+            store_arg,
+            "--arch-file",
+            desc_arg,
+        ])
+        .output()
+        .unwrap();
+    let list_text = String::from_utf8_lossy(&list.stdout);
+    assert!(list_text.contains("[superseded"), "{list_text}");
+    // ...and without the descriptor loaded it degrades to a note.
+    let list = bin()
+        .args(["plans", "list", "--store", store_arg])
+        .output()
+        .unwrap();
+    let list_text = String::from_utf8_lossy(&list.stdout);
+    assert!(list_text.contains("[backend not loaded]"), "{list_text}");
+
+    // A fresh tune under the edited descriptor searches again and files
+    // a second entry under the new digest.
+    let third = tune(&[]);
+    assert!(third.status.success());
+    let third_text = String::from_utf8_lossy(&third.stdout);
+    assert!(third_text.contains("plan store: miss"), "{third_text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A malformed descriptor file is a typed descriptor error: exit 14.
+#[test]
+fn bad_descriptor_file_exits_14() {
+    let dir = std::env::temp_dir();
+    let desc = dir.join(format!(
+        "barracuda_cli_bad_descriptor_{}.toml",
+        std::process::id()
+    ));
+    std::fs::write(&desc, "name = \"half a descriptor\"\n").unwrap();
+    let out = bin()
+        .args(["backends", "--arch-file", desc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(14));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error[descriptor]"), "stderr: {err}");
+    let _ = std::fs::remove_file(&desc);
+}
+
 #[test]
 fn unknown_backend_exits_2_usage() {
     let out = bin()
@@ -493,9 +666,14 @@ fn foreign_cache_salt_exits_10() {
         .nth(3)
         .unwrap()
         .to_string();
+    // Increment every hex digit (mod 16) so the tampered salt differs
+    // from the original no matter which digits it contains.
     let flipped: String = salt
         .chars()
-        .map(|c| if c == '0' { '1' } else { '0' })
+        .map(|c| {
+            let d = c.to_digit(16).unwrap();
+            char::from_digit((d + 1) % 16, 16).unwrap()
+        })
         .collect();
     std::fs::write(&plan, text.replace(&salt, &flipped)).unwrap();
     let replay = bin()

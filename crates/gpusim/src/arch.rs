@@ -6,16 +6,25 @@
 //! *relations* between these quantities (wide-but-slow Fermi DP vs.
 //! thin-but-fast Maxwell DP, launch overheads shrinking by generation), not
 //! on their absolute accuracy.
+//!
+//! The built-ins are *data*, not code: each ships as a TOML descriptor
+//! embedded at compile time (`descriptors/*.toml`) and is parsed once, on
+//! first use, through the same [`crate::descriptor`] path that loads
+//! user-supplied architecture files. Adding a new GPU generation therefore
+//! needs no rebuild — write a descriptor file and point the CLI at it.
+
+use crate::descriptor::ArchDescriptor;
+use std::sync::OnceLock;
 
 /// A simulated GPU.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GpuArch {
-    pub name: &'static str,
+    pub name: String,
     /// Short machine-readable registry key (`gtx980`, `k20`, `c2050`) used
     /// by `--arch`/`--backend` lookups and cache salting.
-    pub key: &'static str,
+    pub key: String,
     /// Marketing generation, e.g. "Fermi".
-    pub generation: &'static str,
+    pub generation: String,
     pub sm_count: u32,
     pub clock_ghz: f64,
     /// Double-precision flops per cycle per SM (an FMA counts as 2).
@@ -59,106 +68,63 @@ impl GpuArch {
     }
 }
 
+/// The embedded built-in descriptors, newest first (the paper's column
+/// order). Exposed so callers can show users what a descriptor file looks
+/// like without shipping extra files.
+pub const BUILTIN_DESCRIPTOR_TOML: &[(&str, &str)] = &[
+    ("gtx980", include_str!("../descriptors/gtx980.toml")),
+    ("k20", include_str!("../descriptors/k20.toml")),
+    ("c2050", include_str!("../descriptors/c2050.toml")),
+];
+
+/// Parsed once on first use; every accessor below clones out of this slab
+/// instead of re-constructing (or re-parsing) per call.
+fn builtins() -> &'static Vec<GpuArch> {
+    static CELL: OnceLock<Vec<GpuArch>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        BUILTIN_DESCRIPTOR_TOML
+            .iter()
+            .map(|(key, text)| match ArchDescriptor::parse_toml(text) {
+                Ok(d) => {
+                    // The embedded file must agree with its registry slot.
+                    assert_eq!(d.key(), *key, "embedded descriptor key mismatch");
+                    d.into_arch()
+                }
+                Err(e) => panic!("embedded descriptor `{key}` is invalid: {e}"),
+            })
+            .collect()
+    })
+}
+
 /// Tesla C2050 (Fermi, GF100): wide DP (1/2 of SP), modest clocks, ECC DRAM.
 pub fn c2050() -> GpuArch {
-    GpuArch {
-        name: "Tesla C2050",
-        key: "c2050",
-        generation: "Fermi",
-        sm_count: 14,
-        clock_ghz: 1.15,
-        dp_flops_per_cycle_per_sm: 32.0, // 16 DP FMA lanes
-        issue_lanes_per_cycle_per_sm: 48.0,
-        mem_bw_gbs: 105.0, // 144 peak, ECC on
-        l2_bytes: 768 << 10,
-        l2_bw_gbs: 230.0,
-        smem_per_sm: 48 << 10,
-        max_threads_per_sm: 1536,
-        max_blocks_per_sm: 8,
-        max_warps_per_sm: 48,
-        regs_per_sm: 32 << 10,
-        warp_size: 32,
-        transaction_bytes: 128,
-        kernel_launch_us: 9.0,
-        pcie_bw_gbs: 5.5, // PCIe 2.0 x16 effective
-        pcie_latency_us: 16.0,
-        dp_latency_cycles: 18.0,
-        l2_latency_cycles: 240.0,
-        compile_seconds: 5.2,
-    }
+    builtins()[2].clone()
 }
 
 /// Tesla K20 (Kepler, GK110): many thin cores, high DP peak, ECC DRAM.
 pub fn k20() -> GpuArch {
-    GpuArch {
-        name: "Tesla K20",
-        key: "k20",
-        generation: "Kepler",
-        sm_count: 13,
-        clock_ghz: 0.706,
-        dp_flops_per_cycle_per_sm: 128.0, // 64 DP FMA lanes
-        issue_lanes_per_cycle_per_sm: 160.0,
-        mem_bw_gbs: 150.0, // 208 peak, ECC on
-        l2_bytes: 1280 << 10,
-        l2_bw_gbs: 350.0,
-        smem_per_sm: 48 << 10,
-        max_threads_per_sm: 2048,
-        max_blocks_per_sm: 16,
-        max_warps_per_sm: 64,
-        regs_per_sm: 64 << 10,
-        warp_size: 32,
-        transaction_bytes: 128,
-        kernel_launch_us: 7.0,
-        pcie_bw_gbs: 5.5,
-        pcie_latency_us: 14.0,
-        dp_latency_cycles: 24.0,
-        l2_latency_cycles: 220.0,
-        compile_seconds: 7.6,
-    }
+    builtins()[1].clone()
 }
 
 /// GTX 980 (Maxwell, GM204): consumer part, DP = 1/32 of SP, fast launches.
 pub fn gtx980() -> GpuArch {
-    GpuArch {
-        name: "GTX 980",
-        key: "gtx980",
-        generation: "Maxwell",
-        sm_count: 16,
-        clock_ghz: 1.126,
-        dp_flops_per_cycle_per_sm: 8.0, // 4 DP FMA lanes
-        issue_lanes_per_cycle_per_sm: 128.0,
-        mem_bw_gbs: 180.0, // 224 peak, no ECC
-        l2_bytes: 2 << 20,
-        l2_bw_gbs: 450.0,
-        smem_per_sm: 96 << 10,
-        max_threads_per_sm: 2048,
-        max_blocks_per_sm: 32,
-        max_warps_per_sm: 64,
-        regs_per_sm: 64 << 10,
-        warp_size: 32,
-        transaction_bytes: 128,
-        kernel_launch_us: 4.0,
-        pcie_bw_gbs: 11.0, // PCIe 3.0 x16 effective
-        pcie_latency_us: 10.0,
-        dp_latency_cycles: 16.0,
-        l2_latency_cycles: 200.0,
-        compile_seconds: 3.2,
-    }
+    builtins()[0].clone()
 }
 
 /// All three architectures, newest first (the paper's column order).
 pub fn all_architectures() -> Vec<GpuArch> {
-    vec![gtx980(), k20(), c2050()]
+    builtins().clone()
 }
 
-/// Looks an architecture up by its registry key (`gtx980`, `k20`, `c2050`).
+/// Looks an architecture up by its registry key (`gtx980`, `k20`, `c2050`)
+/// without rebuilding the registry: one clone on hit, no allocation on miss.
 pub fn arch_by_key(key: &str) -> Option<GpuArch> {
-    all_architectures().into_iter().find(|a| a.key == key)
+    builtins().iter().find(|a| a.key == key).cloned()
 }
 
 /// The registry keys of every built-in architecture, in registry order.
 pub fn arch_keys() -> Vec<&'static str> {
-    all_architectures().iter().map(|a| a.key).collect()
+    builtins().iter().map(|a| a.key.as_str()).collect()
 }
 
 #[cfg(test)]
@@ -186,5 +152,111 @@ mod tests {
         assert_eq!(archs.len(), 3);
         assert_ne!(archs[0].name, archs[1].name);
         assert_ne!(archs[1].name, archs[2].name);
+    }
+
+    #[test]
+    fn lookup_and_keys_agree_with_the_slab() {
+        assert_eq!(arch_keys(), vec!["gtx980", "k20", "c2050"]);
+        for key in arch_keys() {
+            assert_eq!(arch_by_key(key).map(|a| a.key), Some(key.to_string()));
+        }
+        assert!(arch_by_key("tpu").is_none());
+    }
+
+    /// Golden equivalence: the descriptor-parsed built-ins must be
+    /// field-for-field (and hence bit-for-bit for every float) identical to
+    /// the hard-coded constructors this module had before the descriptor
+    /// refactor. If a TOML edit drifts a value, this test names it.
+    #[test]
+    fn builtins_match_the_pre_descriptor_literals() {
+        let golden_c2050 = GpuArch {
+            name: "Tesla C2050".to_string(),
+            key: "c2050".to_string(),
+            generation: "Fermi".to_string(),
+            sm_count: 14,
+            clock_ghz: 1.15,
+            dp_flops_per_cycle_per_sm: 32.0,
+            issue_lanes_per_cycle_per_sm: 48.0,
+            mem_bw_gbs: 105.0,
+            l2_bytes: 768 << 10,
+            l2_bw_gbs: 230.0,
+            smem_per_sm: 48 << 10,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            max_warps_per_sm: 48,
+            regs_per_sm: 32 << 10,
+            warp_size: 32,
+            transaction_bytes: 128,
+            kernel_launch_us: 9.0,
+            pcie_bw_gbs: 5.5,
+            pcie_latency_us: 16.0,
+            dp_latency_cycles: 18.0,
+            l2_latency_cycles: 240.0,
+            compile_seconds: 5.2,
+        };
+        let golden_k20 = GpuArch {
+            name: "Tesla K20".to_string(),
+            key: "k20".to_string(),
+            generation: "Kepler".to_string(),
+            sm_count: 13,
+            clock_ghz: 0.706,
+            dp_flops_per_cycle_per_sm: 128.0,
+            issue_lanes_per_cycle_per_sm: 160.0,
+            mem_bw_gbs: 150.0,
+            l2_bytes: 1280 << 10,
+            l2_bw_gbs: 350.0,
+            smem_per_sm: 48 << 10,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            max_warps_per_sm: 64,
+            regs_per_sm: 64 << 10,
+            warp_size: 32,
+            transaction_bytes: 128,
+            kernel_launch_us: 7.0,
+            pcie_bw_gbs: 5.5,
+            pcie_latency_us: 14.0,
+            dp_latency_cycles: 24.0,
+            l2_latency_cycles: 220.0,
+            compile_seconds: 7.6,
+        };
+        let golden_gtx980 = GpuArch {
+            name: "GTX 980".to_string(),
+            key: "gtx980".to_string(),
+            generation: "Maxwell".to_string(),
+            sm_count: 16,
+            clock_ghz: 1.126,
+            dp_flops_per_cycle_per_sm: 8.0,
+            issue_lanes_per_cycle_per_sm: 128.0,
+            mem_bw_gbs: 180.0,
+            l2_bytes: 2 << 20,
+            l2_bw_gbs: 450.0,
+            smem_per_sm: 96 << 10,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_warps_per_sm: 64,
+            regs_per_sm: 64 << 10,
+            warp_size: 32,
+            transaction_bytes: 128,
+            kernel_launch_us: 4.0,
+            pcie_bw_gbs: 11.0,
+            pcie_latency_us: 10.0,
+            dp_latency_cycles: 16.0,
+            l2_latency_cycles: 200.0,
+            compile_seconds: 3.2,
+        };
+        assert_eq!(c2050(), golden_c2050);
+        assert_eq!(k20(), golden_k20);
+        assert_eq!(gtx980(), golden_gtx980);
+        // Bit-level float identity, not just PartialEq.
+        for (a, b) in [
+            (c2050(), golden_c2050),
+            (k20(), golden_k20),
+            (gtx980(), golden_gtx980),
+        ] {
+            assert_eq!(a.clock_ghz.to_bits(), b.clock_ghz.to_bits());
+            assert_eq!(a.mem_bw_gbs.to_bits(), b.mem_bw_gbs.to_bits());
+            assert_eq!(a.kernel_launch_us.to_bits(), b.kernel_launch_us.to_bits());
+            assert_eq!(a.compile_seconds.to_bits(), b.compile_seconds.to_bits());
+        }
     }
 }

@@ -23,12 +23,14 @@
 
 pub mod arch;
 pub mod coalesce;
+pub mod descriptor;
 pub mod exec;
 pub mod fused;
 pub mod occupancy;
 pub mod timing;
 
 pub use arch::{all_architectures, arch_by_key, arch_keys, c2050, gtx980, k20, GpuArch};
+pub use descriptor::{ArchDescriptor, DescriptorError};
 pub use exec::{execute_kernel, execute_program};
 pub use fused::{execute_fused_program, time_fused, FusedTiming};
 pub use timing::{

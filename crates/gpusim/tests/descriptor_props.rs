@@ -1,0 +1,198 @@
+//! Property tests for [`gpusim::ArchDescriptor`]: the hand-rolled TOML
+//! canonicalization must round-trip arbitrary valid descriptors
+//! losslessly, the content digest must ignore everything that is not a
+//! field value (key order, whitespace, comments), and *every* single
+//! field edit must change the digest — that is what makes the digest a
+//! safe plan-store cache salt.
+
+use gpusim::descriptor::FIELD_NAMES;
+use gpusim::{ArchDescriptor, GpuArch};
+use proptest::prelude::*;
+
+/// Characters legal in every string field (the key charset is the
+/// restrictive one: `[A-Za-z0-9._-]`).
+const IDENT_CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', '.', '_', '-', 'G', 'T', 'X', 'k',
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..IDENT_CHARS.len(), 1..16)
+        .prop_map(|ixs| ixs.into_iter().map(|i| IDENT_CHARS[i]).collect())
+}
+
+/// Strictly positive floats that are exactly representable with a short
+/// decimal fraction (≤ 10 digits) and bounded magnitude (< 1024), so a
+/// textual edit that appends one digit (at the 1e-11 scale or larger)
+/// is guaranteed to move the value by more than half an ULP.
+fn pos_f64() -> impl Strategy<Value = f64> {
+    (1u64..=1_000_000).prop_map(|n| n as f64 / 1024.0)
+}
+
+fn small_u32() -> impl Strategy<Value = u32> {
+    1u32..=1_000_000
+}
+
+fn small_u64() -> impl Strategy<Value = u64> {
+    1u64..=1_000_000_000_000
+}
+
+/// An arbitrary *valid* architecture: every string nonempty and in the
+/// key charset, every numeric strictly positive.
+#[allow(clippy::type_complexity)]
+fn arch() -> impl Strategy<Value = GpuArch> {
+    (
+        (ident(), ident(), ident()),
+        (small_u32(), pos_f64(), pos_f64(), pos_f64(), pos_f64()),
+        (small_u64(), pos_f64(), small_u32(), small_u32()),
+        (
+            small_u32(),
+            small_u32(),
+            small_u32(),
+            small_u32(),
+            small_u32(),
+        ),
+        (
+            pos_f64(),
+            pos_f64(),
+            pos_f64(),
+            pos_f64(),
+            pos_f64(),
+            pos_f64(),
+        ),
+    )
+        .prop_map(
+            |(
+                (name, key, generation),
+                (sm_count, clock_ghz, dp_flops, issue_lanes, mem_bw),
+                (l2_bytes, l2_bw, smem_per_sm, max_threads),
+                (max_blocks, max_warps, regs_per_sm, warp_size, txn_bytes),
+                (launch_us, pcie_bw, pcie_lat, dp_lat, l2_lat, compile_s),
+            )| {
+                let mut a = gpusim::k20();
+                a.name = name;
+                a.key = key;
+                a.generation = generation;
+                a.sm_count = sm_count;
+                a.clock_ghz = clock_ghz;
+                a.dp_flops_per_cycle_per_sm = dp_flops;
+                a.issue_lanes_per_cycle_per_sm = issue_lanes;
+                a.mem_bw_gbs = mem_bw;
+                a.l2_bytes = l2_bytes;
+                a.l2_bw_gbs = l2_bw;
+                a.smem_per_sm = smem_per_sm;
+                a.max_threads_per_sm = max_threads;
+                a.max_blocks_per_sm = max_blocks;
+                a.max_warps_per_sm = max_warps;
+                a.regs_per_sm = regs_per_sm;
+                a.warp_size = warp_size;
+                a.transaction_bytes = txn_bytes;
+                a.kernel_launch_us = launch_us;
+                a.pcie_bw_gbs = pcie_bw;
+                a.pcie_latency_us = pcie_lat;
+                a.dp_latency_cycles = dp_lat;
+                a.l2_latency_cycles = l2_lat;
+                a.compile_seconds = compile_s;
+                a
+            },
+        )
+}
+
+/// Deterministic Fisher–Yates with a splitmix-style generator, so line
+/// permutations come from a plain u64 seed.
+fn shuffle(lines: &mut [String], mut seed: u64) {
+    let mut next = || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..lines.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        lines.swap(i, j);
+    }
+}
+
+proptest! {
+    /// TOML → descriptor → TOML is lossless: the reparse is equal (so
+    /// every f64 bit survives the text round trip) and re-serializes to
+    /// byte-identical text.
+    #[test]
+    fn canonical_toml_round_trips_losslessly(a in arch()) {
+        let d = ArchDescriptor::from_arch(a);
+        let text = d.canonical_toml();
+        let back = ArchDescriptor::parse_toml(&text)
+            .expect("canonical text must reparse");
+        prop_assert_eq!(&back, &d);
+        prop_assert_eq!(back.canonical_toml(), text);
+    }
+
+    /// The digest depends only on field values: reordering the lines,
+    /// changing the whitespace around `=`, and sprinkling whole-line and
+    /// trailing comments leaves it untouched.
+    #[test]
+    fn digest_ignores_key_order_whitespace_and_comments(
+        a in arch(),
+        seed in 0u64..=u64::MAX,
+        pad in 0usize..4,
+    ) {
+        let d = ArchDescriptor::from_arch(a);
+        let mut lines: Vec<String> =
+            d.canonical_toml().lines().map(str::to_string).collect();
+        shuffle(&mut lines, seed);
+        let mut text = String::from("# architecture descriptor\n\n");
+        for line in &lines {
+            let (key, value) = line.split_once(" = ")
+                .expect("canonical lines are `key = value`");
+            text.push_str(&" ".repeat(pad));
+            text.push_str(key);
+            text.push_str(&" ".repeat(pad));
+            text.push('=');
+            text.push_str(&" ".repeat(pad));
+            text.push_str(value);
+            text.push_str("  # trailing note\n\n");
+        }
+        let back = ArchDescriptor::parse_toml(&text)
+            .expect("reformatted text must reparse");
+        prop_assert_eq!(back.digest(), d.digest());
+        prop_assert_eq!(&back, &d);
+    }
+
+    /// Editing any single field — whichever one — produces a different
+    /// digest, so an edited descriptor file can never address the plans
+    /// its predecessor wrote.
+    #[test]
+    fn any_single_field_edit_changes_the_digest(
+        a in arch(),
+        field_ix in 0usize..FIELD_NAMES.len(),
+    ) {
+        let d = ArchDescriptor::from_arch(a);
+        let field = FIELD_NAMES[field_ix];
+        let prefix = format!("{field} = ");
+        let mut edited = String::new();
+        let mut hits = 0;
+        for line in d.canonical_toml().lines() {
+            if line.starts_with(&prefix) {
+                hits += 1;
+                if let Some(unquoted) = line.strip_suffix('"') {
+                    // String field: append a character inside the quotes.
+                    edited.push_str(unquoted);
+                    edited.push_str("x\"\n");
+                } else {
+                    // Numeric field: append a digit (the strategies keep
+                    // values small enough that this always changes the
+                    // parsed value without overflowing).
+                    edited.push_str(line);
+                    edited.push_str("1\n");
+                }
+            } else {
+                edited.push_str(line);
+                edited.push('\n');
+            }
+        }
+        prop_assert_eq!(hits, 1, "field {} must appear exactly once", field);
+        let back = ArchDescriptor::parse_toml(&edited)
+            .expect("edited text must still be a valid descriptor");
+        prop_assert_ne!(back.digest(), d.digest());
+    }
+}
