@@ -140,6 +140,56 @@ fn bench_predict(c: &mut Criterion) {
     });
 }
 
+fn bench_pool_feature_reuse(c: &mut Criterion) {
+    // The closure-based serial search backend used to re-featurize every
+    // remaining candidate on every scoring round. This pair pins the win
+    // from caching the binarized pool: the baseline pays featurization +
+    // binarization + compilation per round, the cached path only refreshes
+    // the compiled forest against the prebuilt CompactMatrix.
+    let w = kernels::eqn1(10);
+    let tuner = WorkloadTuner::build(&w);
+    let arch = gpusim::gtx980();
+    let pool = tuner.pool(512, 3);
+    let xs: Vec<Vec<f64>> = pool.iter().map(|&id| tuner.features(id)).collect();
+    let ys: Vec<f64> = pool
+        .iter()
+        .map(|&id| tuner.gpu_seconds(id, &arch))
+        .collect();
+    let params = ForestParams {
+        n_trees: 30,
+        min_samples_leaf: 2,
+        k_features: Some(48),
+        seed: 1,
+    };
+    let model = ExtraTrees::fit(&xs, &ys, params);
+    let rows: Vec<u32> = (0..pool.len() as u32).collect();
+
+    // Per-round baseline: featurize, binarize and compile from scratch.
+    c.bench_function("hotpath/score_refeaturize_each_round_512", |b| {
+        b.iter(|| {
+            let feats: Vec<Vec<f64>> = pool.iter().map(|&id| tuner.features(id)).collect();
+            let compact = CompactMatrix::from_matrix(&FeatureMatrix::from_rows(&feats));
+            let compiled = model.compile(&compact);
+            let mut out: Vec<f64> = Vec::new();
+            compiled.predict_rows_into(&compact, black_box(&rows), &mut out);
+            black_box(out.len())
+        })
+    });
+
+    // Cached-pool path: the CompactMatrix is built once outside the round;
+    // each round refills the compiled forest and scratch in place.
+    let compact = CompactMatrix::from_matrix(&FeatureMatrix::from_rows(&xs));
+    c.bench_function("hotpath/score_cached_pool_features_512", |b| {
+        let mut compiled = surf::CompiledForest::empty();
+        let mut out: Vec<f64> = Vec::new();
+        b.iter(|| {
+            model.compile_into(black_box(&compact), &mut compiled);
+            compiled.predict_rows_into(black_box(&compact), black_box(&rows), &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
 fn bench_memoized_eval(c: &mut Criterion) {
     let w = kernels::table2_benchmarks()
         .into_iter()
@@ -188,6 +238,7 @@ criterion_group! {
     bench_config_decode,
     bench_kernel_timing,
     bench_predict,
+    bench_pool_feature_reuse,
     bench_memoized_eval,
 }
 criterion_main!(benches);

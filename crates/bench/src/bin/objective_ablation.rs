@@ -1,0 +1,9 @@
+//! Prints the objective ablation table and writes `BENCH_objective.json`.
+fn main() {
+    let rows = bench::objective_ablation::run(bench::experiment_params());
+    println!("{}", bench::objective_ablation::render(&rows));
+    match bench::objective_ablation::write_json(&rows, "BENCH_objective.json") {
+        Ok(()) => println!("wrote BENCH_objective.json"),
+        Err(e) => eprintln!("could not write BENCH_objective.json: {e}"),
+    }
+}

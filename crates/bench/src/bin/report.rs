@@ -26,6 +26,12 @@ fn main() {
     println!("{}\n", bench::pruning::render(&rows));
     let rows = bench::search_compare::run(params);
     println!("{}\n", bench::search_compare::render(&rows));
+    let rows = bench::objective_ablation::run(params);
+    println!("{}\n", bench::objective_ablation::render(&rows));
+    match bench::objective_ablation::write_json(&rows, "BENCH_objective.json") {
+        Ok(()) => println!("wrote BENCH_objective.json\n"),
+        Err(e) => eprintln!("could not write BENCH_objective.json: {e}\n"),
+    }
     let rows = bench::search_bench::run(params);
     println!("{}\n", bench::search_bench::render(&rows));
     println!("{}\n", bench::search_bench::render_hot(&rows));

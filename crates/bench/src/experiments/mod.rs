@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod figure2;
 pub mod figure3;
+pub mod objective_ablation;
 pub mod pruning;
 pub mod search_bench;
 pub mod search_compare;

@@ -1,0 +1,229 @@
+//! Objective ablation: the same workloads tuned under the time-only,
+//! balanced, memory-heavy and memory-capped objectives, reporting what each
+//! trade costs in simulated time and buys in peak temporary footprint.
+//!
+//! The time-only row doubles as a regression guard: it is produced by an
+//! explicit `Objective::preset("time")` and checked bit-for-bit against a
+//! run with the default parameters, pinning the refactor's promise that the
+//! default objective reproduces historical picks exactly. [`write_json`]
+//! emits the rows as `BENCH_objective.json` (the `report` binary calls it).
+
+use barracuda::pipeline::{TuneParams, WorkloadTuner};
+use barracuda::report::{fmt_f, Table};
+use barracuda::stages::lower;
+use barracuda::workload::Workload;
+use barracuda::{BudgetMode, Objective};
+
+/// One (workload, objective) tuning outcome.
+#[derive(Clone, Debug)]
+pub struct ObjectiveAblationRow {
+    pub workload: String,
+    /// Human-readable objective, as `Objective::describe` prints it.
+    pub objective: String,
+    pub gpu_us: f64,
+    pub peak_temp_bytes: u64,
+    pub rw_bytes: u64,
+    pub versions_over_budget: usize,
+    pub pruned_by_memory: usize,
+    pub n_evals: usize,
+    /// Pick matches the time-only pick for the same workload. Expected
+    /// `true` on the time row (it pins default-objective reproducibility)
+    /// and informative on the others: `false` means the objective actually
+    /// changed the winner.
+    pub same_pick_as_time: bool,
+}
+
+/// The tightest budget every statement can satisfy: each statement must
+/// keep at least one version, so the floor is the max over statements of
+/// their per-statement minimum peak. Deterministic — derived from the
+/// model, not from timing.
+pub fn feasible_budget(tuner: &WorkloadTuner) -> u64 {
+    lower::version_memory_table(&tuner.statements)
+        .iter()
+        .map(|versions| versions.iter().map(|&(peak, _)| peak).min().unwrap_or(0))
+        .max()
+        .unwrap_or(0)
+}
+
+fn run_workload(
+    w: &Workload,
+    arch: &gpusim::GpuArch,
+    params: TuneParams,
+) -> Vec<ObjectiveAblationRow> {
+    let tuner = WorkloadTuner::build(w);
+    // Default-parameter run: what `tune` does with no objective flags.
+    let baseline = tuner.autotune(arch, params).unwrap();
+    let budget = feasible_budget(&tuner);
+    let capped = Objective {
+        mem_budget: Some(budget),
+        budget_mode: BudgetMode::Prune,
+        ..Objective::time_only()
+    };
+    let objectives: Vec<Objective> = vec![
+        Objective::preset("time").unwrap(),
+        Objective::preset("balanced").unwrap(),
+        Objective::preset("memory").unwrap(),
+        capped,
+    ];
+    objectives
+        .iter()
+        .map(|&obj| {
+            let mut p = params;
+            p.objective = obj;
+            let tuned = tuner
+                .autotune(arch, p)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, obj.describe()));
+            let same_pick_as_time = tuned.id == baseline.id
+                && tuned.gpu_seconds.to_bits() == baseline.gpu_seconds.to_bits();
+            ObjectiveAblationRow {
+                workload: w.name.clone(),
+                objective: obj.describe(),
+                gpu_us: tuned.gpu_seconds * 1e6,
+                peak_temp_bytes: tuned.search.peak_temp_bytes,
+                rw_bytes: tuned.search.rw_bytes,
+                versions_over_budget: tuned.search.versions_over_budget,
+                pruned_by_memory: tuned.search.pruned_by_memory,
+                n_evals: tuned.search.n_evals,
+                same_pick_as_time,
+            }
+        })
+        .collect()
+}
+
+pub fn run(params: TuneParams) -> Vec<ObjectiveAblationRow> {
+    let arch = gpusim::k20();
+    let mut rows = run_workload(
+        &barracuda::kernels::table2_benchmarks()
+            .into_iter()
+            .find(|w| w.name == "tce")
+            .unwrap(),
+        &arch,
+        params,
+    );
+    rows.extend(run_workload(
+        &barracuda::kernels::lg3t(
+            barracuda::kernels::NEK_ORDER,
+            barracuda::kernels::NEK_ELEMENTS,
+        ),
+        &arch,
+        params,
+    ));
+    rows
+}
+
+pub fn render(rows: &[ObjectiveAblationRow]) -> Table {
+    let mut t = Table::new(
+        "Objective ablation (K20): time vs memory trade per objective",
+        &[
+            "workload",
+            "objective",
+            "us",
+            "peak B",
+            "rw B",
+            "over-budget",
+            "pruned",
+            "evals",
+            "same pick",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.objective.clone(),
+            fmt_f(r.gpu_us),
+            r.peak_temp_bytes.to_string(),
+            r.rw_bytes.to_string(),
+            r.versions_over_budget.to_string(),
+            r.pruned_by_memory.to_string(),
+            r.n_evals.to_string(),
+            r.same_pick_as_time.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the rows as a JSON document (hand-rolled: the workspace carries
+/// no serialization dependency).
+pub fn to_json(rows: &[ObjectiveAblationRow]) -> String {
+    let mut s = String::from("{\n  \"objective_ablation\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"objective\": \"{}\", \"gpu_us\": {:.4}, \
+             \"peak_temp_bytes\": {}, \"rw_bytes\": {}, \"versions_over_budget\": {}, \
+             \"pruned_by_memory\": {}, \"n_evals\": {}, \"same_pick_as_time\": {}}}{}\n",
+            r.workload,
+            r.objective,
+            r.gpu_us,
+            r.peak_temp_bytes,
+            r.rw_bytes,
+            r.versions_over_budget,
+            r.pruned_by_memory,
+            r.n_evals,
+            r.same_pick_as_time,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes [`to_json`] to `path`.
+pub fn write_json(rows: &[ObjectiveAblationRow], path: &str) -> std::io::Result<()> {
+    std::fs::write(path, to_json(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_params;
+
+    #[test]
+    fn time_row_reproduces_the_default_run_exactly() {
+        let rows = run(smoke_params());
+        for r in rows.iter().filter(|r| r.objective == "time-only") {
+            assert!(
+                r.same_pick_as_time,
+                "{}: explicit time objective diverged from the default run",
+                r.workload
+            );
+        }
+    }
+
+    #[test]
+    fn capped_row_prunes_and_stays_within_its_budget() {
+        let w = barracuda::kernels::table2_benchmarks()
+            .into_iter()
+            .find(|w| w.name == "tce")
+            .unwrap();
+        let rows = run_workload(&w, &gpusim::k20(), smoke_params());
+        let capped = rows
+            .iter()
+            .find(|r| r.objective.contains("budget"))
+            .unwrap();
+        let tuner = WorkloadTuner::build(&w);
+        let budget = feasible_budget(&tuner);
+        assert!(capped.peak_temp_bytes <= budget);
+        // The tightest feasible budget must exclude at least one version on
+        // a workload with more than one memory class, and those exclusions
+        // are what the pruned counter reports.
+        assert!(capped.versions_over_budget > 0, "{capped:?}");
+        assert!(capped.pruned_by_memory > 0, "{capped:?}");
+        // Every peak is never above the unconstrained memory-heavy pick's
+        // worst case: the budget row bounds the footprint by construction.
+        let time = rows.iter().find(|r| r.objective == "time-only").unwrap();
+        assert!(capped.peak_temp_bytes <= time.peak_temp_bytes.max(budget));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let w = barracuda::kernels::table2_benchmarks()
+            .into_iter()
+            .find(|w| w.name == "tce")
+            .unwrap();
+        let rows = run_workload(&w, &gpusim::k20(), smoke_params());
+        let j = to_json(&rows);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"workload\"").count(), rows.len());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

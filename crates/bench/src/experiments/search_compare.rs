@@ -1,13 +1,16 @@
 //! Search-strategy comparison at equal evaluation budgets: SURF (the
-//! paper's contribution) vs uniform random sampling, greedy hill climbing
-//! and simulated annealing over the same configuration space.
+//! paper's contribution) vs uniform random sampling, greedy hill climbing,
+//! simulated annealing over the full configuration space, and simulated
+//! annealing over contraction orders alone (version vector at a canonical
+//! configuration per version).
 
 use barracuda::pipeline::{TuneParams, WorkloadTuner};
 use barracuda::report::{fmt_f, Table};
+use barracuda::stages::lower;
 use barracuda::workload::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use surf::{hill_climb, random_search, simulated_annealing};
+use surf::{contraction_order_annealing, hill_climb, random_search, simulated_annealing};
 
 #[derive(Clone, Debug)]
 pub struct SearchCompareRow {
@@ -17,6 +20,11 @@ pub struct SearchCompareRow {
     pub random_us: f64,
     pub hill_us: f64,
     pub anneal_us: f64,
+    /// Annealing restricted to the contraction-order axis: each statement's
+    /// version is a mixed-radix digit and every version is timed at its
+    /// configuration 0, so this isolates how much of the tuning win comes
+    /// from picking the right factorization vs the right loop nest.
+    pub order_anneal_us: f64,
 }
 
 pub fn run_workload(w: &Workload, arch: &gpusim::GpuArch, params: TuneParams) -> SearchCompareRow {
@@ -47,6 +55,31 @@ pub fn run_workload(w: &Workload, arch: &gpusim::GpuArch, params: TuneParams) ->
         params.seed,
     );
 
+    // Order-only annealing: one mixed-radix digit per statement selecting a
+    // version, each timed at its configuration 0. A small order-id decodes
+    // to a digit vector (little-endian, matching contraction_order_annealing)
+    // which maps to a flat joint id via each version's first configuration.
+    let radices: Vec<usize> = tuner
+        .statements
+        .iter()
+        .map(|st| st.variants.len())
+        .collect();
+    let order_eval = |order_id: u128| {
+        let mut rest = order_id;
+        let locals: Vec<u128> = tuner
+            .statements
+            .iter()
+            .zip(&radices)
+            .map(|(st, &r)| {
+                let digit = (rest % r as u128) as usize;
+                rest /= r as u128;
+                st.version_start(digit)
+            })
+            .collect();
+        tuner.gpu_seconds(lower::encode_joint(&tuner.statements, &locals), arch)
+    };
+    let oa = contraction_order_annealing(&radices, 0, order_eval, budget, 0.3, params.seed);
+
     SearchCompareRow {
         workload: w.name.clone(),
         budget,
@@ -54,6 +87,7 @@ pub fn run_workload(w: &Workload, arch: &gpusim::GpuArch, params: TuneParams) ->
         random_us: rnd.best_y * 1e6,
         hill_us: hc.best_y * 1e6,
         anneal_us: sa.best_y * 1e6,
+        order_anneal_us: oa.best_y * 1e6,
     }
 }
 
@@ -83,6 +117,7 @@ pub fn render(rows: &[SearchCompareRow]) -> Table {
             "random",
             "hill-climb",
             "annealing",
+            "order-anneal",
         ],
     );
     for r in rows {
@@ -93,6 +128,7 @@ pub fn render(rows: &[SearchCompareRow]) -> Table {
             fmt_f(r.random_us),
             fmt_f(r.hill_us),
             fmt_f(r.anneal_us),
+            fmt_f(r.order_anneal_us),
         ]);
     }
     t
@@ -107,9 +143,20 @@ mod tests {
     fn all_strategies_produce_finite_results() {
         let w = barracuda::kernels::nwchem_d2(1, 8);
         let r = run_workload(&w, &gpusim::k20(), smoke_params());
-        for v in [r.surf_us, r.random_us, r.hill_us, r.anneal_us] {
+        for v in [
+            r.surf_us,
+            r.random_us,
+            r.hill_us,
+            r.anneal_us,
+            r.order_anneal_us,
+        ] {
             assert!(v.is_finite() && v > 0.0);
         }
+        // The whole row is deterministic: seeds are fixed and the simulator
+        // has no noise, so a rerun reproduces every column bit-for-bit.
+        let again = run_workload(&w, &gpusim::k20(), smoke_params());
+        assert_eq!(r.order_anneal_us.to_bits(), again.order_anneal_us.to_bits());
+        assert_eq!(r.anneal_us.to_bits(), again.anneal_us.to_bits());
         // SURF should be competitive: within 1.5x of the best strategy.
         let best = r.random_us.min(r.hill_us).min(r.anneal_us);
         assert!(r.surf_us <= best * 1.5, "SURF {} vs best {best}", r.surf_us);

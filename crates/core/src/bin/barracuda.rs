@@ -50,6 +50,28 @@
 //!   --dim IDX=EXT                 extent for one index (repeatable)
 //!   --dims N                      extent for every undeclared index
 //!   --evals N                     SURF evaluation budget (default 1200)
+//!   --objective time|memory|balanced
+//!                                 search objective preset (default time:
+//!                                 rank candidates by simulated time only,
+//!                                 bit-identical to historical output);
+//!                                 memory and balanced also weigh peak
+//!                                 temporary bytes and global read/write
+//!                                 volume into the score
+//!   --mem-budget BYTES            hard cap on modeled peak temporary
+//!                                 bytes: oversized versions are pruned
+//!                                 before lowering/evaluation and the
+//!                                 final pick never exceeds the budget
+//!                                 (typed search failure, exit 8, when
+//!                                 nothing fits); `replay` validates the
+//!                                 requested objective against the plan's
+//!   --mem-weight W                override the objective's weight on
+//!                                 peak temporary MiB
+//!   --rw-weight W                 override the objective's weight on
+//!                                 global read/write MiB
+//!   --mem-penalize                score over-budget candidates with a
+//!                                 large penalty instead of pruning them
+//!                                 (they still train the surrogate; the
+//!                                 final pick still respects the budget)
 //!   --quick                       small search budget (tests/demos)
 //!   --deadline S                  wall-clock search deadline in seconds
 //!   --min-survivors F             stop early when fewer than F of the
@@ -137,6 +159,10 @@ struct Options {
     queue: Option<usize>,
     fsync: bool,
     gc_corrupt: bool,
+    /// The search objective assembled from `--objective`, `--mem-budget`,
+    /// `--mem-weight`, `--rw-weight` and `--mem-penalize`. Defaults to
+    /// time-only, which reproduces the historical ranking bit-for-bit.
+    objective: Objective,
 }
 
 impl Default for Options {
@@ -168,6 +194,7 @@ impl Default for Options {
             queue: None,
             fsync: false,
             gc_corrupt: false,
+            objective: Objective::time_only(),
         }
     }
 }
@@ -220,6 +247,8 @@ fn usage() -> ExitCode {
          [--arch A] [--arch-file PATH]... [--arch-dir DIR] \
          [--backend KEY|all] [--store DIR] [--save-plan PATH] \
          [--dim i=10]... [--dims N] [--evals N] [--quick] \
+         [--objective time|memory|balanced] [--mem-budget BYTES] \
+         [--mem-weight W] [--rw-weight W] [--mem-penalize] \
          [--deadline S] [--min-survivors F] [--inject-faults RATE] \
          [--fault-seed N] [--strict] \
          [--emit cuda|cufile|tcr|annotation] [--validate] [--fused]\n\
@@ -234,6 +263,18 @@ fn usage() -> ExitCode {
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
+    let mut objective_name: Option<String> = None;
+    let mut mem_weight: Option<f64> = None;
+    let mut rw_weight: Option<f64> = None;
+    let mut mem_budget: Option<u64> = None;
+    let mut mem_penalize = false;
+    let weight = |flag: &str, raw: &str| -> Result<f64, String> {
+        let w: f64 = raw.parse().map_err(|_| format!("bad {flag} weight"))?;
+        if !w.is_finite() || w < 0.0 {
+            return Err(format!("{flag} must be finite and non-negative"));
+        }
+        Ok(w)
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -351,9 +392,56 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--validate" => o.validate = true,
             "--fused" => o.fused = true,
             "--explain" => o.explain = true,
+            "--objective" => {
+                objective_name = Some(it.next().ok_or("--objective needs a preset")?.clone())
+            }
+            "--mem-weight" => {
+                mem_weight = Some(weight(
+                    "--mem-weight",
+                    it.next().ok_or("--mem-weight needs W")?,
+                )?)
+            }
+            "--rw-weight" => {
+                rw_weight = Some(weight(
+                    "--rw-weight",
+                    it.next().ok_or("--rw-weight needs W")?,
+                )?)
+            }
+            "--mem-budget" => {
+                mem_budget = Some(
+                    it.next()
+                        .ok_or("--mem-budget needs BYTES")?
+                        .parse()
+                        .map_err(|_| "bad --mem-budget byte count")?,
+                )
+            }
+            "--mem-penalize" => mem_penalize = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
+    // Assemble the objective from its flags: preset first, then explicit
+    // weight/budget overrides on top of it.
+    let mut obj = match objective_name.as_deref() {
+        None => Objective::time_only(),
+        Some(name) => Objective::preset(name)
+            .ok_or_else(|| format!("unknown objective preset {name} (time|memory|balanced)"))?,
+    };
+    if let Some(w) = mem_weight {
+        obj.mem_weight = w;
+    }
+    if let Some(w) = rw_weight {
+        obj.rw_weight = w;
+    }
+    if let Some(b) = mem_budget {
+        obj.mem_budget = Some(b);
+    }
+    if mem_penalize {
+        if obj.mem_budget.is_none() {
+            return Err("--mem-penalize needs --mem-budget".to_string());
+        }
+        obj.budget_mode = BudgetMode::Penalize;
+    }
+    o.objective = obj;
     Ok(o)
 }
 
@@ -447,6 +535,7 @@ fn params_for(o: &Options) -> TuneParams {
     p.surf.max_evals = o.evals;
     p.wall_deadline_s = o.deadline;
     p.min_survivor_fraction = o.min_survivors;
+    p.objective = o.objective;
     if let Some(rate) = o.inject_faults {
         p.fault_injection = Some(FaultPlan::mixed(rate, o.fault_seed));
     }
@@ -623,6 +712,24 @@ fn cmd_tune(w: &Workload, o: &Options) -> Result<(), CliError> {
             tuned.search.n_evals,
             tuned.search.space_size,
         );
+        // Non-default objectives annotate the pick; the default (time-only)
+        // prints nothing extra so historical output stays byte-identical.
+        if !tuned.objective.is_time_only() {
+            println!("  objective: {}", tuned.objective.describe());
+            println!(
+                "  memory: peak temp {} B, global rw {} B ({} over-budget versions, {} configurations pruned)",
+                tuned.search.peak_temp_bytes,
+                tuned.search.rw_bytes,
+                tuned.search.versions_over_budget,
+                tuned.search.pruned_by_memory,
+            );
+            if let Some(budget) = tuned.objective.mem_budget {
+                println!(
+                    "  budget respected: peak {} B <= budget {} B",
+                    tuned.search.peak_temp_bytes, budget
+                );
+            }
+        }
         if session.store().is_some() {
             println!("  {}", out.source.describe());
         }
@@ -763,10 +870,15 @@ fn cmd_replay(spec: &str, o: &Options) -> Result<(), CliError> {
         };
         let session = session_for(o, &set)?;
         let w = load_workload(spec, o)?;
-        let (tuned, plan, _path) = session.replay_from_store(&w, &backend)?;
+        let (tuned, plan, _path) = session.replay_from_store(&w, &backend, &o.objective)?;
         (plan, w, tuned)
     } else {
         let plan = TunedPlan::load(std::path::Path::new(spec))?;
+        // A plan only replays under the objective it was tuned for: replaying
+        // a memory-tuned plan as if it were a time-only winner (or vice
+        // versa) silently misrepresents the pick, so it is a typed plan
+        // error instead.
+        plan.validate_objective(&o.objective)?;
         let w = plan.workload()?;
         let tuned = plan.replay_for_in(&set, &w, &EvalCache::new())?;
         (plan, w, tuned)
@@ -790,6 +902,9 @@ fn report_replay(
         fmt_f(tuned.gflops()),
         plan.provenance.n_evals,
     );
+    if !plan.objective.is_time_only() {
+        println!("  objective: {}", plan.objective.describe());
+    }
     if !tuned.quarantine.is_empty() {
         println!("  {}", tuned.quarantine);
     }
@@ -890,14 +1005,22 @@ fn cmd_plans(sub: &str, spec: Option<&str>, o: &Options) -> Result<(), CliError>
                     }
                     None => "  [backend not loaded]".to_string(),
                 };
+                // Objective provenance: what the stored plan was tuned for.
+                // The store key does not carry it, so read the entry itself;
+                // an unreadable file already shows up under `problems`.
+                let objective = match TunedPlan::load(&e.path) {
+                    Ok(p) => format!("  objective {}", p.objective.describe()),
+                    Err(_) => String::new(),
+                };
                 println!(
-                    "  {:016x}  {:10} salt {:016x}  v{}{}{}",
+                    "  {:016x}  {:10} salt {:016x}  v{}{}{}{}",
                     e.key.fingerprint,
                     e.key.backend,
                     e.key.cache_salt,
                     e.key.schema,
                     stale,
-                    provenance
+                    provenance,
+                    objective
                 );
             }
             for (path, reason) in &scan.problems {

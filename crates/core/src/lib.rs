@@ -56,6 +56,7 @@ pub mod fusionopt;
 pub mod json;
 pub mod kernels;
 pub mod nekbone;
+pub mod objective;
 pub mod openacc;
 pub mod pipeline;
 pub mod plan;
@@ -75,6 +76,7 @@ pub use backend::{
 pub use cache::EvalCache;
 pub use error::{BarracudaError, Result};
 pub use fusionopt::{fuse_alternatives, FusedAlternative};
+pub use objective::{BudgetMode, Objective};
 pub use pipeline::{SearchStats, TuneParams, TunedWorkload, TunerEvaluator, WorkloadTuner};
 pub use plan::{PlanChoice, PlanProvenance, TunedPlan, PLAN_SCHEMA_READABLE, PLAN_SCHEMA_VERSION};
 pub use quarantine::{QuarantineEntry, QuarantineReport, QuarantineStage};
@@ -93,6 +95,7 @@ pub use workload::Workload;
 pub mod prelude {
     pub use crate::error::BarracudaError;
     pub use crate::kernels;
+    pub use crate::objective::{BudgetMode, Objective};
     pub use crate::openacc::{openacc_naive, openacc_optimized};
     pub use crate::pipeline::{TuneParams, TunedWorkload, WorkloadTuner};
     pub use crate::quarantine::{QuarantineReport, QuarantineStage};

@@ -13,20 +13,25 @@
 //! Plans are versioned hand-rolled JSON (see [`crate::json`] — no serde in
 //! this repo): `f64` values round-trip bit-exactly via Rust's shortest
 //! `Display`, and `u128`/`u64` quantities that exceed double precision
-//! travel as strings. Schema v2 (current) embeds the quarantine entries,
-//! per-op memo statistics and the backend cache salt; v1 plans still parse
-//! read-only (their v2-only fields default to empty/zero) so old artifacts
-//! replay or are reported as stale by `barracuda plans gc` rather than
-//! erroring. [`TunedPlan::replay`] rejects a plan whose schema version,
-//! workload fingerprint or backend cache salt no longer matches with a
-//! typed [`BarracudaError::Plan`] (CLI exit code 10), then re-maps and
-//! re-times the configuration — bit-identical to the saved numbers, since
-//! the simulator is deterministic — without searching anything.
+//! travel as strings. Schema v3 (current) embeds the search objective
+//! (weights, memory budget, budget mode) plus the pick's modeled memory
+//! statistics; v2 added the quarantine entries, per-op memo statistics and
+//! the backend cache salt. Older plans still parse read-only (missing
+//! fields default to empty/zero, the objective to time-only) so old
+//! artifacts replay or are reported as stale by `barracuda plans gc`
+//! rather than erroring. [`TunedPlan::replay`] rejects a plan whose schema
+//! version, workload fingerprint or backend cache salt no longer matches
+//! with a typed [`BarracudaError::Plan`] (CLI exit code 10), then re-maps
+//! and re-times the configuration — bit-identical to the saved numbers,
+//! since the simulator is deterministic — without searching anything.
+//! Replaying under a different objective than the plan was tuned for is
+//! the same class of error: use [`TunedPlan::validate_objective`].
 
 use crate::backend::backend_by_key;
 use crate::cache::{EvalCache, HotPathSnapshot};
 use crate::error::BarracudaError;
 use crate::json::Json;
+use crate::objective::Objective;
 use crate::pipeline::{TunedWorkload, WorkloadTuner};
 use crate::quarantine::{QuarantineEntry, QuarantineReport, QuarantineStage};
 use crate::stages::frontend::{canonical_source, workload_fingerprint};
@@ -38,12 +43,14 @@ use surf::SearchStatus;
 /// readers accept the current version plus the legacy versions listed in
 /// [`PLAN_SCHEMA_READABLE`] and reject everything else rather than
 /// misinterpreting fields.
-pub const PLAN_SCHEMA_VERSION: u64 = 2;
+pub const PLAN_SCHEMA_VERSION: u64 = 3;
 
 /// Schema versions this build can still read. v1 plans (PR 4) lack the
-/// quarantine entries, memo counters and cache salt; they parse with those
-/// fields empty/zero and are flagged stale by the plan store.
-pub const PLAN_SCHEMA_READABLE: [u64; 2] = [1, PLAN_SCHEMA_VERSION];
+/// quarantine entries, memo counters and cache salt; v2 plans lack the
+/// search objective and memory statistics. Both parse with those fields
+/// empty/zero (objective: time-only) and are flagged stale by the plan
+/// store.
+pub const PLAN_SCHEMA_READABLE: [u64; 3] = [1, 2, PLAN_SCHEMA_VERSION];
 
 /// How the saved configuration was found: the search's bookkeeping,
 /// flattened for serialization.
@@ -76,6 +83,19 @@ pub struct PlanProvenance {
     pub hot_map_ns: u64,
     pub hot_sim_ns: u64,
     pub hot_predict_ns: u64,
+    /// Pool candidates pruned before the search because their modeled peak
+    /// exceeded the objective's memory budget (schema v3; zero in older
+    /// plans or without a budget).
+    pub pruned_by_memory: usize,
+    /// Distinct `(statement, version)` pairs over the memory budget
+    /// (schema v3; zero in older plans or without a budget).
+    pub versions_over_budget: usize,
+    /// Modeled peak live temporary bytes of the chosen configuration
+    /// (schema v3; zero in older plans).
+    pub peak_temp_bytes: u64,
+    /// Modeled global read+write volume of the chosen configuration
+    /// (schema v3; zero in older plans).
+    pub rw_bytes: u64,
     /// Whether the search stopped early (budget, deadline, survivors).
     pub degraded: bool,
     /// Human-readable status (`complete` or `degraded: <reason>`).
@@ -123,6 +143,11 @@ pub struct TunedPlan {
     /// Full quarantine report of the search (schema v2; empty in v1
     /// plans), so replay reconstructs exactly what the tuning run showed.
     pub quarantine: Vec<QuarantineEntry>,
+    /// The objective the search minimized (schema v3; time-only in older
+    /// plans). Replay under a different objective is refused — a plan
+    /// tuned for a memory budget is not the time-optimal answer and vice
+    /// versa. See [`TunedPlan::validate_objective`].
+    pub objective: Objective,
     pub provenance: PlanProvenance,
 }
 
@@ -184,6 +209,7 @@ impl TunedPlan {
             transfer_seconds: tuned.transfer_seconds,
             flops: tuned.flops,
             quarantine: tuned.quarantine.entries.clone(),
+            objective: tuned.objective,
             provenance: PlanProvenance {
                 n_evals: s.n_evals,
                 batches: s.batches,
@@ -206,6 +232,10 @@ impl TunedPlan {
                 hot_map_ns: s.hot.map_ns,
                 hot_sim_ns: s.hot.sim_ns,
                 hot_predict_ns: s.hot.predict_ns,
+                pruned_by_memory: s.pruned_by_memory,
+                versions_over_budget: s.versions_over_budget,
+                peak_temp_bytes: s.peak_temp_bytes,
+                rw_bytes: s.rw_bytes,
                 degraded: tuned.is_degraded(),
                 status: match &tuned.status {
                     SearchStatus::Complete => "complete".to_string(),
@@ -222,11 +252,13 @@ impl TunedPlan {
     }
 
     /// The plan as pretty-printed JSON text. A plan whose
-    /// `schema_version` is 1 is written in the v1 layout (no salt,
-    /// quarantine or memo counters), so tests and migration tooling can
-    /// produce byte-faithful legacy artifacts.
+    /// `schema_version` is 1 or 2 is written in that legacy layout (v1: no
+    /// salt, quarantine or memo counters; v2: no objective or memory
+    /// statistics), so tests and migration tooling can produce
+    /// byte-faithful legacy artifacts.
     pub fn to_json_text(&self) -> String {
         let v2 = self.schema_version >= 2;
+        let v3 = self.schema_version >= 3;
         let p = &self.provenance;
         let mut top = vec![
             (
@@ -303,6 +335,9 @@ impl TunedPlan {
                 ),
             ));
         }
+        if v3 {
+            top.push(("objective".into(), self.objective.to_json()));
+        }
         let mut prov = vec![
             ("n_evals".into(), Json::Num(p.n_evals as f64)),
             ("batches".into(), Json::Num(p.batches as f64)),
@@ -339,6 +374,21 @@ impl TunedPlan {
                 ]),
             ));
         }
+        if v3 {
+            prov.push((
+                "pruned_by_memory".into(),
+                Json::Num(p.pruned_by_memory as f64),
+            ));
+            prov.push((
+                "versions_over_budget".into(),
+                Json::Num(p.versions_over_budget as f64),
+            ));
+            prov.push((
+                "peak_temp_bytes".into(),
+                Json::Str(p.peak_temp_bytes.to_string()),
+            ));
+            prov.push(("rw_bytes".into(), Json::Str(p.rw_bytes.to_string())));
+        }
         prov.push(("degraded".into(), Json::Bool(p.degraded)));
         prov.push(("status".into(), Json::Str(p.status.clone())));
         top.push(("provenance".into(), Json::Obj(prov)));
@@ -346,9 +396,10 @@ impl TunedPlan {
     }
 
     /// Parses a plan from JSON text, rejecting unknown schema versions.
-    /// Schema v1 plans parse read-only: their v2-only fields (cache salt,
+    /// Older schemas parse read-only: v2-only fields (cache salt,
     /// quarantine entries, memo counters, hot-path times) default to
-    /// empty/zero.
+    /// empty/zero in v1 plans, and v3-only fields (objective, memory
+    /// statistics) default to time-only/zero in v1 and v2 plans.
     pub fn from_json_text(text: &str) -> Result<TunedPlan, BarracudaError> {
         let err = |detail: String| BarracudaError::Plan {
             workload: "plan".to_string(),
@@ -378,6 +429,7 @@ impl TunedPlan {
             )));
         }
         let v2 = schema_version >= 2;
+        let v3 = schema_version >= 3;
         let workload_name = str_field("workload")?;
         let perr = |detail: String| BarracudaError::Plan {
             workload: workload_name.clone(),
@@ -414,6 +466,25 @@ impl TunedPlan {
         };
         let ns_v2 = |parent: &Json, key: &str| -> Result<u64, BarracudaError> {
             if !v2 {
+                return Ok(0);
+            }
+            parent
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| perr(format!("missing string field `{key}`")))?
+                .parse::<u64>()
+                .map_err(|_| perr(format!("field `{key}` is not a decimal u64")))
+        };
+        // v3-only: required at schema 3, defaulted at older schemas.
+        let usize_v3 = |parent: &Json, key: &str| -> Result<usize, BarracudaError> {
+            if v3 {
+                usize_field(parent, key)
+            } else {
+                Ok(0)
+            }
+        };
+        let bytes_v3 = |parent: &Json, key: &str| -> Result<u64, BarracudaError> {
+            if !v3 {
                 return Ok(0);
             }
             parent
@@ -504,6 +575,12 @@ impl TunedPlan {
         } else {
             Vec::new()
         };
+        let objective = if v3 {
+            let o = field("objective")?;
+            Objective::from_json(o).map_err(&perr)?
+        } else {
+            Objective::time_only()
+        };
         let prov = field("provenance")?;
         let hot = if v2 {
             prov.get("hot")
@@ -533,6 +610,10 @@ impl TunedPlan {
             hot_map_ns: ns_v2(hot, "map_ns")?,
             hot_sim_ns: ns_v2(hot, "sim_ns")?,
             hot_predict_ns: ns_v2(hot, "predict_ns")?,
+            pruned_by_memory: usize_v3(prov, "pruned_by_memory")?,
+            versions_over_budget: usize_v3(prov, "versions_over_budget")?,
+            peak_temp_bytes: bytes_v3(prov, "peak_temp_bytes")?,
+            rw_bytes: bytes_v3(prov, "rw_bytes")?,
             degraded: prov
                 .get("degraded")
                 .and_then(Json::as_bool)
@@ -559,6 +640,7 @@ impl TunedPlan {
                 .parse::<u64>()
                 .map_err(|_| perr("field `flops` is not a decimal u64".to_string()))?,
             quarantine,
+            objective,
             provenance,
             workload_name,
         })
@@ -621,6 +703,28 @@ impl TunedPlan {
             });
         }
         Ok(())
+    }
+
+    /// Checks that the plan was tuned under `expected`: a plan's winning
+    /// configuration is only meaningful for the objective the search
+    /// minimized, so replaying a memory-budgeted plan as if it were the
+    /// time-optimal pick (or vice versa) is a typed [`BarracudaError::Plan`]
+    /// — re-tune under the objective you want instead. Weights compare by
+    /// f64 bits; older plans (schema < 3) carry the time-only objective.
+    pub fn validate_objective(&self, expected: &Objective) -> Result<(), BarracudaError> {
+        if self.objective.same_as(expected) {
+            return Ok(());
+        }
+        Err(BarracudaError::Plan {
+            workload: self.workload_name.clone(),
+            detail: format!(
+                "plan was tuned under objective `{}` but replay requested `{}` — a plan \
+                 only answers the objective it was searched for; re-tune instead of \
+                 replaying",
+                self.objective.describe(),
+                expected.describe()
+            ),
+        })
     }
 
     /// Replays the plan against `workload`: validates the fingerprint and
@@ -776,6 +880,10 @@ impl TunedPlan {
                 // The replay never searches, so nothing was pruned here;
                 // the original run's pools are unique by construction.
                 duplicate_candidates: 0,
+                pruned_by_memory: p.pruned_by_memory,
+                versions_over_budget: p.versions_over_budget,
+                peak_temp_bytes: p.peak_temp_bytes,
+                rw_bytes: p.rw_bytes,
                 hot: HotPathSnapshot {
                     decode_ns: p.hot_decode_ns,
                     map_ns: p.hot_map_ns,
@@ -783,6 +891,7 @@ impl TunedPlan {
                     predict_ns: p.hot_predict_ns,
                 },
             },
+            objective: self.objective,
             status: if p.degraded {
                 // `status` carries the display form `degraded: <reason>`;
                 // feed back the bare reason so replayed output is not
@@ -857,9 +966,9 @@ mod tests {
     }
 
     #[test]
-    fn v2_plans_carry_backend_salt_and_memo_counters() {
+    fn v3_plans_carry_backend_salt_memo_counters_and_objective() {
         let (_, plan) = tuned_plan(16);
-        assert_eq!(plan.schema_version, 2);
+        assert_eq!(plan.schema_version, 3);
         assert!(!plan.is_stale());
         let expected = backend_by_key("k20").unwrap().cache_salt();
         assert_eq!(plan.cache_salt, expected);
@@ -869,6 +978,57 @@ mod tests {
             p.time_hits + p.time_misses > 0,
             "a real search must record time-memo traffic"
         );
+        assert!(plan.objective.is_time_only(), "default tune is time-only");
+        assert!(
+            p.rw_bytes > 0,
+            "every real configuration moves some global memory"
+        );
+    }
+
+    #[test]
+    fn v2_layout_parses_read_only_with_time_only_objective() {
+        let (_, plan) = tuned_plan(16);
+        let mut v2 = plan.clone();
+        v2.schema_version = 2;
+        let text = v2.to_json_text();
+        assert!(
+            !text.contains("\"objective\""),
+            "v2 layout has no objective"
+        );
+        assert!(!text.contains("peak_temp_bytes"));
+        let back = TunedPlan::from_json_text(&text).unwrap();
+        assert!(back.is_stale());
+        assert!(back.objective.is_time_only());
+        assert_eq!(back.provenance.peak_temp_bytes, 0);
+        assert_eq!(back.provenance.rw_bytes, 0);
+        assert_eq!(back.id, plan.id);
+        assert_eq!(back.cache_salt, plan.cache_salt);
+        // v2 plans still replay (read path preserved).
+        let replayed = back.replay(&EvalCache::new()).unwrap();
+        assert_eq!(replayed.gpu_seconds.to_bits(), plan.gpu_seconds.to_bits());
+    }
+
+    #[test]
+    fn objective_round_trips_through_json() {
+        let (_, mut plan) = tuned_plan(16);
+        plan.objective = Objective {
+            mem_budget: Some(123_456_789),
+            budget_mode: crate::objective::BudgetMode::Penalize,
+            ..Objective::balanced()
+        };
+        let back = TunedPlan::from_json_text(&plan.to_json_text()).unwrap();
+        assert!(back.objective.same_as(&plan.objective));
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn foreign_objective_replay_is_a_typed_plan_error() {
+        let (_, plan) = tuned_plan(16);
+        plan.validate_objective(&Objective::time_only()).unwrap();
+        let err = plan.validate_objective(&Objective::balanced()).unwrap_err();
+        assert_eq!(err.stage(), "plan");
+        assert_eq!(err.exit_code(), 10);
+        assert!(err.to_string().contains("objective"), "{err}");
     }
 
     #[test]
@@ -943,7 +1103,7 @@ mod tests {
         let (_, plan) = tuned_plan(16);
         let text = plan
             .to_json_text()
-            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+            .replace("\"schema_version\": 3", "\"schema_version\": 999");
         let err = TunedPlan::from_json_text(&text).unwrap_err();
         assert_eq!(err.stage(), "plan");
         assert!(err.to_string().contains("schema version"));

@@ -425,7 +425,10 @@ impl Daemon {
         // search evaluations, so it must keep flowing even while a cold
         // storm holds every permit.
         let tuner = self.tuner_for(&workload);
-        if let Some(hit) = self.session.replay_hit(&tuner, &backend)? {
+        if let Some(hit) = self
+            .session
+            .replay_hit(&tuner, &backend, &params.objective)?
+        {
             self.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::new(served_from(
                 &hit.tuned,
@@ -585,6 +588,9 @@ impl Daemon {
             p.surf.max_evals = evals;
         }
         p.wall_deadline_s = req.deadline_s.or(self.options.deadline_s);
+        if let Some(objective) = req.objective {
+            p.objective = objective;
+        }
         p
     }
 
@@ -610,6 +616,9 @@ impl Daemon {
             .to_bits()
             .hash(&mut h);
         key.cache_salt.hash(&mut h);
+        // Different objectives produce different winners: never coalesce
+        // across them.
+        params.objective.digest().hash(&mut h);
         Ok((key.fingerprint, key.backend, h.finish()))
     }
 }
@@ -698,6 +707,8 @@ fn served_from(tuned: &TunedWorkload, backend: &str, source: ServedSource) -> Se
             surf::SearchStatus::Complete => None,
             surf::SearchStatus::Degraded { reason } => Some(reason.clone()),
         },
+        objective: tuned.objective.describe(),
+        peak_temp_bytes: tuned.search.peak_temp_bytes,
         timing,
     }
 }

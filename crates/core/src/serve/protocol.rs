@@ -12,7 +12,17 @@
 //! {"op":"shutdown"}
 //! {"op":"tune","id":"r1","workload":"builtin:tce","backend":"k20",
 //!  "evals":40,"quick":true,"deadline_s":2.5}
+//! {"op":"tune","workload":"tce","objective":"balanced",
+//!  "mem_budget":1048576,"penalize":true}
 //! ```
+//!
+//! A tune request may carry a search objective: `"objective"` names a
+//! preset (`time` / `memory` / `balanced`), `"mem_weight"` /
+//! `"rw_weight"` override individual weights, `"mem_budget"` sets a hard
+//! cap on modeled peak temporary bytes and `"penalize"` selects
+//! [`BudgetMode::Penalize`](crate::objective::BudgetMode) instead of
+//! pruning. Requests with different objectives never coalesce and never
+//! share stored plans.
 //!
 //! Every response carries `"ok"` and echoes `"op"` (and `"id"` when the
 //! request had one). Failures return `"ok":false` with the typed stage
@@ -21,6 +31,7 @@
 
 use crate::error::BarracudaError;
 use crate::json::Json;
+use crate::objective::{BudgetMode, Objective};
 
 /// One parsed request line.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,6 +66,11 @@ pub struct TuneRequest {
     /// Per-request wall-clock deadline in seconds. Overruns degrade the
     /// result (best-so-far, typed status) — they never hang the request.
     pub deadline_s: Option<f64>,
+    /// Search objective assembled from the request's `objective` /
+    /// `mem_weight` / `rw_weight` / `mem_budget` / `penalize` fields;
+    /// `None` (no objective fields at all) uses the daemon default
+    /// (time-only).
+    pub objective: Option<Objective>,
 }
 
 impl Request {
@@ -91,6 +107,7 @@ impl Request {
                     evals: v.get("evals").and_then(Json::as_u64).map(|n| n as usize),
                     quick: v.get("quick").and_then(Json::as_bool),
                     deadline_s: v.get("deadline_s").and_then(Json::as_f64),
+                    objective: parse_objective(&v)?,
                 }))
             }
             other => Err(BarracudaError::Serve {
@@ -98,6 +115,78 @@ impl Request {
             }),
         }
     }
+}
+
+/// Assemble a tune request's objective from its optional fields:
+/// preset (`objective`), weight overrides (`mem_weight` / `rw_weight`),
+/// budget (`mem_budget` bytes) and mode (`penalize`). `Ok(None)` when no
+/// objective field is present; an unknown preset or a malformed field is
+/// a typed [`BarracudaError::Serve`].
+fn parse_objective(v: &Json) -> Result<Option<Objective>, BarracudaError> {
+    let has_any = [
+        "objective",
+        "mem_weight",
+        "rw_weight",
+        "mem_budget",
+        "penalize",
+    ]
+    .iter()
+    .any(|k| v.get(k).is_some());
+    if !has_any {
+        return Ok(None);
+    }
+    let mut o = match v.get("objective") {
+        None => Objective::time_only(),
+        Some(p) => {
+            let name = p.as_str().ok_or_else(|| BarracudaError::Serve {
+                detail: "field \"objective\" must be a string preset name".to_string(),
+            })?;
+            Objective::preset(name).ok_or_else(|| BarracudaError::Serve {
+                detail: format!(
+                    "unknown objective preset \"{name}\" (one of: time, memory, balanced)"
+                ),
+            })?
+        }
+    };
+    let weight = |key: &str| -> Result<Option<f64>, BarracudaError> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(w) => {
+                let w = w.as_f64().ok_or_else(|| BarracudaError::Serve {
+                    detail: format!("field \"{key}\" must be a number"),
+                })?;
+                if !w.is_finite() || w < 0.0 {
+                    return Err(BarracudaError::Serve {
+                        detail: format!("field \"{key}\" must be a finite non-negative number"),
+                    });
+                }
+                Ok(Some(w))
+            }
+        }
+    };
+    if let Some(w) = weight("mem_weight")? {
+        o.mem_weight = w;
+    }
+    if let Some(w) = weight("rw_weight")? {
+        o.rw_weight = w;
+    }
+    if let Some(b) = v.get("mem_budget") {
+        o.mem_budget = Some(b.as_u64().ok_or_else(|| BarracudaError::Serve {
+            detail: "field \"mem_budget\" must be an integer byte count".to_string(),
+        })?);
+    }
+    if v.get("penalize").is_some() {
+        let p = v
+            .get("penalize")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| BarracudaError::Serve {
+                detail: "field \"penalize\" must be a boolean".to_string(),
+            })?;
+        if p {
+            o.budget_mode = BudgetMode::Penalize;
+        }
+    }
+    Ok(Some(o))
 }
 
 /// Where a served tune came from, as reported on the wire.
@@ -148,6 +237,11 @@ pub struct ServedTune {
     pub quarantined: usize,
     /// Degraded reason, when the search stopped early.
     pub degraded: Option<String>,
+    /// The objective the result was tuned under
+    /// ([`Objective::describe`] form, e.g. `time-only`).
+    pub objective: String,
+    /// Modeled peak live temporary bytes of the served configuration.
+    pub peak_temp_bytes: u64,
     /// The CLI timing line, byte-identical between a fresh search and a
     /// store-hit replay of the same plan.
     pub timing: String,
@@ -186,6 +280,11 @@ pub fn tune_response(id: Option<&str>, t: &ServedTune) -> Json {
                 Some(reason) => Json::Str(reason.clone()),
                 None => Json::Null,
             },
+        ),
+        ("objective".to_string(), Json::Str(t.objective.clone())),
+        (
+            "peak_temp_bytes".to_string(),
+            Json::Str(t.peak_temp_bytes.to_string()),
         ),
         ("timing".to_string(), Json::Str(t.timing.clone())),
     ]);
@@ -258,8 +357,57 @@ mod tests {
                 evals: Some(40),
                 quick: Some(true),
                 deadline_s: Some(2.5),
+                objective: None,
             })
         );
+    }
+
+    #[test]
+    fn parses_objective_fields() {
+        let t = Request::parse(
+            r#"{"op":"tune","workload":"tce","objective":"balanced","mem_budget":1048576,"penalize":true}"#,
+        )
+        .unwrap();
+        let Request::Tune(req) = t else {
+            panic!("expected a tune request")
+        };
+        let o = req.objective.expect("objective fields must be parsed");
+        assert!(o.same_as(&Objective {
+            mem_budget: Some(1_048_576),
+            budget_mode: BudgetMode::Penalize,
+            ..Objective::balanced()
+        }));
+
+        // Weight overrides on top of the time-only base.
+        let t = Request::parse(r#"{"op":"tune","workload":"tce","mem_weight":2.5}"#).unwrap();
+        let Request::Tune(req) = t else {
+            panic!("expected a tune request")
+        };
+        let o = req.objective.unwrap();
+        assert_eq!(o.mem_weight, 2.5);
+        assert_eq!(o.rw_weight, 0.0);
+        assert_eq!(o.mem_budget, None);
+
+        // No objective fields at all: None, daemon default applies.
+        let t = Request::parse(r#"{"op":"tune","workload":"tce"}"#).unwrap();
+        let Request::Tune(req) = t else {
+            panic!("expected a tune request")
+        };
+        assert_eq!(req.objective, None);
+    }
+
+    #[test]
+    fn malformed_objective_fields_are_typed_serve_errors() {
+        for line in [
+            r#"{"op":"tune","workload":"tce","objective":"fastest"}"#,
+            r#"{"op":"tune","workload":"tce","mem_weight":-1}"#,
+            r#"{"op":"tune","workload":"tce","mem_budget":"lots"}"#,
+            r#"{"op":"tune","workload":"tce","penalize":"yes"}"#,
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.stage(), "serve", "line {line:?}");
+            assert_eq!(err.exit_code(), 12);
+        }
     }
 
     #[test]
@@ -286,6 +434,8 @@ mod tests {
             evals_performed: 0,
             quarantined: 2,
             degraded: None,
+            objective: "time-only".to_string(),
+            peak_temp_bytes: 4096,
             timing: "K20   150 us".to_string(),
         };
         let line = tune_response(Some("r1"), &t).to_string_compact();
@@ -296,6 +446,14 @@ mod tests {
         assert_eq!(back.get("source").and_then(Json::as_str), Some("hit"));
         assert_eq!(back.get("space").and_then(Json::as_str), Some("123456789"));
         assert_eq!(back.get("evals_performed").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            back.get("objective").and_then(Json::as_str),
+            Some("time-only")
+        );
+        assert_eq!(
+            back.get("peak_temp_bytes").and_then(Json::as_str),
+            Some("4096")
+        );
 
         let err = BarracudaError::Serve {
             detail: "nope".to_string(),

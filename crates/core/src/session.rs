@@ -191,7 +191,7 @@ impl TuningSession {
     ) -> Result<SessionOutcome, BarracudaError> {
         let workload = &tuner.workload;
         let cache = self.cache_for(workload);
-        if let Some(hit) = self.replay_hit(tuner, backend)? {
+        if let Some(hit) = self.replay_hit(tuner, backend, &params.objective)? {
             return Ok(hit);
         }
         let b = self
@@ -220,14 +220,18 @@ impl TuningSession {
 
     /// Store probe only: replays the persisted plan for
     /// `(workload, backend)` if one exists, without ever searching.
-    /// `Ok(None)` on a miss or when no store is attached. This is the
-    /// daemon's warm fast path — it costs one lookup and one replay, so
-    /// it can run *before* admission control and keep warm traffic
+    /// `Ok(None)` on a miss or when no store is attached. A stored plan
+    /// tuned under a different `objective` than the caller wants is also
+    /// a miss (never an error here): the caller searches under its own
+    /// objective and the fresh plan overwrites the foreign one. This is
+    /// the daemon's warm fast path — it costs one lookup and one replay,
+    /// so it can run *before* admission control and keep warm traffic
     /// flowing while every cold-search permit is taken.
     pub fn replay_hit(
         &self,
         tuner: &WorkloadTuner,
         backend: &str,
+        objective: &crate::objective::Objective,
     ) -> Result<Option<SessionOutcome>, BarracudaError> {
         let workload = &tuner.workload;
         let Some(store) = &self.store else {
@@ -237,6 +241,9 @@ impl TuningSession {
         let Some(plan) = store.lookup(&key)? else {
             return Ok(None);
         };
+        if !plan.objective.same_as(objective) {
+            return Ok(None);
+        }
         let tuned =
             plan.replay_built_in(&self.backends, workload, tuner, &self.cache_for(workload))?;
         Ok(Some(SessionOutcome {
@@ -285,12 +292,16 @@ impl TuningSession {
     }
 
     /// Replays the stored plan for `(workload, backend)` without ever
-    /// searching: a missing entry is a typed [`BarracudaError::Plan`].
+    /// searching: a missing entry is a typed [`BarracudaError::Plan`],
+    /// and so is a stored plan tuned under a different objective than
+    /// `expected` — an explicit replay must never silently serve a pick
+    /// optimized for something else.
     /// Returns the result, the plan, and the store path it came from.
     pub fn replay_from_store(
         &self,
         workload: &Workload,
         backend: &str,
+        expected: &crate::objective::Objective,
     ) -> Result<(TunedWorkload, TunedPlan, PathBuf), BarracudaError> {
         let store = self.store.as_ref().ok_or_else(|| BarracudaError::Store {
             detail: "no plan store attached (pass --store DIR)".to_string(),
@@ -303,6 +314,7 @@ impl TuningSession {
                 store.root().display()
             ),
         })?;
+        plan.validate_objective(expected)?;
         let tuned = plan.replay_for_in(&self.backends, workload, &self.cache_for(workload))?;
         Ok((tuned, plan, store.path_of(&key)))
     }
@@ -410,14 +422,58 @@ mod tests {
         let root = temp_root("replay_miss");
         let w = matmul(16);
         let s = TuningSession::with_store(&root).unwrap();
-        let err = s.replay_from_store(&w, "k20").unwrap_err();
+        let time_only = crate::objective::Objective::time_only();
+        let err = s.replay_from_store(&w, "k20", &time_only).unwrap_err();
         assert_eq!(err.stage(), "plan");
         assert!(err.to_string().contains("no stored plan"));
 
         s.tune(&w, "k20", TuneParams::quick()).unwrap();
-        let (tuned, plan, path) = s.replay_from_store(&w, "k20").unwrap();
+        let (tuned, plan, path) = s.replay_from_store(&w, "k20", &time_only).unwrap();
         assert!(path.exists());
         assert_eq!(tuned.gpu_seconds.to_bits(), plan.gpu_seconds.to_bits());
+
+        // Explicitly replaying under a different objective is refused:
+        // the stored pick answers a question nobody asked.
+        let err = s
+            .replay_from_store(&w, "k20", &crate::objective::Objective::balanced())
+            .unwrap_err();
+        assert_eq!(err.stage(), "plan");
+        assert_eq!(err.exit_code(), 10);
+        assert!(err.to_string().contains("objective"), "{err}");
+    }
+
+    #[test]
+    fn foreign_objective_store_entry_is_a_miss_not_an_error() {
+        let root = temp_root("foreign_objective");
+        let w = matmul(16);
+        let s = TuningSession::with_store(&root).unwrap();
+        let time_tuned = s.tune(&w, "k20", TuneParams::quick()).unwrap();
+        assert!(matches!(
+            time_tuned.source,
+            PlanSource::Searched { stored: Some(_) }
+        ));
+
+        // Same workload, different objective: the stored time-only plan
+        // must not be served; the session searches under the new
+        // objective and overwrites the entry.
+        let mut params = TuneParams::quick();
+        params.objective = crate::objective::Objective::balanced();
+        let balanced = s.tune(&w, "k20", params).unwrap();
+        assert!(
+            matches!(balanced.source, PlanSource::Searched { stored: Some(_) }),
+            "a foreign-objective store entry must be a miss"
+        );
+        assert!(balanced
+            .plan
+            .objective
+            .same_as(&crate::objective::Objective::balanced()));
+
+        // And now the balanced plan is the stored one: a balanced tune
+        // hits, a time-only tune misses again.
+        let warm = s.tune(&w, "k20", params).unwrap();
+        assert!(matches!(warm.source, PlanSource::StoreHit { .. }));
+        let cold = s.tune(&w, "k20", TuneParams::quick()).unwrap();
+        assert!(matches!(cold.source, PlanSource::Searched { .. }));
     }
 
     #[test]

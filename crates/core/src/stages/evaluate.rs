@@ -12,6 +12,7 @@
 
 use crate::cache::{EvalCache, OpOutcome};
 use crate::error::BarracudaError;
+use crate::objective::Objective;
 use crate::stages::lower;
 use crate::variant::StatementTuner;
 use crate::workload::Workload;
@@ -311,6 +312,45 @@ impl ParallelEvaluator for TunerEvaluator<'_> {
 
     fn try_evaluate(&self, id: u128) -> Result<f64, EvalFault> {
         self.try_time(id).map(|t| self.noisy(id, t))
+    }
+}
+
+/// Objective-scoring adapter: wraps any [`ParallelEvaluator`] so the value
+/// the search minimizes is [`Objective::score`] of the wrapped evaluator's
+/// (noisy) time and the candidate's modeled memory — looked up through
+/// `memory`, a pure `id -> (peak_temp_bytes, rw_bytes)` function (a
+/// version-table lookup in practice, see
+/// [`crate::stages::lower::version_memory_table`]).
+///
+/// For a time-only objective the adapter returns the wrapped time
+/// untouched — same bits, and `memory` is never called — which is what
+/// keeps the default pipeline bit-identical to the raw-time builds.
+/// Purity: `memory` depends only on `id`, so wrapping preserves the
+/// order-independence [`ParallelEvaluator`] requires.
+pub(crate) struct ObjectiveEvaluator<'a, E, M> {
+    pub(crate) inner: &'a E,
+    pub(crate) objective: Objective,
+    pub(crate) memory: M,
+}
+
+impl<E: ParallelEvaluator, M: Fn(u128) -> (u64, u64) + Sync> ParallelEvaluator
+    for ObjectiveEvaluator<'_, E, M>
+{
+    fn features(&self, id: u128) -> Vec<f64> {
+        self.inner.features(id)
+    }
+
+    fn evaluate(&self, id: u128) -> f64 {
+        self.try_evaluate(id).unwrap_or(f64::NAN)
+    }
+
+    fn try_evaluate(&self, id: u128) -> Result<f64, EvalFault> {
+        let t = self.inner.try_evaluate(id)?;
+        if self.objective.is_time_only() {
+            return Ok(t);
+        }
+        let (peak, rw) = (self.memory)(id);
+        Ok(self.objective.score(t, peak, rw))
     }
 }
 

@@ -14,6 +14,7 @@ use crate::stages::frontend::CompiledWorkload;
 use crate::variant::StatementTuner;
 use crate::workload::Workload;
 use tcr::mapping::{map_programs, MapJob, MappedKernel};
+use tcr::{ArrayKind, TcrProgram};
 
 /// The lowering artifact: every statement's versions × configurations.
 #[derive(Clone, Debug)]
@@ -127,6 +128,119 @@ pub fn joint_flops(statements: &[StatementTuner], id: u128) -> u64 {
         .sum()
 }
 
+/// Peak live temporary bytes of one TCR program: the largest sum of
+/// simultaneously-live `Temp` arrays (f64 elements, 8 bytes each) over the
+/// program's statement sequence. A temporary is live from the op that
+/// produces it through the last op that consumes it; a produced-but-never-
+/// consumed temporary is live only at its producing op. `Input` and
+/// `Output` arrays are excluded — they are resident for the whole program
+/// regardless of factorization, so only the temporaries differentiate
+/// versions.
+///
+/// This is what an [`crate::objective::Objective`] memory budget caps:
+/// the footprint is a function of the OCTOPI version alone (loop-nest
+/// configurations never change array shapes), so over-budget versions can
+/// be pruned before lowering or evaluation ever touches them.
+pub fn program_peak_temp_bytes(program: &TcrProgram) -> u64 {
+    let mut live_at = vec![0u64; program.ops.len()];
+    for (a_id, a) in program.arrays.iter().enumerate() {
+        if a.kind != ArrayKind::Temp {
+            continue;
+        }
+        let Some(birth) = program.ops.iter().position(|op| op.output == a_id) else {
+            continue;
+        };
+        let death = program
+            .ops
+            .iter()
+            .rposition(|op| op.inputs.contains(&a_id))
+            .map_or(birth, |d| d.max(birth));
+        let bytes = 8 * a.len(&program.dims) as u64;
+        for slot in &mut live_at[birth..=death] {
+            *slot += bytes;
+        }
+    }
+    live_at.into_iter().max().unwrap_or(0)
+}
+
+/// Total global-memory read+write volume of one TCR program: per op, the
+/// output array is written once and every input array read once (f64
+/// elements, 8 bytes), summed over the statement sequence. This models
+/// DRAM traffic under perfect intra-kernel reuse — the quantity omeco's
+/// `rw` weight scores — and, like [`program_peak_temp_bytes`], depends on
+/// the version only, never the loop-nest configuration.
+pub fn program_rw_bytes(program: &TcrProgram) -> u64 {
+    program
+        .ops
+        .iter()
+        .map(|op| {
+            let elems = program.arrays[op.output].len(&program.dims)
+                + op.inputs
+                    .iter()
+                    .map(|&i| program.arrays[i].len(&program.dims))
+                    .sum::<usize>();
+            8 * elems as u64
+        })
+        .sum()
+}
+
+/// Per-statement, per-version `(peak_temp_bytes, rw_bytes)` table,
+/// computed once per search so the per-candidate objective score is two
+/// table lookups instead of a liveness walk.
+pub fn version_memory_table(statements: &[StatementTuner]) -> Vec<Vec<(u64, u64)>> {
+    statements
+        .iter()
+        .map(|st| {
+            st.variants
+                .iter()
+                .map(|v| {
+                    (
+                        program_peak_temp_bytes(&v.program),
+                        program_rw_bytes(&v.program),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Hot-path variant of [`joint_memory`]: combines a precomputed
+/// [`version_memory_table`] instead of re-walking each program's liveness,
+/// so a per-candidate lookup costs one joint decode plus table reads.
+pub fn joint_memory_from_table(
+    statements: &[StatementTuner],
+    table: &[Vec<(u64, u64)>],
+    id: u128,
+) -> (u64, u64) {
+    let locals = decode_joint(statements, id);
+    let mut peak = 0u64;
+    let mut rw = 0u64;
+    for (k, (s, &local)) in statements.iter().zip(&locals).enumerate() {
+        let (v, _) = s.decode_raw(local);
+        let (p, r) = table[k][v];
+        peak = peak.max(p);
+        rw = rw.saturating_add(r);
+    }
+    (peak, rw)
+}
+
+/// Modeled `(peak_temp_bytes, rw_bytes)` of a joint configuration:
+/// statements execute in sequence and each statement's temporaries die at
+/// its end, so the joint peak is the max over statements while the traffic
+/// volume sums.
+pub fn joint_memory(statements: &[StatementTuner], id: u128) -> (u64, u64) {
+    let locals = decode_joint(statements, id);
+    let mut peak = 0u64;
+    let mut rw = 0u64;
+    for (s, &local) in statements.iter().zip(&locals) {
+        let (v, _) = s.decode(local);
+        let program = &s.variants[v].program;
+        peak = peak.max(program_peak_temp_bytes(program));
+        rw = rw.saturating_add(program_rw_bytes(program));
+    }
+    (peak, rw)
+}
+
 /// Quarantine report of the build stage: every version whose lowering
 /// failed, per statement.
 pub fn build_quarantine(statements: &[StatementTuner]) -> QuarantineReport {
@@ -231,5 +345,65 @@ mod tests {
         let kernels = map_joint(&w, &lowered.statements, 0).unwrap();
         assert_eq!(kernels.len(), 2);
         assert!(kernels.iter().all(|ks| !ks.is_empty()));
+    }
+
+    #[test]
+    fn single_step_programs_have_no_temporary_footprint() {
+        // Both "pair" statements are binary contractions: one step, no
+        // temps — the peak must be exactly zero while traffic is not.
+        let (_, lowered) = lowered_pair();
+        for st in &lowered.statements {
+            for v in &st.variants {
+                assert_eq!(program_peak_temp_bytes(&v.program), 0);
+                assert!(program_rw_bytes(&v.program) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_step_versions_carry_live_temporaries() {
+        let w = Workload::parse(
+            "eqn1",
+            "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
+            &uniform_dims(&["i", "j", "k", "l", "m", "n"], 6),
+        )
+        .unwrap();
+        let lowered = LoweredVersions::build(&w);
+        let st = &lowered.statements[0];
+        let peaks: Vec<u64> = st
+            .variants
+            .iter()
+            .map(|v| program_peak_temp_bytes(&v.program))
+            .collect();
+        // Every eqn1 factorization chains at least two steps, so every
+        // version owns at least one temporary...
+        assert!(peaks.iter().all(|&p| p > 0), "{peaks:?}");
+        // ...and the footprints differentiate versions (that is the whole
+        // point of a memory-aware objective).
+        assert!(peaks.iter().any(|&p| p != peaks[0]), "{peaks:?}");
+    }
+
+    #[test]
+    fn joint_memory_is_max_peak_and_summed_traffic() {
+        let (_, lowered) = lowered_pair();
+        let table = version_memory_table(&lowered.statements);
+        assert_eq!(table.len(), 2);
+        for (st, versions) in lowered.statements.iter().zip(&table) {
+            assert_eq!(st.variants.len(), versions.len());
+        }
+        let total = lowered.total_space();
+        for id in [0u128, 1, total / 2, total - 1] {
+            let (peak, rw) = joint_memory(&lowered.statements, id);
+            let locals = decode_joint(&lowered.statements, id);
+            let mut want_peak = 0u64;
+            let mut want_rw = 0u64;
+            for (k, (st, &local)) in lowered.statements.iter().zip(&locals).enumerate() {
+                let (v, _) = st.decode(local);
+                want_peak = want_peak.max(table[k][v].0);
+                want_rw += table[k][v].1;
+            }
+            assert_eq!(peak, want_peak);
+            assert_eq!(rw, want_rw);
+        }
     }
 }

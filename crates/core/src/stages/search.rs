@@ -9,8 +9,9 @@
 
 use crate::cache::{EvalCache, HotPathSnapshot};
 use crate::error::BarracudaError;
+use crate::objective::{BudgetMode, Objective};
 use crate::quarantine::QuarantineReport;
-use crate::stages::evaluate::{salt_of, StatementEvaluator, TunerEvaluator};
+use crate::stages::evaluate::{salt_of, ObjectiveEvaluator, StatementEvaluator, TunerEvaluator};
 use crate::stages::{evaluate, lower, space};
 use crate::variant::StatementTuner;
 use crate::workload::Workload;
@@ -66,6 +67,13 @@ pub struct TuneParams {
     /// failures are keyed by configuration id exactly like the measurement
     /// noise, so injected runs stay bit-identical serial vs parallel.
     pub fault_injection: Option<FaultPlan>,
+    /// What the search minimizes: simulated time alone (the default — the
+    /// paper's objective, bit-identical to the pre-objective pipeline) or
+    /// a weighted time/memory/traffic score with an optional hard memory
+    /// budget (see [`Objective`]). A budget in [`BudgetMode::Prune`] mode
+    /// removes over-budget versions from the pool before evaluation; in
+    /// either mode the final pick refuses them.
+    pub objective: Objective,
 }
 
 impl TuneParams {
@@ -102,6 +110,7 @@ impl TuneParams {
             wall_deadline_s: None,
             min_survivor_fraction: 0.0,
             fault_injection: None,
+            objective: Objective::time_only(),
         }
     }
 
@@ -135,6 +144,7 @@ impl TuneParams {
             wall_deadline_s: None,
             min_survivor_fraction: 0.0,
             fault_injection: None,
+            objective: Objective::time_only(),
         }
     }
 
@@ -188,6 +198,17 @@ pub struct SearchStats {
     /// for the internal pools, which are built from sets; nonzero only
     /// when a caller hands SURF a pool with repeats).
     pub duplicate_candidates: usize,
+    /// Pool candidates removed before the search because their modeled
+    /// peak temporary footprint exceeded the objective's memory budget
+    /// (0 without a budget, or under [`BudgetMode::Penalize`]).
+    pub pruned_by_memory: usize,
+    /// Distinct `(statement, version)` pairs whose modeled peak exceeds
+    /// the objective's memory budget (0 without a budget).
+    pub versions_over_budget: usize,
+    /// Modeled peak live temporary bytes of the chosen configuration.
+    pub peak_temp_bytes: u64,
+    /// Modeled global read+write volume of the chosen configuration.
+    pub rw_bytes: u64,
     /// Wall-time spent per hot-path stage (decode / map / simulate /
     /// predict) during this run.
     pub hot: HotPathSnapshot,
@@ -283,6 +304,9 @@ pub struct TunedWorkload {
     pub transfer_seconds: f64,
     pub flops: u64,
     pub search: SearchStats,
+    /// The objective this result was tuned under (recorded in plans, so
+    /// replay can refuse a foreign-objective plan).
+    pub objective: Objective,
     /// Whether the search ran to completion or stopped early (budget,
     /// deadline, survivor-fraction threshold) with best-so-far.
     pub status: SearchStatus,
@@ -410,7 +434,34 @@ pub fn autotune_joint(
     params: TuneParams,
     cache: &EvalCache,
 ) -> Result<TunedWorkload, BarracudaError> {
-    let pool = space::joint_pool(statements, params.pool_cap, params.seed);
+    let objective = params.objective;
+    let mem_table = lower::version_memory_table(statements);
+    let memory = |id: u128| lower::joint_memory_from_table(statements, &mem_table, id);
+    let mut pool = space::joint_pool(statements, params.pool_cap, params.seed);
+    let mut pruned_by_memory = 0usize;
+    let mut versions_over_budget = 0usize;
+    if let Some(budget) = objective.mem_budget {
+        versions_over_budget = mem_table
+            .iter()
+            .flatten()
+            .filter(|&&(peak, _)| peak > budget)
+            .count();
+        if objective.budget_mode == BudgetMode::Prune {
+            let before = pool.len();
+            pool.retain(|&id| memory(id).0 <= budget);
+            pruned_by_memory = before - pool.len();
+            if pool.is_empty() {
+                return Err(BarracudaError::Search {
+                    workload: workload.name.clone(),
+                    detail: format!(
+                        "memory budget {budget} B excludes every candidate \
+                         ({versions_over_budget} over-budget versions, {pruned_by_memory} \
+                         configurations pruned) — raise the budget or use penalize mode"
+                    ),
+                });
+            }
+        }
+    }
     let evaluator = TunerEvaluator::from_parts(
         workload,
         statements,
@@ -420,8 +471,13 @@ pub fn autotune_joint(
         params.noise_floor_us,
         params.seed,
     );
+    let scored = ObjectiveEvaluator {
+        inner: &evaluator,
+        objective,
+        memory,
+    };
     let faulty = FaultyEvaluator::new(
-        &evaluator,
+        &scored,
         params.fault_injection.unwrap_or_else(FaultPlan::none),
     );
     let (hits0, misses0) = cache.stats();
@@ -455,23 +511,47 @@ pub fn autotune_joint(
     }
 
     // The search observed noisy measurements; the final pick re-measures
-    // carefully: choose the best *noiseless* time among everything the
-    // search evaluated (the paper's final numbers are 100-rep averages).
-    // One cache hit per candidate — the search already simulated them
-    // all, and each id's time is looked up exactly once. First minimal
-    // wins ties, matching `min_by`; quarantined ids never reach
-    // `evaluated`, and the finite filter keeps even a stray NaN from
-    // poisoning the pick.
+    // carefully: choose the best *noiseless* objective score among
+    // everything the search evaluated (the paper's final numbers are
+    // 100-rep averages; under the default objective the score is the raw
+    // time, bit for bit). One cache hit per candidate — the search already
+    // simulated them all, and each id's time is looked up exactly once.
+    // First minimal wins ties, matching `min_by`; quarantined ids never
+    // reach `evaluated`, the finite filter keeps even a stray NaN from
+    // poisoning the pick, and a candidate over the memory budget is never
+    // selected, in either budget mode.
     let mut best: Option<(u128, f64)> = None;
     for &(cand, _) in &result.evaluated {
         let t = evaluator.time(cand);
+        let s = if objective.is_time_only() {
+            t
+        } else {
+            let (peak, rw) = memory(cand);
+            if objective.over_budget(peak) {
+                continue;
+            }
+            objective.score(t, peak, rw)
+        };
         let better = match best {
             None => true,
-            Some((_, bt)) => t < bt,
+            Some((_, bs)) => s < bs,
         };
-        if t.is_finite() && better {
-            best = Some((cand, t));
+        if s.is_finite() && better {
+            best = Some((cand, s));
         }
+    }
+    if best.is_none() && objective.mem_budget.is_some() {
+        // Penalize mode lets over-budget candidates into the pool (their
+        // evaluations still train the surrogate), but the pick must never
+        // exceed the budget.
+        return Err(BarracudaError::Search {
+            workload: workload.name.clone(),
+            detail: format!(
+                "every surviving candidate exceeds the memory budget {} B \
+                 ({versions_over_budget} over-budget versions)",
+                objective.mem_budget.unwrap_or(0)
+            ),
+        });
     }
     let id = best.map_or(result.best_id, |(id, _)| id);
     let locals = lower::decode_joint(statements, id);
@@ -491,6 +571,7 @@ pub fn autotune_joint(
     let gpu_seconds = evaluate::joint_gpu_seconds(workload, statements, id, arch)?;
     let transfer_seconds = evaluate::transfer_seconds(workload, arch);
     let flops = lower::joint_flops(statements, id);
+    let (peak_temp_bytes, rw_bytes) = memory(id);
     Ok(TunedWorkload {
         name: workload.name.clone(),
         arch_name: arch.name.to_string(),
@@ -518,8 +599,13 @@ pub fn autotune_joint(
             time_hits: th1 - th0,
             time_misses: tm1 - tm0,
             duplicate_candidates: result.duplicates_pruned,
+            pruned_by_memory,
+            versions_over_budget,
+            peak_temp_bytes,
+            rw_bytes,
             hot,
         },
+        objective,
         status,
         quarantine,
     })
@@ -544,6 +630,20 @@ pub fn autotune_decomposed(
     params: TuneParams,
     cache: &EvalCache,
 ) -> Result<TunedWorkload, BarracudaError> {
+    let objective = params.objective;
+    let mem_table = lower::version_memory_table(statements);
+    // Distinct over-budget versions across all statements, counted once up
+    // front (the joint peak is the max over statements, so a version over
+    // budget in isolation is over budget in any joint configuration).
+    let mut versions_over_budget = 0usize;
+    if let Some(budget) = objective.mem_budget {
+        versions_over_budget = mem_table
+            .iter()
+            .flatten()
+            .filter(|&&(peak, _)| peak > budget)
+            .count();
+    }
+    let mut pruned_by_memory = 0usize;
     let mut locals: Vec<u128> = Vec::with_capacity(statements.len());
     let mut n_evals = 0;
     let mut batches = 0;
@@ -563,7 +663,31 @@ pub fn autotune_decomposed(
     let hot0 = cache.hot().snapshot();
     for (k, st) in statements.iter().enumerate() {
         // Pool over this statement's own space.
-        let pool = space::statement_pool(st, params.pool_cap, params.seed ^ k as u64);
+        let mut pool = space::statement_pool(st, params.pool_cap, params.seed ^ k as u64);
+        // Per-statement memory model. The joint peak is the max over
+        // statements, so pruning one statement's over-budget versions is
+        // exactly the joint-space prune restricted to this axis.
+        let st_memory = |local: u128| {
+            let (v, _) = st.decode_raw(local);
+            mem_table[k][v]
+        };
+        if let Some(budget) = objective.mem_budget {
+            if objective.budget_mode == BudgetMode::Prune {
+                let before = pool.len();
+                pool.retain(|&local| st_memory(local).0 <= budget);
+                pruned_by_memory += before - pool.len();
+                if pool.is_empty() {
+                    return Err(BarracudaError::Search {
+                        workload: workload.name.clone(),
+                        detail: format!(
+                            "statement {k}: memory budget {budget} B excludes every \
+                             candidate ({versions_over_budget} over-budget versions) — \
+                             raise the budget or use penalize mode"
+                        ),
+                    });
+                }
+            }
+        }
         let evaluator = StatementEvaluator {
             st,
             stmt: k,
@@ -576,8 +700,13 @@ pub fn autotune_decomposed(
             noise_floor_us: params.noise_floor_us,
             noise_seed: params.seed ^ k as u64,
         };
+        let scored = ObjectiveEvaluator {
+            inner: &evaluator,
+            objective,
+            memory: st_memory,
+        };
         let faulty = FaultyEvaluator::new(
-            &evaluator,
+            &scored,
             params.fault_injection.unwrap_or_else(FaultPlan::none),
         );
         // This statement's share of the run-wide budget/deadline.
@@ -610,19 +739,39 @@ pub fn autotune_decomposed(
         }
         // Final noiseless pick and the evaluated-times record in one
         // pass: each id's time is looked up exactly once (first minimal
-        // wins ties, matching `min_by`).
+        // wins ties, matching `min_by`). Under a memory budget an
+        // over-budget candidate is recorded but never selected.
         let mut best: Option<(u128, f64)> = None;
         evaluated_times.reserve(result.evaluated.len());
         for &(cand, _) in &result.evaluated {
             let t = evaluator.time(cand);
             evaluated_times.push(t);
+            let s = if objective.is_time_only() {
+                t
+            } else {
+                let (peak, rw) = st_memory(cand);
+                if objective.over_budget(peak) {
+                    continue;
+                }
+                objective.score(t, peak, rw)
+            };
             let better = match best {
                 None => true,
-                Some((_, bt)) => t < bt,
+                Some((_, bs)) => s < bs,
             };
-            if t.is_finite() && better {
-                best = Some((cand, t));
+            if s.is_finite() && better {
+                best = Some((cand, s));
             }
+        }
+        if best.is_none() && objective.mem_budget.is_some() {
+            return Err(BarracudaError::Search {
+                workload: workload.name.clone(),
+                detail: format!(
+                    "statement {k}: every surviving candidate exceeds the memory \
+                     budget {} B ({versions_over_budget} over-budget versions)",
+                    objective.mem_budget.unwrap_or(0)
+                ),
+            });
         }
         let best = best.map_or(result.best_id, |(id, _)| id);
         n_evals += result.n_evals();
@@ -650,6 +799,7 @@ pub fn autotune_decomposed(
     }
     // Re-encode as a joint id and assemble the result.
     let id = lower::encode_joint(statements, &locals);
+    let (peak_temp_bytes, rw_bytes) = lower::joint_memory_from_table(statements, &mem_table, id);
     let mut choices = Vec::new();
     let mut programs = Vec::new();
     for (st, &local) in statements.iter().zip(&locals) {
@@ -685,8 +835,13 @@ pub fn autotune_decomposed(
             time_hits: th1 - th0,
             time_misses: tm1 - tm0,
             duplicate_candidates,
+            pruned_by_memory,
+            versions_over_budget,
+            peak_temp_bytes,
+            rw_bytes,
             hot,
         },
+        objective,
         status,
         quarantine,
     })

@@ -116,6 +116,14 @@ impl StatementTuner {
         self.offsets.last().copied().unwrap_or(0)
     }
 
+    /// First flat id of a version — its configuration 0. Version-level
+    /// searches (e.g. contraction-order annealing, which explores versions
+    /// at a canonical configuration) address versions without materializing
+    /// a [`Configuration`].
+    pub fn version_start(&self, variant: usize) -> u128 {
+        self.offsets[variant]
+    }
+
     /// Decodes a flat id into (version index, configuration id local to
     /// that version) without materializing the configuration — the memoized
     /// hot path extracts per-op digits from the local id directly.

@@ -592,15 +592,15 @@ fn plans_gc_evicts_a_planted_v1_plan() {
         .unwrap();
     assert!(path.status.success());
     let v1_path = String::from_utf8_lossy(&path.stdout).trim().to_string();
-    let v2_path = std::fs::read_dir(&store)
+    let v3_path = std::fs::read_dir(&store)
         .unwrap()
         .filter_map(|e| e.ok())
         .map(|e| e.path())
-        .find(|p| p.to_string_lossy().contains("-v2-"))
+        .find(|p| p.to_string_lossy().contains("-v3-"))
         .unwrap();
-    let v1_text = std::fs::read_to_string(&v2_path)
+    let v1_text = std::fs::read_to_string(&v3_path)
         .unwrap()
-        .replace("\"schema_version\": 2", "\"schema_version\": 1");
+        .replace("\"schema_version\": 3", "\"schema_version\": 1");
     std::fs::write(&v1_path, v1_text).unwrap();
 
     let list = bin()
@@ -708,7 +708,7 @@ fn stale_schema_version_exits_10() {
     let text = std::fs::read_to_string(&plan).unwrap();
     std::fs::write(
         &plan,
-        text.replace("\"schema_version\": 2", "\"schema_version\": 999"),
+        text.replace("\"schema_version\": 3", "\"schema_version\": 999"),
     )
     .unwrap();
     let replay = bin()

@@ -143,6 +143,7 @@ fn custom_descriptor_round_trips_tune_store_serve() {
             evals: Some(25),
             quick: Some(true),
             deadline_s: None,
+            objective: None,
         })
         .unwrap();
     assert_eq!(served.source, barracuda::serve::ServedSource::Hit);

@@ -1,0 +1,181 @@
+//! Golden pin for the default (time-only) objective: introducing the
+//! pluggable objective layer must not move a single byte of the default
+//! `tune` output, nor a single winning configuration id. These strings were
+//! captured before the objective refactor; if this test fails, the default
+//! search path changed behavior — that is a regression, not a test to
+//! update casually.
+//!
+//! The non-default paths are covered too: a memory budget annotates the
+//! pick and never reports an over-budget winner, and a saved plan refuses
+//! to replay under a foreign objective (typed exit 10).
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_barracuda"))
+}
+
+fn tune_stdout(workload: &str, extra: &[&str]) -> String {
+    let mut args = vec!["tune", workload, "--quick", "--evals", "30"];
+    args.extend_from_slice(extra);
+    let out = bin().args(&args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Pre-refactor capture of `tune builtin:tce --arch all --quick --evals 30`.
+const GOLDEN_TCE: &str = "\
+GTX 980             138 us device     43.60 GF device     30.93 GF w/transfers  (30 evals, space 2914447608000)
+Tesla K20           178 us device     33.75 GF device     21.54 GF w/transfers  (30 evals, space 2914447608000)
+Tesla C2050         225 us device     26.72 GF device     18.22 GF w/transfers  (30 evals, space 2914447608000)
+";
+
+/// Pre-refactor capture of `tune builtin:eqn1 --arch all --quick --evals 30`.
+const GOLDEN_EQN1: &str = "\
+GTX 980           16.19 us device      3.71 GF device      1.58 GF w/transfers  (30 evals, space 55867328000)
+Tesla K20         27.81 us device      2.16 GF device      1.01 GF w/transfers  (30 evals, space 55867328000)
+Tesla C2050       29.03 us device      2.07 GF device     0.932 GF w/transfers  (30 evals, space 55867328000)
+";
+
+/// Pre-refactor winning configuration ids per (workload, arch).
+const GOLDEN_IDS: &[(&str, &str, &str)] = &[
+    ("builtin:tce", "gtx980", "529082465"),
+    ("builtin:tce", "k20", "1330588893"),
+    ("builtin:tce", "c2050", "1330588893"),
+    ("builtin:eqn1", "gtx980", "133253379"),
+    ("builtin:eqn1", "k20", "126325579"),
+    ("builtin:eqn1", "c2050", "103895661"),
+];
+
+#[test]
+fn default_objective_tune_output_is_byte_identical_to_the_golden_capture() {
+    assert_eq!(tune_stdout("builtin:tce", &["--arch", "all"]), GOLDEN_TCE);
+    assert_eq!(tune_stdout("builtin:eqn1", &["--arch", "all"]), GOLDEN_EQN1);
+}
+
+#[test]
+fn explicit_time_objective_is_the_default() {
+    // `--objective time` spells out the default; output must not change.
+    assert_eq!(
+        tune_stdout("builtin:eqn1", &["--arch", "all", "--objective", "time"]),
+        GOLDEN_EQN1
+    );
+}
+
+#[test]
+fn default_objective_picks_are_the_golden_configurations() {
+    let dir = std::env::temp_dir().join(format!("barracuda_golden_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (workload, arch, id) in GOLDEN_IDS {
+        let path = dir.join(format!("{arch}.json"));
+        let out = bin()
+            .args([
+                "tune",
+                workload,
+                "--arch",
+                arch,
+                "--quick",
+                "--evals",
+                "30",
+                "--save-plan",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let plan = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            plan.contains(&format!("\"id\": \"{id}\"")),
+            "{workload} on {arch} no longer picks id {id}"
+        );
+        // The default objective is recorded in the plan as pure time.
+        assert!(plan.contains("\"time_weight\""), "{plan}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn memory_budget_annotates_and_respects_the_budget() {
+    let text = tune_stdout(
+        "builtin:tce",
+        &["--arch", "gtx980", "--mem-budget", "2000000"],
+    );
+    assert!(text.contains("objective: "), "{text}");
+    assert!(text.contains("over-budget versions"), "{text}");
+    assert!(text.contains("budget respected: peak "), "{text}");
+    // The annotated peak must actually be within the budget.
+    let peak: u64 = text
+        .split("budget respected: peak ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(peak <= 2_000_000, "{text}");
+}
+
+#[test]
+fn impossible_budget_is_a_typed_search_error() {
+    let out = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "10",
+            "--mem-budget",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(8));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("memory budget"), "{err}");
+}
+
+#[test]
+fn foreign_objective_replay_of_a_saved_plan_exits_10() {
+    let dir = std::env::temp_dir().join(format!("barracuda_foreign_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plan.json");
+    let out = bin()
+        .args([
+            "tune",
+            "builtin:eqn1",
+            "--quick",
+            "--evals",
+            "10",
+            "--objective",
+            "memory",
+            "--save-plan",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Replaying under the default (time-only) objective must be refused...
+    let replay = bin()
+        .args(["replay", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(replay.status.code(), Some(10));
+    let err = String::from_utf8_lossy(&replay.stderr);
+    assert!(err.contains("objective"), "{err}");
+    // ...while the matching objective replays fine and reports itself.
+    let ok = bin()
+        .args(["replay", path.to_str().unwrap(), "--objective", "memory"])
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let text = String::from_utf8_lossy(&ok.stdout);
+    assert!(text.contains("objective: time*1+mem*8+rw*1"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -7,8 +7,8 @@
 use barracuda::pipeline::{TuneParams, WorkloadTuner};
 use barracuda::workload::Workload;
 use barracuda::{
-    EvalCache, PlanChoice, PlanProvenance, QuarantineEntry, QuarantineStage, TunedPlan,
-    PLAN_SCHEMA_VERSION,
+    BudgetMode, EvalCache, Objective, PlanChoice, PlanProvenance, QuarantineEntry, QuarantineStage,
+    TunedPlan, PLAN_SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 use tensor::index::uniform_dims;
@@ -78,6 +78,9 @@ fn provenance() -> impl Strategy<Value = PlanProvenance> {
             (0u64..=u64::MAX),
             (0u64..=u64::MAX),
         ),
+        // Schema-v3 objective/memory provenance (byte totals are strings
+        // on disk, so the full u64 range must survive).
+        (counter(), counter(), (0u64..=u64::MAX), (0u64..=u64::MAX)),
     )
         .prop_map(
             |(
@@ -86,6 +89,7 @@ fn provenance() -> impl Strategy<Value = PlanProvenance> {
                 (cache_hit_rate, per_op_hit_rate, time_hit_rate, degraded, status),
                 (cache_hits, cache_misses, per_op_hits, per_op_misses, time_hits, time_misses),
                 (hot_decode_ns, hot_map_ns, hot_sim_ns, hot_predict_ns),
+                (pruned_by_memory, versions_over_budget, peak_temp_bytes, rw_bytes),
             )| PlanProvenance {
                 n_evals,
                 batches,
@@ -108,8 +112,37 @@ fn provenance() -> impl Strategy<Value = PlanProvenance> {
                 hot_map_ns,
                 hot_sim_ns,
                 hot_predict_ns,
+                pruned_by_memory,
+                versions_over_budget,
+                peak_temp_bytes,
+                rw_bytes,
                 degraded,
                 status,
+            },
+        )
+}
+
+/// Any objective: arbitrary finite non-negative weights (bit patterns must
+/// survive the round trip), an optional budget, either budget mode.
+fn objective() -> impl Strategy<Value = Objective> {
+    (
+        finite_f64(),
+        finite_f64(),
+        finite_f64(),
+        (any_bool(), (0u64..=u64::MAX)),
+        any_bool(),
+    )
+        .prop_map(
+            |(time_weight, mem_weight, rw_weight, budget, penalize)| Objective {
+                time_weight: time_weight.abs(),
+                mem_weight: mem_weight.abs(),
+                rw_weight: rw_weight.abs(),
+                mem_budget: budget.0.then_some(budget.1),
+                budget_mode: if penalize {
+                    BudgetMode::Penalize
+                } else {
+                    BudgetMode::Prune
+                },
             },
         )
 }
@@ -159,7 +192,7 @@ fn plan() -> impl Strategy<Value = TunedPlan> {
         ),
         (finite_f64(), finite_f64(), (0u64..=u64::MAX)),
         proptest::collection::vec(quarantine_entry(), 0..4),
-        provenance(),
+        (provenance(), objective()),
     )
         .prop_map(
             |(
@@ -168,7 +201,7 @@ fn plan() -> impl Strategy<Value = TunedPlan> {
                 choices,
                 (gpu_seconds, transfer_seconds, flops),
                 quarantine,
-                provenance,
+                (provenance, objective),
             )| TunedPlan {
                 schema_version: PLAN_SCHEMA_VERSION,
                 workload_name,
@@ -185,6 +218,7 @@ fn plan() -> impl Strategy<Value = TunedPlan> {
                 flops,
                 quarantine,
                 provenance,
+                objective,
             },
         )
 }
@@ -226,6 +260,12 @@ proptest! {
         v1.provenance.hot_map_ns = 0;
         v1.provenance.hot_sim_ns = 0;
         v1.provenance.hot_predict_ns = 0;
+        // v3-only fields: the v1 writer omits them, the reader defaults them.
+        v1.provenance.pruned_by_memory = 0;
+        v1.provenance.versions_over_budget = 0;
+        v1.provenance.peak_temp_bytes = 0;
+        v1.provenance.rw_bytes = 0;
+        v1.objective = Objective::time_only();
         let text = v1.to_json_text();
         prop_assert!(!text.contains("cache_salt"));
         let back = match TunedPlan::from_json_text(&text) {

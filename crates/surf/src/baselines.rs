@@ -11,6 +11,10 @@ use rand::{Rng, SeedableRng};
 pub struct BaselineResult {
     pub best_id: u128,
     pub best_y: f64,
+    /// Evaluations actually performed — the number of times the search
+    /// called `evaluate`, not the budget it was asked for. The two differ
+    /// at the edges: a zero budget still costs the mandatory evaluation of
+    /// the start point, and `random_search` caps at the pool size.
     pub n_evals: usize,
 }
 
@@ -79,9 +83,11 @@ pub fn hill_climb(
     let mut cur = start;
     let mut cur_y = evaluate(cur);
     let (mut best_id, mut best_y) = (cur, cur_y);
+    let mut evals = 1usize; // the mandatory evaluation of `start`
     for _ in 1..n_evals {
         let cand = neighbor(cur, &mut rng);
         let y = evaluate(cand);
+        evals += 1;
         if y < cur_y {
             cur = cand;
             cur_y = y;
@@ -94,7 +100,7 @@ pub fn hill_climb(
     BaselineResult {
         best_id,
         best_y,
-        n_evals,
+        n_evals: evals,
     }
 }
 
@@ -116,9 +122,11 @@ pub fn simulated_annealing(
     // Cool to ~1% of the initial temperature over the budget.
     let cooling = (0.01f64).powf(1.0 / n_evals.max(2) as f64);
     let mut temp = initial_temp;
+    let mut evals = 1usize; // the mandatory evaluation of `start`
     for _ in 1..n_evals {
         let cand = neighbor(cur, &mut rng);
         let y = evaluate(cand);
+        evals += 1;
         let delta = (y - cur_y) / cur_y.max(1e-30);
         let accept = delta <= 0.0 || rng.gen_range(0.0..1.0f64) < (-delta / temp).exp();
         if accept {
@@ -134,8 +142,67 @@ pub fn simulated_annealing(
     BaselineResult {
         best_id,
         best_y,
-        n_evals,
+        n_evals: evals,
     }
+}
+
+/// Simulated annealing over *contraction orders*: the search state is a
+/// mixed-radix version vector — digit `k` selects one of `radices[k]`
+/// factorizations (loop orders / contraction trees) for statement `k` —
+/// and a neighbor redraws exactly one digit to a different value. Ids
+/// encode the vector little-endian (digit 0 is `id % radices[0]`), matching
+/// the joint encoding the tuner uses for version choices, so the returned
+/// `best_id` can be decoded with the same radices.
+///
+/// Delegates to [`simulated_annealing`] for the acceptance rule and
+/// cooling schedule; determinism per seed is inherited.
+pub fn contraction_order_annealing(
+    radices: &[usize],
+    start: u128,
+    evaluate: impl FnMut(u128) -> f64,
+    n_evals: usize,
+    initial_temp: f64,
+    seed: u64,
+) -> BaselineResult {
+    assert!(!radices.is_empty(), "no statements to order");
+    assert!(
+        radices.iter().all(|&r| r > 0),
+        "every statement needs at least one version"
+    );
+    let decode = |mut id: u128| -> Vec<usize> {
+        radices
+            .iter()
+            .map(|&r| {
+                let d = (id % r as u128) as usize;
+                id /= r as u128;
+                d
+            })
+            .collect()
+    };
+    let encode = |digits: &[usize]| -> u128 {
+        digits
+            .iter()
+            .zip(radices)
+            .rev()
+            .fold(0u128, |acc, (&d, &r)| acc * r as u128 + d as u128)
+    };
+    let neighbor = |id: u128, rng: &mut StdRng| -> u128 {
+        let mut digits = decode(id);
+        // Redraw one digit that has somewhere else to go; a space with
+        // only singleton radices has a single point and no neighbors.
+        let movable: Vec<usize> = (0..radices.len()).filter(|&k| radices[k] > 1).collect();
+        if movable.is_empty() {
+            return id;
+        }
+        let k = movable[rng.gen_range(0..movable.len())];
+        let mut v = rng.gen_range(0..radices[k]);
+        while v == digits[k] {
+            v = rng.gen_range(0..radices[k]);
+        }
+        digits[k] = v;
+        encode(&digits)
+    };
+    simulated_annealing(start, neighbor, evaluate, n_evals, initial_temp, seed)
 }
 
 #[cfg(test)]
@@ -222,6 +289,94 @@ mod tests {
         let a = simulated_annealing(100, step, rugged, 100, 0.5, 9);
         let b = simulated_annealing(100, step, rugged, 100, 0.5, 9);
         assert_eq!(a.best_id, b.best_id);
+    }
+
+    #[test]
+    fn n_evals_counts_evaluations_actually_performed() {
+        // The result must report how many times `evaluate` ran, not the
+        // requested budget — including the zero-budget edge, where the
+        // start point is still evaluated once.
+        for budget in [0usize, 1, 2, 17] {
+            let mut hc_calls = 0usize;
+            let hc = hill_climb(
+                100,
+                step,
+                |id| {
+                    hc_calls += 1;
+                    rugged(id)
+                },
+                budget,
+                5,
+            );
+            assert_eq!(hc.n_evals, hc_calls, "hill_climb budget {budget}");
+            assert_eq!(hc_calls, budget.max(1));
+            let mut sa_calls = 0usize;
+            let sa = simulated_annealing(
+                100,
+                step,
+                |id| {
+                    sa_calls += 1;
+                    rugged(id)
+                },
+                budget,
+                0.5,
+                5,
+            );
+            assert_eq!(sa.n_evals, sa_calls, "annealing budget {budget}");
+            assert_eq!(sa_calls, budget.max(1));
+        }
+    }
+
+    /// Joint landscape over three statements with 4, 1 and 6 versions:
+    /// best at digits (2, 0, 5).
+    fn order_cost(id: u128) -> f64 {
+        let d0 = (id % 4) as f64;
+        let d2 = (id / 4 % 6) as f64;
+        (d0 - 2.0).abs() * 3.0 + (d2 - 5.0).abs() + 1.0
+    }
+
+    #[test]
+    fn contraction_order_annealing_finds_the_best_order() {
+        let res = contraction_order_annealing(&[4, 1, 6], 0, order_cost, 200, 0.5, 11);
+        assert_eq!(res.best_id % 4, 2);
+        assert_eq!(res.best_id / 4 % 6, 5);
+        assert_eq!(res.best_y, 1.0);
+        assert_eq!(res.n_evals, 200);
+    }
+
+    #[test]
+    fn contraction_order_annealing_stays_inside_the_mixed_radix_space() {
+        let radices = [4usize, 1, 6];
+        let space: u128 = radices.iter().map(|&r| r as u128).product();
+        contraction_order_annealing(
+            &radices,
+            0,
+            |id| {
+                // Every candidate decodes to in-range digits.
+                assert!(id < space, "id {id} outside the {space}-point space");
+                order_cost(id)
+            },
+            100,
+            0.5,
+            3,
+        );
+    }
+
+    #[test]
+    fn contraction_order_annealing_is_deterministic_per_seed() {
+        let a = contraction_order_annealing(&[4, 1, 6], 0, order_cost, 100, 0.5, 9);
+        let b = contraction_order_annealing(&[4, 1, 6], 0, order_cost, 100, 0.5, 9);
+        assert_eq!(a.best_id, b.best_id);
+        assert_eq!(a.best_y.to_bits(), b.best_y.to_bits());
+    }
+
+    #[test]
+    fn singleton_space_annealing_stays_put() {
+        // Every radix is 1: the single point is the answer and the
+        // neighbor function must not loop forever looking for another.
+        let res = contraction_order_annealing(&[1, 1], 0, |_| 42.0, 10, 0.5, 1);
+        assert_eq!(res.best_id, 0);
+        assert_eq!(res.best_y, 42.0);
     }
 
     #[test]

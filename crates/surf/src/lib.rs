@@ -18,7 +18,9 @@ pub mod fault;
 pub mod forest;
 pub mod search;
 
-pub use baselines::{exhaustive_search, hill_climb, random_search, simulated_annealing};
+pub use baselines::{
+    contraction_order_annealing, exhaustive_search, hill_climb, random_search, simulated_annealing,
+};
 pub use binarize::{Feature, FeatureSpace};
 pub use fault::{unit as fault_unit, FaultPlan, FaultyEvaluator, InjectedFault};
 pub use forest::{CompiledForest, ExtraTrees, ForestParams};

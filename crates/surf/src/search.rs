@@ -366,6 +366,8 @@ impl PoolFeatures {
 struct SerialBackend<F, E> {
     features: F,
     evaluate: E,
+    pool: Option<PoolFeatures>,
+    predict_ns: u64,
 }
 
 impl<F: FnMut(u128) -> Vec<f64>, E: FnMut(u128) -> f64> Backend for SerialBackend<F, E> {
@@ -381,16 +383,29 @@ impl<F: FnMut(u128) -> Vec<f64>, E: FnMut(u128) -> f64> Backend for SerialBacken
     }
 
     fn score(&mut self, model: &ExtraTrees, remaining: &[u128], out: &mut Vec<f64>) {
-        out.clear();
-        out.extend(
-            remaining
-                .iter()
-                .map(|&id| model.predict(&(self.features)(id))),
-        );
+        // The feature closure runs once per pool id — on the first scoring
+        // pass — instead of once per id per round: later `remaining` sets
+        // are subsets of the first (the pool only shrinks), so the cached
+        // compact rows answer every subsequent pass.
+        let pool = match &mut self.pool {
+            Some(p) => p,
+            None => {
+                let feats: Vec<Vec<f64>> =
+                    remaining.iter().map(|&id| (self.features)(id)).collect();
+                self.pool.insert(PoolFeatures::build(feats, remaining))
+            }
+        };
+        let t0 = Instant::now();
+        pool.score(model, remaining, out);
+        self.predict_ns += t0.elapsed().as_nanos() as u64;
     }
 
     fn threads(&self) -> usize {
         1
+    }
+
+    fn predict_ns(&self) -> u64 {
+        self.predict_ns
     }
 }
 
@@ -489,7 +504,16 @@ pub fn surf_search(
     evaluate: impl FnMut(u128) -> f64,
     params: SurfParams,
 ) -> Result<SurfResult, SearchError> {
-    drive(pool, &mut SerialBackend { features, evaluate }, params)
+    drive(
+        pool,
+        &mut SerialBackend {
+            features,
+            evaluate,
+            pool: None,
+            predict_ns: 0,
+        },
+        params,
+    )
 }
 
 /// Runs SURF over `pool` with a [`ParallelEvaluator`] on the calling
